@@ -1,0 +1,96 @@
+//! Ablation studies of the design choices called out in `DESIGN.md`: the
+//! reissue-timeout policy, the migratory-sharing optimization, the token
+//! count, and the persistent-request escalation threshold. Each benchmark
+//! runs a small full-system simulation with one knob changed and asserts the
+//! run stays correct; the simulated-cycle results for the ablations are
+//! discussed in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_system::{RunOptions, System};
+use tc_types::{ProtocolKind, SystemConfig};
+use tc_workloads::WorkloadProfile;
+
+fn run_with(config: SystemConfig, workload: &WorkloadProfile) -> u64 {
+    let mut system = System::build(&config, workload);
+    let report = system.run(RunOptions {
+        ops_per_node: 800,
+        max_cycles: 200_000_000,
+    });
+    assert!(report.verified().is_ok());
+    report.runtime_cycles
+}
+
+fn base() -> SystemConfig {
+    SystemConfig::isca03_default()
+        .with_nodes(8)
+        .with_protocol(ProtocolKind::TokenB)
+}
+
+fn bench_reissue_timeout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reissue_timeout");
+    group.sample_size(10);
+    for multiplier in [1.0f64, 2.0, 4.0] {
+        let mut config = base();
+        config.token.reissue_latency_multiplier = multiplier;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{multiplier}x_avg_latency")),
+            &config,
+            |b, config| b.iter(|| run_with(config.clone(), &WorkloadProfile::hot_block())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_migratory_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_migratory_optimization");
+    group.sample_size(10);
+    for enabled in [true, false] {
+        let mut config = base();
+        config.token.migratory_optimization = enabled;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if enabled { "enabled" } else { "disabled" }),
+            &config,
+            |b, config| b.iter(|| run_with(config.clone(), &WorkloadProfile::oltp())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_token_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tokens_per_block");
+    group.sample_size(10);
+    for tokens in [8u32, 16, 64] {
+        let mut config = base();
+        config.token.tokens_per_block = tokens;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("T_{tokens}")),
+            &config,
+            |b, config| b.iter(|| run_with(config.clone(), &WorkloadProfile::oltp())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_persistent_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_persistent_threshold");
+    group.sample_size(10);
+    for reissues in [1u32, 4, 8] {
+        let mut config = base();
+        config.token.reissues_before_persistent = reissues;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{reissues}_reissues")),
+            &config,
+            |b, config| b.iter(|| run_with(config.clone(), &WorkloadProfile::hot_block())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reissue_timeout,
+    bench_migratory_optimization,
+    bench_token_count,
+    bench_persistent_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks of the simulator's building blocks: event
+//! queue, interconnect routing, cache lookups, workload generation, and the
+//! TokenB controller's fast paths. These measure the *simulator's* speed (how
+//! many simulated events per second the reproduction can sustain), not the
+//! simulated system's performance — the latter is what the `table2`/`fig*`
+//! binaries report.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tc_core::TokenBController;
+use tc_interconnect::Interconnect;
+use tc_memsys::SetAssocCache;
+use tc_sim::EventQueue;
+use tc_types::{
+    Address, BlockAddr, CoherenceController, Destination, MemOp, MemOpKind, Message, MsgKind,
+    NodeId, Outbox, ReqId, SystemConfig, Vnet,
+};
+use tc_workloads::{WorkloadGenerator, WorkloadProfile};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_and_pop_1k", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            for i in 0..1_000u64 {
+                queue.schedule((i * 7919) % 1000, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = queue.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_interconnect(c: &mut Criterion) {
+    let config = SystemConfig::isca03_default();
+    c.bench_function("interconnect/torus_unicast", |b| {
+        let mut network = Interconnect::new(16, config.interconnect);
+        let mut i = 0u64;
+        b.iter(|| {
+            let msg = Message::new(
+                NodeId::new((i % 16) as usize),
+                Destination::Node(NodeId::new(((i + 5) % 16) as usize)),
+                BlockAddr::new(i),
+                MsgKind::GetS,
+                Vnet::Request,
+                i,
+            );
+            i += 1;
+            black_box(network.send(i, msg))
+        })
+    });
+    c.bench_function("interconnect/torus_broadcast", |b| {
+        let mut network = Interconnect::new(16, config.interconnect);
+        let mut i = 0u64;
+        b.iter(|| {
+            let msg = Message::new(
+                NodeId::new((i % 16) as usize),
+                Destination::Broadcast,
+                BlockAddr::new(i),
+                MsgKind::GetM,
+                Vnet::Request,
+                i,
+            );
+            i += 1;
+            black_box(network.send(i, msg))
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let config = SystemConfig::isca03_default();
+    c.bench_function("cache/l2_lookup_hit", |b| {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(&config.l2, 64);
+        for i in 0..4_096u64 {
+            cache.insert(BlockAddr::new(i), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4_096;
+            black_box(cache.get(BlockAddr::new(i)).copied())
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/oltp_next_op", |b| {
+        let profile = WorkloadProfile::oltp();
+        let mut generator = WorkloadGenerator::new(&profile, NodeId::new(0), 16, 1);
+        b.iter(|| black_box(generator.next_op()))
+    });
+}
+
+fn bench_tokenb_fast_paths(c: &mut Criterion) {
+    let config = SystemConfig::isca03_default();
+    c.bench_function("tokenb/write_hit", |b| {
+        let mut controller = TokenBController::new(NodeId::new(1), &config);
+        // Seed a modified line by delivering all tokens.
+        let mut out = Outbox::new();
+        controller.handle_message(
+            0,
+            Message::new(
+                NodeId::new(0),
+                Destination::Node(NodeId::new(1)),
+                BlockAddr::new(16),
+                MsgKind::TokenData {
+                    tokens: config.token.tokens_per_block,
+                    owner: true,
+                    dirty: false,
+                    from_memory: true,
+                    payload: Default::default(),
+                },
+                Vnet::Response,
+                0,
+            ),
+            &mut out,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let op = MemOp::new(ReqId::new(i), Address::new(16 * 64), MemOpKind::Store);
+            let mut out = Outbox::new();
+            black_box(controller.access(i, &op, &mut out))
+        })
+    });
+    c.bench_function("tokenb/snoop_ignore", |b| {
+        let mut controller = TokenBController::new(NodeId::new(1), &config);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let msg = Message::new(
+                NodeId::new(2),
+                Destination::Broadcast,
+                BlockAddr::new(i % 1024),
+                MsgKind::GetS,
+                Vnet::Request,
+                i,
+            );
+            let mut out = Outbox::new();
+            controller.handle_message(i, msg, &mut out);
+            black_box(out.messages.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_interconnect,
+    bench_cache,
+    bench_workload_generation,
+    bench_tokenb_fast_paths
+);
+criterion_main!(benches);

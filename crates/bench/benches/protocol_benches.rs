@@ -1,0 +1,51 @@
+//! Criterion benchmarks of full-system simulation for each protocol and
+//! workload: one sample = one complete (small) simulation of the Table 1
+//! system. The *measured wall-clock time* tracks simulator speed; the
+//! *reported simulated metrics* (printed by the `table2`/`fig*` binaries) are
+//! the paper's figures. Keeping both here makes regressions in either easy to
+//! spot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_system::{RunOptions, System};
+use tc_types::{ProtocolKind, SystemConfig};
+use tc_workloads::WorkloadProfile;
+
+fn simulate(protocol: ProtocolKind, workload: &WorkloadProfile, ops: u64) -> u64 {
+    let config = SystemConfig::isca03_default()
+        .with_nodes(8)
+        .with_protocol(protocol);
+    let mut system = System::build(&config, workload);
+    let report = system.run(RunOptions {
+        ops_per_node: ops,
+        max_cycles: 200_000_000,
+    });
+    assert!(report.verified().is_ok());
+    report.runtime_cycles
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_system_simulation");
+    group.sample_size(10);
+    for protocol in ProtocolKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("oltp_8node_1k_ops", protocol.name()),
+            &protocol,
+            |b, protocol| b.iter(|| simulate(*protocol, &WorkloadProfile::oltp(), 1_000)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tokenb_by_workload");
+    group.sample_size(10);
+    for workload in WorkloadProfile::commercial() {
+        group.bench_with_input(
+            BenchmarkId::new("8node_1k_ops", workload.name),
+            &workload,
+            |b, workload| b.iter(|| simulate(ProtocolKind::TokenB, workload, 1_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

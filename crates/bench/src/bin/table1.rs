@@ -1,0 +1,53 @@
+//! Table 1: target system parameters.
+
+use tc_types::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::isca03_default();
+    println!("Table 1: target system parameters (ISCA 2003)\n");
+    println!("Coherent memory system");
+    println!(
+        "  split L1 I & D caches    {} kB, {}-way, {} ns",
+        c.l1.size_bytes / 1024,
+        c.l1.associativity,
+        c.l1.latency_ns
+    );
+    println!(
+        "  unified L2 cache         {} MB, {}-way, {} ns",
+        c.l2.size_bytes / (1024 * 1024),
+        c.l2.associativity,
+        c.l2.latency_ns
+    );
+    println!("  cache block size         {} bytes", c.block_bytes);
+    println!("  DRAM / directory latency {} ns", c.dram_latency_ns);
+    println!("  memory/dir controllers   {} ns", c.controller_latency_ns);
+    println!(
+        "  network link bandwidth   {:.1} GB/s",
+        c.interconnect.link_bandwidth_bytes_per_ns
+    );
+    println!(
+        "  network link latency     {} ns (wire + sync + route)",
+        c.interconnect.link_latency_ns
+    );
+    println!("\nProcessors");
+    println!("  nodes                    {}", c.num_nodes);
+    println!(
+        "  outstanding misses       {} (reorder window {} memory ops)",
+        c.processor.max_outstanding_misses, c.processor.overlap_window
+    );
+    println!(
+        "  ops per transaction      {}",
+        c.processor.ops_per_transaction
+    );
+    println!("\nToken Coherence");
+    println!("  tokens per block (T)     {}", c.token.tokens_per_block);
+    println!(
+        "  reissue timeout          {}x average miss latency + randomized backoff",
+        c.token.reissue_latency_multiplier
+    );
+    println!(
+        "  persistent escalation    after ~{} reissues",
+        c.token.reissues_before_persistent
+    );
+    println!("  token state per block    {} bits", c.token_state_bits());
+}

@@ -1,0 +1,39 @@
+//! Table 2: percentage of TokenB misses not reissued, reissued once,
+//! reissued more than once, and completed by persistent requests, for each
+//! commercial workload on the 16-node torus.
+
+use tc_bench::{run_options_from_args, run_points};
+use tc_system::experiment::table2_points;
+
+fn main() {
+    let options = run_options_from_args();
+    println!(
+        "Table 2: overhead due to reissued requests (TokenB, 16-node torus, {} ops/node)\n",
+        options.ops_per_node
+    );
+    let rows = run_points(&table2_points(), options);
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>15} {:>14}",
+        "workload", "not reissued", "reissued once", "reissued > once", "persistent"
+    );
+    let mut averages = [0.0f64; 4];
+    for (label, report) in &rows {
+        let row = report.table2_row();
+        for (a, v) in averages.iter_mut().zip(row.iter()) {
+            *a += v / rows.len() as f64;
+        }
+        println!(
+            "{:<12} {:>13.2}% {:>13.2}% {:>14.2}% {:>13.2}%",
+            label, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!(
+        "{:<12} {:>13.2}% {:>13.2}% {:>14.2}% {:>13.2}%",
+        "Average", averages[0], averages[1], averages[2], averages[3]
+    );
+    println!(
+        "\nPaper reports (Table 2): Apache 95.75 / 3.25 / 0.71 / 0.29, OLTP 97.57 / 1.79 / 0.43 / 0.21,"
+    );
+    println!("SPECjbb 97.60 / 2.03 / 0.30 / 0.07, average 96.97 / 2.36 / 0.48 / 0.19.");
+}

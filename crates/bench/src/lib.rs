@@ -1,0 +1,130 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section:
+//!
+//! | binary        | paper artifact |
+//! |---------------|----------------|
+//! | `table1`      | Table 1 — target system parameters |
+//! | `table2`      | Table 2 — reissued / persistent request rates |
+//! | `fig4_runtime`| Figure 4a — runtime, Snooping vs TokenB |
+//! | `fig4_traffic`| Figure 4b — traffic, Snooping vs TokenB |
+//! | `fig5_runtime`| Figure 5a — runtime, Directory & Hammer vs TokenB |
+//! | `fig5_traffic`| Figure 5b — traffic, Directory & Hammer vs TokenB |
+//! | `scalability` | Section 6, Question 5 — traffic scaling to 64 processors |
+//!
+//! Every binary accepts an optional `--ops N` argument controlling the number
+//! of memory operations simulated per node (default 12 000); larger values
+//! reduce noise at the cost of wall-clock time. Results are printed as
+//! aligned text tables whose rows mirror the paper's figures and are recorded
+//! in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+use tc_system::experiment::{default_options, ExperimentPoint};
+use tc_system::{RunOptions, RunReport};
+use tc_types::TrafficClass;
+
+/// Parses the common `--ops N` command-line option.
+pub fn run_options_from_args() -> RunOptions {
+    let mut options = default_options();
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == "--ops" {
+            if let Ok(ops) = window[1].parse() {
+                options.ops_per_node = ops;
+            }
+        }
+    }
+    options
+}
+
+/// Runs a set of experiment points, printing progress, and returns the
+/// reports paired with their labels.
+pub fn run_points(points: &[ExperimentPoint], options: RunOptions) -> Vec<(String, RunReport)> {
+    points
+        .iter()
+        .map(|point| {
+            eprintln!("  running {} ...", point.label);
+            let report = point.run(options);
+            if let Err(violation) = report.verified() {
+                eprintln!("  !! verification failure in {}: {violation}", point.label);
+            }
+            (point.label.clone(), report)
+        })
+        .collect()
+}
+
+/// Prints a runtime comparison table normalized against the first entry,
+/// mirroring the "normalized runtime" bars of Figures 4a and 5a (smaller is
+/// better).
+pub fn print_runtime_table(title: &str, rows: &[(String, RunReport)]) {
+    println!("\n{title}");
+    println!(
+        "{:<38} {:>16} {:>12} {:>12}",
+        "configuration", "cycles/txn", "normalized", "c2c misses"
+    );
+    let baseline = rows
+        .first()
+        .map(|(_, r)| r.cycles_per_transaction())
+        .unwrap_or(1.0);
+    for (label, report) in rows {
+        println!(
+            "{:<38} {:>16.0} {:>12.3} {:>11.1}%",
+            label,
+            report.cycles_per_transaction(),
+            report.cycles_per_transaction() / baseline,
+            100.0 * report.misses.cache_to_cache_fraction()
+        );
+    }
+}
+
+/// Prints a traffic-breakdown table in bytes per miss, mirroring the stacked
+/// bars of Figures 4b and 5b.
+pub fn print_traffic_table(title: &str, rows: &[(String, RunReport)]) {
+    println!("\n{title}");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "configuration", "data+wb", "requests", "fwd+inv", "other", "reissue+per", "total"
+    );
+    for (label, report) in rows {
+        let breakdown = report.traffic_breakdown();
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            label,
+            breakdown.class(TrafficClass::DataResponseOrWriteback),
+            breakdown.class(TrafficClass::Request),
+            breakdown.class(TrafficClass::ForwardedOrInvalidation),
+            breakdown.class(TrafficClass::OtherControl),
+            breakdown.class(TrafficClass::ReissueOrPersistent),
+            breakdown.total()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_system::experiment::{smoke_options, table2_points};
+
+    #[test]
+    fn options_default_without_args() {
+        let options = run_options_from_args();
+        assert!(options.ops_per_node > 0);
+    }
+
+    #[test]
+    fn run_points_produces_one_report_per_point() {
+        let mut points = table2_points();
+        points.truncate(1);
+        // Shrink to a fast smoke configuration.
+        points[0].config = points[0].config.clone().with_nodes(4);
+        points[0].config.l2.size_bytes = 256 * 1024;
+        let rows = run_points(&points, smoke_options());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].1.total_ops > 0);
+        // The printers must not panic on real data.
+        print_runtime_table("smoke", &rows);
+        print_traffic_table("smoke", &rows);
+    }
+}

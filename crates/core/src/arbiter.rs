@@ -1,0 +1,374 @@
+//! The per-home-node persistent-request arbiter.
+//!
+//! Each home memory module runs a small arbiter state machine (Section 3.2).
+//! Starving processors direct persistent requests to the home of the block;
+//! the arbiter activates at most one persistent request at a time by
+//! informing every node, waits for acknowledgements (to eliminate races),
+//! and deactivates the request when the starving requester reports that it
+//! has been satisfied. Queued requests are served in FIFO order, which makes
+//! the mechanism fair and therefore starvation-free.
+
+use std::collections::VecDeque;
+
+use tc_types::{BlockAddr, NodeId};
+
+/// A request waiting at (or being served by) the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedRequest {
+    addr: BlockAddr,
+    requester: NodeId,
+    write: bool,
+}
+
+/// What the controller hosting the arbiter must do next: broadcast an
+/// activation or deactivation to every node (and apply it locally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterAction {
+    /// Tell every node to activate a persistent request.
+    BroadcastActivate {
+        /// Block being requested.
+        addr: BlockAddr,
+        /// Starving node that must receive all tokens.
+        requester: NodeId,
+        /// Whether the requester needs write permission.
+        write: bool,
+    },
+    /// Tell every node to deactivate the persistent request for `addr`.
+    BroadcastDeactivate {
+        /// Block whose persistent request is over.
+        addr: BlockAddr,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ArbiterState {
+    Idle,
+    /// Activation broadcast sent; waiting for acknowledgements.
+    Activating {
+        request: QueuedRequest,
+        acks_remaining: usize,
+        complete_received: bool,
+    },
+    /// All nodes have acknowledged; the request is in force.
+    Active { request: QueuedRequest },
+    /// Deactivation broadcast sent; waiting for acknowledgements.
+    Deactivating { addr: BlockAddr, acks_remaining: usize },
+}
+
+/// The persistent-request arbiter at one home node.
+#[derive(Debug, Clone)]
+pub struct PersistentArbiter {
+    node: NodeId,
+    num_nodes: usize,
+    state: ArbiterState,
+    queue: VecDeque<QueuedRequest>,
+    activations: u64,
+}
+
+impl PersistentArbiter {
+    /// Creates the arbiter for home node `node` in a `num_nodes` system.
+    pub fn new(node: NodeId, num_nodes: usize) -> Self {
+        PersistentArbiter {
+            node,
+            num_nodes: num_nodes.max(1),
+            state: ArbiterState::Idle,
+            queue: VecDeque::new(),
+            activations: 0,
+        }
+    }
+
+    /// Number of acknowledgements expected for each broadcast: every node
+    /// except the arbiter's own (which applies the broadcast locally).
+    fn acks_expected(&self) -> usize {
+        self.num_nodes - 1
+    }
+
+    /// Number of activations performed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Number of requests waiting to be activated.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if the arbiter has nothing in flight or queued.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ArbiterState::Idle) && self.queue.is_empty()
+    }
+
+    /// A starving node asks for a persistent request on `addr`.
+    pub fn request(&mut self, addr: BlockAddr, requester: NodeId, write: bool) -> Vec<ArbiterAction> {
+        let request = QueuedRequest {
+            addr,
+            requester,
+            write,
+        };
+        // Ignore exact duplicates (a node may re-send if its first persistent
+        // request raced with a deactivation).
+        let duplicate_queued = self.queue.contains(&request);
+        let duplicate_inflight = match &self.state {
+            ArbiterState::Activating { request: r, .. } | ArbiterState::Active { request: r } => {
+                *r == request
+            }
+            _ => false,
+        };
+        if !duplicate_queued && !duplicate_inflight {
+            self.queue.push_back(request);
+        }
+        self.try_activate()
+    }
+
+    /// A node acknowledges the arbiter's most recent broadcast.
+    pub fn ack(&mut self, _from: NodeId) -> Vec<ArbiterAction> {
+        match &mut self.state {
+            ArbiterState::Activating {
+                acks_remaining,
+                complete_received,
+                request,
+            } => {
+                *acks_remaining = acks_remaining.saturating_sub(1);
+                if *acks_remaining == 0 {
+                    let request = *request;
+                    if *complete_received {
+                        // The requester was satisfied before activation even
+                        // finished; tear the request down immediately.
+                        self.state = ArbiterState::Deactivating {
+                            addr: request.addr,
+                            acks_remaining: self.acks_expected(),
+                        };
+                        return self.emit_deactivate(request.addr);
+                    }
+                    self.state = ArbiterState::Active { request };
+                }
+                Vec::new()
+            }
+            ArbiterState::Deactivating {
+                acks_remaining, ..
+            } => {
+                *acks_remaining = acks_remaining.saturating_sub(1);
+                if *acks_remaining == 0 {
+                    self.state = ArbiterState::Idle;
+                    return self.try_activate();
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The requester reports that its persistent request has been satisfied.
+    pub fn complete(&mut self, addr: BlockAddr, requester: NodeId) -> Vec<ArbiterAction> {
+        match &mut self.state {
+            ArbiterState::Active { request }
+                if request.addr == addr && request.requester == requester =>
+            {
+                self.state = ArbiterState::Deactivating {
+                    addr,
+                    acks_remaining: self.acks_expected(),
+                };
+                self.emit_deactivate(addr)
+            }
+            ArbiterState::Activating {
+                request,
+                complete_received,
+                ..
+            } if request.addr == addr && request.requester == requester => {
+                *complete_received = true;
+                Vec::new()
+            }
+            _ => {
+                // The request may still be queued (satisfied by a late
+                // transient response before activation); just drop it.
+                self.queue
+                    .retain(|r| !(r.addr == addr && r.requester == requester));
+                Vec::new()
+            }
+        }
+    }
+
+    fn try_activate(&mut self) -> Vec<ArbiterAction> {
+        if !matches!(self.state, ArbiterState::Idle) {
+            return Vec::new();
+        }
+        let Some(request) = self.queue.pop_front() else {
+            return Vec::new();
+        };
+        self.activations += 1;
+        let acks = self.acks_expected();
+        if acks == 0 {
+            self.state = ArbiterState::Active { request };
+        } else {
+            self.state = ArbiterState::Activating {
+                request,
+                acks_remaining: acks,
+                complete_received: false,
+            };
+        }
+        vec![ArbiterAction::BroadcastActivate {
+            addr: request.addr,
+            requester: request.requester,
+            write: request.write,
+        }]
+    }
+
+    fn emit_deactivate(&mut self, addr: BlockAddr) -> Vec<ArbiterAction> {
+        if self.acks_expected() == 0 {
+            self.state = ArbiterState::Idle;
+            let mut actions = vec![ArbiterAction::BroadcastDeactivate { addr }];
+            actions.extend(self.try_activate());
+            return actions;
+        }
+        vec![ArbiterAction::BroadcastDeactivate { addr }]
+    }
+
+    /// The node whose persistent request is currently being served, if any.
+    pub fn active_requester(&self) -> Option<(BlockAddr, NodeId)> {
+        match &self.state {
+            ArbiterState::Activating { request, .. } | ArbiterState::Active { request } => {
+                Some((request.addr, request.requester))
+            }
+            _ => None,
+        }
+    }
+
+    /// The arbiter's own node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activate_addr(actions: &[ArbiterAction]) -> Option<BlockAddr> {
+        actions.iter().find_map(|a| match a {
+            ArbiterAction::BroadcastActivate { addr, .. } => Some(*addr),
+            _ => None,
+        })
+    }
+
+    fn deactivate_addr(actions: &[ArbiterAction]) -> Option<BlockAddr> {
+        actions.iter().find_map(|a| match a {
+            ArbiterAction::BroadcastDeactivate { addr } => Some(*addr),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn single_request_activates_immediately() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        let actions = arb.request(BlockAddr::new(7), NodeId::new(2), true);
+        assert_eq!(activate_addr(&actions), Some(BlockAddr::new(7)));
+        assert_eq!(arb.active_requester(), Some((BlockAddr::new(7), NodeId::new(2))));
+        assert_eq!(arb.activations(), 1);
+    }
+
+    #[test]
+    fn full_activation_completion_deactivation_cycle() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.request(BlockAddr::new(7), NodeId::new(2), true);
+        // Three other nodes acknowledge the activation.
+        for n in 1..4 {
+            assert!(arb.ack(NodeId::new(n)).is_empty());
+        }
+        // The requester completes; the arbiter broadcasts deactivation.
+        let actions = arb.complete(BlockAddr::new(7), NodeId::new(2));
+        assert_eq!(deactivate_addr(&actions), Some(BlockAddr::new(7)));
+        // Deactivation acks drain back to idle.
+        for n in 1..4 {
+            arb.ack(NodeId::new(n));
+        }
+        assert!(arb.is_idle());
+    }
+
+    #[test]
+    fn second_request_waits_for_the_first() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.request(BlockAddr::new(1), NodeId::new(1), true);
+        let actions = arb.request(BlockAddr::new(2), NodeId::new(2), false);
+        assert!(actions.is_empty(), "second request must queue");
+        assert_eq!(arb.queued(), 1);
+
+        for n in 1..4 {
+            arb.ack(NodeId::new(n));
+        }
+        arb.complete(BlockAddr::new(1), NodeId::new(1));
+        // After the deactivation acks, the queued request activates.
+        let mut next_activation = Vec::new();
+        for n in 1..4 {
+            next_activation.extend(arb.ack(NodeId::new(n)));
+        }
+        assert_eq!(activate_addr(&next_activation), Some(BlockAddr::new(2)));
+        assert_eq!(arb.activations(), 2);
+    }
+
+    #[test]
+    fn completion_before_all_activation_acks_still_deactivates() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.request(BlockAddr::new(3), NodeId::new(1), false);
+        // Requester completes before anyone acks.
+        assert!(arb.complete(BlockAddr::new(3), NodeId::new(1)).is_empty());
+        // Once the activation acks arrive, deactivation goes out.
+        let mut actions = Vec::new();
+        for n in 1..4 {
+            actions.extend(arb.ack(NodeId::new(n)));
+        }
+        assert_eq!(deactivate_addr(&actions), Some(BlockAddr::new(3)));
+    }
+
+    #[test]
+    fn duplicate_requests_are_not_double_queued() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.request(BlockAddr::new(5), NodeId::new(1), true);
+        arb.request(BlockAddr::new(5), NodeId::new(1), true);
+        assert_eq!(arb.queued(), 0, "duplicate of the in-flight request is dropped");
+        arb.request(BlockAddr::new(6), NodeId::new(2), true);
+        arb.request(BlockAddr::new(6), NodeId::new(2), true);
+        assert_eq!(arb.queued(), 1);
+    }
+
+    #[test]
+    fn completion_of_a_queued_request_removes_it() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.request(BlockAddr::new(1), NodeId::new(1), true);
+        arb.request(BlockAddr::new(2), NodeId::new(2), true);
+        assert_eq!(arb.queued(), 1);
+        arb.complete(BlockAddr::new(2), NodeId::new(2));
+        assert_eq!(arb.queued(), 0);
+    }
+
+    #[test]
+    fn single_node_system_needs_no_acks() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 1);
+        let actions = arb.request(BlockAddr::new(1), NodeId::new(0), true);
+        assert_eq!(activate_addr(&actions), Some(BlockAddr::new(1)));
+        let actions = arb.complete(BlockAddr::new(1), NodeId::new(0));
+        assert_eq!(deactivate_addr(&actions), Some(BlockAddr::new(1)));
+        assert!(arb.is_idle());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_many_requests() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 2);
+        arb.request(BlockAddr::new(10), NodeId::new(1), true);
+        for b in 11..15 {
+            arb.request(BlockAddr::new(b), NodeId::new(1), false);
+        }
+        let mut served = vec![BlockAddr::new(10)];
+        for b in 11..15 {
+            // ack activation, then complete, then ack deactivation.
+            arb.ack(NodeId::new(1));
+            let current = served.last().copied().unwrap();
+            arb.complete(current, NodeId::new(1));
+            let actions = arb.ack(NodeId::new(1));
+            if let Some(addr) = activate_addr(&actions) {
+                served.push(addr);
+                assert_eq!(addr, BlockAddr::new(b));
+            }
+        }
+        assert_eq!(served.len(), 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Reissue-timeout policy: average-miss-latency tracking and randomized
+//! exponential backoff.
+
+use tc_sim::DeterministicRng;
+use tc_types::Cycle;
+
+/// Tracks the recent average miss latency with an exponential moving average
+/// and derives the TokenB reissue and persistent-request timeouts from it.
+///
+/// The paper's policy (Section 4.2): reissue a transient request after twice
+/// the recent average miss latency plus a small randomized exponential
+/// backoff, and invoke a persistent request when a miss has gone unsatisfied
+/// for roughly ten average miss times (approximately four reissues).
+#[derive(Debug, Clone)]
+pub struct MissLatencyTracker {
+    average: f64,
+    samples: u64,
+    reissue_multiplier: f64,
+    backoff_fraction: f64,
+}
+
+impl MissLatencyTracker {
+    /// Initial average used before any misses have completed, chosen as a
+    /// generous estimate of a cache-to-cache miss on the torus (a few link
+    /// crossings plus controller occupancy).
+    pub const INITIAL_AVERAGE_NS: f64 = 200.0;
+
+    /// Creates a tracker using the given reissue multiplier (the paper
+    /// uses 2.0).
+    pub fn new(reissue_multiplier: f64) -> Self {
+        MissLatencyTracker {
+            average: Self::INITIAL_AVERAGE_NS,
+            samples: 0,
+            reissue_multiplier: reissue_multiplier.max(1.0),
+            backoff_fraction: 0.25,
+        }
+    }
+
+    /// Records a completed miss latency.
+    pub fn record(&mut self, latency: Cycle) {
+        self.samples += 1;
+        let sample = latency as f64;
+        if self.samples == 1 {
+            self.average = sample;
+        } else {
+            // Exponential moving average weighted toward recent behaviour.
+            self.average = 0.9 * self.average + 0.1 * sample;
+        }
+    }
+
+    /// The current average miss latency estimate, in nanoseconds.
+    pub fn average(&self) -> f64 {
+        self.average
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The timeout to arm for the `issue_count`-th issue of a transient
+    /// request (1 = the first issue). Later issues back off exponentially,
+    /// with a small random jitter so that two racing processors do not
+    /// reissue in lock step (the "much like ethernet" behaviour).
+    pub fn reissue_timeout(&self, issue_count: u32, rng: &mut DeterministicRng) -> Cycle {
+        let base = self.reissue_multiplier * self.average;
+        let exponent = issue_count.saturating_sub(1).min(8);
+        let window = (self.average * self.backoff_fraction) * f64::from(1u32 << exponent);
+        let jitter = if window >= 1.0 {
+            rng.next_below(window as u64 + 1)
+        } else {
+            0
+        };
+        (base as Cycle).max(1) + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_replaces_the_initial_guess() {
+        let mut t = MissLatencyTracker::new(2.0);
+        assert!((t.average() - MissLatencyTracker::INITIAL_AVERAGE_NS).abs() < 1e-9);
+        t.record(100);
+        assert!((t.average() - 100.0).abs() < 1e-9);
+        assert_eq!(t.samples(), 1);
+    }
+
+    #[test]
+    fn average_tracks_recent_latencies() {
+        let mut t = MissLatencyTracker::new(2.0);
+        for _ in 0..100 {
+            t.record(50);
+        }
+        assert!((t.average() - 50.0).abs() < 1.0);
+        for _ in 0..100 {
+            t.record(500);
+        }
+        assert!(t.average() > 400.0, "average should chase recent samples");
+    }
+
+    #[test]
+    fn timeout_is_at_least_twice_the_average() {
+        let mut t = MissLatencyTracker::new(2.0);
+        for _ in 0..10 {
+            t.record(80);
+        }
+        let mut rng = DeterministicRng::new(1);
+        for issue in 1..5 {
+            let timeout = t.reissue_timeout(issue, &mut rng);
+            assert!(timeout >= (2.0 * t.average()) as Cycle);
+        }
+    }
+
+    #[test]
+    fn backoff_window_grows_with_reissues() {
+        let mut t = MissLatencyTracker::new(2.0);
+        for _ in 0..10 {
+            t.record(100);
+        }
+        let max_over = |issue: u32| {
+            let mut rng = DeterministicRng::new(3);
+            (0..200)
+                .map(|_| t.reissue_timeout(issue, &mut rng))
+                .max()
+                .unwrap()
+        };
+        assert!(max_over(4) > max_over(1), "later issues should back off more");
+    }
+
+    #[test]
+    fn timeout_is_randomized() {
+        let t = MissLatencyTracker::new(2.0);
+        let mut rng = DeterministicRng::new(9);
+        let values: std::collections::HashSet<_> =
+            (0..50).map(|_| t.reissue_timeout(2, &mut rng)).collect();
+        assert!(values.len() > 1, "timeouts should not be constant");
+    }
+
+    #[test]
+    fn degenerate_multiplier_is_clamped() {
+        let t = MissLatencyTracker::new(0.0);
+        let mut rng = DeterministicRng::new(4);
+        assert!(t.reissue_timeout(1, &mut rng) >= MissLatencyTracker::INITIAL_AVERAGE_NS as Cycle);
+    }
+}

@@ -1,0 +1,1770 @@
+//! TokenB: the broadcast performance protocol on top of the token-counting
+//! correctness substrate.
+
+use std::collections::BTreeSet;
+
+use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_sim::DeterministicRng;
+use tc_types::{
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
+    DataPayload, Destination, HomeMap, MemOp, Message, MissCompletion, MissKind,
+    MsgKind, NodeId, Outbox, ReqId, SystemConfig, Timer, TimerKind, Vnet,
+};
+
+use crate::arbiter::{ArbiterAction, PersistentArbiter};
+use crate::persistent::PersistentTable;
+use crate::state::{MemTokens, TokenLine};
+use crate::timeout::MissLatencyTracker;
+
+/// One pending processor operation merged into an outstanding miss.
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    req_id: ReqId,
+    write: bool,
+}
+
+/// Bookkeeping for one outstanding TokenB miss.
+#[derive(Debug, Clone)]
+struct TokenMshr {
+    pending: Vec<PendingOp>,
+    /// Whether the miss needs all tokens (any pending store).
+    write: bool,
+    /// Whether the processor already held a readable copy (upgrade miss).
+    upgrade: bool,
+    issued_at: Cycle,
+    /// Number of times the transient request has been issued (1 = first).
+    issue_count: u32,
+    /// Whether the miss has escalated to a persistent request.
+    persistent: bool,
+    /// Sequence number of the currently armed reissue timer, to ignore stale
+    /// timers after a reissue or completion.
+    timer_seq: u64,
+    /// Whether any data that arrived came from another cache.
+    data_from_cache: bool,
+    /// Whether any data arrived from memory.
+    data_from_memory: bool,
+}
+
+/// The TokenB coherence controller for one node.
+///
+/// The controller plays three roles, because the target system integrates
+/// them on one chip:
+///
+/// * the **cache controller** for the node's L1/L2 hierarchy, issuing
+///   broadcast transient requests on misses, reissuing them on timeout, and
+///   escalating to persistent requests when starving;
+/// * the **home memory controller** for the slice of physical memory homed at
+///   this node, holding memory's tokens and responding to requests; and
+/// * the **persistent-request arbiter** for blocks homed at this node.
+#[derive(Debug)]
+pub struct TokenBController {
+    node: NodeId,
+    home_map: HomeMap,
+    total_tokens: u32,
+    l1: L1Filter,
+    l2: SetAssocCache<TokenLine>,
+    l2_latency: Cycle,
+    controller_latency: Cycle,
+    dram_latency: Cycle,
+    memory: HomeMemory<MemTokens>,
+    mshrs: MshrTable<TokenMshr>,
+    persistent_table: PersistentTable,
+    arbiter: PersistentArbiter,
+    latency: MissLatencyTracker,
+    rng: DeterministicRng,
+    stats: ControllerStats,
+    reissues_before_persistent: u32,
+    migratory_optimization: bool,
+    store_counter: u64,
+    timer_seq: u64,
+}
+
+impl TokenBController {
+    /// Creates the TokenB controller for `node` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer tokens per block than nodes
+    /// (call [`SystemConfig::validate`] first to get an error instead).
+    pub fn new(node: NodeId, config: &SystemConfig) -> Self {
+        assert!(
+            config.token.tokens_per_block as usize >= config.num_nodes,
+            "tokens per block must be at least the number of nodes"
+        );
+        let home_map = HomeMap::new(config.num_nodes, config.block_bytes);
+        let mut seed_rng = DeterministicRng::new(config.seed ^ 0x70_6b_65_6e);
+        TokenBController {
+            node,
+            home_map,
+            total_tokens: config.token.tokens_per_block,
+            l1: L1Filter::new(&config.l1, config.block_bytes),
+            l2: SetAssocCache::new(&config.l2, config.block_bytes),
+            l2_latency: config.l2.latency_ns,
+            controller_latency: config.controller_latency_ns,
+            dram_latency: config.dram_latency_ns,
+            memory: HomeMemory::new(node, home_map, config.dram_latency_ns),
+            mshrs: MshrTable::new(config.processor.max_outstanding_misses.max(1)),
+            persistent_table: PersistentTable::new(),
+            arbiter: PersistentArbiter::new(node, config.num_nodes),
+            latency: MissLatencyTracker::new(config.token.reissue_latency_multiplier),
+            rng: seed_rng.fork(node.index() as u64 + 17),
+            stats: ControllerStats::new(),
+            reissues_before_persistent: config.token.reissues_before_persistent,
+            migratory_optimization: config.token.migratory_optimization,
+            store_counter: 0,
+            timer_seq: 0,
+        }
+    }
+
+    /// Total tokens per block, `T`.
+    pub fn total_tokens(&self) -> u32 {
+        self.total_tokens
+    }
+
+    /// The MOESI-equivalent state of a block in this node's cache (for tests
+    /// and traces).
+    pub fn cache_state_name(&self, addr: BlockAddr) -> &'static str {
+        self.l2
+            .peek(addr)
+            .map(|l| l.moesi_name(self.total_tokens))
+            .unwrap_or("I")
+    }
+
+    /// Tokens currently held for `addr` by this node (cache plus memory).
+    pub fn tokens_held(&self, addr: BlockAddr) -> u32 {
+        let cache = self.l2.peek(addr).map(|l| l.tokens).unwrap_or(0);
+        let memory = self
+            .memory
+            .state(addr)
+            .map(|m| if m.initialized { m.tokens } else { 0 })
+            .unwrap_or(0);
+        cache + memory
+    }
+
+    fn unique_version(&mut self) -> u64 {
+        self.store_counter += 1;
+        ((self.node.index() as u64 + 1) << 40) | self.store_counter
+    }
+
+    fn is_home(&self, addr: BlockAddr) -> bool {
+        self.home_map.is_home(self.node, addr)
+    }
+
+    fn home_of(&self, addr: BlockAddr) -> NodeId {
+        self.home_map.home_of(addr)
+    }
+
+    fn send(&mut self, out: &mut Outbox, msg: Message) {
+        self.stats.messages_sent += 1;
+        out.send(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Message construction helpers.
+    // ------------------------------------------------------------------
+
+    fn token_message(
+        &self,
+        at: Cycle,
+        dest: NodeId,
+        addr: BlockAddr,
+        tokens: u32,
+        owner: bool,
+        dirty: bool,
+        from_memory: bool,
+        version: u64,
+        vnet: Vnet,
+    ) -> Message {
+        debug_assert!(tokens > 0, "token messages must carry at least one token");
+        let kind = if owner {
+            // Invariant #4': the owner token always travels with data.
+            MsgKind::TokenData {
+                tokens,
+                owner: true,
+                dirty,
+                from_memory,
+                payload: DataPayload::new(version),
+            }
+        } else if dirty || vnet == Vnet::Response && from_memory {
+            // Non-owner tokens may travel without data; we send data anyway
+            // only when it is required (never, in this implementation) —
+            // keep them dataless to model the bandwidth optimization.
+            MsgKind::TokenOnly { tokens }
+        } else {
+            MsgKind::TokenOnly { tokens }
+        };
+        Message::new(self.node, Destination::Node(dest), addr, kind, vnet, at)
+    }
+
+    /// A data response that carries tokens and data even without the owner
+    /// token (used when the responder wants the requester to be able to read
+    /// immediately, e.g. an owner sharing one token plus data).
+    fn data_response(
+        &self,
+        at: Cycle,
+        dest: NodeId,
+        addr: BlockAddr,
+        tokens: u32,
+        owner: bool,
+        dirty: bool,
+        from_memory: bool,
+        version: u64,
+    ) -> Message {
+        Message::new(
+            self.node,
+            Destination::Node(dest),
+            addr,
+            MsgKind::TokenData {
+                tokens,
+                owner,
+                dirty,
+                from_memory,
+                payload: DataPayload::new(version),
+            },
+            Vnet::Response,
+            at,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Cache/eviction helpers.
+    // ------------------------------------------------------------------
+
+    /// Ensures a cache line exists for `addr`, evicting a victim if needed.
+    /// Victim tokens (and data, with the owner token) are sent home.
+    fn allocate_line(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        if self.l2.contains(addr) {
+            return;
+        }
+        if let Some(victim) = self.l2.insert(addr, TokenLine::empty()) {
+            self.evict_line(now, victim.addr, victim.state, out);
+        }
+    }
+
+    fn evict_line(&mut self, now: Cycle, addr: BlockAddr, line: TokenLine, out: &mut Outbox) {
+        self.l1.invalidate(addr);
+        if line.tokens == 0 {
+            return;
+        }
+        self.stats.misses.writebacks += 1;
+        let home = self.home_of(addr);
+        let at = now + self.controller_latency;
+        // If a persistent request is active for this block, the tokens go to
+        // the starving requester instead of home.
+        let dest = self
+            .persistent_table
+            .forward_target(addr, self.node)
+            .unwrap_or(home);
+        let vnet = if dest == home {
+            Vnet::Writeback
+        } else {
+            Vnet::Response
+        };
+        let msg = self.token_message(
+            at,
+            dest,
+            addr,
+            line.tokens,
+            line.owner,
+            line.dirty,
+            false,
+            line.version,
+            vnet,
+        );
+        self.send(out, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Transient request issue / reissue.
+    // ------------------------------------------------------------------
+
+    fn issue_transient(&mut self, now: Cycle, addr: BlockAddr, write: bool, reissue: bool, out: &mut Outbox) {
+        let kind = if write { MsgKind::GetM } else { MsgKind::GetS };
+        let mut msg = Message::new(
+            self.node,
+            Destination::Broadcast,
+            addr,
+            kind,
+            Vnet::Request,
+            now + self.controller_latency,
+        );
+        if reissue {
+            msg = msg.as_reissue();
+        }
+        self.send(out, msg);
+        // The broadcast does not loop back to this node, so if we are the
+        // block's home we consult our own memory after the DRAM latency.
+        if self.is_home(addr) {
+            self.timer_seq += 1;
+            out.arm_timer(
+                now + self.controller_latency + self.dram_latency,
+                Timer {
+                    id: self.timer_seq,
+                    addr,
+                    kind: TimerKind::MemoryAccess,
+                },
+            );
+        }
+        self.arm_reissue_timer(now, addr, out);
+    }
+
+    fn arm_reissue_timer(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let Some(mshr) = self.mshrs.get(addr) else {
+            return;
+        };
+        let timeout = self.latency.reissue_timeout(mshr.issue_count, &mut self.rng);
+        self.timer_seq += 1;
+        let seq = self.timer_seq;
+        if let Some(mshr) = self.mshrs.get_mut(addr) {
+            mshr.timer_seq = seq;
+        }
+        out.arm_timer(
+            now + timeout,
+            Timer {
+                id: seq,
+                addr,
+                kind: TimerKind::Reissue,
+            },
+        );
+    }
+
+    fn escalate_to_persistent(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let Some(mshr) = self.mshrs.get_mut(addr) else {
+            return;
+        };
+        if mshr.persistent {
+            return;
+        }
+        mshr.persistent = true;
+        let write = mshr.write;
+        self.stats.persistent_requests_initiated += 1;
+        let home = self.home_of(addr);
+        let msg = Message::new(
+            self.node,
+            Destination::Node(home),
+            addr,
+            MsgKind::PersistentRequest { write },
+            Vnet::Persistent,
+            now + self.controller_latency,
+        );
+        self.send(out, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Responding to transient requests (the TokenB response policy).
+    // ------------------------------------------------------------------
+
+    fn respond_to_request(
+        &mut self,
+        now: Cycle,
+        requester: NodeId,
+        addr: BlockAddr,
+        write: bool,
+        out: &mut Outbox,
+    ) {
+        // Active persistent requests override the performance protocol: while
+        // one is active for this block, transient requests are ignored and
+        // tokens flow only to the persistent requester.
+        if self.persistent_table.active(addr).is_some() {
+            return;
+        }
+
+        // --- Cache response -------------------------------------------------
+        let cache_at = now + self.controller_latency + self.l2_latency;
+        if let Some(line) = self.l2.get(addr).copied() {
+            if line.tokens > 0 {
+                if write {
+                    // Exclusive request: hand over everything we have.
+                    let msg = if line.owner {
+                        self.data_response(
+                            cache_at, requester, addr, line.tokens, true, line.dirty, false,
+                            line.version,
+                        )
+                    } else {
+                        self.token_message(
+                            cache_at,
+                            requester,
+                            addr,
+                            line.tokens,
+                            false,
+                            false,
+                            false,
+                            line.version,
+                            Vnet::Response,
+                        )
+                    };
+                    self.send(out, msg);
+                    self.l2.remove(addr);
+                    self.l1.invalidate(addr);
+                } else if line.owner {
+                    // Shared request and we are the owner.
+                    let migratory = self.migratory_optimization
+                        && line.tokens == self.total_tokens
+                        && line.dirty;
+                    if migratory {
+                        // Migratory optimization: pass read/write permission.
+                        let msg = self.data_response(
+                            cache_at, requester, addr, line.tokens, true, line.dirty, false,
+                            line.version,
+                        );
+                        self.send(out, msg);
+                        self.l2.remove(addr);
+                        self.l1.invalidate(addr);
+                    } else if line.tokens > 1 {
+                        // Keep the owner token, share one non-owner token with
+                        // data.
+                        let msg = self.data_response(
+                            cache_at, requester, addr, 1, false, false, false, line.version,
+                        );
+                        self.send(out, msg);
+                        if let Some(l) = self.l2.get(addr) {
+                            l.tokens -= 1;
+                        }
+                    } else {
+                        // We hold only the owner token: hand it over (with
+                        // data) rather than refusing the request.
+                        let msg = self.data_response(
+                            cache_at, requester, addr, 1, true, line.dirty, false, line.version,
+                        );
+                        self.send(out, msg);
+                        self.l2.remove(addr);
+                        self.l1.invalidate(addr);
+                    }
+                }
+                // Shared request at a non-owner sharer: ignore.
+            }
+        }
+
+        // --- Memory (home) response -----------------------------------------
+        if self.is_home(addr) {
+            let total = self.total_tokens;
+            let mem_version = self.memory.data_version(addr);
+            let mem = self.memory.state_mut(addr);
+            mem.ensure_initialized(total);
+            if mem.tokens > 0 {
+                let mem_at = now + self.controller_latency + self.dram_latency;
+                if write {
+                    let tokens = mem.tokens;
+                    let owner = mem.owner;
+                    mem.tokens = 0;
+                    mem.owner = false;
+                    let msg = if owner {
+                        self.data_response(
+                            mem_at, requester, addr, tokens, true, false, true, mem_version,
+                        )
+                    } else {
+                        self.token_message(
+                            mem_at,
+                            requester,
+                            addr,
+                            tokens,
+                            false,
+                            false,
+                            true,
+                            mem_version,
+                            Vnet::Response,
+                        )
+                    };
+                    self.send(out, msg);
+                } else if mem.can_supply_data() {
+                    // Shared request: memory supplies data plus one token,
+                    // keeping the owner token when it can.
+                    if mem.tokens > 1 {
+                        mem.tokens -= 1;
+                        let msg = self.data_response(
+                            mem_at, requester, addr, 1, false, false, true, mem_version,
+                        );
+                        self.send(out, msg);
+                    } else {
+                        mem.tokens = 0;
+                        mem.owner = false;
+                        let msg = self.data_response(
+                            mem_at, requester, addr, 1, true, false, true, mem_version,
+                        );
+                        self.send(out, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving tokens.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn receive_tokens(
+        &mut self,
+        now: Cycle,
+        msg_src: NodeId,
+        addr: BlockAddr,
+        tokens: u32,
+        owner: bool,
+        dirty: bool,
+        from_memory: bool,
+        payload: Option<DataPayload>,
+        vnet: Vnet,
+        out: &mut Outbox,
+    ) {
+        // A persistent request by another node overrides everything: forward
+        // the tokens straight to the starving requester.
+        if let Some(target) = self.persistent_table.forward_target(addr, self.node) {
+            let at = now + self.controller_latency;
+            let version = payload.map(|p| p.version).unwrap_or(0);
+            let msg = if owner {
+                self.data_response(at, target, addr, tokens, true, dirty, from_memory, version)
+            } else {
+                self.token_message(
+                    at,
+                    target,
+                    addr,
+                    tokens,
+                    false,
+                    false,
+                    from_memory,
+                    version,
+                    Vnet::Response,
+                )
+            };
+            self.send(out, msg);
+            return;
+        }
+
+        // Writebacks addressed to the home are absorbed by memory.
+        if vnet == Vnet::Writeback && self.is_home(addr) {
+            let total = self.total_tokens;
+            if let Some(p) = payload {
+                if owner {
+                    self.memory.write_data(addr, p.version);
+                }
+            }
+            let mem = self.memory.state_mut(addr);
+            mem.ensure_initialized(total);
+            mem.tokens += tokens;
+            mem.owner |= owner;
+            debug_assert!(mem.tokens <= total, "memory over-collected tokens");
+            return;
+        }
+
+        // Otherwise the tokens join this node's cache.
+        self.allocate_line(now, addr, out);
+        let line = self
+            .l2
+            .get(addr)
+            .expect("line allocated immediately above");
+        line.tokens += tokens;
+        if owner {
+            line.owner = true;
+        }
+        if let Some(p) = payload {
+            if !line.dirty || !line.valid_data {
+                line.version = p.version;
+            }
+            line.valid_data = true;
+        }
+        line.dirty |= dirty;
+
+        if let Some(mshr) = self.mshrs.get_mut(addr) {
+            if payload.is_some() {
+                if from_memory {
+                    mshr.data_from_memory = true;
+                } else {
+                    mshr.data_from_cache = true;
+                }
+            } else if msg_src != self.node {
+                // Dataless token transfers still tell us who participated.
+                let _ = msg_src;
+            }
+        }
+        self.try_complete(now, addr, out);
+    }
+
+    /// Completes the outstanding miss for `addr` if the substrate now permits
+    /// the pending operations.
+    fn try_complete(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let total = self.total_tokens;
+        let Some(mshr) = self.mshrs.get(addr) else {
+            return;
+        };
+        let Some(line) = self.l2.peek(addr) else {
+            return;
+        };
+        let satisfied = if mshr.write {
+            line.writable(total)
+        } else {
+            line.readable()
+        };
+        if !satisfied {
+            return;
+        }
+        let mshr = self
+            .mshrs
+            .release(addr)
+            .expect("checked present immediately above");
+
+        // Perform the pending operations in order against the cache line.
+        let mut completions = Vec::with_capacity(mshr.pending.len());
+        for op in &mshr.pending {
+            let version = if op.write {
+                let v = self.unique_version();
+                let line = self.l2.get(addr).expect("line present");
+                line.version = v;
+                line.dirty = true;
+                v
+            } else {
+                self.l2.peek(addr).expect("line present").version
+            };
+            completions.push((op.req_id, version));
+        }
+        let kind = if mshr.write {
+            if mshr.upgrade {
+                MissKind::Upgrade
+            } else {
+                MissKind::Write
+            }
+        } else {
+            MissKind::Read
+        };
+        let cache_to_cache = mshr.data_from_cache;
+        for (req_id, version) in completions {
+            out.complete(MissCompletion {
+                req_id,
+                addr,
+                kind,
+                issued_at: mshr.issued_at,
+                completed_at: now,
+                data_version: version,
+                cache_to_cache,
+            });
+        }
+
+        // Statistics: miss class, latency, reissue histogram (Table 2).
+        let miss_latency = now.saturating_sub(mshr.issued_at);
+        self.latency.record(miss_latency);
+        self.stats.misses.completed_misses += 1;
+        self.stats.misses.total_miss_latency += miss_latency;
+        match kind {
+            MissKind::Read => self.stats.misses.read_misses += 1,
+            MissKind::Write => self.stats.misses.write_misses += 1,
+            MissKind::Upgrade => self.stats.misses.upgrade_misses += 1,
+        }
+        if mshr.data_from_cache {
+            self.stats.misses.cache_to_cache += 1;
+        } else if mshr.data_from_memory {
+            self.stats.misses.from_memory += 1;
+        } else {
+            // Upgrade misses that only collected dataless tokens.
+            self.stats.misses.from_memory += 1;
+        }
+        if mshr.persistent {
+            self.stats.reissue.persistent += 1;
+        } else {
+            match mshr.issue_count {
+                1 => self.stats.reissue.not_reissued += 1,
+                2 => self.stats.reissue.reissued_once += 1,
+                _ => self.stats.reissue.reissued_more += 1,
+            }
+        }
+
+        // If this miss had escalated, tell the arbiter we are satisfied so it
+        // can deactivate the persistent request.
+        if mshr.persistent {
+            let home = self.home_of(addr);
+            let msg = Message::new(
+                self.node,
+                Destination::Node(home),
+                addr,
+                MsgKind::PersistentComplete,
+                Vnet::Persistent,
+                now + self.controller_latency,
+            );
+            self.send(out, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent requests: table maintenance and arbiter plumbing.
+    // ------------------------------------------------------------------
+
+    fn apply_arbiter_actions(&mut self, now: Cycle, actions: Vec<ArbiterAction>, out: &mut Outbox) {
+        for action in actions {
+            match action {
+                ArbiterAction::BroadcastActivate {
+                    addr,
+                    requester,
+                    write,
+                } => {
+                    let msg = Message::new(
+                        self.node,
+                        Destination::Broadcast,
+                        addr,
+                        MsgKind::PersistentActivate { requester, write },
+                        Vnet::Persistent,
+                        now + self.controller_latency,
+                    );
+                    self.send(out, msg);
+                    // Apply locally (the arbiter's own node does not message
+                    // itself and does not ack).
+                    self.activate_locally(now, addr, requester, write, out);
+                }
+                ArbiterAction::BroadcastDeactivate { addr } => {
+                    let msg = Message::new(
+                        self.node,
+                        Destination::Broadcast,
+                        addr,
+                        MsgKind::PersistentDeactivate,
+                        Vnet::Persistent,
+                        now + self.controller_latency,
+                    );
+                    self.send(out, msg);
+                    self.persistent_table.deactivate(addr);
+                }
+            }
+        }
+    }
+
+    /// Records an activation in the local table and forwards any tokens this
+    /// node currently holds (cache and, if home, memory) to the requester.
+    fn activate_locally(
+        &mut self,
+        now: Cycle,
+        addr: BlockAddr,
+        requester: NodeId,
+        write: bool,
+        out: &mut Outbox,
+    ) {
+        self.persistent_table.activate(addr, requester, write);
+        if requester == self.node {
+            return;
+        }
+        // Forward cache tokens.
+        if let Some(line) = self.l2.get(addr).copied() {
+            if line.tokens > 0 {
+                let at = now + self.controller_latency + self.l2_latency;
+                let msg = if line.owner {
+                    self.data_response(
+                        at, requester, addr, line.tokens, true, line.dirty, false, line.version,
+                    )
+                } else {
+                    self.token_message(
+                        at,
+                        requester,
+                        addr,
+                        line.tokens,
+                        false,
+                        false,
+                        false,
+                        line.version,
+                        Vnet::Response,
+                    )
+                };
+                self.send(out, msg);
+            }
+            self.l2.remove(addr);
+            self.l1.invalidate(addr);
+        }
+        // Forward memory tokens if this node is the home.
+        if self.is_home(addr) {
+            let total = self.total_tokens;
+            let mem_version = self.memory.data_version(addr);
+            let mem = self.memory.state_mut(addr);
+            mem.ensure_initialized(total);
+            if mem.tokens > 0 {
+                let tokens = mem.tokens;
+                let owner = mem.owner;
+                mem.tokens = 0;
+                mem.owner = false;
+                let at = now + self.controller_latency + self.dram_latency;
+                let msg = if owner {
+                    self.data_response(at, requester, addr, tokens, true, false, true, mem_version)
+                } else {
+                    self.token_message(
+                        at,
+                        requester,
+                        addr,
+                        tokens,
+                        false,
+                        false,
+                        true,
+                        mem_version,
+                        Vnet::Response,
+                    )
+                };
+                self.send(out, msg);
+            }
+        }
+    }
+
+    fn ack_arbiter(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let arbiter_node = self.home_of(addr);
+        let msg = Message::new(
+            self.node,
+            Destination::Node(arbiter_node),
+            addr,
+            MsgKind::PersistentAck,
+            Vnet::Persistent,
+            now + self.controller_latency,
+        );
+        self.send(out, msg);
+    }
+
+    /// Supplies tokens from this node's own memory to its own cache (used
+    /// when the requester is also the home: the broadcast does not loop back,
+    /// so the local memory is consulted directly after the DRAM latency).
+    fn supply_from_local_memory(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        if !self.is_home(addr) {
+            return;
+        }
+        // If someone else's persistent request is active, memory tokens go to
+        // them, not to us.
+        if let Some(target) = self.persistent_table.forward_target(addr, self.node) {
+            let total = self.total_tokens;
+            let mem_version = self.memory.data_version(addr);
+            let mem = self.memory.state_mut(addr);
+            mem.ensure_initialized(total);
+            if mem.tokens > 0 {
+                let tokens = mem.tokens;
+                let owner = mem.owner;
+                mem.tokens = 0;
+                mem.owner = false;
+                let at = now + self.controller_latency;
+                let msg = if owner {
+                    self.data_response(at, target, addr, tokens, true, false, true, mem_version)
+                } else {
+                    self.token_message(
+                        at,
+                        target,
+                        addr,
+                        tokens,
+                        false,
+                        false,
+                        true,
+                        mem_version,
+                        Vnet::Response,
+                    )
+                };
+                self.send(out, msg);
+            }
+            return;
+        }
+        if self.mshrs.get(addr).is_none() {
+            return;
+        }
+        let total = self.total_tokens;
+        let mem_version = self.memory.data_version(addr);
+        let mem = self.memory.state_mut(addr);
+        mem.ensure_initialized(total);
+        if mem.tokens == 0 {
+            return;
+        }
+        let tokens = mem.tokens;
+        let owner = mem.owner;
+        mem.tokens = 0;
+        mem.owner = false;
+        self.receive_tokens(
+            now,
+            self.node,
+            addr,
+            tokens,
+            owner,
+            false,
+            true,
+            if owner {
+                Some(DataPayload::new(mem_version))
+            } else {
+                // Memory without the owner token does not supply data.
+                None
+            },
+            Vnet::Response,
+            out,
+        );
+    }
+}
+
+impl CoherenceController for TokenBController {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "TokenB"
+    }
+
+    fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome {
+        let addr = op.addr.block(self.home_map.block_bytes());
+        let write = op.kind.is_write();
+        let l1_hit = self.l1.touch(addr);
+        let hit_latency = if l1_hit {
+            self.l1.latency_ns()
+        } else {
+            self.l1.latency_ns() + self.l2_latency
+        };
+
+        let total = self.total_tokens;
+        if let Some(line) = self.l2.get(addr).copied() {
+            if write && line.writable(total) {
+                let version = self.unique_version();
+                let line = self.l2.get(addr).expect("line present");
+                line.version = version;
+                line.dirty = true;
+                if l1_hit {
+                    self.stats.misses.l1_hits += 1;
+                } else {
+                    self.stats.misses.l2_hits += 1;
+                }
+                return AccessOutcome::Hit {
+                    latency: hit_latency,
+                    version,
+                };
+            }
+            if !write && line.readable() {
+                if l1_hit {
+                    self.stats.misses.l1_hits += 1;
+                } else {
+                    self.stats.misses.l2_hits += 1;
+                }
+                return AccessOutcome::Hit {
+                    latency: hit_latency,
+                    version: line.version,
+                };
+            }
+        }
+
+        // Miss: merge into an existing MSHR or allocate a new one.
+        let had_readable_copy = self.l2.peek(addr).map(|l| l.readable()).unwrap_or(false);
+        if let Some(mshr) = self.mshrs.get_mut(addr) {
+            mshr.pending.push(PendingOp {
+                req_id: op.id,
+                write,
+            });
+            if write && !mshr.write {
+                // A read miss gains a write requirement: issue a GetM now.
+                mshr.write = true;
+                mshr.upgrade |= had_readable_copy;
+                self.issue_transient(now, addr, true, false, out);
+            }
+            return AccessOutcome::Miss;
+        }
+
+        let mshr = TokenMshr {
+            pending: vec![PendingOp {
+                req_id: op.id,
+                write,
+            }],
+            write,
+            upgrade: write && had_readable_copy,
+            issued_at: now,
+            issue_count: 1,
+            persistent: false,
+            timer_seq: 0,
+            data_from_cache: false,
+            data_from_memory: false,
+        };
+        self.mshrs
+            .allocate(addr, mshr)
+            .unwrap_or_else(|_| panic!("MSHR overflow at {}", self.node));
+        self.issue_transient(now, addr, write, false, out);
+        AccessOutcome::Miss
+    }
+
+    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+        self.stats.messages_received += 1;
+        let addr = msg.addr;
+        match msg.kind.clone() {
+            MsgKind::GetS => self.respond_to_request(now, msg.src, addr, false, out),
+            MsgKind::GetM => self.respond_to_request(now, msg.src, addr, true, out),
+            MsgKind::TokenData {
+                tokens,
+                owner,
+                dirty,
+                from_memory,
+                payload,
+            } => self.receive_tokens(
+                now,
+                msg.src,
+                addr,
+                tokens,
+                owner,
+                dirty,
+                from_memory,
+                Some(payload),
+                msg.vnet,
+                out,
+            ),
+            MsgKind::TokenOnly { tokens } => self.receive_tokens(
+                now,
+                msg.src,
+                addr,
+                tokens,
+                false,
+                false,
+                false,
+                None,
+                msg.vnet,
+                out,
+            ),
+            MsgKind::PersistentRequest { write } => {
+                debug_assert!(self.is_home(addr), "persistent request at non-home node");
+                let actions = self.arbiter.request(addr, msg.src, write);
+                self.apply_arbiter_actions(now, actions, out);
+            }
+            MsgKind::PersistentActivate { requester, write } => {
+                self.activate_locally(now, addr, requester, write, out);
+                self.ack_arbiter(now, addr, out);
+            }
+            MsgKind::PersistentDeactivate => {
+                self.persistent_table.deactivate(addr);
+                self.ack_arbiter(now, addr, out);
+            }
+            MsgKind::PersistentAck => {
+                let actions = self.arbiter.ack(msg.src);
+                self.apply_arbiter_actions(now, actions, out);
+            }
+            MsgKind::PersistentComplete => {
+                let actions = self.arbiter.complete(addr, msg.src);
+                self.apply_arbiter_actions(now, actions, out);
+            }
+            other => {
+                debug_assert!(
+                    false,
+                    "TokenB received a message it does not understand: {other:?}"
+                );
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, now: Cycle, timer: Timer, out: &mut Outbox) {
+        match timer.kind {
+            TimerKind::Reissue => {
+                let Some(mshr) = self.mshrs.get(timer.addr) else {
+                    return;
+                };
+                if mshr.timer_seq != timer.id || mshr.persistent {
+                    return;
+                }
+                if mshr.issue_count > self.reissues_before_persistent {
+                    self.escalate_to_persistent(now, timer.addr, out);
+                    return;
+                }
+                let write = mshr.write;
+                if let Some(mshr) = self.mshrs.get_mut(timer.addr) {
+                    mshr.issue_count += 1;
+                }
+                self.issue_transient(now, timer.addr, write, true, out);
+            }
+            TimerKind::MemoryAccess => {
+                self.supply_from_local_memory(now, timer.addr, out);
+            }
+            TimerKind::PersistentEscalation | TimerKind::Other(_) => {}
+        }
+    }
+
+    fn stats(&self) -> ControllerStats {
+        let mut stats = self.stats.clone();
+        stats.bump("persistent_activations_observed", self.persistent_table.activations_seen());
+        stats.bump("arbiter_activations", self.arbiter.activations());
+        stats
+    }
+
+    fn audit_block(&self, addr: BlockAddr) -> Vec<BlockAudit> {
+        let mut audits = Vec::new();
+        if let Some(line) = self.l2.peek(addr) {
+            audits.push(BlockAudit {
+                tokens: line.tokens,
+                owner_token: line.owner,
+                readable: line.readable(),
+                writable: line.writable(self.total_tokens),
+                data_version: line.version,
+                in_memory: false,
+            });
+        }
+        if self.is_home(addr) {
+            if let Some(mem) = self.memory.state(addr) {
+                if mem.initialized {
+                    audits.push(BlockAudit {
+                        tokens: mem.tokens,
+                        owner_token: mem.owner,
+                        readable: false,
+                        writable: false,
+                        data_version: self.memory.data_version(addr),
+                        in_memory: true,
+                    });
+                }
+            }
+        }
+        audits
+    }
+
+    fn audited_blocks(&self) -> Vec<BlockAddr> {
+        let mut blocks: BTreeSet<BlockAddr> = self.l2.blocks().into_iter().collect();
+        for (addr, state) in self.memory.touched_blocks() {
+            if state.initialized {
+                blocks.insert(*addr);
+            }
+        }
+        blocks.into_iter().collect()
+    }
+
+    fn outstanding_misses(&self) -> usize {
+        self.mshrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{Address, MemOpKind};
+
+    const BLOCK: u64 = 64;
+
+    fn config(nodes: usize) -> SystemConfig {
+        SystemConfig::isca03_default().with_nodes(nodes)
+    }
+
+    fn controller(node: usize, nodes: usize) -> TokenBController {
+        TokenBController::new(NodeId::new(node), &config(nodes))
+    }
+
+    fn load(addr: u64, id: u64) -> MemOp {
+        MemOp::new(ReqId::new(id), Address::new(addr), MemOpKind::Load)
+    }
+
+    fn store(addr: u64, id: u64) -> MemOp {
+        MemOp::new(ReqId::new(id), Address::new(addr), MemOpKind::Store)
+    }
+
+    /// Delivers every message in `out` that is destined for `to`, returning
+    /// the receiving controller's outbox. A tiny two-node harness for unit
+    /// tests; the full system runner lives in `tc-system`.
+    fn deliver(out: &Outbox, to: &mut TokenBController, now: Cycle) -> Outbox {
+        let mut next = Outbox::new();
+        for msg in &out.messages {
+            if msg.dest.includes(to.node(), msg.src) {
+                to.handle_message(now, msg.clone(), &mut next);
+            }
+        }
+        next
+    }
+
+    #[test]
+    fn cold_load_miss_issues_a_broadcast_gets() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        let outcome = c.access(0, &load(0x1000, 1), &mut out);
+        assert_eq!(outcome, AccessOutcome::Miss);
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].kind, MsgKind::GetS);
+        assert_eq!(out.messages[0].dest, Destination::Broadcast);
+        assert_eq!(c.outstanding_misses(), 1);
+        // A reissue timer was armed.
+        assert!(out
+            .timers
+            .iter()
+            .any(|(_, t)| t.kind == TimerKind::Reissue));
+    }
+
+    #[test]
+    fn home_memory_responds_to_gets_with_data_and_one_token() {
+        // Node 0 is the home of block 0 (block number 0 % 4 == 0).
+        let mut home = controller(0, 4);
+        let mut requester = controller(1, 4);
+        let mut req_out = Outbox::new();
+        requester.access(0, &load(0, 1), &mut req_out);
+
+        // Deliver the GetS to the home node.
+        let home_out = deliver(&req_out, &mut home, 20);
+        assert_eq!(home_out.messages.len(), 1);
+        let response = &home_out.messages[0];
+        match &response.kind {
+            MsgKind::TokenData {
+                tokens,
+                owner,
+                from_memory,
+                ..
+            } => {
+                assert_eq!(*tokens, 1);
+                assert!(!owner, "memory keeps the owner token when it can");
+                assert!(from_memory);
+            }
+            other => panic!("expected TokenData, got {other:?}"),
+        }
+        // Memory kept T-1 tokens.
+        assert_eq!(home.tokens_held(BlockAddr::new(0)), 15);
+
+        // Deliver the response back: the requester's miss completes.
+        let final_out = deliver(&home_out, &mut requester, 120);
+        assert_eq!(final_out.completions.len(), 1);
+        assert_eq!(final_out.completions[0].kind, MissKind::Read);
+        assert!(!final_out.completions[0].cache_to_cache);
+        assert_eq!(requester.cache_state_name(BlockAddr::new(0)), "S");
+        assert_eq!(requester.outstanding_misses(), 0);
+    }
+
+    #[test]
+    fn store_miss_collects_all_tokens_and_becomes_modified() {
+        let mut home = controller(0, 4);
+        let mut writer = controller(1, 4);
+        let mut out = Outbox::new();
+        writer.access(0, &store(0, 1), &mut out);
+        assert_eq!(out.messages[0].kind, MsgKind::GetM);
+
+        let home_out = deliver(&out, &mut home, 30);
+        // Memory hands over everything, including the owner token.
+        let response = &home_out.messages[0];
+        assert!(matches!(
+            response.kind,
+            MsgKind::TokenData {
+                tokens: 16,
+                owner: true,
+                ..
+            }
+        ));
+        assert_eq!(home.tokens_held(BlockAddr::new(0)), 0);
+
+        let done = deliver(&home_out, &mut writer, 130);
+        assert_eq!(done.completions.len(), 1);
+        assert_eq!(done.completions[0].kind, MissKind::Write);
+        assert_eq!(writer.cache_state_name(BlockAddr::new(0)), "M");
+        assert!(done.completions[0].data_version > 0);
+    }
+
+    #[test]
+    fn write_hit_in_modified_state_stays_local() {
+        let mut home = controller(0, 4);
+        let mut writer = controller(1, 4);
+        let mut out = Outbox::new();
+        writer.access(0, &store(0, 1), &mut out);
+        let home_out = deliver(&out, &mut home, 30);
+        deliver(&home_out, &mut writer, 130);
+
+        // Second store to the same block: a pure cache hit, no messages.
+        let mut out2 = Outbox::new();
+        let outcome = writer.access(200, &store(0, 2), &mut out2);
+        assert!(matches!(outcome, AccessOutcome::Hit { .. }));
+        assert!(out2.messages.is_empty());
+    }
+
+    #[test]
+    fn cache_owner_supplies_data_to_reader_and_keeps_owner_token() {
+        let total_nodes = 4;
+        let mut home = controller(0, total_nodes);
+        let mut writer = controller(1, total_nodes);
+        let mut reader = controller(2, total_nodes);
+
+        // Writer obtains M for block 0 but does NOT dirty it via the
+        // migratory path (we disable migratory behaviour by making the block
+        // clean: obtain M, never write again). First get all tokens.
+        let mut out = Outbox::new();
+        writer.access(0, &store(0, 1), &mut out);
+        let home_out = deliver(&out, &mut home, 30);
+        deliver(&home_out, &mut writer, 130);
+
+        // Reader issues a load; writer is dirty M, so with the migratory
+        // optimization it hands over everything.
+        let mut rout = Outbox::new();
+        reader.access(300, &load(0, 2), &mut rout);
+        let writer_out = deliver(&rout, &mut writer, 320);
+        assert!(matches!(
+            writer_out.messages[0].kind,
+            MsgKind::TokenData {
+                tokens: 16,
+                owner: true,
+                ..
+            }
+        ));
+        let reader_done = deliver(&writer_out, &mut reader, 420);
+        assert_eq!(reader_done.completions.len(), 1);
+        assert!(reader_done.completions[0].cache_to_cache);
+        assert_eq!(reader.cache_state_name(BlockAddr::new(0)), "M");
+        assert_eq!(writer.cache_state_name(BlockAddr::new(0)), "I");
+    }
+
+    #[test]
+    fn non_migratory_owner_shares_a_single_token() {
+        let mut c = controller(1, 4);
+        // Construct an owned-but-clean line directly: 16 tokens, not dirty.
+        let mut out = Outbox::new();
+        c.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            16,
+            true,
+            false,
+            true,
+            Some(DataPayload::new(7)),
+            Vnet::Response,
+            &mut out,
+        );
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "E");
+
+        // A GetS arrives: the clean owner shares one token + data and keeps
+        // the rest (no migratory hand-off because the block is clean).
+        let gets = Message::new(
+            NodeId::new(2),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::GetS,
+            Vnet::Request,
+            100,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(100, gets, &mut out);
+        assert_eq!(out.messages.len(), 1);
+        match &out.messages[0].kind {
+            MsgKind::TokenData { tokens, owner, .. } => {
+                assert_eq!(*tokens, 1);
+                assert!(!owner);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.tokens_held(BlockAddr::new(0)), 15);
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "O");
+    }
+
+    #[test]
+    fn shared_copies_send_dataless_acks_on_getm() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        // Hold two non-owner tokens with data (state S).
+        c.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            2,
+            false,
+            false,
+            true,
+            Some(DataPayload::new(3)),
+            Vnet::Response,
+            &mut out,
+        );
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "S");
+
+        let getm = Message::new(
+            NodeId::new(3),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::GetM,
+            Vnet::Request,
+            50,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(50, getm, &mut out);
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].kind, MsgKind::TokenOnly { tokens: 2 });
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "I");
+    }
+
+    #[test]
+    fn sharers_ignore_gets_requests() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        c.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            2,
+            false,
+            false,
+            true,
+            Some(DataPayload::new(3)),
+            Vnet::Response,
+            &mut out,
+        );
+        let gets = Message::new(
+            NodeId::new(3),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::GetS,
+            Vnet::Request,
+            50,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(50, gets, &mut out);
+        assert!(out.messages.is_empty(), "a non-owner sharer stays silent");
+    }
+
+    #[test]
+    fn reissue_timer_rebroadcasts_the_request() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        c.access(0, &store(0x40, 1), &mut out);
+        let (fire_at, timer) = out
+            .timers
+            .iter()
+            .find(|(_, t)| t.kind == TimerKind::Reissue)
+            .copied()
+            .expect("reissue timer armed");
+
+        let mut out2 = Outbox::new();
+        c.handle_timer(fire_at, timer, &mut out2);
+        let reissued: Vec<_> = out2
+            .messages
+            .iter()
+            .filter(|m| m.kind == MsgKind::GetM)
+            .collect();
+        assert_eq!(reissued.len(), 1);
+        assert!(reissued[0].reissue, "the rebroadcast is marked as a reissue");
+    }
+
+    #[test]
+    fn repeated_timeouts_escalate_to_a_persistent_request() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        c.access(0, &store(0x40, 1), &mut out);
+        let mut timers: Vec<(Cycle, Timer)> = out
+            .timers
+            .iter()
+            .filter(|(_, t)| t.kind == TimerKind::Reissue)
+            .copied()
+            .collect();
+        let mut persistent_sent = false;
+        for _ in 0..10 {
+            let Some((at, timer)) = timers.pop() else { break };
+            let mut step = Outbox::new();
+            c.handle_timer(at, timer, &mut step);
+            if step
+                .messages
+                .iter()
+                .any(|m| matches!(m.kind, MsgKind::PersistentRequest { .. }))
+            {
+                persistent_sent = true;
+                break;
+            }
+            timers = step
+                .timers
+                .iter()
+                .filter(|(_, t)| t.kind == TimerKind::Reissue)
+                .copied()
+                .collect();
+        }
+        assert!(persistent_sent, "starving miss must escalate");
+        assert_eq!(c.stats().persistent_requests_initiated, 1);
+    }
+
+    #[test]
+    fn persistent_activation_forwards_tokens_from_every_holder() {
+        let mut holder = controller(2, 4);
+        let mut out = Outbox::new();
+        // The holder has all 16 tokens.
+        holder.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            16,
+            true,
+            true,
+            false,
+            Some(DataPayload::new(9)),
+            Vnet::Response,
+            &mut out,
+        );
+        // An activation for requester node 3 arrives.
+        let activate = Message::new(
+            NodeId::new(0),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::PersistentActivate {
+                requester: NodeId::new(3),
+                write: true,
+            },
+            Vnet::Persistent,
+            100,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(100, activate, &mut out);
+        // The holder forwards everything to node 3 and acks the arbiter.
+        let forwarded = out
+            .messages
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::TokenData { tokens: 16, .. }))
+            .expect("tokens forwarded");
+        assert_eq!(forwarded.dest, Destination::Node(NodeId::new(3)));
+        assert!(out
+            .messages
+            .iter()
+            .any(|m| m.kind == MsgKind::PersistentAck));
+        assert_eq!(holder.cache_state_name(BlockAddr::new(0)), "I");
+
+        // Tokens that arrive later are forwarded as well, because the table
+        // entry persists until deactivation.
+        let late = Message::new(
+            NodeId::new(1),
+            Destination::Node(NodeId::new(2)),
+            BlockAddr::new(0),
+            MsgKind::TokenOnly { tokens: 1 },
+            Vnet::Response,
+            200,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(200, late, &mut out);
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].dest, Destination::Node(NodeId::new(3)));
+
+        // After deactivation the holder keeps tokens again.
+        let deactivate = Message::new(
+            NodeId::new(0),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::PersistentDeactivate,
+            Vnet::Persistent,
+            300,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(300, deactivate, &mut out);
+        let late2 = Message::new(
+            NodeId::new(1),
+            Destination::Node(NodeId::new(2)),
+            BlockAddr::new(0),
+            MsgKind::TokenOnly { tokens: 1 },
+            Vnet::Response,
+            400,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(400, late2, &mut out);
+        assert!(out.messages.is_empty());
+        assert_eq!(holder.tokens_held(BlockAddr::new(0)), 1);
+    }
+
+    #[test]
+    fn transient_requests_are_ignored_while_a_persistent_request_is_active() {
+        let mut holder = controller(2, 4);
+        let mut out = Outbox::new();
+        holder.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(4),
+            4,
+            false,
+            false,
+            true,
+            Some(DataPayload::new(1)),
+            Vnet::Response,
+            &mut out,
+        );
+        let activate = Message::new(
+            NodeId::new(0),
+            Destination::Broadcast,
+            BlockAddr::new(4),
+            MsgKind::PersistentActivate {
+                requester: NodeId::new(3),
+                write: true,
+            },
+            Vnet::Persistent,
+            10,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(10, activate, &mut out);
+
+        // A racing transient GetM from node 1 is ignored: node 3's persistent
+        // request owns every token for this block until deactivation.
+        let getm = Message::new(
+            NodeId::new(1),
+            Destination::Broadcast,
+            BlockAddr::new(4),
+            MsgKind::GetM,
+            Vnet::Request,
+            20,
+        );
+        let mut out = Outbox::new();
+        holder.handle_message(20, getm, &mut out);
+        assert!(out.messages.is_empty());
+    }
+
+    #[test]
+    fn eviction_sends_tokens_home_as_a_writeback() {
+        let mut small_config = config(4);
+        // Shrink the L2 to two sets x 4 ways so evictions are easy to force.
+        small_config.l2.size_bytes = 8 * 64;
+        small_config.l2.associativity = 4;
+        let mut c = TokenBController::new(NodeId::new(1), &small_config);
+        let mut out = Outbox::new();
+        // Fill one set (blocks congruent mod 2) with owned lines.
+        for i in 0..5u64 {
+            let addr = BlockAddr::new(i * 2);
+            c.receive_tokens(
+                0,
+                NodeId::new(0),
+                addr,
+                16,
+                true,
+                true,
+                false,
+                Some(DataPayload::new(i + 1)),
+                Vnet::Response,
+                &mut out,
+            );
+        }
+        let writebacks: Vec<_> = out
+            .messages
+            .iter()
+            .filter(|m| m.vnet == Vnet::Writeback)
+            .collect();
+        assert_eq!(writebacks.len(), 1, "one line must have been evicted");
+        assert!(matches!(
+            writebacks[0].kind,
+            MsgKind::TokenData { owner: true, .. }
+        ));
+        assert_eq!(c.stats().misses.writebacks, 1);
+    }
+
+    #[test]
+    fn home_absorbs_writebacks_into_memory() {
+        let mut home = controller(0, 4);
+        let wb = Message::new(
+            NodeId::new(2),
+            Destination::Node(NodeId::new(0)),
+            BlockAddr::new(0),
+            MsgKind::TokenData {
+                tokens: 16,
+                owner: true,
+                dirty: true,
+                from_memory: false,
+                payload: DataPayload::new(77),
+            },
+            Vnet::Writeback,
+            500,
+        );
+        let mut out = Outbox::new();
+        // First the home must have handed its tokens out, otherwise the
+        // writeback would double-count; simulate by draining memory first.
+        let getm = Message::new(
+            NodeId::new(2),
+            Destination::Broadcast,
+            BlockAddr::new(0),
+            MsgKind::GetM,
+            Vnet::Request,
+            10,
+        );
+        home.handle_message(10, getm, &mut out);
+        assert_eq!(home.tokens_held(BlockAddr::new(0)), 0);
+
+        let mut out = Outbox::new();
+        home.handle_message(500, wb, &mut out);
+        assert!(out.messages.is_empty());
+        assert_eq!(home.tokens_held(BlockAddr::new(0)), 16);
+        let audit = home.audit_block(BlockAddr::new(0));
+        let mem_audit = audit.iter().find(|a| a.in_memory).expect("memory audit");
+        assert_eq!(mem_audit.data_version, 77);
+    }
+
+    #[test]
+    fn upgrade_miss_is_reported_as_upgrade() {
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        // Hold a readable shared copy first.
+        c.receive_tokens(
+            0,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            1,
+            false,
+            false,
+            true,
+            Some(DataPayload::new(5)),
+            Vnet::Response,
+            &mut out,
+        );
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "S");
+
+        // A store to the same block misses (needs all tokens).
+        let mut out = Outbox::new();
+        let outcome = c.access(100, &store(0, 9), &mut out);
+        assert_eq!(outcome, AccessOutcome::Miss);
+
+        // The remaining 15 tokens arrive with the owner token.
+        let mut out2 = Outbox::new();
+        c.receive_tokens(
+            200,
+            NodeId::new(0),
+            BlockAddr::new(0),
+            15,
+            true,
+            false,
+            true,
+            Some(DataPayload::new(5)),
+            Vnet::Response,
+            &mut out2,
+        );
+        assert_eq!(out2.completions.len(), 1);
+        assert_eq!(out2.completions[0].kind, MissKind::Upgrade);
+        assert_eq!(c.stats().misses.upgrade_misses, 1);
+        assert_eq!(c.cache_state_name(BlockAddr::new(0)), "M");
+    }
+
+    #[test]
+    fn audit_reports_tokens_across_cache_and_memory() {
+        let mut home = controller(0, 4);
+        let mut out = Outbox::new();
+        // Home's own processor reads a block it homes: memory supplies the
+        // tokens through the local-memory timer path.
+        home.access(0, &load(0, 1), &mut out);
+        let memory_timer = out
+            .timers
+            .iter()
+            .find(|(_, t)| t.kind == TimerKind::MemoryAccess)
+            .copied()
+            .expect("local memory consultation armed");
+        let mut out2 = Outbox::new();
+        home.handle_timer(memory_timer.0, memory_timer.1, &mut out2);
+        assert_eq!(out2.completions.len(), 1);
+        // All 16 tokens still live at node 0, split between cache and memory
+        // or entirely in the cache; the audit must account for every one.
+        let total: u32 = home
+            .audit_block(BlockAddr::new(0))
+            .iter()
+            .map(|a| a.tokens)
+            .sum();
+        assert_eq!(total, 16);
+        assert!(home.audited_blocks().contains(&BlockAddr::new(0)));
+    }
+
+    #[test]
+    fn stats_record_reissue_histogram_categories() {
+        let mut home = controller(0, 4);
+        let mut requester = controller(1, 4);
+        let mut out = Outbox::new();
+        requester.access(0, &load(0, 1), &mut out);
+        let home_out = deliver(&out, &mut home, 30);
+        deliver(&home_out, &mut requester, 130);
+        let stats = requester.stats();
+        assert_eq!(stats.reissue.not_reissued, 1);
+        assert_eq!(stats.reissue.total(), 1);
+        assert_eq!(stats.misses.read_misses, 1);
+    }
+
+    #[test]
+    fn merged_accesses_complete_together() {
+        let mut home = controller(0, 4);
+        let mut c = controller(1, 4);
+        let mut out = Outbox::new();
+        c.access(0, &load(0, 1), &mut out);
+        // A second load to the same block merges into the same MSHR.
+        let outcome = c.access(5, &load(0, 2), &mut out);
+        assert_eq!(outcome, AccessOutcome::Miss);
+        assert_eq!(c.outstanding_misses(), 1);
+
+        let home_out = deliver(&out, &mut home, 30);
+        let done = deliver(&home_out, &mut c, 130);
+        assert_eq!(done.completions.len(), 2);
+    }
+
+    #[test]
+    fn write_versions_are_unique_and_increasing_per_node() {
+        let mut home = controller(0, 4);
+        let mut c = controller(1, 4);
+        let mut versions = Vec::new();
+        for (i, block) in [0u64, 4, 8].iter().enumerate() {
+            let mut out = Outbox::new();
+            c.access(i as Cycle * 1000, &store(block * BLOCK, i as u64), &mut out);
+            let home_out = deliver(&out, &mut home, i as Cycle * 1000 + 30);
+            let done = deliver(&home_out, &mut c, i as Cycle * 1000 + 130);
+            versions.push(done.completions[0].data_version);
+        }
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), versions.len());
+    }
+}

@@ -1,0 +1,432 @@
+//! The interconnect fabric: link contention, multicast routing, and traffic
+//! accounting on top of a [`Topology`].
+
+use std::collections::HashMap;
+
+use tc_types::{
+    BandwidthMode, Cycle, InterconnectConfig, Message, NodeId, TopologyKind, TrafficClass,
+    TrafficStats,
+};
+
+use crate::topology::{LinkId, RouterId, Topology};
+use crate::torus::TorusTopology;
+use crate::tree::TreeTopology;
+
+/// A message delivery produced by the fabric: `msg` arrives at `node` at
+/// absolute time `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Absolute arrival time.
+    pub at: Cycle,
+    /// Receiving node.
+    pub node: NodeId,
+    /// The message delivered.
+    pub msg: Message,
+}
+
+/// Per-link utilization summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkUtilization {
+    /// Bytes carried by the link.
+    pub bytes: u64,
+    /// Messages carried by the link.
+    pub messages: u64,
+    /// Total time the link spent serializing messages, in nanoseconds.
+    pub busy_ns: Cycle,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    free_at: Cycle,
+    bytes: u64,
+    messages: u64,
+    busy_ns: Cycle,
+}
+
+/// The interconnection network: a topology plus link timing/contention state.
+///
+/// The fabric uses store-and-forward timing with per-link serialization. A
+/// message sent at time `t` crosses each link on its path in turn; on every
+/// link it waits until the link is free, occupies it for
+/// `size / bandwidth` nanoseconds, and then spends the link latency in
+/// flight. Multicasts and broadcasts are routed as trees: a link shared by
+/// several destinations carries (and pays for) the message exactly once,
+/// matching the paper's bandwidth-efficient tree-based multicast routing.
+#[derive(Debug)]
+pub struct Interconnect {
+    topology: Box<dyn Topology>,
+    config: InterconnectConfig,
+    links: Vec<LinkState>,
+    traffic: TrafficStats,
+    total_deliveries: u64,
+    total_sends: u64,
+    /// Per-node injection port occupancy, modelling the node's single
+    /// interface into the fabric.
+    injection_free_at: Vec<Cycle>,
+}
+
+impl Interconnect {
+    /// Builds the interconnect described by `config` for `num_nodes` nodes.
+    pub fn new(num_nodes: usize, config: InterconnectConfig) -> Self {
+        let topology: Box<dyn Topology> = match config.topology {
+            TopologyKind::Tree => Box::new(TreeTopology::new(num_nodes)),
+            TopologyKind::Torus => Box::new(TorusTopology::new(num_nodes)),
+        };
+        let links = vec![LinkState::default(); topology.links().len()];
+        Interconnect {
+            topology,
+            config,
+            links,
+            traffic: TrafficStats::new(),
+            total_deliveries: 0,
+            total_sends: 0,
+            injection_free_at: vec![0; num_nodes],
+        }
+    }
+
+    /// The topology the fabric was built on.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// Whether this fabric delivers broadcasts in a total order.
+    pub fn provides_total_order(&self) -> bool {
+        self.topology.provides_total_order()
+    }
+
+    /// Traffic accumulated so far, by message class.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Number of individual deliveries produced so far.
+    pub fn total_deliveries(&self) -> u64 {
+        self.total_deliveries
+    }
+
+    /// Number of messages injected so far.
+    pub fn total_sends(&self) -> u64 {
+        self.total_sends
+    }
+
+    /// Per-link utilization, indexed by link.
+    pub fn link_utilization(&self) -> Vec<LinkUtilization> {
+        self.links
+            .iter()
+            .map(|l| LinkUtilization {
+                bytes: l.bytes,
+                messages: l.messages,
+                busy_ns: l.busy_ns,
+            })
+            .collect()
+    }
+
+    /// The highest single-link byte count, a proxy for the bottleneck link
+    /// (the tree's root links saturate long before torus links do).
+    pub fn max_link_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes).max().unwrap_or(0)
+    }
+
+    fn serialization_ns(&self, bytes: u64) -> Cycle {
+        match self.config.bandwidth {
+            BandwidthMode::Unlimited => 0,
+            BandwidthMode::Limited => {
+                let ns = bytes as f64 / self.config.link_bandwidth_bytes_per_ns;
+                ns.ceil() as Cycle
+            }
+        }
+    }
+
+    /// Injects a message into the fabric at time `now`, returning the
+    /// deliveries it produces (one per destination node).
+    ///
+    /// Sending a message to an empty destination set (for example a broadcast
+    /// in a single-node system) returns no deliveries.
+    pub fn send(&mut self, now: Cycle, msg: Message) -> Vec<Delivery> {
+        let destinations = msg.dest.expand(self.topology.num_nodes(), msg.src);
+        if destinations.is_empty() {
+            return Vec::new();
+        }
+        self.total_sends += 1;
+
+        let size = msg.size_bytes();
+        let serialization = self.serialization_ns(size);
+        let latency = self.config.link_latency_ns;
+
+        // Injection port: the node serializes the message onto the fabric
+        // once, regardless of fan-out.
+        let src_index = msg.src.index();
+        let inject_start = if matches!(self.config.bandwidth, BandwidthMode::Limited) {
+            let start = now.max(self.injection_free_at[src_index]);
+            self.injection_free_at[src_index] = start + serialization;
+            start
+        } else {
+            now
+        };
+
+        // Build the multicast tree: the union of deterministic source routes
+        // is a tree, so deduplicating links gives each shared link exactly one
+        // copy of the message.
+        let mut arrival: HashMap<RouterId, Cycle> = HashMap::new();
+        arrival.insert(self.topology.node_router(msg.src), inject_start);
+        let mut tree_links: Vec<LinkId> = Vec::new();
+        let mut seen: HashMap<LinkId, ()> = HashMap::new();
+        let mut paths = Vec::with_capacity(destinations.len());
+        for dst in &destinations {
+            let path = if *dst == msg.src {
+                Vec::new()
+            } else {
+                self.topology.route(msg.src, *dst)
+            };
+            for link in &path {
+                if seen.insert(*link, ()).is_none() {
+                    tree_links.push(*link);
+                }
+            }
+            paths.push((*dst, path));
+        }
+
+        // Walk the tree links in path order. Because each destination path
+        // lists links from source outwards and shared prefixes appear first,
+        // a link's upstream router always has an arrival time by the time we
+        // process it.
+        for link_id in &tree_links {
+            let descriptor = self.topology.links()[link_id.index()];
+            let upstream = *arrival
+                .get(&descriptor.from)
+                .expect("multicast tree processed out of order");
+            let link = &mut self.links[link_id.index()];
+            let start = match self.config.bandwidth {
+                BandwidthMode::Limited => upstream.max(link.free_at),
+                BandwidthMode::Unlimited => upstream,
+            };
+            let done = start + serialization;
+            if matches!(self.config.bandwidth, BandwidthMode::Limited) {
+                link.free_at = done;
+            }
+            link.bytes += size;
+            link.messages += 1;
+            link.busy_ns += serialization;
+            let reach = done + latency;
+            arrival
+                .entry(descriptor.to)
+                .and_modify(|t| *t = (*t).min(reach))
+                .or_insert(reach);
+        }
+
+        self.traffic
+            .record(TrafficClass::of(&msg), size, tree_links.len() as u64);
+
+        let mut deliveries = Vec::with_capacity(destinations.len());
+        for (dst, path) in paths {
+            let at = if path.is_empty() {
+                // Self-delivery (a node snooping its own ordered broadcast
+                // still pays the round trip through the root on the tree;
+                // on a torus a self-send is local).
+                if self.topology.provides_total_order() && dst == msg.src {
+                    // The message must still climb to the root and come back.
+                    let round_trip = 4 * (latency + serialization);
+                    inject_start + round_trip
+                } else {
+                    inject_start
+                }
+            } else {
+                let last = self.topology.links()[path.last().unwrap().index()];
+                *arrival
+                    .get(&last.to)
+                    .expect("destination router missing arrival time")
+            };
+            self.total_deliveries += 1;
+            deliveries.push(Delivery {
+                at,
+                node: dst,
+                msg: msg.clone(),
+            });
+        }
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{BlockAddr, DataPayload, Destination, MsgKind, Vnet};
+
+    fn config(topology: TopologyKind, bandwidth: BandwidthMode) -> InterconnectConfig {
+        InterconnectConfig {
+            topology,
+            link_bandwidth_bytes_per_ns: 3.2,
+            link_latency_ns: 15,
+            bandwidth,
+        }
+    }
+
+    fn request(src: usize, dest: Destination) -> Message {
+        Message::new(
+            NodeId::new(src),
+            dest,
+            BlockAddr::new(100),
+            MsgKind::GetS,
+            Vnet::Request,
+            0,
+        )
+    }
+
+    fn data(src: usize, dst: usize) -> Message {
+        Message::new(
+            NodeId::new(src),
+            Destination::Node(NodeId::new(dst)),
+            BlockAddr::new(100),
+            MsgKind::Data {
+                acks_expected: 0,
+                exclusive: false,
+                from_memory: true,
+                payload: DataPayload::default(),
+            },
+            Vnet::Response,
+            0,
+        )
+    }
+
+    #[test]
+    fn unicast_latency_on_torus_matches_hop_count() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        // Node 0 -> node 1 is one hop: one link latency.
+        let d = net.send(0, request(0, Destination::Node(NodeId::new(1))));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, 15);
+        // Node 0 -> node 10 is four hops.
+        let d = net.send(0, request(0, Destination::Node(NodeId::new(10))));
+        assert_eq!(d[0].at, 60);
+    }
+
+    #[test]
+    fn unicast_latency_on_tree_is_four_crossings() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Unlimited));
+        let d = net.send(0, request(0, Destination::Node(NodeId::new(15))));
+        assert_eq!(d[0].at, 60);
+        // Even nodes on the same leaf switch pay the full root round trip.
+        let d = net.send(0, request(0, Destination::Node(NodeId::new(1))));
+        assert_eq!(d[0].at, 60);
+    }
+
+    #[test]
+    fn limited_bandwidth_adds_serialization_delay() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Limited));
+        // A 72-byte data message takes ceil(72 / 3.2) = 23 ns per link.
+        let d = net.send(0, data(0, 1));
+        assert_eq!(d[0].at, 23 + 15);
+    }
+
+    #[test]
+    fn back_to_back_messages_queue_on_the_same_link() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Limited));
+        let first = net.send(0, data(0, 1))[0].at;
+        let second = net.send(0, data(0, 1))[0].at;
+        assert!(second > first, "second message must queue behind the first");
+        assert_eq!(second - first, 23);
+    }
+
+    #[test]
+    fn unlimited_bandwidth_never_queues() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        let first = net.send(0, data(0, 1))[0].at;
+        let second = net.send(0, data(0, 1))[0].at;
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_nodes() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        let deliveries = net.send(0, request(0, Destination::Broadcast));
+        assert_eq!(deliveries.len(), 15);
+        let nodes: std::collections::HashSet<_> = deliveries.iter().map(|d| d.node).collect();
+        assert_eq!(nodes.len(), 15);
+        assert!(!nodes.contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn broadcast_on_tree_is_simultaneous_and_ordered() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Unlimited));
+        assert!(net.provides_total_order());
+        let deliveries = net.send(0, request(0, Destination::Broadcast));
+        let times: std::collections::HashSet<_> = deliveries.iter().map(|d| d.at).collect();
+        assert_eq!(times.len(), 1, "tree broadcast arrives everywhere at once");
+    }
+
+    #[test]
+    fn multicast_shares_links_in_traffic_accounting() {
+        let mut unlimited =
+            Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Unlimited));
+        // A broadcast on the tree uses: 1 up-node link, 1 up-switch link,
+        // 4 down-switch links, 15 down-node links (sender excluded, but its
+        // leaf still receives the broadcast for the other three nodes).
+        unlimited.send(0, request(0, Destination::Broadcast));
+        let traffic = unlimited.traffic();
+        assert_eq!(traffic.messages(TrafficClass::Request), 1);
+        assert_eq!(traffic.bytes(TrafficClass::Request), 8);
+        assert_eq!(traffic.link_bytes(TrafficClass::Request), 8 * (1 + 1 + 4 + 15));
+    }
+
+    #[test]
+    fn torus_broadcast_uses_fewer_link_bytes_than_naive_unicasts() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        net.send(0, request(0, Destination::Broadcast));
+        let tree_bytes = net.traffic().link_bytes(TrafficClass::Request);
+        // Naive unicasts would pay sum of hop counts = 32 links * 8 bytes.
+        assert!(tree_bytes < 32 * 8);
+        // But a spanning tree of 16 nodes needs at least 15 links.
+        assert!(tree_bytes >= 15 * 8);
+    }
+
+    #[test]
+    fn self_delivery_on_tree_costs_a_root_round_trip() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Unlimited));
+        let all: Vec<NodeId> = (0..16).map(NodeId::new).collect();
+        let deliveries = net.send(0, request(0, Destination::Multicast(all)));
+        assert_eq!(deliveries.len(), 16);
+        let self_delivery = deliveries.iter().find(|d| d.node == NodeId::new(0)).unwrap();
+        assert_eq!(self_delivery.at, 60);
+    }
+
+    #[test]
+    fn tree_root_is_a_bottleneck_under_load() {
+        let mut tree = Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Limited));
+        let mut torus = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Limited));
+        // Every node broadcasts at time zero. On the tree, every broadcast
+        // funnels through the root's downlinks, so the hottest tree link
+        // carries far more bytes than the hottest torus link.
+        for n in 0..16 {
+            tree.send(0, request(n, Destination::Broadcast));
+            torus.send(0, request(n, Destination::Broadcast));
+        }
+        let tree_hot = tree.max_link_bytes();
+        let torus_hot = torus.max_link_bytes();
+        assert!(
+            tree_hot > torus_hot,
+            "tree bottleneck ({tree_hot} bytes) should exceed torus bottleneck ({torus_hot} bytes)"
+        );
+        // Each of the root's downlinks carries all sixteen 8-byte broadcasts.
+        assert_eq!(tree_hot, 16 * 8);
+    }
+
+    #[test]
+    fn utilization_and_counters_accumulate() {
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Limited));
+        net.send(0, data(0, 1));
+        net.send(10, data(2, 3));
+        assert_eq!(net.total_sends(), 2);
+        assert_eq!(net.total_deliveries(), 2);
+        let util = net.link_utilization();
+        let carried: u64 = util.iter().map(|u| u.bytes).sum();
+        assert_eq!(carried, 144);
+        assert!(net.max_link_bytes() >= 72);
+    }
+
+    #[test]
+    fn empty_destination_produces_no_deliveries() {
+        let mut net = Interconnect::new(1, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        let deliveries = net.send(0, request(0, Destination::Broadcast));
+        assert!(deliveries.is_empty());
+    }
+}

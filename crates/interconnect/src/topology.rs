@@ -1,0 +1,143 @@
+//! Topology abstraction: routers, links, and deterministic routing.
+
+use std::fmt;
+
+use tc_types::NodeId;
+
+/// Identifier of a router (an on-chip router at a node, or a discrete switch
+/// chip in the indirect tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub usize);
+
+impl RouterId {
+    /// Returns the dense index of this router.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link between two routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Returns the dense index of this link.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A unidirectional link in the topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDescriptor {
+    /// Router the link leaves from.
+    pub from: RouterId,
+    /// Router the link arrives at.
+    pub to: RouterId,
+}
+
+/// A network topology: a set of routers connected by unidirectional links,
+/// with deterministic source routing.
+///
+/// Routing must be deterministic and source-rooted so that the union of the
+/// paths from one source to many destinations forms a tree; the fabric relies
+/// on this to implement bandwidth-efficient multicast (each shared link
+/// carries a multicast message only once).
+pub trait Topology: fmt::Debug {
+    /// Human-readable topology name.
+    fn name(&self) -> &'static str;
+
+    /// Number of processor nodes attached to the topology.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of routers (including any discrete switches).
+    fn num_routers(&self) -> usize;
+
+    /// All unidirectional links, indexed by [`LinkId`].
+    fn links(&self) -> &[LinkDescriptor];
+
+    /// The router a processor node injects into and ejects from.
+    fn node_router(&self, node: NodeId) -> RouterId;
+
+    /// The ordered list of links a message from `src` to `dst` traverses.
+    ///
+    /// Must return the same path every time (deterministic routing), and the
+    /// path from `src` to any router must be a prefix-closed function of the
+    /// source only (so multicast unions form trees).
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId>;
+
+    /// Whether broadcasts from different sources are observed by all nodes in
+    /// a single total order (true only for the tree, whose root switch
+    /// serializes every broadcast).
+    fn provides_total_order(&self) -> bool;
+
+    /// Average number of link crossings between distinct node pairs.
+    fn average_hops(&self) -> f64 {
+        let n = self.num_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                total += self.route(NodeId::new(s), NodeId::new(d)).len();
+                pairs += 1;
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+/// Shared validation helpers for topology implementations, used by tests.
+pub fn validate_topology(topology: &dyn Topology) {
+    let links = topology.links();
+    assert!(!links.is_empty(), "topology has no links");
+    for link in links {
+        assert!(link.from.index() < topology.num_routers());
+        assert!(link.to.index() < topology.num_routers());
+        assert_ne!(link.from, link.to, "self-loop link");
+    }
+    for s in 0..topology.num_nodes() {
+        for d in 0..topology.num_nodes() {
+            if s == d {
+                continue;
+            }
+            let src = NodeId::new(s);
+            let dst = NodeId::new(d);
+            let path = topology.route(src, dst);
+            assert!(!path.is_empty(), "no route from {src} to {dst}");
+            // The path must be connected: each link starts where the previous
+            // one ended, beginning at the source's router and ending at the
+            // destination's router.
+            let mut at = topology.node_router(src);
+            for link_id in &path {
+                let link = links[link_id.index()];
+                assert_eq!(link.from, at, "disconnected path {src}->{dst}");
+                at = link.to;
+            }
+            assert_eq!(at, topology.node_router(dst), "path does not reach {dst}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_and_link_ids_expose_indices() {
+        assert_eq!(RouterId(3).index(), 3);
+        assert_eq!(LinkId(9).index(), 9);
+        assert_eq!(RouterId(3).to_string(), "R3");
+    }
+}

@@ -1,0 +1,224 @@
+//! Two-level pipelined broadcast tree (Figure 1a).
+//!
+//! Nodes attach in groups of four to *incoming* leaf switches; every incoming
+//! switch feeds a single root switch; the root feeds *outgoing* leaf switches
+//! that fan back out to the nodes. Every message — unicast or broadcast —
+//! crosses four links (node → incoming switch → root → outgoing switch →
+//! node), and because every message passes through the one root switch, all
+//! nodes observe all broadcasts in the same order: the "virtual bus" total
+//! order that traditional snooping requires. The cost is the indirection
+//! through discrete glue switches and the root bottleneck.
+
+use tc_types::NodeId;
+
+use crate::topology::{LinkDescriptor, LinkId, RouterId, Topology};
+
+/// Fan-out of each leaf switch (the paper uses four).
+pub const TREE_FANOUT: usize = 4;
+
+/// A two-level indirect broadcast tree.
+#[derive(Debug, Clone)]
+pub struct TreeTopology {
+    num_nodes: usize,
+    groups: usize,
+    links: Vec<LinkDescriptor>,
+    /// Link from node i to its incoming switch.
+    up_node: Vec<LinkId>,
+    /// Link from incoming switch g to the root.
+    up_switch: Vec<LinkId>,
+    /// Link from the root to outgoing switch g.
+    down_switch: Vec<LinkId>,
+    /// Link from the outgoing switch of node i's group down to node i.
+    down_node: Vec<LinkId>,
+}
+
+impl TreeTopology {
+    /// Creates a tree for `num_nodes` nodes with fan-out
+    /// [`TREE_FANOUT`]. A 16-node system uses 4 incoming switches, 4 outgoing
+    /// switches, and one root switch — nine switch chips, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "tree needs at least one node");
+        let groups = num_nodes.div_ceil(TREE_FANOUT);
+        let mut links = Vec::new();
+        let mut push = |from: RouterId, to: RouterId| {
+            let id = LinkId(links.len());
+            links.push(LinkDescriptor { from, to });
+            id
+        };
+
+        // Router numbering: nodes, then incoming switches, then outgoing
+        // switches, then the root.
+        let in_switch = |g: usize| RouterId(num_nodes + g);
+        let out_switch = |g: usize| RouterId(num_nodes + groups + g);
+        let root = RouterId(num_nodes + 2 * groups);
+
+        let mut up_node = Vec::with_capacity(num_nodes);
+        let mut down_node = Vec::with_capacity(num_nodes);
+        let mut up_switch = Vec::with_capacity(groups);
+        let mut down_switch = Vec::with_capacity(groups);
+
+        for node in 0..num_nodes {
+            up_node.push(push(RouterId(node), in_switch(node / TREE_FANOUT)));
+        }
+        for g in 0..groups {
+            up_switch.push(push(in_switch(g), root));
+        }
+        for g in 0..groups {
+            down_switch.push(push(root, out_switch(g)));
+        }
+        for node in 0..num_nodes {
+            down_node.push(push(out_switch(node / TREE_FANOUT), RouterId(node)));
+        }
+
+        TreeTopology {
+            num_nodes,
+            groups,
+            links,
+            up_node,
+            up_switch,
+            down_switch,
+            down_node,
+        }
+    }
+
+    /// Number of leaf-switch groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Total number of discrete switch chips (incoming + outgoing + root).
+    pub fn num_switches(&self) -> usize {
+        2 * self.groups + 1
+    }
+
+    /// The root switch router.
+    pub fn root(&self) -> RouterId {
+        RouterId(self.num_nodes + 2 * self.groups)
+    }
+}
+
+impl Topology for TreeTopology {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_routers(&self) -> usize {
+        self.num_nodes + self.num_switches()
+    }
+
+    fn links(&self) -> &[LinkDescriptor] {
+        &self.links
+    }
+
+    fn node_router(&self, node: NodeId) -> RouterId {
+        RouterId(node.index())
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let src_group = src.index() / TREE_FANOUT;
+        let dst_group = dst.index() / TREE_FANOUT;
+        vec![
+            self.up_node[src.index()],
+            self.up_switch[src_group],
+            self.down_switch[dst_group],
+            self.down_node[dst.index()],
+        ]
+    }
+
+    fn provides_total_order(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::validate_topology;
+
+    #[test]
+    fn sixteen_node_tree_has_nine_switches() {
+        let t = TreeTopology::new(16);
+        assert_eq!(t.groups(), 4);
+        assert_eq!(t.num_switches(), 9);
+        assert_eq!(t.num_routers(), 25);
+    }
+
+    #[test]
+    fn every_route_is_four_link_crossings() {
+        let t = TreeTopology::new(16);
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(t.route(NodeId::new(s), NodeId::new(d)).len(), 4);
+            }
+        }
+        assert!((t.average_hops() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routes_are_valid_paths() {
+        validate_topology(&TreeTopology::new(16));
+        validate_topology(&TreeTopology::new(8));
+        validate_topology(&TreeTopology::new(5));
+    }
+
+    #[test]
+    fn tree_provides_total_order() {
+        assert!(TreeTopology::new(16).provides_total_order());
+    }
+
+    #[test]
+    fn every_route_passes_through_the_root() {
+        let t = TreeTopology::new(16);
+        let root = t.root();
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let passes_root = t
+                    .route(NodeId::new(s), NodeId::new(d))
+                    .iter()
+                    .any(|l| t.links()[l.index()].to == root || t.links()[l.index()].from == root);
+                assert!(passes_root, "route {s}->{d} bypasses the root");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_node_counts_round_up_groups() {
+        let t = TreeTopology::new(5);
+        assert_eq!(t.groups(), 2);
+        assert_eq!(t.num_switches(), 5);
+    }
+
+    #[test]
+    fn union_of_paths_from_one_source_is_a_tree() {
+        let t = TreeTopology::new(16);
+        use std::collections::HashMap;
+        let mut entry_link: HashMap<usize, LinkId> = HashMap::new();
+        for d in 0..16 {
+            if d == 3 {
+                continue;
+            }
+            for link_id in t.route(NodeId::new(3), NodeId::new(d)) {
+                let link = t.links()[link_id.index()];
+                let existing = entry_link.entry(link.to.index()).or_insert(link_id);
+                assert_eq!(*existing, link_id);
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Set-associative caches with LRU replacement.
+
+use std::fmt;
+
+use tc_types::{BlockAddr, CacheConfig};
+
+/// One cache line: the block it holds and the protocol-defined state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine<S> {
+    /// Block held by this line.
+    pub addr: BlockAddr,
+    /// Protocol-defined coherence state (tokens, MOESI state, ...).
+    pub state: S,
+    last_use: u64,
+}
+
+/// A set-associative, LRU-replacement cache tag array.
+///
+/// The per-line state type `S` is chosen by the protocol: the Token Coherence
+/// L2 stores token counts and a valid-data bit, the MOESI protocols store a
+/// stable/transient state enum. The cache itself knows nothing about
+/// coherence; it only finds, inserts, and evicts lines.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<S> {
+    num_sets: usize,
+    ways: usize,
+    sets: Vec<Vec<CacheLine<S>>>,
+    use_counter: u64,
+    lookups: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+impl<S> SetAssocCache<S> {
+    /// Builds a cache from a [`CacheConfig`] and the system block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly (see
+    /// [`CacheConfig::num_sets`]).
+    pub fn new(config: &CacheConfig, block_bytes: u64) -> Self {
+        let num_sets = config.num_sets(block_bytes);
+        SetAssocCache {
+            num_sets,
+            ways: config.associativity,
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            use_counter: 0,
+            lookups: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Builds a cache directly from a set count and associativity (useful for
+    /// tests and for the L1 presence filter).
+    pub fn with_geometry(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "degenerate cache geometry");
+        SetAssocCache {
+            num_sets,
+            ways,
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            use_counter: 0,
+            lookups: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_index(&self, addr: BlockAddr) -> usize {
+        (addr.value() % self.num_sets as u64) as usize
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.num_sets * self.ways
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Returns `true` if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a block without affecting LRU state or statistics.
+    pub fn peek(&self, addr: BlockAddr) -> Option<&S> {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .find(|l| l.addr == addr)
+            .map(|l| &l.state)
+    }
+
+    /// Looks up a block, updating LRU order and hit statistics, and returns a
+    /// mutable reference to its state.
+    pub fn get(&mut self, addr: BlockAddr) -> Option<&mut S> {
+        self.lookups += 1;
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let set = self.set_index(addr);
+        let line = self.sets[set].iter_mut().find(|l| l.addr == addr);
+        if let Some(line) = line {
+            line.last_use = counter;
+            self.hits += 1;
+            Some(&mut line.state)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the block is resident (without touching LRU state).
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts (or replaces) a block, returning the victim line if one had to
+    /// be evicted to make room.
+    pub fn insert(&mut self, addr: BlockAddr, state: S) -> Option<CacheLine<S>> {
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let ways = self.ways;
+        let set_index = self.set_index(addr);
+        let set = &mut self.sets[set_index];
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
+            line.state = state;
+            line.last_use = counter;
+            return None;
+        }
+        let victim = if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set has an LRU line");
+            self.evictions += 1;
+            Some(set.swap_remove(lru))
+        } else {
+            None
+        };
+        set.push(CacheLine {
+            addr,
+            state,
+            last_use: counter,
+        });
+        victim
+    }
+
+    /// Removes a block, returning its state if it was resident.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<S> {
+        let set_index = self.set_index(addr);
+        let set = &mut self.sets[set_index];
+        let pos = set.iter().position(|l| l.addr == addr)?;
+        Some(set.swap_remove(pos).state)
+    }
+
+    /// Chooses the line that would be evicted if `addr` were inserted now,
+    /// without inserting. Returns `None` if there is a free way.
+    pub fn victim_for(&self, addr: BlockAddr) -> Option<&CacheLine<S>> {
+        let set = &self.sets[self.set_index(addr)];
+        if set.len() < self.ways || set.iter().any(|l| l.addr == addr) {
+            None
+        } else {
+            set.iter().min_by_key(|l| l.last_use)
+        }
+    }
+
+    /// Iterates over every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &S)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (&l.addr, &l.state)))
+    }
+
+    /// Every resident block address.
+    pub fn blocks(&self) -> Vec<BlockAddr> {
+        self.iter().map(|(a, _)| *a).collect()
+    }
+
+    /// (lookups, hits, evictions) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.lookups, self.hits, self.evictions)
+    }
+}
+
+impl<S> fmt::Display for SetAssocCache<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}-way cache, {}/{} lines resident",
+            self.num_sets,
+            self.ways,
+            self.len(),
+            self.capacity()
+        )
+    }
+}
+
+/// A presence-only filter standing in for the split L1 instruction/data
+/// caches.
+///
+/// Coherence permissions live in the (inclusive) L2; the L1 filter only
+/// decides whether an access that the L2 can satisfy pays L1 latency or
+/// L1 + L2 latency, and it is kept inclusive by removing blocks whenever the
+/// L2 loses them.
+#[derive(Debug, Clone)]
+pub struct L1Filter {
+    cache: SetAssocCache<()>,
+    latency_ns: u64,
+}
+
+impl L1Filter {
+    /// Builds the filter from the L1 configuration.
+    pub fn new(config: &CacheConfig, block_bytes: u64) -> Self {
+        L1Filter {
+            cache: SetAssocCache::new(config, block_bytes),
+            latency_ns: config.latency_ns,
+        }
+    }
+
+    /// L1 access latency in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.latency_ns
+    }
+
+    /// Records an access to `addr`: returns `true` if it was already present
+    /// (an L1 hit) and ensures it is present afterwards.
+    pub fn touch(&mut self, addr: BlockAddr) -> bool {
+        let hit = self.cache.get(addr).is_some();
+        if !hit {
+            self.cache.insert(addr, ());
+        }
+        hit
+    }
+
+    /// Removes a block (called when the L2 loses the block, to preserve
+    /// inclusion).
+    pub fn invalidate(&mut self, addr: BlockAddr) {
+        self.cache.remove(addr);
+    }
+
+    /// Returns `true` if the block is present.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.cache.contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        SetAssocCache::with_geometry(2, 2)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut c = small();
+        assert!(c.insert(BlockAddr::new(0), 10).is_none());
+        assert_eq!(c.get(BlockAddr::new(0)).copied(), Some(10));
+        assert_eq!(c.peek(BlockAddr::new(0)).copied(), Some(10));
+        assert!(c.contains(BlockAddr::new(0)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 1);
+        assert!(c.insert(BlockAddr::new(0), 2).is_none());
+        assert_eq!(c.peek(BlockAddr::new(0)).copied(), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = small();
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(BlockAddr::new(0), 0);
+        c.insert(BlockAddr::new(2), 2);
+        // Touch block 0 so block 2 becomes LRU.
+        c.get(BlockAddr::new(0));
+        let victim = c.insert(BlockAddr::new(4), 4).expect("eviction expected");
+        assert_eq!(victim.addr, BlockAddr::new(2));
+        assert!(c.contains(BlockAddr::new(0)));
+        assert!(c.contains(BlockAddr::new(4)));
+    }
+
+    #[test]
+    fn victim_for_predicts_the_eviction() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 0);
+        assert!(c.victim_for(BlockAddr::new(2)).is_none(), "free way exists");
+        c.insert(BlockAddr::new(2), 2);
+        c.get(BlockAddr::new(2));
+        let predicted = c.victim_for(BlockAddr::new(4)).unwrap().addr;
+        let actual = c.insert(BlockAddr::new(4), 4).unwrap().addr;
+        assert_eq!(predicted, actual);
+        assert_eq!(predicted, BlockAddr::new(0));
+    }
+
+    #[test]
+    fn victim_for_resident_block_is_none() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 0);
+        c.insert(BlockAddr::new(2), 2);
+        assert!(c.victim_for(BlockAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn remove_takes_the_line_out() {
+        let mut c = small();
+        c.insert(BlockAddr::new(3), 7);
+        assert_eq!(c.remove(BlockAddr::new(3)), Some(7));
+        assert_eq!(c.remove(BlockAddr::new(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 0);
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        c.insert(BlockAddr::new(3), 3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn counters_track_hits_and_evictions() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 0);
+        c.get(BlockAddr::new(0));
+        c.get(BlockAddr::new(2));
+        c.insert(BlockAddr::new(2), 2);
+        c.insert(BlockAddr::new(4), 4);
+        let (lookups, hits, evictions) = c.counters();
+        assert_eq!(lookups, 2);
+        assert_eq!(hits, 1);
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn geometry_from_config_matches_table1_l2() {
+        let config = CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            associativity: 4,
+            latency_ns: 6,
+        };
+        let c: SetAssocCache<u8> = SetAssocCache::new(&config, 64);
+        assert_eq!(c.capacity(), 65536);
+    }
+
+    #[test]
+    fn iter_and_blocks_report_residents() {
+        let mut c = small();
+        c.insert(BlockAddr::new(0), 1);
+        c.insert(BlockAddr::new(1), 2);
+        let mut blocks = c.blocks();
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockAddr::new(0), BlockAddr::new(1)]);
+        let sum: u32 = c.iter().map(|(_, s)| *s).sum();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn l1_filter_reports_hits_after_first_touch() {
+        let config = CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+            latency_ns: 2,
+        };
+        let mut l1 = L1Filter::new(&config, 64);
+        assert_eq!(l1.latency_ns(), 2);
+        assert!(!l1.touch(BlockAddr::new(5)));
+        assert!(l1.touch(BlockAddr::new(5)));
+        l1.invalidate(BlockAddr::new(5));
+        assert!(!l1.contains(BlockAddr::new(5)));
+        assert!(!l1.touch(BlockAddr::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_way_geometry_panics() {
+        let _: SetAssocCache<u8> = SetAssocCache::with_geometry(4, 0);
+    }
+}

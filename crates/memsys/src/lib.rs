@@ -1,0 +1,39 @@
+//! Memory-system building blocks.
+//!
+//! Coherence protocols in this workspace are built from four reusable pieces:
+//!
+//! * [`SetAssocCache`] — a set-associative, LRU-replacement tag array with a
+//!   protocol-defined per-line state type. The unified L2 of every node is
+//!   one of these; it is the coherence point of the node.
+//! * [`L1Filter`] — a small presence-only cache used to decide whether a hit
+//!   costs L1 latency or L1+L2 latency. Coherence state is kept only at the
+//!   (inclusive) L2, which matches how the paper's protocols are described
+//!   and keeps the four protocol implementations focused on coherence.
+//! * [`MshrTable`] — bookkeeping for outstanding misses (miss status holding
+//!   registers), with a configurable capacity.
+//! * [`HomeMemory`] — per-home-node storage: the DRAM copy of each block (a
+//!   version number standing in for 64 bytes of data) plus protocol-specific
+//!   home state (directory entries, memory token counts, owner bits).
+//!
+//! # Example
+//!
+//! ```
+//! use tc_memsys::SetAssocCache;
+//! use tc_types::{BlockAddr, CacheConfig};
+//!
+//! let config = CacheConfig { size_bytes: 4096, associativity: 2, latency_ns: 6 };
+//! let mut cache: SetAssocCache<u32> = SetAssocCache::new(&config, 64);
+//! assert!(cache.insert(BlockAddr::new(7), 99).is_none());
+//! assert_eq!(cache.get(BlockAddr::new(7)).copied(), Some(99));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod memory;
+pub mod mshr;
+
+pub use cache::{CacheLine, L1Filter, SetAssocCache};
+pub use memory::HomeMemory;
+pub use mshr::MshrTable;

@@ -1,0 +1,165 @@
+//! Miss status holding registers (MSHRs): bookkeeping for outstanding misses.
+
+use std::collections::BTreeMap;
+
+use tc_types::BlockAddr;
+
+/// A table of outstanding misses, at most one entry per block, with a
+/// configurable capacity.
+///
+/// The entry type `E` is protocol-defined (requester lists, token
+/// accumulation state, retry counters, ...). The table preserves a
+/// deterministic iteration order (by block address) so that simulations are
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct MshrTable<E> {
+    capacity: usize,
+    entries: BTreeMap<BlockAddr, E>,
+    allocations: u64,
+    capacity_stalls: u64,
+}
+
+impl<E> MshrTable<E> {
+    /// Creates a table with room for `capacity` simultaneous misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR table needs at least one entry");
+        MshrTable {
+            capacity,
+            entries: BTreeMap::new(),
+            allocations: 0,
+            capacity_stalls: 0,
+        }
+    }
+
+    /// Maximum number of simultaneous outstanding misses.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of misses currently outstanding.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if a new (distinct-block) miss can be allocated.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry for `addr`. Returns `Err(entry)` (handing the entry
+    /// back) if the table is full or the block already has an entry.
+    pub fn allocate(&mut self, addr: BlockAddr, entry: E) -> Result<&mut E, E> {
+        if self.entries.contains_key(&addr) {
+            return Err(entry);
+        }
+        if !self.has_room() {
+            self.capacity_stalls += 1;
+            return Err(entry);
+        }
+        self.allocations += 1;
+        Ok(self.entries.entry(addr).or_insert(entry))
+    }
+
+    /// Looks up the entry for `addr`.
+    pub fn get(&self, addr: BlockAddr) -> Option<&E> {
+        self.entries.get(&addr)
+    }
+
+    /// Looks up the entry for `addr` mutably.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut E> {
+        self.entries.get_mut(&addr)
+    }
+
+    /// Returns `true` if `addr` has an outstanding miss.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Deallocates and returns the entry for `addr`.
+    pub fn release(&mut self, addr: BlockAddr) -> Option<E> {
+        self.entries.remove(&addr)
+    }
+
+    /// Iterates over outstanding entries in block-address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &E)> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over outstanding entries in block-address order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&BlockAddr, &mut E)> {
+        self.entries.iter_mut()
+    }
+
+    /// (total allocations, allocations rejected for capacity) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.allocations, self.capacity_stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_get_release_cycle() {
+        let mut t: MshrTable<&str> = MshrTable::new(2);
+        assert!(t.allocate(BlockAddr::new(1), "a").is_ok());
+        assert_eq!(t.get(BlockAddr::new(1)), Some(&"a"));
+        assert!(t.contains(BlockAddr::new(1)));
+        assert_eq!(t.release(BlockAddr::new(1)), Some("a"));
+        assert!(t.is_empty());
+        assert_eq!(t.release(BlockAddr::new(1)), None);
+    }
+
+    #[test]
+    fn duplicate_allocation_is_rejected() {
+        let mut t: MshrTable<u32> = MshrTable::new(2);
+        t.allocate(BlockAddr::new(1), 1).unwrap();
+        assert_eq!(t.allocate(BlockAddr::new(1), 2), Err(2));
+        assert_eq!(t.get(BlockAddr::new(1)), Some(&1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_counted() {
+        let mut t: MshrTable<u32> = MshrTable::new(1);
+        t.allocate(BlockAddr::new(1), 1).unwrap();
+        assert!(!t.has_room());
+        assert_eq!(t.allocate(BlockAddr::new(2), 2), Err(2));
+        let (allocs, stalls) = t.counters();
+        assert_eq!(allocs, 1);
+        assert_eq!(stalls, 1);
+    }
+
+    #[test]
+    fn entries_can_be_mutated_in_place() {
+        let mut t: MshrTable<Vec<u32>> = MshrTable::new(4);
+        t.allocate(BlockAddr::new(9), vec![1]).unwrap();
+        t.get_mut(BlockAddr::new(9)).unwrap().push(2);
+        assert_eq!(t.get(BlockAddr::new(9)).unwrap(), &vec![1, 2]);
+    }
+
+    #[test]
+    fn iteration_is_in_address_order() {
+        let mut t: MshrTable<u32> = MshrTable::new(4);
+        t.allocate(BlockAddr::new(30), 3).unwrap();
+        t.allocate(BlockAddr::new(10), 1).unwrap();
+        t.allocate(BlockAddr::new(20), 2).unwrap();
+        let order: Vec<u64> = t.iter().map(|(a, _)| a.value()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _: MshrTable<u32> = MshrTable::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! State shared by the MOSI baseline protocols.
+
+use std::fmt;
+
+/// Stable MOSI cache states used by the Snooping, Directory, and Hammer
+/// baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MosiState {
+    /// Modified: this cache owns the only copy and it is dirty.
+    Modified,
+    /// Owned: this cache owns the block (must supply data, responsible for
+    /// writeback) but other shared copies may exist.
+    Owned,
+    /// Shared: read-only copy; some other agent (cache or memory) owns it.
+    Shared,
+    /// Invalid: no permission.
+    #[default]
+    Invalid,
+}
+
+impl MosiState {
+    /// Whether the block may be read in this state.
+    pub fn readable(self) -> bool {
+        !matches!(self, MosiState::Invalid)
+    }
+
+    /// Whether the block may be written in this state.
+    pub fn writable(self) -> bool {
+        matches!(self, MosiState::Modified)
+    }
+
+    /// Whether this cache is responsible for supplying data.
+    pub fn is_owner(self) -> bool {
+        matches!(self, MosiState::Modified | MosiState::Owned)
+    }
+
+    /// Single-letter name for traces and tests.
+    pub fn letter(self) -> &'static str {
+        match self {
+            MosiState::Modified => "M",
+            MosiState::Owned => "O",
+            MosiState::Shared => "S",
+            MosiState::Invalid => "I",
+        }
+    }
+}
+
+impl fmt::Display for MosiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.letter())
+    }
+}
+
+/// A cache line in one of the MOSI baseline protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MosiLine {
+    /// Stable coherence state.
+    pub state: MosiState,
+    /// Whether the data differs from memory (needs writeback when evicted).
+    pub dirty: bool,
+    /// Simulated block contents (version number).
+    pub version: u64,
+}
+
+impl MosiLine {
+    /// A shared, clean line holding `version`.
+    pub fn shared(version: u64) -> Self {
+        MosiLine {
+            state: MosiState::Shared,
+            dirty: false,
+            version,
+        }
+    }
+
+    /// A modified line holding `version`.
+    pub fn modified(version: u64) -> Self {
+        MosiLine {
+            state: MosiState::Modified,
+            dirty: true,
+            version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions_follow_mosi_semantics() {
+        assert!(MosiState::Modified.readable() && MosiState::Modified.writable());
+        assert!(MosiState::Owned.readable() && !MosiState::Owned.writable());
+        assert!(MosiState::Shared.readable() && !MosiState::Shared.writable());
+        assert!(!MosiState::Invalid.readable() && !MosiState::Invalid.writable());
+    }
+
+    #[test]
+    fn ownership_is_m_or_o() {
+        assert!(MosiState::Modified.is_owner());
+        assert!(MosiState::Owned.is_owner());
+        assert!(!MosiState::Shared.is_owner());
+        assert!(!MosiState::Invalid.is_owner());
+    }
+
+    #[test]
+    fn letters_are_distinct() {
+        let letters = [
+            MosiState::Modified.letter(),
+            MosiState::Owned.letter(),
+            MosiState::Shared.letter(),
+            MosiState::Invalid.letter(),
+        ];
+        let set: std::collections::HashSet<_> = letters.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn constructors_set_expected_state() {
+        assert_eq!(MosiLine::shared(3).state, MosiState::Shared);
+        assert!(!MosiLine::shared(3).dirty);
+        assert_eq!(MosiLine::modified(4).state, MosiState::Modified);
+        assert!(MosiLine::modified(4).dirty);
+        assert_eq!(MosiLine::default().state, MosiState::Invalid);
+    }
+}

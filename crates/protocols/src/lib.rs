@@ -1,0 +1,37 @@
+//! Baseline coherence protocols.
+//!
+//! The paper compares TokenB against three baselines (Section 5.1), all MOSI
+//! invalidation protocols with the migratory-sharing optimization:
+//!
+//! * [`SnoopingController`] — a traditional split-transaction snooping
+//!   protocol in the style of the Sun Starfire. Every request is broadcast on
+//!   the totally-ordered tree interconnect; the order established by the root
+//!   switch resolves all races, and a single "owner bit" held in memory
+//!   decides when memory must respond. It cannot run on the unordered torus.
+//! * [`DirectoryController`] — a full-map blocking directory protocol in the
+//!   style of the SGI Origin 2000 and Alpha 21364. Requests are sent to the
+//!   block's home node, which forwards them to the current owner and issues
+//!   invalidations; the directory state lives in DRAM (or in a "perfect"
+//!   zero-latency directory cache for the sensitivity study).
+//! * [`HammerController`] — a reverse-engineered approximation of AMD's
+//!   Hammer protocol: requests go to the home node, which broadcasts a probe
+//!   to every node; every node answers the requester directly (data from the
+//!   owner, acknowledgements from everyone else), trading directory state and
+//!   lookup latency for broadcast and acknowledgement traffic.
+//!
+//! All three implement the same [`tc_types::CoherenceController`] interface
+//! as the TokenB controller in `tc-core`, so the system runner and the
+//! benchmark harness can swap protocols freely.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod directory;
+pub mod hammer;
+pub mod snooping;
+
+pub use common::{MosiLine, MosiState};
+pub use directory::DirectoryController;
+pub use hammer::HammerController;
+pub use snooping::SnoopingController;

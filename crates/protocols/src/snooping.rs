@@ -1,0 +1,955 @@
+//! Traditional MOSI split-transaction snooping on a totally-ordered
+//! interconnect.
+//!
+//! Every request (and every writeback) is broadcast to *all* nodes —
+//! including the requester itself — over the ordered tree interconnect. The
+//! single root switch serializes the broadcasts, so every node observes every
+//! request in the same order; that total order is what resolves races, with
+//! no acknowledgements and no home-node indirection. A single "owner bit"
+//! kept at the block's home memory (following Frank's scheme, as the paper
+//! does) decides when memory must supply the data, avoiding a snoop-response
+//! combining tree.
+//!
+//! The protocol is the low-latency baseline for cache-to-cache misses — but
+//! it fundamentally cannot run on the unordered torus, which is exactly the
+//! limitation TokenB removes.
+
+use std::collections::BTreeMap;
+
+use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_types::{
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
+    DataPayload, Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId,
+    Outbox, ReqId, SystemConfig, Timer, Vnet,
+};
+
+use crate::common::{MosiLine, MosiState};
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    req_id: ReqId,
+    write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SnoopMshr {
+    pending: Vec<PendingOp>,
+    write: bool,
+    upgrade: bool,
+    issued_at: Cycle,
+    /// Whether this node has observed its own request in the total order.
+    ordered: bool,
+    data_received: bool,
+    exclusive: bool,
+    version: u64,
+    dirty: bool,
+    from_cache: bool,
+    /// Whether the node still held a readable copy when its own request was
+    /// ordered (upgrades complete without waiting for data).
+    still_valid: bool,
+    /// Requests by other nodes, observed after ours was ordered, that we must
+    /// answer once we obtain the block.
+    forward_queue: Vec<(NodeId, bool)>,
+}
+
+/// Memory-side state: the "owner bit" (true when memory must respond) plus a
+/// flag marking a writeback whose data has not yet reached memory.
+#[derive(Debug, Clone, Copy)]
+struct OwnerBit {
+    initialized: bool,
+    memory_owner: bool,
+    /// A PutM has been observed in the total order but its data has not yet
+    /// arrived (and no later GetM has stolen ownership from the writer).
+    pending_writeback: bool,
+}
+
+impl Default for OwnerBit {
+    fn default() -> Self {
+        OwnerBit {
+            initialized: false,
+            memory_owner: true,
+            pending_writeback: false,
+        }
+    }
+}
+
+/// The snooping controller for one node.
+#[derive(Debug)]
+pub struct SnoopingController {
+    node: NodeId,
+    num_nodes: usize,
+    home_map: HomeMap,
+    l1: L1Filter,
+    l2: SetAssocCache<MosiLine>,
+    l2_latency: Cycle,
+    controller_latency: Cycle,
+    dram_latency: Cycle,
+    memory: HomeMemory<OwnerBit>,
+    mshrs: MshrTable<SnoopMshr>,
+    wb_buffer: BTreeMap<BlockAddr, MosiLine>,
+    migratory_optimization: bool,
+    stats: ControllerStats,
+    store_counter: u64,
+}
+
+impl SnoopingController {
+    /// Creates the snooping controller for `node` under `config`.
+    pub fn new(node: NodeId, config: &SystemConfig) -> Self {
+        let home_map = HomeMap::new(config.num_nodes, config.block_bytes);
+        SnoopingController {
+            node,
+            num_nodes: config.num_nodes,
+            home_map,
+            l1: L1Filter::new(&config.l1, config.block_bytes),
+            l2: SetAssocCache::new(&config.l2, config.block_bytes),
+            l2_latency: config.l2.latency_ns,
+            controller_latency: config.controller_latency_ns,
+            dram_latency: config.dram_latency_ns,
+            memory: HomeMemory::new(node, home_map, config.dram_latency_ns),
+            mshrs: MshrTable::new(config.processor.max_outstanding_misses.max(1)),
+            wb_buffer: BTreeMap::new(),
+            migratory_optimization: config.token.migratory_optimization,
+            stats: ControllerStats::new(),
+            store_counter: 0,
+        }
+    }
+
+    fn unique_version(&mut self) -> u64 {
+        self.store_counter += 1;
+        ((self.node.index() as u64 + 1) << 40) | self.store_counter
+    }
+
+    fn is_home(&self, addr: BlockAddr) -> bool {
+        self.home_map.is_home(self.node, addr)
+    }
+
+    fn send(&mut self, out: &mut Outbox, msg: Message) {
+        self.stats.messages_sent += 1;
+        out.send(msg);
+    }
+
+    fn everyone(&self) -> Destination {
+        Destination::Multicast((0..self.num_nodes).map(NodeId::new).collect())
+    }
+
+    fn unicast(&self, at: Cycle, dest: NodeId, addr: BlockAddr, kind: MsgKind, vnet: Vnet) -> Message {
+        Message::new(self.node, Destination::Node(dest), addr, kind, vnet, at)
+    }
+
+    fn line_or_wb(&self, addr: BlockAddr) -> Option<MosiLine> {
+        self.l2
+            .peek(addr)
+            .copied()
+            .or_else(|| self.wb_buffer.get(&addr).copied())
+    }
+
+    // ------------------------------------------------------------------
+    // Snoop handling: every node sees every request in the same order.
+    // ------------------------------------------------------------------
+
+    fn snoop_request(
+        &mut self,
+        now: Cycle,
+        requester: NodeId,
+        addr: BlockAddr,
+        write: bool,
+        out: &mut Outbox,
+    ) {
+        if requester == self.node {
+            self.observe_own_request(now, addr, out);
+        } else {
+            self.snoop_other_request(now, requester, addr, write, out);
+        }
+        // Home-memory processing happens at every node for the blocks it
+        // homes, regardless of who requested.
+        if self.is_home(addr) {
+            self.memory_snoop(now, requester, addr, write, out);
+        }
+    }
+
+    fn observe_own_request(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let still_valid = self
+            .l2
+            .peek(addr)
+            .map(|l| l.state.readable())
+            .unwrap_or(false);
+        if let Some(mshr) = self.mshrs.get_mut(addr) {
+            mshr.ordered = true;
+            mshr.still_valid = still_valid;
+        }
+        self.try_complete(now, addr, out);
+    }
+
+    fn snoop_other_request(
+        &mut self,
+        now: Cycle,
+        requester: NodeId,
+        addr: BlockAddr,
+        write: bool,
+        out: &mut Outbox,
+    ) {
+        let at = now + self.controller_latency + self.l2_latency;
+
+        // If we have an ordered outstanding request for this block, we are
+        // (or are about to become) the block's owner in the total order, so
+        // we must remember this request and answer it once our data arrives.
+        let we_are_ordered_first = self
+            .mshrs
+            .get(addr)
+            .map(|m| m.ordered)
+            .unwrap_or(false);
+        if we_are_ordered_first {
+            if let Some(mshr) = self.mshrs.get_mut(addr) {
+                mshr.forward_queue.push((requester, write));
+            }
+            return;
+        }
+
+        let in_live_cache = self.l2.contains(addr);
+        let line = self.line_or_wb(addr);
+        match line {
+            Some(line) if line.state.is_owner() => {
+                // The migratory hand-off is only applied from a live cache
+                // line; a block sitting in the write-back buffer answers GetS
+                // requests with a plain shared copy so that ownership only
+                // leaves the buffer through a GetM (which the home can track).
+                let migratory = !write
+                    && self.migratory_optimization
+                    && in_live_cache
+                    && line.state == MosiState::Modified
+                    && line.dirty;
+                let exclusive = write || migratory;
+                let data = self.unicast(
+                    at,
+                    requester,
+                    addr,
+                    MsgKind::Data {
+                        acks_expected: 0,
+                        exclusive,
+                        from_memory: false,
+                        payload: DataPayload::new(line.version),
+                    },
+                    Vnet::Response,
+                );
+                self.send(out, data);
+                self.stats.bump("snoop_data_responses", 1);
+                if exclusive {
+                    self.l2.remove(addr);
+                    self.l1.invalidate(addr);
+                    // Ownership (and the writeback obligation) moves to the
+                    // requester; the pending writeback is cancelled.
+                    self.wb_buffer.remove(&addr);
+                } else if let Some(l) = self.l2.get(addr) {
+                    l.state = MosiState::Owned;
+                }
+            }
+            Some(_) if write => {
+                // Another node's ordered GetM invalidates our shared copy; no
+                // acknowledgement is needed because the order is authoritative.
+                self.l2.remove(addr);
+                self.l1.invalidate(addr);
+                self.stats.bump("snoop_invalidations", 1);
+            }
+            _ => {}
+        }
+
+        // If this node's own (not yet ordered) request races with the other
+        // node's ordered request, our copy is gone; we will simply wait for
+        // data from the new owner.
+    }
+
+    fn memory_snoop(
+        &mut self,
+        now: Cycle,
+        requester: NodeId,
+        addr: BlockAddr,
+        write: bool,
+        out: &mut Outbox,
+    ) {
+        let version = self.memory.data_version(addr);
+        let entry = self.memory.state_mut(addr);
+        entry.initialized = true;
+        if write {
+            // A GetM ordered after a PutM (but before its data arrived) takes
+            // ownership away from the writer: the pending writeback is stale.
+            entry.pending_writeback = false;
+        }
+        if entry.memory_owner {
+            if write {
+                entry.memory_owner = false;
+            }
+            let at = now + self.controller_latency + self.dram_latency;
+            let data = self.unicast(
+                at,
+                requester,
+                addr,
+                MsgKind::Data {
+                    acks_expected: 0,
+                    exclusive: write,
+                    from_memory: true,
+                    payload: DataPayload::new(version),
+                },
+                Vnet::Response,
+            );
+            self.send(out, data);
+            self.stats.bump("memory_responses", 1);
+        } else if write {
+            // Ownership moves between caches; memory stays non-owner.
+        }
+    }
+
+    fn snoop_writeback(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, out: &mut Outbox) {
+        // The broadcast PutM is only an ordered *marker*; the data follows as
+        // a separate message once the writer has confirmed (by observing its
+        // own PutM) that it still owns the block. This resolves the classic
+        // writeback race: if a GetM was ordered between the eviction and the
+        // PutM, ownership already moved to the GetM requester, the writer's
+        // buffer entry is gone, and memory must NOT become the owner again.
+        if self.is_home(addr) {
+            let entry = self.memory.state_mut(addr);
+            entry.initialized = true;
+            entry.pending_writeback = true;
+        }
+        if from == self.node {
+            if let Some(line) = self.wb_buffer.get(&addr).copied() {
+                // Still the owner of record: ship the data to the home. The
+                // buffer entry stays until the WbAck so requests ordered after
+                // the PutM can still be answered while the data is in flight.
+                let home = self.home_map.home_of(addr);
+                let data = Message::new(
+                    self.node,
+                    Destination::Node(home),
+                    addr,
+                    MsgKind::Data {
+                        acks_expected: 0,
+                        exclusive: false,
+                        from_memory: false,
+                        payload: DataPayload::new(line.version),
+                    },
+                    Vnet::Writeback,
+                    now + self.controller_latency,
+                );
+                self.send(out, data);
+            }
+        }
+    }
+
+    /// The home receives the data of a (still valid) writeback.
+    fn apply_writeback_data(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, version: u64, out: &mut Outbox) {
+        debug_assert!(self.is_home(addr));
+        let entry = self.memory.state_mut(addr);
+        entry.initialized = true;
+        if entry.pending_writeback {
+            entry.pending_writeback = false;
+            entry.memory_owner = true;
+            self.memory.write_data(addr, version);
+        }
+        let ack = self.unicast(
+            now + self.controller_latency + self.dram_latency,
+            from,
+            addr,
+            MsgKind::WbAck,
+            Vnet::Response,
+        );
+        self.send(out, ack);
+    }
+
+    fn handle_data(
+        &mut self,
+        now: Cycle,
+        addr: BlockAddr,
+        exclusive: bool,
+        from_memory: bool,
+        payload: DataPayload,
+        out: &mut Outbox,
+    ) {
+        let Some(mshr) = self.mshrs.get_mut(addr) else {
+            return;
+        };
+        // A cache-supplied copy supersedes memory's copy (memory may respond
+        // as well when its owner bit is stale for at most one transition).
+        if !from_memory || !mshr.data_received {
+            mshr.version = payload.version;
+            mshr.dirty = !from_memory;
+            mshr.from_cache |= !from_memory;
+        }
+        mshr.data_received = true;
+        mshr.exclusive |= exclusive;
+        self.try_complete(now, addr, out);
+    }
+
+    fn try_complete(&mut self, now: Cycle, addr: BlockAddr, out: &mut Outbox) {
+        let Some(mshr) = self.mshrs.get(addr) else {
+            return;
+        };
+        if !mshr.ordered {
+            return;
+        }
+        let satisfied = if mshr.write {
+            // An upgrade whose copy survived until its request was ordered
+            // completes immediately; otherwise we need data.
+            mshr.data_received || mshr.still_valid
+        } else {
+            mshr.data_received
+        };
+        if !satisfied {
+            return;
+        }
+        let mshr = self.mshrs.release(addr).expect("checked above");
+
+        // Determine the version we start from.
+        let base_version = if mshr.data_received {
+            mshr.version
+        } else {
+            self.l2.peek(addr).map(|l| l.version).unwrap_or(0)
+        };
+        let granted_exclusive = mshr.write || mshr.exclusive;
+        let state = if granted_exclusive {
+            MosiState::Modified
+        } else {
+            MosiState::Shared
+        };
+        let mut line = MosiLine {
+            state,
+            dirty: (mshr.dirty || mshr.write) && state.is_owner(),
+            version: base_version,
+        };
+        // Stores merged into a read miss wait for their own upgrade.
+        let mut deferred_writes = Vec::new();
+        let mut completions = Vec::with_capacity(mshr.pending.len());
+        for op in &mshr.pending {
+            if op.write && !granted_exclusive {
+                deferred_writes.push(*op);
+                continue;
+            }
+            let v = if op.write {
+                let v = self.unique_version();
+                line.version = v;
+                line.dirty = true;
+                v
+            } else {
+                line.version
+            };
+            completions.push((op.req_id, v));
+        }
+        if let Some(victim) = self.l2.insert(addr, line) {
+            self.evict(now, victim.addr, victim.state, out);
+        }
+
+        let kind = if mshr.write {
+            if mshr.upgrade {
+                MissKind::Upgrade
+            } else {
+                MissKind::Write
+            }
+        } else {
+            MissKind::Read
+        };
+        for (req_id, v) in completions {
+            out.complete(MissCompletion {
+                req_id,
+                addr,
+                kind,
+                issued_at: mshr.issued_at,
+                completed_at: now,
+                data_version: v,
+                cache_to_cache: mshr.from_cache,
+            });
+        }
+        let latency = now.saturating_sub(mshr.issued_at);
+        self.stats.misses.completed_misses += 1;
+        self.stats.misses.total_miss_latency += latency;
+        match kind {
+            MissKind::Read => self.stats.misses.read_misses += 1,
+            MissKind::Write => self.stats.misses.write_misses += 1,
+            MissKind::Upgrade => self.stats.misses.upgrade_misses += 1,
+        }
+        if mshr.from_cache {
+            self.stats.misses.cache_to_cache += 1;
+        } else {
+            self.stats.misses.from_memory += 1;
+        }
+        self.stats.reissue.not_reissued += 1;
+
+        // Serve the requests we promised to answer, in order, until one of
+        // them takes ownership away from us.
+        let mut still_owner = self
+            .l2
+            .peek(addr)
+            .map(|l| l.state.is_owner())
+            .unwrap_or(false);
+        for (requester, write) in mshr.forward_queue {
+            if !still_owner {
+                // The request is someone else's responsibility now; if it was
+                // an exclusive request, our copy must go.
+                if write {
+                    self.l2.remove(addr);
+                    self.l1.invalidate(addr);
+                }
+                continue;
+            }
+            let line = match self.l2.peek(addr).copied() {
+                Some(line) => line,
+                None => break,
+            };
+            let at = now + self.controller_latency + self.l2_latency;
+            let migratory = !write
+                && self.migratory_optimization
+                && line.state == MosiState::Modified
+                && line.dirty;
+            let exclusive = write || migratory;
+            let data = self.unicast(
+                at,
+                requester,
+                addr,
+                MsgKind::Data {
+                    acks_expected: 0,
+                    exclusive,
+                    from_memory: false,
+                    payload: DataPayload::new(line.version),
+                },
+                Vnet::Response,
+            );
+            self.send(out, data);
+            if exclusive {
+                self.l2.remove(addr);
+                self.l1.invalidate(addr);
+                still_owner = false;
+            } else if let Some(l) = self.l2.get(addr) {
+                l.state = MosiState::Owned;
+            }
+        }
+
+        // Re-issue merged stores as an upgrade transaction of their own.
+        if !deferred_writes.is_empty() {
+            self.stats.bump("merged_store_upgrades", 1);
+            let upgrade = SnoopMshr {
+                pending: deferred_writes,
+                write: true,
+                upgrade: true,
+                issued_at: now,
+                ordered: false,
+                data_received: false,
+                exclusive: false,
+                version: 0,
+                dirty: false,
+                from_cache: false,
+                still_valid: false,
+                forward_queue: Vec::new(),
+            };
+            self.mshrs
+                .allocate(addr, upgrade)
+                .unwrap_or_else(|_| panic!("upgrade MSHR conflict at {}", self.node));
+            let getm = Message::new(
+                self.node,
+                self.everyone(),
+                addr,
+                MsgKind::GetM,
+                Vnet::Request,
+                now + self.controller_latency,
+            );
+            self.send(out, getm);
+        }
+    }
+
+    fn evict(&mut self, now: Cycle, addr: BlockAddr, line: MosiLine, out: &mut Outbox) {
+        self.l1.invalidate(addr);
+        if line.state.is_owner() {
+            self.stats.misses.writebacks += 1;
+            self.wb_buffer.insert(addr, line);
+            // Writebacks are broadcast so the total order covers them too.
+            let putm = Message::new(
+                self.node,
+                self.everyone(),
+                addr,
+                MsgKind::PutM,
+                Vnet::Writeback,
+                now + self.controller_latency,
+            )
+            .with_req_id(ReqId::new(line.version));
+            self.send(out, putm);
+        }
+    }
+}
+
+impl CoherenceController for SnoopingController {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "Snooping"
+    }
+
+    fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome {
+        let addr = op.addr.block(self.home_map.block_bytes());
+        let write = op.kind.is_write();
+        let l1_hit = self.l1.touch(addr);
+        let hit_latency = if l1_hit {
+            self.l1.latency_ns()
+        } else {
+            self.l1.latency_ns() + self.l2_latency
+        };
+
+        if let Some(line) = self.l2.get(addr).copied() {
+            if write && line.state.writable() {
+                let version = self.unique_version();
+                let line = self.l2.get(addr).expect("line present");
+                line.version = version;
+                line.dirty = true;
+                if l1_hit {
+                    self.stats.misses.l1_hits += 1;
+                } else {
+                    self.stats.misses.l2_hits += 1;
+                }
+                return AccessOutcome::Hit {
+                    latency: hit_latency,
+                    version,
+                };
+            }
+            if !write && line.state.readable() {
+                if l1_hit {
+                    self.stats.misses.l1_hits += 1;
+                } else {
+                    self.stats.misses.l2_hits += 1;
+                }
+                return AccessOutcome::Hit {
+                    latency: hit_latency,
+                    version: line.version,
+                };
+            }
+        }
+
+        let had_copy = self
+            .l2
+            .peek(addr)
+            .map(|l| l.state.readable())
+            .unwrap_or(false);
+        if let Some(mshr) = self.mshrs.get_mut(addr) {
+            // Merge into the outstanding miss; stores that arrive without
+            // write permission are re-issued as an upgrade once the current
+            // transaction completes.
+            mshr.pending.push(PendingOp {
+                req_id: op.id,
+                write,
+            });
+            return AccessOutcome::Miss;
+        }
+
+        let mshr = SnoopMshr {
+            pending: vec![PendingOp {
+                req_id: op.id,
+                write,
+            }],
+            write,
+            upgrade: write && had_copy,
+            issued_at: now,
+            ordered: false,
+            data_received: false,
+            exclusive: false,
+            version: 0,
+            dirty: false,
+            from_cache: false,
+            still_valid: false,
+            forward_queue: Vec::new(),
+        };
+        self.mshrs
+            .allocate(addr, mshr)
+            .unwrap_or_else(|_| panic!("MSHR overflow at {}", self.node));
+        let kind = if write { MsgKind::GetM } else { MsgKind::GetS };
+        // The request is broadcast to every node, *including this one*: the
+        // self-delivery, ordered by the root switch, tells the requester
+        // where its request falls in the total order.
+        let msg = Message::new(
+            self.node,
+            self.everyone(),
+            addr,
+            kind,
+            Vnet::Request,
+            now + self.controller_latency,
+        );
+        self.send(out, msg);
+        AccessOutcome::Miss
+    }
+
+    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+        self.stats.messages_received += 1;
+        let addr = msg.addr;
+        match msg.kind.clone() {
+            MsgKind::GetS => self.snoop_request(now, msg.src, addr, false, out),
+            MsgKind::GetM => self.snoop_request(now, msg.src, addr, true, out),
+            MsgKind::PutM => {
+                self.snoop_writeback(now, msg.src, addr, out);
+            }
+            MsgKind::Data {
+                exclusive,
+                from_memory,
+                payload,
+                ..
+            } => {
+                if msg.vnet == Vnet::Writeback {
+                    self.apply_writeback_data(now, msg.src, addr, payload.version, out);
+                } else {
+                    self.handle_data(now, addr, exclusive, from_memory, payload, out);
+                }
+            }
+            MsgKind::WbAck => {
+                self.wb_buffer.remove(&addr);
+            }
+            other => {
+                debug_assert!(false, "Snooping received unexpected message {other:?}");
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, _now: Cycle, _timer: Timer, _out: &mut Outbox) {
+        // Snooping arms no timers.
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats.clone()
+    }
+
+    fn audit_block(&self, addr: BlockAddr) -> Vec<BlockAudit> {
+        let mut audits = Vec::new();
+        if let Some(line) = self.l2.peek(addr) {
+            audits.push(BlockAudit {
+                tokens: 0,
+                owner_token: line.state.is_owner(),
+                readable: line.state.readable(),
+                writable: line.state.writable(),
+                data_version: line.version,
+                in_memory: false,
+            });
+        }
+        audits
+    }
+
+    fn audited_blocks(&self) -> Vec<BlockAddr> {
+        self.l2.blocks()
+    }
+
+    fn outstanding_misses(&self) -> usize {
+        self.mshrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{Address, MemOpKind, ProtocolKind};
+
+    fn config() -> SystemConfig {
+        SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(ProtocolKind::Snooping)
+    }
+
+    fn controller(node: usize) -> SnoopingController {
+        SnoopingController::new(NodeId::new(node), &config())
+    }
+
+    fn load(addr: u64, id: u64) -> MemOp {
+        MemOp::new(ReqId::new(id), Address::new(addr), MemOpKind::Load)
+    }
+
+    fn store(addr: u64, id: u64) -> MemOp {
+        MemOp::new(ReqId::new(id), Address::new(addr), MemOpKind::Store)
+    }
+
+    /// Delivers messages to every addressed node in a fixed global order,
+    /// mimicking the total order the tree interconnect provides.
+    fn broadcast_round(out: &Outbox, nodes: &mut [SnoopingController], now: Cycle) -> Outbox {
+        let mut next = Outbox::new();
+        for msg in &out.messages {
+            for node in nodes.iter_mut() {
+                if msg.dest.includes(node.node(), msg.src) {
+                    node.handle_message(now, msg.clone(), &mut next);
+                }
+            }
+        }
+        next
+    }
+
+    fn run_until_quiet(
+        mut frontier: Outbox,
+        nodes: &mut [SnoopingController],
+        start: Cycle,
+    ) -> Vec<MissCompletion> {
+        let mut completions = Vec::new();
+        let mut now = start;
+        for _ in 0..12 {
+            if frontier.messages.is_empty() {
+                break;
+            }
+            now += 60;
+            let next = broadcast_round(&frontier, nodes, now);
+            completions.extend(next.completions.iter().copied());
+            frontier = next;
+        }
+        completions
+    }
+
+    #[test]
+    fn requests_are_broadcast_to_everyone_including_self() {
+        let mut c = controller(1);
+        let mut out = Outbox::new();
+        c.access(0, &load(0, 1), &mut out);
+        assert_eq!(out.messages.len(), 1);
+        match &out.messages[0].dest {
+            Destination::Multicast(nodes) => {
+                assert_eq!(nodes.len(), 4);
+                assert!(nodes.contains(&NodeId::new(1)));
+            }
+            other => panic!("expected a full multicast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_owner_bit_makes_memory_respond_exactly_once() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[1].access(0, &load(0, 1), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 0);
+        assert_eq!(completions.len(), 1);
+        assert!(!completions[0].cache_to_cache);
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Shared
+        );
+        // Memory stays the owner for shared data.
+        let home_stats = nodes[0].stats();
+        assert_eq!(home_stats.counter("memory_responses"), 1);
+    }
+
+    #[test]
+    fn write_miss_transfers_ownership_from_memory_to_cache() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[2].access(0, &store(0, 1), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 0);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].kind, MissKind::Write);
+        assert_eq!(
+            nodes[2].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
+
+        // A second writer obtains the block from the first cache, not memory.
+        let mut out = Outbox::new();
+        nodes[3].access(1000, &store(0, 2), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 1000);
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].cache_to_cache);
+        assert!(nodes[2].l2.peek(BlockAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn migratory_read_takes_the_whole_block() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[2].access(0, &store(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+
+        let mut out = Outbox::new();
+        nodes[1].access(1000, &load(0, 2), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 1000);
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].cache_to_cache);
+        // With the migratory optimization the reader ends up with an
+        // exclusive (Modified) copy and the old owner is invalidated.
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
+        assert!(nodes[2].l2.peek(BlockAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn upgrade_completes_when_its_own_request_is_ordered() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        // Get a shared copy at node 1.
+        let mut out = Outbox::new();
+        nodes[1].access(0, &load(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Shared
+        );
+
+        // Store to it: the upgrade completes once the GetM is ordered, even
+        // though memory also supplies (redundant) data.
+        let mut out = Outbox::new();
+        assert_eq!(
+            nodes[1].access(1000, &store(0, 2), &mut out),
+            AccessOutcome::Miss
+        );
+        let completions = run_until_quiet(out, &mut nodes, 1000);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].kind, MissKind::Upgrade);
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
+    }
+
+    #[test]
+    fn racing_writes_are_resolved_by_the_total_order() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        // Both node 1 and node 2 issue GetM for the same block "at once";
+        // the delivery order (node 1 first) is the total order.
+        let mut out1 = Outbox::new();
+        nodes[1].access(0, &store(0, 1), &mut out1);
+        let mut out2 = Outbox::new();
+        nodes[2].access(0, &store(0, 2), &mut out2);
+        let mut combined = Outbox::new();
+        combined.messages.extend(out1.messages);
+        combined.messages.extend(out2.messages);
+
+        let completions = run_until_quiet(combined, &mut nodes, 0);
+        assert_eq!(completions.len(), 2, "both writers eventually complete");
+        // Exactly one cache ends with the modified copy.
+        let holders: Vec<_> = (0..4)
+            .filter(|n| {
+                nodes[*n]
+                    .l2
+                    .peek(BlockAddr::new(0))
+                    .map(|l| l.state == MosiState::Modified)
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(holders.len(), 1);
+        // The loser's write must be ordered after the winner's: its final
+        // version is the globally newest.
+        let winner_version = completions.iter().map(|c| c.data_version).max().unwrap();
+        let holder = holders[0];
+        assert_eq!(
+            nodes[holder].l2.peek(BlockAddr::new(0)).unwrap().version,
+            winner_version
+        );
+    }
+
+    #[test]
+    fn writeback_restores_the_memory_owner_bit() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[1].access(0, &store(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+
+        // Evict the modified line.
+        let line = *nodes[1].l2.peek(BlockAddr::new(0)).unwrap();
+        nodes[1].l2.remove(BlockAddr::new(0));
+        let mut out = Outbox::new();
+        nodes[1].evict(2000, BlockAddr::new(0), line, &mut out);
+        assert!(out.messages.iter().any(|m| m.kind == MsgKind::PutM));
+        run_until_quiet(out, &mut nodes, 2000);
+
+        // A later read is served by memory again.
+        let mut out = Outbox::new();
+        nodes[3].access(3000, &load(0, 9), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 3000);
+        assert_eq!(completions.len(), 1);
+        assert!(!completions[0].cache_to_cache);
+        assert_eq!(completions[0].data_version, line.version);
+    }
+}

@@ -1,0 +1,37 @@
+//! Discrete-event simulation kernel.
+//!
+//! The kernel is intentionally small: a time-ordered [`EventQueue`] with
+//! deterministic tie-breaking, and a tiny deterministic pseudo-random number
+//! generator ([`DeterministicRng`]) used for randomized exponential backoff
+//! and workload generation. Determinism matters here because the whole
+//! evaluation compares protocols on *identical* workload streams; the same
+//! seed must reproduce the same simulation to the cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_sim::EventQueue;
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(20, "second");
+//! q.schedule(10, "first");
+//! q.schedule(20, "third");
+//!
+//! assert_eq!(q.pop(), Some((10, "first")));
+//! // Same-time events pop in insertion order.
+//! assert_eq!(q.pop(), Some((20, "second")));
+//! assert_eq!(q.pop(), Some((20, "third")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::EventQueue;
+pub use rng::DeterministicRng;
+
+/// Simulated time in nanoseconds (equal to processor cycles at 1 GHz).
+pub type Cycle = u64;

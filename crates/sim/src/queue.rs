@@ -1,0 +1,211 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An entry in the event queue.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and, within a
+        // time, the lowest sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// Events scheduled for the same time are delivered in the order they were
+/// scheduled (FIFO), which keeps simulations reproducible regardless of the
+/// heap's internal layout.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+    scheduled: u64,
+    delivered: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            scheduled: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Schedules `event` to be delivered at absolute time `time`.
+    ///
+    /// Scheduling in the past is clamped to the current time rather than
+    /// panicking; protocol code computes firing times from latencies and a
+    /// zero-latency component is legitimate.
+    pub fn schedule(&mut self, time: Cycle, event: E) {
+        let time = time.max(self.now);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+        self.scheduled += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// delivery time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        self.delivered += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The delivery time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time (the delivery time of the last popped event).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total number of events delivered so far.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 'c');
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(5, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(15, ());
+        q.schedule(40, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 15);
+        q.pop();
+        assert_eq!(q.now(), 40);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 'x');
+        assert_eq!(q.pop(), Some((100, 'x')));
+        q.schedule(50, 'y');
+        assert_eq!(q.pop(), Some((100, 'y')));
+    }
+
+    #[test]
+    fn counters_track_scheduled_and_delivered() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.total_delivered(), 0);
+        q.pop();
+        assert_eq!(q.total_delivered(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, ());
+        q.schedule(3, ());
+        assert_eq!(q.peek_time(), Some(3));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.schedule(15, 3);
+        q.schedule(12, 4);
+        assert_eq!(q.pop(), Some((12, 4)));
+        assert_eq!(q.pop(), Some((15, 3)));
+        assert_eq!(q.pop(), Some((20, 2)));
+    }
+}

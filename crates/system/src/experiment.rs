@@ -1,0 +1,273 @@
+//! Ready-made experiment configurations for every table and figure of the
+//! paper's evaluation, shared by the benchmark binaries, the examples, and
+//! the integration tests.
+
+use tc_types::{BandwidthMode, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind};
+use tc_workloads::WorkloadProfile;
+
+use crate::report::RunReport;
+use crate::runner::{RunOptions, System};
+
+/// A single experiment point: a configuration plus a workload.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Short label used in printed tables (e.g. `"TokenB-Torus"`).
+    pub label: String,
+    /// System configuration for this point.
+    pub config: SystemConfig,
+    /// Workload to run.
+    pub workload: WorkloadProfile,
+}
+
+impl ExperimentPoint {
+    /// Creates a point.
+    pub fn new(label: impl Into<String>, config: SystemConfig, workload: WorkloadProfile) -> Self {
+        ExperimentPoint {
+            label: label.into(),
+            config,
+            workload,
+        }
+    }
+
+    /// Builds and runs the point.
+    pub fn run(&self, options: RunOptions) -> RunReport {
+        let mut system = System::build(&self.config, &self.workload);
+        system.run(options)
+    }
+}
+
+/// Default run length used by the experiment binaries: long enough for the
+/// relative protocol behaviour to stabilize, short enough to finish a full
+/// figure in minutes.
+pub fn default_options() -> RunOptions {
+    RunOptions {
+        ops_per_node: 12_000,
+        max_cycles: 1_000_000_000,
+    }
+}
+
+/// A abbreviated run used by tests and smoke checks.
+pub fn smoke_options() -> RunOptions {
+    RunOptions {
+        ops_per_node: 1_500,
+        max_cycles: 100_000_000,
+    }
+}
+
+/// The base 16-processor configuration of Table 1.
+pub fn base_config() -> SystemConfig {
+    SystemConfig::isca03_default()
+}
+
+/// Table 2: TokenB reissue behaviour on the torus for each commercial
+/// workload.
+pub fn table2_points() -> Vec<ExperimentPoint> {
+    WorkloadProfile::commercial()
+        .into_iter()
+        .map(|w| {
+            ExperimentPoint::new(
+                w.name,
+                base_config()
+                    .with_protocol(ProtocolKind::TokenB)
+                    .with_topology(TopologyKind::Torus),
+                w,
+            )
+        })
+        .collect()
+}
+
+/// Figure 4a: runtime of Snooping on the tree vs TokenB on the tree and the
+/// torus, each with limited and unlimited bandwidth, for one workload.
+pub fn figure4a_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for bandwidth in [BandwidthMode::Limited, BandwidthMode::Unlimited] {
+        let suffix = match bandwidth {
+            BandwidthMode::Limited => "3.2GB/s",
+            BandwidthMode::Unlimited => "unlimited",
+        };
+        points.push(ExperimentPoint::new(
+            format!("TokenB-Tree ({suffix})"),
+            base_config()
+                .with_protocol(ProtocolKind::TokenB)
+                .with_topology(TopologyKind::Tree)
+                .with_bandwidth(bandwidth),
+            workload.clone(),
+        ));
+        points.push(ExperimentPoint::new(
+            format!("Snooping-Tree ({suffix})"),
+            base_config()
+                .with_protocol(ProtocolKind::Snooping)
+                .with_bandwidth(bandwidth),
+            workload.clone(),
+        ));
+        points.push(ExperimentPoint::new(
+            format!("TokenB-Torus ({suffix})"),
+            base_config()
+                .with_protocol(ProtocolKind::TokenB)
+                .with_topology(TopologyKind::Torus)
+                .with_bandwidth(bandwidth),
+            workload.clone(),
+        ));
+    }
+    points
+}
+
+/// Figure 4b: traffic of TokenB vs Snooping (limited bandwidth, each on its
+/// natural interconnect) for one workload.
+pub fn figure4b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
+    vec![
+        ExperimentPoint::new(
+            "TokenB",
+            base_config()
+                .with_protocol(ProtocolKind::TokenB)
+                .with_topology(TopologyKind::Torus),
+            workload.clone(),
+        ),
+        ExperimentPoint::new(
+            "Snooping",
+            base_config().with_protocol(ProtocolKind::Snooping),
+            workload.clone(),
+        ),
+    ]
+}
+
+/// Figure 5a: runtime of TokenB, Hammer, and Directory on the torus, with
+/// limited and unlimited bandwidth, plus the Directory variant with a
+/// perfect (zero-latency) directory, for one workload.
+pub fn figure5a_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for bandwidth in [BandwidthMode::Limited, BandwidthMode::Unlimited] {
+        let suffix = match bandwidth {
+            BandwidthMode::Limited => "3.2GB/s",
+            BandwidthMode::Unlimited => "unlimited",
+        };
+        for protocol in [
+            ProtocolKind::TokenB,
+            ProtocolKind::Hammer,
+            ProtocolKind::Directory,
+        ] {
+            points.push(ExperimentPoint::new(
+                format!("{protocol}-Torus ({suffix})"),
+                base_config()
+                    .with_protocol(protocol)
+                    .with_topology(TopologyKind::Torus)
+                    .with_bandwidth(bandwidth),
+                workload.clone(),
+            ));
+        }
+    }
+    // The DRAM-directory-lookup sensitivity point: a perfect directory cache.
+    let mut perfect = base_config()
+        .with_protocol(ProtocolKind::Directory)
+        .with_topology(TopologyKind::Torus);
+    perfect.directory_mode = DirectoryMode::Perfect;
+    points.push(ExperimentPoint::new(
+        "Directory-Torus (perfect directory)",
+        perfect,
+        workload.clone(),
+    ));
+    points
+}
+
+/// Figure 5b: traffic of TokenB, Hammer, and Directory on the torus for one
+/// workload.
+pub fn figure5b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
+    [
+        ProtocolKind::TokenB,
+        ProtocolKind::Hammer,
+        ProtocolKind::Directory,
+    ]
+    .into_iter()
+    .map(|protocol| {
+        ExperimentPoint::new(
+            protocol.name(),
+            base_config()
+                .with_protocol(protocol)
+                .with_topology(TopologyKind::Torus),
+            workload.clone(),
+        )
+    })
+    .collect()
+}
+
+/// Question 5 (scalability): TokenB vs Directory traffic on the uniform
+/// microbenchmark at increasing node counts.
+pub fn scalability_points(num_nodes: usize) -> Vec<ExperimentPoint> {
+    [ProtocolKind::TokenB, ProtocolKind::Directory, ProtocolKind::Hammer]
+        .into_iter()
+        .map(|protocol| {
+            ExperimentPoint::new(
+                format!("{protocol}-{num_nodes}p"),
+                base_config()
+                    .with_nodes(num_nodes)
+                    .with_protocol(protocol)
+                    .with_topology(TopologyKind::Torus),
+                WorkloadProfile::uniform_shared(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_three_commercial_workloads() {
+        let points = table2_points();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.config.protocol, ProtocolKind::TokenB);
+            assert_eq!(p.config.interconnect.topology, TopologyKind::Torus);
+            assert!(p.config.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn figure4a_has_six_valid_points() {
+        let points = figure4a_points(&WorkloadProfile::oltp());
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.config.validate().is_ok(), "{}", p.label);
+        }
+        assert!(points.iter().any(|p| p.label.contains("Snooping")));
+        assert!(points.iter().any(|p| p.label.contains("Torus")));
+    }
+
+    #[test]
+    fn figure5a_includes_the_perfect_directory_point() {
+        let points = figure5a_points(&WorkloadProfile::apache());
+        assert_eq!(points.len(), 7);
+        assert!(points
+            .iter()
+            .any(|p| p.config.directory_mode == DirectoryMode::Perfect));
+        for p in &points {
+            assert!(p.config.validate().is_ok(), "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn scalability_points_grow_token_count_with_nodes() {
+        let points = scalability_points(64);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.config.num_nodes, 64);
+            assert!(p.config.validate().is_ok(), "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn a_point_can_be_run_end_to_end() {
+        let mut config = base_config()
+            .with_nodes(4)
+            .with_protocol(ProtocolKind::TokenB);
+        config.l2.size_bytes = 256 * 1024;
+        let point = ExperimentPoint::new("smoke", config, WorkloadProfile::specjbb());
+        let report = point.run(RunOptions {
+            ops_per_node: 400,
+            max_cycles: 20_000_000,
+        });
+        assert!(report.total_ops >= 1600);
+        assert!(report.violations.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Run reports: the measurements every experiment consumes.
+
+use std::fmt;
+
+use tc_types::{
+    BandwidthMode, ControllerStats, Cycle, InvariantViolation, MissStats, ProtocolKind,
+    ReissueStats, TopologyKind, TrafficClass, TrafficStats,
+};
+
+/// Traffic normalized per miss, broken down by message class, as in
+/// Figures 4b and 5b of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficBreakdown {
+    /// (class, link-crossing bytes per miss) for every traffic class.
+    pub per_class: Vec<(TrafficClass, f64)>,
+}
+
+impl TrafficBreakdown {
+    /// Builds the breakdown from raw traffic and a miss count.
+    pub fn new(traffic: &TrafficStats, misses: u64) -> Self {
+        let divisor = misses.max(1) as f64;
+        let per_class = TrafficClass::ALL
+            .iter()
+            .map(|class| (*class, traffic.link_bytes(*class) as f64 / divisor))
+            .collect();
+        TrafficBreakdown { per_class }
+    }
+
+    /// Total link-crossing bytes per miss.
+    pub fn total(&self) -> f64 {
+        self.per_class.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes per miss for one class.
+    pub fn class(&self, class: TrafficClass) -> f64 {
+        self.per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, b)| *b)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Protocol that was run.
+    pub protocol: ProtocolKind,
+    /// Interconnect topology used.
+    pub topology: TopologyKind,
+    /// Whether link bandwidth was limited or unlimited.
+    pub bandwidth: BandwidthMode,
+    /// Name of the workload profile.
+    pub workload: String,
+    /// Number of nodes simulated.
+    pub num_nodes: usize,
+    /// Final simulated time (total runtime) in cycles/nanoseconds.
+    pub runtime_cycles: Cycle,
+    /// Total memory operations completed across all processors.
+    pub total_ops: u64,
+    /// Total transactions (groups of operations) completed.
+    pub total_transactions: u64,
+    /// Aggregated cache/miss statistics across all nodes.
+    pub misses: MissStats,
+    /// Aggregated reissue histogram (Table 2; zero for non-token protocols).
+    pub reissue: ReissueStats,
+    /// Aggregated per-controller statistics.
+    pub controllers: ControllerStats,
+    /// Interconnect traffic by class.
+    pub traffic: TrafficStats,
+    /// Invariant violations detected by the verifier (must be empty).
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl RunReport {
+    /// Runtime normalized per transaction: the figure-of-merit the paper
+    /// plots ("normalized cycles per transaction", smaller is better).
+    pub fn cycles_per_transaction(&self) -> f64 {
+        if self.total_transactions == 0 {
+            return self.runtime_cycles as f64;
+        }
+        self.runtime_cycles as f64 * self.num_nodes as f64 / self.total_transactions as f64
+    }
+
+    /// Runtime normalized per memory operation (a finer-grained variant of
+    /// the same metric, useful for short test runs).
+    pub fn cycles_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            return self.runtime_cycles as f64;
+        }
+        self.runtime_cycles as f64 * self.num_nodes as f64 / self.total_ops as f64
+    }
+
+    /// Traffic per miss broken down by class (Figures 4b / 5b).
+    pub fn traffic_breakdown(&self) -> TrafficBreakdown {
+        TrafficBreakdown::new(&self.traffic, self.misses.total_misses())
+    }
+
+    /// Total link-crossing bytes per miss.
+    pub fn bytes_per_miss(&self) -> f64 {
+        self.traffic_breakdown().total()
+    }
+
+    /// Total link-crossing bytes per completed memory operation (used by the
+    /// scalability experiment, where miss rates differ between protocols).
+    pub fn bytes_per_op(&self) -> f64 {
+        self.traffic.total_link_bytes() as f64 / self.total_ops.max(1) as f64
+    }
+
+    /// The Table 2 row for this run: percentage of misses not reissued,
+    /// reissued once, reissued more than once, and completed by a persistent
+    /// request.
+    pub fn table2_row(&self) -> [f64; 4] {
+        self.reissue.percentages()
+    }
+
+    /// A short label identifying the configuration, e.g. `TokenB/Torus`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.protocol, self.topology)
+    }
+
+    /// Returns an error listing the violations if any were detected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation (and logs the count) when the verifier
+    /// found any safety or liveness violation.
+    pub fn verified(&self) -> Result<(), InvariantViolation> {
+        match self.violations.first() {
+            None => Ok(()),
+            Some(first) => Err(first.clone()),
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} ({:?} bandwidth), workload {} x{} nodes",
+            self.protocol, self.topology, self.bandwidth, self.workload, self.num_nodes
+        )?;
+        writeln!(
+            f,
+            "  runtime: {} cycles  ({:.1} cycles/transaction, {:.2} cycles/op)",
+            self.runtime_cycles,
+            self.cycles_per_transaction(),
+            self.cycles_per_op()
+        )?;
+        writeln!(
+            f,
+            "  misses: {} ({:.1}% cache-to-cache), avg latency {:.1} ns, {} writebacks",
+            self.misses.total_misses(),
+            100.0 * self.misses.cache_to_cache_fraction(),
+            self.misses.average_miss_latency(),
+            self.misses.writebacks
+        )?;
+        let [p0, p1, p2, p3] = self.table2_row();
+        writeln!(
+            f,
+            "  reissues: {:.2}% none, {:.2}% once, {:.2}% more, {:.2}% persistent",
+            p0, p1, p2, p3
+        )?;
+        writeln!(f, "  traffic: {:.1} bytes/miss", self.bytes_per_miss())?;
+        write!(f, "  violations: {}", self.violations.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut traffic = TrafficStats::new();
+        traffic.record(TrafficClass::Request, 8, 4);
+        traffic.record(TrafficClass::DataResponseOrWriteback, 72, 2);
+        let mut misses = MissStats::default();
+        misses.read_misses = 2;
+        misses.completed_misses = 2;
+        misses.total_miss_latency = 300;
+        RunReport {
+            protocol: ProtocolKind::TokenB,
+            topology: TopologyKind::Torus,
+            bandwidth: BandwidthMode::Limited,
+            workload: "OLTP".to_string(),
+            num_nodes: 16,
+            runtime_cycles: 10_000,
+            total_ops: 4_000,
+            total_transactions: 16,
+            misses,
+            reissue: ReissueStats {
+                not_reissued: 97,
+                reissued_once: 2,
+                reissued_more: 1,
+                persistent: 0,
+            },
+            controllers: ControllerStats::new(),
+            traffic,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cycles_per_transaction_normalizes_by_node_count() {
+        let r = report();
+        assert!((r.cycles_per_transaction() - 10_000.0).abs() < 1e-9);
+        assert!((r.cycles_per_op() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_breakdown_divides_by_misses() {
+        let r = report();
+        let breakdown = r.traffic_breakdown();
+        assert!((breakdown.class(TrafficClass::Request) - 16.0).abs() < 1e-9);
+        assert!((breakdown.class(TrafficClass::DataResponseOrWriteback) - 72.0).abs() < 1e-9);
+        assert!((breakdown.total() - r.bytes_per_miss()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_row_reports_percentages() {
+        let r = report();
+        let row = r.table2_row();
+        assert!((row[0] - 97.0).abs() < 1e-9);
+        assert!((row.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verified_fails_when_violations_exist() {
+        let mut r = report();
+        assert!(r.verified().is_ok());
+        r.violations.push(InvariantViolation::DuplicateOwner {
+            addr: tc_types::BlockAddr::new(1),
+            at: 5,
+        });
+        assert!(r.verified().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = report().to_string();
+        assert!(text.contains("TokenB"));
+        assert!(text.contains("cycles/transaction"));
+        assert!(text.contains("bytes/miss"));
+    }
+
+    #[test]
+    fn zero_division_guards_hold() {
+        let mut r = report();
+        r.total_transactions = 0;
+        r.total_ops = 0;
+        r.misses = MissStats::default();
+        assert!(r.cycles_per_transaction() > 0.0);
+        assert!(r.cycles_per_op() > 0.0);
+        assert!(r.bytes_per_miss() >= 0.0);
+    }
+
+    #[test]
+    fn label_is_compact() {
+        assert_eq!(report().label(), "TokenB/Torus");
+    }
+}

@@ -1,0 +1,520 @@
+//! The event-driven system runner.
+
+use std::collections::BTreeMap;
+
+use tc_core::TokenBController;
+use tc_interconnect::Interconnect;
+use tc_protocols::{DirectoryController, HammerController, SnoopingController};
+use tc_sim::EventQueue;
+use tc_types::{
+    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, Message, MissKind,
+    MissStats, NodeId, Outbox, ProtocolKind, ReissueStats, SystemConfig, Timer,
+};
+use tc_workloads::WorkloadProfile;
+
+use crate::processor::{IssueDecision, Processor};
+use crate::report::RunReport;
+use crate::verify::Verifier;
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Memory operations to complete per node before the run ends.
+    pub ops_per_node: u64,
+    /// Hard ceiling on simulated time, in cycles, to bound runaway runs.
+    pub max_cycles: Cycle,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            ops_per_node: 20_000,
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+/// Events driving the system.
+#[derive(Debug)]
+enum SystemEvent {
+    /// A processor is ready to issue its next operation.
+    Wakeup(NodeId),
+    /// A controller hands a message to the interconnect.
+    Send(Message),
+    /// The interconnect delivers a message to a node.
+    Deliver { node: NodeId, msg: Message },
+    /// A controller timer fires.
+    Timer { node: NodeId, timer: Timer },
+}
+
+/// Builds a coherence controller of the configured protocol for one node.
+fn make_controller(node: NodeId, config: &SystemConfig) -> Box<dyn CoherenceController> {
+    match config.protocol {
+        ProtocolKind::TokenB => Box::new(TokenBController::new(node, config)),
+        ProtocolKind::Snooping => Box::new(SnoopingController::new(node, config)),
+        ProtocolKind::Directory => Box::new(DirectoryController::new(node, config)),
+        ProtocolKind::Hammer => Box::new(HammerController::new(node, config)),
+    }
+}
+
+/// One simulated multiprocessor: N nodes, an interconnect, a verifier, and a
+/// deterministic event queue.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    workload: WorkloadProfile,
+    controllers: Vec<Box<dyn CoherenceController>>,
+    processors: Vec<Processor>,
+    interconnect: Interconnect,
+    queue: EventQueue<SystemEvent>,
+    verifier: Verifier,
+    in_flight_tokens: BTreeMap<BlockAddr, (i64, i64)>,
+    /// Whether each outstanding miss (by request id) is a store, so that
+    /// completions can be classified per operation rather than per miss.
+    outstanding_writes: BTreeMap<tc_types::ReqId, bool>,
+}
+
+impl System {
+    /// Assembles a system for `config` running `profile` on every processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]); validate first if you need an error
+    /// instead.
+    pub fn build(config: &SystemConfig, profile: &WorkloadProfile) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"));
+        let controllers = (0..config.num_nodes)
+            .map(|n| make_controller(NodeId::new(n), config))
+            .collect();
+        let processors = (0..config.num_nodes)
+            .map(|n| {
+                Processor::new(
+                    NodeId::new(n),
+                    profile,
+                    config.processor,
+                    config.num_nodes,
+                    config.seed,
+                    u64::MAX,
+                )
+            })
+            .collect();
+        let interconnect = Interconnect::new(config.num_nodes, config.interconnect);
+        let mut queue = EventQueue::new();
+        for n in 0..config.num_nodes {
+            queue.schedule(0, SystemEvent::Wakeup(NodeId::new(n)));
+        }
+        System {
+            config: config.clone(),
+            workload: profile.clone(),
+            controllers,
+            processors,
+            interconnect,
+            queue,
+            verifier: Verifier::new(),
+            in_flight_tokens: BTreeMap::new(),
+            outstanding_writes: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn total_completed(&self) -> u64 {
+        self.processors.iter().map(|p| p.completed_ops()).sum()
+    }
+
+    fn total_transactions(&self) -> u64 {
+        self.processors.iter().map(|p| p.transactions()).sum()
+    }
+
+    /// Runs the simulation until every node has completed
+    /// `options.ops_per_node` operations (or the cycle limit is hit), drains
+    /// outstanding transactions, audits the final state, and reports.
+    pub fn run(&mut self, options: RunOptions) -> RunReport {
+        let target_total = options.ops_per_node * self.config.num_nodes as u64;
+        let mut draining = false;
+        let mut runtime_cycles: Cycle = 0;
+        let mut ops_at_target: u64 = 0;
+        let mut transactions_at_target: u64 = 0;
+        let drain_limit = options.max_cycles.saturating_mul(2);
+
+        while let Some((now, event)) = self.queue.pop() {
+            if !draining && (self.total_completed() >= target_total || now >= options.max_cycles) {
+                draining = true;
+                runtime_cycles = now;
+                ops_at_target = self.total_completed();
+                transactions_at_target = self.total_transactions();
+            }
+            if draining && now >= drain_limit {
+                break;
+            }
+            match event {
+                SystemEvent::Wakeup(node) => {
+                    if !draining {
+                        self.processor_step(now, node);
+                    }
+                }
+                SystemEvent::Send(msg) => {
+                    let deliveries = self.interconnect.send(now, msg);
+                    for delivery in deliveries {
+                        let tokens = delivery.msg.kind.token_count() as i64;
+                        if tokens > 0 {
+                            let entry = self
+                                .in_flight_tokens
+                                .entry(delivery.msg.addr)
+                                .or_insert((0, 0));
+                            entry.0 += tokens;
+                            if delivery.msg.kind.carries_owner_token() {
+                                entry.1 += 1;
+                            }
+                        }
+                        self.queue.schedule(
+                            delivery.at,
+                            SystemEvent::Deliver {
+                                node: delivery.node,
+                                msg: delivery.msg,
+                            },
+                        );
+                    }
+                }
+                SystemEvent::Deliver { node, msg } => {
+                    let tokens = msg.kind.token_count() as i64;
+                    if tokens > 0 {
+                        let entry = self.in_flight_tokens.entry(msg.addr).or_insert((0, 0));
+                        entry.0 -= tokens;
+                        if msg.kind.carries_owner_token() {
+                            entry.1 -= 1;
+                        }
+                    }
+                    let mut out = Outbox::new();
+                    self.controllers[node.index()].handle_message(now, msg, &mut out);
+                    self.process_outbox(now, node, out);
+                }
+                SystemEvent::Timer { node, timer } => {
+                    let mut out = Outbox::new();
+                    self.controllers[node.index()].handle_timer(now, timer, &mut out);
+                    self.process_outbox(now, node, out);
+                }
+            }
+        }
+
+        if runtime_cycles == 0 {
+            runtime_cycles = self.queue.now();
+            ops_at_target = self.total_completed();
+            transactions_at_target = self.total_transactions();
+        }
+
+        self.final_audit();
+
+        let mut misses = MissStats::default();
+        let mut reissue = ReissueStats::default();
+        let mut controllers = ControllerStats::new();
+        for controller in &self.controllers {
+            let stats = controller.stats();
+            misses.merge(&stats.misses);
+            reissue.merge(&stats.reissue);
+            controllers.merge(&stats);
+        }
+
+        RunReport {
+            protocol: self.config.protocol,
+            topology: self.config.interconnect.topology,
+            bandwidth: self.config.interconnect.bandwidth,
+            workload: self.workload.name.to_string(),
+            num_nodes: self.config.num_nodes,
+            runtime_cycles,
+            total_ops: ops_at_target,
+            total_transactions: transactions_at_target,
+            misses,
+            reissue,
+            controllers,
+            traffic: self.interconnect.traffic().clone(),
+            violations: self.verifier.violations().to_vec(),
+        }
+    }
+
+    fn processor_step(&mut self, now: Cycle, node: NodeId) {
+        let (decision, think) = self.processors[node.index()].next_issue(now);
+        match decision {
+            IssueDecision::Finished | IssueDecision::Blocked => {}
+            IssueDecision::Issue(op) => {
+                let issue_time = now + think;
+                let block = op.addr.block(self.config.block_bytes);
+                let is_write = op.kind.is_write();
+                let mut out = Outbox::new();
+                let outcome = self.controllers[node.index()].access(issue_time, &op, &mut out);
+                match outcome {
+                    AccessOutcome::Hit { latency, version } => {
+                        self.processors[node.index()].note_hit(issue_time);
+                        let done_at = issue_time + latency;
+                        if is_write {
+                            self.verifier.record_write(node, block, version, done_at);
+                        } else {
+                            self.verifier.check_read(node, block, version, issue_time, done_at);
+                        }
+                        self.queue
+                            .schedule(done_at.max(issue_time + 1), SystemEvent::Wakeup(node));
+                    }
+                    AccessOutcome::Miss => {
+                        self.outstanding_writes.insert(op.id, is_write);
+                        self.processors[node.index()].note_miss(op.id, issue_time);
+                        // Keep issuing under the miss (hit-under-miss and
+                        // miss-under-miss) until the processor blocks itself.
+                        self.queue
+                            .schedule(issue_time + 1, SystemEvent::Wakeup(node));
+                    }
+                }
+                self.process_outbox(now, node, out);
+            }
+        }
+    }
+
+    fn process_outbox(&mut self, now: Cycle, node: NodeId, out: Outbox) {
+        for msg in out.messages {
+            let at = msg.sent_at.max(now);
+            self.queue.schedule(at, SystemEvent::Send(msg));
+        }
+        for (at, timer) in out.timers {
+            self.queue
+                .schedule(at.max(now), SystemEvent::Timer { node, timer });
+        }
+        for completion in out.completions {
+            // Classify by the original operation, not the miss: a store that
+            // merged into a read miss is still a store.
+            let is_write = self
+                .outstanding_writes
+                .remove(&completion.req_id)
+                .unwrap_or(completion.kind != MissKind::Read);
+            if is_write {
+                self.verifier.record_write(
+                    node,
+                    completion.addr,
+                    completion.data_version,
+                    completion.completed_at,
+                );
+            } else {
+                self.verifier.check_read(
+                    node,
+                    completion.addr,
+                    completion.data_version,
+                    completion.issued_at,
+                    completion.completed_at,
+                );
+            }
+            let was_blocked =
+                self.processors[node.index()].note_completion(completion.req_id, now);
+            if was_blocked {
+                self.queue.schedule(now + 1, SystemEvent::Wakeup(node));
+            }
+        }
+    }
+
+    /// Audits the quiesced final state: token conservation, single-writer,
+    /// and starvation.
+    fn final_audit(&mut self) {
+        let now = self.queue.now();
+        let expected_tokens = match self.config.protocol {
+            ProtocolKind::TokenB => Some(self.config.token.tokens_per_block),
+            _ => None,
+        };
+
+        let mut blocks: Vec<BlockAddr> = Vec::new();
+        for controller in &self.controllers {
+            blocks.extend(controller.audited_blocks());
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+
+        for addr in blocks {
+            let mut audits = Vec::new();
+            for controller in &self.controllers {
+                audits.extend(controller.audit_block(addr));
+            }
+            let (in_flight, in_flight_owner) = self
+                .in_flight_tokens
+                .get(&addr)
+                .copied()
+                .unwrap_or((0, 0));
+            self.verifier.audit_block(
+                addr,
+                &audits,
+                in_flight.max(0) as u32,
+                in_flight_owner.max(0) as u32,
+                expected_tokens,
+                now,
+            );
+        }
+
+        // Starvation: after the drain, nothing may still be outstanding.
+        for (processor, controller) in self.processors.iter().zip(&self.controllers) {
+            if controller.outstanding_misses() > 0 || processor.outstanding_misses() > 0 {
+                if let Some((_, issued_at)) = processor.oldest_outstanding() {
+                    self.verifier
+                        .record_starvation(processor.node(), BlockAddr::new(0), issued_at, now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{BandwidthMode, TopologyKind, TrafficClass};
+
+    fn small_config(protocol: ProtocolKind) -> SystemConfig {
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(protocol)
+            .with_seed(12);
+        // Keep the caches small enough that evictions happen in short runs.
+        config.l2.size_bytes = 256 * 1024;
+        config
+    }
+
+    fn run(protocol: ProtocolKind, profile: WorkloadProfile, ops: u64) -> RunReport {
+        let config = small_config(protocol);
+        let mut system = System::build(&config, &profile);
+        system.run(RunOptions {
+            ops_per_node: ops,
+            max_cycles: 50_000_000,
+        })
+    }
+
+    #[test]
+    fn tokenb_runs_cleanly_on_a_shared_workload() {
+        let report = run(ProtocolKind::TokenB, WorkloadProfile::oltp(), 1500);
+        assert!(report.total_ops >= 4 * 1500);
+        assert!(report.runtime_cycles > 0);
+        assert!(report.misses.total_misses() > 0);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn directory_runs_cleanly_on_a_shared_workload() {
+        let report = run(ProtocolKind::Directory, WorkloadProfile::oltp(), 1500);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.misses.total_misses() > 0);
+    }
+
+    #[test]
+    fn hammer_runs_cleanly_on_a_shared_workload() {
+        let report = run(ProtocolKind::Hammer, WorkloadProfile::oltp(), 1500);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.misses.total_misses() > 0);
+    }
+
+    /// Known limitation: under the highly contended OLTP calibration the
+    /// snooping baseline can deadlock on a writeback race (the requester of a
+    /// block whose owner is mid-writeback can wait forever); see DESIGN.md
+    /// "Known limitations". The lighter Apache/SPECjbb calibrations and the
+    /// hot-block stress runs are unaffected.
+    #[test]
+    fn snooping_runs_cleanly_on_the_ordered_tree() {
+        let report = run(ProtocolKind::Snooping, WorkloadProfile::specjbb(), 1500);
+        assert_eq!(report.topology, TopologyKind::Tree);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.misses.total_misses() > 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let a = run(ProtocolKind::TokenB, WorkloadProfile::apache(), 800);
+        let b = run(ProtocolKind::TokenB, WorkloadProfile::apache(), 800);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.traffic.total_link_bytes(), b.traffic.total_link_bytes());
+    }
+
+    #[test]
+    fn hot_block_contention_provokes_reissues_or_persistent_requests() {
+        let report = run(ProtocolKind::TokenB, WorkloadProfile::hot_block(), 2500);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let reissued = report.reissue.reissued_once
+            + report.reissue.reissued_more
+            + report.reissue.persistent;
+        assert!(
+            reissued > 0,
+            "hot-block contention should force at least some reissues: {:?}",
+            report.reissue
+        );
+    }
+
+    #[test]
+    fn private_workload_generates_no_cache_to_cache_misses() {
+        let report = run(ProtocolKind::TokenB, WorkloadProfile::private_only(), 1000);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.misses.cache_to_cache, 0);
+    }
+
+    #[test]
+    fn hammer_uses_more_traffic_than_directory() {
+        let hammer = run(ProtocolKind::Hammer, WorkloadProfile::oltp(), 1200);
+        let directory = run(ProtocolKind::Directory, WorkloadProfile::oltp(), 1200);
+        assert!(
+            hammer.bytes_per_miss() > directory.bytes_per_miss(),
+            "hammer {:.1} B/miss should exceed directory {:.1} B/miss",
+            hammer.bytes_per_miss(),
+            directory.bytes_per_miss()
+        );
+    }
+
+    #[test]
+    fn unlimited_bandwidth_is_never_slower() {
+        let limited_config = small_config(ProtocolKind::TokenB);
+        let unlimited_config = limited_config.clone().with_bandwidth(BandwidthMode::Unlimited);
+        let profile = WorkloadProfile::apache();
+        let mut limited = System::build(&limited_config, &profile);
+        let mut unlimited = System::build(&unlimited_config, &profile);
+        let options = RunOptions {
+            ops_per_node: 1200,
+            max_cycles: 50_000_000,
+        };
+        let limited = limited.run(options);
+        let unlimited = unlimited.run(options);
+        assert!(unlimited.runtime_cycles <= limited.runtime_cycles);
+    }
+
+    #[test]
+    fn traffic_report_includes_requests_and_data() {
+        let report = run(ProtocolKind::TokenB, WorkloadProfile::oltp(), 1200);
+        assert!(report.traffic.link_bytes(TrafficClass::Request) > 0);
+        assert!(report.traffic.link_bytes(TrafficClass::DataResponseOrWriteback) > 0);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use tc_workloads::WorkloadProfile;
+
+    /// Regression test for a verification bug: a store merged into a read
+    /// miss that was granted an exclusive copy (migratory optimization) must
+    /// still be reported as a write, otherwise later readers look stale.
+    #[test]
+    fn single_hot_block_two_node_directory_run_is_clean() {
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(2)
+            .with_protocol(ProtocolKind::Directory)
+            .with_seed(12);
+        config.l2.size_bytes = 64 * 1024;
+        let mut profile = WorkloadProfile::hot_block();
+        profile.migratory_blocks = 1;
+        profile.private_blocks = 4;
+        let mut system = System::build(&config, &profile);
+        let report = system.run(RunOptions {
+            ops_per_node: 400,
+            max_cycles: 10_000_000,
+        });
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

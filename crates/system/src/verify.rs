@@ -1,0 +1,352 @@
+//! Runtime verification of the coherence safety and liveness properties.
+
+use std::collections::BTreeMap;
+
+use tc_types::{BlockAddr, BlockAudit, Cycle, InvariantViolation, NodeId};
+
+/// Recent write history for one block: which version was current when.
+#[derive(Debug, Clone, Default)]
+struct BlockHistory {
+    /// (version, time it became current), oldest first; the last entry is the
+    /// currently visible version. Bounded to keep memory use constant.
+    versions: Vec<(u64, Cycle)>,
+}
+
+impl BlockHistory {
+    const MAX_ENTRIES: usize = 128;
+
+    fn ensure_initial(&mut self) {
+        if self.versions.is_empty() {
+            // Version 0 (the never-written block) is current from time zero.
+            self.versions.push((0, 0));
+        }
+    }
+
+    fn record(&mut self, version: u64, at: Cycle) {
+        self.ensure_initial();
+        self.versions.push((version, at));
+        if self.versions.len() > Self::MAX_ENTRIES {
+            let excess = self.versions.len() - Self::MAX_ENTRIES;
+            self.versions.drain(..excess);
+        }
+    }
+
+    fn current(&self) -> u64 {
+        self.versions.last().map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    /// Returns `true` if `version` was the current version at some instant in
+    /// the window `[issued_at, completed_at]`.
+    fn was_current_during(&self, version: u64, issued_at: Cycle, completed_at: Cycle) -> bool {
+        if self.versions.is_empty() {
+            return version == 0;
+        }
+        for (i, (v, became_current)) in self.versions.iter().enumerate() {
+            let superseded_at = self
+                .versions
+                .get(i + 1)
+                .map(|(_, t)| *t)
+                .unwrap_or(Cycle::MAX);
+            if *v == version && superseded_at >= issued_at && *became_current <= completed_at {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Checks the properties the correctness substrate is supposed to guarantee.
+///
+/// * **Value safety** — every load must observe the value produced by the
+///   most recent store that completed before it (the observable consequence
+///   of "single writer or many readers, never both").
+/// * **Token conservation** (Token Coherence only) — at quiescence, every
+///   audited block still has exactly `T` tokens and exactly one owner token.
+/// * **Single writer** — at quiescence, no block has two writable copies, and
+///   a writable copy excludes any other readable copy.
+/// * **Starvation freedom** — no request remains outstanding at the end of a
+///   run for longer than the starvation bound.
+///
+/// The verifier is deliberately protocol-agnostic: it sees only completed
+/// reads/writes and the [`BlockAudit`] snapshots controllers expose.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    history: BTreeMap<BlockAddr, BlockHistory>,
+    violations: Vec<InvariantViolation>,
+    reads_checked: u64,
+    writes_recorded: u64,
+}
+
+impl Verifier {
+    /// Creates an empty verifier.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Records a completed store of `version` to `addr` at time `at`.
+    pub fn record_write(&mut self, _node: NodeId, addr: BlockAddr, version: u64, at: Cycle) {
+        self.writes_recorded += 1;
+        self.history.entry(addr).or_default().record(version, at);
+    }
+
+    /// Checks a load of `version` from `addr` that was issued at `issued_at`
+    /// and completed at `at`.
+    ///
+    /// The load is legal if the value it observed was the block's current
+    /// value at *some* instant during the load's lifetime — the coherence
+    /// (per-location serializability) requirement. A load that returns a
+    /// value that was already overwritten before the load was even issued is
+    /// stale and gets flagged.
+    pub fn check_read(&mut self, node: NodeId, addr: BlockAddr, version: u64, issued_at: Cycle, at: Cycle) {
+        self.reads_checked += 1;
+        let entry = self.history.entry(addr).or_default();
+        entry.ensure_initial();
+        // Observing the globally newest value is never stale (a write that
+        // takes effect in the same event batch may carry a slightly later
+        // completion timestamp than the read that already sees it).
+        if version == entry.current() {
+            return;
+        }
+        if !entry.was_current_during(version, issued_at, at) {
+            self.violations.push(InvariantViolation::StaleDataRead {
+                node,
+                addr,
+                observed_version: version,
+                expected_version: entry.current(),
+                at,
+            });
+        }
+    }
+
+    /// Audits token conservation and the single-writer property for one block
+    /// given every node's audit plus the tokens currently in flight in the
+    /// interconnect.
+    pub fn audit_block(
+        &mut self,
+        addr: BlockAddr,
+        audits: &[BlockAudit],
+        in_flight_tokens: u32,
+        in_flight_owners: u32,
+        expected_tokens: Option<u32>,
+        at: Cycle,
+    ) {
+        if let Some(expected) = expected_tokens {
+            let total: u32 = audits.iter().map(|a| a.tokens).sum::<u32>() + in_flight_tokens;
+            if total != expected {
+                self.violations.push(InvariantViolation::TokenConservation {
+                    addr,
+                    expected,
+                    found: total,
+                    at,
+                });
+            }
+            let owners =
+                audits.iter().filter(|a| a.owner_token).count() as u32 + in_flight_owners;
+            if owners != 1 {
+                self.violations
+                    .push(InvariantViolation::DuplicateOwner { addr, at });
+            }
+        }
+        let writers = audits.iter().filter(|a| a.writable).count();
+        let readers = audits.iter().filter(|a| a.readable).count();
+        if writers > 1 || (writers == 1 && readers > 1) {
+            self.violations.push(InvariantViolation::WriteWithoutExclusive {
+                node: NodeId::new(0),
+                addr,
+                held: readers as u32,
+                required: 1,
+                at,
+            });
+        }
+    }
+
+    /// Records a starvation violation (a request still outstanding at the end
+    /// of the run beyond the starvation bound).
+    pub fn record_starvation(&mut self, node: NodeId, addr: BlockAddr, issued_at: Cycle, at: Cycle) {
+        self.violations.push(InvariantViolation::Starvation {
+            node,
+            addr,
+            issued_at,
+            at,
+        });
+    }
+
+    /// All violations detected so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// (reads checked, writes recorded) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.reads_checked, self.writes_recorded)
+    }
+
+    /// Consumes the verifier, returning its violations.
+    pub fn into_violations(self) -> Vec<InvariantViolation> {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(tokens: u32, owner: bool, readable: bool, writable: bool) -> BlockAudit {
+        BlockAudit {
+            tokens,
+            owner_token: owner,
+            readable,
+            writable,
+            data_version: 0,
+            in_memory: false,
+        }
+    }
+
+    #[test]
+    fn reads_of_the_latest_write_pass() {
+        let mut v = Verifier::new();
+        v.record_write(NodeId::new(0), BlockAddr::new(1), 10, 100);
+        v.check_read(NodeId::new(1), BlockAddr::new(1), 10, 150, 200);
+        assert!(v.violations().is_empty());
+        assert_eq!(v.counters(), (1, 1));
+    }
+
+    #[test]
+    fn stale_reads_are_flagged() {
+        let mut v = Verifier::new();
+        v.record_write(NodeId::new(0), BlockAddr::new(1), 10, 100);
+        v.record_write(NodeId::new(2), BlockAddr::new(1), 20, 200);
+        // Issued and completed strictly after the second write, yet observed
+        // the first write's value: stale.
+        v.check_read(NodeId::new(1), BlockAddr::new(1), 10, 250, 300);
+        assert_eq!(v.violations().len(), 1);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::StaleDataRead { .. }
+        ));
+    }
+
+    #[test]
+    fn reads_ordered_before_a_racing_write_are_tolerated() {
+        let mut v = Verifier::new();
+        v.record_write(NodeId::new(0), BlockAddr::new(1), 10, 100);
+        v.record_write(NodeId::new(2), BlockAddr::new(1), 20, 200);
+        // The read was issued while version 10 was still current, so the
+        // coherence order may legally place it before the second write even
+        // though its data arrived later.
+        v.check_read(NodeId::new(1), BlockAddr::new(1), 10, 150, 300);
+        assert!(v.violations().is_empty());
+    }
+
+    #[test]
+    fn unwritten_blocks_read_as_version_zero() {
+        let mut v = Verifier::new();
+        v.check_read(NodeId::new(0), BlockAddr::new(7), 0, 40, 50);
+        assert!(v.violations().is_empty());
+        v.check_read(NodeId::new(0), BlockAddr::new(7), 3, 55, 60);
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn very_old_values_are_not_accepted() {
+        let mut v = Verifier::new();
+        for i in 1..10u64 {
+            v.record_write(NodeId::new(0), BlockAddr::new(1), i, i * 100);
+        }
+        // Issued long after version 3 was overwritten.
+        v.check_read(NodeId::new(1), BlockAddr::new(1), 3, 800, 900);
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn token_conservation_audit_detects_lost_tokens() {
+        let mut v = Verifier::new();
+        v.audit_block(
+            BlockAddr::new(1),
+            &[audit(10, true, true, false), audit(5, false, true, false)],
+            0,
+            0,
+            Some(16),
+            1000,
+        );
+        assert_eq!(v.violations().len(), 1);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::TokenConservation { found: 15, .. }
+        ));
+    }
+
+    #[test]
+    fn in_flight_tokens_count_toward_conservation() {
+        let mut v = Verifier::new();
+        v.audit_block(
+            BlockAddr::new(1),
+            &[audit(10, false, true, false)],
+            6,
+            1,
+            Some(16),
+            1000,
+        );
+        assert!(v.violations().is_empty());
+    }
+
+    #[test]
+    fn duplicate_owner_tokens_are_flagged() {
+        let mut v = Verifier::new();
+        v.audit_block(
+            BlockAddr::new(2),
+            &[audit(8, true, true, false), audit(8, true, true, false)],
+            0,
+            0,
+            Some(16),
+            500,
+        );
+        assert_eq!(v.violations().len(), 1);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::DuplicateOwner { .. }
+        ));
+    }
+
+    #[test]
+    fn two_writers_violate_single_writer() {
+        let mut v = Verifier::new();
+        v.audit_block(
+            BlockAddr::new(3),
+            &[audit(0, false, true, true), audit(0, false, true, true)],
+            0,
+            0,
+            None,
+            700,
+        );
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn one_writer_many_readers_is_flagged() {
+        let mut v = Verifier::new();
+        v.audit_block(
+            BlockAddr::new(3),
+            &[
+                audit(0, false, true, true),
+                audit(0, false, true, false),
+                audit(0, false, true, false),
+            ],
+            0,
+            0,
+            None,
+            700,
+        );
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn starvation_is_recorded() {
+        let mut v = Verifier::new();
+        v.record_starvation(NodeId::new(3), BlockAddr::new(9), 100, 90_000);
+        assert!(matches!(
+            v.into_violations()[0],
+            InvariantViolation::Starvation { .. }
+        ));
+    }
+}

@@ -1,0 +1,440 @@
+//! System configuration, with defaults matching Table 1 of the paper.
+
+use std::fmt;
+
+use crate::error::ConfigError;
+
+/// Which coherence protocol a system instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Token Coherence with the TokenB broadcast performance protocol
+    /// (the paper's contribution).
+    TokenB,
+    /// Traditional MOSI split-transaction snooping; requires the
+    /// totally-ordered tree interconnect.
+    Snooping,
+    /// Full-map MOSI directory protocol (Origin 2000 / Alpha 21364 style).
+    Directory,
+    /// AMD-Hammer-style protocol: request to home, home broadcasts, every
+    /// node responds to the requester.
+    Hammer,
+}
+
+impl ProtocolKind {
+    /// All protocols evaluated in the paper.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::TokenB,
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Hammer,
+    ];
+
+    /// Returns `true` if the protocol requires a totally-ordered interconnect.
+    pub fn requires_total_order(self) -> bool {
+        matches!(self, ProtocolKind::Snooping)
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::TokenB => "TokenB",
+            ProtocolKind::Snooping => "Snooping",
+            ProtocolKind::Directory => "Directory",
+            ProtocolKind::Hammer => "Hammer",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Two-level pipelined broadcast tree with a single root switch; provides
+    /// a total order of requests (Figure 1a). Four link crossings between any
+    /// pair of nodes.
+    Tree,
+    /// Two-dimensional bidirectional torus; directly connected, unordered
+    /// (Figure 1b). Two link crossings on average for 16 nodes.
+    Torus,
+}
+
+impl TopologyKind {
+    /// Returns `true` if this topology delivers broadcasts in a total order.
+    pub fn is_totally_ordered(self) -> bool {
+        matches!(self, TopologyKind::Tree)
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Tree => "Tree",
+            TopologyKind::Torus => "Torus",
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether link bandwidth is modelled or treated as infinite.
+///
+/// The paper reports runtimes both with the 3.2 GB/s links of Table 1 and
+/// with unlimited bandwidth, to separate latency effects from contention
+/// effects (Figures 4a and 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandwidthMode {
+    /// Model link serialization and contention at the configured bandwidth.
+    Limited,
+    /// Links never serialize or queue (latency-only model).
+    Unlimited,
+}
+
+/// How the directory protocol stores its directory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirectoryMode {
+    /// Directory state lives in main-memory DRAM: every directory access
+    /// pays the DRAM latency (the base system in the paper).
+    InDram,
+    /// A "perfect" directory cache: zero-cycle directory access.
+    Perfect,
+}
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Access latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets for a given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn num_sets(&self, block_bytes: u64) -> usize {
+        let lines = self.size_bytes / block_bytes;
+        assert!(
+            lines % self.associativity as u64 == 0,
+            "cache of {} lines is not divisible into {}-way sets",
+            lines,
+            self.associativity
+        );
+        (lines / self.associativity as u64) as usize
+    }
+}
+
+/// Interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectConfig {
+    /// Topology to instantiate.
+    pub topology: TopologyKind,
+    /// Link bandwidth in bytes per nanosecond (3.2 GB/s = 3.2 bytes/ns).
+    pub link_bandwidth_bytes_per_ns: f64,
+    /// Per-link latency in nanoseconds (wire + synchronization + routing).
+    pub link_latency_ns: u64,
+    /// Whether bandwidth is modelled.
+    pub bandwidth: BandwidthMode,
+}
+
+/// Processor model parameters.
+///
+/// The paper uses a 4-wide, 11-stage, dynamically scheduled core. Our
+/// processor model is a miss-overlap model: it issues memory operations from
+/// the workload stream in order, hides cache-hit latency behind computation,
+/// and allows up to `max_outstanding_misses` misses to overlap within a
+/// reorder window, which reproduces the memory-level parallelism that matters
+/// for protocol comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessorConfig {
+    /// Maximum number of outstanding cache misses (MSHRs).
+    pub max_outstanding_misses: usize,
+    /// Number of subsequent memory operations the core may issue past an
+    /// outstanding miss before stalling (models the reorder window).
+    pub overlap_window: usize,
+    /// Memory operations per simulated "transaction" (unit of work used to
+    /// report normalized runtime, as in the paper's cycles-per-transaction).
+    pub ops_per_transaction: usize,
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        ProcessorConfig {
+            max_outstanding_misses: 4,
+            overlap_window: 16,
+            ops_per_transaction: 250,
+        }
+    }
+}
+
+/// Token-Coherence-specific tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenConfig {
+    /// Tokens per block, `T`. Must be at least the number of processors.
+    pub tokens_per_block: u32,
+    /// Number of reissued transient requests before escalating to a
+    /// persistent request (the paper uses approximately 4).
+    pub reissues_before_persistent: u32,
+    /// Multiplier applied to the recent average miss latency when computing
+    /// the reissue timeout (the paper uses 2x).
+    pub reissue_latency_multiplier: f64,
+    /// Multiplier applied to the recent average miss latency for the
+    /// persistent-request timeout (the paper uses roughly 10x).
+    pub persistent_latency_multiplier: f64,
+    /// Whether the migratory-sharing optimization is enabled.
+    pub migratory_optimization: bool,
+}
+
+impl Default for TokenConfig {
+    fn default() -> Self {
+        TokenConfig {
+            tokens_per_block: 16,
+            reissues_before_persistent: 4,
+            reissue_latency_multiplier: 2.0,
+            persistent_latency_multiplier: 10.0,
+            migratory_optimization: true,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of nodes (processor + caches + memory slice per node).
+    pub num_nodes: usize,
+    /// Cache block size in bytes.
+    pub block_bytes: u64,
+    /// Split L1 instruction/data cache parameters (each).
+    pub l1: CacheConfig,
+    /// Unified L2 cache parameters.
+    pub l2: CacheConfig,
+    /// DRAM access latency in nanoseconds (also the directory lookup latency
+    /// when the directory lives in DRAM).
+    pub dram_latency_ns: u64,
+    /// Memory / directory controller occupancy per message, in nanoseconds.
+    pub controller_latency_ns: u64,
+    /// Interconnect parameters.
+    pub interconnect: InterconnectConfig,
+    /// Processor model parameters.
+    pub processor: ProcessorConfig,
+    /// Coherence protocol to run.
+    pub protocol: ProtocolKind,
+    /// Directory implementation (ignored by other protocols).
+    pub directory_mode: DirectoryMode,
+    /// Token Coherence tuning (ignored by other protocols).
+    pub token: TokenConfig,
+    /// Deterministic seed for workload generation and randomized backoff.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The 16-processor target system of the paper (Table 1), running TokenB
+    /// on the torus interconnect with limited bandwidth.
+    pub fn isca03_default() -> Self {
+        SystemConfig {
+            num_nodes: 16,
+            block_bytes: 64,
+            l1: CacheConfig {
+                size_bytes: 128 * 1024,
+                associativity: 4,
+                latency_ns: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                associativity: 4,
+                latency_ns: 6,
+            },
+            dram_latency_ns: 80,
+            controller_latency_ns: 6,
+            interconnect: InterconnectConfig {
+                topology: TopologyKind::Torus,
+                link_bandwidth_bytes_per_ns: 3.2,
+                link_latency_ns: 15,
+                bandwidth: BandwidthMode::Limited,
+            },
+            processor: ProcessorConfig::default(),
+            protocol: ProtocolKind::TokenB,
+            directory_mode: DirectoryMode::InDram,
+            token: TokenConfig::default(),
+            seed: 0x5eed_1503,
+        }
+    }
+
+    /// Returns a copy configured for the given protocol, selecting the
+    /// interconnect the paper pairs it with by default (Snooping on the
+    /// ordered tree, everything else on the torus).
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        if protocol.requires_total_order() {
+            self.interconnect.topology = TopologyKind::Tree;
+        }
+        self
+    }
+
+    /// Returns a copy with a different interconnect topology.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.interconnect.topology = topology;
+        self
+    }
+
+    /// Returns a copy with the given bandwidth mode.
+    pub fn with_bandwidth(mut self, bandwidth: BandwidthMode) -> Self {
+        self.interconnect.bandwidth = bandwidth;
+        self
+    }
+
+    /// Returns a copy with a different node count, growing the token count
+    /// if necessary so that `T >= num_nodes`.
+    pub fn with_nodes(mut self, num_nodes: usize) -> Self {
+        self.num_nodes = num_nodes;
+        if (self.token.tokens_per_block as usize) < num_nodes {
+            self.token.tokens_per_block = num_nodes as u32;
+        }
+        self
+    }
+
+    /// Returns a copy with a different random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates cross-parameter constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is internally
+    /// inconsistent (for example, snooping on an unordered interconnect, or
+    /// fewer tokens than processors).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_nodes == 0 {
+            return Err(ConfigError::new("system must have at least one node"));
+        }
+        if !self.block_bytes.is_power_of_two() {
+            return Err(ConfigError::new("block size must be a power of two"));
+        }
+        if self.protocol.requires_total_order()
+            && !self.interconnect.topology.is_totally_ordered()
+        {
+            return Err(ConfigError::new(
+                "traditional snooping requires the totally-ordered tree interconnect",
+            ));
+        }
+        if self.protocol == ProtocolKind::TokenB
+            && (self.token.tokens_per_block as usize) < self.num_nodes
+        {
+            return Err(ConfigError::new(
+                "tokens per block must be at least the number of processors",
+            ));
+        }
+        if self.interconnect.link_bandwidth_bytes_per_ns <= 0.0 {
+            return Err(ConfigError::new("link bandwidth must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Bytes of token state per block (valid bit, owner bit, token count),
+    /// as described in Section 3.1 of the paper.
+    pub fn token_state_bits(&self) -> u32 {
+        2 + (32 - (self.token.tokens_per_block.max(1)).leading_zeros())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::isca03_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters_match_the_paper() {
+        let c = SystemConfig::isca03_default();
+        assert_eq!(c.num_nodes, 16);
+        assert_eq!(c.block_bytes, 64);
+        assert_eq!(c.l1.size_bytes, 128 * 1024);
+        assert_eq!(c.l1.latency_ns, 2);
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.latency_ns, 6);
+        assert_eq!(c.dram_latency_ns, 80);
+        assert_eq!(c.controller_latency_ns, 6);
+        assert_eq!(c.interconnect.link_latency_ns, 15);
+        assert!((c.interconnect.link_bandwidth_bytes_per_ns - 3.2).abs() < 1e-9);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_geometry_divides_into_sets() {
+        let c = SystemConfig::isca03_default();
+        assert_eq!(c.l1.num_sets(64), 512);
+        assert_eq!(c.l2.num_sets(64), 16384);
+    }
+
+    #[test]
+    fn snooping_on_torus_is_rejected() {
+        let c = SystemConfig::isca03_default()
+            .with_protocol(ProtocolKind::Snooping)
+            .with_topology(TopologyKind::Torus);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_protocol_selects_ordered_interconnect_for_snooping() {
+        let c = SystemConfig::isca03_default().with_protocol(ProtocolKind::Snooping);
+        assert_eq!(c.interconnect.topology, TopologyKind::Tree);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn too_few_tokens_is_rejected() {
+        let mut c = SystemConfig::isca03_default().with_nodes(32);
+        assert!(c.validate().is_ok());
+        c.token.tokens_per_block = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_nodes_grows_token_count() {
+        let c = SystemConfig::isca03_default().with_nodes(64);
+        assert_eq!(c.token.tokens_per_block, 64);
+    }
+
+    #[test]
+    fn token_state_is_about_one_byte_for_sixty_four_tokens() {
+        let mut c = SystemConfig::isca03_default();
+        c.token.tokens_per_block = 64;
+        // valid bit + owner bit + ceil(log2(64+1)) bits ~ 9 bits, the paper's
+        // "one byte of storage" claim rounds this to 8.
+        assert!(c.token_state_bits() <= 9);
+    }
+
+    #[test]
+    fn protocol_names_are_stable() {
+        assert_eq!(ProtocolKind::TokenB.to_string(), "TokenB");
+        assert_eq!(ProtocolKind::Directory.to_string(), "Directory");
+        assert_eq!(TopologyKind::Torus.to_string(), "Torus");
+    }
+
+    #[test]
+    fn unordered_topology_reports_no_total_order() {
+        assert!(TopologyKind::Tree.is_totally_ordered());
+        assert!(!TopologyKind::Torus.is_totally_ordered());
+        assert!(ProtocolKind::Snooping.requires_total_order());
+        assert!(!ProtocolKind::TokenB.requires_total_order());
+    }
+}

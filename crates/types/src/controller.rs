@@ -1,0 +1,262 @@
+//! The coherence-controller API.
+//!
+//! Every protocol (TokenB, Snooping, Directory, Hammer) implements the
+//! [`CoherenceController`] trait. The system runner drives controllers with
+//! three kinds of events — processor accesses, message deliveries, and timer
+//! expirations — and the controller communicates back through an [`Outbox`]:
+//! messages to inject into the interconnect, completed misses to hand back to
+//! the processor, and timers to arm.
+
+use std::fmt;
+
+use crate::addr::BlockAddr;
+use crate::ids::{Cycle, NodeId, ReqId};
+use crate::memop::MemOp;
+use crate::message::Message;
+use crate::stats::ControllerStats;
+
+/// How a processor access was satisfied (or not) by the local cache
+/// hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access hit locally; the processor sees `latency` cycles.
+    Hit {
+        /// Total hit latency in cycles (L1 or L1+L2).
+        latency: Cycle,
+        /// Version of the block contents observed (loads) or produced
+        /// (stores), used by the verification layer.
+        version: u64,
+    },
+    /// The access missed; a [`MissCompletion`] with the same [`ReqId`] will be
+    /// delivered through the outbox when the protocol has obtained the block.
+    Miss,
+}
+
+/// What kind of miss a completed request was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// A load (or instruction fetch) that missed.
+    Read,
+    /// A store that missed with no local copy at all.
+    Write,
+    /// A store that hit a read-only copy and needed an upgrade.
+    Upgrade,
+}
+
+/// Notification that an outstanding miss has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissCompletion {
+    /// The processor request this completes.
+    pub req_id: ReqId,
+    /// The block concerned.
+    pub addr: BlockAddr,
+    /// What kind of miss it was.
+    pub kind: MissKind,
+    /// When the miss was issued to the protocol.
+    pub issued_at: Cycle,
+    /// When the miss completed.
+    pub completed_at: Cycle,
+    /// Version of the block contents observed (reads) or produced (writes).
+    pub data_version: u64,
+    /// Whether the data came from another processor's cache.
+    pub cache_to_cache: bool,
+}
+
+impl MissCompletion {
+    /// Latency of the miss in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.completed_at.saturating_sub(self.issued_at)
+    }
+}
+
+/// Why a controller timer was armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Reissue a transient request that has not completed (TokenB).
+    Reissue,
+    /// Escalate a starving transient request to a persistent request (TokenB).
+    PersistentEscalation,
+    /// Memory/DRAM access completes (used by home controllers).
+    MemoryAccess,
+    /// Protocol-specific timer.
+    Other(u32),
+}
+
+/// A timer armed by a controller; delivered back via
+/// [`CoherenceController::handle_timer`] when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// Identifier chosen by the controller (opaque to the runner).
+    pub id: u64,
+    /// Block the timer concerns.
+    pub addr: BlockAddr,
+    /// Why the timer was armed.
+    pub kind: TimerKind,
+}
+
+/// Collects the outputs of one controller invocation.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Messages to hand to the interconnect.
+    pub messages: Vec<Message>,
+    /// Miss completions to hand back to the processor.
+    pub completions: Vec<MissCompletion>,
+    /// Timers to arm: (absolute firing time, timer).
+    pub timers: Vec<(Cycle, Timer)>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a message for the interconnect.
+    pub fn send(&mut self, msg: Message) {
+        self.messages.push(msg);
+    }
+
+    /// Queues a miss completion for the processor.
+    pub fn complete(&mut self, completion: MissCompletion) {
+        self.completions.push(completion);
+    }
+
+    /// Arms a timer to fire at the absolute time `at`.
+    pub fn arm_timer(&mut self, at: Cycle, timer: Timer) {
+        self.timers.push((at, timer));
+    }
+
+    /// Returns `true` if nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty() && self.completions.is_empty() && self.timers.is_empty()
+    }
+
+    /// Moves everything out of this outbox, leaving it empty.
+    pub fn drain(&mut self) -> Outbox {
+        Outbox {
+            messages: std::mem::take(&mut self.messages),
+            completions: std::mem::take(&mut self.completions),
+            timers: std::mem::take(&mut self.timers),
+        }
+    }
+}
+
+/// A snapshot of one node's coherence state for a block, used by the
+/// verification layer to audit global invariants (token conservation,
+/// single-writer/multiple-reader) without knowing protocol internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockAudit {
+    /// Tokens held for the block (Token Coherence; 0 for other protocols).
+    pub tokens: u32,
+    /// Whether the owner token is held.
+    pub owner_token: bool,
+    /// Whether the node currently has read permission for the block.
+    pub readable: bool,
+    /// Whether the node currently has write permission for the block.
+    pub writable: bool,
+    /// Version of the data held (meaningful only if `readable`).
+    pub data_version: u64,
+    /// Whether this snapshot comes from the node's memory (home) rather than
+    /// its cache.
+    pub in_memory: bool,
+}
+
+/// The interface every coherence protocol implements.
+///
+/// One controller instance exists per node and plays both the cache-side role
+/// (servicing its processor) and the home/memory-side role (servicing the
+/// slice of physical memory homed at this node), because the target system
+/// integrates both on one chip.
+pub trait CoherenceController: fmt::Debug {
+    /// The node this controller belongs to.
+    fn node(&self) -> NodeId;
+
+    /// A short protocol name for reports (for example `"TokenB"`).
+    fn protocol_name(&self) -> &'static str;
+
+    /// The processor asks for `op` to be performed. Returns whether it hit
+    /// locally; on a miss the controller takes ownership of the request and
+    /// must eventually deliver a [`MissCompletion`] with the same [`ReqId`].
+    fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome;
+
+    /// A message addressed to this node arrives from the interconnect.
+    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox);
+
+    /// A timer armed by this controller fires.
+    fn handle_timer(&mut self, now: Cycle, timer: Timer, out: &mut Outbox);
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> ControllerStats;
+
+    /// Audits this node's state for `addr` (cache contents plus, if this node
+    /// is the block's home, the memory's contribution).
+    fn audit_block(&self, addr: BlockAddr) -> Vec<BlockAudit>;
+
+    /// Every block this node currently holds state for (cache lines plus
+    /// home-memory entries that differ from the initial all-tokens-at-home
+    /// state). Used by the verifier to bound its audit.
+    fn audited_blocks(&self) -> Vec<BlockAddr>;
+
+    /// Number of misses currently outstanding at this node.
+    fn outstanding_misses(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::BlockAddr;
+
+    #[test]
+    fn outbox_accumulates_and_drains() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.arm_timer(
+            100,
+            Timer {
+                id: 1,
+                addr: BlockAddr::new(2),
+                kind: TimerKind::Reissue,
+            },
+        );
+        out.complete(MissCompletion {
+            req_id: ReqId::new(1),
+            addr: BlockAddr::new(2),
+            kind: MissKind::Read,
+            issued_at: 10,
+            completed_at: 60,
+            data_version: 0,
+            cache_to_cache: true,
+        });
+        assert!(!out.is_empty());
+        let drained = out.drain();
+        assert!(out.is_empty());
+        assert_eq!(drained.timers.len(), 1);
+        assert_eq!(drained.completions.len(), 1);
+    }
+
+    #[test]
+    fn miss_completion_latency_is_saturating() {
+        let c = MissCompletion {
+            req_id: ReqId::new(1),
+            addr: BlockAddr::new(0),
+            kind: MissKind::Write,
+            issued_at: 100,
+            completed_at: 250,
+            data_version: 1,
+            cache_to_cache: false,
+        };
+        assert_eq!(c.latency(), 150);
+        let degenerate = MissCompletion {
+            completed_at: 50,
+            ..c
+        };
+        assert_eq!(degenerate.latency(), 0);
+    }
+
+    #[test]
+    fn block_audit_default_is_inert() {
+        let a = BlockAudit::default();
+        assert_eq!(a.tokens, 0);
+        assert!(!a.readable && !a.writable && !a.owner_token);
+    }
+}

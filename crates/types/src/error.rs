@@ -1,0 +1,220 @@
+//! Error and invariant-violation types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::BlockAddr;
+use crate::ids::{Cycle, NodeId};
+
+/// A system configuration was internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation of what was inconsistent.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A violation of one of the correctness-substrate invariants (or of the
+/// coherence safety property), detected by the verification layer.
+///
+/// The whole point of Token Coherence is that these can never occur no matter
+/// what the performance protocol does; the verification layer exists to check
+/// that claim mechanically during simulation and in the test suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// The total number of tokens for a block changed (invariant #1').
+    TokenConservation {
+        /// Block whose tokens were miscounted.
+        addr: BlockAddr,
+        /// Expected total token count `T`.
+        expected: u32,
+        /// Observed total token count.
+        found: u32,
+        /// Time of the audit.
+        at: Cycle,
+    },
+    /// More than one owner token exists for a block (invariant #1').
+    DuplicateOwner {
+        /// Block with duplicate owner tokens.
+        addr: BlockAddr,
+        /// Time of the audit.
+        at: Cycle,
+    },
+    /// A node wrote a block without holding all tokens / exclusive permission
+    /// (invariant #2').
+    WriteWithoutExclusive {
+        /// Offending node.
+        node: NodeId,
+        /// Block that was written.
+        addr: BlockAddr,
+        /// Tokens (or sharers) held at the time.
+        held: u32,
+        /// Tokens required.
+        required: u32,
+        /// Time of the write.
+        at: Cycle,
+    },
+    /// A node read a block without holding a token / valid copy
+    /// (invariant #3').
+    ReadWithoutToken {
+        /// Offending node.
+        node: NodeId,
+        /// Block that was read.
+        addr: BlockAddr,
+        /// Time of the read.
+        at: Cycle,
+    },
+    /// A message carried the owner token without data (invariant #4').
+    OwnerTokenWithoutData {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Time the message was sent.
+        at: Cycle,
+    },
+    /// A load observed a value other than the one written by the most recent
+    /// store (the single-writer/valid-data safety property).
+    StaleDataRead {
+        /// Node that performed the load.
+        node: NodeId,
+        /// Block that was read.
+        addr: BlockAddr,
+        /// Version of the data the load observed.
+        observed_version: u64,
+        /// Version the verification layer expected.
+        expected_version: u64,
+        /// Time of the load.
+        at: Cycle,
+    },
+    /// A request never completed within the starvation bound.
+    Starvation {
+        /// Node whose request starved.
+        node: NodeId,
+        /// Block being requested.
+        addr: BlockAddr,
+        /// Time the request was issued.
+        issued_at: Cycle,
+        /// Time of the audit that declared starvation.
+        at: Cycle,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::TokenConservation {
+                addr,
+                expected,
+                found,
+                at,
+            } => write!(
+                f,
+                "token conservation violated for {addr}: expected {expected} tokens, found {found} at cycle {at}"
+            ),
+            InvariantViolation::DuplicateOwner { addr, at } => {
+                write!(f, "duplicate owner token for {addr} at cycle {at}")
+            }
+            InvariantViolation::WriteWithoutExclusive {
+                node,
+                addr,
+                held,
+                required,
+                at,
+            } => write!(
+                f,
+                "{node} wrote {addr} holding {held}/{required} tokens at cycle {at}"
+            ),
+            InvariantViolation::ReadWithoutToken { node, addr, at } => {
+                write!(f, "{node} read {addr} without a token at cycle {at}")
+            }
+            InvariantViolation::OwnerTokenWithoutData { addr, at } => {
+                write!(f, "owner token for {addr} sent without data at cycle {at}")
+            }
+            InvariantViolation::StaleDataRead {
+                node,
+                addr,
+                observed_version,
+                expected_version,
+                at,
+            } => write!(
+                f,
+                "{node} read stale data for {addr}: observed v{observed_version}, expected v{expected_version} at cycle {at}"
+            ),
+            InvariantViolation::Starvation {
+                node,
+                addr,
+                issued_at,
+                at,
+            } => write!(
+                f,
+                "{node} starved on {addr}: issued at cycle {issued_at}, still incomplete at cycle {at}"
+            ),
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_displays_message() {
+        let e = ConfigError::new("bad thing");
+        assert_eq!(e.to_string(), "invalid configuration: bad thing");
+        assert_eq!(e.message(), "bad thing");
+    }
+
+    #[test]
+    fn violations_display_useful_context() {
+        let v = InvariantViolation::TokenConservation {
+            addr: BlockAddr::new(5),
+            expected: 16,
+            found: 15,
+            at: 100,
+        };
+        let text = v.to_string();
+        assert!(text.contains("16"));
+        assert!(text.contains("15"));
+        assert!(text.contains("cycle 100"));
+
+        let v = InvariantViolation::StaleDataRead {
+            node: NodeId::new(2),
+            addr: BlockAddr::new(9),
+            observed_version: 3,
+            expected_version: 4,
+            at: 77,
+        };
+        assert!(v.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn violations_are_std_errors() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&ConfigError::new("x"));
+        takes_error(&InvariantViolation::DuplicateOwner {
+            addr: BlockAddr::new(1),
+            at: 0,
+        });
+    }
+}

@@ -1,0 +1,482 @@
+//! Coherence messages exchanged between nodes over the interconnect.
+
+use std::fmt;
+
+use crate::addr::BlockAddr;
+use crate::ids::{Cycle, NodeId, ReqId};
+
+/// Size in bytes of a control message (requests, acknowledgements,
+/// invalidations, dataless token transfers).
+///
+/// The paper sizes these at 8 bytes, which covers the 40+ bit physical
+/// address and, for Token Coherence, the token count.
+pub const CONTROL_MSG_BYTES: u64 = 8;
+
+/// Size in bytes of a message that carries a 64-byte data block plus the
+/// 8-byte header.
+pub const DATA_MSG_BYTES: u64 = 72;
+
+/// The simulated contents of a cache block.
+///
+/// Rather than modelling 64 bytes of payload, the simulator carries a single
+/// version counter per block. Every store increments the version, so the
+/// verification layer can check that every load observes the value written by
+/// the most recent store that completed before it — a direct check of the
+/// single-writer/valid-data safety property the token-counting invariants are
+/// supposed to provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataPayload {
+    /// Monotonically increasing version of the block contents.
+    pub version: u64,
+}
+
+impl DataPayload {
+    /// Creates a payload with the given version.
+    pub fn new(version: u64) -> Self {
+        DataPayload { version }
+    }
+}
+
+/// Virtual networks used to avoid protocol deadlock.
+///
+/// Messages on different virtual networks never block each other; within a
+/// virtual network, delivery between a given source and destination is
+/// modelled in FIFO order by the interconnect. The unordered interconnect
+/// (torus) provides **no** ordering between different source/destination
+/// pairs, which is exactly the property that breaks traditional snooping and
+/// motivates Token Coherence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vnet {
+    /// Transient and ordinary coherence requests.
+    Request,
+    /// Data and acknowledgement responses.
+    Response,
+    /// Requests forwarded by a home/directory node, and invalidations.
+    Forwarded,
+    /// Persistent-request activation/deactivation traffic (Token Coherence).
+    Persistent,
+    /// Writebacks and token/data evictions to memory.
+    Writeback,
+}
+
+impl Vnet {
+    /// All virtual networks, in priority order used by the interconnect.
+    pub const ALL: [Vnet; 5] = [
+        Vnet::Response,
+        Vnet::Forwarded,
+        Vnet::Persistent,
+        Vnet::Writeback,
+        Vnet::Request,
+    ];
+}
+
+/// Destination of a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Destination {
+    /// Deliver to a single node.
+    Node(NodeId),
+    /// Deliver to every node except the sender (broadcast).
+    Broadcast,
+    /// Deliver to an explicit set of nodes.
+    Multicast(Vec<NodeId>),
+}
+
+impl Destination {
+    /// Returns `true` if `node` is covered by this destination, given the
+    /// original sender (broadcasts do not loop back to the sender).
+    pub fn includes(&self, node: NodeId, sender: NodeId) -> bool {
+        match self {
+            Destination::Node(n) => *n == node,
+            Destination::Broadcast => node != sender,
+            Destination::Multicast(nodes) => nodes.contains(&node),
+        }
+    }
+
+    /// Expands the destination into the list of receiving node indices for a
+    /// system of `num_nodes` nodes.
+    pub fn expand(&self, num_nodes: usize, sender: NodeId) -> Vec<NodeId> {
+        match self {
+            Destination::Node(n) => vec![*n],
+            Destination::Broadcast => (0..num_nodes)
+                .map(NodeId::new)
+                .filter(|n| *n != sender)
+                .collect(),
+            Destination::Multicast(nodes) => nodes.clone(),
+        }
+    }
+}
+
+/// The kind (opcode + protocol-specific payload) of a coherence message.
+///
+/// A single enum covers all four protocols so that the interconnect, traffic
+/// accounting, and system runner are protocol-agnostic. Each protocol only
+/// ever sends and receives the variants it understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgKind {
+    // ------------------------------------------------------------------
+    // Requests shared by all protocols (8-byte control messages).
+    // ------------------------------------------------------------------
+    /// Request for a read-only (shared) copy.
+    GetS,
+    /// Request for a read/write (modified) copy.
+    GetM,
+    /// Writeback of an owned/modified block to its home (carries data).
+    PutM,
+    /// Eviction notice of a shared block (control only; used by Directory).
+    PutS,
+
+    // ------------------------------------------------------------------
+    // Token Coherence (correctness substrate + TokenB).
+    // ------------------------------------------------------------------
+    /// Data together with `tokens` tokens; `owner` marks the owner token.
+    TokenData {
+        /// Number of tokens carried (including the owner token if present).
+        tokens: u32,
+        /// Whether the owner token is included (invariant #4': implies data).
+        owner: bool,
+        /// Whether the block was dirty with respect to memory.
+        dirty: bool,
+        /// Whether the response was sourced by the home memory rather than a
+        /// cache (used for cache-to-cache miss accounting).
+        from_memory: bool,
+        /// Simulated block contents.
+        payload: DataPayload,
+    },
+    /// Dataless transfer of non-owner tokens (like an invalidation ack).
+    TokenOnly {
+        /// Number of non-owner tokens carried.
+        tokens: u32,
+    },
+    /// A starving node asks the home arbiter to activate a persistent request.
+    PersistentRequest {
+        /// Whether the requester needs write (all tokens) or read permission.
+        write: bool,
+    },
+    /// The arbiter activates a persistent request on behalf of `requester`.
+    PersistentActivate {
+        /// Node that will receive all tokens for the block.
+        requester: NodeId,
+        /// Whether the requester needs write permission.
+        write: bool,
+    },
+    /// The arbiter deactivates the currently active persistent request.
+    PersistentDeactivate,
+    /// A node acknowledges a persistent activation or deactivation.
+    PersistentAck,
+    /// The satisfied requester asks the arbiter to deactivate its request.
+    PersistentComplete,
+
+    // ------------------------------------------------------------------
+    // Directory / Hammer / Snooping responses and forwards.
+    // ------------------------------------------------------------------
+    /// Data response. `acks_expected` tells the requester how many
+    /// invalidation acknowledgements to collect (directory protocol);
+    /// `exclusive` grants write permission; `from_memory` marks responses
+    /// sourced by the home memory rather than a cache.
+    Data {
+        /// Number of invalidation acks the requester must still collect.
+        acks_expected: u32,
+        /// Whether the copy is exclusive (M/E) rather than shared.
+        exclusive: bool,
+        /// Whether the response came from memory (as opposed to a cache).
+        from_memory: bool,
+        /// Simulated block contents.
+        payload: DataPayload,
+    },
+    /// Home/directory forwards a GetS to the current owner.
+    FwdGetS {
+        /// Original requester that the owner must respond to.
+        requester: NodeId,
+    },
+    /// Home/directory forwards a GetM to the current owner.
+    FwdGetM {
+        /// Original requester that the owner must respond to.
+        requester: NodeId,
+        /// Number of invalidation acknowledgements the requester must collect
+        /// (the home knows the sharer count; the owner copies it into its
+        /// data response).
+        acks_expected: u32,
+    },
+    /// Invalidate a shared copy on behalf of `requester`.
+    Inv {
+        /// Node waiting for the invalidation acknowledgement.
+        requester: NodeId,
+    },
+    /// Acknowledge an invalidation (directory) or a Hammer probe miss.
+    InvAck,
+    /// Acknowledge a writeback.
+    WbAck,
+    /// Requester tells the home/directory that its transaction is complete.
+    Unblock,
+    /// Requester tells the home it now holds the block exclusively.
+    ExclusiveUnblock,
+    /// Hammer: home broadcasts the original request to all nodes.
+    HammerProbe {
+        /// Original requester all nodes must respond to.
+        requester: NodeId,
+        /// Whether the original request was a GetM.
+        write: bool,
+    },
+}
+
+impl MsgKind {
+    /// Returns `true` if this message carries a data block (72 bytes).
+    pub fn carries_data(&self) -> bool {
+        match self {
+            MsgKind::TokenData { .. } | MsgKind::Data { .. } | MsgKind::PutM => true,
+            _ => false,
+        }
+    }
+
+    /// Returns the simulated size of a message of this kind, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        if self.carries_data() {
+            DATA_MSG_BYTES
+        } else {
+            CONTROL_MSG_BYTES
+        }
+    }
+
+    /// Returns the number of tokens carried by this message (zero for
+    /// non-token-protocol messages).
+    pub fn token_count(&self) -> u32 {
+        match self {
+            MsgKind::TokenData { tokens, .. } => *tokens,
+            MsgKind::TokenOnly { tokens } => *tokens,
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` if this message carries the owner token.
+    pub fn carries_owner_token(&self) -> bool {
+        matches!(self, MsgKind::TokenData { owner: true, .. })
+    }
+
+    /// Short mnemonic used in traces and debugging output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            MsgKind::GetS => "GetS",
+            MsgKind::GetM => "GetM",
+            MsgKind::PutM => "PutM",
+            MsgKind::PutS => "PutS",
+            MsgKind::TokenData { .. } => "TokenData",
+            MsgKind::TokenOnly { .. } => "TokenOnly",
+            MsgKind::PersistentRequest { .. } => "PersistentRequest",
+            MsgKind::PersistentActivate { .. } => "PersistentActivate",
+            MsgKind::PersistentDeactivate => "PersistentDeactivate",
+            MsgKind::PersistentAck => "PersistentAck",
+            MsgKind::PersistentComplete => "PersistentComplete",
+            MsgKind::Data { .. } => "Data",
+            MsgKind::FwdGetS { .. } => "FwdGetS",
+            MsgKind::FwdGetM { .. } => "FwdGetM",
+            MsgKind::Inv { .. } => "Inv",
+            MsgKind::InvAck => "InvAck",
+            MsgKind::WbAck => "WbAck",
+            MsgKind::Unblock => "Unblock",
+            MsgKind::ExclusiveUnblock => "ExclusiveUnblock",
+            MsgKind::HammerProbe { .. } => "HammerProbe",
+        }
+    }
+}
+
+/// A coherence message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Node that sent the message.
+    pub src: NodeId,
+    /// Where the message is going.
+    pub dest: Destination,
+    /// Block the message concerns.
+    pub addr: BlockAddr,
+    /// Opcode and payload.
+    pub kind: MsgKind,
+    /// Virtual network the message travels on.
+    pub vnet: Vnet,
+    /// Time at which the message was handed to the interconnect.
+    pub sent_at: Cycle,
+    /// Outstanding-request identifier at the requester, if any. Used to
+    /// distinguish responses to reissued transient requests from stale
+    /// responses to earlier issues of the same request.
+    pub req_id: Option<ReqId>,
+    /// Marks a reissued transient request (Token Coherence only), so traffic
+    /// accounting can separate reissues from first-issue requests as the
+    /// paper's traffic breakdowns do.
+    pub reissue: bool,
+}
+
+impl Message {
+    /// Creates a message. The interconnect fills in timing as it routes it.
+    pub fn new(
+        src: NodeId,
+        dest: Destination,
+        addr: BlockAddr,
+        kind: MsgKind,
+        vnet: Vnet,
+        sent_at: Cycle,
+    ) -> Self {
+        Message {
+            src,
+            dest,
+            addr,
+            kind,
+            vnet,
+            sent_at,
+            req_id: None,
+            reissue: false,
+        }
+    }
+
+    /// Attaches an outstanding-request identifier to the message.
+    pub fn with_req_id(mut self, req_id: ReqId) -> Self {
+        self.req_id = Some(req_id);
+        self
+    }
+
+    /// Marks this message as a reissued transient request.
+    pub fn as_reissue(mut self) -> Self {
+        self.reissue = true;
+        self
+    }
+
+    /// Returns the simulated wire size of the message in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.kind.size_bytes()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} -> {:?} @{}",
+            self.kind.mnemonic(),
+            self.addr,
+            self.src,
+            self.dest,
+            self.sent_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(kind: MsgKind) -> Message {
+        Message::new(
+            NodeId::new(0),
+            Destination::Broadcast,
+            BlockAddr::new(7),
+            kind,
+            Vnet::Request,
+            100,
+        )
+    }
+
+    #[test]
+    fn control_messages_are_eight_bytes() {
+        assert_eq!(msg(MsgKind::GetS).size_bytes(), CONTROL_MSG_BYTES);
+        assert_eq!(msg(MsgKind::GetM).size_bytes(), CONTROL_MSG_BYTES);
+        assert_eq!(msg(MsgKind::InvAck).size_bytes(), CONTROL_MSG_BYTES);
+        assert_eq!(
+            msg(MsgKind::TokenOnly { tokens: 5 }).size_bytes(),
+            CONTROL_MSG_BYTES
+        );
+    }
+
+    #[test]
+    fn data_messages_are_seventy_two_bytes() {
+        let m = msg(MsgKind::TokenData {
+            tokens: 3,
+            owner: true,
+            dirty: false,
+            from_memory: false,
+            payload: DataPayload::default(),
+        });
+        assert_eq!(m.size_bytes(), DATA_MSG_BYTES);
+        let d = msg(MsgKind::Data {
+            acks_expected: 0,
+            exclusive: false,
+            from_memory: true,
+            payload: DataPayload::default(),
+        });
+        assert_eq!(d.size_bytes(), DATA_MSG_BYTES);
+        assert_eq!(msg(MsgKind::PutM).size_bytes(), DATA_MSG_BYTES);
+    }
+
+    #[test]
+    fn token_counts_are_reported() {
+        assert_eq!(
+            MsgKind::TokenData {
+                tokens: 4,
+                owner: true,
+                dirty: true,
+                from_memory: false,
+                payload: DataPayload::new(1),
+            }
+            .token_count(),
+            4
+        );
+        assert_eq!(MsgKind::TokenOnly { tokens: 2 }.token_count(), 2);
+        assert_eq!(MsgKind::GetS.token_count(), 0);
+    }
+
+    #[test]
+    fn owner_token_implies_data_in_the_type_system() {
+        // Only TokenData can carry the owner token, and TokenData always
+        // carries data: invariant #4' is structural.
+        let with_owner = MsgKind::TokenData {
+            tokens: 1,
+            owner: true,
+            dirty: false,
+            from_memory: false,
+            payload: DataPayload::default(),
+        };
+        assert!(with_owner.carries_owner_token());
+        assert!(with_owner.carries_data());
+        assert!(!MsgKind::TokenOnly { tokens: 3 }.carries_owner_token());
+    }
+
+    #[test]
+    fn destination_includes_and_expand_agree() {
+        let sender = NodeId::new(2);
+        let bcast = Destination::Broadcast;
+        let expanded = bcast.expand(4, sender);
+        assert_eq!(expanded.len(), 3);
+        for n in 0..4 {
+            let node = NodeId::new(n);
+            assert_eq!(bcast.includes(node, sender), expanded.contains(&node));
+        }
+
+        let ucast = Destination::Node(NodeId::new(1));
+        assert!(ucast.includes(NodeId::new(1), sender));
+        assert!(!ucast.includes(NodeId::new(0), sender));
+        assert_eq!(ucast.expand(4, sender), vec![NodeId::new(1)]);
+
+        let mcast = Destination::Multicast(vec![NodeId::new(0), NodeId::new(3)]);
+        assert!(mcast.includes(NodeId::new(3), sender));
+        assert!(!mcast.includes(NodeId::new(1), sender));
+        assert_eq!(mcast.expand(4, sender).len(), 2);
+    }
+
+    #[test]
+    fn req_id_builder_attaches_identifier() {
+        let m = msg(MsgKind::GetS).with_req_id(ReqId::new(9));
+        assert_eq!(m.req_id, Some(ReqId::new(9)));
+    }
+
+    #[test]
+    fn mnemonics_are_distinct_for_common_kinds() {
+        let kinds = [
+            MsgKind::GetS,
+            MsgKind::GetM,
+            MsgKind::PutM,
+            MsgKind::InvAck,
+            MsgKind::Unblock,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,435 @@
+//! Statistics containers shared by the protocols, the interconnect, and the
+//! system runner.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::Cycle;
+use crate::message::{Message, MsgKind};
+
+/// Traffic classification used by the paper's traffic breakdowns
+/// (Figures 4b and 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Initial transient / ordinary requests.
+    Request,
+    /// Requests forwarded by a home node and invalidations.
+    ForwardedOrInvalidation,
+    /// Data responses and writebacks (72-byte messages).
+    DataResponseOrWriteback,
+    /// Other non-data messages (acks, unblocks, dataless token transfers).
+    OtherControl,
+    /// Reissued transient requests and persistent-request traffic
+    /// (Token Coherence only).
+    ReissueOrPersistent,
+}
+
+impl TrafficClass {
+    /// All classes, in the order the paper's stacked bars present them.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::DataResponseOrWriteback,
+        TrafficClass::OtherControl,
+        TrafficClass::ForwardedOrInvalidation,
+        TrafficClass::Request,
+        TrafficClass::ReissueOrPersistent,
+    ];
+
+    /// Classifies a message.
+    pub fn of(msg: &Message) -> TrafficClass {
+        if msg.reissue {
+            return TrafficClass::ReissueOrPersistent;
+        }
+        match &msg.kind {
+            MsgKind::GetS | MsgKind::GetM => TrafficClass::Request,
+            MsgKind::HammerProbe { .. }
+            | MsgKind::FwdGetS { .. }
+            | MsgKind::FwdGetM { .. }
+            | MsgKind::Inv { .. } => TrafficClass::ForwardedOrInvalidation,
+            MsgKind::TokenData { .. } | MsgKind::Data { .. } | MsgKind::PutM => {
+                TrafficClass::DataResponseOrWriteback
+            }
+            MsgKind::PersistentRequest { .. }
+            | MsgKind::PersistentActivate { .. }
+            | MsgKind::PersistentDeactivate
+            | MsgKind::PersistentAck
+            | MsgKind::PersistentComplete => TrafficClass::ReissueOrPersistent,
+            MsgKind::PutS
+            | MsgKind::TokenOnly { .. }
+            | MsgKind::InvAck
+            | MsgKind::WbAck
+            | MsgKind::Unblock
+            | MsgKind::ExclusiveUnblock => TrafficClass::OtherControl,
+        }
+    }
+
+    /// Label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Request => "requests",
+            TrafficClass::ForwardedOrInvalidation => "forwards & invalidations",
+            TrafficClass::DataResponseOrWriteback => "data responses & writebacks",
+            TrafficClass::OtherControl => "other non-data messages",
+            TrafficClass::ReissueOrPersistent => "reissues & persistent requests",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Interconnect traffic, accumulated per traffic class, in both messages and
+/// link-bytes (a broadcast that crosses five links counts its size five
+/// times, matching how the paper reports interconnect traffic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    bytes: BTreeMap<TrafficClass, u64>,
+    messages: BTreeMap<TrafficClass, u64>,
+    link_bytes: BTreeMap<TrafficClass, u64>,
+}
+
+impl TrafficStats {
+    /// Creates an empty traffic accumulator.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records one message that will traverse `link_crossings` links.
+    pub fn record(&mut self, class: TrafficClass, size_bytes: u64, link_crossings: u64) {
+        *self.bytes.entry(class).or_insert(0) += size_bytes;
+        *self.messages.entry(class).or_insert(0) += 1;
+        *self.link_bytes.entry(class).or_insert(0) += size_bytes * link_crossings;
+    }
+
+    /// Endpoint bytes recorded for a class (each message counted once).
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Messages recorded for a class.
+    pub fn messages(&self, class: TrafficClass) -> u64 {
+        self.messages.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Link-crossing bytes recorded for a class (the paper's traffic metric).
+    pub fn link_bytes(&self, class: TrafficClass) -> u64 {
+        self.link_bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total endpoint bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Total messages across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.values().sum()
+    }
+
+    /// Total link-crossing bytes across all classes.
+    pub fn total_link_bytes(&self) -> u64 {
+        self.link_bytes.values().sum()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (k, v) in &other.bytes {
+            *self.bytes.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.messages {
+            *self.messages.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.link_bytes {
+            *self.link_bytes.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Cache-miss statistics for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissStats {
+    /// Demand accesses that hit in the L1.
+    pub l1_hits: u64,
+    /// Demand accesses that hit in the L2 (after missing in the L1).
+    pub l2_hits: u64,
+    /// Read misses that left the node.
+    pub read_misses: u64,
+    /// Write misses that left the node.
+    pub write_misses: u64,
+    /// Upgrade misses (had a shared copy, needed exclusive).
+    pub upgrade_misses: u64,
+    /// Misses satisfied by another cache (cache-to-cache transfers).
+    pub cache_to_cache: u64,
+    /// Misses satisfied by memory.
+    pub from_memory: u64,
+    /// Sum of miss latencies, for averaging.
+    pub total_miss_latency: Cycle,
+    /// Number of completed misses contributing to `total_miss_latency`.
+    pub completed_misses: u64,
+    /// Writebacks (dirty evictions) sent to memory.
+    pub writebacks: u64,
+}
+
+impl MissStats {
+    /// Total misses that left the node.
+    pub fn total_misses(&self) -> u64 {
+        self.read_misses + self.write_misses + self.upgrade_misses
+    }
+
+    /// Average latency of completed misses, in cycles.
+    pub fn average_miss_latency(&self) -> f64 {
+        if self.completed_misses == 0 {
+            0.0
+        } else {
+            self.total_miss_latency as f64 / self.completed_misses as f64
+        }
+    }
+
+    /// Fraction of completed misses that were cache-to-cache transfers.
+    pub fn cache_to_cache_fraction(&self) -> f64 {
+        let done = self.cache_to_cache + self.from_memory;
+        if done == 0 {
+            0.0
+        } else {
+            self.cache_to_cache as f64 / done as f64
+        }
+    }
+
+    /// Merges another node's statistics into this one.
+    pub fn merge(&mut self, other: &MissStats) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.upgrade_misses += other.upgrade_misses;
+        self.cache_to_cache += other.cache_to_cache;
+        self.from_memory += other.from_memory;
+        self.total_miss_latency += other.total_miss_latency;
+        self.completed_misses += other.completed_misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Reissue/persistent-request statistics (Table 2 of the paper).
+///
+/// Only the Token Coherence protocol populates these; they are zero for the
+/// baselines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReissueStats {
+    /// Misses satisfied by their first transient request.
+    pub not_reissued: u64,
+    /// Misses reissued exactly once.
+    pub reissued_once: u64,
+    /// Misses reissued more than once (but satisfied without a persistent
+    /// request).
+    pub reissued_more: u64,
+    /// Misses that escalated to a persistent request.
+    pub persistent: u64,
+}
+
+impl ReissueStats {
+    /// Total misses recorded.
+    pub fn total(&self) -> u64 {
+        self.not_reissued + self.reissued_once + self.reissued_more + self.persistent
+    }
+
+    /// Percentage of misses in each category, in Table 2 column order
+    /// (not reissued, reissued once, reissued more than once, persistent).
+    pub fn percentages(&self) -> [f64; 4] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let pct = |x: u64| 100.0 * x as f64 / total as f64;
+        [
+            pct(self.not_reissued),
+            pct(self.reissued_once),
+            pct(self.reissued_more),
+            pct(self.persistent),
+        ]
+    }
+
+    /// Merges another node's statistics into this one.
+    pub fn merge(&mut self, other: &ReissueStats) {
+        self.not_reissued += other.not_reissued;
+        self.reissued_once += other.reissued_once;
+        self.reissued_more += other.reissued_more;
+        self.persistent += other.persistent;
+    }
+}
+
+/// Statistics exported by a coherence controller.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControllerStats {
+    /// Cache and miss statistics.
+    pub misses: MissStats,
+    /// Reissue histogram (Token Coherence only).
+    pub reissue: ReissueStats,
+    /// Number of persistent requests this node initiated.
+    pub persistent_requests_initiated: u64,
+    /// Number of messages this controller sent.
+    pub messages_sent: u64,
+    /// Number of messages this controller received.
+    pub messages_received: u64,
+    /// Protocol-specific named counters (for example directory lookups or
+    /// snoop responses), reported verbatim in experiment output.
+    pub extra: BTreeMap<&'static str, u64>,
+}
+
+impl ControllerStats {
+    /// Creates an empty statistics record.
+    pub fn new() -> Self {
+        ControllerStats::default()
+    }
+
+    /// Adds `amount` to a protocol-specific named counter.
+    pub fn bump(&mut self, counter: &'static str, amount: u64) {
+        *self.extra.entry(counter).or_insert(0) += amount;
+    }
+
+    /// Reads a protocol-specific named counter.
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.extra.get(counter).copied().unwrap_or(0)
+    }
+
+    /// Merges another controller's statistics into this one.
+    pub fn merge(&mut self, other: &ControllerStats) {
+        self.misses.merge(&other.misses);
+        self.reissue.merge(&other.reissue);
+        self.persistent_requests_initiated += other.persistent_requests_initiated;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        for (k, v) in &other.extra {
+            *self.extra.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::BlockAddr;
+    use crate::ids::NodeId;
+    use crate::message::{DataPayload, Destination, Vnet};
+
+    fn msg(kind: MsgKind) -> Message {
+        Message::new(
+            NodeId::new(0),
+            Destination::Broadcast,
+            BlockAddr::new(1),
+            kind,
+            Vnet::Request,
+            0,
+        )
+    }
+
+    #[test]
+    fn classification_matches_paper_categories() {
+        assert_eq!(TrafficClass::of(&msg(MsgKind::GetS)), TrafficClass::Request);
+        assert_eq!(
+            TrafficClass::of(&msg(MsgKind::Inv {
+                requester: NodeId::new(1)
+            })),
+            TrafficClass::ForwardedOrInvalidation
+        );
+        assert_eq!(
+            TrafficClass::of(&msg(MsgKind::TokenData {
+                tokens: 1,
+                owner: false,
+                dirty: false,
+                from_memory: true,
+                payload: DataPayload::default(),
+            })),
+            TrafficClass::DataResponseOrWriteback
+        );
+        assert_eq!(
+            TrafficClass::of(&msg(MsgKind::TokenOnly { tokens: 1 })),
+            TrafficClass::OtherControl
+        );
+        assert_eq!(
+            TrafficClass::of(&msg(MsgKind::PersistentRequest { write: true })),
+            TrafficClass::ReissueOrPersistent
+        );
+    }
+
+    #[test]
+    fn reissued_requests_are_classified_separately() {
+        let mut m = msg(MsgKind::GetM);
+        m.reissue = true;
+        assert_eq!(TrafficClass::of(&m), TrafficClass::ReissueOrPersistent);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate_and_merge() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::Request, 8, 3);
+        a.record(TrafficClass::Request, 8, 2);
+        a.record(TrafficClass::DataResponseOrWriteback, 72, 2);
+        assert_eq!(a.bytes(TrafficClass::Request), 16);
+        assert_eq!(a.messages(TrafficClass::Request), 2);
+        assert_eq!(a.link_bytes(TrafficClass::Request), 40);
+        assert_eq!(a.total_bytes(), 88);
+        assert_eq!(a.total_link_bytes(), 40 + 144);
+
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::Request, 8, 1);
+        b.merge(&a);
+        assert_eq!(b.messages(TrafficClass::Request), 3);
+        assert_eq!(b.total_messages(), 4);
+    }
+
+    #[test]
+    fn miss_stats_compute_averages() {
+        let mut m = MissStats::default();
+        m.read_misses = 2;
+        m.write_misses = 1;
+        m.completed_misses = 3;
+        m.total_miss_latency = 300;
+        m.cache_to_cache = 2;
+        m.from_memory = 1;
+        assert_eq!(m.total_misses(), 3);
+        assert!((m.average_miss_latency() - 100.0).abs() < 1e-9);
+        assert!((m.cache_to_cache_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_miss_stats_do_not_divide_by_zero() {
+        let m = MissStats::default();
+        assert_eq!(m.average_miss_latency(), 0.0);
+        assert_eq!(m.cache_to_cache_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reissue_percentages_sum_to_one_hundred() {
+        let r = ReissueStats {
+            not_reissued: 97,
+            reissued_once: 2,
+            reissued_more: 1,
+            persistent: 0,
+        };
+        let p = r.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((p[0] - 97.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reissue_stats_percentages_are_zero() {
+        assert_eq!(ReissueStats::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn controller_stats_merge_and_counters() {
+        let mut a = ControllerStats::new();
+        a.bump("directory_lookups", 5);
+        a.messages_sent = 10;
+        let mut b = ControllerStats::new();
+        b.bump("directory_lookups", 3);
+        b.messages_sent = 2;
+        a.merge(&b);
+        assert_eq!(a.counter("directory_lookups"), 8);
+        assert_eq!(a.messages_sent, 12);
+        assert_eq!(a.counter("missing"), 0);
+    }
+}

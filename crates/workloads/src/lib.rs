@@ -1,0 +1,43 @@
+//! Synthetic commercial-workload generators.
+//!
+//! The paper drives its evaluation with three commercial workloads running
+//! under Simics full-system simulation: an online transaction processing
+//! workload (OLTP), static web serving (Apache), and Java middleware
+//! (SPECjbb). Those workloads and their checkpoints are proprietary, so this
+//! reproduction substitutes parameterized synthetic generators that exercise
+//! the same protocol behaviour the real workloads are characterized by
+//! (Barroso et al., and the paper's own Section 6):
+//!
+//! * abundant thread-level parallelism with frequent sharing, so a large
+//!   fraction of misses are **cache-to-cache transfers**;
+//! * **migratory sharing** of lock-protected structures (read then write by
+//!   one processor at a time);
+//! * large **read-mostly shared** regions (code, lookup tables, page cache);
+//! * per-thread **private** data; and
+//! * enough total shared data that simultaneous races on a single block are
+//!   rare — the property that makes TokenB's reissues uncommon (Table 2).
+//!
+//! Each [`WorkloadProfile`] fixes region sizes and access mix; a
+//! [`WorkloadGenerator`] turns a profile into a deterministic per-processor
+//! stream of memory operations separated by "think time" compute cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_workloads::{WorkloadGenerator, WorkloadProfile};
+//! use tc_types::NodeId;
+//!
+//! let profile = WorkloadProfile::oltp();
+//! let mut generator = WorkloadGenerator::new(&profile, NodeId::new(0), 16, 42);
+//! let op = generator.next_op();
+//! assert!(op.think_cycles < 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod profile;
+
+pub use generator::{GeneratedOp, WorkloadGenerator};
+pub use profile::{RegionKind, WorkloadProfile};

@@ -1,0 +1,73 @@
+//! Compare all four coherence protocols on the same workload: runtime,
+//! cache-to-cache behaviour, and interconnect traffic.
+//!
+//! This is a miniature version of Figures 4 and 5 of the paper: TokenB on
+//! the unordered torus against Snooping on the ordered tree, and against the
+//! Directory and Hammer protocols on the torus.
+//!
+//! Run with (release strongly recommended):
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison [workload] [ops_per_node]
+//! ```
+//!
+//! where `workload` is one of `oltp`, `apache`, `specjbb` (default `oltp`).
+
+use token_coherence::prelude::*;
+use token_coherence::system::RunReport;
+
+fn run(protocol: ProtocolKind, workload: &WorkloadProfile, ops: u64) -> RunReport {
+    let config = SystemConfig::isca03_default().with_protocol(protocol);
+    let mut system = System::build(&config, workload);
+    system.run(RunOptions {
+        ops_per_node: ops,
+        max_cycles: 2_000_000_000,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .get(1)
+        .and_then(|name| WorkloadProfile::by_name(name))
+        .unwrap_or_else(WorkloadProfile::oltp);
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4_000);
+
+    println!(
+        "Protocol comparison on the {} workload ({} ops/node, 16 nodes)\n",
+        workload.name, ops
+    );
+
+    let reports: Vec<RunReport> = ProtocolKind::ALL
+        .iter()
+        .map(|p| run(*p, &workload, ops))
+        .collect();
+
+    let baseline = reports
+        .iter()
+        .find(|r| r.protocol == ProtocolKind::Snooping)
+        .map(|r| r.cycles_per_transaction())
+        .unwrap_or(1.0);
+
+    println!(
+        "{:<22} {:>14} {:>10} {:>12} {:>12} {:>10}",
+        "protocol/interconnect", "cycles/txn", "vs Snoop", "c2c misses", "bytes/miss", "checked"
+    );
+    for report in &reports {
+        println!(
+            "{:<22} {:>14.0} {:>9.2}x {:>11.1}% {:>12.1} {:>10}",
+            report.label(),
+            report.cycles_per_transaction(),
+            baseline / report.cycles_per_transaction(),
+            100.0 * report.misses.cache_to_cache_fraction(),
+            report.bytes_per_miss(),
+            if report.verified().is_ok() { "ok" } else { "FAIL" }
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper, Figures 4a & 5a): TokenB/Torus is the fastest; Snooping/Tree and \
+         TokenB/Tree are close to each other; Hammer beats Directory (no directory lookup) but \
+         both pay the home indirection; Hammer uses the most interconnect traffic, Directory the least."
+    );
+}

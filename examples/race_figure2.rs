@@ -1,0 +1,117 @@
+//! The motivating race of Figure 2 of the paper, reproduced message by
+//! message.
+//!
+//! Processor P0 wants to write a block while processor P1 wants to read it.
+//! On an unordered interconnect the two broadcasts race: P1 answers P0's
+//! request with nothing useful (it has no copy yet), the home memory answers
+//! P1 first, and P0 ends up with *most* — but not all — of the tokens. With a
+//! naive protocol P0 would now believe it may write while P1 still holds a
+//! readable copy. Under Token Coherence P0 simply cannot write until it holds
+//! every token, so it reissues its request and P1 hands over the missing
+//! token: the race costs latency, never correctness.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example race_figure2
+//! ```
+
+use token_coherence::core::TokenBController;
+use token_coherence::types::{
+    Address, BlockAddr, CoherenceController, Cycle, MemOp, MemOpKind, Message, Outbox,
+    ReqId, SystemConfig, TimerKind,
+};
+
+fn deliver(messages: &[Message], to: &mut TokenBController, now: Cycle, log: &str) -> Outbox {
+    let mut out = Outbox::new();
+    for msg in messages {
+        if msg.dest.includes(to.node(), msg.src) {
+            println!("  t={now:>4}  {log}: {} receives {}", to.node(), msg.kind.mnemonic());
+            to.handle_message(now, msg.clone(), &mut out);
+        }
+    }
+    out
+}
+
+fn main() {
+    let config = SystemConfig::isca03_default().with_nodes(4);
+    let block = BlockAddr::new(0);
+    let addr = Address::new(0);
+
+    // Node 0 homes the block; P1 and P2 are the racing processors
+    // (named P0 and P1 in the paper's figure).
+    let mut home = TokenBController::new(0.into(), &config);
+    let mut writer = TokenBController::new(1.into(), &config);
+    let mut reader = TokenBController::new(2.into(), &config);
+
+    println!("Figure 2: a GetM from {} races with a GetS from {}", writer.node(), reader.node());
+    println!("The block has {} tokens, all initially at the home memory ({}).\n", home.total_tokens(), home.node());
+
+    // Step 1: both processors issue their requests at (nearly) the same time.
+    let mut writer_out = Outbox::new();
+    writer.access(0, &MemOp::new(ReqId::new(1), addr, MemOpKind::Store), &mut writer_out);
+    let mut reader_out = Outbox::new();
+    reader.access(1, &MemOp::new(ReqId::new(2), addr, MemOpKind::Load), &mut reader_out);
+    println!("  t=   0  {} broadcasts a transient GetM (it wants to write)", writer.node());
+    println!("  t=   1  {} broadcasts a transient GetS (it wants to read)\n", reader.node());
+
+    // Step 2: the reader's GetS reaches the home *first* (the writer's GetM is
+    // delayed in the congested interconnect, as in the paper's figure).
+    let home_response_to_reader = deliver(&reader_out.messages, &mut home, 40, "race");
+    // The home gives the reader data plus one token.
+    let reader_done = deliver(&home_response_to_reader.messages, &mut reader, 140, "response");
+    println!(
+        "  t= 140  {} can now READ the block (it holds {} token(s))  [{} completions]\n",
+        reader.node(),
+        reader.tokens_held(block),
+        reader_done.completions.len()
+    );
+
+    // Step 3: the writer's delayed GetM finally reaches the home and the other
+    // processors. The home sends the remaining tokens; the reader, which
+    // already handled the request before it had any tokens, contributes
+    // nothing — exactly the race in the paper.
+    let home_response_to_writer = deliver(&writer_out.messages, &mut home, 160, "late GetM");
+    deliver(&writer_out.messages, &mut reader, 35, "early GetM (reader had no tokens yet)");
+    deliver(&home_response_to_writer.messages, &mut writer, 260, "response");
+    println!(
+        "  t= 260  {} now holds {} of {} tokens: NOT enough to write — safety is preserved\n",
+        writer.node(),
+        writer.tokens_held(block),
+        writer.total_tokens()
+    );
+
+    // Step 4: the writer's reissue timer fires; it rebroadcasts the GetM and
+    // this time the reader hands over its token (plus data).
+    let (fire_at, timer) = writer_out
+        .timers
+        .iter()
+        .find(|(_, t)| t.kind == TimerKind::Reissue)
+        .copied()
+        .expect("a reissue timer was armed with the original request");
+    let mut reissue_out = Outbox::new();
+    writer.handle_timer(fire_at, timer, &mut reissue_out);
+    println!("  t={fire_at:>4}  {} times out and REISSUES its transient GetM", writer.node());
+
+    let reader_reply = deliver(&reissue_out.messages, &mut reader, fire_at + 40, "reissued GetM");
+    let final_out = deliver(&reader_reply.messages, &mut writer, fire_at + 80, "missing token");
+
+    println!(
+        "  t={:>4}  {} holds {}/{} tokens and completes its write ({} completion(s))\n",
+        fire_at + 80,
+        writer.node(),
+        writer.tokens_held(block),
+        writer.total_tokens(),
+        final_out.completions.len()
+    );
+
+    assert_eq!(writer.cache_state_name(block), "M");
+    assert_eq!(reader.tokens_held(block), 0);
+    println!(
+        "Final state: {} is in M ({} tokens), {} is invalid — the race was resolved by reissue, \
+         with no ordered interconnect and no directory indirection.",
+        writer.node(),
+        writer.total_tokens(),
+        reader.node()
+    );
+}

@@ -1,0 +1,69 @@
+//! Token Coherence: a reproduction of *"Token Coherence: Decoupling
+//! Performance and Correctness"* (Martin, Hill & Wood, ISCA 2003).
+//!
+//! This umbrella crate re-exports the workspace so that examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`] (`tc-core`) — the paper's contribution: the token-counting
+//!   correctness substrate, persistent-request arbitration, and the TokenB
+//!   broadcast performance protocol.
+//! * [`protocols`] (`tc-protocols`) — the baselines the paper compares
+//!   against: MOSI Snooping on an ordered tree, a full-map blocking
+//!   Directory, and an AMD-Hammer-style broadcast protocol.
+//! * [`system`] (`tc-system`) — the 16-node target system of Table 1: the
+//!   processor model, the event-driven runner, the safety/starvation
+//!   verifier, and ready-made experiment configurations for every table and
+//!   figure of the evaluation.
+//! * [`interconnect`], [`memsys`], [`workloads`], [`sim`], [`types`] — the
+//!   substrates: ordered-tree and unordered-torus interconnects with link
+//!   contention, caches/MSHRs/home memory, synthetic commercial workloads,
+//!   the event queue, and the shared vocabulary types.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use token_coherence::prelude::*;
+//!
+//! // A 4-node TokenB system on the unordered torus running an OLTP-like
+//! // workload (the full 16-node configuration is `SystemConfig::isca03_default()`).
+//! let config = SystemConfig::isca03_default()
+//!     .with_nodes(4)
+//!     .with_protocol(ProtocolKind::TokenB);
+//! let mut system = System::build(&config, &WorkloadProfile::oltp());
+//! let report = system.run(RunOptions { ops_per_node: 500, max_cycles: 50_000_000 });
+//!
+//! assert!(report.verified().is_ok());
+//! println!("{report}");
+//! ```
+
+pub use tc_core as core;
+pub use tc_interconnect as interconnect;
+pub use tc_memsys as memsys;
+pub use tc_protocols as protocols;
+pub use tc_sim as sim;
+pub use tc_system as system;
+pub use tc_types as types;
+pub use tc_workloads as workloads;
+
+/// The most commonly used items, for `use token_coherence::prelude::*`.
+pub mod prelude {
+    pub use tc_core::TokenBController;
+    pub use tc_protocols::{DirectoryController, HammerController, SnoopingController};
+    pub use tc_system::{RunOptions, RunReport, System};
+    pub use tc_types::{
+        BandwidthMode, CoherenceController, DirectoryMode, ProtocolKind, SystemConfig,
+        TopologyKind,
+    };
+    pub use tc_workloads::WorkloadProfile;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let config = SystemConfig::isca03_default();
+        assert_eq!(config.protocol, ProtocolKind::TokenB);
+        assert_eq!(WorkloadProfile::oltp().name, "OLTP");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the correctness-substrate invariants and an
+//! end-to-end reproduction of the paper's Figure 2 race.
+
+use proptest::prelude::*;
+use token_coherence::core::TokenBController;
+use token_coherence::prelude::*;
+use token_coherence::types::{
+    Address, BlockAddr, Cycle, MemOp, MemOpKind, Outbox, ReqId,
+    TimerKind,
+};
+
+/// A deterministic two-node message pump used by the race test.
+fn pump(
+    messages: &[token_coherence::types::Message],
+    nodes: &mut [TokenBController],
+    now: Cycle,
+) -> Outbox {
+    let mut next = Outbox::new();
+    for msg in messages {
+        for node in nodes.iter_mut() {
+            if msg.dest.includes(node.node(), msg.src) {
+                node.handle_message(now, msg.clone(), &mut next);
+            }
+        }
+    }
+    next
+}
+
+#[test]
+fn figure2_race_is_resolved_by_reissue_without_violating_safety() {
+    let config = SystemConfig::isca03_default().with_nodes(4);
+    let block = BlockAddr::new(0);
+    let mut nodes: Vec<TokenBController> = (0..4)
+        .map(|n| TokenBController::new(n.into(), &config))
+        .collect();
+
+    // P1 wants to write, P2 wants to read; requests race.
+    let mut writer_out = Outbox::new();
+    nodes[1].access(
+        0,
+        &MemOp::new(ReqId::new(1), Address::new(0), MemOpKind::Store),
+        &mut writer_out,
+    );
+    let mut reader_out = Outbox::new();
+    nodes[2].access(
+        1,
+        &MemOp::new(ReqId::new(2), Address::new(0), MemOpKind::Load),
+        &mut reader_out,
+    );
+
+    // The reader handles the writer's racing GetM before it has any tokens
+    // (time 2 in the paper's figure): it has nothing to contribute.
+    pump(&writer_out.messages[..1], &mut nodes[2..3], 35);
+
+    // The reader's request is served first (home gives it data + one token);
+    // then the writer's request is served, leaving the writer one token short.
+    let home_to_reader = {
+        let mut out = Outbox::new();
+        for msg in &reader_out.messages {
+            nodes[0].handle_message(40, msg.clone(), &mut out);
+        }
+        out
+    };
+    let reader_completed = pump(&home_to_reader.messages, &mut nodes, 140);
+    assert_eq!(reader_completed.completions.len(), 1);
+
+    let home_to_writer = {
+        let mut out = Outbox::new();
+        for msg in &writer_out.messages {
+            nodes[0].handle_message(160, msg.clone(), &mut out);
+        }
+        out
+    };
+    let writer_partial = pump(&home_to_writer.messages, &mut nodes, 260);
+    assert!(
+        writer_partial.completions.is_empty(),
+        "the writer must NOT complete with only part of the tokens"
+    );
+    assert_eq!(nodes[1].tokens_held(block), 15);
+    assert_eq!(nodes[2].tokens_held(block), 1);
+
+    // The reissue resolves the race.
+    let (fire_at, timer) = writer_out
+        .timers
+        .iter()
+        .find(|(_, t)| t.kind == TimerKind::Reissue)
+        .copied()
+        .expect("reissue timer armed");
+    let mut reissue = Outbox::new();
+    nodes[1].handle_timer(fire_at, timer, &mut reissue);
+    let replies = pump(&reissue.messages, &mut nodes, fire_at + 40);
+    let done = pump(&replies.messages, &mut nodes, fire_at + 80);
+    assert_eq!(done.completions.len(), 1, "the writer finally completes");
+    assert_eq!(nodes[1].tokens_held(block), 16);
+    assert_eq!(nodes[1].cache_state_name(block), "M");
+    assert_eq!(nodes[2].tokens_held(block), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Token conservation and read-your-writes hold for arbitrary seeds and
+    /// run lengths on the most contended workload we have.
+    #[test]
+    fn tokenb_invariants_hold_for_random_seeds(seed in 0u64..10_000, ops in 200u64..900) {
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(ProtocolKind::TokenB)
+            .with_seed(seed);
+        config.l2.size_bytes = 128 * 1024;
+        let mut system = System::build(&config, &WorkloadProfile::hot_block());
+        let report = system.run(RunOptions { ops_per_node: ops, max_cycles: 80_000_000 });
+        prop_assert!(report.verified().is_ok(), "seed {seed}: {:?}", report.violations);
+    }
+
+    /// The baselines must also be coherent for arbitrary seeds (they resolve
+    /// races with indirection rather than tokens). The snooping baseline is
+    /// exercised separately (unit tests and 4-node system tests) because of
+    /// the residual race documented in DESIGN.md.
+    #[test]
+    fn baseline_protocols_stay_coherent_for_random_seeds(
+        seed in 0u64..10_000,
+        protocol_index in 0usize..2,
+    ) {
+        let protocol = [ProtocolKind::Directory, ProtocolKind::Hammer][protocol_index];
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(protocol)
+            .with_seed(seed);
+        config.l2.size_bytes = 128 * 1024;
+        let mut system = System::build(&config, &WorkloadProfile::hot_block());
+        let report = system.run(RunOptions { ops_per_node: 400, max_cycles: 80_000_000 });
+        prop_assert!(report.verified().is_ok(), "{protocol} seed {seed}: {:?}", report.violations);
+    }
+
+    /// Workload generation is deterministic in the seed and never strays
+    /// outside its declared regions.
+    #[test]
+    fn workload_streams_are_deterministic(seed in 0u64..1_000_000) {
+        use token_coherence::workloads::WorkloadGenerator;
+        use token_coherence::types::NodeId;
+        let profile = WorkloadProfile::oltp();
+        let mut a = WorkloadGenerator::new(&profile, NodeId::new(3), 16, seed);
+        let mut b = WorkloadGenerator::new(&profile, NodeId::new(3), 16, seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}
