@@ -1,0 +1,119 @@
+//! Engine throughput baseline: how many simulation events per second of
+//! wall-clock time the event loop sustains.
+//!
+//! Unlike the figure/table binaries, this benchmark measures the *simulator*
+//! rather than the simulated protocols, so future PRs that touch the hot path
+//! have a recorded perf trajectory. The configuration is fixed (TokenB, OLTP,
+//! 4 nodes, 20 000 ops/node by default) and the result is written to
+//! `BENCH_engine.json` at the workspace root.
+//!
+//! The first recorded measurement is kept as `baseline_events_per_sec`;
+//! subsequent runs update `events_per_sec` and `speedup_vs_baseline` but
+//! preserve the baseline, so the JSON always answers "how much faster than
+//! the first commit is the engine now?".
+
+use std::time::Instant;
+
+use tc_system::{RunOptions, System};
+use tc_types::{ProtocolKind, SystemConfig};
+use tc_workloads::WorkloadProfile;
+
+/// Number of timed runs; the fastest is reported to suppress scheduler noise.
+const TIMED_RUNS: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut ops_per_node: u64 = 20_000;
+    let mut num_nodes: usize = 4;
+    let mut out_path = "BENCH_engine.json".to_string();
+    for window in args.windows(2) {
+        match window[0].as_str() {
+            "--ops" => {
+                if let Ok(v) = window[1].parse() {
+                    ops_per_node = v;
+                }
+            }
+            "--nodes" => {
+                if let Ok(v) = window[1].parse() {
+                    num_nodes = v;
+                }
+            }
+            "--out" => {
+                out_path = window[1].clone();
+            }
+            _ => {}
+        }
+    }
+
+    let config = SystemConfig::isca03_default()
+        .with_nodes(num_nodes)
+        .with_protocol(ProtocolKind::TokenB)
+        .with_seed(12);
+    let profile = WorkloadProfile::oltp();
+    let options = RunOptions {
+        ops_per_node,
+        max_cycles: 1_000_000_000,
+    };
+
+    // Warmup run: page in the binary, warm the allocator.
+    eprintln!("warmup ...");
+    run_once(&config, &profile, options);
+
+    let mut best_events_per_sec = 0.0f64;
+    let mut best = (0u64, 0.0f64);
+    for i in 0..TIMED_RUNS {
+        let (events, secs) = run_once(&config, &profile, options);
+        let rate = events as f64 / secs;
+        eprintln!(
+            "run {}/{TIMED_RUNS}: {events} events in {secs:.3} s = {rate:.0} events/s",
+            i + 1
+        );
+        if rate > best_events_per_sec {
+            best_events_per_sec = rate;
+            best = (events, secs);
+        }
+    }
+
+    let baseline = read_baseline(&out_path).unwrap_or(best_events_per_sec);
+    let speedup = best_events_per_sec / baseline;
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"protocol\": \"TokenB\",\n  \
+         \"workload\": \"oltp\",\n  \"num_nodes\": {num_nodes},\n  \
+         \"ops_per_node\": {ops_per_node},\n  \"events_delivered\": {},\n  \
+         \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
+         \"baseline_events_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.3}\n}}\n",
+        best.0, best.1, best_events_per_sec, baseline, speedup
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark result");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+/// Builds a fresh system and times one run, returning (events, seconds).
+fn run_once(config: &SystemConfig, profile: &WorkloadProfile, options: RunOptions) -> (u64, f64) {
+    let mut system = System::build(config, profile);
+    let start = Instant::now();
+    let report = system.run(options);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        report.violations.is_empty(),
+        "benchmark run must verify cleanly: {:?}",
+        report.violations
+    );
+    (system.events_delivered(), secs)
+}
+
+/// Extracts `baseline_events_per_sec` from a previous result file, if any.
+///
+/// The file is our own fixed-shape output, so a tiny string scan is enough —
+/// no JSON dependency needed in the offline build environment.
+fn read_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"baseline_events_per_sec\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -124,6 +124,13 @@ impl System {
         &self.config
     }
 
+    /// Total number of events the runner has delivered so far. The
+    /// engine-throughput benchmark divides this by wall-clock seconds to get
+    /// events per second.
+    pub fn events_delivered(&self) -> u64 {
+        self.queue.total_delivered()
+    }
+
     fn total_completed(&self) -> u64 {
         self.processors.iter().map(|p| p.completed_ops()).sum()
     }

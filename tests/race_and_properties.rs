@@ -1,8 +1,12 @@
 //! Property-based tests of the correctness-substrate invariants and an
 //! end-to-end reproduction of the paper's Figure 2 race.
+//!
+//! The property tests are hand-rolled: seeds and run lengths are drawn from
+//! a [`DeterministicRng`] rather than proptest (unavailable in the offline
+//! build environment), which keeps every CI run over the exact same cases.
 
-use proptest::prelude::*;
 use token_coherence::core::TokenBController;
+use token_coherence::sim::DeterministicRng;
 use token_coherence::prelude::*;
 use token_coherence::types::{
     Address, BlockAddr, Cycle, MemOp, MemOpKind, Outbox, ReqId,
@@ -96,54 +100,75 @@ fn figure2_race_is_resolved_by_reissue_without_violating_safety() {
     assert_eq!(nodes[2].tokens_held(block), 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Token conservation and read-your-writes hold for arbitrary seeds and
-    /// run lengths on the most contended workload we have.
-    #[test]
-    fn tokenb_invariants_hold_for_random_seeds(seed in 0u64..10_000, ops in 200u64..900) {
+/// Token conservation and read-your-writes hold for arbitrary seeds and
+/// run lengths on the most contended workload we have.
+#[test]
+fn tokenb_invariants_hold_for_random_seeds() {
+    let mut cases = DeterministicRng::new(0xA11CE);
+    for _ in 0..8 {
+        let seed = cases.next_below(10_000);
+        let ops = cases.next_range(200, 900);
         let mut config = SystemConfig::isca03_default()
             .with_nodes(4)
             .with_protocol(ProtocolKind::TokenB)
             .with_seed(seed);
         config.l2.size_bytes = 128 * 1024;
         let mut system = System::build(&config, &WorkloadProfile::hot_block());
-        let report = system.run(RunOptions { ops_per_node: ops, max_cycles: 80_000_000 });
-        prop_assert!(report.verified().is_ok(), "seed {seed}: {:?}", report.violations);
+        let report = system.run(RunOptions {
+            ops_per_node: ops,
+            max_cycles: 80_000_000,
+        });
+        assert!(
+            report.verified().is_ok(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
     }
+}
 
-    /// The baselines must also be coherent for arbitrary seeds (they resolve
-    /// races with indirection rather than tokens). The snooping baseline is
-    /// exercised separately (unit tests and 4-node system tests) because of
-    /// the residual race documented in DESIGN.md.
-    #[test]
-    fn baseline_protocols_stay_coherent_for_random_seeds(
-        seed in 0u64..10_000,
-        protocol_index in 0usize..2,
-    ) {
-        let protocol = [ProtocolKind::Directory, ProtocolKind::Hammer][protocol_index];
-        let mut config = SystemConfig::isca03_default()
-            .with_nodes(4)
-            .with_protocol(protocol)
-            .with_seed(seed);
-        config.l2.size_bytes = 128 * 1024;
-        let mut system = System::build(&config, &WorkloadProfile::hot_block());
-        let report = system.run(RunOptions { ops_per_node: 400, max_cycles: 80_000_000 });
-        prop_assert!(report.verified().is_ok(), "{protocol} seed {seed}: {:?}", report.violations);
+/// The baselines must also be coherent for arbitrary seeds (they resolve
+/// races with indirection rather than tokens). The snooping baseline is
+/// exercised separately (unit tests and 4-node system tests) because of
+/// the residual race documented in DESIGN.md.
+#[test]
+fn baseline_protocols_stay_coherent_for_random_seeds() {
+    let mut cases = DeterministicRng::new(0xB0B);
+    for protocol in [ProtocolKind::Directory, ProtocolKind::Hammer] {
+        for _ in 0..4 {
+            let seed = cases.next_below(10_000);
+            let mut config = SystemConfig::isca03_default()
+                .with_nodes(4)
+                .with_protocol(protocol)
+                .with_seed(seed);
+            config.l2.size_bytes = 128 * 1024;
+            let mut system = System::build(&config, &WorkloadProfile::hot_block());
+            let report = system.run(RunOptions {
+                ops_per_node: 400,
+                max_cycles: 80_000_000,
+            });
+            assert!(
+                report.verified().is_ok(),
+                "{protocol} seed {seed}: {:?}",
+                report.violations
+            );
+        }
     }
+}
 
-    /// Workload generation is deterministic in the seed and never strays
-    /// outside its declared regions.
-    #[test]
-    fn workload_streams_are_deterministic(seed in 0u64..1_000_000) {
-        use token_coherence::workloads::WorkloadGenerator;
-        use token_coherence::types::NodeId;
+/// Workload generation is deterministic in the seed and never strays
+/// outside its declared regions.
+#[test]
+fn workload_streams_are_deterministic() {
+    use token_coherence::types::NodeId;
+    use token_coherence::workloads::WorkloadGenerator;
+    let mut cases = DeterministicRng::new(0x5EED);
+    for _ in 0..16 {
+        let seed = cases.next_below(1_000_000);
         let profile = WorkloadProfile::oltp();
         let mut a = WorkloadGenerator::new(&profile, NodeId::new(3), 16, seed);
         let mut b = WorkloadGenerator::new(&profile, NodeId::new(3), 16, seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_op(), b.next_op());
+            assert_eq!(a.next_op(), b.next_op());
         }
     }
 }
