@@ -19,7 +19,7 @@ use tc_types::{ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
 
 /// Number of timed runs; the fastest is reported to suppress scheduler noise.
-const TIMED_RUNS: usize = 3;
+const TIMED_RUNS: usize = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -50,9 +50,14 @@ enum ArbiterState {
         complete_received: bool,
     },
     /// All nodes have acknowledged; the request is in force.
-    Active { request: QueuedRequest },
+    Active {
+        request: QueuedRequest,
+    },
     /// Deactivation broadcast sent; waiting for acknowledgements.
-    Deactivating { addr: BlockAddr, acks_remaining: usize },
+    Deactivating {
+        addr: BlockAddr,
+        acks_remaining: usize,
+    },
 }
 
 /// The persistent-request arbiter at one home node.
@@ -99,7 +104,12 @@ impl PersistentArbiter {
     }
 
     /// A starving node asks for a persistent request on `addr`.
-    pub fn request(&mut self, addr: BlockAddr, requester: NodeId, write: bool) -> Vec<ArbiterAction> {
+    pub fn request(
+        &mut self,
+        addr: BlockAddr,
+        requester: NodeId,
+        write: bool,
+    ) -> Vec<ArbiterAction> {
         let request = QueuedRequest {
             addr,
             requester,
@@ -144,9 +154,7 @@ impl PersistentArbiter {
                 }
                 Vec::new()
             }
-            ArbiterState::Deactivating {
-                acks_remaining, ..
-            } => {
+            ArbiterState::Deactivating { acks_remaining, .. } => {
                 *acks_remaining = acks_remaining.saturating_sub(1);
                 if *acks_remaining == 0 {
                     self.state = ArbiterState::Idle;
@@ -262,7 +270,10 @@ mod tests {
         let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
         let actions = arb.request(BlockAddr::new(7), NodeId::new(2), true);
         assert_eq!(activate_addr(&actions), Some(BlockAddr::new(7)));
-        assert_eq!(arb.active_requester(), Some((BlockAddr::new(7), NodeId::new(2))));
+        assert_eq!(
+            arb.active_requester(),
+            Some((BlockAddr::new(7), NodeId::new(2)))
+        );
         assert_eq!(arb.activations(), 1);
     }
 
@@ -324,7 +335,11 @@ mod tests {
         let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
         arb.request(BlockAddr::new(5), NodeId::new(1), true);
         arb.request(BlockAddr::new(5), NodeId::new(1), true);
-        assert_eq!(arb.queued(), 0, "duplicate of the in-flight request is dropped");
+        assert_eq!(
+            arb.queued(),
+            0,
+            "duplicate of the in-flight request is dropped"
+        );
         arb.request(BlockAddr::new(6), NodeId::new(2), true);
         arb.request(BlockAddr::new(6), NodeId::new(2), true);
         assert_eq!(arb.queued(), 1);

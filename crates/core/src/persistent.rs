@@ -35,7 +35,8 @@ impl PersistentTable {
     /// Records an activation broadcast by an arbiter.
     pub fn activate(&mut self, addr: BlockAddr, requester: NodeId, write: bool) {
         self.activations_seen += 1;
-        self.entries.insert(addr, PersistentEntry { requester, write });
+        self.entries
+            .insert(addr, PersistentEntry { requester, write });
     }
 
     /// Removes the entry for `addr` (a deactivation broadcast). Returns the
@@ -104,8 +105,14 @@ mod tests {
             table.forward_target(BlockAddr::new(9), NodeId::new(1)),
             Some(NodeId::new(3))
         );
-        assert_eq!(table.forward_target(BlockAddr::new(9), NodeId::new(3)), None);
-        assert_eq!(table.forward_target(BlockAddr::new(10), NodeId::new(1)), None);
+        assert_eq!(
+            table.forward_target(BlockAddr::new(9), NodeId::new(3)),
+            None
+        );
+        assert_eq!(
+            table.forward_target(BlockAddr::new(10), NodeId::new(1)),
+            None
+        );
     }
 
     #[test]
@@ -114,7 +121,10 @@ mod tests {
         table.activate(BlockAddr::new(1), NodeId::new(0), false);
         table.activate(BlockAddr::new(1), NodeId::new(4), true);
         assert_eq!(table.len(), 1);
-        assert_eq!(table.active(BlockAddr::new(1)).unwrap().requester, NodeId::new(4));
+        assert_eq!(
+            table.active(BlockAddr::new(1)).unwrap().requester,
+            NodeId::new(4)
+        );
         assert_eq!(table.activations_seen(), 2);
     }
 

@@ -160,7 +160,10 @@ mod tests {
                 dirty: false,
                 version: 0,
             };
-            assert!(!line.writable(total), "{tokens} tokens must not be writable");
+            assert!(
+                !line.writable(total),
+                "{tokens} tokens must not be writable"
+            );
         }
         let line = TokenLine {
             tokens: total,

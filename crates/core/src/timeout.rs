@@ -127,7 +127,10 @@ mod tests {
                 .max()
                 .unwrap()
         };
-        assert!(max_over(4) > max_over(1), "later issues should back off more");
+        assert!(
+            max_over(4) > max_over(1),
+            "later issues should back off more"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@ use std::collections::BTreeSet;
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_sim::DeterministicRng;
 use tc_types::{
-    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
-    DataPayload, Destination, HomeMap, MemOp, Message, MissCompletion, MissKind,
-    MsgKind, NodeId, Outbox, ReqId, SystemConfig, Timer, TimerKind, Vnet,
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
+    Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId, Outbox, ReqId,
+    SystemConfig, Timer, TimerKind, Vnet,
 };
 
 use crate::arbiter::{ArbiterAction, PersistentArbiter};
@@ -163,6 +163,7 @@ impl TokenBController {
     // Message construction helpers.
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn token_message(
         &self,
         at: Cycle,
@@ -199,6 +200,7 @@ impl TokenBController {
     /// A data response that carries tokens and data even without the owner
     /// token (used when the responder wants the requester to be able to read
     /// immediately, e.g. an owner sharing one token plus data).
+    #[allow(clippy::too_many_arguments)]
     fn data_response(
         &self,
         at: Cycle,
@@ -278,7 +280,14 @@ impl TokenBController {
     // Transient request issue / reissue.
     // ------------------------------------------------------------------
 
-    fn issue_transient(&mut self, now: Cycle, addr: BlockAddr, write: bool, reissue: bool, out: &mut Outbox) {
+    fn issue_transient(
+        &mut self,
+        now: Cycle,
+        addr: BlockAddr,
+        write: bool,
+        reissue: bool,
+        out: &mut Outbox,
+    ) {
         let kind = if write { MsgKind::GetM } else { MsgKind::GetS };
         let mut msg = Message::new(
             self.node,
@@ -312,7 +321,9 @@ impl TokenBController {
         let Some(mshr) = self.mshrs.get(addr) else {
             return;
         };
-        let timeout = self.latency.reissue_timeout(mshr.issue_count, &mut self.rng);
+        let timeout = self
+            .latency
+            .reissue_timeout(mshr.issue_count, &mut self.rng);
         self.timer_seq += 1;
         let seq = self.timer_seq;
         if let Some(mshr) = self.mshrs.get_mut(addr) {
@@ -377,7 +388,13 @@ impl TokenBController {
                     // Exclusive request: hand over everything we have.
                     let msg = if line.owner {
                         self.data_response(
-                            cache_at, requester, addr, line.tokens, true, line.dirty, false,
+                            cache_at,
+                            requester,
+                            addr,
+                            line.tokens,
+                            true,
+                            line.dirty,
+                            false,
                             line.version,
                         )
                     } else {
@@ -404,7 +421,13 @@ impl TokenBController {
                     if migratory {
                         // Migratory optimization: pass read/write permission.
                         let msg = self.data_response(
-                            cache_at, requester, addr, line.tokens, true, line.dirty, false,
+                            cache_at,
+                            requester,
+                            addr,
+                            line.tokens,
+                            true,
+                            line.dirty,
+                            false,
                             line.version,
                         );
                         self.send(out, msg);
@@ -414,7 +437,14 @@ impl TokenBController {
                         // Keep the owner token, share one non-owner token with
                         // data.
                         let msg = self.data_response(
-                            cache_at, requester, addr, 1, false, false, false, line.version,
+                            cache_at,
+                            requester,
+                            addr,
+                            1,
+                            false,
+                            false,
+                            false,
+                            line.version,
                         );
                         self.send(out, msg);
                         if let Some(l) = self.l2.get(addr) {
@@ -424,7 +454,14 @@ impl TokenBController {
                         // We hold only the owner token: hand it over (with
                         // data) rather than refusing the request.
                         let msg = self.data_response(
-                            cache_at, requester, addr, 1, true, line.dirty, false, line.version,
+                            cache_at,
+                            requester,
+                            addr,
+                            1,
+                            true,
+                            line.dirty,
+                            false,
+                            line.version,
                         );
                         self.send(out, msg);
                         self.l2.remove(addr);
@@ -450,7 +487,14 @@ impl TokenBController {
                     mem.owner = false;
                     let msg = if owner {
                         self.data_response(
-                            mem_at, requester, addr, tokens, true, false, true, mem_version,
+                            mem_at,
+                            requester,
+                            addr,
+                            tokens,
+                            true,
+                            false,
+                            true,
+                            mem_version,
                         )
                     } else {
                         self.token_message(
@@ -472,14 +516,28 @@ impl TokenBController {
                     if mem.tokens > 1 {
                         mem.tokens -= 1;
                         let msg = self.data_response(
-                            mem_at, requester, addr, 1, false, false, true, mem_version,
+                            mem_at,
+                            requester,
+                            addr,
+                            1,
+                            false,
+                            false,
+                            true,
+                            mem_version,
                         );
                         self.send(out, msg);
                     } else {
                         mem.tokens = 0;
                         mem.owner = false;
                         let msg = self.data_response(
-                            mem_at, requester, addr, 1, true, false, true, mem_version,
+                            mem_at,
+                            requester,
+                            addr,
+                            1,
+                            true,
+                            false,
+                            true,
+                            mem_version,
                         );
                         self.send(out, msg);
                     }
@@ -548,10 +606,7 @@ impl TokenBController {
 
         // Otherwise the tokens join this node's cache.
         self.allocate_line(now, addr, out);
-        let line = self
-            .l2
-            .get(addr)
-            .expect("line allocated immediately above");
+        let line = self.l2.get(addr).expect("line allocated immediately above");
         line.tokens += tokens;
         if owner {
             line.owner = true;
@@ -743,7 +798,14 @@ impl TokenBController {
                 let at = now + self.controller_latency + self.l2_latency;
                 let msg = if line.owner {
                     self.data_response(
-                        at, requester, addr, line.tokens, true, line.dirty, false, line.version,
+                        at,
+                        requester,
+                        addr,
+                        line.tokens,
+                        true,
+                        line.dirty,
+                        false,
+                        line.version,
                     )
                 } else {
                     self.token_message(
@@ -992,16 +1054,7 @@ impl CoherenceController for TokenBController {
                 out,
             ),
             MsgKind::TokenOnly { tokens } => self.receive_tokens(
-                now,
-                msg.src,
-                addr,
-                tokens,
-                false,
-                false,
-                false,
-                None,
-                msg.vnet,
-                out,
+                now, msg.src, addr, tokens, false, false, false, None, msg.vnet, out,
             ),
             MsgKind::PersistentRequest { write } => {
                 debug_assert!(self.is_home(addr), "persistent request at non-home node");
@@ -1061,7 +1114,10 @@ impl CoherenceController for TokenBController {
 
     fn stats(&self) -> ControllerStats {
         let mut stats = self.stats.clone();
-        stats.bump("persistent_activations_observed", self.persistent_table.activations_seen());
+        stats.bump(
+            "persistent_activations_observed",
+            self.persistent_table.activations_seen(),
+        );
         stats.bump("arbiter_activations", self.arbiter.activations());
         stats
     }
@@ -1157,10 +1213,7 @@ mod tests {
         assert_eq!(out.messages[0].dest, Destination::Broadcast);
         assert_eq!(c.outstanding_misses(), 1);
         // A reissue timer was armed.
-        assert!(out
-            .timers
-            .iter()
-            .any(|(_, t)| t.kind == TimerKind::Reissue));
+        assert!(out.timers.iter().any(|(_, t)| t.kind == TimerKind::Reissue));
     }
 
     #[test]
@@ -1405,7 +1458,10 @@ mod tests {
             .filter(|m| m.kind == MsgKind::GetM)
             .collect();
         assert_eq!(reissued.len(), 1);
-        assert!(reissued[0].reissue, "the rebroadcast is marked as a reissue");
+        assert!(
+            reissued[0].reissue,
+            "the rebroadcast is marked as a reissue"
+        );
     }
 
     #[test]
@@ -1421,7 +1477,9 @@ mod tests {
             .collect();
         let mut persistent_sent = false;
         for _ in 0..10 {
-            let Some((at, timer)) = timers.pop() else { break };
+            let Some((at, timer)) = timers.pop() else {
+                break;
+            };
             let mut step = Outbox::new();
             c.handle_timer(at, timer, &mut step);
             if step

@@ -1,11 +1,9 @@
 //! The interconnect fabric: link contention, multicast routing, and traffic
 //! accounting on top of a [`Topology`].
 
-use std::collections::HashMap;
-
 use tc_types::{
-    BandwidthMode, Cycle, InterconnectConfig, Message, NodeId, TopologyKind, TrafficClass,
-    TrafficStats,
+    BandwidthMode, Cycle, Destination, FastHashMap, InterconnectConfig, Message, NodeId,
+    TopologyKind, TrafficClass, TrafficStats,
 };
 
 use crate::topology::{LinkId, RouterId, Topology};
@@ -43,6 +41,79 @@ struct LinkState {
     busy_ns: Cycle,
 }
 
+/// Dense precomputed routing: the topology is static, so every `(src, dst)`
+/// path is resolved once at construction into one flat link array indexed by
+/// `src * num_nodes + dst`, and [`RouteTable::path`] is a slice borrow — the
+/// per-send `Topology::route` calls (and their `Vec` allocations) disappear
+/// from the steady-state path.
+#[derive(Debug)]
+struct RouteTable {
+    num_nodes: usize,
+    /// Offset of `(src, dst)`'s path in `links`; `offsets[n * n]` terminates.
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl RouteTable {
+    fn build(topology: &dyn Topology) -> Self {
+        let n = topology.num_nodes();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut links = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                offsets.push(links.len() as u32);
+                if src != dst {
+                    links.extend(topology.route(NodeId::new(src), NodeId::new(dst)));
+                }
+            }
+        }
+        offsets.push(links.len() as u32);
+        RouteTable {
+            num_nodes: n,
+            offsets,
+            links,
+        }
+    }
+
+    #[inline]
+    fn path(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        let i = src.index() * self.num_nodes + dst.index();
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// How one destination of a cached multicast tree receives its copy.
+#[derive(Debug, Clone, Copy)]
+enum DeliveryVia {
+    /// Zero-hop delivery at the injection time (a self-send on the torus).
+    Local,
+    /// A self-send on the ordered tree: the message still climbs to the root
+    /// switch and back down (four crossings), preserving the total order.
+    OrderedSelfSend,
+    /// Delivered when the message reaches this router.
+    AtRouter(RouterId),
+}
+
+/// Upper bound on the number of cached multicast trees. Unicast and
+/// broadcast patterns need at most `nodes * (nodes + 1)` entries (4 160 at
+/// 64 nodes), so they always fit; the cap only bites workloads that multicast
+/// to unboundedly many distinct sharer subsets (Hammer probes, directory
+/// invalidation sets), which fall back to a reusable scratch tree instead of
+/// growing fabric memory for the lifetime of the run.
+const TREE_CACHE_CAP: usize = 32 * 1024;
+
+/// A multicast tree computed once per distinct `(source, destination)`
+/// pattern: the deduplicated links in source-outward order plus, per
+/// receiving node, how its arrival time is read off the tree.
+#[derive(Debug, Default)]
+struct CachedTree {
+    /// Tree links in path order (shared prefixes first), deduplicated: each
+    /// link carries the message exactly once regardless of fan-out.
+    tree_links: Vec<LinkId>,
+    /// One entry per receiving node.
+    deliveries: Vec<(NodeId, DeliveryVia)>,
+}
+
 /// The interconnection network: a topology plus link timing/contention state.
 ///
 /// The fabric uses store-and-forward timing with per-link serialization. A
@@ -63,6 +134,26 @@ pub struct Interconnect {
     /// Per-node injection port occupancy, modelling the node's single
     /// interface into the fabric.
     injection_free_at: Vec<Cycle>,
+    /// Dense `(src, dst) -> &[LinkId]` routes, built once at construction.
+    routes: RouteTable,
+    /// The router each node injects into, by node index.
+    node_routers: Vec<RouterId>,
+    /// Index of each distinct `(source, destination)` pattern in `trees`.
+    tree_cache: FastHashMap<(NodeId, Destination), usize>,
+    /// The cached multicast trees, appended on first use of each pattern.
+    trees: Vec<CachedTree>,
+    /// Reusable tree for patterns beyond [`TREE_CACHE_CAP`].
+    scratch_tree: CachedTree,
+    /// Scratch: earliest arrival time per router for the send in progress.
+    /// Entries are valid only when the matching `arrival_gen` stamp equals
+    /// `generation`, so the arrays never need clearing between sends.
+    arrival_time: Vec<Cycle>,
+    arrival_gen: Vec<u64>,
+    /// Scratch: generation stamp per link, marking links already in the tree
+    /// being built (cache misses only).
+    link_gen: Vec<u64>,
+    /// Current send's generation stamp.
+    generation: u64,
 }
 
 impl Interconnect {
@@ -73,6 +164,12 @@ impl Interconnect {
             TopologyKind::Torus => Box::new(TorusTopology::new(num_nodes)),
         };
         let links = vec![LinkState::default(); topology.links().len()];
+        let routes = RouteTable::build(topology.as_ref());
+        let node_routers = (0..num_nodes)
+            .map(|n| topology.node_router(NodeId::new(n)))
+            .collect();
+        let num_routers = topology.num_routers();
+        let num_links = topology.links().len();
         Interconnect {
             topology,
             config,
@@ -81,6 +178,15 @@ impl Interconnect {
             total_deliveries: 0,
             total_sends: 0,
             injection_free_at: vec![0; num_nodes],
+            routes,
+            node_routers,
+            tree_cache: FastHashMap::default(),
+            trees: Vec::new(),
+            scratch_tree: CachedTree::default(),
+            arrival_time: vec![0; num_routers],
+            arrival_gen: vec![0; num_routers],
+            link_gen: vec![0; num_links],
+            generation: 0,
         }
     }
 
@@ -143,20 +249,55 @@ impl Interconnect {
     /// Sending a message to an empty destination set (for example a broadcast
     /// in a single-node system) returns no deliveries.
     pub fn send(&mut self, now: Cycle, msg: Message) -> Vec<Delivery> {
-        let destinations = msg.dest.expand(self.topology.num_nodes(), msg.src);
-        if destinations.is_empty() {
-            return Vec::new();
+        let mut deliveries = Vec::new();
+        self.send_into(now, &msg, &mut deliveries);
+        deliveries
+    }
+
+    /// [`Interconnect::send`] writing into a caller-supplied buffer, so the
+    /// steady-state event loop can reuse one allocation across all sends.
+    /// Deliveries are appended; the buffer is not cleared.
+    pub fn send_into(&mut self, now: Cycle, msg: &Message, out: &mut Vec<Delivery>) {
+        let key = (msg.src, msg.dest.clone());
+        let tree_index = match self.tree_cache.get(&key) {
+            Some(&index) => Some(index),
+            None if self.trees.len() < TREE_CACHE_CAP => {
+                let tree = self.build_tree(msg.src, &msg.dest);
+                self.trees.push(tree);
+                let index = self.trees.len() - 1;
+                self.tree_cache.insert(key, index);
+                Some(index)
+            }
+            None => {
+                // Cache full (a workload generating unboundedly many distinct
+                // multicast subsets): compute into the reusable scratch tree
+                // instead of growing without limit. Unicast and broadcast
+                // patterns are O(nodes²) and always fit, so the steady-state
+                // paths stay cached.
+                let mut scratch = std::mem::take(&mut self.scratch_tree);
+                self.build_tree_into(msg.src, &msg.dest, &mut scratch);
+                self.scratch_tree = scratch;
+                None
+            }
+        };
+        let tree = match tree_index {
+            Some(index) => &self.trees[index],
+            None => &self.scratch_tree,
+        };
+        if tree.deliveries.is_empty() {
+            return;
         }
         self.total_sends += 1;
 
         let size = msg.size_bytes();
         let serialization = self.serialization_ns(size);
         let latency = self.config.link_latency_ns;
+        let limited = matches!(self.config.bandwidth, BandwidthMode::Limited);
 
         // Injection port: the node serializes the message onto the fabric
         // once, regardless of fan-out.
         let src_index = msg.src.index();
-        let inject_start = if matches!(self.config.bandwidth, BandwidthMode::Limited) {
+        let inject_start = if limited {
             let start = now.max(self.injection_free_at[src_index]);
             self.injection_free_at[src_index] = start + serialization;
             start
@@ -164,86 +305,119 @@ impl Interconnect {
             now
         };
 
-        // Build the multicast tree: the union of deterministic source routes
-        // is a tree, so deduplicating links gives each shared link exactly one
-        // copy of the message.
-        let mut arrival: HashMap<RouterId, Cycle> = HashMap::new();
-        arrival.insert(self.topology.node_router(msg.src), inject_start);
-        let mut tree_links: Vec<LinkId> = Vec::new();
-        let mut seen: HashMap<LinkId, ()> = HashMap::new();
-        let mut paths = Vec::with_capacity(destinations.len());
-        for dst in &destinations {
-            let path = if *dst == msg.src {
-                Vec::new()
-            } else {
-                self.topology.route(msg.src, *dst)
-            };
-            for link in &path {
-                if seen.insert(*link, ()).is_none() {
-                    tree_links.push(*link);
-                }
-            }
-            paths.push((*dst, path));
-        }
+        // Stamp-based scratch: bumping the generation invalidates every
+        // router's arrival entry at once, so nothing is cleared per send.
+        self.generation += 1;
+        let generation = self.generation;
+        let src_router = self.node_routers[src_index].index();
+        self.arrival_time[src_router] = inject_start;
+        self.arrival_gen[src_router] = generation;
 
         // Walk the tree links in path order. Because each destination path
         // lists links from source outwards and shared prefixes appear first,
         // a link's upstream router always has an arrival time by the time we
         // process it.
-        for link_id in &tree_links {
+        for link_id in &tree.tree_links {
             let descriptor = self.topology.links()[link_id.index()];
-            let upstream = *arrival
-                .get(&descriptor.from)
-                .expect("multicast tree processed out of order");
+            // A hard assert, not a debug_assert: if a topology ever violates
+            // the prefix-closed routing contract, reading a stale arrival
+            // stamp would silently produce wrong delivery times in release
+            // builds. The compare is one predicted branch per link.
+            assert_eq!(
+                self.arrival_gen[descriptor.from.index()],
+                generation,
+                "multicast tree processed out of order"
+            );
+            let upstream = self.arrival_time[descriptor.from.index()];
             let link = &mut self.links[link_id.index()];
-            let start = match self.config.bandwidth {
-                BandwidthMode::Limited => upstream.max(link.free_at),
-                BandwidthMode::Unlimited => upstream,
+            let start = if limited {
+                upstream.max(link.free_at)
+            } else {
+                upstream
             };
             let done = start + serialization;
-            if matches!(self.config.bandwidth, BandwidthMode::Limited) {
+            if limited {
                 link.free_at = done;
             }
             link.bytes += size;
             link.messages += 1;
             link.busy_ns += serialization;
             let reach = done + latency;
-            arrival
-                .entry(descriptor.to)
-                .and_modify(|t| *t = (*t).min(reach))
-                .or_insert(reach);
+            let to = descriptor.to.index();
+            if self.arrival_gen[to] == generation {
+                self.arrival_time[to] = self.arrival_time[to].min(reach);
+            } else {
+                self.arrival_gen[to] = generation;
+                self.arrival_time[to] = reach;
+            }
         }
 
         self.traffic
-            .record(TrafficClass::of(&msg), size, tree_links.len() as u64);
+            .record(TrafficClass::of(msg), size, tree.tree_links.len() as u64);
 
-        let mut deliveries = Vec::with_capacity(destinations.len());
-        for (dst, path) in paths {
-            let at = if path.is_empty() {
-                // Self-delivery (a node snooping its own ordered broadcast
-                // still pays the round trip through the root on the tree;
-                // on a torus a self-send is local).
-                if self.topology.provides_total_order() && dst == msg.src {
-                    // The message must still climb to the root and come back.
-                    let round_trip = 4 * (latency + serialization);
-                    inject_start + round_trip
-                } else {
-                    inject_start
+        for &(dst, via) in &tree.deliveries {
+            let at = match via {
+                DeliveryVia::Local => inject_start,
+                // A node snooping its own ordered broadcast still pays the
+                // round trip through the root switch.
+                DeliveryVia::OrderedSelfSend => inject_start + 4 * (latency + serialization),
+                DeliveryVia::AtRouter(router) => {
+                    assert_eq!(
+                        self.arrival_gen[router.index()],
+                        generation,
+                        "destination router missing arrival time"
+                    );
+                    self.arrival_time[router.index()]
                 }
-            } else {
-                let last = self.topology.links()[path.last().unwrap().index()];
-                *arrival
-                    .get(&last.to)
-                    .expect("destination router missing arrival time")
             };
             self.total_deliveries += 1;
-            deliveries.push(Delivery {
+            out.push(Delivery {
                 at,
                 node: dst,
                 msg: msg.clone(),
             });
         }
-        deliveries
+    }
+
+    /// Computes the multicast tree for one `(source, destination)` pattern:
+    /// the union of the deterministic source routes is a tree, so
+    /// deduplicating links gives each shared link exactly one copy of the
+    /// message. Runs once per pattern; steady-state sends hit the cache.
+    fn build_tree(&mut self, src: NodeId, dest: &Destination) -> CachedTree {
+        let mut tree = CachedTree::default();
+        self.build_tree_into(src, dest, &mut tree);
+        tree
+    }
+
+    /// [`Interconnect::build_tree`] writing into an existing tree, clearing
+    /// it first but keeping its allocations (used by the scratch fallback
+    /// once the cache is full).
+    fn build_tree_into(&mut self, src: NodeId, dest: &Destination, tree: &mut CachedTree) {
+        let destinations = dest.expand(self.topology.num_nodes(), src);
+        tree.tree_links.clear();
+        tree.deliveries.clear();
+        self.generation += 1;
+        for dst in destinations {
+            let path = if dst == src {
+                &[][..]
+            } else {
+                self.routes.path(src, dst)
+            };
+            for link in path {
+                if self.link_gen[link.index()] != self.generation {
+                    self.link_gen[link.index()] = self.generation;
+                    tree.tree_links.push(*link);
+                }
+            }
+            let via = match path.last() {
+                None if self.topology.provides_total_order() && dst == src => {
+                    DeliveryVia::OrderedSelfSend
+                }
+                None => DeliveryVia::Local,
+                Some(last) => DeliveryVia::AtRouter(self.topology.links()[last.index()].to),
+            };
+            tree.deliveries.push((dst, via));
+        }
     }
 }
 
@@ -365,7 +539,10 @@ mod tests {
         let traffic = unlimited.traffic();
         assert_eq!(traffic.messages(TrafficClass::Request), 1);
         assert_eq!(traffic.bytes(TrafficClass::Request), 8);
-        assert_eq!(traffic.link_bytes(TrafficClass::Request), 8 * (1 + 1 + 4 + 15));
+        assert_eq!(
+            traffic.link_bytes(TrafficClass::Request),
+            8 * (1 + 1 + 4 + 15)
+        );
     }
 
     #[test]
@@ -383,9 +560,12 @@ mod tests {
     fn self_delivery_on_tree_costs_a_root_round_trip() {
         let mut net = Interconnect::new(16, config(TopologyKind::Tree, BandwidthMode::Unlimited));
         let all: Vec<NodeId> = (0..16).map(NodeId::new).collect();
-        let deliveries = net.send(0, request(0, Destination::Multicast(all)));
+        let deliveries = net.send(0, request(0, Destination::multicast(all)));
         assert_eq!(deliveries.len(), 16);
-        let self_delivery = deliveries.iter().find(|d| d.node == NodeId::new(0)).unwrap();
+        let self_delivery = deliveries
+            .iter()
+            .find(|d| d.node == NodeId::new(0))
+            .unwrap();
         assert_eq!(self_delivery.at, 60);
     }
 
@@ -421,6 +601,30 @@ mod tests {
         let carried: u64 = util.iter().map(|u| u.bytes).sum();
         assert_eq!(carried, 144);
         assert!(net.max_link_bytes() >= 72);
+    }
+
+    #[test]
+    fn tree_cache_overflow_falls_back_to_scratch_and_stays_correct() {
+        // Drive more distinct multicast patterns than the cache holds; the
+        // overflow patterns must still deliver exactly like a fresh fabric.
+        let mut net = Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        for pattern in 0..(TREE_CACHE_CAP as u32 + 10) {
+            // Map the counter to a non-empty subset of the 16 nodes.
+            let bits = (pattern % 0xFFFF) + 1;
+            let nodes: Vec<NodeId> = (0..16)
+                .filter(|n| bits & (1 << n) != 0)
+                .map(NodeId::new)
+                .collect();
+            net.send(0, request(0, Destination::multicast(nodes)));
+        }
+        assert!(net.total_sends() > TREE_CACHE_CAP as u64);
+        // A pattern beyond the cap: compare against an uncapped fresh fabric.
+        let novel: Vec<NodeId> = vec![NodeId::new(3), NodeId::new(9), NodeId::new(14)];
+        let mut fresh =
+            Interconnect::new(16, config(TopologyKind::Torus, BandwidthMode::Unlimited));
+        let got = net.send(7, request(5, Destination::multicast(novel.clone())));
+        let expected = fresh.send(7, request(5, Destination::multicast(novel)));
+        assert_eq!(got, expected);
     }
 
     #[test]

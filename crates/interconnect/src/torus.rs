@@ -71,7 +71,7 @@ impl TorusTopology {
         let mut best = (n, 1);
         let mut w = (n as f64).sqrt() as usize;
         while w >= 1 {
-            if n % w == 0 {
+            if n.is_multiple_of(w) {
                 best = (n / w, w);
                 break;
             }

@@ -1,0 +1,248 @@
+//! Property test: the route-cached, scratch-array fabric must be
+//! observationally identical to a naive fabric that recomputes every route on
+//! every send.
+//!
+//! The reference implementation below is the pre-optimization `send`
+//! algorithm, kept verbatim: `Topology::route` per destination per send,
+//! link deduplication through a hash set, and arrival times in a hash map.
+//! Both fabrics are driven with the same deterministic pseudo-random message
+//! stream across tree and torus topologies, unicast/multicast/broadcast
+//! destinations, and both bandwidth modes; every delivery (node, time,
+//! message), the traffic accounting, and the per-link utilization must
+//! match exactly. Cases are drawn from a [`DeterministicRng`] rather than
+//! proptest (unavailable in the offline build environment), so every run
+//! covers the same cases.
+
+use std::collections::HashMap;
+
+use tc_interconnect::fabric::Delivery;
+use tc_interconnect::{Interconnect, LinkId, RouterId, Topology};
+use tc_sim::DeterministicRng;
+use tc_types::{
+    BandwidthMode, BlockAddr, Cycle, DataPayload, Destination, InterconnectConfig, Message,
+    MsgKind, NodeId, TopologyKind, TrafficClass, TrafficStats, Vnet,
+};
+
+/// The pre-optimization fabric: same timing model, no caching.
+struct NaiveFabric {
+    topology: Box<dyn Topology>,
+    config: InterconnectConfig,
+    free_at: Vec<Cycle>,
+    bytes: Vec<u64>,
+    traffic: TrafficStats,
+    injection_free_at: Vec<Cycle>,
+}
+
+impl NaiveFabric {
+    fn new(num_nodes: usize, config: InterconnectConfig) -> Self {
+        let topology: Box<dyn Topology> = match config.topology {
+            TopologyKind::Tree => Box::new(tc_interconnect::TreeTopology::new(num_nodes)),
+            TopologyKind::Torus => Box::new(tc_interconnect::TorusTopology::new(num_nodes)),
+        };
+        let links = topology.links().len();
+        NaiveFabric {
+            topology,
+            config,
+            free_at: vec![0; links],
+            bytes: vec![0; links],
+            traffic: TrafficStats::new(),
+            injection_free_at: vec![0; num_nodes],
+        }
+    }
+
+    fn serialization_ns(&self, bytes: u64) -> Cycle {
+        match self.config.bandwidth {
+            BandwidthMode::Unlimited => 0,
+            BandwidthMode::Limited => {
+                (bytes as f64 / self.config.link_bandwidth_bytes_per_ns).ceil() as Cycle
+            }
+        }
+    }
+
+    fn send(&mut self, now: Cycle, msg: Message) -> Vec<Delivery> {
+        let destinations = msg.dest.expand(self.topology.num_nodes(), msg.src);
+        if destinations.is_empty() {
+            return Vec::new();
+        }
+        let size = msg.size_bytes();
+        let serialization = self.serialization_ns(size);
+        let latency = self.config.link_latency_ns;
+        let limited = matches!(self.config.bandwidth, BandwidthMode::Limited);
+
+        let src_index = msg.src.index();
+        let inject_start = if limited {
+            let start = now.max(self.injection_free_at[src_index]);
+            self.injection_free_at[src_index] = start + serialization;
+            start
+        } else {
+            now
+        };
+
+        let mut arrival: HashMap<RouterId, Cycle> = HashMap::new();
+        arrival.insert(self.topology.node_router(msg.src), inject_start);
+        let mut tree_links: Vec<LinkId> = Vec::new();
+        let mut seen: HashMap<LinkId, ()> = HashMap::new();
+        let mut paths = Vec::new();
+        for dst in &destinations {
+            let path = if *dst == msg.src {
+                Vec::new()
+            } else {
+                self.topology.route(msg.src, *dst)
+            };
+            for link in &path {
+                if seen.insert(*link, ()).is_none() {
+                    tree_links.push(*link);
+                }
+            }
+            paths.push((*dst, path));
+        }
+
+        for link_id in &tree_links {
+            let descriptor = self.topology.links()[link_id.index()];
+            let upstream = arrival[&descriptor.from];
+            let start = if limited {
+                upstream.max(self.free_at[link_id.index()])
+            } else {
+                upstream
+            };
+            let done = start + serialization;
+            if limited {
+                self.free_at[link_id.index()] = done;
+            }
+            self.bytes[link_id.index()] += size;
+            let reach = done + latency;
+            arrival
+                .entry(descriptor.to)
+                .and_modify(|t| *t = (*t).min(reach))
+                .or_insert(reach);
+        }
+
+        self.traffic
+            .record(TrafficClass::of(&msg), size, tree_links.len() as u64);
+
+        let mut deliveries = Vec::new();
+        for (dst, path) in paths {
+            let at = if path.is_empty() {
+                if self.topology.provides_total_order() && dst == msg.src {
+                    inject_start + 4 * (latency + serialization)
+                } else {
+                    inject_start
+                }
+            } else {
+                let last = self.topology.links()[path.last().unwrap().index()];
+                arrival[&last.to]
+            };
+            deliveries.push(Delivery {
+                at,
+                node: dst,
+                msg: msg.clone(),
+            });
+        }
+        deliveries
+    }
+}
+
+/// Draws a pseudo-random message: any source, any destination shape
+/// (unicast incl. self-sends, broadcast, multicast of a random subset),
+/// control or data size.
+fn random_message(rng: &mut DeterministicRng, num_nodes: usize, at: Cycle) -> Message {
+    let src = NodeId::new(rng.next_below(num_nodes as u64) as usize);
+    let dest = match rng.next_below(4) {
+        0 => Destination::Node(NodeId::new(rng.next_below(num_nodes as u64) as usize)),
+        1 => Destination::Broadcast,
+        _ => {
+            // A random subset; may include the source, may be empty.
+            let nodes: Vec<NodeId> = (0..num_nodes)
+                .map(NodeId::new)
+                .filter(|_| rng.chance(0.4))
+                .collect();
+            Destination::multicast(nodes)
+        }
+    };
+    let kind = if rng.chance(0.5) {
+        MsgKind::GetS
+    } else {
+        MsgKind::Data {
+            acks_expected: 0,
+            exclusive: false,
+            from_memory: true,
+            payload: DataPayload::default(),
+        }
+    };
+    let vnet = if kind == MsgKind::GetS {
+        Vnet::Request
+    } else {
+        Vnet::Response
+    };
+    Message::new(
+        src,
+        dest,
+        BlockAddr::new(rng.next_below(64)),
+        kind,
+        vnet,
+        at,
+    )
+}
+
+fn drive_pair(topology: TopologyKind, bandwidth: BandwidthMode, num_nodes: usize, seed: u64) {
+    let config = InterconnectConfig {
+        topology,
+        link_bandwidth_bytes_per_ns: 3.2,
+        link_latency_ns: 15,
+        bandwidth,
+    };
+    let mut cached = Interconnect::new(num_nodes, config);
+    let mut naive = NaiveFabric::new(num_nodes, config);
+    let mut rng = DeterministicRng::new(seed);
+    let mut now: Cycle = 0;
+    for step in 0..400 {
+        now += rng.next_below(40);
+        let msg = random_message(&mut rng, num_nodes, now);
+        let expected = naive.send(now, msg.clone());
+        let got = cached.send(now, msg.clone());
+        assert_eq!(
+            got, expected,
+            "{topology:?}/{bandwidth:?}/{num_nodes} nodes, seed {seed}, step {step}: \
+             deliveries diverged for {msg}"
+        );
+    }
+    assert_eq!(
+        cached.traffic(),
+        &naive.traffic,
+        "{topology:?}/{bandwidth:?}/{num_nodes} nodes, seed {seed}: traffic stats diverged"
+    );
+    let cached_bytes: Vec<u64> = cached.link_utilization().iter().map(|u| u.bytes).collect();
+    assert_eq!(
+        cached_bytes, naive.bytes,
+        "{topology:?}/{bandwidth:?}/{num_nodes} nodes, seed {seed}: per-link bytes diverged"
+    );
+}
+
+#[test]
+fn cached_fabric_matches_naive_reference_on_all_configurations() {
+    let mut seeds = DeterministicRng::new(0xCAFE);
+    for topology in [TopologyKind::Tree, TopologyKind::Torus] {
+        for bandwidth in [BandwidthMode::Limited, BandwidthMode::Unlimited] {
+            for num_nodes in [4, 16] {
+                drive_pair(topology, bandwidth, num_nodes, seeds.next_u64());
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_fabric_matches_naive_reference_on_odd_node_counts() {
+    // Non-square, non-power-of-two node counts exercise the torus
+    // factorization and partially filled tree leaf groups.
+    let mut seeds = DeterministicRng::new(0xBEEF);
+    for topology in [TopologyKind::Tree, TopologyKind::Torus] {
+        for num_nodes in [2, 5, 12] {
+            drive_pair(
+                topology,
+                BandwidthMode::Limited,
+                num_nodes,
+                seeds.next_u64(),
+            );
+        }
+    }
+}

@@ -1,8 +1,6 @@
 //! Home-memory state storage.
 
-use std::collections::BTreeMap;
-
-use tc_types::{BlockAddr, HomeMap, NodeId};
+use tc_types::{BlockAddr, FastHashMap, HomeMap, NodeId};
 
 /// Per-home-node memory state.
 ///
@@ -23,8 +21,11 @@ pub struct HomeMemory<S> {
     node: NodeId,
     home_map: HomeMap,
     dram_latency_ns: u64,
-    state: BTreeMap<BlockAddr, S>,
-    data: BTreeMap<BlockAddr, u64>,
+    // Hash maps (not BTreeMaps): these are probed on every home-side access,
+    // and nothing depends on their iteration order (`touched_blocks` feeds an
+    // order-insensitive audit set).
+    state: FastHashMap<BlockAddr, S>,
+    data: FastHashMap<BlockAddr, u64>,
     accesses: u64,
 }
 
@@ -35,8 +36,8 @@ impl<S: Default + Clone> HomeMemory<S> {
             node,
             home_map,
             dram_latency_ns,
-            state: BTreeMap::new(),
-            data: BTreeMap::new(),
+            state: FastHashMap::default(),
+            data: FastHashMap::default(),
             accesses: 0,
         }
     }

@@ -17,9 +17,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_types::{
-    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
-    DataPayload, Destination, DirectoryMode, HomeMap, MemOp, Message, MissCompletion, MissKind,
-    MsgKind, NodeId, Outbox, ReqId, SystemConfig, Timer, Vnet,
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
+    Destination, DirectoryMode, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId,
+    Outbox, ReqId, SystemConfig, Timer, Vnet,
 };
 
 use crate::common::{MosiLine, MosiState};
@@ -120,7 +120,14 @@ impl DirectoryController {
         out.send(msg);
     }
 
-    fn unicast(&self, at: Cycle, dest: NodeId, addr: BlockAddr, kind: MsgKind, vnet: Vnet) -> Message {
+    fn unicast(
+        &self,
+        at: Cycle,
+        dest: NodeId,
+        addr: BlockAddr,
+        kind: MsgKind,
+        vnet: Vnet,
+    ) -> Message {
         Message::new(self.node, Destination::Node(dest), addr, kind, vnet, at)
     }
 
@@ -260,7 +267,14 @@ impl DirectoryController {
         }
     }
 
-    fn home_handle_unblock(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, exclusive: bool, out: &mut Outbox) {
+    fn home_handle_unblock(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        addr: BlockAddr,
+        exclusive: bool,
+        out: &mut Outbox,
+    ) {
         {
             let entry = self.memory.state_mut(addr);
             if exclusive {
@@ -281,7 +295,14 @@ impl DirectoryController {
         }
     }
 
-    fn home_handle_putm(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, version: u64, out: &mut Outbox) {
+    fn home_handle_putm(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        out: &mut Outbox,
+    ) {
         self.memory.write_data(addr, version);
         {
             let entry = self.memory.state_mut(addr);
@@ -426,6 +447,7 @@ impl DirectoryController {
         self.send(out, ack);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_data(
         &mut self,
         now: Cycle,
@@ -674,7 +696,13 @@ impl CoherenceController for DirectoryController {
             .unwrap_or_else(|_| panic!("MSHR overflow at {}", self.node));
         let home = self.home_of(addr);
         let kind = if write { MsgKind::GetM } else { MsgKind::GetS };
-        let msg = self.unicast(now + self.controller_latency, home, addr, kind, Vnet::Request);
+        let msg = self.unicast(
+            now + self.controller_latency,
+            home,
+            addr,
+            kind,
+            Vnet::Request,
+        );
         self.send(out, msg);
         AccessOutcome::Miss
     }
@@ -698,7 +726,15 @@ impl CoherenceController for DirectoryController {
                 exclusive,
                 from_memory,
                 payload,
-            } => self.handle_data(now, addr, acks_expected, exclusive, from_memory, payload, out),
+            } => self.handle_data(
+                now,
+                addr,
+                acks_expected,
+                exclusive,
+                from_memory,
+                payload,
+                out,
+            ),
             MsgKind::InvAck => self.handle_inv_ack(now, addr, out),
             MsgKind::Unblock => self.home_handle_unblock(now, msg.src, addr, false, out),
             MsgKind::ExclusiveUnblock => self.home_handle_unblock(now, msg.src, addr, true, out),

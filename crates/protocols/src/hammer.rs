@@ -19,9 +19,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_types::{
-    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
-    DataPayload, Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId,
-    Outbox, ReqId, SystemConfig, Timer, Vnet,
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
+    Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId, Outbox, ReqId,
+    SystemConfig, Timer, Vnet,
 };
 
 use crate::common::{MosiLine, MosiState};
@@ -115,7 +115,14 @@ impl HammerController {
         out.send(msg);
     }
 
-    fn unicast(&self, at: Cycle, dest: NodeId, addr: BlockAddr, kind: MsgKind, vnet: Vnet) -> Message {
+    fn unicast(
+        &self,
+        at: Cycle,
+        dest: NodeId,
+        addr: BlockAddr,
+        kind: MsgKind,
+        vnet: Vnet,
+    ) -> Message {
         Message::new(self.node, Destination::Node(dest), addr, kind, vnet, at)
     }
 
@@ -157,7 +164,7 @@ impl HammerController {
             .collect();
         let probe = Message::new(
             self.node,
-            Destination::Multicast(probe_targets),
+            Destination::multicast(probe_targets),
             addr,
             MsgKind::HammerProbe { requester, write },
             Vnet::Forwarded,
@@ -196,7 +203,14 @@ impl HammerController {
         }
     }
 
-    fn home_handle_putm(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, version: u64, out: &mut Outbox) {
+    fn home_handle_putm(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        out: &mut Outbox,
+    ) {
         self.memory.write_data(addr, version);
         let ack = self.unicast(
             now + self.controller_latency,
@@ -535,7 +549,13 @@ impl CoherenceController for HammerController {
             .unwrap_or_else(|_| panic!("MSHR overflow at {}", self.node));
         let home = self.home_of(addr);
         let kind = if write { MsgKind::GetM } else { MsgKind::GetS };
-        let msg = self.unicast(now + self.controller_latency, home, addr, kind, Vnet::Request);
+        let msg = self.unicast(
+            now + self.controller_latency,
+            home,
+            addr,
+            kind,
+            Vnet::Request,
+        );
         self.send(out, msg);
         AccessOutcome::Miss
     }
@@ -723,7 +743,10 @@ mod tests {
             }
             frontier = next;
         }
-        assert_eq!(nodes[2].l2.peek(BlockAddr::new(0)).unwrap().state, MosiState::Modified);
+        assert_eq!(
+            nodes[2].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
         let written_version = nodes[2].l2.peek(BlockAddr::new(0)).unwrap().version;
 
         // Node 3 now reads the block; the dirty copy at node 2 must win over

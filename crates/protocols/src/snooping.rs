@@ -18,9 +18,9 @@ use std::collections::BTreeMap;
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_types::{
-    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle,
-    DataPayload, Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId,
-    Outbox, ReqId, SystemConfig, Timer, Vnet,
+    AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
+    Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId, Outbox, ReqId,
+    SystemConfig, Timer, Vnet,
 };
 
 use crate::common::{MosiLine, MosiState};
@@ -77,7 +77,6 @@ impl Default for OwnerBit {
 #[derive(Debug)]
 pub struct SnoopingController {
     node: NodeId,
-    num_nodes: usize,
     home_map: HomeMap,
     l1: L1Filter,
     l2: SetAssocCache<MosiLine>,
@@ -90,6 +89,9 @@ pub struct SnoopingController {
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
+    /// Cached all-nodes destination: snooping broadcasts every request, so
+    /// this Arc-backed set is cloned (refcount bump, no allocation) per send.
+    everyone: Destination,
 }
 
 impl SnoopingController {
@@ -98,7 +100,6 @@ impl SnoopingController {
         let home_map = HomeMap::new(config.num_nodes, config.block_bytes);
         SnoopingController {
             node,
-            num_nodes: config.num_nodes,
             home_map,
             l1: L1Filter::new(&config.l1, config.block_bytes),
             l2: SetAssocCache::new(&config.l2, config.block_bytes),
@@ -111,6 +112,7 @@ impl SnoopingController {
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
+            everyone: Destination::Multicast((0..config.num_nodes).map(NodeId::new).collect()),
         }
     }
 
@@ -129,10 +131,17 @@ impl SnoopingController {
     }
 
     fn everyone(&self) -> Destination {
-        Destination::Multicast((0..self.num_nodes).map(NodeId::new).collect())
+        self.everyone.clone()
     }
 
-    fn unicast(&self, at: Cycle, dest: NodeId, addr: BlockAddr, kind: MsgKind, vnet: Vnet) -> Message {
+    fn unicast(
+        &self,
+        at: Cycle,
+        dest: NodeId,
+        addr: BlockAddr,
+        kind: MsgKind,
+        vnet: Vnet,
+    ) -> Message {
         Message::new(self.node, Destination::Node(dest), addr, kind, vnet, at)
     }
 
@@ -193,11 +202,7 @@ impl SnoopingController {
         // If we have an ordered outstanding request for this block, we are
         // (or are about to become) the block's owner in the total order, so
         // we must remember this request and answer it once our data arrives.
-        let we_are_ordered_first = self
-            .mshrs
-            .get(addr)
-            .map(|m| m.ordered)
-            .unwrap_or(false);
+        let we_are_ordered_first = self.mshrs.get(addr).map(|m| m.ordered).unwrap_or(false);
         if we_are_ordered_first {
             if let Some(mshr) = self.mshrs.get_mut(addr) {
                 mshr.forward_queue.push((requester, write));
@@ -335,7 +340,14 @@ impl SnoopingController {
     }
 
     /// The home receives the data of a (still valid) writeback.
-    fn apply_writeback_data(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, version: u64, out: &mut Outbox) {
+    fn apply_writeback_data(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        out: &mut Outbox,
+    ) {
         debug_assert!(self.is_home(addr));
         let entry = self.memory.state_mut(addr);
         entry.initialized = true;

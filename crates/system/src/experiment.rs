@@ -193,19 +193,23 @@ pub fn figure5b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
 /// Question 5 (scalability): TokenB vs Directory traffic on the uniform
 /// microbenchmark at increasing node counts.
 pub fn scalability_points(num_nodes: usize) -> Vec<ExperimentPoint> {
-    [ProtocolKind::TokenB, ProtocolKind::Directory, ProtocolKind::Hammer]
-        .into_iter()
-        .map(|protocol| {
-            ExperimentPoint::new(
-                format!("{protocol}-{num_nodes}p"),
-                base_config()
-                    .with_nodes(num_nodes)
-                    .with_protocol(protocol)
-                    .with_topology(TopologyKind::Torus),
-                WorkloadProfile::uniform_shared(),
-            )
-        })
-        .collect()
+    [
+        ProtocolKind::TokenB,
+        ProtocolKind::Directory,
+        ProtocolKind::Hammer,
+    ]
+    .into_iter()
+    .map(|protocol| {
+        ExperimentPoint::new(
+            format!("{protocol}-{num_nodes}p"),
+            base_config()
+                .with_nodes(num_nodes)
+                .with_protocol(protocol)
+                .with_topology(TopologyKind::Torus),
+            WorkloadProfile::uniform_shared(),
+        )
+    })
+    .collect()
 }
 
 #[cfg(test)]

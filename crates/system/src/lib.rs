@@ -48,7 +48,7 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
-pub use processor::Processor;
+pub use processor::{CompletionOutcome, Processor};
 pub use report::{RunReport, TrafficBreakdown};
 pub use runner::{RunOptions, System};
 pub use verify::Verifier;

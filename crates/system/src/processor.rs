@@ -5,6 +5,18 @@ use std::collections::BTreeMap;
 use tc_types::{Cycle, MemOp, NodeId, ProcessorConfig, ReqId};
 use tc_workloads::{GeneratedOp, WorkloadGenerator, WorkloadProfile};
 
+/// What [`Processor::note_completion`] did, so the runner can maintain its
+/// incremental completed-operation counter and wake blocked processors
+/// without re-scanning every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionOutcome {
+    /// Whether an outstanding miss was actually completed (false for stale
+    /// responses to unknown request ids).
+    pub completed: bool,
+    /// Whether the processor was blocked and should be woken.
+    pub was_blocked: bool,
+}
+
 /// What the processor wants to do next when it is woken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IssueDecision {
@@ -147,11 +159,14 @@ impl Processor {
         self.outstanding.insert(req, now);
     }
 
-    /// Records the completion of an outstanding miss. Returns `true` if the
-    /// processor was blocked and should be woken.
-    pub fn note_completion(&mut self, req: ReqId, _now: Cycle) -> bool {
+    /// Records the completion of an outstanding miss. Completions for
+    /// unknown request ids (stale responses) are ignored.
+    pub fn note_completion(&mut self, req: ReqId, _now: Cycle) -> CompletionOutcome {
         if self.outstanding.remove(&req).is_none() {
-            return false;
+            return CompletionOutcome {
+                completed: false,
+                was_blocked: false,
+            };
         }
         self.complete_one();
         if self.outstanding.is_empty() {
@@ -159,7 +174,10 @@ impl Processor {
         }
         let was_blocked = self.blocked;
         self.blocked = false;
-        was_blocked
+        CompletionOutcome {
+            completed: true,
+            was_blocked,
+        }
     }
 
     /// The issue time of the oldest outstanding miss, if any (used by the
@@ -244,11 +262,11 @@ mod tests {
         };
         p.note_miss(op2.id, 1);
         let _ = p.next_issue(2); // blocks
-        assert!(p.note_completion(op.id, 50));
+        assert!(p.note_completion(op.id, 50).was_blocked);
         assert!(!p.is_blocked());
         assert_eq!(p.completed_ops(), 1);
         // Unknown completions are ignored.
-        assert!(!p.note_completion(ReqId::new(9999), 60));
+        assert!(!p.note_completion(ReqId::new(9999), 60).completed);
     }
 
     #[test]

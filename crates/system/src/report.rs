@@ -174,10 +174,12 @@ mod tests {
         let mut traffic = TrafficStats::new();
         traffic.record(TrafficClass::Request, 8, 4);
         traffic.record(TrafficClass::DataResponseOrWriteback, 72, 2);
-        let mut misses = MissStats::default();
-        misses.read_misses = 2;
-        misses.completed_misses = 2;
-        misses.total_miss_latency = 300;
+        let misses = MissStats {
+            read_misses: 2,
+            completed_misses: 2,
+            total_miss_latency: 300,
+            ..MissStats::default()
+        };
         RunReport {
             protocol: ProtocolKind::TokenB,
             topology: TopologyKind::Torus,

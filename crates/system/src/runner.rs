@@ -1,14 +1,12 @@
 //! The event-driven system runner.
 
-use std::collections::BTreeMap;
-
 use tc_core::TokenBController;
-use tc_interconnect::Interconnect;
+use tc_interconnect::{Delivery, Interconnect};
 use tc_protocols::{DirectoryController, HammerController, SnoopingController};
 use tc_sim::EventQueue;
 use tc_types::{
-    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, Message, MissKind,
-    MissStats, NodeId, Outbox, ProtocolKind, ReissueStats, SystemConfig, Timer,
+    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, FastHashMap, Message,
+    MissKind, MissStats, NodeId, Outbox, ProtocolKind, ReissueStats, SystemConfig, Timer,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -68,10 +66,18 @@ pub struct System {
     interconnect: Interconnect,
     queue: EventQueue<SystemEvent>,
     verifier: Verifier,
-    in_flight_tokens: BTreeMap<BlockAddr, (i64, i64)>,
+    in_flight_tokens: FastHashMap<BlockAddr, (i64, i64)>,
     /// Whether each outstanding miss (by request id) is a store, so that
     /// completions can be classified per operation rather than per miss.
-    outstanding_writes: BTreeMap<tc_types::ReqId, bool>,
+    outstanding_writes: FastHashMap<tc_types::ReqId, bool>,
+    /// Operations completed across all processors, maintained incrementally
+    /// at hit/completion sites so the event loop never re-sums per node.
+    completed_ops: u64,
+    /// Scratch outbox handed to controllers; drained (capacity kept) after
+    /// every event so the steady-state loop allocates nothing.
+    scratch_out: Outbox,
+    /// Scratch buffer for interconnect deliveries, reused across sends.
+    delivery_buf: Vec<Delivery>,
 }
 
 impl System {
@@ -114,8 +120,11 @@ impl System {
             interconnect,
             queue,
             verifier: Verifier::new(),
-            in_flight_tokens: BTreeMap::new(),
-            outstanding_writes: BTreeMap::new(),
+            in_flight_tokens: FastHashMap::default(),
+            outstanding_writes: FastHashMap::default(),
+            completed_ops: 0,
+            scratch_out: Outbox::new(),
+            delivery_buf: Vec::new(),
         }
     }
 
@@ -131,10 +140,6 @@ impl System {
         self.queue.total_delivered()
     }
 
-    fn total_completed(&self) -> u64 {
-        self.processors.iter().map(|p| p.completed_ops()).sum()
-    }
-
     fn total_transactions(&self) -> u64 {
         self.processors.iter().map(|p| p.transactions()).sum()
     }
@@ -145,16 +150,21 @@ impl System {
     pub fn run(&mut self, options: RunOptions) -> RunReport {
         let target_total = options.ops_per_node * self.config.num_nodes as u64;
         let mut draining = false;
-        let mut runtime_cycles: Cycle = 0;
+        // The cycle at which the completion target (or cycle limit) was
+        // reached; None while the run is still making progress. An Option
+        // rather than a zero sentinel: a run can legitimately reach its
+        // target at cycle 0, and a run that drains without ever reaching it
+        // must fall back to the final clock instead of garbage.
+        let mut reached_target_at: Option<Cycle> = None;
         let mut ops_at_target: u64 = 0;
         let mut transactions_at_target: u64 = 0;
         let drain_limit = options.max_cycles.saturating_mul(2);
 
         while let Some((now, event)) = self.queue.pop() {
-            if !draining && (self.total_completed() >= target_total || now >= options.max_cycles) {
+            if !draining && (self.completed_ops >= target_total || now >= options.max_cycles) {
                 draining = true;
-                runtime_cycles = now;
-                ops_at_target = self.total_completed();
+                reached_target_at = Some(now);
+                ops_at_target = self.completed_ops;
                 transactions_at_target = self.total_transactions();
             }
             if draining && now >= drain_limit {
@@ -167,8 +177,9 @@ impl System {
                     }
                 }
                 SystemEvent::Send(msg) => {
-                    let deliveries = self.interconnect.send(now, msg);
-                    for delivery in deliveries {
+                    let mut deliveries = std::mem::take(&mut self.delivery_buf);
+                    self.interconnect.send_into(now, &msg, &mut deliveries);
+                    for delivery in deliveries.drain(..) {
                         let tokens = delivery.msg.kind.token_count() as i64;
                         if tokens > 0 {
                             let entry = self
@@ -188,6 +199,7 @@ impl System {
                             },
                         );
                     }
+                    self.delivery_buf = deliveries;
                 }
                 SystemEvent::Deliver { node, msg } => {
                     let tokens = msg.kind.token_count() as i64;
@@ -198,23 +210,30 @@ impl System {
                             entry.1 -= 1;
                         }
                     }
-                    let mut out = Outbox::new();
+                    let mut out = std::mem::take(&mut self.scratch_out);
                     self.controllers[node.index()].handle_message(now, msg, &mut out);
-                    self.process_outbox(now, node, out);
+                    self.process_outbox(now, node, &mut out);
+                    self.scratch_out = out;
                 }
                 SystemEvent::Timer { node, timer } => {
-                    let mut out = Outbox::new();
+                    let mut out = std::mem::take(&mut self.scratch_out);
                     self.controllers[node.index()].handle_timer(now, timer, &mut out);
-                    self.process_outbox(now, node, out);
+                    self.process_outbox(now, node, &mut out);
+                    self.scratch_out = out;
                 }
             }
         }
 
-        if runtime_cycles == 0 {
-            runtime_cycles = self.queue.now();
-            ops_at_target = self.total_completed();
-            transactions_at_target = self.total_transactions();
-        }
+        let runtime_cycles = match reached_target_at {
+            Some(cycles) => cycles,
+            None => {
+                // The queue drained (or the drain limit hit) before the
+                // target was reached: report the state at the end of the run.
+                ops_at_target = self.completed_ops;
+                transactions_at_target = self.total_transactions();
+                self.queue.now()
+            }
+        };
 
         self.final_audit();
 
@@ -253,16 +272,18 @@ impl System {
                 let issue_time = now + think;
                 let block = op.addr.block(self.config.block_bytes);
                 let is_write = op.kind.is_write();
-                let mut out = Outbox::new();
+                let mut out = std::mem::take(&mut self.scratch_out);
                 let outcome = self.controllers[node.index()].access(issue_time, &op, &mut out);
                 match outcome {
                     AccessOutcome::Hit { latency, version } => {
                         self.processors[node.index()].note_hit(issue_time);
+                        self.completed_ops += 1;
                         let done_at = issue_time + latency;
                         if is_write {
                             self.verifier.record_write(node, block, version, done_at);
                         } else {
-                            self.verifier.check_read(node, block, version, issue_time, done_at);
+                            self.verifier
+                                .check_read(node, block, version, issue_time, done_at);
                         }
                         self.queue
                             .schedule(done_at.max(issue_time + 1), SystemEvent::Wakeup(node));
@@ -276,21 +297,24 @@ impl System {
                             .schedule(issue_time + 1, SystemEvent::Wakeup(node));
                     }
                 }
-                self.process_outbox(now, node, out);
+                self.process_outbox(now, node, &mut out);
+                self.scratch_out = out;
             }
         }
     }
 
-    fn process_outbox(&mut self, now: Cycle, node: NodeId, out: Outbox) {
-        for msg in out.messages {
+    /// Drains `out` into the event queue and the verifier, keeping its
+    /// allocations for reuse.
+    fn process_outbox(&mut self, now: Cycle, node: NodeId, out: &mut Outbox) {
+        for msg in out.messages.drain(..) {
             let at = msg.sent_at.max(now);
             self.queue.schedule(at, SystemEvent::Send(msg));
         }
-        for (at, timer) in out.timers {
+        for (at, timer) in out.timers.drain(..) {
             self.queue
                 .schedule(at.max(now), SystemEvent::Timer { node, timer });
         }
-        for completion in out.completions {
+        for completion in out.completions.drain(..) {
             // Classify by the original operation, not the miss: a store that
             // merged into a read miss is still a store.
             let is_write = self
@@ -313,9 +337,11 @@ impl System {
                     completion.completed_at,
                 );
             }
-            let was_blocked =
-                self.processors[node.index()].note_completion(completion.req_id, now);
-            if was_blocked {
+            let outcome = self.processors[node.index()].note_completion(completion.req_id, now);
+            if outcome.completed {
+                self.completed_ops += 1;
+            }
+            if outcome.was_blocked {
                 self.queue.schedule(now + 1, SystemEvent::Wakeup(node));
             }
         }
@@ -342,11 +368,8 @@ impl System {
             for controller in &self.controllers {
                 audits.extend(controller.audit_block(addr));
             }
-            let (in_flight, in_flight_owner) = self
-                .in_flight_tokens
-                .get(&addr)
-                .copied()
-                .unwrap_or((0, 0));
+            let (in_flight, in_flight_owner) =
+                self.in_flight_tokens.get(&addr).copied().unwrap_or((0, 0));
             self.verifier.audit_block(
                 addr,
                 &audits,
@@ -361,8 +384,12 @@ impl System {
         for (processor, controller) in self.processors.iter().zip(&self.controllers) {
             if controller.outstanding_misses() > 0 || processor.outstanding_misses() > 0 {
                 if let Some((_, issued_at)) = processor.oldest_outstanding() {
-                    self.verifier
-                        .record_starvation(processor.node(), BlockAddr::new(0), issued_at, now);
+                    self.verifier.record_starvation(
+                        processor.node(),
+                        BlockAddr::new(0),
+                        issued_at,
+                        now,
+                    );
                 }
             }
         }
@@ -446,9 +473,8 @@ mod tests {
     fn hot_block_contention_provokes_reissues_or_persistent_requests() {
         let report = run(ProtocolKind::TokenB, WorkloadProfile::hot_block(), 2500);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
-        let reissued = report.reissue.reissued_once
-            + report.reissue.reissued_more
-            + report.reissue.persistent;
+        let reissued =
+            report.reissue.reissued_once + report.reissue.reissued_more + report.reissue.persistent;
         assert!(
             reissued > 0,
             "hot-block contention should force at least some reissues: {:?}",
@@ -478,7 +504,9 @@ mod tests {
     #[test]
     fn unlimited_bandwidth_is_never_slower() {
         let limited_config = small_config(ProtocolKind::TokenB);
-        let unlimited_config = limited_config.clone().with_bandwidth(BandwidthMode::Unlimited);
+        let unlimited_config = limited_config
+            .clone()
+            .with_bandwidth(BandwidthMode::Unlimited);
         let profile = WorkloadProfile::apache();
         let mut limited = System::build(&limited_config, &profile);
         let mut unlimited = System::build(&unlimited_config, &profile);
@@ -495,7 +523,12 @@ mod tests {
     fn traffic_report_includes_requests_and_data() {
         let report = run(ProtocolKind::TokenB, WorkloadProfile::oltp(), 1200);
         assert!(report.traffic.link_bytes(TrafficClass::Request) > 0);
-        assert!(report.traffic.link_bytes(TrafficClass::DataResponseOrWriteback) > 0);
+        assert!(
+            report
+                .traffic
+                .link_bytes(TrafficClass::DataResponseOrWriteback)
+                > 0
+        );
     }
 }
 

@@ -97,7 +97,14 @@ impl Verifier {
     /// (per-location serializability) requirement. A load that returns a
     /// value that was already overwritten before the load was even issued is
     /// stale and gets flagged.
-    pub fn check_read(&mut self, node: NodeId, addr: BlockAddr, version: u64, issued_at: Cycle, at: Cycle) {
+    pub fn check_read(
+        &mut self,
+        node: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        issued_at: Cycle,
+        at: Cycle,
+    ) {
         self.reads_checked += 1;
         let entry = self.history.entry(addr).or_default();
         entry.ensure_initial();
@@ -140,8 +147,7 @@ impl Verifier {
                     at,
                 });
             }
-            let owners =
-                audits.iter().filter(|a| a.owner_token).count() as u32 + in_flight_owners;
+            let owners = audits.iter().filter(|a| a.owner_token).count() as u32 + in_flight_owners;
             if owners != 1 {
                 self.violations
                     .push(InvariantViolation::DuplicateOwner { addr, at });
@@ -150,19 +156,26 @@ impl Verifier {
         let writers = audits.iter().filter(|a| a.writable).count();
         let readers = audits.iter().filter(|a| a.readable).count();
         if writers > 1 || (writers == 1 && readers > 1) {
-            self.violations.push(InvariantViolation::WriteWithoutExclusive {
-                node: NodeId::new(0),
-                addr,
-                held: readers as u32,
-                required: 1,
-                at,
-            });
+            self.violations
+                .push(InvariantViolation::WriteWithoutExclusive {
+                    node: NodeId::new(0),
+                    addr,
+                    held: readers as u32,
+                    required: 1,
+                    at,
+                });
         }
     }
 
     /// Records a starvation violation (a request still outstanding at the end
     /// of the run beyond the starvation bound).
-    pub fn record_starvation(&mut self, node: NodeId, addr: BlockAddr, issued_at: Cycle, at: Cycle) {
+    pub fn record_starvation(
+        &mut self,
+        node: NodeId,
+        addr: BlockAddr,
+        issued_at: Cycle,
+        at: Cycle,
+    ) {
         self.violations.push(InvariantViolation::Starvation {
             node,
             addr,

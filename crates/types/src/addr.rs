@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn home_map_covers_all_nodes() {
         let map = HomeMap::new(7, 64);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for b in 0..70 {
             seen[map.home_of(BlockAddr::new(b)).index()] = true;
         }

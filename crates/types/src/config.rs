@@ -127,7 +127,7 @@ impl CacheConfig {
     pub fn num_sets(&self, block_bytes: u64) -> usize {
         let lines = self.size_bytes / block_bytes;
         assert!(
-            lines % self.associativity as u64 == 0,
+            lines.is_multiple_of(self.associativity as u64),
             "cache of {} lines is not divisible into {}-way sets",
             lines,
             self.associativity
@@ -325,8 +325,7 @@ impl SystemConfig {
         if !self.block_bytes.is_power_of_two() {
             return Err(ConfigError::new("block size must be a power of two"));
         }
-        if self.protocol.requires_total_order()
-            && !self.interconnect.topology.is_totally_ordered()
+        if self.protocol.requires_total_order() && !self.interconnect.topology.is_totally_ordered()
         {
             return Err(ConfigError::new(
                 "traditional snooping requires the totally-ordered tree interconnect",

@@ -1,0 +1,121 @@
+//! A fast, deterministic hasher for hot-path hash maps.
+//!
+//! The simulator's inner loops index hash maps by small dense identifiers
+//! (block addresses, request ids, destination patterns). The standard
+//! library's default SipHash is DoS-resistant but costs more than the map
+//! operation it guards; simulation state is never attacker-controlled, so
+//! every hot map uses this multiply-xor hasher (the FxHash construction used
+//! by rustc) instead. The external `fxhash`/`rustc-hash` crates are not
+//! vendored in the offline build environment, hence this local copy.
+//!
+//! Determinism matters more than speed here: unlike `RandomState`, this
+//! hasher has no per-process seed, so map iteration order — and therefore
+//! any behaviour accidentally derived from it — is identical across runs.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash construction: rotate, xor, multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(value)
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn different_values_hash_differently() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FastHashMap<u64, &str> = FastHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        let mut set: FastHashSet<u32> = FastHashSet::default();
+        assert!(set.insert(3));
+        assert!(set.contains(&3));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_are_hashed() {
+        // 9 bytes exercises both the 8-byte chunk and the remainder path.
+        assert_ne!(hash_of(&[0u8; 9][..]), hash_of(&[1u8; 9][..]));
+    }
+}

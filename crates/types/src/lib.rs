@@ -40,6 +40,7 @@ pub mod addr;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod memop;
 pub mod message;
@@ -55,7 +56,10 @@ pub use controller::{
     TimerKind,
 };
 pub use error::{ConfigError, InvariantViolation};
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ids::{Cycle, NodeId, ReqId};
 pub use memop::{AccessType, MemOp, MemOpKind};
-pub use message::{DataPayload, Destination, Message, MsgKind, Vnet, CONTROL_MSG_BYTES, DATA_MSG_BYTES};
+pub use message::{
+    DataPayload, Destination, Message, MsgKind, Vnet, CONTROL_MSG_BYTES, DATA_MSG_BYTES,
+};
 pub use stats::{ControllerStats, MissStats, ReissueStats, TrafficClass, TrafficStats};

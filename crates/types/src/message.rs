@@ -1,6 +1,7 @@
 //! Coherence messages exchanged between nodes over the interconnect.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::addr::BlockAddr;
 use crate::ids::{Cycle, NodeId, ReqId};
@@ -71,17 +72,34 @@ impl Vnet {
 }
 
 /// Destination of a message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The multicast node set is reference-counted so that cloning a message —
+/// which the interconnect does once per delivery — never allocates: every
+/// delivery of a multicast shares one node list. `Hash`/`Eq` compare the
+/// *contents* of the list rather than the `Arc` pointer, so two
+/// independently built lists with the same nodes in the same order are the
+/// same destination — which the interconnect relies on to cache one
+/// multicast tree per distinct destination pattern. The comparison is
+/// order-sensitive (`[1, 2] != [2, 1]`); protocols build their node lists in
+/// ascending node order, so equivalent sets compare equal in practice, but
+/// differently-ordered lists would only cost duplicate cache entries, never
+/// wrong routing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Destination {
     /// Deliver to a single node.
     Node(NodeId),
     /// Deliver to every node except the sender (broadcast).
     Broadcast,
     /// Deliver to an explicit set of nodes.
-    Multicast(Vec<NodeId>),
+    Multicast(Arc<[NodeId]>),
 }
 
 impl Destination {
+    /// Creates a multicast destination from a node list.
+    pub fn multicast(nodes: impl Into<Arc<[NodeId]>>) -> Self {
+        Destination::Multicast(nodes.into())
+    }
+
     /// Returns `true` if `node` is covered by this destination, given the
     /// original sender (broadcasts do not loop back to the sender).
     pub fn includes(&self, node: NodeId, sender: NodeId) -> bool {
@@ -101,7 +119,7 @@ impl Destination {
                 .map(NodeId::new)
                 .filter(|n| *n != sender)
                 .collect(),
-            Destination::Multicast(nodes) => nodes.clone(),
+            Destination::Multicast(nodes) => nodes.to_vec(),
         }
     }
 }
@@ -222,10 +240,10 @@ pub enum MsgKind {
 impl MsgKind {
     /// Returns `true` if this message carries a data block (72 bytes).
     pub fn carries_data(&self) -> bool {
-        match self {
-            MsgKind::TokenData { .. } | MsgKind::Data { .. } | MsgKind::PutM => true,
-            _ => false,
-        }
+        matches!(
+            self,
+            MsgKind::TokenData { .. } | MsgKind::Data { .. } | MsgKind::PutM
+        )
     }
 
     /// Returns the simulated size of a message of this kind, in bytes.
@@ -453,7 +471,7 @@ mod tests {
         assert!(!ucast.includes(NodeId::new(0), sender));
         assert_eq!(ucast.expand(4, sender), vec![NodeId::new(1)]);
 
-        let mcast = Destination::Multicast(vec![NodeId::new(0), NodeId::new(3)]);
+        let mcast = Destination::multicast(vec![NodeId::new(0), NodeId::new(3)]);
         assert!(mcast.includes(NodeId::new(3), sender));
         assert!(!mcast.includes(NodeId::new(1), sender));
         assert_eq!(mcast.expand(4, sender).len(), 2);

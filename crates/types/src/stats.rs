@@ -382,13 +382,15 @@ mod tests {
 
     #[test]
     fn miss_stats_compute_averages() {
-        let mut m = MissStats::default();
-        m.read_misses = 2;
-        m.write_misses = 1;
-        m.completed_misses = 3;
-        m.total_miss_latency = 300;
-        m.cache_to_cache = 2;
-        m.from_memory = 1;
+        let m = MissStats {
+            read_misses: 2,
+            write_misses: 1,
+            completed_misses: 3,
+            total_miss_latency: 300,
+            cache_to_cache: 2,
+            from_memory: 1,
+            ..MissStats::default()
+        };
         assert_eq!(m.total_misses(), 3);
         assert!((m.average_miss_latency() - 100.0).abs() < 1e-9);
         assert!((m.cache_to_cache_fraction() - 2.0 / 3.0).abs() < 1e-9);

@@ -117,7 +117,10 @@ impl WorkloadGenerator {
     }
 
     fn producer_consumer_block(&mut self) -> u64 {
-        PRODUCER_CONSUMER_BASE + self.rng.next_below(self.profile.producer_consumer_blocks.max(1))
+        PRODUCER_CONSUMER_BASE
+            + self
+                .rng
+                .next_below(self.profile.producer_consumer_blocks.max(1))
     }
 
     fn enqueue(&mut self, think: Cycle, block: u64, kind: MemOpKind) {
@@ -267,8 +270,7 @@ mod tests {
             let block = op.addr.value() / BLOCK_BYTES;
             if let Some(p) = prev {
                 let prev_block = p.addr.value() / BLOCK_BYTES;
-                if prev_block >= MIGRATORY_BASE
-                    && prev_block < PRODUCER_CONSUMER_BASE
+                if (MIGRATORY_BASE..PRODUCER_CONSUMER_BASE).contains(&prev_block)
                     && p.kind == MemOpKind::Load
                 {
                     migratory_reads += 1;
@@ -341,9 +343,9 @@ mod tests {
         let mut g = generator(profile.clone(), 0);
         for _ in 0..5000 {
             let block = g.next_op().op.addr.value() / BLOCK_BYTES;
-            let in_private = block >= PRIVATE_BASE && block < PRIVATE_BASE + PRIVATE_STRIDE;
-            let in_shared = block >= SHARED_READ_BASE
-                && block < SHARED_READ_BASE + profile.shared_read_blocks;
+            let in_private = (PRIVATE_BASE..PRIVATE_BASE + PRIVATE_STRIDE).contains(&block);
+            let in_shared =
+                block >= SHARED_READ_BASE && block < SHARED_READ_BASE + profile.shared_read_blocks;
             let in_migratory =
                 block >= MIGRATORY_BASE && block < MIGRATORY_BASE + profile.migratory_blocks;
             let in_pc = block >= PRODUCER_CONSUMER_BASE

@@ -43,7 +43,11 @@ fn main() {
             "  persistent requests initiated: {}   arbiter activations: {}   safety checks: {}\n",
             report.controllers.persistent_requests_initiated,
             report.controllers.counter("arbiter_activations"),
-            if report.verified().is_ok() { "all passed" } else { "FAILED" }
+            if report.verified().is_ok() {
+                "all passed"
+            } else {
+                "FAILED"
+            }
         );
     }
 

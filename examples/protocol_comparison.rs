@@ -61,7 +61,11 @@ fn main() {
             baseline / report.cycles_per_transaction(),
             100.0 * report.misses.cache_to_cache_fraction(),
             report.bytes_per_miss(),
-            if report.verified().is_ok() { "ok" } else { "FAIL" }
+            if report.verified().is_ok() {
+                "ok"
+            } else {
+                "FAIL"
+            }
         );
     }
 

@@ -18,15 +18,19 @@
 
 use token_coherence::core::TokenBController;
 use token_coherence::types::{
-    Address, BlockAddr, CoherenceController, Cycle, MemOp, MemOpKind, Message, Outbox,
-    ReqId, SystemConfig, TimerKind,
+    Address, BlockAddr, CoherenceController, Cycle, MemOp, MemOpKind, Message, Outbox, ReqId,
+    SystemConfig, TimerKind,
 };
 
 fn deliver(messages: &[Message], to: &mut TokenBController, now: Cycle, log: &str) -> Outbox {
     let mut out = Outbox::new();
     for msg in messages {
         if msg.dest.includes(to.node(), msg.src) {
-            println!("  t={now:>4}  {log}: {} receives {}", to.node(), msg.kind.mnemonic());
+            println!(
+                "  t={now:>4}  {log}: {} receives {}",
+                to.node(),
+                msg.kind.mnemonic()
+            );
             to.handle_message(now, msg.clone(), &mut out);
         }
     }
@@ -44,22 +48,49 @@ fn main() {
     let mut writer = TokenBController::new(1.into(), &config);
     let mut reader = TokenBController::new(2.into(), &config);
 
-    println!("Figure 2: a GetM from {} races with a GetS from {}", writer.node(), reader.node());
-    println!("The block has {} tokens, all initially at the home memory ({}).\n", home.total_tokens(), home.node());
+    println!(
+        "Figure 2: a GetM from {} races with a GetS from {}",
+        writer.node(),
+        reader.node()
+    );
+    println!(
+        "The block has {} tokens, all initially at the home memory ({}).\n",
+        home.total_tokens(),
+        home.node()
+    );
 
     // Step 1: both processors issue their requests at (nearly) the same time.
     let mut writer_out = Outbox::new();
-    writer.access(0, &MemOp::new(ReqId::new(1), addr, MemOpKind::Store), &mut writer_out);
+    writer.access(
+        0,
+        &MemOp::new(ReqId::new(1), addr, MemOpKind::Store),
+        &mut writer_out,
+    );
     let mut reader_out = Outbox::new();
-    reader.access(1, &MemOp::new(ReqId::new(2), addr, MemOpKind::Load), &mut reader_out);
-    println!("  t=   0  {} broadcasts a transient GetM (it wants to write)", writer.node());
-    println!("  t=   1  {} broadcasts a transient GetS (it wants to read)\n", reader.node());
+    reader.access(
+        1,
+        &MemOp::new(ReqId::new(2), addr, MemOpKind::Load),
+        &mut reader_out,
+    );
+    println!(
+        "  t=   0  {} broadcasts a transient GetM (it wants to write)",
+        writer.node()
+    );
+    println!(
+        "  t=   1  {} broadcasts a transient GetS (it wants to read)\n",
+        reader.node()
+    );
 
     // Step 2: the reader's GetS reaches the home *first* (the writer's GetM is
     // delayed in the congested interconnect, as in the paper's figure).
     let home_response_to_reader = deliver(&reader_out.messages, &mut home, 40, "race");
     // The home gives the reader data plus one token.
-    let reader_done = deliver(&home_response_to_reader.messages, &mut reader, 140, "response");
+    let reader_done = deliver(
+        &home_response_to_reader.messages,
+        &mut reader,
+        140,
+        "response",
+    );
     println!(
         "  t= 140  {} can now READ the block (it holds {} token(s))  [{} completions]\n",
         reader.node(),
@@ -72,8 +103,18 @@ fn main() {
     // already handled the request before it had any tokens, contributes
     // nothing — exactly the race in the paper.
     let home_response_to_writer = deliver(&writer_out.messages, &mut home, 160, "late GetM");
-    deliver(&writer_out.messages, &mut reader, 35, "early GetM (reader had no tokens yet)");
-    deliver(&home_response_to_writer.messages, &mut writer, 260, "response");
+    deliver(
+        &writer_out.messages,
+        &mut reader,
+        35,
+        "early GetM (reader had no tokens yet)",
+    );
+    deliver(
+        &home_response_to_writer.messages,
+        &mut writer,
+        260,
+        "response",
+    );
     println!(
         "  t= 260  {} now holds {} of {} tokens: NOT enough to write — safety is preserved\n",
         writer.node(),
@@ -91,10 +132,23 @@ fn main() {
         .expect("a reissue timer was armed with the original request");
     let mut reissue_out = Outbox::new();
     writer.handle_timer(fire_at, timer, &mut reissue_out);
-    println!("  t={fire_at:>4}  {} times out and REISSUES its transient GetM", writer.node());
+    println!(
+        "  t={fire_at:>4}  {} times out and REISSUES its transient GetM",
+        writer.node()
+    );
 
-    let reader_reply = deliver(&reissue_out.messages, &mut reader, fire_at + 40, "reissued GetM");
-    let final_out = deliver(&reader_reply.messages, &mut writer, fire_at + 80, "missing token");
+    let reader_reply = deliver(
+        &reissue_out.messages,
+        &mut reader,
+        fire_at + 40,
+        "reissued GetM",
+    );
+    let final_out = deliver(
+        &reader_reply.messages,
+        &mut writer,
+        fire_at + 80,
+        "missing token",
+    );
 
     println!(
         "  t={:>4}  {} holds {}/{} tokens and completes its write ({} completion(s))\n",

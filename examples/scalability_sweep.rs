@@ -21,7 +21,9 @@ fn main() {
         .unwrap_or(1_500);
     let workload = WorkloadProfile::uniform_shared();
 
-    println!("Interconnect traffic per miss as the system grows (uniform-sharing microbenchmark)\n");
+    println!(
+        "Interconnect traffic per miss as the system grows (uniform-sharing microbenchmark)\n"
+    );
     println!(
         "{:>6} {:>18} {:>18} {:>18} {:>12}",
         "nodes", "TokenB bytes/miss", "Directory B/miss", "Hammer B/miss", "TokenB/Dir"
@@ -29,7 +31,11 @@ fn main() {
 
     for nodes in [8usize, 16, 32, 64] {
         let mut per_protocol = Vec::new();
-        for protocol in [ProtocolKind::TokenB, ProtocolKind::Directory, ProtocolKind::Hammer] {
+        for protocol in [
+            ProtocolKind::TokenB,
+            ProtocolKind::Directory,
+            ProtocolKind::Hammer,
+        ] {
             let config = SystemConfig::isca03_default()
                 .with_nodes(nodes)
                 .with_protocol(protocol)
@@ -39,7 +45,10 @@ fn main() {
                 ops_per_node: ops,
                 max_cycles: 4_000_000_000,
             });
-            assert!(report.verified().is_ok(), "verification failed at {nodes} nodes");
+            assert!(
+                report.verified().is_ok(),
+                "verification failed at {nodes} nodes"
+            );
             per_protocol.push(report.bytes_per_miss());
         }
         println!(

@@ -51,8 +51,7 @@ pub mod prelude {
     pub use tc_protocols::{DirectoryController, HammerController, SnoopingController};
     pub use tc_system::{RunOptions, RunReport, System};
     pub use tc_types::{
-        BandwidthMode, CoherenceController, DirectoryMode, ProtocolKind, SystemConfig,
-        TopologyKind,
+        BandwidthMode, CoherenceController, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind,
     };
     pub use tc_workloads::WorkloadProfile;
 }

@@ -3,7 +3,12 @@
 
 use token_coherence::prelude::*;
 
-fn run(protocol: ProtocolKind, workload: WorkloadProfile, nodes: usize, ops: u64) -> token_coherence::system::RunReport {
+fn run(
+    protocol: ProtocolKind,
+    workload: WorkloadProfile,
+    nodes: usize,
+    ops: u64,
+) -> token_coherence::system::RunReport {
     let mut config = SystemConfig::isca03_default()
         .with_nodes(nodes)
         .with_protocol(protocol)
@@ -93,7 +98,12 @@ fn tokenb_beats_directory_and_hammer_when_bandwidth_is_ample() {
 #[test]
 fn directory_uses_less_traffic_than_tokenb_which_uses_less_than_hammer() {
     let tokenb = run(ProtocolKind::TokenB, WorkloadProfile::apache(), 16, 1_500);
-    let directory = run(ProtocolKind::Directory, WorkloadProfile::apache(), 16, 1_500);
+    let directory = run(
+        ProtocolKind::Directory,
+        WorkloadProfile::apache(),
+        16,
+        1_500,
+    );
     let hammer = run(ProtocolKind::Hammer, WorkloadProfile::apache(), 16, 1_500);
     assert!(
         directory.bytes_per_miss() < tokenb.bytes_per_miss(),

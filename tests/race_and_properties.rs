@@ -6,11 +6,10 @@
 //! build environment), which keeps every CI run over the exact same cases.
 
 use token_coherence::core::TokenBController;
-use token_coherence::sim::DeterministicRng;
 use token_coherence::prelude::*;
+use token_coherence::sim::DeterministicRng;
 use token_coherence::types::{
-    Address, BlockAddr, Cycle, MemOp, MemOpKind, Outbox, ReqId,
-    TimerKind,
+    Address, BlockAddr, Cycle, MemOp, MemOpKind, Outbox, ReqId, TimerKind,
 };
 
 /// A deterministic two-node message pump used by the race test.
