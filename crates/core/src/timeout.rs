@@ -148,4 +148,156 @@ mod tests {
         let mut rng = DeterministicRng::new(4);
         assert!(t.reissue_timeout(1, &mut rng) >= MissLatencyTracker::INITIAL_AVERAGE_NS as Cycle);
     }
+
+    #[test]
+    fn backoff_exponent_saturates_for_absurd_issue_counts() {
+        // A request that has been reissued thousands of times (deep
+        // starvation) must not overflow the backoff window computation; the
+        // exponent is capped, so the timeout stays finite and the cap equals
+        // the value at the cap boundary.
+        let mut t = MissLatencyTracker::new(2.0);
+        for _ in 0..10 {
+            t.record(100);
+        }
+        let max_at = |issue: u32| {
+            let mut rng = DeterministicRng::new(5);
+            (0..100)
+                .map(|_| t.reissue_timeout(issue, &mut rng))
+                .max()
+                .unwrap()
+        };
+        let capped = max_at(9); // exponent cap (8) reached at the 9th issue
+        assert_eq!(max_at(u32::MAX), capped);
+        assert!(capped < 1_000_000, "backoff must stay bounded");
+    }
+
+    /// The starvation-boundary race: the reissue timeout fires in the same
+    /// cycle the tokens arrive. Whichever event the queue happens to deliver
+    /// first, the miss must complete exactly once, the stale timer (or the
+    /// stale reissue the timer broadcast) must be inert, and every token
+    /// must be accounted for afterwards.
+    mod starvation_boundary {
+        use crate::TokenBController;
+        use tc_types::{
+            Address, BlockAddr, CoherenceController, MemOp, MemOpKind, Message, Outbox,
+            ProtocolKind, ReqId, SystemConfig, Timer, TimerKind,
+        };
+
+        fn config() -> SystemConfig {
+            SystemConfig::isca03_default()
+                .with_nodes(4)
+                .with_protocol(ProtocolKind::TokenB)
+        }
+
+        /// Issues a store miss at node 1 and routes it through the home
+        /// (node 0), returning the requester, the armed reissue timer, its
+        /// firing time, and the home's token response (held, not delivered).
+        fn setup() -> (TokenBController, u64, Timer, Message, TokenBController) {
+            let config = config();
+            let mut requester = TokenBController::new(1.into(), &config);
+            let mut home = TokenBController::new(0.into(), &config);
+            let mut out = Outbox::new();
+            requester.access(
+                0,
+                &MemOp::new(ReqId::new(1), Address::new(0), MemOpKind::Store),
+                &mut out,
+            );
+            let (fire_at, reissue) = out
+                .timers
+                .iter()
+                .find(|(_, t)| t.kind == TimerKind::Reissue)
+                .copied()
+                .expect("reissue timer armed");
+            let getm = out.messages[0].clone();
+            let mut home_out = Outbox::new();
+            home.handle_message(40, getm, &mut home_out);
+            let data = home_out
+                .messages
+                .iter()
+                .find(|m| m.kind.token_count() > 0)
+                .cloned()
+                .expect("home supplies tokens");
+            (requester, fire_at, reissue, data, home)
+        }
+
+        fn total_tokens(requester: &TokenBController, home: &TokenBController) -> u32 {
+            let block = BlockAddr::new(0);
+            requester
+                .audit_block(block)
+                .iter()
+                .chain(home.audit_block(block).iter())
+                .map(|a| a.tokens)
+                .sum()
+        }
+
+        #[test]
+        fn tokens_arriving_before_the_same_cycle_timeout_win() {
+            let (mut requester, fire_at, reissue, data, home) = setup();
+            let mut out = Outbox::new();
+            requester.handle_message(fire_at, data, &mut out);
+            assert_eq!(out.completions.len(), 1, "miss completes on the data");
+            // The timeout fires in the very same cycle, after the tokens
+            // landed: it must not reissue, re-arm, or double-complete.
+            let mut stale = Outbox::new();
+            requester.handle_timer(fire_at, reissue, &mut stale);
+            assert!(stale.messages.is_empty(), "stale timeout must be inert");
+            assert!(stale.completions.is_empty());
+            assert!(stale.timers.is_empty());
+            assert_eq!(requester.tokens_held(BlockAddr::new(0)), 16);
+            assert_eq!(total_tokens(&requester, &home), 16);
+        }
+
+        #[test]
+        fn timeout_firing_before_the_same_cycle_tokens_is_absorbed() {
+            let (mut requester, fire_at, reissue, data, mut home) = setup();
+            // The timer wins the queue race: a reissue goes out.
+            let mut reissued = Outbox::new();
+            requester.handle_timer(fire_at, reissue, &mut reissued);
+            assert!(
+                reissued.messages.iter().any(|m| m.reissue),
+                "boundary timeout reissues the transient request"
+            );
+            // The tokens land in the same cycle: exactly one completion.
+            let mut out = Outbox::new();
+            requester.handle_message(fire_at, data, &mut out);
+            assert_eq!(out.completions.len(), 1);
+            assert_eq!(requester.tokens_held(BlockAddr::new(0)), 16);
+
+            // The stale reissue reaches the home, which has no tokens left;
+            // its response path must not conjure tokens from nowhere.
+            let mut home_out = Outbox::new();
+            for msg in &reissued.messages {
+                if msg.dest.includes(0.into(), msg.src) {
+                    home.handle_message(fire_at + 40, msg.clone(), &mut home_out);
+                }
+            }
+            let mut supplied = Outbox::new();
+            for (at, timer) in home_out.timers.clone() {
+                home.handle_timer(at, timer, &mut supplied);
+            }
+            let stray_tokens: u32 = home_out
+                .messages
+                .iter()
+                .chain(supplied.messages.iter())
+                .map(|m| m.kind.token_count())
+                .sum();
+            assert_eq!(
+                stray_tokens, 0,
+                "home must not answer a stale reissue with tokens"
+            );
+            assert_eq!(total_tokens(&requester, &home), 16);
+
+            // The reissue armed a follow-up timer; once the miss is complete
+            // it too must be inert.
+            let (later, follow_up) = reissued
+                .timers
+                .iter()
+                .find(|(_, t)| t.kind == TimerKind::Reissue)
+                .copied()
+                .expect("reissue re-arms its timeout");
+            let mut stale = Outbox::new();
+            requester.handle_timer(later, follow_up, &mut stale);
+            assert!(stale.messages.is_empty() && stale.timers.is_empty());
+        }
+    }
 }

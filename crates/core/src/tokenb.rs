@@ -977,6 +977,7 @@ impl CoherenceController for TokenBController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version,
+                    valid_since: now,
                 };
             }
             if !write && line.readable() {
@@ -988,6 +989,7 @@ impl CoherenceController for TokenBController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version: line.version,
+                    valid_since: now,
                 };
             }
         }
@@ -1163,6 +1165,10 @@ impl CoherenceController for TokenBController {
 
     fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn outstanding_blocks(&self) -> Vec<BlockAddr> {
+        self.mshrs.iter().map(|(addr, _)| *addr).collect()
     }
 }
 

@@ -62,9 +62,11 @@ impl RouteTable {
         for src in 0..n {
             for dst in 0..n {
                 offsets.push(links.len() as u32);
-                if src != dst {
-                    links.extend(topology.route(NodeId::new(src), NodeId::new(dst)));
-                }
+                // Self-routes are included: the ordered tree routes
+                // `src -> src` through the root round trip (see
+                // `TreeTopology::route`), while the torus routes it over
+                // zero links (a local delivery).
+                links.extend(topology.route(NodeId::new(src), NodeId::new(dst)));
             }
         }
         offsets.push(links.len() as u32);
@@ -85,12 +87,15 @@ impl RouteTable {
 /// How one destination of a cached multicast tree receives its copy.
 #[derive(Debug, Clone, Copy)]
 enum DeliveryVia {
-    /// Zero-hop delivery at the injection time (a self-send on the torus).
+    /// Zero-hop delivery at the injection time (a self-send on the torus,
+    /// whose topology routes `src -> src` over zero links).
     Local,
-    /// A self-send on the ordered tree: the message still climbs to the root
-    /// switch and back down (four crossings), preserving the total order.
-    OrderedSelfSend,
-    /// Delivered when the message reaches this router.
+    /// Delivered when the message reaches this router. On the ordered tree
+    /// this includes self-sends: the topology routes `src -> src` through
+    /// the real root round trip, so a node's own broadcast queues on the
+    /// same contended links as everyone else's copy and the per-node
+    /// delivery order equals the root serialization order — the total-order
+    /// property snooping's writeback-ack handshake depends on.
     AtRouter(RouterId),
 }
 
@@ -344,7 +349,14 @@ impl Interconnect {
             link.busy_ns += serialization;
             let reach = done + latency;
             let to = descriptor.to.index();
-            if self.arrival_gen[to] == generation {
+            if to == src_router {
+                // The link back into the source router (the tail of an
+                // ordered-tree self-route) must not `min` against the
+                // injection-time stamp placed there before the walk: the
+                // self-copy arrives when the down link delivers it, exactly
+                // like every other destination's copy.
+                self.arrival_time[to] = reach;
+            } else if self.arrival_gen[to] == generation {
                 self.arrival_time[to] = self.arrival_time[to].min(reach);
             } else {
                 self.arrival_gen[to] = generation;
@@ -358,9 +370,6 @@ impl Interconnect {
         for &(dst, via) in &tree.deliveries {
             let at = match via {
                 DeliveryVia::Local => inject_start,
-                // A node snooping its own ordered broadcast still pays the
-                // round trip through the root switch.
-                DeliveryVia::OrderedSelfSend => inject_start + 4 * (latency + serialization),
                 DeliveryVia::AtRouter(router) => {
                     assert_eq!(
                         self.arrival_gen[router.index()],
@@ -398,11 +407,7 @@ impl Interconnect {
         tree.deliveries.clear();
         self.generation += 1;
         for dst in destinations {
-            let path = if dst == src {
-                &[][..]
-            } else {
-                self.routes.path(src, dst)
-            };
+            let path = self.routes.path(src, dst);
             for link in path {
                 if self.link_gen[link.index()] != self.generation {
                     self.link_gen[link.index()] = self.generation;
@@ -410,9 +415,6 @@ impl Interconnect {
                 }
             }
             let via = match path.last() {
-                None if self.topology.provides_total_order() && dst == src => {
-                    DeliveryVia::OrderedSelfSend
-                }
                 None => DeliveryVia::Local,
                 Some(last) => DeliveryVia::AtRouter(self.topology.links()[last.index()].to),
             };

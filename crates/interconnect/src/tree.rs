@@ -123,9 +123,17 @@ impl Topology for TreeTopology {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
-        if src == dst {
-            return Vec::new();
-        }
+        // A self-route is deliberately NOT empty on the tree: a node snooping
+        // its own broadcast must receive it through the same root round trip
+        // — and the same contended links — as every other node, or the total
+        // order breaks. (An early version short-circuited the self-delivery
+        // with a fixed four-crossing latency; under link contention that let
+        // a node observe its own request *before* a broadcast the root had
+        // serialized ahead of it, making two racing requesters each believe
+        // they were ordered first — each handed the block to the other and
+        // the second hand-off arrived at a completed MSHR and was dropped,
+        // losing ownership. The conformance harness catches this as a
+        // deadlock within seconds.)
         let src_group = src.index() / TREE_FANOUT;
         let dst_group = dst.index() / TREE_FANOUT;
         vec![

@@ -78,17 +78,18 @@ impl NaiveFabric {
             now
         };
 
+        let src_router = self.topology.node_router(msg.src);
         let mut arrival: HashMap<RouterId, Cycle> = HashMap::new();
-        arrival.insert(self.topology.node_router(msg.src), inject_start);
+        arrival.insert(src_router, inject_start);
         let mut tree_links: Vec<LinkId> = Vec::new();
         let mut seen: HashMap<LinkId, ()> = HashMap::new();
         let mut paths = Vec::new();
         for dst in &destinations {
-            let path = if *dst == msg.src {
-                Vec::new()
-            } else {
-                self.topology.route(msg.src, *dst)
-            };
+            // Self-routes go through the topology too: on the ordered tree a
+            // node's own copy pays the same root round trip (and queues on
+            // the same links) as everyone else's, which is what keeps the
+            // per-node delivery order equal to the root serialization order.
+            let path = self.topology.route(msg.src, *dst);
             for link in &path {
                 if seen.insert(*link, ()).is_none() {
                     tree_links.push(*link);
@@ -111,10 +112,16 @@ impl NaiveFabric {
             }
             self.bytes[link_id.index()] += size;
             let reach = done + latency;
-            arrival
-                .entry(descriptor.to)
-                .and_modify(|t| *t = (*t).min(reach))
-                .or_insert(reach);
+            if descriptor.to == src_router {
+                // The tail link of a self-route must not `min` against the
+                // injection-time stamp: the self-copy arrives with the link.
+                arrival.insert(descriptor.to, reach);
+            } else {
+                arrival
+                    .entry(descriptor.to)
+                    .and_modify(|t| *t = (*t).min(reach))
+                    .or_insert(reach);
+            }
         }
 
         self.traffic
@@ -123,11 +130,7 @@ impl NaiveFabric {
         let mut deliveries = Vec::new();
         for (dst, path) in paths {
             let at = if path.is_empty() {
-                if self.topology.provides_total_order() && dst == msg.src {
-                    inject_start + 4 * (latency + serialization)
-                } else {
-                    inject_start
-                }
+                inject_start
             } else {
                 let last = self.topology.links()[path.last().unwrap().index()];
                 arrival[&last.to]

@@ -1,6 +1,10 @@
-//! State shared by the MOSI baseline protocols.
+//! State shared by the MOSI baseline protocols: the stable MOSI states and
+//! the home-side writeback-handshake window used by the snooping baseline.
 
+use std::collections::VecDeque;
 use std::fmt;
+
+use tc_types::{Cycle, NodeId, ReqId};
 
 /// Stable MOSI cache states used by the Snooping, Directory, and Hammer
 /// baselines.
@@ -60,6 +64,14 @@ pub struct MosiLine {
     pub dirty: bool,
     /// Simulated block contents (version number).
     pub version: u64,
+    /// When the transaction that installed this copy was issued — a lower
+    /// bound on the copy's serialization point. Snooping reports this as the
+    /// start of the legality window for read hits: on an unacknowledged
+    /// ordered broadcast, a copy may legally be read until the invalidating
+    /// request *arrives* at this node, which (under broadcast delivery skew)
+    /// can be after the invalidating write already completed at its writer —
+    /// coherent behaviour that a wall-clock freshness check would misflag.
+    pub valid_since: Cycle,
 }
 
 impl MosiLine {
@@ -69,6 +81,7 @@ impl MosiLine {
             state: MosiState::Shared,
             dirty: false,
             version,
+            valid_since: 0,
         }
     }
 
@@ -78,7 +91,205 @@ impl MosiLine {
             state: MosiState::Modified,
             dirty: true,
             version,
+            valid_since: 0,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The writeback-acknowledgement handshake window (snooping baseline).
+// ---------------------------------------------------------------------------
+
+/// How the writer resolved one ordered PutM marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WbHandshake {
+    /// The writer still held the block when it observed its own PutM: the
+    /// writeback data is on its way to the home (or has arrived).
+    Data,
+    /// The writer no longer held the block (ownership was taken by a request
+    /// ordered before the PutM, or the block was pulled back into the cache):
+    /// no data will follow and the marker is void.
+    Cancel,
+}
+
+/// A request that the home must answer once a writeback window resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// The node that broadcast the request.
+    pub requester: NodeId,
+    /// Whether the request was a GetM (write) rather than a GetS (read).
+    pub write: bool,
+    /// The requester's outstanding-request id, echoed in the data response so
+    /// stale responses can never complete a later miss for the same block.
+    pub req_id: Option<ReqId>,
+}
+
+/// The outcome of one resolved PutM marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WbResolution {
+    /// The node that broadcast the PutM.
+    pub writer: NodeId,
+    /// The version the PutM carried.
+    pub version: u64,
+    /// `Data` if memory must apply the writeback and become the owner;
+    /// `Cancel` if the marker was void.
+    pub outcome: WbHandshake,
+    /// The queued requests memory must now answer, in order. Populated only
+    /// for `Data` resolutions: reads first, then at most one trailing write
+    /// (which takes ownership away from memory again). Requests queued behind
+    /// that write — or behind a cancelled marker — are dropped here because
+    /// the cache that took ownership observes them in its own ordered stream
+    /// and answers them itself.
+    pub serve: Vec<QueuedRequest>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WbEntry {
+    /// An ordered PutM whose handshake (data or cancel) is still pending.
+    Marker { writer: NodeId, version: u64 },
+    /// A request ordered inside the window, waiting on the marker above it.
+    Request(QueuedRequest),
+}
+
+/// The home-side state machine of the writeback-acknowledgement handshake.
+///
+/// On the ordered tree every PutM is a broadcast *marker*: the data follows
+/// as a separate unordered message once the writer has confirmed — by
+/// observing its own PutM in the total order — that it still owns the block.
+/// Between the marker and the data (or an explicit [`WbHandshake::Cancel`]),
+/// the block has no cache owner and memory does not yet have the data: any
+/// request ordered in that window would previously be stranded, which is
+/// exactly the race that deadlocked the snooping baseline under contention.
+///
+/// The window closes the race by queueing, at the home, every request
+/// ordered while a marker is unresolved, and replaying the queue when the
+/// handshake arrives:
+///
+/// * **Data** — memory applies the writeback, becomes the owner, and answers
+///   the queued reads plus at most the first queued write (which takes
+///   ownership away again; everything ordered after that write is observed —
+///   and answered — by the write's winner).
+/// * **Cancel** — the marker was void because ownership left the writer via a
+///   request ordered *before* the PutM; that owner (or its successors)
+///   observes and answers everything in the window, so the queue is dropped.
+///
+/// Markers and their resolutions are matched by `(writer, version)`.
+/// Handshakes from one writer arrive in that writer's observation order
+/// (same source, same destination, same virtual network — FIFO), which is
+/// also the order of its markers in the total order; handshakes from
+/// *different* writers can overtake each other, so resolutions that arrive
+/// while an earlier marker is still open are stashed until their marker
+/// reaches the head of the window.
+#[derive(Debug, Clone, Default)]
+pub struct WbWindow {
+    queue: VecDeque<WbEntry>,
+    /// Resolutions that arrived before their marker reached the head,
+    /// in arrival order.
+    stash: VecDeque<(NodeId, u64, WbHandshake)>,
+}
+
+impl WbWindow {
+    /// Creates an empty (closed) window.
+    pub fn new() -> Self {
+        WbWindow::default()
+    }
+
+    /// Whether a PutM marker is unresolved (requests must queue).
+    pub fn is_open(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Whether the window holds no state at all (no open marker *and* no
+    /// stashed handshake) and can be dropped by its owner.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.stash.is_empty()
+    }
+
+    /// Number of queued (unanswered) requests, for audits and tests.
+    pub fn queued_requests(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|e| matches!(e, WbEntry::Request(_)))
+            .count()
+    }
+
+    /// An ordered PutM from `writer` carrying `version` opens (or extends)
+    /// the window. Returns any resolutions that can now be cascaded (a
+    /// handshake for this marker may already have been stashed).
+    pub fn on_putm(&mut self, writer: NodeId, version: u64) -> Vec<WbResolution> {
+        self.queue.push_back(WbEntry::Marker { writer, version });
+        self.cascade()
+    }
+
+    /// A request ordered while the window is open joins the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is closed; the caller must check
+    /// [`WbWindow::is_open`] first (a request ordered outside any window is
+    /// the current owner's responsibility, not memory's).
+    pub fn on_request(&mut self, request: QueuedRequest) {
+        assert!(
+            self.is_open(),
+            "request queued on a closed writeback window"
+        );
+        self.queue.push_back(WbEntry::Request(request));
+    }
+
+    /// The writer's handshake for `(writer, version)` arrived. Returns every
+    /// marker resolution this unlocks, oldest first.
+    pub fn on_handshake(
+        &mut self,
+        writer: NodeId,
+        version: u64,
+        outcome: WbHandshake,
+    ) -> Vec<WbResolution> {
+        self.stash.push_back((writer, version, outcome));
+        self.cascade()
+    }
+
+    /// Resolves head markers against stashed handshakes until the head
+    /// marker has no matching handshake (or the window empties).
+    fn cascade(&mut self) -> Vec<WbResolution> {
+        let mut resolutions = Vec::new();
+        // The queue head is always a marker (requests are only ever queued
+        // behind one, and each resolution consumes the marker plus its
+        // requests), so this iterates marker by marker.
+        while let Some(WbEntry::Marker { writer, version }) = self.queue.front().cloned() {
+            // The oldest stashed handshake with a matching key belongs to the
+            // head marker: per-writer handshakes arrive in marker order.
+            let Some(stash_index) = self
+                .stash
+                .iter()
+                .position(|(w, v, _)| *w == writer && *v == version)
+            else {
+                break;
+            };
+            let (_, _, outcome) = self.stash.remove(stash_index).expect("index just found");
+            self.queue.pop_front();
+            let mut serve = Vec::new();
+            // Collect this marker's requests (everything up to the next
+            // marker). For Data: serve reads, then at most one write; drop
+            // the remainder (the write's winner answers them). For Cancel:
+            // drop them all (the pre-PutM owner answers them).
+            let mut ownership_left_memory = outcome == WbHandshake::Cancel;
+            while let Some(WbEntry::Request(request)) = self.queue.front().cloned() {
+                self.queue.pop_front();
+                if !ownership_left_memory {
+                    serve.push(request);
+                    if request.write {
+                        ownership_left_memory = true;
+                    }
+                }
+            }
+            resolutions.push(WbResolution {
+                writer,
+                version,
+                outcome,
+                serve,
+            });
+        }
+        resolutions
     }
 }
 
@@ -121,5 +332,122 @@ mod tests {
         assert_eq!(MosiLine::modified(4).state, MosiState::Modified);
         assert!(MosiLine::modified(4).dirty);
         assert_eq!(MosiLine::default().state, MosiState::Invalid);
+    }
+
+    // -- WbWindow ----------------------------------------------------------
+
+    fn read(node: usize) -> QueuedRequest {
+        QueuedRequest {
+            requester: NodeId::new(node),
+            write: false,
+            req_id: Some(ReqId::new(node as u64)),
+        }
+    }
+
+    fn write(node: usize) -> QueuedRequest {
+        QueuedRequest {
+            write: true,
+            ..read(node)
+        }
+    }
+
+    #[test]
+    fn data_resolution_serves_queued_reads() {
+        let mut w = WbWindow::new();
+        assert!(!w.is_open());
+        assert!(w.on_putm(NodeId::new(1), 7).is_empty());
+        assert!(w.is_open());
+        w.on_request(read(2));
+        w.on_request(read(3));
+        let resolutions = w.on_handshake(NodeId::new(1), 7, WbHandshake::Data);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].outcome, WbHandshake::Data);
+        assert_eq!(resolutions[0].serve, vec![read(2), read(3)]);
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    fn serving_stops_at_the_first_write() {
+        let mut w = WbWindow::new();
+        w.on_putm(NodeId::new(1), 7);
+        w.on_request(read(2));
+        w.on_request(write(3));
+        w.on_request(read(0)); // answered by node 3, which observes it
+        let resolutions = w.on_handshake(NodeId::new(1), 7, WbHandshake::Data);
+        assert_eq!(resolutions[0].serve, vec![read(2), write(3)]);
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    fn cancel_drops_the_queue() {
+        let mut w = WbWindow::new();
+        w.on_putm(NodeId::new(1), 7);
+        w.on_request(read(2));
+        let resolutions = w.on_handshake(NodeId::new(1), 7, WbHandshake::Cancel);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].outcome, WbHandshake::Cancel);
+        assert!(resolutions[0].serve.is_empty());
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    fn out_of_order_handshakes_wait_for_their_marker() {
+        let mut w = WbWindow::new();
+        w.on_putm(NodeId::new(1), 7);
+        w.on_request(read(2));
+        w.on_putm(NodeId::new(3), 9);
+        w.on_request(read(0));
+        // Writer 3's data overtakes writer 1's handshake: nothing resolves.
+        assert!(w
+            .on_handshake(NodeId::new(3), 9, WbHandshake::Data)
+            .is_empty());
+        assert!(w.is_open());
+        // Writer 1's cancel unlocks both markers in order.
+        let resolutions = w.on_handshake(NodeId::new(1), 7, WbHandshake::Cancel);
+        assert_eq!(resolutions.len(), 2);
+        assert_eq!(resolutions[0].version, 7);
+        assert_eq!(resolutions[0].outcome, WbHandshake::Cancel);
+        assert!(resolutions[0].serve.is_empty());
+        assert_eq!(resolutions[1].version, 9);
+        assert_eq!(resolutions[1].serve, vec![read(0)]);
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    fn handshake_arriving_before_its_marker_is_stashed() {
+        let mut w = WbWindow::new();
+        assert!(w
+            .on_handshake(NodeId::new(1), 7, WbHandshake::Data)
+            .is_empty());
+        let resolutions = w.on_putm(NodeId::new(1), 7);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].outcome, WbHandshake::Data);
+    }
+
+    #[test]
+    fn duplicate_versions_from_one_writer_resolve_in_arrival_order() {
+        // A block evicted, pulled back by a read (version unchanged), and
+        // evicted again produces two markers with the same (writer, version);
+        // per-writer FIFO delivery associates the first handshake with the
+        // first marker.
+        let mut w = WbWindow::new();
+        w.on_putm(NodeId::new(1), 7);
+        w.on_request(read(2));
+        w.on_putm(NodeId::new(1), 7);
+        let first = w.on_handshake(NodeId::new(1), 7, WbHandshake::Data);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].serve, vec![read(2)]);
+        assert!(w.is_open());
+        let second = w.on_handshake(NodeId::new(1), 7, WbHandshake::Cancel);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].outcome, WbHandshake::Cancel);
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed writeback window")]
+    fn queueing_on_a_closed_window_panics() {
+        let mut w = WbWindow::new();
+        w.on_request(read(2));
     }
 }

@@ -504,6 +504,7 @@ impl DirectoryController {
             state,
             dirty: mshr.dirty && state.is_owner(),
             version: mshr.version,
+            valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss cannot be performed with only a
         // shared copy; they are re-issued below as an upgrade transaction.
@@ -643,6 +644,7 @@ impl CoherenceController for DirectoryController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version,
+                    valid_since: now,
                 };
             }
             if !write && line.state.readable() {
@@ -654,6 +656,7 @@ impl CoherenceController for DirectoryController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version: line.version,
+                    valid_since: now,
                 };
             }
         }
@@ -780,6 +783,10 @@ impl CoherenceController for DirectoryController {
 
     fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn outstanding_blocks(&self) -> Vec<BlockAddr> {
+        self.mshrs.iter().map(|(addr, _)| *addr).collect()
     }
 }
 

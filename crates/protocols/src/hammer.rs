@@ -339,6 +339,7 @@ impl HammerController {
             state,
             dirty: dirty && state.is_owner(),
             version,
+            valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss wait for an upgrade transaction.
         let mut deferred_writes = Vec::new();
@@ -493,6 +494,7 @@ impl CoherenceController for HammerController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version,
+                    valid_since: now,
                 };
             }
             if !write && line.state.readable() {
@@ -504,6 +506,7 @@ impl CoherenceController for HammerController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version: line.version,
+                    valid_since: now,
                 };
             }
         }
@@ -619,6 +622,10 @@ impl CoherenceController for HammerController {
 
     fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn outstanding_blocks(&self) -> Vec<BlockAddr> {
+        self.mshrs.iter().map(|(addr, _)| *addr).collect()
     }
 }
 

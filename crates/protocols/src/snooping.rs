@@ -4,11 +4,32 @@
 //! Every request (and every writeback) is broadcast to *all* nodes —
 //! including the requester itself — over the ordered tree interconnect. The
 //! single root switch serializes the broadcasts, so every node observes every
-//! request in the same order; that total order is what resolves races, with
-//! no acknowledgements and no home-node indirection. A single "owner bit"
-//! kept at the block's home memory (following Frank's scheme, as the paper
-//! does) decides when memory must supply the data, avoiding a snoop-response
-//! combining tree.
+//! request in the same order; that total order is what resolves races with no
+//! home-node indirection. A single "owner bit" kept at the block's home
+//! memory (following Frank's scheme, as the paper does) decides when memory
+//! must supply the data, avoiding a snoop-response combining tree.
+//!
+//! The one place the total order is not enough is the **writeback race**: a
+//! broadcast PutM is only an ordered *marker*, and between the marker and
+//! the (unordered) writeback data reaching the home, the block has no cache
+//! owner and memory does not yet have the data. Requests ordered in that
+//! window used to be stranded forever — the deadlock that kept the snooping
+//! baseline out of the contended sweeps. The fix is the
+//! writeback-acknowledgement handshake (see [`crate::common::WbWindow`]):
+//!
+//! 1. The PutM marker opens a *writeback window* at the block's home; every
+//!    request ordered while the window is open is queued there.
+//! 2. When the writer observes its own PutM in the total order it answers
+//!    with exactly one handshake message: the writeback **data** if it still
+//!    holds the block (requests ordered *before* the PutM may have taken it),
+//!    or an explicit **WbCancel** if it does not. Either way the writer's
+//!    buffer entry is gone from that point on — requests ordered after the
+//!    PutM are never the writer's responsibility.
+//! 3. On data, memory applies the writeback, becomes the owner, and answers
+//!    the queued requests (reads, then at most one write — the write's winner
+//!    observes and answers everything ordered after it). On cancel, the
+//!    queue is dropped: whichever cache took ownership before the PutM
+//!    observes those same requests in its own ordered stream.
 //!
 //! The protocol is the low-latency baseline for cache-to-cache misses — but
 //! it fundamentally cannot run on the unordered torus, which is exactly the
@@ -23,7 +44,7 @@ use tc_types::{
     SystemConfig, Timer, Vnet,
 };
 
-use crate::common::{MosiLine, MosiState};
+use crate::common::{MosiLine, MosiState, QueuedRequest, WbHandshake, WbWindow};
 
 #[derive(Debug, Clone, Copy)]
 struct PendingOp {
@@ -34,6 +55,12 @@ struct PendingOp {
 #[derive(Debug, Clone)]
 struct SnoopMshr {
     pending: Vec<PendingOp>,
+    /// The request id this transaction was broadcast under. Every data
+    /// response echoes it, so a late response to an already-completed
+    /// transaction (for example the redundant memory response to an upgrade
+    /// that completed via `still_valid`) can never complete a *later* miss
+    /// for the same block.
+    req_id: ReqId,
     write: bool,
     upgrade: bool,
     issued_at: Cycle,
@@ -49,27 +76,20 @@ struct SnoopMshr {
     still_valid: bool,
     /// Requests by other nodes, observed after ours was ordered, that we must
     /// answer once we obtain the block.
-    forward_queue: Vec<(NodeId, bool)>,
+    forward_queue: Vec<QueuedRequest>,
 }
 
-/// Memory-side state: the "owner bit" (true when memory must respond) plus a
-/// flag marking a writeback whose data has not yet reached memory.
+/// Memory-side state: the "owner bit" — true when memory must respond.
+/// Writebacks in flight are tracked separately by the per-block
+/// [`WbWindow`]s.
 #[derive(Debug, Clone, Copy)]
 struct OwnerBit {
-    initialized: bool,
     memory_owner: bool,
-    /// A PutM has been observed in the total order but its data has not yet
-    /// arrived (and no later GetM has stolen ownership from the writer).
-    pending_writeback: bool,
 }
 
 impl Default for OwnerBit {
     fn default() -> Self {
-        OwnerBit {
-            initialized: false,
-            memory_owner: true,
-            pending_writeback: false,
-        }
+        OwnerBit { memory_owner: true }
     }
 }
 
@@ -86,6 +106,9 @@ pub struct SnoopingController {
     memory: HomeMemory<OwnerBit>,
     mshrs: MshrTable<SnoopMshr>,
     wb_buffer: BTreeMap<BlockAddr, MosiLine>,
+    /// Writeback-handshake windows for the blocks this node homes. An entry
+    /// exists only while a window is open (PutM ordered, handshake pending).
+    wb_windows: BTreeMap<BlockAddr, WbWindow>,
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
@@ -109,6 +132,7 @@ impl SnoopingController {
             memory: HomeMemory::new(node, home_map, config.dram_latency_ns),
             mshrs: MshrTable::new(config.processor.max_outstanding_misses.max(1)),
             wb_buffer: BTreeMap::new(),
+            wb_windows: BTreeMap::new(),
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
@@ -162,17 +186,18 @@ impl SnoopingController {
         requester: NodeId,
         addr: BlockAddr,
         write: bool,
+        req_id: Option<ReqId>,
         out: &mut Outbox,
     ) {
         if requester == self.node {
             self.observe_own_request(now, addr, out);
         } else {
-            self.snoop_other_request(now, requester, addr, write, out);
+            self.snoop_other_request(now, requester, addr, write, req_id, out);
         }
         // Home-memory processing happens at every node for the blocks it
         // homes, regardless of who requested.
         if self.is_home(addr) {
-            self.memory_snoop(now, requester, addr, write, out);
+            self.memory_snoop(now, requester, addr, write, req_id, out);
         }
     }
 
@@ -195,6 +220,7 @@ impl SnoopingController {
         requester: NodeId,
         addr: BlockAddr,
         write: bool,
+        req_id: Option<ReqId>,
         out: &mut Outbox,
     ) {
         let at = now + self.controller_latency + self.l2_latency;
@@ -205,7 +231,11 @@ impl SnoopingController {
         let we_are_ordered_first = self.mshrs.get(addr).map(|m| m.ordered).unwrap_or(false);
         if we_are_ordered_first {
             if let Some(mshr) = self.mshrs.get_mut(addr) {
-                mshr.forward_queue.push((requester, write));
+                mshr.forward_queue.push(QueuedRequest {
+                    requester,
+                    write,
+                    req_id,
+                });
             }
             return;
         }
@@ -224,7 +254,7 @@ impl SnoopingController {
                     && line.state == MosiState::Modified
                     && line.dirty;
                 let exclusive = write || migratory;
-                let data = self.unicast(
+                let mut data = self.unicast(
                     at,
                     requester,
                     addr,
@@ -236,6 +266,7 @@ impl SnoopingController {
                     },
                     Vnet::Response,
                 );
+                data.req_id = req_id;
                 self.send(out, data);
                 self.stats.bump("snoop_data_responses", 1);
                 if exclusive {
@@ -246,6 +277,13 @@ impl SnoopingController {
                     self.wb_buffer.remove(&addr);
                 } else if let Some(l) = self.l2.get(addr) {
                     l.state = MosiState::Owned;
+                } else if let Some(entry) = self.wb_buffer.get_mut(&addr) {
+                    // The shared copy came out of the writeback buffer: the
+                    // entry must demote to Owned just like a live line, or a
+                    // pullback (re-access before the PutM is ordered) would
+                    // reinstall it as Modified and let a store hit locally
+                    // while the requester's shared copy is never invalidated.
+                    entry.state = MosiState::Owned;
                 }
             }
             Some(_) if write => {
@@ -269,59 +307,107 @@ impl SnoopingController {
         requester: NodeId,
         addr: BlockAddr,
         write: bool,
+        req_id: Option<ReqId>,
         out: &mut Outbox,
     ) {
-        let version = self.memory.data_version(addr);
-        let entry = self.memory.state_mut(addr);
-        entry.initialized = true;
-        if write {
-            // A GetM ordered after a PutM (but before its data arrived) takes
-            // ownership away from the writer: the pending writeback is stale.
-            entry.pending_writeback = false;
-        }
-        if entry.memory_owner {
+        if self.memory.state_mut(addr).memory_owner {
+            // Memory is the owner of record and answers directly, even while
+            // a (necessarily stale) writeback window is open: a PutM ordered
+            // while memory owns the block can only resolve to a cancel.
             if write {
-                entry.memory_owner = false;
+                self.memory.state_mut(addr).memory_owner = false;
             }
-            let at = now + self.controller_latency + self.dram_latency;
-            let data = self.unicast(
-                at,
+            let version = self.memory.data_version(addr);
+            self.send_memory_response(now, requester, addr, write, version, req_id, out);
+        } else if self
+            .wb_windows
+            .get(&addr)
+            .map(|w| w.is_open())
+            .unwrap_or(false)
+        {
+            // No owner anywhere: the previous owner's writeback marker has
+            // been ordered but its data (or cancel) is still in flight. Queue
+            // the request; the handshake resolution answers it. This is the
+            // request that used to be stranded.
+            let window = self.wb_windows.get_mut(&addr).expect("checked above");
+            window.on_request(QueuedRequest {
                 requester,
-                addr,
-                MsgKind::Data {
-                    acks_expected: 0,
-                    exclusive: write,
-                    from_memory: true,
-                    payload: DataPayload::new(version),
-                },
-                Vnet::Response,
-            );
-            self.send(out, data);
-            self.stats.bump("memory_responses", 1);
-        } else if write {
-            // Ownership moves between caches; memory stays non-owner.
+                write,
+                req_id,
+            });
+            self.stats.bump("wb_window_queued_requests", 1);
         }
+        // Otherwise some cache owns the block and observes this same ordered
+        // request; answering is its responsibility.
     }
 
-    fn snoop_writeback(&mut self, now: Cycle, from: NodeId, addr: BlockAddr, out: &mut Outbox) {
-        // The broadcast PutM is only an ordered *marker*; the data follows as
-        // a separate message once the writer has confirmed (by observing its
-        // own PutM) that it still owns the block. This resolves the classic
-        // writeback race: if a GetM was ordered between the eviction and the
-        // PutM, ownership already moved to the GetM requester, the writer's
-        // buffer entry is gone, and memory must NOT become the owner again.
+    /// Sends a data response sourced by this node's home memory.
+    #[allow(clippy::too_many_arguments)]
+    fn send_memory_response(
+        &mut self,
+        now: Cycle,
+        requester: NodeId,
+        addr: BlockAddr,
+        exclusive: bool,
+        version: u64,
+        req_id: Option<ReqId>,
+        out: &mut Outbox,
+    ) {
+        let at = now + self.controller_latency + self.dram_latency;
+        let mut data = self.unicast(
+            at,
+            requester,
+            addr,
+            MsgKind::Data {
+                acks_expected: 0,
+                exclusive,
+                from_memory: true,
+                payload: DataPayload::new(version),
+            },
+            Vnet::Response,
+        );
+        data.req_id = req_id;
+        self.send(out, data);
+        self.stats.bump("memory_responses", 1);
+    }
+
+    /// An ordered PutM marker: opens the home's writeback window, and — at
+    /// the writer — triggers the handshake response (data or cancel).
+    fn snoop_writeback(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        out: &mut Outbox,
+    ) {
         if self.is_home(addr) {
-            let entry = self.memory.state_mut(addr);
-            entry.initialized = true;
-            entry.pending_writeback = true;
+            let resolutions = self
+                .wb_windows
+                .entry(addr)
+                .or_default()
+                .on_putm(from, version);
+            // The handshake normally trails its marker, but cascade anyway in
+            // case it was stashed.
+            self.apply_wb_resolutions(now, addr, resolutions, out);
         }
         if from == self.node {
-            if let Some(line) = self.wb_buffer.get(&addr).copied() {
-                // Still the owner of record: ship the data to the home. The
-                // buffer entry stays until the WbAck so requests ordered after
-                // the PutM can still be answered while the data is in flight.
-                let home = self.home_map.home_of(addr);
-                let data = Message::new(
+            // Observing our own PutM is the handshake point: from here on,
+            // requests ordered after the PutM are the home's responsibility,
+            // so the buffer entry must go either way. Ship the data if we
+            // still hold the block *this marker announced* (the version
+            // check: the block may have been pulled back, re-written and
+            // re-evicted, in which case this marker is void and a later one
+            // carries the data); cancel otherwise.
+            let still_held = self
+                .wb_buffer
+                .get(&addr)
+                .map(|line| line.version == version)
+                .unwrap_or(false);
+            let home = self.home_map.home_of(addr);
+            let handshake = if still_held {
+                let line = self.wb_buffer.remove(&addr).expect("checked above");
+                Message::new(
                     self.node,
                     Destination::Node(home),
                     addr,
@@ -333,39 +419,86 @@ impl SnoopingController {
                     },
                     Vnet::Writeback,
                     now + self.controller_latency,
-                );
-                self.send(out, data);
-            }
+                )
+            } else {
+                self.stats.bump("writebacks_cancelled", 1);
+                Message::new(
+                    self.node,
+                    Destination::Node(home),
+                    addr,
+                    MsgKind::WbCancel,
+                    Vnet::Writeback,
+                    now + self.controller_latency,
+                )
+                .with_req_id(ReqId::new(version))
+            };
+            self.send(out, handshake);
         }
     }
 
-    /// The home receives the data of a (still valid) writeback.
-    fn apply_writeback_data(
+    /// The home receives a writeback handshake message (the data, or a
+    /// cancel) from `writer`.
+    fn on_wb_handshake(
         &mut self,
         now: Cycle,
-        from: NodeId,
+        writer: NodeId,
         addr: BlockAddr,
         version: u64,
+        outcome: WbHandshake,
         out: &mut Outbox,
     ) {
         debug_assert!(self.is_home(addr));
-        let entry = self.memory.state_mut(addr);
-        entry.initialized = true;
-        if entry.pending_writeback {
-            entry.pending_writeback = false;
-            entry.memory_owner = true;
-            self.memory.write_data(addr, version);
-        }
-        let ack = self.unicast(
-            now + self.controller_latency + self.dram_latency,
-            from,
-            addr,
-            MsgKind::WbAck,
-            Vnet::Response,
-        );
-        self.send(out, ack);
+        let resolutions = self
+            .wb_windows
+            .entry(addr)
+            .or_default()
+            .on_handshake(writer, version, outcome);
+        self.apply_wb_resolutions(now, addr, resolutions, out);
     }
 
+    /// Applies resolved writeback markers: commits the data (memory becomes
+    /// the owner) and answers the requests queued in each window.
+    fn apply_wb_resolutions(
+        &mut self,
+        now: Cycle,
+        addr: BlockAddr,
+        resolutions: Vec<crate::common::WbResolution>,
+        out: &mut Outbox,
+    ) {
+        for resolution in resolutions {
+            if resolution.outcome == WbHandshake::Data {
+                self.memory.write_data(addr, resolution.version);
+                self.memory.state_mut(addr).memory_owner = true;
+                for request in resolution.serve {
+                    if request.write {
+                        self.memory.state_mut(addr).memory_owner = false;
+                    }
+                    self.send_memory_response(
+                        now,
+                        request.requester,
+                        addr,
+                        request.write,
+                        resolution.version,
+                        request.req_id,
+                        out,
+                    );
+                    self.stats.bump("wb_window_served_requests", 1);
+                }
+            }
+            // A cancelled marker needs no action: ownership never left the
+            // cache side, and the owner answers the dropped requests itself.
+        }
+        if self
+            .wb_windows
+            .get(&addr)
+            .map(|w| w.is_empty())
+            .unwrap_or(false)
+        {
+            self.wb_windows.remove(&addr);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn handle_data(
         &mut self,
         now: Cycle,
@@ -373,11 +506,20 @@ impl SnoopingController {
         exclusive: bool,
         from_memory: bool,
         payload: DataPayload,
+        req_id: Option<ReqId>,
         out: &mut Outbox,
     ) {
         let Some(mshr) = self.mshrs.get_mut(addr) else {
             return;
         };
+        // A response tagged for an earlier transaction on this block (for
+        // example the redundant memory response to an upgrade that already
+        // completed via `still_valid`) must not complete this one.
+        if let Some(id) = req_id {
+            if id != mshr.req_id {
+                return;
+            }
+        }
         // A cache-supplied copy supersedes memory's copy (memory may respond
         // as well when its owner bit is stale for at most one transition).
         if !from_memory || !mshr.data_received {
@@ -425,6 +567,7 @@ impl SnoopingController {
             state,
             dirty: (mshr.dirty || mshr.write) && state.is_owner(),
             version: base_version,
+            valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss wait for their own upgrade.
         let mut deferred_writes = Vec::new();
@@ -490,7 +633,10 @@ impl SnoopingController {
             .peek(addr)
             .map(|l| l.state.is_owner())
             .unwrap_or(false);
-        for (requester, write) in mshr.forward_queue {
+        for request in mshr.forward_queue {
+            let QueuedRequest {
+                requester, write, ..
+            } = request;
             if !still_owner {
                 // The request is someone else's responsibility now; if it was
                 // an exclusive request, our copy must go.
@@ -510,7 +656,7 @@ impl SnoopingController {
                 && line.state == MosiState::Modified
                 && line.dirty;
             let exclusive = write || migratory;
-            let data = self.unicast(
+            let mut data = self.unicast(
                 at,
                 requester,
                 addr,
@@ -522,6 +668,7 @@ impl SnoopingController {
                 },
                 Vnet::Response,
             );
+            data.req_id = request.req_id;
             self.send(out, data);
             if exclusive {
                 self.l2.remove(addr);
@@ -535,8 +682,10 @@ impl SnoopingController {
         // Re-issue merged stores as an upgrade transaction of their own.
         if !deferred_writes.is_empty() {
             self.stats.bump("merged_store_upgrades", 1);
+            let upgrade_req_id = deferred_writes[0].req_id;
             let upgrade = SnoopMshr {
                 pending: deferred_writes,
+                req_id: upgrade_req_id,
                 write: true,
                 upgrade: true,
                 issued_at: now,
@@ -559,7 +708,8 @@ impl SnoopingController {
                 MsgKind::GetM,
                 Vnet::Request,
                 now + self.controller_latency,
-            );
+            )
+            .with_req_id(upgrade_req_id);
             self.send(out, getm);
         }
     }
@@ -596,6 +746,19 @@ impl CoherenceController for SnoopingController {
     fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome {
         let addr = op.addr.block(self.home_map.block_bytes());
         let write = op.kind.is_write();
+
+        // A block sitting in the writeback buffer is pulled straight back
+        // into the cache: this node is still the block's owner of record, so
+        // broadcasting a request for it would go unanswered (the old
+        // self-deadlock). The in-flight PutM resolves as a WbCancel when this
+        // node observes it with the buffer entry gone.
+        if let Some(line) = self.wb_buffer.remove(&addr) {
+            self.stats.bump("writeback_pullbacks", 1);
+            if let Some(victim) = self.l2.insert(addr, line) {
+                self.evict(now, victim.addr, victim.state, out);
+            }
+        }
+
         let l1_hit = self.l1.touch(addr);
         let hit_latency = if l1_hit {
             self.l1.latency_ns()
@@ -617,6 +780,7 @@ impl CoherenceController for SnoopingController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version,
+                    valid_since: now,
                 };
             }
             if !write && line.state.readable() {
@@ -628,6 +792,7 @@ impl CoherenceController for SnoopingController {
                 return AccessOutcome::Hit {
                     latency: hit_latency,
                     version: line.version,
+                    valid_since: line.valid_since,
                 };
             }
         }
@@ -653,6 +818,7 @@ impl CoherenceController for SnoopingController {
                 req_id: op.id,
                 write,
             }],
+            req_id: op.id,
             write,
             upgrade: write && had_copy,
             issued_at: now,
@@ -679,7 +845,8 @@ impl CoherenceController for SnoopingController {
             kind,
             Vnet::Request,
             now + self.controller_latency,
-        );
+        )
+        .with_req_id(op.id);
         self.send(out, msg);
         AccessOutcome::Miss
     }
@@ -688,10 +855,11 @@ impl CoherenceController for SnoopingController {
         self.stats.messages_received += 1;
         let addr = msg.addr;
         match msg.kind.clone() {
-            MsgKind::GetS => self.snoop_request(now, msg.src, addr, false, out),
-            MsgKind::GetM => self.snoop_request(now, msg.src, addr, true, out),
+            MsgKind::GetS => self.snoop_request(now, msg.src, addr, false, msg.req_id, out),
+            MsgKind::GetM => self.snoop_request(now, msg.src, addr, true, msg.req_id, out),
             MsgKind::PutM => {
-                self.snoop_writeback(now, msg.src, addr, out);
+                let version = msg.req_id.map(|r| r.value()).unwrap_or(0);
+                self.snoop_writeback(now, msg.src, addr, version, out);
             }
             MsgKind::Data {
                 exclusive,
@@ -700,13 +868,21 @@ impl CoherenceController for SnoopingController {
                 ..
             } => {
                 if msg.vnet == Vnet::Writeback {
-                    self.apply_writeback_data(now, msg.src, addr, payload.version, out);
+                    self.on_wb_handshake(
+                        now,
+                        msg.src,
+                        addr,
+                        payload.version,
+                        WbHandshake::Data,
+                        out,
+                    );
                 } else {
-                    self.handle_data(now, addr, exclusive, from_memory, payload, out);
+                    self.handle_data(now, addr, exclusive, from_memory, payload, msg.req_id, out);
                 }
             }
-            MsgKind::WbAck => {
-                self.wb_buffer.remove(&addr);
+            MsgKind::WbCancel => {
+                let version = msg.req_id.map(|r| r.value()).unwrap_or(0);
+                self.on_wb_handshake(now, msg.src, addr, version, WbHandshake::Cancel, out);
             }
             other => {
                 debug_assert!(false, "Snooping received unexpected message {other:?}");
@@ -743,6 +919,10 @@ impl CoherenceController for SnoopingController {
 
     fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn outstanding_blocks(&self) -> Vec<BlockAddr> {
+        self.mshrs.iter().map(|(addr, _)| *addr).collect()
     }
 }
 
@@ -938,6 +1118,169 @@ mod tests {
         assert_eq!(
             nodes[holder].l2.peek(BlockAddr::new(0)).unwrap().version,
             winner_version
+        );
+    }
+
+    /// A request ordered *inside* the writeback window — after the PutM
+    /// marker but before the writeback data reaches the home — used to be
+    /// stranded forever. The handshake queues it at the home and serves it
+    /// when the data arrives.
+    #[test]
+    fn request_ordered_in_the_writeback_window_is_served_by_memory() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[1].access(0, &store(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+
+        // Evict the modified line: the PutM marker is broadcast.
+        let line = *nodes[1].l2.peek(BlockAddr::new(0)).unwrap();
+        nodes[1].l2.remove(BlockAddr::new(0));
+        let mut out = Outbox::new();
+        nodes[1].evict(2000, BlockAddr::new(0), line, &mut out);
+        let putm = out.messages[0].clone();
+        assert_eq!(putm.kind, MsgKind::PutM);
+
+        // Deliver the marker everywhere. The writer ships the data; hold it.
+        let mut handshake = Outbox::new();
+        for node in nodes.iter_mut() {
+            node.handle_message(2100, putm.clone(), &mut handshake);
+        }
+        let data = handshake.messages.pop().expect("writeback data shipped");
+        assert_eq!(data.vnet, Vnet::Writeback);
+        assert!(nodes[1].wb_buffer.is_empty(), "entry dropped at handshake");
+
+        // A read ordered inside the window: nobody owns the block, so the
+        // home queues it rather than leaving it stranded.
+        let mut out = Outbox::new();
+        nodes[3].access(2200, &load(0, 9), &mut out);
+        let gets = out.messages[0].clone();
+        let mut after_gets = Outbox::new();
+        for node in nodes.iter_mut() {
+            node.handle_message(2300, gets.clone(), &mut after_gets);
+        }
+        assert!(
+            after_gets.messages.is_empty(),
+            "no response while the window is open"
+        );
+        assert_eq!(nodes[0].stats().counter("wb_window_queued_requests"), 1);
+
+        // The writeback data arrives: memory applies it and serves the queue.
+        let mut served = Outbox::new();
+        nodes[0].handle_message(2400, data, &mut served);
+        assert_eq!(served.messages.len(), 1);
+        let completions = run_until_quiet(served, &mut nodes, 2400);
+        assert_eq!(completions.len(), 1);
+        assert!(!completions[0].cache_to_cache);
+        assert_eq!(completions[0].data_version, line.version);
+        assert_eq!(nodes[0].stats().counter("wb_window_served_requests"), 1);
+    }
+
+    /// Re-accessing a block whose writeback is still in flight pulls it back
+    /// out of the writeback buffer (the node is still the owner of record);
+    /// the in-flight PutM then resolves as an explicit WbCancel at the home.
+    #[test]
+    fn reaccess_during_writeback_pulls_the_block_back_and_cancels() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[1].access(0, &store(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+
+        let line = *nodes[1].l2.peek(BlockAddr::new(0)).unwrap();
+        nodes[1].l2.remove(BlockAddr::new(0));
+        let mut out = Outbox::new();
+        nodes[1].evict(2000, BlockAddr::new(0), line, &mut out);
+        let putm = out.messages[0].clone();
+        assert!(nodes[1].wb_buffer.contains_key(&BlockAddr::new(0)));
+
+        // Re-access before the PutM is ordered: a hit straight out of the
+        // writeback buffer, no broadcast.
+        let mut out = Outbox::new();
+        let outcome = nodes[1].access(2050, &load(0, 2), &mut out);
+        assert!(matches!(outcome, AccessOutcome::Hit { .. }));
+        assert!(out.messages.is_empty());
+        assert!(nodes[1].wb_buffer.is_empty());
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
+
+        // The stale marker resolves as a cancel; memory does not become the
+        // owner and the node still answers later requests.
+        let mut handshake = Outbox::new();
+        for node in nodes.iter_mut() {
+            node.handle_message(2100, putm.clone(), &mut handshake);
+        }
+        assert_eq!(handshake.messages.len(), 1);
+        assert_eq!(handshake.messages[0].kind, MsgKind::WbCancel);
+        let mut quiet = Outbox::new();
+        nodes[0].handle_message(2200, handshake.messages[0].clone(), &mut quiet);
+        assert!(quiet.messages.is_empty());
+        assert_eq!(nodes[1].stats().counter("writeback_pullbacks"), 1);
+        assert_eq!(nodes[1].stats().counter("writebacks_cancelled"), 1);
+
+        let mut out = Outbox::new();
+        nodes[3].access(3000, &load(0, 9), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 3000);
+        assert_eq!(completions.len(), 1);
+        assert!(
+            completions[0].cache_to_cache,
+            "the pulled-back owner serves"
+        );
+    }
+
+    /// A GetS answered out of the writeback buffer must demote the buffer
+    /// entry to Owned: if the block is then pulled back by a local store,
+    /// the store must take the upgrade-broadcast path (invalidating the
+    /// reader) — never hit a silently-still-Modified line while the
+    /// reader's shared copy lives on.
+    #[test]
+    fn store_after_wb_buffer_answered_a_gets_takes_the_upgrade_path() {
+        let mut nodes: Vec<SnoopingController> = (0..4).map(controller).collect();
+        let mut out = Outbox::new();
+        nodes[1].access(0, &store(0, 1), &mut out);
+        run_until_quiet(out, &mut nodes, 0);
+
+        // Evict the modified line; hold the PutM.
+        let line = *nodes[1].l2.peek(BlockAddr::new(0)).unwrap();
+        nodes[1].l2.remove(BlockAddr::new(0));
+        let mut out = Outbox::new();
+        nodes[1].evict(2000, BlockAddr::new(0), line, &mut out);
+        let putm = out.messages[0].clone();
+
+        // A read ordered before the PutM is answered from the buffer with a
+        // shared copy; the buffer entry demotes to Owned.
+        let mut out = Outbox::new();
+        nodes[3].access(2100, &load(0, 2), &mut out);
+        let completions = run_until_quiet(out, &mut nodes, 2100);
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].cache_to_cache);
+        assert_eq!(
+            nodes[1].wb_buffer.get(&BlockAddr::new(0)).unwrap().state,
+            MosiState::Owned
+        );
+
+        // The writer re-accesses with a store: the pullback yields an Owned
+        // (not writable) line, so the store must miss and broadcast.
+        let mut upgrade_out = Outbox::new();
+        let outcome = nodes[1].access(2200, &store(0, 3), &mut upgrade_out);
+        assert_eq!(outcome, AccessOutcome::Miss, "store must not hit silently");
+        assert!(upgrade_out.messages.iter().any(|m| m.kind == MsgKind::GetM));
+
+        // Deliver the stale PutM (resolves as a cancel), then the upgrade.
+        let mut putm_out = Outbox::new();
+        putm_out.messages.push(putm);
+        let cancel_round = broadcast_round(&putm_out, &mut nodes, 2300);
+        run_until_quiet(cancel_round, &mut nodes, 2300);
+        let completions = run_until_quiet(upgrade_out, &mut nodes, 2400);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].kind, MissKind::Upgrade);
+        assert_eq!(
+            nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
+            MosiState::Modified
+        );
+        assert!(
+            nodes[3].l2.peek(BlockAddr::new(0)).is_none(),
+            "the reader's shared copy must be invalidated by the upgrade"
         );
     }
 

@@ -78,6 +78,10 @@ pub struct System {
     scratch_out: Outbox,
     /// Scratch buffer for interconnect deliveries, reused across sends.
     delivery_buf: Vec<Delivery>,
+    /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
+    /// block is printed to stderr — the deterministic replay makes this a
+    /// complete causal trace of one block's protocol activity.
+    trace_block: Option<BlockAddr>,
 }
 
 impl System {
@@ -125,12 +129,28 @@ impl System {
             completed_ops: 0,
             scratch_out: Outbox::new(),
             delivery_buf: Vec::new(),
+            trace_block: std::env::var("TC_TRACE_BLOCK")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(BlockAddr::new),
         }
     }
 
     /// The configuration this system was built from.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Debug-formats one node's controller, for post-mortem inspection of
+    /// wedged runs (`examples/conformance_repro.rs` prints this for stuck
+    /// nodes).
+    pub fn controller_debug(&self, node: NodeId) -> String {
+        format!("{:#?}", self.controllers[node.index()])
+    }
+
+    /// The blocks each node is still waiting on, for post-mortem reports.
+    pub fn outstanding_blocks(&self, node: NodeId) -> Vec<BlockAddr> {
+        self.controllers[node.index()].outstanding_blocks()
     }
 
     /// Total number of events the runner has delivered so far. The
@@ -150,6 +170,7 @@ impl System {
     pub fn run(&mut self, options: RunOptions) -> RunReport {
         let target_total = options.ops_per_node * self.config.num_nodes as u64;
         let mut draining = false;
+        let mut drain_limit_hit = false;
         // The cycle at which the completion target (or cycle limit) was
         // reached; None while the run is still making progress. An Option
         // rather than a zero sentinel: a run can legitimately reach its
@@ -168,6 +189,7 @@ impl System {
                 transactions_at_target = self.total_transactions();
             }
             if draining && now >= drain_limit {
+                drain_limit_hit = true;
                 break;
             }
             match event {
@@ -177,6 +199,9 @@ impl System {
                     }
                 }
                 SystemEvent::Send(msg) => {
+                    if self.trace_block == Some(msg.addr) {
+                        eprintln!("[{now}] SEND {msg} kind={:?}", msg.kind);
+                    }
                     let mut deliveries = std::mem::take(&mut self.delivery_buf);
                     self.interconnect.send_into(now, &msg, &mut deliveries);
                     for delivery in deliveries.drain(..) {
@@ -202,6 +227,9 @@ impl System {
                     self.delivery_buf = deliveries;
                 }
                 SystemEvent::Deliver { node, msg } => {
+                    if self.trace_block == Some(msg.addr) {
+                        eprintln!("[{now}] DELIVER to {node} {msg} kind={:?}", msg.kind);
+                    }
                     let tokens = msg.kind.token_count() as i64;
                     if tokens > 0 {
                         let entry = self.in_flight_tokens.entry(msg.addr).or_insert((0, 0));
@@ -235,7 +263,7 @@ impl System {
             }
         };
 
-        self.final_audit();
+        self.final_audit(drain_limit_hit);
 
         let mut misses = MissStats::default();
         let mut reissue = ReissueStats::default();
@@ -275,15 +303,30 @@ impl System {
                 let mut out = std::mem::take(&mut self.scratch_out);
                 let outcome = self.controllers[node.index()].access(issue_time, &op, &mut out);
                 match outcome {
-                    AccessOutcome::Hit { latency, version } => {
+                    AccessOutcome::Hit {
+                        latency,
+                        version,
+                        valid_since,
+                    } => {
                         self.processors[node.index()].note_hit(issue_time);
                         self.completed_ops += 1;
                         let done_at = issue_time + latency;
                         if is_write {
                             self.verifier.record_write(node, block, version, done_at);
                         } else {
-                            self.verifier
-                                .check_read(node, block, version, issue_time, done_at);
+                            // The legality window opens at the serialization
+                            // lower bound the protocol reports for the copy,
+                            // not at the access: an unacknowledged snooping
+                            // hit may legally observe a value a later-ordered
+                            // remote write has already superseded, until the
+                            // invalidation arrives (see `AccessOutcome::Hit`).
+                            self.verifier.check_read(
+                                node,
+                                block,
+                                version,
+                                valid_since.min(issue_time),
+                                done_at,
+                            );
                         }
                         self.queue
                             .schedule(done_at.max(issue_time + 1), SystemEvent::Wakeup(node));
@@ -348,8 +391,12 @@ impl System {
     }
 
     /// Audits the quiesced final state: token conservation, single-writer,
-    /// and starvation.
-    fn final_audit(&mut self) {
+    /// and starvation/deadlock. `drain_limit_hit` distinguishes a run that
+    /// was cut off with events still flowing (deadlock — something is
+    /// spinning or stranded) from one whose event queue drained with requests
+    /// still outstanding (starvation — nothing left that could complete
+    /// them).
+    fn final_audit(&mut self, drain_limit_hit: bool) {
         let now = self.queue.now();
         let expected_tokens = match self.config.protocol {
             ProtocolKind::TokenB => Some(self.config.token.tokens_per_block),
@@ -380,16 +427,27 @@ impl System {
             );
         }
 
-        // Starvation: after the drain, nothing may still be outstanding.
+        // Liveness: after the drain, nothing may still be outstanding. A
+        // stuck request is a deadlock if the drain limit cut the run off
+        // (events were still flowing) and starvation otherwise; either way
+        // the violation names the block the requester is stuck on.
         for (processor, controller) in self.processors.iter().zip(&self.controllers) {
             if controller.outstanding_misses() > 0 || processor.outstanding_misses() > 0 {
-                if let Some((_, issued_at)) = processor.oldest_outstanding() {
-                    self.verifier.record_starvation(
-                        processor.node(),
-                        BlockAddr::new(0),
-                        issued_at,
-                        now,
-                    );
+                let stuck_block = controller
+                    .outstanding_blocks()
+                    .first()
+                    .copied()
+                    .unwrap_or(BlockAddr::new(0));
+                let issued_at = processor
+                    .oldest_outstanding()
+                    .map(|(_, at)| at)
+                    .unwrap_or(now);
+                if drain_limit_hit {
+                    self.verifier
+                        .record_deadlock(processor.node(), stuck_block, issued_at, now);
+                } else {
+                    self.verifier
+                        .record_starvation(processor.node(), stuck_block, issued_at, now);
                 }
             }
         }
@@ -447,14 +505,13 @@ mod tests {
         assert!(report.misses.total_misses() > 0);
     }
 
-    /// Known limitation: under the highly contended OLTP calibration the
-    /// snooping baseline can deadlock on a writeback race (the requester of a
-    /// block whose owner is mid-writeback can wait forever); see DESIGN.md
-    /// "Known limitations". The lighter Apache/SPECjbb calibrations and the
-    /// hot-block stress runs are unaffected.
+    /// The contended OLTP calibration used to deadlock the snooping baseline
+    /// on the writeback race; the writeback-acknowledgement handshake (see
+    /// `tc_protocols::snooping`) closed it, so snooping now runs the same
+    /// contended calibration as the other three protocols.
     #[test]
     fn snooping_runs_cleanly_on_the_ordered_tree() {
-        let report = run(ProtocolKind::Snooping, WorkloadProfile::specjbb(), 1500);
+        let report = run(ProtocolKind::Snooping, WorkloadProfile::oltp(), 1500);
         assert_eq!(report.topology, TopologyKind::Tree);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.misses.total_misses() > 0);

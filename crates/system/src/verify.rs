@@ -165,6 +165,26 @@ impl Verifier {
                     at,
                 });
         }
+        // At quiescence every surviving readable cache copy must hold the
+        // block's current value: a write invalidates every sharer, so a
+        // divergent copy is the signature of a *lost invalidation*. This is
+        // the backstop for protocols whose read hits are only
+        // coherence-checked at runtime (unacknowledged snooping, see
+        // `AccessOutcome::Hit::valid_since`): transient skew-staleness is
+        // legal while the invalidation is in flight, but nothing stale may
+        // survive the drain.
+        let current = self.history.get(&addr).map(|h| h.current()).unwrap_or(0);
+        for audit in audits.iter().filter(|a| a.readable && !a.in_memory) {
+            if audit.data_version != current {
+                self.violations.push(InvariantViolation::StaleDataRead {
+                    node: NodeId::new(0),
+                    addr,
+                    observed_version: audit.data_version,
+                    expected_version: current,
+                    at,
+                });
+            }
+        }
     }
 
     /// Records a starvation violation (a request still outstanding at the end
@@ -177,6 +197,17 @@ impl Verifier {
         at: Cycle,
     ) {
         self.violations.push(InvariantViolation::Starvation {
+            node,
+            addr,
+            issued_at,
+            at,
+        });
+    }
+
+    /// Records a deadlock violation (the drain limit was hit with a request
+    /// still outstanding and events still in flight).
+    pub fn record_deadlock(&mut self, node: NodeId, addr: BlockAddr, issued_at: Cycle, at: Cycle) {
+        self.violations.push(InvariantViolation::Deadlock {
             node,
             addr,
             issued_at,
@@ -351,6 +382,41 @@ mod tests {
             700,
         );
         assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn surviving_stale_copies_are_flagged_at_quiescence() {
+        let mut v = Verifier::new();
+        v.record_write(NodeId::new(0), BlockAddr::new(4), 10, 100);
+        v.record_write(NodeId::new(2), BlockAddr::new(4), 20, 200);
+        // One copy holds the current version, another still holds the
+        // overwritten one: its invalidation was lost.
+        let mut fresh = audit(0, false, true, false);
+        fresh.data_version = 20;
+        let mut stale = audit(0, false, true, false);
+        stale.data_version = 10;
+        v.audit_block(BlockAddr::new(4), &[fresh, stale], 0, 0, None, 900);
+        assert_eq!(v.violations().len(), 1);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::StaleDataRead {
+                observed_version: 10,
+                expected_version: 20,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn matching_copies_pass_the_quiescence_version_check() {
+        let mut v = Verifier::new();
+        v.record_write(NodeId::new(0), BlockAddr::new(4), 10, 100);
+        let mut a = audit(0, false, true, false);
+        a.data_version = 10;
+        let mut b = audit(0, false, true, false);
+        b.data_version = 10;
+        v.audit_block(BlockAddr::new(4), &[a, b], 0, 0, None, 900);
+        assert!(v.violations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Cross-protocol conformance stress harness.
+//!
+//! The paper's central claim is that the correctness substrate can be checked
+//! independently of the performance protocol. This crate is that claim turned
+//! into test infrastructure: every protocol — the snooping, directory, and
+//! hammer baselines just as much as TokenB — is driven through the same
+//! seeded, contended scenarios under the same safety/liveness oracle
+//! (`tc_system::verify`), so a protocol only counts as working if it survives
+//! exactly what the others survive.
+//!
+//! The pieces:
+//!
+//! * [`Scenario`] — a named contended workload configuration (hot-block
+//!   storms, the OLTP calibration, eviction storms on a deliberately tiny
+//!   L2). Scenarios are pure data; [`Scenario::run`] is deterministic in
+//!   `(protocol, seed)`, which is what makes every failure replayable.
+//! * [`stress`] — the protocol × scenario × seed sweep, collecting every
+//!   run whose report contains an invariant violation (safety) or a
+//!   starvation/deadlock (liveness) as a [`Failure`].
+//! * [`Failure`] — a replayable failing cell. Its `Display` prints the exact
+//!   replay recipe; [`shrink`] minimizes the per-node operation count while
+//!   the failure still reproduces, so the reported case is the smallest the
+//!   harness can find.
+//! * [`token_pump`] — a controller-level interleaving pump for TokenB that
+//!   randomizes delivery order and timer firing (timeout/retry storms) while
+//!   asserting token conservation after every step, independent of the
+//!   system runner.
+
+mod pump;
+mod scenario;
+
+pub use pump::{token_pump, PumpOptions, PumpOutcome};
+pub use scenario::Scenario;
+
+use std::fmt;
+
+use tc_system::RunReport;
+use tc_types::{InvariantViolation, ProtocolKind};
+
+/// One failing (protocol, scenario, seed) cell of the conformance sweep.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Name of the scenario (see [`Scenario::standard`]).
+    pub scenario: String,
+    /// Workload seed the failure reproduces under.
+    pub seed: u64,
+    /// Operations per node the failing run used (shrunk runs lower this).
+    pub ops_per_node: u64,
+    /// The violations the verifier reported.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on scenario '{}' (seed {}, {} ops/node) violated:",
+            self.protocol, self.scenario, self.seed, self.ops_per_node
+        )?;
+        for violation in &self.violations {
+            writeln!(f, "  - {violation}")?;
+        }
+        write!(
+            f,
+            "  replay: Scenario::by_name(\"{}\").unwrap().run_with_ops(ProtocolKind::{:?}, {}, {})",
+            self.scenario, self.protocol, self.seed, self.ops_per_node
+        )
+    }
+}
+
+/// Extracts the failure (if any) from a finished run: any invariant
+/// violation, including the structured starvation/deadlock liveness
+/// violations the runner emits for stuck requesters.
+pub fn check(
+    protocol: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    ops_per_node: u64,
+    report: &RunReport,
+) -> Option<Failure> {
+    if report.violations.is_empty() {
+        None
+    } else {
+        Some(Failure {
+            protocol,
+            scenario: scenario.name.to_string(),
+            seed,
+            ops_per_node,
+            violations: report.violations.clone(),
+        })
+    }
+}
+
+/// Runs every protocol through every scenario for every seed, returning the
+/// failing cells (empty means full conformance). Deterministic: the same
+/// inputs always produce the same failures.
+pub fn stress(protocols: &[ProtocolKind], scenarios: &[Scenario], seeds: &[u64]) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    for scenario in scenarios {
+        for &protocol in protocols {
+            for &seed in seeds {
+                let report = scenario.run(protocol, seed);
+                if let Some(failure) =
+                    check(protocol, scenario, seed, scenario.ops_per_node, &report)
+                {
+                    failures.push(failure);
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Shrinks a failure's per-node operation count: repeatedly halves it while
+/// the failure still reproduces, then binary-searches the boundary, and
+/// returns the smallest still-failing case. Because runs are deterministic
+/// in `(protocol, scenario, seed, ops)`, the result is a minimal replayable
+/// reproduction, not a flaky sample.
+pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
+    debug_assert_eq!(failure.scenario, scenario.name);
+    let reproduces = |ops: u64| -> Option<Failure> {
+        let report = scenario.run_with_ops(failure.protocol, failure.seed, ops);
+        check(failure.protocol, scenario, failure.seed, ops, &report)
+    };
+
+    let mut best = failure.clone();
+    // Phase 1: exponential descent.
+    let mut ops = failure.ops_per_node;
+    while ops > 1 {
+        let half = ops / 2;
+        match reproduces(half) {
+            Some(smaller) => {
+                best = smaller;
+                ops = half;
+            }
+            None => break,
+        }
+    }
+    // Phase 2: binary search between the largest passing and the smallest
+    // failing count found so far.
+    let mut lo = best.ops_per_node / 2; // passes (or zero)
+    let mut hi = best.ops_per_node; // fails
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        match reproduces(mid) {
+            Some(smaller) => {
+                best = smaller;
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+    best
+}
+
+/// Formats a batch of failures (each shrunk first) into one report string —
+/// what the conformance test prints on failure.
+pub fn failure_report(failures: &[Failure], scenarios: &[Scenario]) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{} conformance failure(s):", failures.len()).unwrap();
+    for failure in failures {
+        let scenario = scenarios
+            .iter()
+            .find(|s| s.name == failure.scenario)
+            .expect("failure references a known scenario");
+        let minimal = shrink(failure, scenario);
+        writeln!(out, "{minimal}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{BlockAddr, NodeId};
+
+    fn scenario() -> Scenario {
+        let mut s = Scenario::standard()
+            .into_iter()
+            .find(|s| s.name == "hot_block_contention")
+            .unwrap();
+        s.ops_per_node = 200;
+        s
+    }
+
+    #[test]
+    fn clean_runs_produce_no_failure() {
+        let s = scenario();
+        let report = s.run(ProtocolKind::TokenB, 42);
+        assert!(check(ProtocolKind::TokenB, &s, 42, s.ops_per_node, &report).is_none());
+    }
+
+    #[test]
+    fn stress_sweep_is_deterministic() {
+        let s = vec![scenario()];
+        let a = stress(&[ProtocolKind::TokenB], &s, &[1, 2]);
+        let b = stress(&[ProtocolKind::TokenB], &s, &[1, 2]);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn failure_display_contains_replay_recipe() {
+        let failure = Failure {
+            protocol: ProtocolKind::Snooping,
+            scenario: "oltp_calibration".to_string(),
+            seed: 7,
+            ops_per_node: 300,
+            violations: vec![InvariantViolation::Deadlock {
+                node: NodeId::new(5),
+                addr: BlockAddr::new(46),
+                issued_at: 100,
+                at: 900,
+            }],
+        };
+        let text = failure.to_string();
+        assert!(text.contains("replay:"));
+        assert!(text.contains("oltp_calibration"));
+        assert!(text.contains("Snooping"));
+        assert!(text.contains("seed 7"));
+        assert!(text.contains("deadlock"));
+    }
+}

@@ -26,6 +26,17 @@ pub enum AccessOutcome {
         /// Version of the block contents observed (loads) or produced
         /// (stores), used by the verification layer.
         version: u64,
+        /// Earliest instant at which the observed value may legally be
+        /// considered current — the serialization lower bound of the copy
+        /// the hit was served from. Protocols whose copies are protected by
+        /// acknowledgements (directory, hammer) or token counting (TokenB)
+        /// report the access time itself: their hits are wall-clock fresh.
+        /// Unacknowledged snooping reports the fill transaction's issue
+        /// time: a copy installed from an earlier point in the broadcast
+        /// total order may legally serve a value that a later-ordered (but
+        /// earlier-completing) remote write has already superseded, until
+        /// the invalidating broadcast arrives here.
+        valid_since: Cycle,
     },
     /// The access missed; a [`MissCompletion`] with the same [`ReqId`] will be
     /// delivered through the outbox when the protocol has obtained the block.
@@ -199,6 +210,13 @@ pub trait CoherenceController: fmt::Debug {
 
     /// Number of misses currently outstanding at this node.
     fn outstanding_misses(&self) -> usize;
+
+    /// The blocks of the misses currently outstanding at this node, used by
+    /// the deadlock/starvation audit to report *which* block a stuck
+    /// requester is waiting on.
+    fn outstanding_blocks(&self) -> Vec<BlockAddr> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

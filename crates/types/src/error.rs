@@ -116,6 +116,19 @@ pub enum InvariantViolation {
         /// Time of the audit that declared starvation.
         at: Cycle,
     },
+    /// The run hit its drain limit with requests still outstanding: the
+    /// protocol wedged (a request was stranded with no message, timer, or
+    /// event left that could ever complete it).
+    Deadlock {
+        /// Node whose request is stuck.
+        node: NodeId,
+        /// Block the stuck request is for.
+        addr: BlockAddr,
+        /// Time the stuck request was issued.
+        issued_at: Cycle,
+        /// Time the drain limit was hit.
+        at: Cycle,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -167,6 +180,16 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "{node} starved on {addr}: issued at cycle {issued_at}, still incomplete at cycle {at}"
+            ),
+            InvariantViolation::Deadlock {
+                node,
+                addr,
+                issued_at,
+                at,
+            } => write!(
+                f,
+                "deadlock: {node} stuck on {addr} (issued at cycle {issued_at}) when the drain \
+                 limit was hit at cycle {at}"
             ),
         }
     }

@@ -224,6 +224,13 @@ pub enum MsgKind {
     InvAck,
     /// Acknowledge a writeback.
     WbAck,
+    /// Snooping writeback handshake: the writer observed its own ordered PutM
+    /// but no longer holds the block (ownership was taken by a request
+    /// ordered before the PutM, or the writer pulled the block back into its
+    /// cache), so no writeback data will follow. The home uses this to close
+    /// the writeback window the PutM opened. Carries the version of the
+    /// cancelled PutM in `req_id` so out-of-order handshakes can be matched.
+    WbCancel,
     /// Requester tells the home/directory that its transaction is complete.
     Unblock,
     /// Requester tells the home it now holds the block exclusively.
@@ -290,6 +297,7 @@ impl MsgKind {
             MsgKind::Inv { .. } => "Inv",
             MsgKind::InvAck => "InvAck",
             MsgKind::WbAck => "WbAck",
+            MsgKind::WbCancel => "WbCancel",
             MsgKind::Unblock => "Unblock",
             MsgKind::ExclusiveUnblock => "ExclusiveUnblock",
             MsgKind::HammerProbe { .. } => "HammerProbe",

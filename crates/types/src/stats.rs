@@ -57,6 +57,7 @@ impl TrafficClass {
             | MsgKind::TokenOnly { .. }
             | MsgKind::InvAck
             | MsgKind::WbAck
+            | MsgKind::WbCancel
             | MsgKind::Unblock
             | MsgKind::ExclusiveUnblock => TrafficClass::OtherControl,
         }

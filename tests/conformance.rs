@@ -1,0 +1,158 @@
+//! Cross-protocol conformance stress suite.
+//!
+//! Every protocol — snooping, directory, hammer, and TokenB — is driven
+//! through the same seeded contended scenarios under the same
+//! safety/liveness oracle, the mechanical version of the paper's claim that
+//! the correctness substrate is independent of the performance protocol. A
+//! failure prints a *shrunk*, deterministic replay recipe (see
+//! `tc_testkit::shrink`): protocol, scenario, seed, and the minimal
+//! per-node operation count that still reproduces it.
+//!
+//! CI runs this file in release mode as its own job step
+//! (`cargo test --release --test conformance`); any `InvariantViolation` —
+//! including the structured `Deadlock` the runner emits when the drain limit
+//! is hit — fails the sweep.
+
+use token_coherence::prelude::*;
+use token_coherence::types::InvariantViolation;
+
+use tc_testkit::{failure_report, stress, token_pump, PumpOptions, Scenario};
+
+/// The fixed seed set for the sweep: 16 seeds, deliberately spanning small
+/// integers (the ones humans try first when reproducing) and bit-heavy
+/// values (which decorrelate the per-node workload streams differently).
+const SEEDS: [u64; 16] = [
+    1, 2, 3, 7, 12, 42, 99, 1234, 2026, 0xBEEF, 0xCAFE, 0x5EED, 0xFACE, 0xA11CE, 0xB0B, 0xD00D,
+];
+
+/// The full conformance matrix: all four protocols x all standard scenarios
+/// x all fixed seeds, with zero invariant violations and zero deadlocks
+/// tolerated. This is the test that used to be impossible: the snooping
+/// baseline deadlocked on the writeback race under exactly these workloads.
+#[test]
+fn all_protocols_conform_on_all_contended_scenarios() {
+    let scenarios = Scenario::standard();
+    assert!(scenarios.len() >= 3);
+    let failures = stress(&ProtocolKind::ALL, &scenarios, &SEEDS);
+    assert!(
+        failures.is_empty(),
+        "{}",
+        failure_report(&failures, &scenarios)
+    );
+}
+
+/// Deadlocks must surface as structured violations, not hangs: a wedged run
+/// reports `Deadlock { node, addr, .. }` naming the stuck requester and the
+/// block it is waiting on. This exercises the reporting path end-to-end by
+/// giving a run effectively no time to finish: the run trips its
+/// cycle ceiling and drain limit, and every still-outstanding request is
+/// attributed to a node and block.
+#[test]
+fn drain_limit_hits_surface_as_structured_deadlock_violations() {
+    let scenario = Scenario::by_name("oltp_calibration").unwrap();
+    let config = scenario.config(ProtocolKind::TokenB, 1);
+    let mut system = System::build(&config, &scenario.workload);
+    let report = system.run(RunOptions {
+        ops_per_node: 10_000,
+        // Far too few cycles to finish: the clock passes max_cycles with
+        // misses in flight, and the doubled drain limit cuts them off.
+        max_cycles: 300,
+    });
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::Deadlock { .. })),
+        "expected structured Deadlock violations, got {:?}",
+        report.violations
+    );
+    for violation in &report.violations {
+        if let InvariantViolation::Deadlock { node, addr, at, .. } = violation {
+            assert!(node.index() < config.num_nodes);
+            assert!(*at >= 300, "deadlock reported before the drain limit");
+            // The violation attributes the wedge to a block the stuck node
+            // is actually still waiting on — not a placeholder.
+            assert!(
+                system.outstanding_blocks(*node).contains(addr),
+                "{node} reported stuck on {addr}, but its outstanding blocks are {:?}",
+                system.outstanding_blocks(*node)
+            );
+        }
+    }
+}
+
+/// Satellite: token conservation as a *continuous* property under random
+/// message interleavings and timeout/retry storms, not just at quiescence.
+/// The pump delivers messages in adversarial random order and fires reissue
+/// timers as soon as they are due, auditing `sum(tokens) == T` and
+/// single-owner after every step (hand-rolled on `DeterministicRng`, per the
+/// offline-dependency policy).
+#[test]
+fn tokenb_conserves_tokens_across_random_interleavings_and_retry_storms() {
+    let mut seeds = token_coherence::sim::DeterministicRng::new(0x70_6b_73);
+    for _ in 0..8 {
+        let seed = seeds.next_below(1_000_000);
+        let outcome = token_pump(
+            PumpOptions {
+                num_nodes: 4,
+                num_blocks: 4,
+                steps: 1_500,
+                issue_chance: 0.25,
+            },
+            seed,
+        );
+        assert!(outcome.issued > 0, "seed {seed}: pump issued nothing");
+        assert!(
+            outcome.timer_firings > 0,
+            "seed {seed}: no retry storm materialized"
+        );
+        assert!(outcome.audits > outcome.issued);
+    }
+}
+
+/// Satellite: the engine determinism pin. The benchmark configuration
+/// (TokenB, OLTP, 4 nodes, 20k ops/node, seed 12 — exactly what
+/// `engine_throughput` measures) must deliver *precisely* this many events.
+/// If a pure-performance engine change moves this number, simulation
+/// behaviour drifted and the perf trajectory is no longer comparable; see
+/// DESIGN.md "Determinism is load-bearing".
+#[test]
+fn benchmark_configuration_event_count_is_pinned() {
+    let config = SystemConfig::isca03_default()
+        .with_nodes(4)
+        .with_protocol(ProtocolKind::TokenB)
+        .with_seed(12);
+    let mut system = System::build(&config, &WorkloadProfile::oltp());
+    let report = system.run(RunOptions {
+        ops_per_node: 20_000,
+        max_cycles: 1_000_000_000,
+    });
+    assert!(report.verified().is_ok(), "{:?}", report.violations);
+    assert_eq!(
+        system.events_delivered(),
+        317_430,
+        "events_delivered drifted: the engine's simulated behaviour changed \
+         (update BENCH_engine.json and DESIGN.md only if the change is an \
+         intentional semantic fix, never for a perf-only change)"
+    );
+}
+
+/// Replaying a failing seed must be bit-identical: the failure reporter's
+/// replay recipe is only trustworthy if `(protocol, scenario, seed, ops)`
+/// fully determines the run.
+#[test]
+fn conformance_cells_replay_identically() {
+    let scenario = Scenario::by_name("eviction_storm").unwrap();
+    for protocol in ProtocolKind::ALL {
+        let a = scenario.run_with_ops(protocol, 0xD00D, 200);
+        let b = scenario.run_with_ops(protocol, 0xD00D, 200);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles, "{protocol}");
+        assert_eq!(a.total_ops, b.total_ops, "{protocol}");
+        assert_eq!(
+            a.traffic.total_link_bytes(),
+            b.traffic.total_link_bytes(),
+            "{protocol}"
+        );
+        assert_eq!(a.violations, b.violations, "{protocol}");
+    }
+}

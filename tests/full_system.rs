@@ -2,6 +2,7 @@
 //! every commercial workload, checked by the verification layer.
 
 use token_coherence::prelude::*;
+use token_coherence::types::InvariantViolation;
 
 fn run(
     protocol: ProtocolKind,
@@ -14,13 +15,8 @@ fn run(
         .with_protocol(protocol)
         .with_seed(2026);
     // A smaller L2 keeps the runs short while still exercising evictions and
-    // writebacks. The snooping baseline keeps the full-size L2: under heavy
-    // eviction pressure it can wedge on a writeback race (a known limitation
-    // documented in DESIGN.md), which would otherwise mask the checks this
-    // test is about.
-    if protocol != ProtocolKind::Snooping {
-        config.l2.size_bytes = 512 * 1024;
-    }
+    // writebacks (for snooping, that includes the writeback-ack handshake).
+    config.l2.size_bytes = 512 * 1024;
     let mut system = System::build(&config, &workload);
     system.run(RunOptions {
         ops_per_node: ops,
@@ -28,19 +24,35 @@ fn run(
     })
 }
 
+/// Every stuck request surfaces as a structured violation: a drain-limit cut
+/// is a `Deadlock { node, addr, .. }` naming the stuck requester and block,
+/// a drained-but-incomplete run is a `Starvation`. This assertion makes any
+/// protocol wedge a loud, attributable test failure rather than a hang.
+fn assert_live(report: &token_coherence::system::RunReport, context: &str) {
+    let stuck: Vec<String> = report
+        .violations
+        .iter()
+        .filter(|v| {
+            matches!(
+                v,
+                InvariantViolation::Deadlock { .. } | InvariantViolation::Starvation { .. }
+            )
+        })
+        .map(|v| v.to_string())
+        .collect();
+    assert!(stuck.is_empty(), "{context}: protocol wedged: {stuck:?}");
+}
+
 #[test]
 fn every_protocol_passes_verification_on_every_commercial_workload() {
+    // All four protocols, including the snooping baseline: the writeback-ack
+    // handshake closed the race that used to wedge it on the contended
+    // 8-node configurations.
     for protocol in ProtocolKind::ALL {
         for workload in WorkloadProfile::commercial() {
-            // Known limitation (DESIGN.md): the snooping baseline can wedge
-            // on some highly shared 8-node configurations; it is covered by
-            // its own unit tests, the 4-node system tests, and the
-            // hot-block property tests instead.
-            if protocol == ProtocolKind::Snooping {
-                continue;
-            }
             let name = workload.name;
             let report = run(protocol, workload, 8, 1_200);
+            assert_live(&report, &format!("{protocol} on {name}"));
             assert!(
                 report.verified().is_ok(),
                 "{protocol} on {name}: {:?}",
