@@ -3,14 +3,30 @@
 //!
 //! Unlike the figure/table binaries, this benchmark measures the *simulator*
 //! rather than the simulated protocols, so future PRs that touch the hot path
-//! have a recorded perf trajectory. The configuration is fixed (TokenB, OLTP,
-//! 4 nodes, 20 000 ops/node by default) and the result is written to
+//! have a recorded perf trajectory. The default configuration is fixed
+//! (TokenB, OLTP, 4 nodes, 20 000 ops/node) and the result is written to
 //! `BENCH_engine.json` at the workspace root.
 //!
 //! The first recorded measurement is kept as `baseline_events_per_sec`;
 //! subsequent runs update `events_per_sec` and `speedup_vs_baseline` but
 //! preserve the baseline, so the JSON always answers "how much faster than
 //! the first commit is the engine now?".
+//!
+//! Modes beyond the default measurement:
+//!
+//! * `--check <path>`: regression gate. After measuring, compare against the
+//!   `events_per_sec` recorded in `<path>` and exit non-zero if this run is
+//!   more than `--tolerance` (default 0.30) below it. The tolerance is
+//!   deliberately generous: shared CI runners and noisy-neighbour hosts
+//!   swing wall-clock measurements by tens of percent, and the gate exists
+//!   to catch order-of-magnitude regressions, not 5% drift. On hardware
+//!   unrelated to the machine that recorded the file, gate against the
+//!   seed-engine figure instead (`--check-key baseline_events_per_sec`) —
+//!   an absolute same-machine number would fail forever on a slower host.
+//! * `--sweep64`: measure the 64-node scale configuration instead (one
+//!   timed run — it is ~50x the default event count) and *merge* the result
+//!   into the output file as `sweep64_*` fields, preserving the 4-node
+//!   trajectory fields already there.
 
 use std::time::Instant;
 
@@ -18,30 +34,66 @@ use tc_system::{RunOptions, System};
 use tc_types::{ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
 
-/// Number of timed runs; the fastest is reported to suppress scheduler noise.
-const TIMED_RUNS: usize = 5;
+/// Default number of timed runs; the fastest is reported to suppress
+/// scheduler and noisy-neighbour interference (the minimum of n wall-clock
+/// samples converges on the true cost as n grows).
+const TIMED_RUNS: usize = 7;
+
+/// Short description of the engine configuration being measured, recorded in
+/// the JSON so trajectory points are attributable to engine generations.
+const ENGINE_CONFIG: &str = "calendar-queue + msg-arena";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut ops_per_node: u64 = 20_000;
     let mut num_nodes: usize = 4;
     let mut out_path = "BENCH_engine.json".to_string();
-    for window in args.windows(2) {
-        match window[0].as_str() {
-            "--ops" => {
-                if let Ok(v) = window[1].parse() {
-                    ops_per_node = v;
-                }
+    let mut check_path: Option<String> = None;
+    let mut check_key = "events_per_sec".to_string();
+    let mut tolerance: f64 = 0.30;
+    let mut runs = TIMED_RUNS;
+    let mut runs_explicit = false;
+    let mut sweep64 = false;
+    // Strict parsing: a flag with a missing value is a usage error, not a
+    // silently-empty string (an empty `--check` path would make the
+    // regression gate a no-op that still exits 0).
+    let mut i = 1;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("usage: {arg} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg {
+            "--ops" => ops_per_node = parse_or_die(arg, &value()),
+            "--nodes" => num_nodes = parse_or_die(arg, &value()),
+            "--runs" => {
+                runs = parse_or_die(arg, &value());
+                runs_explicit = true;
             }
-            "--nodes" => {
-                if let Ok(v) = window[1].parse() {
-                    num_nodes = v;
-                }
+            "--out" => out_path = value(),
+            "--check" => check_path = Some(value()),
+            "--check-key" => check_key = value(),
+            "--tolerance" => tolerance = parse_or_die(arg, &value()),
+            "--sweep64" => sweep64 = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
             }
-            "--out" => {
-                out_path = window[1].clone();
-            }
-            _ => {}
+        }
+        i += 1;
+    }
+    let check_key = format!("\"{check_key}\":");
+
+    if sweep64 {
+        num_nodes = 64;
+        // One timed pass unless --runs asks for more: the sweep
+        // configuration delivers billions of events per run.
+        if !runs_explicit {
+            runs = 1;
         }
     }
 
@@ -52,20 +104,22 @@ fn main() {
     let profile = WorkloadProfile::oltp();
     let options = RunOptions {
         ops_per_node,
-        max_cycles: 1_000_000_000,
+        max_cycles: 200_000_000_000,
     };
 
-    // Warmup run: page in the binary, warm the allocator.
-    eprintln!("warmup ...");
-    run_once(&config, &profile, options);
+    if !sweep64 {
+        // Warmup run: page in the binary, warm the allocator.
+        eprintln!("warmup ...");
+        run_once(&config, &profile, options);
+    }
 
     let mut best_events_per_sec = 0.0f64;
     let mut best = (0u64, 0.0f64);
-    for i in 0..TIMED_RUNS {
+    for i in 0..runs {
         let (events, secs) = run_once(&config, &profile, options);
         let rate = events as f64 / secs;
         eprintln!(
-            "run {}/{TIMED_RUNS}: {events} events in {secs:.3} s = {rate:.0} events/s",
+            "run {}/{runs}: {events} events in {secs:.3} s = {rate:.0} events/s",
             i + 1
         );
         if rate > best_events_per_sec {
@@ -74,19 +128,105 @@ fn main() {
         }
     }
 
-    let baseline = read_baseline(&out_path).unwrap_or(best_events_per_sec);
-    let speedup = best_events_per_sec / baseline;
-    let json = format!(
-        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"protocol\": \"TokenB\",\n  \
-         \"workload\": \"oltp\",\n  \"num_nodes\": {num_nodes},\n  \
-         \"ops_per_node\": {ops_per_node},\n  \"events_delivered\": {},\n  \
-         \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
-         \"baseline_events_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.3}\n}}\n",
-        best.0, best.1, best_events_per_sec, baseline, speedup
-    );
+    let check_reference = check_path.as_ref().and_then(|path| {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| read_number(&text, &check_key))
+    });
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let json = if sweep64 {
+        // Merge: keep every existing 4-node trajectory line, replace (or
+        // append) the sweep64 block.
+        let kept: String = previous
+            .lines()
+            .filter(|l| !l.contains("\"sweep64_") && !l.trim().is_empty() && *l != "{" && *l != "}")
+            .map(|l| {
+                let l = l.trim_end();
+                if l.ends_with(',') {
+                    format!("{l}\n")
+                } else {
+                    format!("{l},\n")
+                }
+            })
+            .collect();
+        format!(
+            "{{\n{kept}  \"sweep64_nodes\": {num_nodes},\n  \
+             \"sweep64_ops_per_node\": {ops_per_node},\n  \
+             \"sweep64_events_delivered\": {},\n  \"sweep64_wall_seconds\": {:.3},\n  \
+             \"sweep64_events_per_sec\": {:.0}\n}}\n",
+            best.0, best.1, best_events_per_sec
+        )
+    } else {
+        let baseline =
+            read_number(&previous, "\"baseline_events_per_sec\":").unwrap_or(best_events_per_sec);
+        let speedup = best_events_per_sec / baseline;
+        let sweep_tail: String = previous
+            .lines()
+            .filter(|l| l.contains("\"sweep64_"))
+            .map(|l| {
+                let l = l.trim_end().trim_end_matches(',');
+                format!("  {},\n", l.trim_start())
+            })
+            .collect();
+        let sweep_tail = if sweep_tail.is_empty() {
+            String::new()
+        } else {
+            // Re-ordered below the headline fields; trailing comma fixed up.
+            sweep_tail
+        };
+        let mut body = format!(
+            "  \"benchmark\": \"engine_throughput\",\n  \"engine\": \"{ENGINE_CONFIG}\",\n  \
+             \"protocol\": \"TokenB\",\n  \"workload\": \"oltp\",\n  \
+             \"num_nodes\": {num_nodes},\n  \"ops_per_node\": {ops_per_node},\n  \
+             \"events_delivered\": {},\n  \"wall_seconds\": {:.6},\n  \
+             \"events_per_sec\": {:.0},\n  \"baseline_events_per_sec\": {:.0},\n  \
+             \"speedup_vs_baseline\": {:.3},\n",
+            best.0, best.1, best_events_per_sec, baseline, speedup
+        );
+        body.push_str(&sweep_tail);
+        let body = body.trim_end().trim_end_matches(',');
+        format!("{{\n{body}\n}}\n")
+    };
     std::fs::write(&out_path, &json).expect("write benchmark result");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    if let Some(check_path) = check_path {
+        // `check_reference` was read before the write above, so checking
+        // against the file just (re)written still gates on the previous
+        // record rather than on this run's own result.
+        match check_reference {
+            Some(recorded) if recorded > 0.0 => {
+                let floor = recorded * (1.0 - tolerance);
+                if best_events_per_sec < floor {
+                    eprintln!(
+                        "REGRESSION: {best_events_per_sec:.0} events/s is more than \
+                         {:.0}% below the recorded {recorded:.0} events/s \
+                         ({check_key} in {check_path})",
+                        tolerance * 100.0
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "check ok: {best_events_per_sec:.0} events/s >= {floor:.0} \
+                     ({recorded:.0} {check_key} recorded in {check_path}, {:.0}% tolerance)",
+                    tolerance * 100.0
+                );
+            }
+            _ => {
+                eprintln!("REGRESSION CHECK FAILED: no {check_key} number found in {check_path}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Parses a flag value or exits with a usage error.
+fn parse_or_die<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("usage: {flag} got an unparseable value: {value:?}");
+        std::process::exit(2);
+    })
 }
 
 /// Builds a fresh system and times one run, returning (events, seconds).
@@ -103,13 +243,10 @@ fn run_once(config: &SystemConfig, profile: &WorkloadProfile, options: RunOption
     (system.events_delivered(), secs)
 }
 
-/// Extracts `baseline_events_per_sec` from a previous result file, if any.
-///
-/// The file is our own fixed-shape output, so a tiny string scan is enough —
-/// no JSON dependency needed in the offline build environment.
-fn read_baseline(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"baseline_events_per_sec\":";
+/// Extracts the first number after `key` from our own fixed-shape output.
+/// A tiny string scan instead of a JSON dependency, per the offline build
+/// environment's no-external-crates policy.
+fn read_number(text: &str, key: &str) -> Option<f64> {
     let at = text.find(key)? + key.len();
     let rest = text[at..].trim_start();
     let end = rest

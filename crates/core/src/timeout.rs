@@ -210,7 +210,7 @@ mod tests {
                 .expect("reissue timer armed");
             let getm = out.messages[0].clone();
             let mut home_out = Outbox::new();
-            home.handle_message(40, getm, &mut home_out);
+            home.handle_message(40, &getm, &mut home_out);
             let data = home_out
                 .messages
                 .iter()
@@ -234,7 +234,7 @@ mod tests {
         fn tokens_arriving_before_the_same_cycle_timeout_win() {
             let (mut requester, fire_at, reissue, data, home) = setup();
             let mut out = Outbox::new();
-            requester.handle_message(fire_at, data, &mut out);
+            requester.handle_message(fire_at, &data, &mut out);
             assert_eq!(out.completions.len(), 1, "miss completes on the data");
             // The timeout fires in the very same cycle, after the tokens
             // landed: it must not reissue, re-arm, or double-complete.
@@ -259,7 +259,7 @@ mod tests {
             );
             // The tokens land in the same cycle: exactly one completion.
             let mut out = Outbox::new();
-            requester.handle_message(fire_at, data, &mut out);
+            requester.handle_message(fire_at, &data, &mut out);
             assert_eq!(out.completions.len(), 1);
             assert_eq!(requester.tokens_held(BlockAddr::new(0)), 16);
 
@@ -268,7 +268,7 @@ mod tests {
             let mut home_out = Outbox::new();
             for msg in &reissued.messages {
                 if msg.dest.includes(0.into(), msg.src) {
-                    home.handle_message(fire_at + 40, msg.clone(), &mut home_out);
+                    home.handle_message(fire_at + 40, msg, &mut home_out);
                 }
             }
             let mut supplied = Outbox::new();

@@ -141,11 +141,6 @@ impl TokenBController {
         cache + memory
     }
 
-    fn unique_version(&mut self) -> u64 {
-        self.store_counter += 1;
-        ((self.node.index() as u64 + 1) << 40) | self.store_counter
-    }
-
     fn is_home(&self, addr: BlockAddr) -> bool {
         self.home_map.is_home(self.node, addr)
     }
@@ -657,20 +652,6 @@ impl TokenBController {
             .release(addr)
             .expect("checked present immediately above");
 
-        // Perform the pending operations in order against the cache line.
-        let mut completions = Vec::with_capacity(mshr.pending.len());
-        for op in &mshr.pending {
-            let version = if op.write {
-                let v = self.unique_version();
-                let line = self.l2.get(addr).expect("line present");
-                line.version = v;
-                line.dirty = true;
-                v
-            } else {
-                self.l2.peek(addr).expect("line present").version
-            };
-            completions.push((op.req_id, version));
-        }
         let kind = if mshr.write {
             if mshr.upgrade {
                 MissKind::Upgrade
@@ -681,9 +662,24 @@ impl TokenBController {
             MissKind::Read
         };
         let cache_to_cache = mshr.data_from_cache;
-        for (req_id, version) in completions {
+        // Perform the pending operations in order against the cache line,
+        // completing each directly into the outbox (the MSHR is owned here,
+        // so no borrow forces an intermediate collection), with one L2
+        // lookup for the whole batch.
+        let node_bits = (self.node.index() as u64 + 1) << 40;
+        let line = self.l2.get(addr).expect("line present");
+        for op in &mshr.pending {
+            let version = if op.write {
+                self.store_counter += 1;
+                let v = node_bits | self.store_counter;
+                line.version = v;
+                line.dirty = true;
+                v
+            } else {
+                line.version
+            };
             out.complete(MissCompletion {
-                req_id,
+                req_id: op.req_id,
                 addr,
                 kind,
                 issued_at: mshr.issued_at,
@@ -963,10 +959,15 @@ impl CoherenceController for TokenBController {
         };
 
         let total = self.total_tokens;
-        if let Some(line) = self.l2.get(addr).copied() {
+        let node_bits = (self.node.index() as u64 + 1) << 40;
+        // One L2 lookup serves the whole hit path: the version bump for a
+        // write hit touches `store_counter` and `stats` directly (disjoint
+        // fields), so the mutable line borrow never needs re-establishing.
+        let mut had_readable_copy = false;
+        if let Some(line) = self.l2.get(addr) {
             if write && line.writable(total) {
-                let version = self.unique_version();
-                let line = self.l2.get(addr).expect("line present");
+                self.store_counter += 1;
+                let version = node_bits | self.store_counter;
                 line.version = version;
                 line.dirty = true;
                 if l1_hit {
@@ -981,6 +982,7 @@ impl CoherenceController for TokenBController {
                 };
             }
             if !write && line.readable() {
+                let version = line.version;
                 if l1_hit {
                     self.stats.misses.l1_hits += 1;
                 } else {
@@ -988,14 +990,14 @@ impl CoherenceController for TokenBController {
                 }
                 return AccessOutcome::Hit {
                     latency: hit_latency,
-                    version: line.version,
+                    version,
                     valid_since: now,
                 };
             }
+            had_readable_copy = line.readable();
         }
 
         // Miss: merge into an existing MSHR or allocate a new one.
-        let had_readable_copy = self.l2.peek(addr).map(|l| l.readable()).unwrap_or(false);
         if let Some(mshr) = self.mshrs.get_mut(addr) {
             mshr.pending.push(PendingOp {
                 req_id: op.id,
@@ -1031,10 +1033,10 @@ impl CoherenceController for TokenBController {
         AccessOutcome::Miss
     }
 
-    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+    fn handle_message(&mut self, now: Cycle, msg: &Message, out: &mut Outbox) {
         self.stats.messages_received += 1;
         let addr = msg.addr;
-        match msg.kind.clone() {
+        match &msg.kind {
             MsgKind::GetS => self.respond_to_request(now, msg.src, addr, false, out),
             MsgKind::GetM => self.respond_to_request(now, msg.src, addr, true, out),
             MsgKind::TokenData {
@@ -1047,24 +1049,24 @@ impl CoherenceController for TokenBController {
                 now,
                 msg.src,
                 addr,
-                tokens,
-                owner,
-                dirty,
-                from_memory,
-                Some(payload),
+                *tokens,
+                *owner,
+                *dirty,
+                *from_memory,
+                Some(*payload),
                 msg.vnet,
                 out,
             ),
             MsgKind::TokenOnly { tokens } => self.receive_tokens(
-                now, msg.src, addr, tokens, false, false, false, None, msg.vnet, out,
+                now, msg.src, addr, *tokens, false, false, false, None, msg.vnet, out,
             ),
             MsgKind::PersistentRequest { write } => {
                 debug_assert!(self.is_home(addr), "persistent request at non-home node");
-                let actions = self.arbiter.request(addr, msg.src, write);
+                let actions = self.arbiter.request(addr, msg.src, *write);
                 self.apply_arbiter_actions(now, actions, out);
             }
             MsgKind::PersistentActivate { requester, write } => {
-                self.activate_locally(now, addr, requester, write, out);
+                self.activate_locally(now, addr, *requester, *write, out);
                 self.ack_arbiter(now, addr, out);
             }
             MsgKind::PersistentDeactivate => {
@@ -1202,7 +1204,7 @@ mod tests {
         let mut next = Outbox::new();
         for msg in &out.messages {
             if msg.dest.includes(to.node(), msg.src) {
-                to.handle_message(now, msg.clone(), &mut next);
+                to.handle_message(now, msg, &mut next);
             }
         }
         next
@@ -1368,7 +1370,7 @@ mod tests {
             100,
         );
         let mut out = Outbox::new();
-        c.handle_message(100, gets, &mut out);
+        c.handle_message(100, &gets, &mut out);
         assert_eq!(out.messages.len(), 1);
         match &out.messages[0].kind {
             MsgKind::TokenData { tokens, owner, .. } => {
@@ -1409,7 +1411,7 @@ mod tests {
             50,
         );
         let mut out = Outbox::new();
-        c.handle_message(50, getm, &mut out);
+        c.handle_message(50, &getm, &mut out);
         assert_eq!(out.messages.len(), 1);
         assert_eq!(out.messages[0].kind, MsgKind::TokenOnly { tokens: 2 });
         assert_eq!(c.cache_state_name(BlockAddr::new(0)), "I");
@@ -1440,7 +1442,7 @@ mod tests {
             50,
         );
         let mut out = Outbox::new();
-        c.handle_message(50, gets, &mut out);
+        c.handle_message(50, &gets, &mut out);
         assert!(out.messages.is_empty(), "a non-owner sharer stays silent");
     }
 
@@ -1537,7 +1539,7 @@ mod tests {
             100,
         );
         let mut out = Outbox::new();
-        holder.handle_message(100, activate, &mut out);
+        holder.handle_message(100, &activate, &mut out);
         // The holder forwards everything to node 3 and acks the arbiter.
         let forwarded = out
             .messages
@@ -1562,7 +1564,7 @@ mod tests {
             200,
         );
         let mut out = Outbox::new();
-        holder.handle_message(200, late, &mut out);
+        holder.handle_message(200, &late, &mut out);
         assert_eq!(out.messages.len(), 1);
         assert_eq!(out.messages[0].dest, Destination::Node(NodeId::new(3)));
 
@@ -1576,7 +1578,7 @@ mod tests {
             300,
         );
         let mut out = Outbox::new();
-        holder.handle_message(300, deactivate, &mut out);
+        holder.handle_message(300, &deactivate, &mut out);
         let late2 = Message::new(
             NodeId::new(1),
             Destination::Node(NodeId::new(2)),
@@ -1586,7 +1588,7 @@ mod tests {
             400,
         );
         let mut out = Outbox::new();
-        holder.handle_message(400, late2, &mut out);
+        holder.handle_message(400, &late2, &mut out);
         assert!(out.messages.is_empty());
         assert_eq!(holder.tokens_held(BlockAddr::new(0)), 1);
     }
@@ -1619,7 +1621,7 @@ mod tests {
             10,
         );
         let mut out = Outbox::new();
-        holder.handle_message(10, activate, &mut out);
+        holder.handle_message(10, &activate, &mut out);
 
         // A racing transient GetM from node 1 is ignored: node 3's persistent
         // request owns every token for this block until deactivation.
@@ -1632,7 +1634,7 @@ mod tests {
             20,
         );
         let mut out = Outbox::new();
-        holder.handle_message(20, getm, &mut out);
+        holder.handle_message(20, &getm, &mut out);
         assert!(out.messages.is_empty());
     }
 
@@ -1701,11 +1703,11 @@ mod tests {
             Vnet::Request,
             10,
         );
-        home.handle_message(10, getm, &mut out);
+        home.handle_message(10, &getm, &mut out);
         assert_eq!(home.tokens_held(BlockAddr::new(0)), 0);
 
         let mut out = Outbox::new();
-        home.handle_message(500, wb, &mut out);
+        home.handle_message(500, &wb, &mut out);
         assert!(out.messages.is_empty());
         assert_eq!(home.tokens_held(BlockAddr::new(0)), 16);
         let audit = home.audit_block(BlockAddr::new(0));

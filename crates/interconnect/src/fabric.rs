@@ -6,7 +6,7 @@ use tc_types::{
     TopologyKind, TrafficClass, TrafficStats,
 };
 
-use crate::topology::{LinkId, RouterId, Topology};
+use crate::topology::{LinkDescriptor, LinkId, RouterId, Topology};
 use crate::torus::TorusTopology;
 use crate::tree::TreeTopology;
 
@@ -143,6 +143,10 @@ pub struct Interconnect {
     routes: RouteTable,
     /// The router each node injects into, by node index.
     node_routers: Vec<RouterId>,
+    /// Link endpoints copied out of the topology at construction, so the
+    /// per-link tree walk reads a flat array instead of making a virtual
+    /// `Topology::links` call every iteration.
+    link_descriptors: Vec<LinkDescriptor>,
     /// Index of each distinct `(source, destination)` pattern in `trees`.
     tree_cache: FastHashMap<(NodeId, Destination), usize>,
     /// The cached multicast trees, appended on first use of each pattern.
@@ -175,6 +179,7 @@ impl Interconnect {
             .collect();
         let num_routers = topology.num_routers();
         let num_links = topology.links().len();
+        let link_descriptors = topology.links().to_vec();
         Interconnect {
             topology,
             config,
@@ -185,6 +190,7 @@ impl Interconnect {
             injection_free_at: vec![0; num_nodes],
             routes,
             node_routers,
+            link_descriptors,
             tree_cache: FastHashMap::default(),
             trees: Vec::new(),
             scratch_tree: CachedTree::default(),
@@ -259,10 +265,27 @@ impl Interconnect {
         deliveries
     }
 
-    /// [`Interconnect::send`] writing into a caller-supplied buffer, so the
-    /// steady-state event loop can reuse one allocation across all sends.
-    /// Deliveries are appended; the buffer is not cleared.
+    /// [`Interconnect::send`] writing into a caller-supplied buffer.
+    /// Deliveries are appended; the buffer is not cleared. Tests and tools
+    /// use this payload-carrying shape; the hot event loop uses
+    /// [`Interconnect::send_arrivals`] and never clones the message.
     pub fn send_into(&mut self, now: Cycle, msg: &Message, out: &mut Vec<Delivery>) {
+        let mut arrivals = Vec::new();
+        self.send_arrivals(now, msg, &mut arrivals);
+        out.extend(arrivals.into_iter().map(|(at, node)| Delivery {
+            at,
+            node,
+            msg: msg.clone(),
+        }));
+    }
+
+    /// The routing/timing core of [`Interconnect::send_into`]: computes when
+    /// and where the message arrives without cloning it, appending
+    /// `(arrival time, node)` pairs. The hot event loop uses this so the
+    /// single in-flight copy of a message can live in a slab arena and queue
+    /// entries stay small; `send_into` keeps the delivery-with-payload shape
+    /// for tests and tools.
+    pub fn send_arrivals(&mut self, now: Cycle, msg: &Message, out: &mut Vec<(Cycle, NodeId)>) {
         let key = (msg.src, msg.dest.clone());
         let tree_index = match self.tree_cache.get(&key) {
             Some(&index) => Some(index),
@@ -323,7 +346,7 @@ impl Interconnect {
         // a link's upstream router always has an arrival time by the time we
         // process it.
         for link_id in &tree.tree_links {
-            let descriptor = self.topology.links()[link_id.index()];
+            let descriptor = self.link_descriptors[link_id.index()];
             // A hard assert, not a debug_assert: if a topology ever violates
             // the prefix-closed routing contract, reading a stale arrival
             // stamp would silently produce wrong delivery times in release
@@ -380,11 +403,7 @@ impl Interconnect {
                 }
             };
             self.total_deliveries += 1;
-            out.push(Delivery {
-                at,
-                node: dst,
-                msg: msg.clone(),
-            });
+            out.push((at, dst));
         }
     }
 

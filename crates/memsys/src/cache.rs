@@ -23,12 +23,45 @@ pub struct CacheLine<S> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<S> {
     num_sets: usize,
+    /// `num_sets - 1` when `num_sets` is a power of two (the common case:
+    /// every configured geometry divides powers-of-two sizes), letting
+    /// [`SetAssocCache::set_index`] mask instead of paying an integer
+    /// division on every lookup of the hot access path. Zero disables it.
+    set_mask: u64,
     ways: usize,
-    sets: Vec<Vec<CacheLine<S>>>,
+    /// Block tags, `ways` consecutive entries per set, struct-of-arrays
+    /// against `states`/`last_use`: a set probe scans one contiguous run of
+    /// bare `u64`s (a whole 4-way set fits in a single host cache line) and
+    /// touches the bulkier state arrays only on a hit. [`EMPTY_TAG`] marks
+    /// an invalid way. This matters because the simulated L2 tag arrays are
+    /// far larger than the host's caches: the probe is a dependent-load
+    /// chain and every avoided line is an avoided stall.
+    tags: Vec<u64>,
+    /// Per-slot protocol state; `None` on empty ways (parallel to `tags`).
+    states: Vec<Option<S>>,
+    /// Per-slot LRU stamp (parallel to `tags`; garbage on empty ways).
+    last_use: Vec<u64>,
+    len: usize,
     use_counter: u64,
     lookups: u64,
     hits: u64,
     evictions: u64,
+}
+
+/// Tag marking an empty way. A real block with this address would need the
+/// simulated physical address space to reach `2^64` bytes times the block
+/// size; [`SetAssocCache::insert`] debug-asserts against it.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// Outcome of [`SetAssocCache::probe_for_fill`].
+#[derive(Debug, Clone, Copy)]
+enum FillSlot {
+    /// The block is already resident at this slot.
+    Resident(usize),
+    /// The block is absent; this free way takes it without eviction.
+    Free(usize),
+    /// The set is full; this LRU way is the victim.
+    Evict(usize),
 }
 
 impl<S> SetAssocCache<S> {
@@ -40,15 +73,7 @@ impl<S> SetAssocCache<S> {
     /// [`CacheConfig::num_sets`]).
     pub fn new(config: &CacheConfig, block_bytes: u64) -> Self {
         let num_sets = config.num_sets(block_bytes);
-        SetAssocCache {
-            num_sets,
-            ways: config.associativity,
-            sets: (0..num_sets).map(|_| Vec::new()).collect(),
-            use_counter: 0,
-            lookups: 0,
-            hits: 0,
-            evictions: 0,
-        }
+        SetAssocCache::with_geometry(num_sets, config.associativity)
     }
 
     /// Builds a cache directly from a set count and associativity (useful for
@@ -57,8 +82,16 @@ impl<S> SetAssocCache<S> {
         assert!(num_sets > 0 && ways > 0, "degenerate cache geometry");
         SetAssocCache {
             num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets as u64 - 1
+            } else {
+                0
+            },
             ways,
-            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            tags: vec![EMPTY_TAG; num_sets * ways],
+            states: (0..num_sets * ways).map(|_| None).collect(),
+            last_use: vec![0; num_sets * ways],
+            len: 0,
             use_counter: 0,
             lookups: 0,
             hits: 0,
@@ -66,8 +99,58 @@ impl<S> SetAssocCache<S> {
         }
     }
 
+    /// Where a fill of `addr` would land in its set: the resident slot if
+    /// the block is already cached, otherwise the first free way, otherwise
+    /// the LRU way. One probe discipline shared by every filling operation
+    /// ([`SetAssocCache::insert`], [`SetAssocCache::touch`],
+    /// [`SetAssocCache::victim_for`]) so eviction order can never silently
+    /// diverge between them — `events_delivered` determinism rides on it.
+    #[inline]
+    fn probe_for_fill(&self, addr: BlockAddr) -> FillSlot {
+        let start = self.set_index(addr) * self.ways;
+        let tag = addr.value();
+        let mut free: Option<usize> = None;
+        let mut lru: Option<usize> = None;
+        for i in start..start + self.ways {
+            let t = self.tags[i];
+            if t == tag {
+                return FillSlot::Resident(i);
+            }
+            if t == EMPTY_TAG {
+                if free.is_none() {
+                    free = Some(i);
+                }
+            } else if lru
+                .map(|l| self.last_use[i] < self.last_use[l])
+                .unwrap_or(true)
+            {
+                lru = Some(i);
+            }
+        }
+        match free {
+            Some(i) => FillSlot::Free(i),
+            None => FillSlot::Evict(lru.expect("full set has an LRU line")),
+        }
+    }
+
+    /// Index of `addr`'s slot within its set, if resident.
+    #[inline]
+    fn find(&self, addr: BlockAddr) -> Option<usize> {
+        let start = self.set_index(addr) * self.ways;
+        let tag = addr.value();
+        self.tags[start..start + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|way| start + way)
+    }
+
+    #[inline]
     fn set_index(&self, addr: BlockAddr) -> usize {
-        (addr.value() % self.num_sets as u64) as usize
+        if self.set_mask != 0 {
+            (addr.value() & self.set_mask) as usize
+        } else {
+            (addr.value() % self.num_sets as u64) as usize
+        }
     }
 
     /// Total number of lines the cache can hold.
@@ -77,7 +160,7 @@ impl<S> SetAssocCache<S> {
 
     /// Number of lines currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len
     }
 
     /// Returns `true` if no lines are resident.
@@ -87,10 +170,8 @@ impl<S> SetAssocCache<S> {
 
     /// Looks up a block without affecting LRU state or statistics.
     pub fn peek(&self, addr: BlockAddr) -> Option<&S> {
-        self.sets[self.set_index(addr)]
-            .iter()
-            .find(|l| l.addr == addr)
-            .map(|l| &l.state)
+        self.find(addr)
+            .map(|i| self.states[i].as_ref().expect("occupied tag has state"))
     }
 
     /// Looks up a block, updating LRU order and hit statistics, and returns a
@@ -99,12 +180,10 @@ impl<S> SetAssocCache<S> {
         self.lookups += 1;
         self.use_counter += 1;
         let counter = self.use_counter;
-        let set = self.set_index(addr);
-        let line = self.sets[set].iter_mut().find(|l| l.addr == addr);
-        if let Some(line) = line {
-            line.last_use = counter;
+        if let Some(i) = self.find(addr) {
+            self.last_use[i] = counter;
             self.hits += 1;
-            Some(&mut line.state)
+            Some(self.states[i].as_mut().expect("occupied tag has state"))
         } else {
             None
         }
@@ -118,65 +197,110 @@ impl<S> SetAssocCache<S> {
     /// Inserts (or replaces) a block, returning the victim line if one had to
     /// be evicted to make room.
     pub fn insert(&mut self, addr: BlockAddr, state: S) -> Option<CacheLine<S>> {
+        debug_assert!(
+            addr.value() != EMPTY_TAG,
+            "address collides with the empty-way tag"
+        );
         self.use_counter += 1;
         let counter = self.use_counter;
-        let ways = self.ways;
-        let set_index = self.set_index(addr);
-        let set = &mut self.sets[set_index];
-        if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
-            line.state = state;
-            line.last_use = counter;
-            return None;
-        }
-        let victim = if set.len() >= ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("non-empty set has an LRU line");
-            self.evictions += 1;
-            Some(set.swap_remove(lru))
-        } else {
-            None
+        let (i, victim) = match self.probe_for_fill(addr) {
+            FillSlot::Resident(i) => {
+                self.states[i] = Some(state);
+                self.last_use[i] = counter;
+                return None;
+            }
+            FillSlot::Free(i) => {
+                self.len += 1;
+                (i, None)
+            }
+            FillSlot::Evict(i) => {
+                self.evictions += 1;
+                (
+                    i,
+                    Some(CacheLine {
+                        addr: BlockAddr::new(self.tags[i]),
+                        state: self.states[i].take().expect("occupied tag has state"),
+                        last_use: self.last_use[i],
+                    }),
+                )
+            }
         };
-        set.push(CacheLine {
-            addr,
-            state,
-            last_use: counter,
-        });
+        self.tags[i] = addr.value();
+        self.states[i] = Some(state);
+        self.last_use[i] = counter;
         victim
+    }
+
+    /// Records an access to `addr` in a presence-only cache (`S: Default`):
+    /// returns `true` if the block was already resident (updating LRU order
+    /// and the hit counter, like [`SetAssocCache::get`]) and fills it in the
+    /// same set pass otherwise (evicting the LRU line, like
+    /// [`SetAssocCache::insert`]).
+    pub fn touch(&mut self, addr: BlockAddr) -> bool
+    where
+        S: Default,
+    {
+        self.lookups += 1;
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let i = match self.probe_for_fill(addr) {
+            FillSlot::Resident(i) => {
+                self.last_use[i] = counter;
+                self.hits += 1;
+                return true;
+            }
+            FillSlot::Free(i) => {
+                self.len += 1;
+                i
+            }
+            FillSlot::Evict(i) => {
+                self.evictions += 1;
+                i
+            }
+        };
+        self.tags[i] = addr.value();
+        self.states[i] = Some(S::default());
+        self.last_use[i] = counter;
+        false
     }
 
     /// Removes a block, returning its state if it was resident.
     pub fn remove(&mut self, addr: BlockAddr) -> Option<S> {
-        let set_index = self.set_index(addr);
-        let set = &mut self.sets[set_index];
-        let pos = set.iter().position(|l| l.addr == addr)?;
-        Some(set.swap_remove(pos).state)
+        let i = self.find(addr)?;
+        self.tags[i] = EMPTY_TAG;
+        self.len -= 1;
+        self.states[i].take()
     }
 
     /// Chooses the line that would be evicted if `addr` were inserted now,
     /// without inserting. Returns `None` if there is a free way.
-    pub fn victim_for(&self, addr: BlockAddr) -> Option<&CacheLine<S>> {
-        let set = &self.sets[self.set_index(addr)];
-        if set.len() < self.ways || set.iter().any(|l| l.addr == addr) {
-            None
-        } else {
-            set.iter().min_by_key(|l| l.last_use)
+    pub fn victim_for(&self, addr: BlockAddr) -> Option<(BlockAddr, &S)> {
+        match self.probe_for_fill(addr) {
+            FillSlot::Resident(_) | FillSlot::Free(_) => None,
+            FillSlot::Evict(i) => Some((
+                BlockAddr::new(self.tags[i]),
+                self.states[i].as_ref().expect("occupied tag has state"),
+            )),
         }
     }
 
     /// Iterates over every resident line.
-    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &S)> {
-        self.sets
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &S)> {
+        self.tags
             .iter()
-            .flat_map(|s| s.iter().map(|l| (&l.addr, &l.state)))
+            .zip(&self.states)
+            .filter(|(&t, _)| t != EMPTY_TAG)
+            .map(|(&t, s)| {
+                (
+                    BlockAddr::new(t),
+                    s.as_ref().expect("occupied tag has state"),
+                )
+            })
     }
 
     /// Every resident block address.
     pub fn blocks(&self) -> Vec<BlockAddr> {
-        self.iter().map(|(a, _)| *a).collect()
+        self.iter().map(|(a, _)| a).collect()
     }
 
     /// (lookups, hits, evictions) counters.
@@ -226,13 +350,10 @@ impl L1Filter {
     }
 
     /// Records an access to `addr`: returns `true` if it was already present
-    /// (an L1 hit) and ensures it is present afterwards.
+    /// (an L1 hit) and ensures it is present afterwards. One set lookup for
+    /// both the probe and the fill (this runs on every processor access).
     pub fn touch(&mut self, addr: BlockAddr) -> bool {
-        let hit = self.cache.get(addr).is_some();
-        if !hit {
-            self.cache.insert(addr, ());
-        }
-        hit
+        self.cache.touch(addr)
     }
 
     /// Removes a block (called when the L2 loses the block, to preserve
@@ -295,7 +416,7 @@ mod tests {
         assert!(c.victim_for(BlockAddr::new(2)).is_none(), "free way exists");
         c.insert(BlockAddr::new(2), 2);
         c.get(BlockAddr::new(2));
-        let predicted = c.victim_for(BlockAddr::new(4)).unwrap().addr;
+        let predicted = c.victim_for(BlockAddr::new(4)).unwrap().0;
         let actual = c.insert(BlockAddr::new(4), 4).unwrap().addr;
         assert_eq!(predicted, actual);
         assert_eq!(predicted, BlockAddr::new(0));

@@ -710,20 +710,20 @@ impl CoherenceController for DirectoryController {
         AccessOutcome::Miss
     }
 
-    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+    fn handle_message(&mut self, now: Cycle, msg: &Message, out: &mut Outbox) {
         self.stats.messages_received += 1;
         let addr = msg.addr;
-        match msg.kind.clone() {
+        match &msg.kind {
             MsgKind::GetS => self.home_handle_request(now, msg.src, addr, false, out),
             MsgKind::GetM => self.home_handle_request(now, msg.src, addr, true, out),
             MsgKind::FwdGetS { requester } => {
-                self.handle_forward(now, requester, addr, false, 0, out)
+                self.handle_forward(now, *requester, addr, false, 0, out)
             }
             MsgKind::FwdGetM {
                 requester,
                 acks_expected,
-            } => self.handle_forward(now, requester, addr, true, acks_expected, out),
-            MsgKind::Inv { requester } => self.handle_inv(now, requester, addr, out),
+            } => self.handle_forward(now, *requester, addr, true, *acks_expected, out),
+            MsgKind::Inv { requester } => self.handle_inv(now, *requester, addr, out),
             MsgKind::Data {
                 acks_expected,
                 exclusive,
@@ -732,10 +732,10 @@ impl CoherenceController for DirectoryController {
             } => self.handle_data(
                 now,
                 addr,
-                acks_expected,
-                exclusive,
-                from_memory,
-                payload,
+                *acks_expected,
+                *exclusive,
+                *from_memory,
+                *payload,
                 out,
             ),
             MsgKind::InvAck => self.handle_inv_ack(now, addr, out),
@@ -818,7 +818,7 @@ mod tests {
         let mut next = Outbox::new();
         for msg in &out.messages {
             if msg.dest.includes(to.node(), msg.src) {
-                to.handle_message(now, msg.clone(), &mut next);
+                to.handle_message(now, msg, &mut next);
             }
         }
         next

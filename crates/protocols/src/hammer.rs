@@ -563,21 +563,21 @@ impl CoherenceController for HammerController {
         AccessOutcome::Miss
     }
 
-    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+    fn handle_message(&mut self, now: Cycle, msg: &Message, out: &mut Outbox) {
         self.stats.messages_received += 1;
         let addr = msg.addr;
-        match msg.kind.clone() {
+        match &msg.kind {
             MsgKind::GetS => self.home_handle_request(now, msg.src, addr, false, out),
             MsgKind::GetM => self.home_handle_request(now, msg.src, addr, true, out),
             MsgKind::HammerProbe { requester, write } => {
-                self.handle_probe(now, requester, addr, write, out)
+                self.handle_probe(now, *requester, addr, *write, out)
             }
             MsgKind::Data {
                 exclusive,
                 from_memory,
                 payload,
                 ..
-            } => self.handle_response(now, addr, Some((exclusive, from_memory, payload)), out),
+            } => self.handle_response(now, addr, Some((*exclusive, *from_memory, *payload)), out),
             MsgKind::InvAck => self.handle_response(now, addr, None, out),
             MsgKind::Unblock => self.home_handle_unblock(now, addr, out),
             MsgKind::PutM => {
@@ -658,7 +658,7 @@ mod tests {
         for msg in &out.messages {
             for node in nodes.iter_mut() {
                 if msg.dest.includes(node.node(), msg.src) {
-                    node.handle_message(now, msg.clone(), &mut next);
+                    node.handle_message(now, msg, &mut next);
                 }
             }
         }
@@ -715,7 +715,7 @@ mod tests {
                 for msg in &frontier.messages {
                     for node in nodes.iter_mut() {
                         if msg.dest.includes(node.node(), msg.src) {
-                            node.handle_message(10 * (step + 1), msg.clone(), &mut next);
+                            node.handle_message(10 * (step + 1), msg, &mut next);
                         }
                     }
                 }
@@ -744,7 +744,7 @@ mod tests {
             for msg in &frontier.messages {
                 for node in nodes.iter_mut() {
                     if msg.dest.includes(node.node(), msg.src) {
-                        node.handle_message(100 * (step + 1), msg.clone(), &mut next);
+                        node.handle_message(100 * (step + 1), msg, &mut next);
                     }
                 }
             }
@@ -766,7 +766,7 @@ mod tests {
             for msg in &frontier.messages {
                 for node in nodes.iter_mut() {
                     if msg.dest.includes(node.node(), msg.src) {
-                        node.handle_message(1000 + 100 * (step + 1), msg.clone(), &mut next);
+                        node.handle_message(1000 + 100 * (step + 1), msg, &mut next);
                     }
                 }
             }
@@ -791,7 +791,7 @@ mod tests {
         // Request reaches home.
         let mut home_out = Outbox::new();
         for msg in &out.messages {
-            nodes[0].handle_message(10, msg.clone(), &mut home_out);
+            nodes[0].handle_message(10, msg, &mut home_out);
         }
         // Probes reach the other nodes; every one answers.
         let mut acks = 0;
@@ -799,7 +799,7 @@ mod tests {
             if let MsgKind::HammerProbe { .. } = msg.kind {
                 for target in msg.dest.expand(4, msg.src) {
                     let mut reply = Outbox::new();
-                    nodes[target.index()].handle_message(20, msg.clone(), &mut reply);
+                    nodes[target.index()].handle_message(20, msg, &mut reply);
                     acks += reply
                         .messages
                         .iter()
@@ -831,10 +831,10 @@ mod tests {
             5,
         );
         let mut out = Outbox::new();
-        home.handle_message(10, req_a, &mut out);
+        home.handle_message(10, &req_a, &mut out);
         let first_probes = out.messages.len();
         let mut out2 = Outbox::new();
-        home.handle_message(15, req_b, &mut out2);
+        home.handle_message(15, &req_b, &mut out2);
         assert!(out2.messages.is_empty(), "second request must queue");
         // The unblock from the first requester releases the second.
         let unblock = Message::new(
@@ -846,7 +846,7 @@ mod tests {
             50,
         );
         let mut out3 = Outbox::new();
-        home.handle_message(60, unblock, &mut out3);
+        home.handle_message(60, &unblock, &mut out3);
         assert_eq!(out3.messages.len(), first_probes);
     }
 }

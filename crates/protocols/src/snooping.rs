@@ -851,10 +851,10 @@ impl CoherenceController for SnoopingController {
         AccessOutcome::Miss
     }
 
-    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox) {
+    fn handle_message(&mut self, now: Cycle, msg: &Message, out: &mut Outbox) {
         self.stats.messages_received += 1;
         let addr = msg.addr;
-        match msg.kind.clone() {
+        match &msg.kind {
             MsgKind::GetS => self.snoop_request(now, msg.src, addr, false, msg.req_id, out),
             MsgKind::GetM => self.snoop_request(now, msg.src, addr, true, msg.req_id, out),
             MsgKind::PutM => {
@@ -877,7 +877,15 @@ impl CoherenceController for SnoopingController {
                         out,
                     );
                 } else {
-                    self.handle_data(now, addr, exclusive, from_memory, payload, msg.req_id, out);
+                    self.handle_data(
+                        now,
+                        addr,
+                        *exclusive,
+                        *from_memory,
+                        *payload,
+                        msg.req_id,
+                        out,
+                    );
                 }
             }
             MsgKind::WbCancel => {
@@ -956,7 +964,7 @@ mod tests {
         for msg in &out.messages {
             for node in nodes.iter_mut() {
                 if msg.dest.includes(node.node(), msg.src) {
-                    node.handle_message(now, msg.clone(), &mut next);
+                    node.handle_message(now, msg, &mut next);
                 }
             }
         }
@@ -1143,7 +1151,7 @@ mod tests {
         // Deliver the marker everywhere. The writer ships the data; hold it.
         let mut handshake = Outbox::new();
         for node in nodes.iter_mut() {
-            node.handle_message(2100, putm.clone(), &mut handshake);
+            node.handle_message(2100, &putm, &mut handshake);
         }
         let data = handshake.messages.pop().expect("writeback data shipped");
         assert_eq!(data.vnet, Vnet::Writeback);
@@ -1156,7 +1164,7 @@ mod tests {
         let gets = out.messages[0].clone();
         let mut after_gets = Outbox::new();
         for node in nodes.iter_mut() {
-            node.handle_message(2300, gets.clone(), &mut after_gets);
+            node.handle_message(2300, &gets, &mut after_gets);
         }
         assert!(
             after_gets.messages.is_empty(),
@@ -1166,7 +1174,7 @@ mod tests {
 
         // The writeback data arrives: memory applies it and serves the queue.
         let mut served = Outbox::new();
-        nodes[0].handle_message(2400, data, &mut served);
+        nodes[0].handle_message(2400, &data, &mut served);
         assert_eq!(served.messages.len(), 1);
         let completions = run_until_quiet(served, &mut nodes, 2400);
         assert_eq!(completions.len(), 1);
@@ -1208,12 +1216,12 @@ mod tests {
         // owner and the node still answers later requests.
         let mut handshake = Outbox::new();
         for node in nodes.iter_mut() {
-            node.handle_message(2100, putm.clone(), &mut handshake);
+            node.handle_message(2100, &putm, &mut handshake);
         }
         assert_eq!(handshake.messages.len(), 1);
         assert_eq!(handshake.messages[0].kind, MsgKind::WbCancel);
         let mut quiet = Outbox::new();
-        nodes[0].handle_message(2200, handshake.messages[0].clone(), &mut quiet);
+        nodes[0].handle_message(2200, &handshake.messages[0], &mut quiet);
         assert!(quiet.messages.is_empty());
         assert_eq!(nodes[1].stats().counter("writeback_pullbacks"), 1);
         assert_eq!(nodes[1].stats().counter("writebacks_cancelled"), 1);

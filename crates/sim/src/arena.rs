@@ -1,0 +1,317 @@
+//! A generation-checked slab arena for in-flight event payloads.
+//!
+//! The event queue moves its entries many times (bucket pushes, pops,
+//! migrations), so queue entries should be small plain-old-data. Large
+//! payloads — in this workspace, coherence [`Message`]s — are parked in an
+//! [`Arena`] and the queue carries only an [`ArenaRef`]: a `u32` slot index
+//! plus a `u32` generation stamp.
+//!
+//! # Lifetime and generation rules
+//!
+//! * [`Arena::insert`] parks a value and returns the only valid handle to
+//!   it. The handle is `Copy`; the *value* is owned by the arena.
+//! * [`Arena::take`] moves the value out and frees the slot. Freeing bumps
+//!   the slot's generation, so any stale copy of the handle is dead: using
+//!   it panics (generation mismatch) instead of silently aliasing whatever
+//!   value recycled the slot. Every handle is therefore take-once.
+//! * [`Arena::insert_shared`] parks one value for `n` uses of the same
+//!   handle — the zero-clone multicast fan-out path. Each consumer reads
+//!   through [`Arena::get`] and then [`Arena::release`]s; the `n`-th
+//!   release frees the slot (and bumps the generation) exactly like `take`.
+//! * Slots are recycled LIFO through a free list; steady-state insert/take
+//!   cycles allocate nothing.
+//!
+//! [`Message`]: https://docs.rs/tc-types
+
+/// A copyable handle to a value parked in an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaRef {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    /// Outstanding handle uses before the slot frees (1 for plain
+    /// [`Arena::insert`]; the fan-out count for [`Arena::insert_shared`]).
+    remaining: u32,
+    value: Option<T>,
+}
+
+/// A slab arena with generation-checked handles (see the module docs).
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    /// High-water mark of `len`, for occupancy reports.
+    high_water: usize,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Creates an empty arena with room for `capacity` values before any
+    /// slot allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Parks `value` and returns its handle.
+    pub fn insert(&mut self, value: T) -> ArenaRef {
+        self.insert_shared(value, 1)
+    }
+
+    /// Parks one value to be consumed through `copies` uses of the returned
+    /// handle — the zero-clone fan-out path: a multicast parks its payload
+    /// once and every delivery [`Arena::release`]s the same handle, the last
+    /// one freeing the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero (a value nobody will ever release would
+    /// leak its slot).
+    pub fn insert_shared(&mut self, value: T, copies: u32) -> ArenaRef {
+        assert!(copies > 0, "a parked value needs at least one handle use");
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.value.is_none(), "free list pointed at a full slot");
+                slot.value = Some(value);
+                slot.remaining = copies;
+                ArenaRef {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("arena exceeded u32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    remaining: copies,
+                    value: Some(value),
+                });
+                ArenaRef {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Moves the value out of the arena, freeing (and re-stamping) its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (the slot was already freed, or freed
+    /// and recycled for a different value), or if the value is still shared
+    /// with other handle uses (see [`Arena::insert_shared`]) — taking it
+    /// out from under them would turn their releases into stale-handle
+    /// panics with the blame on the wrong call site.
+    pub fn take(&mut self, handle: ArenaRef) -> T {
+        let slot = &mut self.slots[handle.index as usize];
+        assert_eq!(
+            slot.generation, handle.generation,
+            "stale arena handle: slot {} was recycled",
+            handle.index
+        );
+        assert_eq!(
+            slot.remaining,
+            1,
+            "cannot take a value still shared by {} other handle uses",
+            slot.remaining.saturating_sub(1)
+        );
+        let value = slot
+            .value
+            .take()
+            .expect("arena handle with matching generation must hold a value");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Consumes one use of a shared handle, freeing the slot (and dropping
+    /// the value) when this was the last use. Returns `true` on the final
+    /// release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (same rules as [`Arena::take`]).
+    pub fn release(&mut self, handle: ArenaRef) -> bool {
+        let slot = &mut self.slots[handle.index as usize];
+        assert_eq!(
+            slot.generation, handle.generation,
+            "stale arena handle: slot {} was recycled",
+            handle.index
+        );
+        debug_assert!(slot.value.is_some(), "live slot must hold a value");
+        slot.remaining -= 1;
+        if slot.remaining > 0 {
+            return false;
+        }
+        slot.value = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.len -= 1;
+        true
+    }
+
+    /// Borrows the value behind a live handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (same rules as [`Arena::take`]).
+    pub fn get(&self, handle: ArenaRef) -> &T {
+        let slot = &self.slots[handle.index as usize];
+        assert_eq!(
+            slot.generation, handle.generation,
+            "stale arena handle: slot {} was recycled",
+            handle.index
+        );
+        slot.value
+            .as_ref()
+            .expect("arena handle with matching generation must hold a value")
+    }
+
+    /// Number of values currently parked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of simultaneous occupancy (reported as
+    /// `peak_arena_occupancy` in run reports).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of slots ever created (occupied plus free-listed).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_round_trips() {
+        let mut arena = Arena::new();
+        let a = arena.insert("alpha");
+        let b = arena.insert("beta");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), &"alpha");
+        assert_eq!(arena.take(b), "beta");
+        assert_eq!(arena.take(a), "alpha");
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_without_new_allocations() {
+        let mut arena = Arena::new();
+        let first = arena.insert(1u32);
+        arena.take(first);
+        for i in 0..100u32 {
+            let h = arena.insert(i);
+            assert_eq!(arena.take(h), i);
+        }
+        assert_eq!(arena.capacity(), 1, "one slot must serve the whole cycle");
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut arena = Arena::new();
+        let handles: Vec<_> = (0..10u32).map(|i| arena.insert(i)).collect();
+        for h in handles {
+            arena.take(h);
+        }
+        arena.insert(99);
+        assert_eq!(arena.high_water(), 10);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn shared_values_free_on_the_last_release() {
+        let mut arena = Arena::new();
+        let h = arena.insert_shared("payload", 3);
+        assert!(!arena.release(h));
+        assert_eq!(arena.get(h), &"payload");
+        assert!(!arena.release(h));
+        assert_eq!(arena.len(), 1);
+        assert!(arena.release(h), "third release is the last");
+        assert!(arena.is_empty());
+        // The slot is recycled with a fresh generation.
+        let h2 = arena.insert("next");
+        assert_eq!(arena.capacity(), 1);
+        assert_eq!(arena.take(h2), "next");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn releasing_a_freed_shared_handle_panics() {
+        let mut arena = Arena::new();
+        let h = arena.insert_shared(1u32, 2);
+        arena.release(h);
+        arena.release(h);
+        arena.release(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "still shared")]
+    fn taking_a_shared_value_panics() {
+        let mut arena = Arena::new();
+        let h = arena.insert_shared(1u32, 2);
+        arena.take(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn taking_twice_panics_on_generation_mismatch() {
+        let mut arena = Arena::new();
+        let h = arena.insert(5u32);
+        arena.take(h);
+        // The slot may even hold a new value by now; the stale handle must
+        // still be rejected.
+        arena.insert(6u32);
+        arena.take(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn get_rejects_stale_handles() {
+        let mut arena = Arena::new();
+        let h = arena.insert(5u32);
+        arena.take(h);
+        arena.get(h);
+    }
+}

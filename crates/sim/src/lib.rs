@@ -1,9 +1,11 @@
 //! Discrete-event simulation kernel.
 //!
-//! The kernel is intentionally small: a time-ordered [`EventQueue`] with
-//! deterministic tie-breaking, and a tiny deterministic pseudo-random number
-//! generator ([`DeterministicRng`]) used for randomized exponential backoff
-//! and workload generation. Determinism matters here because the whole
+//! The kernel is intentionally small: a time-ordered [`EventQueue`] (a
+//! calendar queue with deterministic FIFO tie-breaking), a generation-checked
+//! slab [`Arena`] that keeps large event payloads out of the queue's moves,
+//! and a tiny deterministic pseudo-random number generator
+//! ([`DeterministicRng`]) used for randomized exponential backoff and
+//! workload generation. Determinism matters here because the whole
 //! evaluation compares protocols on *identical* workload streams; the same
 //! seed must reproduce the same simulation to the cycle.
 //!
@@ -27,9 +29,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod queue;
 pub mod rng;
 
+pub use arena::{Arena, ArenaRef};
 pub use queue::EventQueue;
 pub use rng::DeterministicRng;
 

@@ -190,6 +190,50 @@ pub fn figure5b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
     .collect()
 }
 
+/// The per-node operation count of the full 64-node sweep. At the engine's
+/// measured throughput this is minutes of wall-clock per point in release
+/// mode; tests scale it down via [`ExperimentPoint::run`]'s options while CI
+/// runs one full point as a smoke check.
+pub const SWEEP64_OPS_PER_NODE: u64 = 1_000_000;
+
+/// Run options for the full 64-node, million-ops-per-node sweep.
+pub fn sweep64_options() -> RunOptions {
+    RunOptions {
+        ops_per_node: SWEEP64_OPS_PER_NODE,
+        max_cycles: 200_000_000_000,
+    }
+}
+
+/// The 64-node scale sweep: every protocol on every topology it supports
+/// (snooping requires the ordered tree), on the contended OLTP calibration.
+/// Seven points: TokenB/Directory/Hammer on both the torus and the tree,
+/// plus Snooping on the tree.
+pub fn sweep64_points() -> Vec<ExperimentPoint> {
+    let workload = WorkloadProfile::oltp();
+    let mut points = Vec::new();
+    for protocol in [
+        ProtocolKind::TokenB,
+        ProtocolKind::Directory,
+        ProtocolKind::Hammer,
+        ProtocolKind::Snooping,
+    ] {
+        for topology in [TopologyKind::Torus, TopologyKind::Tree] {
+            if protocol == ProtocolKind::Snooping && topology != TopologyKind::Tree {
+                continue;
+            }
+            points.push(ExperimentPoint::new(
+                format!("{protocol}-{topology:?}-64p"),
+                base_config()
+                    .with_nodes(64)
+                    .with_protocol(protocol)
+                    .with_topology(topology),
+                workload.clone(),
+            ));
+        }
+    }
+    points
+}
+
 /// Question 5 (scalability): TokenB vs Directory traffic on the uniform
 /// microbenchmark at increasing node counts.
 pub fn scalability_points(num_nodes: usize) -> Vec<ExperimentPoint> {
@@ -248,6 +292,29 @@ mod tests {
         for p in &points {
             assert!(p.config.validate().is_ok(), "{}", p.label);
         }
+    }
+
+    #[test]
+    fn sweep64_covers_every_protocol_and_every_legal_topology() {
+        let points = sweep64_points();
+        assert_eq!(points.len(), 7);
+        for p in &points {
+            assert_eq!(p.config.num_nodes, 64);
+            assert!(p.config.validate().is_ok(), "{}", p.label);
+        }
+        for protocol in ProtocolKind::ALL {
+            assert!(
+                points.iter().any(|p| p.config.protocol == protocol),
+                "{protocol} missing from the sweep"
+            );
+        }
+        assert!(points
+            .iter()
+            .any(|p| p.config.interconnect.topology == TopologyKind::Tree));
+        assert!(points
+            .iter()
+            .any(|p| p.config.interconnect.topology == TopologyKind::Torus));
+        assert_eq!(sweep64_options().ops_per_node, SWEEP64_OPS_PER_NODE);
     }
 
     #[test]

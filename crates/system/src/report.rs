@@ -3,8 +3,8 @@
 use std::fmt;
 
 use tc_types::{
-    BandwidthMode, ControllerStats, Cycle, InvariantViolation, MissStats, ProtocolKind,
-    ReissueStats, TopologyKind, TrafficClass, TrafficStats,
+    BandwidthMode, ControllerStats, Cycle, EngineStats, InvariantViolation, MissStats,
+    ProtocolKind, ReissueStats, TopologyKind, TrafficClass, TrafficStats,
 };
 
 /// Traffic normalized per miss, broken down by message class, as in
@@ -68,6 +68,9 @@ pub struct RunReport {
     pub controllers: ControllerStats,
     /// Interconnect traffic by class.
     pub traffic: TrafficStats,
+    /// Engine-level high-water marks (queue depth, arena occupancy), for
+    /// data-driven bottleneck hunts.
+    pub engine: EngineStats,
     /// Invariant violations detected by the verifier (must be empty).
     pub violations: Vec<InvariantViolation>,
 }
@@ -162,6 +165,13 @@ impl fmt::Display for RunReport {
             p0, p1, p2, p3
         )?;
         writeln!(f, "  traffic: {:.1} bytes/miss", self.bytes_per_miss())?;
+        writeln!(
+            f,
+            "  engine: {} events, peak queue depth {}, peak in-flight messages {}",
+            self.engine.events_delivered,
+            self.engine.peak_queue_depth,
+            self.engine.peak_arena_occupancy
+        )?;
         write!(f, "  violations: {}", self.violations.len())
     }
 }
@@ -198,6 +208,7 @@ mod tests {
             },
             controllers: ControllerStats::new(),
             traffic,
+            engine: EngineStats::default(),
             violations: Vec::new(),
         }
     }

@@ -1,12 +1,13 @@
 //! The event-driven system runner.
 
 use tc_core::TokenBController;
-use tc_interconnect::{Delivery, Interconnect};
+use tc_interconnect::Interconnect;
 use tc_protocols::{DirectoryController, HammerController, SnoopingController};
-use tc_sim::EventQueue;
+use tc_sim::{Arena, ArenaRef, EventQueue};
 use tc_types::{
-    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, FastHashMap, Message,
-    MissKind, MissStats, NodeId, Outbox, ProtocolKind, ReissueStats, SystemConfig, Timer,
+    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
+    FastHashMap, Message, MissKind, MissStats, NodeId, Outbox, ProtocolKind, ReissueStats,
+    SystemConfig, Timer,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -32,15 +33,29 @@ impl Default for RunOptions {
     }
 }
 
+/// A handle to a [`Message`] parked in the runner's payload arena. The
+/// arena checks a generation stamp on every access, so a handle that
+/// outlives its message (a double-delivery bug) panics loudly instead of
+/// reading a recycled slot.
+type MsgRef = ArenaRef;
+
 /// Events driving the system.
-#[derive(Debug)]
+///
+/// Deliberately small plain-old-data: the calendar queue moves entries on
+/// every push/pop/migration, so the (large) `Message` payloads live in the
+/// runner's [`Arena`] and events carry only a [`MsgRef`]. A message's slot
+/// is occupied from the moment its `Send` is scheduled until its last
+/// `Deliver` is handled; a fan-out (multicast/broadcast) parks one shared
+/// slot for all of its deliveries — controllers receive `&Message`, so
+/// nothing is ever cloned on the delivery path.
+#[derive(Debug, Clone, Copy)]
 enum SystemEvent {
     /// A processor is ready to issue its next operation.
     Wakeup(NodeId),
     /// A controller hands a message to the interconnect.
-    Send(Message),
+    Send(MsgRef),
     /// The interconnect delivers a message to a node.
-    Deliver { node: NodeId, msg: Message },
+    Deliver { node: NodeId, msg: MsgRef },
     /// A controller timer fires.
     Timer { node: NodeId, timer: Timer },
 }
@@ -66,18 +81,19 @@ pub struct System {
     interconnect: Interconnect,
     queue: EventQueue<SystemEvent>,
     verifier: Verifier,
-    in_flight_tokens: FastHashMap<BlockAddr, (i64, i64)>,
     /// Whether each outstanding miss (by request id) is a store, so that
     /// completions can be classified per operation rather than per miss.
     outstanding_writes: FastHashMap<tc_types::ReqId, bool>,
     /// Operations completed across all processors, maintained incrementally
     /// at hit/completion sites so the event loop never re-sums per node.
     completed_ops: u64,
+    /// In-flight message payloads; events reference them by [`MsgRef`].
+    messages: Arena<Message>,
     /// Scratch outbox handed to controllers; drained (capacity kept) after
     /// every event so the steady-state loop allocates nothing.
     scratch_out: Outbox,
-    /// Scratch buffer for interconnect deliveries, reused across sends.
-    delivery_buf: Vec<Delivery>,
+    /// Scratch buffer for interconnect arrival times, reused across sends.
+    arrival_buf: Vec<(Cycle, NodeId)>,
     /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
     /// block is printed to stderr — the deterministic replay makes this a
     /// complete causal trace of one block's protocol activity.
@@ -124,11 +140,11 @@ impl System {
             interconnect,
             queue,
             verifier: Verifier::new(),
-            in_flight_tokens: FastHashMap::default(),
             outstanding_writes: FastHashMap::default(),
             completed_ops: 0,
+            messages: Arena::new(),
             scratch_out: Outbox::new(),
-            delivery_buf: Vec::new(),
+            arrival_buf: Vec::new(),
             trace_block: std::env::var("TC_TRACE_BLOCK")
                 .ok()
                 .and_then(|v| v.parse().ok())
@@ -180,6 +196,10 @@ impl System {
         let mut ops_at_target: u64 = 0;
         let mut transactions_at_target: u64 = 0;
         let drain_limit = options.max_cycles.saturating_mul(2);
+        // The scratch outbox lives in a local for the whole loop instead of
+        // being swapped out of and back into `self` around every controller
+        // call.
+        let mut out = std::mem::take(&mut self.scratch_out);
 
         while let Some((now, event)) = self.queue.pop() {
             if !draining && (self.completed_ops >= target_total || now >= options.max_cycles) {
@@ -195,62 +215,45 @@ impl System {
             match event {
                 SystemEvent::Wakeup(node) => {
                     if !draining {
-                        self.processor_step(now, node);
+                        self.processor_step(now, node, &mut out);
                     }
                 }
-                SystemEvent::Send(msg) => {
+                SystemEvent::Send(msg_ref) => {
+                    let msg = self.messages.take(msg_ref);
                     if self.trace_block == Some(msg.addr) {
                         eprintln!("[{now}] SEND {msg} kind={:?}", msg.kind);
                     }
-                    let mut deliveries = std::mem::take(&mut self.delivery_buf);
-                    self.interconnect.send_into(now, &msg, &mut deliveries);
-                    for delivery in deliveries.drain(..) {
-                        let tokens = delivery.msg.kind.token_count() as i64;
-                        if tokens > 0 {
-                            let entry = self
-                                .in_flight_tokens
-                                .entry(delivery.msg.addr)
-                                .or_insert((0, 0));
-                            entry.0 += tokens;
-                            if delivery.msg.kind.carries_owner_token() {
-                                entry.1 += 1;
-                            }
+                    let mut arrivals = std::mem::take(&mut self.arrival_buf);
+                    self.interconnect.send_arrivals(now, &msg, &mut arrivals);
+                    // Park the payload once, shared by every delivery of
+                    // the fan-out; the last delivery's release frees it.
+                    // Nothing is cloned, broadcast or not.
+                    if !arrivals.is_empty() {
+                        let parked = self.messages.insert_shared(msg, arrivals.len() as u32);
+                        for &(at, node) in &arrivals {
+                            self.queue
+                                .schedule(at, SystemEvent::Deliver { node, msg: parked });
                         }
-                        self.queue.schedule(
-                            delivery.at,
-                            SystemEvent::Deliver {
-                                node: delivery.node,
-                                msg: delivery.msg,
-                            },
-                        );
                     }
-                    self.delivery_buf = deliveries;
+                    arrivals.clear();
+                    self.arrival_buf = arrivals;
                 }
-                SystemEvent::Deliver { node, msg } => {
+                SystemEvent::Deliver { node, msg: msg_ref } => {
+                    let msg = self.messages.get(msg_ref);
                     if self.trace_block == Some(msg.addr) {
                         eprintln!("[{now}] DELIVER to {node} {msg} kind={:?}", msg.kind);
                     }
-                    let tokens = msg.kind.token_count() as i64;
-                    if tokens > 0 {
-                        let entry = self.in_flight_tokens.entry(msg.addr).or_insert((0, 0));
-                        entry.0 -= tokens;
-                        if msg.kind.carries_owner_token() {
-                            entry.1 -= 1;
-                        }
-                    }
-                    let mut out = std::mem::take(&mut self.scratch_out);
                     self.controllers[node.index()].handle_message(now, msg, &mut out);
+                    self.messages.release(msg_ref);
                     self.process_outbox(now, node, &mut out);
-                    self.scratch_out = out;
                 }
                 SystemEvent::Timer { node, timer } => {
-                    let mut out = std::mem::take(&mut self.scratch_out);
                     self.controllers[node.index()].handle_timer(now, timer, &mut out);
                     self.process_outbox(now, node, &mut out);
-                    self.scratch_out = out;
                 }
             }
         }
+        self.scratch_out = out;
 
         let runtime_cycles = match reached_target_at {
             Some(cycles) => cycles,
@@ -288,11 +291,16 @@ impl System {
             reissue,
             controllers,
             traffic: self.interconnect.traffic().clone(),
+            engine: EngineStats {
+                peak_queue_depth: self.queue.max_depth() as u64,
+                peak_arena_occupancy: self.messages.high_water() as u64,
+                events_delivered: self.queue.total_delivered(),
+            },
             violations: self.verifier.violations().to_vec(),
         }
     }
 
-    fn processor_step(&mut self, now: Cycle, node: NodeId) {
+    fn processor_step(&mut self, now: Cycle, node: NodeId, out: &mut Outbox) {
         let (decision, think) = self.processors[node.index()].next_issue(now);
         match decision {
             IssueDecision::Finished | IssueDecision::Blocked => {}
@@ -300,8 +308,7 @@ impl System {
                 let issue_time = now + think;
                 let block = op.addr.block(self.config.block_bytes);
                 let is_write = op.kind.is_write();
-                let mut out = std::mem::take(&mut self.scratch_out);
-                let outcome = self.controllers[node.index()].access(issue_time, &op, &mut out);
+                let outcome = self.controllers[node.index()].access(issue_time, &op, out);
                 match outcome {
                     AccessOutcome::Hit {
                         latency,
@@ -340,8 +347,7 @@ impl System {
                             .schedule(issue_time + 1, SystemEvent::Wakeup(node));
                     }
                 }
-                self.process_outbox(now, node, &mut out);
-                self.scratch_out = out;
+                self.process_outbox(now, node, out);
             }
         }
     }
@@ -351,7 +357,8 @@ impl System {
     fn process_outbox(&mut self, now: Cycle, node: NodeId, out: &mut Outbox) {
         for msg in out.messages.drain(..) {
             let at = msg.sent_at.max(now);
-            self.queue.schedule(at, SystemEvent::Send(msg));
+            let parked = self.messages.insert(msg);
+            self.queue.schedule(at, SystemEvent::Send(parked));
         }
         for (at, timer) in out.timers.drain(..) {
             self.queue
@@ -410,13 +417,35 @@ impl System {
         blocks.sort_unstable();
         blocks.dedup();
 
+        // Tokens in flight at quiescence: exactly the token counts of
+        // `Deliver` events still pending in the queue (their payloads are
+        // still parked in the arena). Derived here once instead of being
+        // tracked by per-send/per-delivery map updates in the hot loop; a
+        // message whose `Send` was never processed is deliberately *not*
+        // counted, matching the incremental accounting this replaces (its
+        // tokens were never injected into the fabric).
+        let mut in_flight_tokens: FastHashMap<BlockAddr, (i64, i64)> = FastHashMap::default();
+        for event in self.queue.iter() {
+            if let SystemEvent::Deliver { msg, .. } = event {
+                let msg = self.messages.get(*msg);
+                let tokens = msg.kind.token_count() as i64;
+                if tokens > 0 {
+                    let entry = in_flight_tokens.entry(msg.addr).or_insert((0, 0));
+                    entry.0 += tokens;
+                    if msg.kind.carries_owner_token() {
+                        entry.1 += 1;
+                    }
+                }
+            }
+        }
+
         for addr in blocks {
             let mut audits = Vec::new();
             for controller in &self.controllers {
                 audits.extend(controller.audit_block(addr));
             }
             let (in_flight, in_flight_owner) =
-                self.in_flight_tokens.get(&addr).copied().unwrap_or((0, 0));
+                in_flight_tokens.get(&addr).copied().unwrap_or((0, 0));
             self.verifier.audit_block(
                 addr,
                 &audits,

@@ -1,15 +1,17 @@
 //! Runtime verification of the coherence safety and liveness properties.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
-use tc_types::{BlockAddr, BlockAudit, Cycle, InvariantViolation, NodeId};
+use tc_types::{BlockAddr, BlockAudit, Cycle, FastHashMap, InvariantViolation, NodeId};
 
 /// Recent write history for one block: which version was current when.
 #[derive(Debug, Clone, Default)]
 struct BlockHistory {
     /// (version, time it became current), oldest first; the last entry is the
-    /// currently visible version. Bounded to keep memory use constant.
-    versions: Vec<(u64, Cycle)>,
+    /// currently visible version. Bounded to keep memory use constant; a
+    /// deque so trimming the oldest entry is O(1) rather than a memmove of
+    /// the whole window on every write to a hot block.
+    versions: VecDeque<(u64, Cycle)>,
 }
 
 impl BlockHistory {
@@ -18,38 +20,39 @@ impl BlockHistory {
     fn ensure_initial(&mut self) {
         if self.versions.is_empty() {
             // Version 0 (the never-written block) is current from time zero.
-            self.versions.push((0, 0));
+            self.versions.push_back((0, 0));
         }
     }
 
     fn record(&mut self, version: u64, at: Cycle) {
         self.ensure_initial();
-        self.versions.push((version, at));
-        if self.versions.len() > Self::MAX_ENTRIES {
-            let excess = self.versions.len() - Self::MAX_ENTRIES;
-            self.versions.drain(..excess);
+        self.versions.push_back((version, at));
+        while self.versions.len() > Self::MAX_ENTRIES {
+            self.versions.pop_front();
         }
     }
 
     fn current(&self) -> u64 {
-        self.versions.last().map(|(v, _)| *v).unwrap_or(0)
+        self.versions.back().map(|(v, _)| *v).unwrap_or(0)
     }
 
     /// Returns `true` if `version` was the current version at some instant in
     /// the window `[issued_at, completed_at]`.
+    ///
+    /// Scans newest-first: an entry is superseded at the instant its
+    /// successor became current, and legal reads overwhelmingly observe
+    /// recent versions, so the reverse scan exits after a step or two where
+    /// the forward scan walked the whole window.
     fn was_current_during(&self, version: u64, issued_at: Cycle, completed_at: Cycle) -> bool {
         if self.versions.is_empty() {
             return version == 0;
         }
-        for (i, (v, became_current)) in self.versions.iter().enumerate() {
-            let superseded_at = self
-                .versions
-                .get(i + 1)
-                .map(|(_, t)| *t)
-                .unwrap_or(Cycle::MAX);
-            if *v == version && superseded_at >= issued_at && *became_current <= completed_at {
+        let mut superseded_at = Cycle::MAX;
+        for &(v, became_current) in self.versions.iter().rev() {
+            if v == version && superseded_at >= issued_at && became_current <= completed_at {
                 return true;
             }
+            superseded_at = became_current;
         }
         false
     }
@@ -71,7 +74,10 @@ impl BlockHistory {
 /// reads/writes and the [`BlockAudit`] snapshots controllers expose.
 #[derive(Debug, Default)]
 pub struct Verifier {
-    history: BTreeMap<BlockAddr, BlockHistory>,
+    /// Per-block write history. Keyed access only (never iterated), so the
+    /// deterministic-but-unordered `FastHashMap` is safe and keeps the
+    /// per-completed-operation lookup off the BTree pointer chase.
+    history: FastHashMap<BlockAddr, BlockHistory>,
     violations: Vec<InvariantViolation>,
     reads_checked: u64,
     writes_recorded: u64,

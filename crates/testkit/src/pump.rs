@@ -159,7 +159,7 @@ impl Pump {
         let index = self.rng.next_below(self.pending.len() as u64) as usize;
         let delivery = self.pending.swap_remove(index);
         let mut out = Outbox::new();
-        self.controllers[delivery.node.index()].handle_message(self.now, delivery.msg, &mut out);
+        self.controllers[delivery.node.index()].handle_message(self.now, &delivery.msg, &mut out);
         self.absorb(delivery.node, out);
     }
 

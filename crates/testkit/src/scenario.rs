@@ -61,10 +61,29 @@ impl Scenario {
         ]
     }
 
+    /// The 64-node scale scenario: the contended OLTP calibration at the
+    /// node count the scale sweeps run at, with a per-node L2 small enough
+    /// that evictions and writebacks stay frequent. Not part of
+    /// [`Scenario::standard`] (the full matrix times 64 nodes would dominate
+    /// the suite); CI runs it as its own conformance check so the sweep
+    /// scale stays under the same invariant oracle as the small systems.
+    pub fn sweep64() -> Scenario {
+        Scenario {
+            name: "sweep64_oltp",
+            workload: WorkloadProfile::oltp(),
+            num_nodes: 64,
+            l2_bytes: 256 * 1024,
+            ops_per_node: 150,
+            max_cycles: 400_000_000,
+        }
+    }
+
     /// Looks up a standard scenario by name (the replay path printed in
     /// failure reports).
     pub fn by_name(name: &str) -> Option<Scenario> {
-        Scenario::standard().into_iter().find(|s| s.name == name)
+        let mut all = Scenario::standard();
+        all.push(Scenario::sweep64());
+        all.into_iter().find(|s| s.name == name)
     }
 
     /// The system configuration this scenario runs `protocol` under.

@@ -102,6 +102,10 @@ impl From<u64> for BlockAddr {
 pub struct HomeMap {
     num_nodes: usize,
     block_bytes: u64,
+    /// `num_nodes - 1` when the node count is a power of two, letting
+    /// [`HomeMap::home_of`] mask instead of dividing: it runs on every
+    /// request issue and every home-side message receipt. Zero disables it.
+    node_mask: u64,
 }
 
 impl HomeMap {
@@ -116,6 +120,11 @@ impl HomeMap {
         HomeMap {
             num_nodes,
             block_bytes,
+            node_mask: if num_nodes.is_power_of_two() {
+                num_nodes as u64 - 1
+            } else {
+                0
+            },
         }
     }
 
@@ -130,8 +139,13 @@ impl HomeMap {
     }
 
     /// Returns the home node of a block.
+    #[inline]
     pub fn home_of(&self, block: BlockAddr) -> NodeId {
-        NodeId::new((block.value() % self.num_nodes as u64) as usize)
+        if self.node_mask != 0 {
+            NodeId::new((block.value() & self.node_mask) as usize)
+        } else {
+            NodeId::new((block.value() % self.num_nodes as u64) as usize)
+        }
     }
 
     /// Returns the home node of a byte address.

@@ -191,7 +191,11 @@ pub trait CoherenceController: fmt::Debug {
     fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome;
 
     /// A message addressed to this node arrives from the interconnect.
-    fn handle_message(&mut self, now: Cycle, msg: Message, out: &mut Outbox);
+    ///
+    /// The message is borrowed, not owned: a multicast parks one payload in
+    /// the runner's arena and every destination handles the same copy, so a
+    /// controller that needs to keep any part of it clones just that part.
+    fn handle_message(&mut self, now: Cycle, msg: &Message, out: &mut Outbox);
 
     /// A timer armed by this controller fires.
     fn handle_timer(&mut self, now: Cycle, timer: Timer, out: &mut Outbox);

@@ -62,4 +62,6 @@ pub use memop::{AccessType, MemOp, MemOpKind};
 pub use message::{
     DataPayload, Destination, Message, MsgKind, Vnet, CONTROL_MSG_BYTES, DATA_MSG_BYTES,
 };
-pub use stats::{ControllerStats, MissStats, ReissueStats, TrafficClass, TrafficStats};
+pub use stats::{
+    ControllerStats, EngineStats, MissStats, ReissueStats, TrafficClass, TrafficStats,
+};

@@ -34,6 +34,18 @@ impl TrafficClass {
         TrafficClass::ReissueOrPersistent,
     ];
 
+    /// Dense index of this class, used by [`TrafficStats`]' flat counters.
+    #[inline]
+    const fn index(self) -> usize {
+        match self {
+            TrafficClass::Request => 0,
+            TrafficClass::ForwardedOrInvalidation => 1,
+            TrafficClass::DataResponseOrWriteback => 2,
+            TrafficClass::OtherControl => 3,
+            TrafficClass::ReissueOrPersistent => 4,
+        }
+    }
+
     /// Classifies a message.
     pub fn of(msg: &Message) -> TrafficClass {
         if msg.reissue {
@@ -86,9 +98,12 @@ impl fmt::Display for TrafficClass {
 /// times, matching how the paper reports interconnect traffic).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficStats {
-    bytes: BTreeMap<TrafficClass, u64>,
-    messages: BTreeMap<TrafficClass, u64>,
-    link_bytes: BTreeMap<TrafficClass, u64>,
+    // Flat per-class counters indexed by `TrafficClass::index`: `record`
+    // runs once per injected message on the hot send path, so the class
+    // buckets are arrays rather than maps.
+    bytes: [u64; 5],
+    messages: [u64; 5],
+    link_bytes: [u64; 5],
 }
 
 impl TrafficStats {
@@ -98,52 +113,50 @@ impl TrafficStats {
     }
 
     /// Records one message that will traverse `link_crossings` links.
+    #[inline]
     pub fn record(&mut self, class: TrafficClass, size_bytes: u64, link_crossings: u64) {
-        *self.bytes.entry(class).or_insert(0) += size_bytes;
-        *self.messages.entry(class).or_insert(0) += 1;
-        *self.link_bytes.entry(class).or_insert(0) += size_bytes * link_crossings;
+        let i = class.index();
+        self.bytes[i] += size_bytes;
+        self.messages[i] += 1;
+        self.link_bytes[i] += size_bytes * link_crossings;
     }
 
     /// Endpoint bytes recorded for a class (each message counted once).
     pub fn bytes(&self, class: TrafficClass) -> u64 {
-        self.bytes.get(&class).copied().unwrap_or(0)
+        self.bytes[class.index()]
     }
 
     /// Messages recorded for a class.
     pub fn messages(&self, class: TrafficClass) -> u64 {
-        self.messages.get(&class).copied().unwrap_or(0)
+        self.messages[class.index()]
     }
 
     /// Link-crossing bytes recorded for a class (the paper's traffic metric).
     pub fn link_bytes(&self, class: TrafficClass) -> u64 {
-        self.link_bytes.get(&class).copied().unwrap_or(0)
+        self.link_bytes[class.index()]
     }
 
     /// Total endpoint bytes across all classes.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes.values().sum()
+        self.bytes.iter().sum()
     }
 
     /// Total messages across all classes.
     pub fn total_messages(&self) -> u64 {
-        self.messages.values().sum()
+        self.messages.iter().sum()
     }
 
     /// Total link-crossing bytes across all classes.
     pub fn total_link_bytes(&self) -> u64 {
-        self.link_bytes.values().sum()
+        self.link_bytes.iter().sum()
     }
 
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
-        for (k, v) in &other.bytes {
-            *self.bytes.entry(*k).or_insert(0) += v;
-        }
-        for (k, v) in &other.messages {
-            *self.messages.entry(*k).or_insert(0) += v;
-        }
-        for (k, v) in &other.link_bytes {
-            *self.link_bytes.entry(*k).or_insert(0) += v;
+        for i in 0..5 {
+            self.bytes[i] += other.bytes[i];
+            self.messages[i] += other.messages[i];
+            self.link_bytes[i] += other.link_bytes[i];
         }
     }
 }
@@ -259,6 +272,25 @@ impl ReissueStats {
         self.reissued_more += other.reissued_more;
         self.persistent += other.persistent;
     }
+}
+
+/// Engine-level (simulator, not simulated-system) statistics for one run.
+///
+/// These are the numbers bottleneck hunts start from: how deep the event
+/// queue got tells you whether queue operations dominate, and the message
+/// arena's peak occupancy tells you how much payload memory the in-flight
+/// message population actually needs. Both are high-water marks over the
+/// whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Peak number of events pending in the event queue at any instant.
+    pub peak_queue_depth: u64,
+    /// Peak number of in-flight messages parked in the payload arena at any
+    /// instant (every scheduled `Send` plus every undelivered `Deliver`).
+    pub peak_arena_occupancy: u64,
+    /// Total events the engine delivered over the run (the numerator of the
+    /// events-per-second throughput metric).
+    pub events_delivered: u64,
 }
 
 /// Statistics exported by a coherence controller.

@@ -31,7 +31,7 @@ fn deliver(messages: &[Message], to: &mut TokenBController, now: Cycle, log: &st
                 to.node(),
                 msg.kind.mnemonic()
             );
-            to.handle_message(now, msg.clone(), &mut out);
+            to.handle_message(now, msg, &mut out);
         }
     }
     out

@@ -137,6 +137,34 @@ fn benchmark_configuration_event_count_is_pinned() {
     );
 }
 
+/// The 64-node scale scenario from `tc-testkit` stays under the same
+/// invariant oracle as the small systems — the check that keeps the scale
+/// sweeps honest. One protocol per topology family (TokenB exercises the
+/// torus, Snooping the ordered tree — the two protocols whose correctness
+/// arguments differ most) and two seeds keep this fast enough for every CI
+/// run; CI also invokes it by name in release mode.
+#[test]
+fn sixty_four_node_scenario_stays_under_the_oracle() {
+    let scenario = Scenario::sweep64();
+    assert_eq!(scenario.num_nodes, 64);
+    assert_eq!(
+        Scenario::by_name("sweep64_oltp").map(|s| s.num_nodes),
+        Some(64),
+        "replay recipes must be able to find the scale scenario by name"
+    );
+    for protocol in [ProtocolKind::TokenB, ProtocolKind::Snooping] {
+        for seed in [12u64, 0xBEEF] {
+            let report = scenario.run(protocol, seed);
+            assert!(
+                report.verified().is_ok(),
+                "{protocol} seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(report.total_ops >= 64 * scenario.ops_per_node);
+        }
+    }
+}
+
 /// Replaying a failing seed must be bit-identical: the failure reporter's
 /// replay recipe is only trustworthy if `(protocol, scenario, seed, ops)`
 /// fully determines the run.

@@ -162,6 +162,51 @@ fn snooping_requires_the_ordered_tree() {
     assert!(config.validate().is_err());
 }
 
+/// The 64-node sweep configuration (every protocol on every topology it
+/// supports) stays clean at scale. The per-node operation count is scaled
+/// down from the full sweep's million so the whole matrix fits in a test
+/// run; `sweep64_full_million_ops` below exercises one full-scale point and
+/// is `#[ignore]`d for on-demand / CI-smoke use.
+#[test]
+fn sweep64_matrix_passes_verification_at_reduced_ops() {
+    for point in token_coherence::system::experiment::sweep64_points() {
+        let report = point.run(RunOptions {
+            ops_per_node: 120,
+            max_cycles: 400_000_000,
+        });
+        assert_live(&report, &point.label);
+        assert!(
+            report.verified().is_ok(),
+            "{}: {:?}",
+            point.label,
+            report.violations
+        );
+        assert_eq!(report.num_nodes, 64);
+        assert!(report.total_ops >= 64 * 120, "{}", point.label);
+        // The engine high-water marks are populated — the data the next
+        // bottleneck hunt starts from.
+        assert!(report.engine.peak_queue_depth > 0, "{}", point.label);
+        assert!(report.engine.events_delivered > 0, "{}", point.label);
+    }
+}
+
+/// One full-scale sweep point: 64 nodes x 1M ops/node (TokenB on the
+/// torus). Minutes of wall-clock in release mode — run explicitly with
+/// `cargo test --release --test full_system -- --ignored sweep64_full`.
+#[test]
+#[ignore = "full-scale sweep point: minutes of wall-clock, run explicitly"]
+fn sweep64_full_million_ops() {
+    use token_coherence::system::experiment::{sweep64_options, sweep64_points};
+    let point = sweep64_points()
+        .into_iter()
+        .find(|p| p.label == "TokenB-Torus-64p")
+        .expect("sweep point exists");
+    let report = point.run(sweep64_options());
+    assert_live(&report, &point.label);
+    assert!(report.verified().is_ok(), "{:?}", report.violations);
+    assert!(report.total_ops >= 64 * 1_000_000);
+}
+
 #[test]
 fn runs_are_reproducible_for_a_fixed_seed() {
     let a = run(ProtocolKind::TokenB, WorkloadProfile::specjbb(), 8, 1_000);

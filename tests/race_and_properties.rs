@@ -22,7 +22,7 @@ fn pump(
     for msg in messages {
         for node in nodes.iter_mut() {
             if msg.dest.includes(node.node(), msg.src) {
-                node.handle_message(now, msg.clone(), &mut next);
+                node.handle_message(now, msg, &mut next);
             }
         }
     }
@@ -60,7 +60,7 @@ fn figure2_race_is_resolved_by_reissue_without_violating_safety() {
     let home_to_reader = {
         let mut out = Outbox::new();
         for msg in &reader_out.messages {
-            nodes[0].handle_message(40, msg.clone(), &mut out);
+            nodes[0].handle_message(40, msg, &mut out);
         }
         out
     };
@@ -70,7 +70,7 @@ fn figure2_race_is_resolved_by_reissue_without_violating_safety() {
     let home_to_writer = {
         let mut out = Outbox::new();
         for msg in &writer_out.messages {
-            nodes[0].handle_message(160, msg.clone(), &mut out);
+            nodes[0].handle_message(160, msg, &mut out);
         }
         out
     };
