@@ -23,10 +23,11 @@
 //!   unrelated to the machine that recorded the file, gate against the
 //!   seed-engine figure instead (`--check-key baseline_events_per_sec`) —
 //!   an absolute same-machine number would fail forever on a slower host.
-//! * `--sweep64`: measure the 64-node scale configuration instead (one
-//!   timed run — it is ~50x the default event count) and *merge* the result
-//!   into the output file as `sweep64_*` fields, preserving the 4-node
-//!   trajectory fields already there.
+//!
+//! The 64-node scale measurement that used to live behind `--sweep64` is
+//! now `tc-bench sweep64 --record <path>`, which runs the whole sweep
+//! campaign through the threaded driver; this binary keeps any `sweep64_*`
+//! fields in the output file intact when rewriting the 4-node trajectory.
 
 use std::time::Instant;
 
@@ -52,8 +53,6 @@ fn main() {
     let mut check_key = "events_per_sec".to_string();
     let mut tolerance: f64 = 0.30;
     let mut runs = TIMED_RUNS;
-    let mut runs_explicit = false;
-    let mut sweep64 = false;
     // Strict parsing: a flag with a missing value is a usage error, not a
     // silently-empty string (an empty `--check` path would make the
     // regression gate a no-op that still exits 0).
@@ -70,15 +69,11 @@ fn main() {
         match arg {
             "--ops" => ops_per_node = parse_or_die(arg, &value()),
             "--nodes" => num_nodes = parse_or_die(arg, &value()),
-            "--runs" => {
-                runs = parse_or_die(arg, &value());
-                runs_explicit = true;
-            }
+            "--runs" => runs = parse_or_die(arg, &value()),
             "--out" => out_path = value(),
             "--check" => check_path = Some(value()),
             "--check-key" => check_key = value(),
             "--tolerance" => tolerance = parse_or_die(arg, &value()),
-            "--sweep64" => sweep64 = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -87,15 +82,6 @@ fn main() {
         i += 1;
     }
     let check_key = format!("\"{check_key}\":");
-
-    if sweep64 {
-        num_nodes = 64;
-        // One timed pass unless --runs asks for more: the sweep
-        // configuration delivers billions of events per run.
-        if !runs_explicit {
-            runs = 1;
-        }
-    }
 
     let config = SystemConfig::isca03_default()
         .with_nodes(num_nodes)
@@ -107,11 +93,9 @@ fn main() {
         max_cycles: 200_000_000_000,
     };
 
-    if !sweep64 {
-        // Warmup run: page in the binary, warm the allocator.
-        eprintln!("warmup ...");
-        run_once(&config, &profile, options);
-    }
+    // Warmup run: page in the binary, warm the allocator.
+    eprintln!("warmup ...");
+    run_once(&config, &profile, options);
 
     let mut best_events_per_sec = 0.0f64;
     let mut best = (0u64, 0.0f64);
@@ -134,32 +118,12 @@ fn main() {
             .and_then(|text| read_number(&text, &check_key))
     });
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
-    let json = if sweep64 {
-        // Merge: keep every existing 4-node trajectory line, replace (or
-        // append) the sweep64 block.
-        let kept: String = previous
-            .lines()
-            .filter(|l| !l.contains("\"sweep64_") && !l.trim().is_empty() && *l != "{" && *l != "}")
-            .map(|l| {
-                let l = l.trim_end();
-                if l.ends_with(',') {
-                    format!("{l}\n")
-                } else {
-                    format!("{l},\n")
-                }
-            })
-            .collect();
-        format!(
-            "{{\n{kept}  \"sweep64_nodes\": {num_nodes},\n  \
-             \"sweep64_ops_per_node\": {ops_per_node},\n  \
-             \"sweep64_events_delivered\": {},\n  \"sweep64_wall_seconds\": {:.3},\n  \
-             \"sweep64_events_per_sec\": {:.0}\n}}\n",
-            best.0, best.1, best_events_per_sec
-        )
-    } else {
+    let json = {
         let baseline =
             read_number(&previous, "\"baseline_events_per_sec\":").unwrap_or(best_events_per_sec);
         let speedup = best_events_per_sec / baseline;
+        // Preserve the sweep64 campaign fields recorded by `tc-bench
+        // sweep64 --record`, re-ordered below the headline fields.
         let sweep_tail: String = previous
             .lines()
             .filter(|l| l.contains("\"sweep64_"))
@@ -168,12 +132,6 @@ fn main() {
                 format!("  {},\n", l.trim_start())
             })
             .collect();
-        let sweep_tail = if sweep_tail.is_empty() {
-            String::new()
-        } else {
-            // Re-ordered below the headline fields; trailing comma fixed up.
-            sweep_tail
-        };
         let mut body = format!(
             "  \"benchmark\": \"engine_throughput\",\n  \"engine\": \"{ENGINE_CONFIG}\",\n  \
              \"protocol\": \"TokenB\",\n  \"workload\": \"oltp\",\n  \

@@ -1,0 +1,358 @@
+//! `tc-bench` — the one experiment CLI.
+//!
+//! Resolves a named campaign from the experiment catalogs and runs it
+//! through the multi-threaded campaign driver:
+//!
+//! ```text
+//! tc-bench list
+//! tc-bench table2
+//! tc-bench fig5-runtime --ops 12000 --threads 8
+//! tc-bench fig4-traffic --workload oltp --json /tmp/fig4b.json
+//! tc-bench sweep64 --ops 20000 --threads 8 --serial-baseline --record BENCH_engine.json
+//! ```
+//!
+//! Replaces the eight per-artifact binaries (`table1`, `table2`,
+//! `fig4_runtime`, `fig4_traffic`, `fig5_runtime`, `fig5_traffic`,
+//! `scalability`, and `engine_throughput --sweep64`); the retired names
+//! still resolve as campaign aliases.
+
+use tc_bench::{
+    campaign_sections, merge_bench_fields, render_reissue_table, render_scalability_table,
+    render_table1, resolve_campaign, traffic_classes_cover_total, Section, TableKind, CAMPAIGNS,
+    SCALABILITY_NODE_COUNTS,
+};
+use tc_system::campaign::{Campaign, CampaignReport};
+use tc_system::experiment::{ExperimentPoint, SWEEP64_OPS_PER_NODE};
+use tc_system::RunOptions;
+use tc_types::ProtocolKind;
+use tc_workloads::WorkloadProfile;
+
+/// Parsed command-line options (everything after the campaign name).
+struct CliOptions {
+    ops: Option<u64>,
+    threads: usize,
+    workload: Option<WorkloadProfile>,
+    protocol: Option<ProtocolKind>,
+    json_path: Option<String>,
+    record_path: Option<String>,
+    serial_baseline: bool,
+}
+
+fn usage() -> String {
+    let mut out = String::from("usage: tc-bench <campaign> [options]\n\ncampaigns:\n");
+    for spec in CAMPAIGNS {
+        out.push_str(&format!("  {:<14} {}\n", spec.name, spec.about));
+    }
+    out.push_str(
+        "\noptions:\n  \
+         --ops N             memory operations per node (campaign-specific default)\n  \
+         --threads N         campaign worker threads (default: all cores)\n  \
+         --workload NAME     restrict figure campaigns to one workload\n  \
+         --protocol NAME     keep only points of one protocol\n  \
+         --json PATH         write the campaign report as JSON\n  \
+         --record PATH       (sweep64) merge wall-clock fields into a BENCH_engine.json-style file\n  \
+         --serial-baseline   (sweep64) also run with one thread, verify bit-identical reports,\n                      and record the parallel speedup\n",
+    );
+    out
+}
+
+fn parse_options(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        ops: None,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        workload: None,
+        protocol: None,
+        json_path: None,
+        record_path: None,
+        serial_baseline: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--ops" => {
+                let v = value(&mut i)?;
+                options.ops = Some(v.parse().map_err(|_| format!("bad --ops value: {v}"))?);
+            }
+            "--threads" => {
+                let v = value(&mut i)?;
+                options.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+                if options.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--workload" => {
+                let v = value(&mut i)?;
+                options.workload = Some(
+                    WorkloadProfile::by_name(&v).ok_or_else(|| format!("unknown workload: {v}"))?,
+                );
+            }
+            "--protocol" => {
+                let v = value(&mut i)?;
+                options.protocol = Some(
+                    ProtocolKind::by_name(&v).ok_or_else(|| format!("unknown protocol: {v}"))?,
+                );
+            }
+            "--json" => options.json_path = Some(value(&mut i)?),
+            "--record" => options.record_path = Some(value(&mut i)?),
+            "--serial-baseline" => options.serial_baseline = true,
+            other => return Err(format!("unknown option: {other}")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+/// The default per-node operation count of a campaign.
+fn default_ops(campaign: &str) -> u64 {
+    match campaign {
+        // The 64-node points are large; mirror the retired binary's shorter
+        // default so a bare `tc-bench scalability` finishes in minutes.
+        "scalability" => RunOptions::standard().ops_per_node.min(6_000),
+        "sweep64" => SWEEP64_OPS_PER_NODE,
+        _ => RunOptions::standard().ops_per_node,
+    }
+}
+
+fn run_options(campaign: &str, cli: &CliOptions) -> RunOptions {
+    let mut options = if campaign == "sweep64" {
+        RunOptions::sweep64()
+    } else {
+        RunOptions::standard()
+    };
+    options.ops_per_node = cli.ops.unwrap_or_else(|| default_ops(campaign));
+    options
+}
+
+/// Runs `points` as one campaign with progress on stderr.
+fn run_campaign(
+    points: Vec<ExperimentPoint>,
+    options: RunOptions,
+    threads: usize,
+) -> CampaignReport {
+    Campaign::new(points)
+        .options(options)
+        .threads(threads)
+        .on_progress(|event| eprintln!("  {event}"))
+        .run()
+}
+
+/// Re-slices a flattened multi-section campaign report per section.
+fn section_slices(report: &CampaignReport, sections: &[Section]) -> Vec<CampaignReport> {
+    let mut slices = Vec::with_capacity(sections.len());
+    let mut offset = 0;
+    for section in sections {
+        slices.push(report.slice(offset, section.points.len()));
+        offset += section.points.len();
+    }
+    slices
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let campaign_name = match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", usage());
+            return;
+        }
+        Some("list") => {
+            println!("available campaigns:");
+            for spec in CAMPAIGNS {
+                println!("  {:<14} {}", spec.name, spec.about);
+            }
+            return;
+        }
+        Some(name) => name.to_string(),
+    };
+    let Some(spec) = resolve_campaign(&campaign_name) else {
+        eprintln!("unknown campaign: {campaign_name}\n\n{}", usage());
+        std::process::exit(2);
+    };
+    let cli = match parse_options(&args[1..]) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    if spec.name == "table1" {
+        print!("{}", render_table1());
+        return;
+    }
+
+    // Only the figure campaigns iterate workloads; rejecting --workload
+    // elsewhere beats silently running all three commercial profiles.
+    if cli.workload.is_some() && !spec.name.starts_with("fig") {
+        eprintln!(
+            "--workload applies only to the figure campaigns; {} runs a fixed workload set",
+            spec.name
+        );
+        std::process::exit(2);
+    }
+
+    let mut sections = campaign_sections(spec.name, cli.workload.as_ref())
+        .expect("campaign resolved but has no sections");
+    if let Some(protocol) = cli.protocol {
+        // The scalability renderer compares fixed protocol columns, so a
+        // filtered run would print NaN columns; reject instead.
+        if spec.name == "scalability" {
+            eprintln!("--protocol does not apply to scalability (its table compares protocols)");
+            std::process::exit(2);
+        }
+        for section in &mut sections {
+            section.points.retain(|p| p.config.protocol == protocol);
+        }
+        sections.retain(|s| !s.points.is_empty());
+        if sections.is_empty() {
+            eprintln!("no points left after --protocol filter");
+            std::process::exit(2);
+        }
+    }
+    let options = run_options(spec.name, &cli);
+    let all_points: Vec<ExperimentPoint> = sections.iter().flat_map(|s| s.points.clone()).collect();
+    println!(
+        "campaign {} ({} points, {} ops/node, {} threads)",
+        spec.name,
+        all_points.len(),
+        options.ops_per_node,
+        cli.threads
+    );
+
+    // One flattened campaign keeps every core busy across section
+    // boundaries; reports are re-sliced per section for rendering.
+    let report = run_campaign(all_points.clone(), options, cli.threads);
+
+    if !traffic_classes_cover_total(&report) {
+        eprintln!(
+            "WARNING: per-class traffic bytes do not sum to the total; \
+             a TrafficClass is missing from the breakdown"
+        );
+    }
+
+    if spec.name == "sweep64" {
+        finish_sweep64(all_points, &sections, &report, options, &cli);
+    } else {
+        let slices = section_slices(&report, &sections);
+        for (section, slice) in sections.iter().zip(&slices) {
+            match section.table {
+                TableKind::Runtime => {
+                    println!("\n{}", slice.render_runtime_table(&section.title));
+                }
+                TableKind::Traffic => {
+                    println!("\n{}", slice.render_traffic_table(&section.title));
+                }
+                TableKind::Reissue => {
+                    println!("\n{}\n{}", section.title, render_reissue_table(slice));
+                }
+                TableKind::Scalability | TableKind::Sweep => {}
+            }
+        }
+        if sections.iter().any(|s| s.table == TableKind::Scalability) {
+            let rows: Vec<(usize, CampaignReport)> = SCALABILITY_NODE_COUNTS
+                .iter()
+                .copied()
+                .zip(slices.iter().cloned())
+                .collect();
+            println!("\n{}", render_scalability_table(&rows));
+        }
+        if !spec.paper_note.is_empty() {
+            println!("\n{}", spec.paper_note);
+        }
+    }
+
+    eprintln!(
+        "campaign wall-clock: {:.1} s across {} threads",
+        report.wall_seconds, report.threads
+    );
+    if let Some(path) = &cli.json_path {
+        std::fs::write(path, report.to_json()).expect("write campaign JSON");
+        eprintln!("wrote {path}");
+    }
+    if let Err((label, violation)) = report.verified() {
+        eprintln!("VERIFICATION FAILURE in {label}: {violation}");
+        std::process::exit(1);
+    }
+}
+
+/// Sweep64 epilogue: the scale tables, the optional serial determinism
+/// baseline (re-running `all_points` with one thread), and the
+/// `BENCH_engine.json` wall-clock recording.
+fn finish_sweep64(
+    all_points: Vec<ExperimentPoint>,
+    sections: &[Section],
+    parallel: &CampaignReport,
+    options: RunOptions,
+    cli: &CliOptions,
+) {
+    println!("\n{}", parallel.render_runtime_table(&sections[0].title));
+    println!(
+        "\n{}",
+        parallel.render_traffic_table("Traffic (bytes/miss)")
+    );
+    println!(
+        "\n{}",
+        parallel.render_miss_latency_table("Miss latency summary")
+    );
+
+    let mut serial_wall: Option<f64> = None;
+    if cli.serial_baseline {
+        eprintln!("serial baseline: re-running the campaign with 1 thread ...");
+        let serial = run_campaign(all_points, options, 1);
+        assert_eq!(
+            serial.runs, parallel.runs,
+            "threads(1) and threads(N) must produce bit-identical reports"
+        );
+        println!(
+            "\ndeterminism check ok: {} serial reports are bit-identical to the threaded run",
+            serial.runs.len()
+        );
+        println!(
+            "wall-clock: {:.1} s serial vs {:.1} s with {} threads ({:.2}x)",
+            serial.wall_seconds,
+            parallel.wall_seconds,
+            parallel.threads,
+            serial.wall_seconds / parallel.wall_seconds
+        );
+        serial_wall = Some(serial.wall_seconds);
+    }
+
+    if let Some(path) = &cli.record_path {
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut fields = vec![
+            (
+                "sweep64_campaign_points".to_string(),
+                parallel.runs.len().to_string(),
+            ),
+            (
+                "sweep64_campaign_ops_per_node".to_string(),
+                options.ops_per_node.to_string(),
+            ),
+            ("sweep64_threads".to_string(), parallel.threads.to_string()),
+            (
+                "sweep64_wall_s_parallel".to_string(),
+                format!("{:.3}", parallel.wall_seconds),
+            ),
+            ("sweep64_host_cores".to_string(), host_cores.to_string()),
+        ];
+        if let Some(serial) = serial_wall {
+            fields.push(("sweep64_wall_s_serial".to_string(), format!("{serial:.3}")));
+            fields.push((
+                "sweep64_parallel_speedup".to_string(),
+                format!("{:.3}", serial / parallel.wall_seconds),
+            ));
+        }
+        merge_bench_fields(path, &fields).expect("record sweep64 wall-clock");
+        eprintln!("recorded sweep64 wall-clock fields in {path}");
+    }
+}

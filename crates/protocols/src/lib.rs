@@ -22,6 +22,12 @@
 //! All three implement the same [`tc_types::CoherenceController`] interface
 //! as the TokenB controller in `tc-core`, so the system runner and the
 //! benchmark harness can swap protocols freely.
+//!
+//! Construction goes through the [`registry`]: a table of
+//! [`registry::ProtocolFactory`] functions keyed by [`tc_types::ProtocolKind`]
+//! and by name, with all four paper protocols registered by default. The
+//! system runner builds controllers from the registry, so a new protocol
+//! variant is a registration, not an engine edit.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,9 +35,11 @@
 pub mod common;
 pub mod directory;
 pub mod hammer;
+pub mod registry;
 pub mod snooping;
 
 pub use common::{MosiLine, MosiState};
 pub use directory::DirectoryController;
 pub use hammer::HammerController;
+pub use registry::{default_registry, ProtocolEntry, ProtocolFactory, ProtocolRegistry};
 pub use snooping::SnoopingController;

@@ -1,0 +1,780 @@
+//! The campaign driver: one API that owns a *set* of experiment runs.
+//!
+//! Every evaluation artifact of the paper — a table, a figure, a sweep — is
+//! a list of [`ExperimentPoint`]s run under the same [`RunOptions`]. A
+//! [`Campaign`] executes such a list across OS threads: each point is an
+//! independently seeded, self-contained simulation, so points are
+//! embarrassingly parallel and the worker count changes *wall-clock only*,
+//! never results. The returned [`CampaignReport`] holds the per-point
+//! [`RunReport`]s in submission order (whatever order the workers finished
+//! in) plus the aggregate tables the paper's figures are built from, and
+//! serializes to JSON with a hand-rolled writer (the offline build
+//! environment has no serde).
+//!
+//! ```no_run
+//! use tc_system::campaign::Campaign;
+//! use tc_system::experiment::table2_points;
+//! use tc_system::RunOptions;
+//!
+//! let report = Campaign::new(table2_points())
+//!     .options(RunOptions::smoke())
+//!     .threads(4)
+//!     .on_progress(|event| eprintln!("{event}"))
+//!     .run();
+//! assert_eq!(report.runs.len(), 3);
+//! println!("{}", report.render_runtime_table("Table 2 configurations"));
+//! ```
+//!
+//! # Determinism contract
+//!
+//! `threads(1)` and `threads(N)` produce bit-identical reports (including
+//! the engine high-water marks and `events_delivered`): every point builds
+//! its own `System` from `(config, workload)` with its own seed, no state is
+//! shared between points, and reports are reassembled in submission order.
+//! `tests/campaign.rs` pins this contract in CI.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tc_protocols::ProtocolRegistry;
+use tc_types::{InvariantViolation, TrafficClass};
+
+use crate::experiment::ExperimentPoint;
+use crate::report::RunReport;
+use crate::runner::RunOptions;
+
+/// A progress notification delivered to [`Campaign::on_progress`] callbacks.
+///
+/// Callbacks run on the worker thread that produced the event, so with
+/// `threads(N)` they must tolerate concurrent invocation (the bound is
+/// `Send + Sync`).
+#[derive(Debug, Clone, Copy)]
+pub enum CampaignEvent<'a> {
+    /// A worker picked up a point.
+    Started {
+        /// Submission-order index of the point.
+        index: usize,
+        /// Total number of points in the campaign.
+        total: usize,
+        /// The point's label.
+        label: &'a str,
+    },
+    /// A worker finished a point.
+    Finished {
+        /// Submission-order index of the point.
+        index: usize,
+        /// Total number of points in the campaign.
+        total: usize,
+        /// The point's label.
+        label: &'a str,
+        /// Whether the run passed verification.
+        ok: bool,
+        /// Wall-clock seconds the point took.
+        wall_seconds: f64,
+    },
+}
+
+impl fmt::Display for CampaignEvent<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignEvent::Started {
+                index,
+                total,
+                label,
+            } => write!(f, "[{}/{total}] running {label} ...", index + 1),
+            CampaignEvent::Finished {
+                index,
+                total,
+                label,
+                ok,
+                wall_seconds,
+            } => write!(
+                f,
+                "[{}/{total}] {label}: {} in {wall_seconds:.1} s",
+                index + 1,
+                if *ok { "ok" } else { "VERIFICATION FAILED" }
+            ),
+        }
+    }
+}
+
+/// A boxed progress callback; see [`Campaign::on_progress`].
+type ProgressCallback = Box<dyn Fn(CampaignEvent<'_>) + Send + Sync>;
+
+/// One completed run of a campaign: the point's label plus its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The experiment point's label.
+    pub label: String,
+    /// The measurements of the run.
+    pub report: RunReport,
+}
+
+/// A builder-style driver that runs a list of [`ExperimentPoint`]s, possibly
+/// across OS threads.
+pub struct Campaign {
+    points: Vec<ExperimentPoint>,
+    options: RunOptions,
+    threads: usize,
+    registry: ProtocolRegistry,
+    progress: Option<ProgressCallback>,
+}
+
+impl fmt::Debug for Campaign {
+    // Manual: the boxed progress callback has no `Debug`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("points", &self.points.len())
+            .field("options", &self.options)
+            .field("threads", &self.threads)
+            .field("registry", &self.registry)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign over `points` with [`RunOptions::standard`]
+    /// options, one worker thread per available core (capped at the point
+    /// count), and the default protocol registry.
+    pub fn new(points: Vec<ExperimentPoint>) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Campaign {
+            points,
+            options: RunOptions::standard(),
+            threads: cores,
+            registry: tc_protocols::default_registry().clone(),
+            progress: None,
+        }
+    }
+
+    /// Sets the run options applied to every point.
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the number of worker threads. `1` runs the points serially on
+    /// the calling thread's schedule; any `N` produces bit-identical
+    /// reports, only the wall-clock changes. Values are clamped to at least
+    /// one.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Uses `registry` instead of the default protocol registry to construct
+    /// controllers, so campaigns can sweep experimental protocol variants.
+    pub fn registry(mut self, registry: ProtocolRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Installs a progress callback. It is invoked from worker threads, so
+    /// with more than one thread it must tolerate concurrent calls.
+    pub fn on_progress(
+        mut self,
+        callback: impl Fn(CampaignEvent<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Runs every point and returns the collected reports in submission
+    /// order.
+    ///
+    /// Work is distributed dynamically: workers claim the next unstarted
+    /// point from a shared counter, so a campaign of unevenly sized points
+    /// (64-node sweeps next to smoke runs) keeps all cores busy until the
+    /// tail. The claim order affects only scheduling — each point's
+    /// simulation is hermetic, and the report vector is indexed by
+    /// submission order, not completion order.
+    pub fn run(self) -> CampaignReport {
+        let total = self.points.len();
+        let workers = self.threads.min(total.max(1));
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, RunReport)>> = Mutex::new(Vec::with_capacity(total));
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let point = &self.points[index];
+                    if let Some(progress) = &self.progress {
+                        progress(CampaignEvent::Started {
+                            index,
+                            total,
+                            label: &point.label,
+                        });
+                    }
+                    let point_started = Instant::now();
+                    let report = point.run_with(self.options, &self.registry);
+                    if let Some(progress) = &self.progress {
+                        progress(CampaignEvent::Finished {
+                            index,
+                            total,
+                            label: &point.label,
+                            ok: report.verified().is_ok(),
+                            wall_seconds: point_started.elapsed().as_secs_f64(),
+                        });
+                    }
+                    results.lock().unwrap().push((index, report));
+                });
+            }
+        });
+
+        let mut collected = results.into_inner().unwrap();
+        collected.sort_unstable_by_key(|(index, _)| *index);
+        debug_assert_eq!(collected.len(), total);
+        let runs = collected
+            .into_iter()
+            .zip(&self.points)
+            .map(|((_, report), point)| CampaignRun {
+                label: point.label.clone(),
+                report,
+            })
+            .collect();
+
+        CampaignReport {
+            runs,
+            options: self.options,
+            threads: workers,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// One row of the normalized-runtime aggregate (Figures 4a / 5a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeRow {
+    /// Point label.
+    pub label: String,
+    /// Cycles per transaction (the paper's figure of merit).
+    pub cycles_per_transaction: f64,
+    /// Runtime normalized against the campaign's first point.
+    pub normalized: f64,
+    /// Percentage of misses served cache-to-cache.
+    pub cache_to_cache_pct: f64,
+}
+
+/// One row of the traffic-breakdown aggregate (Figures 4b / 5b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficRow {
+    /// Point label.
+    pub label: String,
+    /// Bytes per miss for every [`TrafficClass`], in the paper's stacked-bar
+    /// order.
+    pub per_class: Vec<(TrafficClass, f64)>,
+    /// Total link-crossing bytes per miss.
+    pub total: f64,
+}
+
+/// One row of the miss-latency aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissLatencyRow {
+    /// Point label.
+    pub label: String,
+    /// Total misses in the run.
+    pub misses: u64,
+    /// Average miss latency in nanoseconds.
+    pub avg_latency_ns: f64,
+    /// Percentage of misses served cache-to-cache.
+    pub cache_to_cache_pct: f64,
+    /// Percentage of misses that needed at least one reissue or a persistent
+    /// request (zero for the non-token protocols).
+    pub reissued_pct: f64,
+}
+
+/// Everything a finished campaign measured: per-point reports in submission
+/// order plus the aggregate tables.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-point runs, in the order the points were submitted.
+    pub runs: Vec<CampaignRun>,
+    /// The options every point ran under.
+    pub options: RunOptions,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_seconds: f64,
+}
+
+impl CampaignReport {
+    /// The per-point reports, in submission order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.runs.iter().map(|run| &run.report)
+    }
+
+    /// A sub-report over `count` runs starting at `start` (used to render a
+    /// flattened multi-section campaign section by section). Wall-clock and
+    /// thread count are inherited from the whole campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, count: usize) -> CampaignReport {
+        CampaignReport {
+            runs: self.runs[start..start + count].to_vec(),
+            options: self.options,
+            threads: self.threads,
+            wall_seconds: self.wall_seconds,
+        }
+    }
+
+    /// `Ok` if every run passed verification; otherwise the first failing
+    /// label and violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the label of the first unverified run plus its first
+    /// violation.
+    pub fn verified(&self) -> Result<(), (String, InvariantViolation)> {
+        for run in &self.runs {
+            if let Err(violation) = run.report.verified() {
+                return Err((run.label.clone(), violation));
+            }
+        }
+        Ok(())
+    }
+
+    /// The normalized-runtime aggregate, normalized against the first run.
+    pub fn runtime_rows(&self) -> Vec<RuntimeRow> {
+        let baseline = self
+            .runs
+            .first()
+            .map(|run| run.report.cycles_per_transaction())
+            .unwrap_or(1.0);
+        self.runs
+            .iter()
+            .map(|run| RuntimeRow {
+                label: run.label.clone(),
+                cycles_per_transaction: run.report.cycles_per_transaction(),
+                normalized: run.report.cycles_per_transaction() / baseline,
+                cache_to_cache_pct: 100.0 * run.report.misses.cache_to_cache_fraction(),
+            })
+            .collect()
+    }
+
+    /// The traffic-breakdown aggregate, in bytes per miss.
+    pub fn traffic_rows(&self) -> Vec<TrafficRow> {
+        self.runs
+            .iter()
+            .map(|run| {
+                let breakdown = run.report.traffic_breakdown();
+                TrafficRow {
+                    label: run.label.clone(),
+                    total: breakdown.total(),
+                    per_class: breakdown.per_class.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The miss-latency aggregate.
+    pub fn miss_latency_rows(&self) -> Vec<MissLatencyRow> {
+        self.runs
+            .iter()
+            .map(|run| {
+                let misses = &run.report.misses;
+                let reissue = &run.report.reissue;
+                let [_, once, more, persistent] = reissue.percentages();
+                MissLatencyRow {
+                    label: run.label.clone(),
+                    misses: misses.total_misses(),
+                    avg_latency_ns: misses.average_miss_latency(),
+                    cache_to_cache_pct: 100.0 * misses.cache_to_cache_fraction(),
+                    reissued_pct: once + more + persistent,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the normalized-runtime aggregate as an aligned text table,
+    /// mirroring the "normalized runtime" bars of Figures 4a and 5a (smaller
+    /// is better).
+    pub fn render_runtime_table(&self, title: &str) -> String {
+        let mut out = format!(
+            "{title}\n{:<38} {:>16} {:>12} {:>12}\n",
+            "configuration", "cycles/txn", "normalized", "c2c misses"
+        );
+        for row in self.runtime_rows() {
+            out.push_str(&format!(
+                "{:<38} {:>16.0} {:>12.3} {:>11.1}%\n",
+                row.label, row.cycles_per_transaction, row.normalized, row.cache_to_cache_pct
+            ));
+        }
+        out
+    }
+
+    /// Renders the traffic-breakdown aggregate as an aligned text table,
+    /// mirroring the stacked bars of Figures 4b and 5b.
+    pub fn render_traffic_table(&self, title: &str) -> String {
+        let mut out = format!(
+            "{title}\n{:<24} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "configuration", "data+wb", "requests", "fwd+inv", "other", "reissue+per", "total"
+        );
+        for run in &self.runs {
+            let breakdown = run.report.traffic_breakdown();
+            out.push_str(&format!(
+                "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                run.label,
+                breakdown.class(TrafficClass::DataResponseOrWriteback),
+                breakdown.class(TrafficClass::Request),
+                breakdown.class(TrafficClass::ForwardedOrInvalidation),
+                breakdown.class(TrafficClass::OtherControl),
+                breakdown.class(TrafficClass::ReissueOrPersistent),
+                breakdown.total()
+            ));
+        }
+        out
+    }
+
+    /// Renders the miss-latency aggregate as an aligned text table.
+    pub fn render_miss_latency_table(&self, title: &str) -> String {
+        let mut out = format!(
+            "{title}\n{:<38} {:>10} {:>14} {:>12} {:>10}\n",
+            "configuration", "misses", "avg lat (ns)", "c2c misses", "reissued"
+        );
+        for row in self.miss_latency_rows() {
+            out.push_str(&format!(
+                "{:<38} {:>10} {:>14.1} {:>11.1}% {:>9.2}%\n",
+                row.label, row.misses, row.avg_latency_ns, row.cache_to_cache_pct, row.reissued_pct
+            ));
+        }
+        out
+    }
+
+    /// Serializes the whole campaign — per-point reports and the three
+    /// aggregates — as JSON, using a hand-rolled writer (the offline build
+    /// has no serde; same policy as `BENCH_engine.json`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open('{');
+        w.field_u64("points", self.runs.len() as u64);
+        w.field_u64("threads", self.threads as u64);
+        w.field_u64("ops_per_node", self.options.ops_per_node);
+        w.field_u64("max_cycles", self.options.max_cycles);
+        w.field_f64("wall_seconds", self.wall_seconds, 3);
+        w.key("runs");
+        w.open('[');
+        for run in &self.runs {
+            let r = &run.report;
+            w.open('{');
+            w.field_str("label", &run.label);
+            w.field_str("protocol", r.protocol.name());
+            w.field_str("topology", r.topology.name());
+            w.field_str("workload", &r.workload);
+            w.field_u64("num_nodes", r.num_nodes as u64);
+            w.field_u64("runtime_cycles", r.runtime_cycles);
+            w.field_u64("total_ops", r.total_ops);
+            w.field_u64("total_transactions", r.total_transactions);
+            w.field_f64("cycles_per_transaction", r.cycles_per_transaction(), 2);
+            w.field_u64("misses", r.misses.total_misses());
+            w.field_f64("avg_miss_latency_ns", r.misses.average_miss_latency(), 2);
+            w.field_f64("bytes_per_miss", r.bytes_per_miss(), 2);
+            w.field_u64("events_delivered", r.engine.events_delivered);
+            w.field_u64("violations", r.violations.len() as u64);
+            w.close('}');
+        }
+        w.close(']');
+        w.key("normalized_runtime");
+        w.open('[');
+        for row in self.runtime_rows() {
+            w.open('{');
+            w.field_str("label", &row.label);
+            w.field_f64("cycles_per_transaction", row.cycles_per_transaction, 2);
+            w.field_f64("normalized", row.normalized, 4);
+            w.close('}');
+        }
+        w.close(']');
+        w.key("traffic_bytes_per_miss");
+        w.open('[');
+        for row in self.traffic_rows() {
+            w.open('{');
+            w.field_str("label", &row.label);
+            for (class, bytes) in &row.per_class {
+                w.field_f64(class_key(*class), *bytes, 2);
+            }
+            w.field_f64("total", row.total, 2);
+            w.close('}');
+        }
+        w.close(']');
+        w.key("miss_latency");
+        w.open('[');
+        for row in self.miss_latency_rows() {
+            w.open('{');
+            w.field_str("label", &row.label);
+            w.field_u64("misses", row.misses);
+            w.field_f64("avg_latency_ns", row.avg_latency_ns, 2);
+            w.field_f64("cache_to_cache_pct", row.cache_to_cache_pct, 2);
+            w.field_f64("reissued_pct", row.reissued_pct, 3);
+            w.close('}');
+        }
+        w.close(']');
+        w.close('}');
+        w.finish()
+    }
+}
+
+/// Stable JSON key for a traffic class.
+fn class_key(class: TrafficClass) -> &'static str {
+    match class {
+        TrafficClass::Request => "requests",
+        TrafficClass::ForwardedOrInvalidation => "forwarded_or_invalidation",
+        TrafficClass::DataResponseOrWriteback => "data_or_writeback",
+        TrafficClass::OtherControl => "other_control",
+        TrafficClass::ReissueOrPersistent => "reissue_or_persistent",
+    }
+}
+
+/// A minimal hand-rolled JSON emitter: objects, arrays, strings, and
+/// numbers, with comma placement handled by tracking whether the current
+/// container already has a member. Kept private to this module — it emits
+/// exactly the subset [`CampaignReport::to_json`] needs.
+struct JsonWriter {
+    out: String,
+    /// Whether the innermost open container already holds a member.
+    has_member: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            has_member: Vec::new(),
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.has_member.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    fn open(&mut self, bracket: char) {
+        self.comma();
+        self.out.push(bracket);
+        self.has_member.push(false);
+    }
+
+    fn close(&mut self, bracket: char) {
+        self.out.push(bracket);
+        self.has_member.pop();
+    }
+
+    /// Emits `"key":`, leaving the value to the next `open` call. The
+    /// pending-comma state is cleared so that `open` does not emit a second
+    /// comma for the same member.
+    fn key(&mut self, key: &str) {
+        self.comma();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":");
+        if let Some(has) = self.has_member.last_mut() {
+            *has = false;
+        }
+    }
+
+    fn field_str(&mut self, key: &str, value: &str) {
+        self.comma();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":\"");
+        for c in value.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn field_u64(&mut self, key: &str, value: u64) {
+        self.comma();
+        self.out.push_str(&format!("\"{key}\":{value}"));
+    }
+
+    fn field_f64(&mut self, key: &str, value: f64, decimals: usize) {
+        self.comma();
+        if value.is_finite() {
+            self.out.push_str(&format!("\"{key}\":{value:.decimals$}"));
+        } else {
+            // JSON has no NaN/Infinity; an undefined metric (0 misses makes
+            // bytes-per-miss 0/0) must not masquerade as a measured zero.
+            self.out.push_str(&format!("\"{key}\":null"));
+        }
+    }
+
+    fn finish(self) -> String {
+        debug_assert!(self.has_member.is_empty(), "unbalanced JSON containers");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{ProtocolKind, SystemConfig};
+    use tc_workloads::WorkloadProfile;
+
+    fn small_points() -> Vec<ExperimentPoint> {
+        ProtocolKind::ALL
+            .iter()
+            .map(|&protocol| {
+                let mut config = SystemConfig::isca03_default()
+                    .with_nodes(4)
+                    .with_protocol(protocol)
+                    .with_seed(7);
+                config.l2.size_bytes = 256 * 1024;
+                ExperimentPoint::new(
+                    format!("{protocol}-smoke"),
+                    config,
+                    WorkloadProfile::specjbb(),
+                )
+            })
+            .collect()
+    }
+
+    fn tiny_options() -> RunOptions {
+        RunOptions {
+            ops_per_node: 250,
+            max_cycles: 20_000_000,
+        }
+    }
+
+    #[test]
+    fn campaign_preserves_submission_order_and_labels() {
+        let points = small_points();
+        let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+        let report = Campaign::new(points)
+            .options(tiny_options())
+            .threads(3)
+            .run();
+        let got: Vec<String> = report.runs.iter().map(|r| r.label.clone()).collect();
+        assert_eq!(got, labels);
+        assert!(report.verified().is_ok());
+        assert_eq!(report.threads, 3);
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn progress_events_fire_once_per_point() {
+        use std::sync::atomic::AtomicU64;
+        let started = std::sync::Arc::new(AtomicU64::new(0));
+        let finished = std::sync::Arc::new(AtomicU64::new(0));
+        let (s, f) = (started.clone(), finished.clone());
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(2)
+            .on_progress(move |event| match event {
+                CampaignEvent::Started { .. } => {
+                    s.fetch_add(1, Ordering::Relaxed);
+                }
+                CampaignEvent::Finished { ok, .. } => {
+                    assert!(ok);
+                    f.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .run();
+        assert_eq!(started.load(Ordering::Relaxed), report.runs.len() as u64);
+        assert_eq!(finished.load(Ordering::Relaxed), report.runs.len() as u64);
+    }
+
+    #[test]
+    fn aggregates_are_normalized_against_the_first_point() {
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(1)
+            .run();
+        let runtime = report.runtime_rows();
+        assert_eq!(runtime.len(), 4);
+        assert!((runtime[0].normalized - 1.0).abs() < 1e-12);
+        let traffic = report.traffic_rows();
+        assert!(traffic.iter().all(|row| row.total >= 0.0));
+        let latency = report.miss_latency_rows();
+        assert!(latency.iter().all(|row| row.misses > 0));
+        // The renderers must not panic and must mention every label.
+        let text = format!(
+            "{}{}{}",
+            report.render_runtime_table("runtime"),
+            report.render_traffic_table("traffic"),
+            report.render_miss_latency_table("latency")
+        );
+        for run in &report.runs {
+            assert!(text.contains(&run.label));
+        }
+    }
+
+    #[test]
+    fn slice_returns_contiguous_sections() {
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(2)
+            .run();
+        let head = report.slice(0, 2);
+        let tail = report.slice(2, 2);
+        assert_eq!(head.runs.len(), 2);
+        assert_eq!(tail.runs.len(), 2);
+        assert_eq!(head.runs[0], report.runs[0]);
+        assert_eq!(tail.runs[1], report.runs[3]);
+    }
+
+    #[test]
+    fn empty_campaign_is_a_no_op() {
+        let report = Campaign::new(Vec::new()).threads(8).run();
+        assert!(report.runs.is_empty());
+        assert!(report.verified().is_ok());
+        assert!(report.to_json().contains("\"points\":0"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced_and_carries_the_runs() {
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(2)
+            .run();
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        for run in &report.runs {
+            assert!(json.contains(&format!("\"label\":\"{}\"", run.label)));
+        }
+        assert!(json.contains("\"normalized_runtime\":["));
+        assert!(json.contains("\"traffic_bytes_per_miss\":["));
+        assert!(json.contains("\"miss_latency\":["));
+        assert!(json.contains("\"events_delivered\":"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes_in_labels() {
+        let mut w = JsonWriter::new();
+        w.open('{');
+        w.field_str("label", "a \"quoted\\label\"\n");
+        w.close('}');
+        assert_eq!(w.finish(), "{\"label\":\"a \\\"quoted\\\\label\\\"\\n\"}");
+    }
+}

@@ -2,6 +2,7 @@
 //! paper's evaluation, shared by the benchmark binaries, the examples, and
 //! the integration tests.
 
+use tc_protocols::ProtocolRegistry;
 use tc_types::{BandwidthMode, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind};
 use tc_workloads::WorkloadProfile;
 
@@ -29,29 +30,57 @@ impl ExperimentPoint {
         }
     }
 
-    /// Builds and runs the point.
+    /// Builds and runs the point with the default protocol registry.
     pub fn run(&self, options: RunOptions) -> RunReport {
-        let mut system = System::build(&self.config, &self.workload);
+        self.run_with(options, tc_protocols::default_registry())
+    }
+
+    /// Builds and runs the point, constructing controllers through
+    /// `registry` (for experimental protocol variants).
+    pub fn run_with(&self, options: RunOptions, registry: &ProtocolRegistry) -> RunReport {
+        let mut system = System::build_with(&self.config, &self.workload, registry);
         system.run(options)
     }
 }
 
-/// Default run length used by the experiment binaries: long enough for the
-/// relative protocol behaviour to stabilize, short enough to finish a full
-/// figure in minutes.
-pub fn default_options() -> RunOptions {
-    RunOptions {
-        ops_per_node: 12_000,
-        max_cycles: 1_000_000_000,
+impl RunOptions {
+    /// Standard run length used by the experiment campaigns: long enough for
+    /// the relative protocol behaviour to stabilize, short enough to finish
+    /// a full figure in minutes.
+    pub fn standard() -> Self {
+        RunOptions {
+            ops_per_node: 12_000,
+            max_cycles: 1_000_000_000,
+        }
+    }
+
+    /// An abbreviated run used by tests and smoke checks.
+    pub fn smoke() -> Self {
+        RunOptions {
+            ops_per_node: 1_500,
+            max_cycles: 100_000_000,
+        }
+    }
+
+    /// Run options for the full 64-node, million-ops-per-node sweep.
+    pub fn sweep64() -> Self {
+        RunOptions {
+            ops_per_node: SWEEP64_OPS_PER_NODE,
+            max_cycles: 200_000_000_000,
+        }
     }
 }
 
-/// A abbreviated run used by tests and smoke checks.
+/// Standard run length used by the experiment campaigns.
+#[deprecated(since = "0.1.0", note = "use `RunOptions::standard()`")]
+pub fn default_options() -> RunOptions {
+    RunOptions::standard()
+}
+
+/// An abbreviated run used by tests and smoke checks.
+#[deprecated(since = "0.1.0", note = "use `RunOptions::smoke()`")]
 pub fn smoke_options() -> RunOptions {
-    RunOptions {
-        ops_per_node: 1_500,
-        max_cycles: 100_000_000,
-    }
+    RunOptions::smoke()
 }
 
 /// The base 16-processor configuration of Table 1.
@@ -197,11 +226,9 @@ pub fn figure5b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
 pub const SWEEP64_OPS_PER_NODE: u64 = 1_000_000;
 
 /// Run options for the full 64-node, million-ops-per-node sweep.
+#[deprecated(since = "0.1.0", note = "use `RunOptions::sweep64()`")]
 pub fn sweep64_options() -> RunOptions {
-    RunOptions {
-        ops_per_node: SWEEP64_OPS_PER_NODE,
-        max_cycles: 200_000_000_000,
-    }
+    RunOptions::sweep64()
 }
 
 /// The 64-node scale sweep: every protocol on every topology it supports
@@ -314,7 +341,7 @@ mod tests {
         assert!(points
             .iter()
             .any(|p| p.config.interconnect.topology == TopologyKind::Torus));
-        assert_eq!(sweep64_options().ops_per_node, SWEEP64_OPS_PER_NODE);
+        assert_eq!(RunOptions::sweep64().ops_per_node, SWEEP64_OPS_PER_NODE);
     }
 
     #[test]
@@ -325,6 +352,16 @@ mod tests {
             assert_eq!(p.config.num_nodes, 64);
             assert!(p.config.validate().is_ok(), "{}", p.label);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_helpers_forward_to_the_constructors() {
+        assert_eq!(default_options(), RunOptions::standard());
+        assert_eq!(smoke_options(), RunOptions::smoke());
+        assert_eq!(sweep64_options(), RunOptions::sweep64());
+        // `Default` stays the runner-level quick configuration.
+        assert!(RunOptions::default().ops_per_node > 0);
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //!   and traffic per miss broken down by message class (Figures 4b and 5b);
 //! * [`experiment`] — ready-made configurations for each figure and table of
 //!   the paper, shared by the benchmark binaries, the examples, and the
-//!   integration tests.
+//!   integration tests;
+//! * [`Campaign`] — a builder-style driver that executes a whole set of
+//!   experiment points across OS threads (each point is an independently
+//!   seeded, hermetic simulation, so parallelism changes wall-clock only,
+//!   never results) and aggregates the reports into the paper's tables.
+//!
+//! Controllers are constructed through the `tc_protocols` registry: the four
+//! paper protocols are registered by default, and [`System::build_with`]
+//! accepts a custom registry so a new protocol variant is a registration
+//! rather than an engine edit.
 //!
 //! # Example
 //!
@@ -42,12 +51,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiment;
 pub mod processor;
 pub mod report;
 pub mod runner;
 pub mod verify;
 
+pub use campaign::{Campaign, CampaignEvent, CampaignReport, CampaignRun};
+pub use experiment::ExperimentPoint;
 pub use processor::{CompletionOutcome, Processor};
 pub use report::{RunReport, TrafficBreakdown};
 pub use runner::{RunOptions, System};

@@ -42,7 +42,12 @@ impl TrafficBreakdown {
 }
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — including the engine high-water marks
+/// and `events_delivered` — so "two runs are equal" means *bit-identical
+/// simulation behaviour*, the contract the campaign driver's determinism
+/// test pins across thread counts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Protocol that was run.
     pub protocol: ProtocolKind,

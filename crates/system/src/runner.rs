@@ -1,8 +1,7 @@
 //! The event-driven system runner.
 
-use tc_core::TokenBController;
 use tc_interconnect::Interconnect;
-use tc_protocols::{DirectoryController, HammerController, SnoopingController};
+use tc_protocols::ProtocolRegistry;
 use tc_sim::{Arena, ArenaRef, EventQueue};
 use tc_types::{
     AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
@@ -60,16 +59,6 @@ enum SystemEvent {
     Timer { node: NodeId, timer: Timer },
 }
 
-/// Builds a coherence controller of the configured protocol for one node.
-fn make_controller(node: NodeId, config: &SystemConfig) -> Box<dyn CoherenceController> {
-    match config.protocol {
-        ProtocolKind::TokenB => Box::new(TokenBController::new(node, config)),
-        ProtocolKind::Snooping => Box::new(SnoopingController::new(node, config)),
-        ProtocolKind::Directory => Box::new(DirectoryController::new(node, config)),
-        ProtocolKind::Hammer => Box::new(HammerController::new(node, config)),
-    }
-}
-
 /// One simulated multiprocessor: N nodes, an interconnect, a verifier, and a
 /// deterministic event queue.
 #[derive(Debug)]
@@ -101,7 +90,9 @@ pub struct System {
 }
 
 impl System {
-    /// Assembles a system for `config` running `profile` on every processor.
+    /// Assembles a system for `config` running `profile` on every processor,
+    /// constructing the controllers through the default protocol registry
+    /// (the four paper protocols).
     ///
     /// # Panics
     ///
@@ -109,11 +100,27 @@ impl System {
     /// [`SystemConfig::validate`]); validate first if you need an error
     /// instead.
     pub fn build(config: &SystemConfig, profile: &WorkloadProfile) -> Self {
+        System::build_with(config, profile, tc_protocols::default_registry())
+    }
+
+    /// [`System::build`] with an explicit protocol registry, so experimental
+    /// protocol variants (registered under an existing [`ProtocolKind`] for
+    /// configuration purposes) can be run without touching the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or if `registry` has no
+    /// factory for `config.protocol`.
+    pub fn build_with(
+        config: &SystemConfig,
+        profile: &WorkloadProfile,
+        registry: &ProtocolRegistry,
+    ) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid system configuration: {e}"));
         let controllers = (0..config.num_nodes)
-            .map(|n| make_controller(NodeId::new(n), config))
+            .map(|n| registry.build(NodeId::new(n), config))
             .collect();
         let processors = (0..config.num_nodes)
             .map(|n| {

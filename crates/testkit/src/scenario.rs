@@ -1,5 +1,6 @@
 //! Named, seeded, contended workload scenarios.
 
+use tc_system::experiment::ExperimentPoint;
 use tc_system::{RunOptions, RunReport, System};
 use tc_types::{Cycle, ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
@@ -78,12 +79,19 @@ impl Scenario {
         }
     }
 
-    /// Looks up a standard scenario by name (the replay path printed in
-    /// failure reports).
-    pub fn by_name(name: &str) -> Option<Scenario> {
+    /// Every named scenario: the standard matrix plus the 64-node scale
+    /// scenario. The catalog backing [`Scenario::by_name`], so a new
+    /// scenario constructor that skips it is unreachable by name.
+    pub fn all() -> Vec<Scenario> {
         let mut all = Scenario::standard();
         all.push(Scenario::sweep64());
-        all.into_iter().find(|s| s.name == name)
+        all
+    }
+
+    /// Looks up a scenario by name (the replay path printed in failure
+    /// reports).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
     }
 
     /// The system configuration this scenario runs `protocol` under.
@@ -94,6 +102,27 @@ impl Scenario {
             .with_seed(seed);
         config.l2.size_bytes = self.l2_bytes;
         config
+    }
+
+    /// This scenario as a campaign-drivable [`ExperimentPoint`], so
+    /// conformance scenarios can fan out across cores through
+    /// `tc_system::Campaign` exactly like the paper's experiment catalogs.
+    /// The point's label embeds `(scenario, protocol, seed)` — the replay
+    /// coordinates.
+    pub fn experiment_point(&self, protocol: ProtocolKind, seed: u64) -> ExperimentPoint {
+        ExperimentPoint::new(
+            format!("{}/{}/seed{}", self.name, protocol, seed),
+            self.config(protocol, seed),
+            self.workload.clone(),
+        )
+    }
+
+    /// The run options a full-length run of this scenario uses.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            ops_per_node: self.ops_per_node,
+            max_cycles: self.max_cycles,
+        }
     }
 
     /// Runs the scenario to completion and returns the audited report.
@@ -129,13 +158,26 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for scenario in Scenario::standard() {
+        for scenario in Scenario::all() {
             assert_eq!(
                 Scenario::by_name(scenario.name).unwrap().name,
                 scenario.name
             );
         }
         assert!(Scenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn experiment_points_carry_the_replay_coordinates() {
+        let scenario = Scenario::by_name("hot_block_contention").unwrap();
+        let point = scenario.experiment_point(ProtocolKind::Hammer, 42);
+        assert!(point.label.contains("hot_block_contention"));
+        assert!(point.label.contains("Hammer"));
+        assert!(point.label.contains("seed42"));
+        assert_eq!(point.config.seed, 42);
+        assert_eq!(point.config.num_nodes, scenario.num_nodes);
+        assert!(point.config.validate().is_ok());
+        assert_eq!(scenario.run_options().ops_per_node, scenario.ops_per_node);
     }
 
     #[test]

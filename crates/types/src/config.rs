@@ -43,6 +43,14 @@ impl ProtocolKind {
             ProtocolKind::Hammer => "Hammer",
         }
     }
+
+    /// Looks a kind up by (case-insensitive) name; the inverse of
+    /// [`ProtocolKind::name`], used by command-line protocol filters.
+    pub fn by_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(name))
+    }
 }
 
 impl fmt::Display for ProtocolKind {

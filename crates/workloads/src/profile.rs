@@ -199,16 +199,54 @@ impl WorkloadProfile {
         }
     }
 
-    /// Looks a profile up by (case-insensitive) name.
+    /// The names of every public profile constructor, i.e. the vocabulary of
+    /// [`WorkloadProfile::by_name`] (aliases not included). Order matches
+    /// [`WorkloadProfile::all`].
+    pub const ALL_NAMES: [&'static str; 7] = [
+        "OLTP",
+        "Apache",
+        "SPECjbb",
+        "HotBlock",
+        "Private",
+        "UniformShared",
+        "ProducerConsumer",
+    ];
+
+    /// Every public profile, in [`WorkloadProfile::ALL_NAMES`] order: the
+    /// three commercial calibrations followed by the four microbenchmarks.
+    /// The catalog is what keeps name resolution honest — a new constructor
+    /// that is not added here fails the round-trip test instead of silently
+    /// missing [`WorkloadProfile::by_name`].
+    pub fn all() -> Vec<WorkloadProfile> {
+        vec![
+            WorkloadProfile::oltp(),
+            WorkloadProfile::apache(),
+            WorkloadProfile::specjbb(),
+            WorkloadProfile::hot_block(),
+            WorkloadProfile::private_only(),
+            WorkloadProfile::uniform_shared(),
+            WorkloadProfile::producer_consumer(),
+        ]
+    }
+
+    /// Looks a profile up by name, ignoring case and `-`/`_` separators, so
+    /// every profile's own `name` round-trips (`"ProducerConsumer"`,
+    /// `"producer_consumer"`, and `"producer-consumer"` all resolve) along
+    /// with a few short aliases.
     pub fn by_name(name: &str) -> Option<WorkloadProfile> {
-        match name.to_ascii_lowercase().as_str() {
+        let normalized: String = name
+            .chars()
+            .filter(|c| *c != '_' && *c != '-')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match normalized.as_str() {
             "oltp" => Some(WorkloadProfile::oltp()),
             "apache" => Some(WorkloadProfile::apache()),
             "specjbb" | "jbb" => Some(WorkloadProfile::specjbb()),
-            "hotblock" | "hot_block" => Some(WorkloadProfile::hot_block()),
-            "private" | "private_only" => Some(WorkloadProfile::private_only()),
-            "uniform" | "uniform_shared" => Some(WorkloadProfile::uniform_shared()),
-            "producer_consumer" | "prodcons" => Some(WorkloadProfile::producer_consumer()),
+            "hotblock" => Some(WorkloadProfile::hot_block()),
+            "private" | "privateonly" => Some(WorkloadProfile::private_only()),
+            "uniform" | "uniformshared" => Some(WorkloadProfile::uniform_shared()),
+            "producerconsumer" | "prodcons" => Some(WorkloadProfile::producer_consumer()),
             _ => None,
         }
     }
@@ -246,6 +284,52 @@ mod tests {
         assert!(WorkloadProfile::by_name("nonsense").is_none());
     }
 
+    /// Every profile in the catalog resolves back to itself through its own
+    /// `name`, so a new constructor cannot silently miss name resolution —
+    /// it either joins `all()`/`ALL_NAMES` (and this test enforces the
+    /// `by_name` arm) or it is unreachable by catalog and fails the length
+    /// check the moment someone adds it to one list but not the others.
+    #[test]
+    fn every_catalog_profile_round_trips_through_by_name() {
+        let all = WorkloadProfile::all();
+        assert_eq!(all.len(), WorkloadProfile::ALL_NAMES.len());
+        for (profile, expected_name) in all.iter().zip(WorkloadProfile::ALL_NAMES) {
+            assert_eq!(profile.name, expected_name);
+            let resolved = WorkloadProfile::by_name(profile.name)
+                .unwrap_or_else(|| panic!("{} does not resolve via by_name", profile.name));
+            assert_eq!(
+                &resolved, profile,
+                "{} resolves to a different profile",
+                profile.name
+            );
+        }
+        // Catalog names are unique.
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn separator_and_alias_lookups_resolve() {
+        for (alias, canonical) in [
+            ("producer-consumer", "ProducerConsumer"),
+            ("producer_consumer", "ProducerConsumer"),
+            ("prodcons", "ProducerConsumer"),
+            ("uniform", "UniformShared"),
+            ("uniform_shared", "UniformShared"),
+            ("hot_block", "HotBlock"),
+            ("private_only", "Private"),
+            ("jbb", "SPECjbb"),
+        ] {
+            assert_eq!(
+                WorkloadProfile::by_name(alias).map(|p| p.name),
+                Some(canonical),
+                "alias {alias}"
+            );
+        }
+    }
+
     #[test]
     fn commercial_returns_all_three_in_figure_order() {
         let all = WorkloadProfile::commercial();
@@ -272,15 +356,7 @@ mod tests {
 
     #[test]
     fn weights_are_non_negative_and_non_degenerate() {
-        for p in [
-            WorkloadProfile::oltp(),
-            WorkloadProfile::apache(),
-            WorkloadProfile::specjbb(),
-            WorkloadProfile::hot_block(),
-            WorkloadProfile::private_only(),
-            WorkloadProfile::uniform_shared(),
-            WorkloadProfile::producer_consumer(),
-        ] {
+        for p in WorkloadProfile::all() {
             assert!(p.region_weights.iter().all(|w| *w >= 0.0), "{}", p.name);
             assert!(p.region_weights.iter().sum::<f64>() > 0.0, "{}", p.name);
             assert!(p.think_cycles_mean > 0, "{}", p.name);

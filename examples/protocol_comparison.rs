@@ -3,7 +3,8 @@
 //!
 //! This is a miniature version of Figures 4 and 5 of the paper: TokenB on
 //! the unordered torus against Snooping on the ordered tree, and against the
-//! Directory and Hammer protocols on the torus.
+//! Directory and Hammer protocols on the torus. All four points run as one
+//! campaign, fanned out across the machine's cores.
 //!
 //! Run with (release strongly recommended):
 //!
@@ -14,16 +15,6 @@
 //! where `workload` is one of `oltp`, `apache`, `specjbb` (default `oltp`).
 
 use token_coherence::prelude::*;
-use token_coherence::system::RunReport;
-
-fn run(protocol: ProtocolKind, workload: &WorkloadProfile, ops: u64) -> RunReport {
-    let config = SystemConfig::isca03_default().with_protocol(protocol);
-    let mut system = System::build(&config, workload);
-    system.run(RunOptions {
-        ops_per_node: ops,
-        max_cycles: 2_000_000_000,
-    })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,13 +29,27 @@ fn main() {
         workload.name, ops
     );
 
-    let reports: Vec<RunReport> = ProtocolKind::ALL
+    let points: Vec<ExperimentPoint> = ProtocolKind::ALL
         .iter()
-        .map(|p| run(*p, &workload, ops))
+        .map(|&protocol| {
+            let config = SystemConfig::isca03_default().with_protocol(protocol);
+            ExperimentPoint::new(
+                format!("{protocol}/{}", config.interconnect.topology),
+                config,
+                workload.clone(),
+            )
+        })
         .collect();
+    let campaign = Campaign::new(points)
+        .options(RunOptions {
+            ops_per_node: ops,
+            max_cycles: 2_000_000_000,
+        })
+        .on_progress(|event| eprintln!("  {event}"))
+        .run();
 
-    let baseline = reports
-        .iter()
+    let baseline = campaign
+        .reports()
         .find(|r| r.protocol == ProtocolKind::Snooping)
         .map(|r| r.cycles_per_transaction())
         .unwrap_or(1.0);
@@ -53,7 +58,7 @@ fn main() {
         "{:<22} {:>14} {:>10} {:>12} {:>12} {:>10}",
         "protocol/interconnect", "cycles/txn", "vs Snoop", "c2c misses", "bytes/miss", "checked"
     );
-    for report in &reports {
+    for report in campaign.reports() {
         println!(
             "{:<22} {:>14.0} {:>9.2}x {:>11.1}% {:>12.1} {:>10}",
             report.label(),
@@ -73,5 +78,11 @@ fn main() {
         "\nExpected shape (paper, Figures 4a & 5a): TokenB/Torus is the fastest; Snooping/Tree and \
          TokenB/Tree are close to each other; Hammer beats Directory (no directory lookup) but \
          both pay the home indirection; Hammer uses the most interconnect traffic, Directory the least."
+    );
+    println!(
+        "(campaign: {} points in {:.1} s across {} threads)",
+        campaign.runs.len(),
+        campaign.wall_seconds,
+        campaign.threads
     );
 }

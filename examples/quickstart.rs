@@ -1,5 +1,7 @@
 //! Quickstart: build the paper's 16-processor target system, run an
-//! OLTP-like workload under TokenB, and print the headline measurements.
+//! OLTP-like workload under TokenB, and print the headline measurements —
+//! then run a small campaign comparing TokenB against the directory
+//! baseline across worker threads.
 //!
 //! Run with:
 //!
@@ -20,6 +22,7 @@ fn main() {
         config.protocol, config.interconnect.topology, config.num_nodes, workload.name
     );
 
+    // One system, driven directly.
     let mut system = System::build(&config, &workload);
     let report = system.run(RunOptions {
         ops_per_node: 5_000,
@@ -39,4 +42,33 @@ fn main() {
         Ok(()) => println!("\nAll safety and starvation-freedom checks passed."),
         Err(violation) => println!("\nVIOLATION DETECTED: {violation}"),
     }
+
+    // A whole experiment set, driven by the campaign API: each point is an
+    // independently seeded simulation, so the driver fans them out across
+    // OS threads without changing any result.
+    let points = vec![
+        ExperimentPoint::new("TokenB-Torus", config.clone(), workload.clone()),
+        ExperimentPoint::new(
+            "Directory-Torus",
+            config.with_protocol(ProtocolKind::Directory),
+            workload,
+        ),
+    ];
+    let campaign = Campaign::new(points)
+        .options(RunOptions {
+            ops_per_node: 5_000,
+            max_cycles: 1_000_000_000,
+        })
+        .on_progress(|event| eprintln!("  {event}"))
+        .run();
+    println!(
+        "\n{}",
+        campaign.render_runtime_table("TokenB vs Directory (normalized runtime)")
+    );
+    println!(
+        "campaign: {} points in {:.1} s across {} threads",
+        campaign.runs.len(),
+        campaign.wall_seconds,
+        campaign.threads
+    );
 }

@@ -12,8 +12,12 @@
 //!   Directory, and an AMD-Hammer-style broadcast protocol.
 //! * [`system`] (`tc-system`) — the 16-node target system of Table 1: the
 //!   processor model, the event-driven runner, the safety/starvation
-//!   verifier, and ready-made experiment configurations for every table and
-//!   figure of the evaluation.
+//!   verifier, ready-made experiment configurations for every table and
+//!   figure of the evaluation, and the multi-threaded [`system::Campaign`]
+//!   driver that runs whole experiment sets with bit-identical results at
+//!   any thread count. Controllers are constructed through the
+//!   [`protocols::registry`], so a new protocol variant is a registration,
+//!   not an engine edit.
 //! * [`interconnect`], [`memsys`], [`workloads`], [`sim`], [`types`] — the
 //!   substrates: ordered-tree and unordered-torus interconnects with link
 //!   contention, caches/MSHRs/home memory, synthetic commercial workloads,
@@ -48,8 +52,10 @@ pub use tc_workloads as workloads;
 /// The most commonly used items, for `use token_coherence::prelude::*`.
 pub mod prelude {
     pub use tc_core::TokenBController;
-    pub use tc_protocols::{DirectoryController, HammerController, SnoopingController};
-    pub use tc_system::{RunOptions, RunReport, System};
+    pub use tc_protocols::{
+        DirectoryController, HammerController, ProtocolRegistry, SnoopingController,
+    };
+    pub use tc_system::{Campaign, CampaignReport, ExperimentPoint, RunOptions, RunReport, System};
     pub use tc_types::{
         BandwidthMode, CoherenceController, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind,
     };

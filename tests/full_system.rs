@@ -47,20 +47,38 @@ fn assert_live(report: &token_coherence::system::RunReport, context: &str) {
 fn every_protocol_passes_verification_on_every_commercial_workload() {
     // All four protocols, including the snooping baseline: the writeback-ack
     // handshake closed the race that used to wedge it on the contended
-    // 8-node configurations.
-    for protocol in ProtocolKind::ALL {
-        for workload in WorkloadProfile::commercial() {
-            let name = workload.name;
-            let report = run(protocol, workload, 8, 1_200);
-            assert_live(&report, &format!("{protocol} on {name}"));
-            assert!(
-                report.verified().is_ok(),
-                "{protocol} on {name}: {:?}",
-                report.violations
-            );
-            assert!(report.total_ops >= 8 * 1_200);
-            assert!(report.misses.total_misses() > 0, "{protocol} on {name}");
-        }
+    // 8-node configurations. The whole 4x3 matrix runs as one campaign
+    // through the threaded driver.
+    let points: Vec<ExperimentPoint> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|protocol| {
+            WorkloadProfile::commercial().into_iter().map(move |w| {
+                let mut config = SystemConfig::isca03_default()
+                    .with_nodes(8)
+                    .with_protocol(protocol)
+                    .with_seed(2026);
+                config.l2.size_bytes = 512 * 1024;
+                ExperimentPoint::new(format!("{protocol} on {}", w.name), config, w)
+            })
+        })
+        .collect();
+    let campaign = Campaign::new(points)
+        .options(RunOptions {
+            ops_per_node: 1_200,
+            max_cycles: 200_000_000,
+        })
+        .threads(2)
+        .run();
+    for run in &campaign.runs {
+        assert_live(&run.report, &run.label);
+        assert!(
+            run.report.verified().is_ok(),
+            "{}: {:?}",
+            run.label,
+            run.report.violations
+        );
+        assert!(run.report.total_ops >= 8 * 1_200, "{}", run.label);
+        assert!(run.report.misses.total_misses() > 0, "{}", run.label);
     }
 }
 
@@ -169,24 +187,29 @@ fn snooping_requires_the_ordered_tree() {
 /// is `#[ignore]`d for on-demand / CI-smoke use.
 #[test]
 fn sweep64_matrix_passes_verification_at_reduced_ops() {
-    for point in token_coherence::system::experiment::sweep64_points() {
-        let report = point.run(RunOptions {
+    let campaign = Campaign::new(token_coherence::system::experiment::sweep64_points())
+        .options(RunOptions {
             ops_per_node: 120,
             max_cycles: 400_000_000,
-        });
-        assert_live(&report, &point.label);
+        })
+        .threads(2)
+        .run();
+    assert_eq!(campaign.runs.len(), 7);
+    for run in &campaign.runs {
+        let report = &run.report;
+        assert_live(report, &run.label);
         assert!(
             report.verified().is_ok(),
             "{}: {:?}",
-            point.label,
+            run.label,
             report.violations
         );
         assert_eq!(report.num_nodes, 64);
-        assert!(report.total_ops >= 64 * 120, "{}", point.label);
+        assert!(report.total_ops >= 64 * 120, "{}", run.label);
         // The engine high-water marks are populated — the data the next
         // bottleneck hunt starts from.
-        assert!(report.engine.peak_queue_depth > 0, "{}", point.label);
-        assert!(report.engine.events_delivered > 0, "{}", point.label);
+        assert!(report.engine.peak_queue_depth > 0, "{}", run.label);
+        assert!(report.engine.events_delivered > 0, "{}", run.label);
     }
 }
 
@@ -196,12 +219,12 @@ fn sweep64_matrix_passes_verification_at_reduced_ops() {
 #[test]
 #[ignore = "full-scale sweep point: minutes of wall-clock, run explicitly"]
 fn sweep64_full_million_ops() {
-    use token_coherence::system::experiment::{sweep64_options, sweep64_points};
+    use token_coherence::system::experiment::sweep64_points;
     let point = sweep64_points()
         .into_iter()
         .find(|p| p.label == "TokenB-Torus-64p")
         .expect("sweep point exists");
-    let report = point.run(sweep64_options());
+    let report = point.run(RunOptions::sweep64());
     assert_live(&report, &point.label);
     assert!(report.verified().is_ok(), "{:?}", report.violations);
     assert!(report.total_ops >= 64 * 1_000_000);
