@@ -23,6 +23,13 @@
 //!   unrelated to the machine that recorded the file, gate against the
 //!   seed-engine figure instead (`--check-key baseline_events_per_sec`) —
 //!   an absolute same-machine number would fail forever on a slower host.
+//! * `--check-state-bytes`: peak-state-bytes regression gate (next to the
+//!   throughput gate). Unlike wall-clock, the line-state plane's peak byte
+//!   footprint is *deterministic* — a pure function of the pinned simulation
+//!   and the struct layouts — so the gate is tight: the run fails if the
+//!   measured `peak_state_bytes` exceeds the figure recorded in the
+//!   `--check` file by more than 10%. A failure means a change grew the
+//!   simulated-state working set; re-record only for an intentional change.
 //!
 //! The 64-node scale measurement that used to live behind `--sweep64` is
 //! now `tc-bench sweep64 --record <path>`, which runs the whole sweep
@@ -42,7 +49,7 @@ const TIMED_RUNS: usize = 7;
 
 /// Short description of the engine configuration being measured, recorded in
 /// the JSON so trajectory points are attributable to engine generations.
-const ENGINE_CONFIG: &str = "calendar-queue + msg-arena";
+const ENGINE_CONFIG: &str = "calendar-queue + msg-arena + line-state plane";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -52,6 +59,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut check_key = "events_per_sec".to_string();
     let mut tolerance: f64 = 0.30;
+    let mut check_state_bytes = false;
     let mut runs = TIMED_RUNS;
     // Strict parsing: a flag with a missing value is a usage error, not a
     // silently-empty string (an empty `--check` path would make the
@@ -73,6 +81,7 @@ fn main() {
             "--out" => out_path = value(),
             "--check" => check_path = Some(value()),
             "--check-key" => check_key = value(),
+            "--check-state-bytes" => check_state_bytes = true,
             "--tolerance" => tolerance = parse_or_die(arg, &value()),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -99,12 +108,19 @@ fn main() {
 
     let mut best_events_per_sec = 0.0f64;
     let mut best = (0u64, 0.0f64);
+    let mut state = tc_types::LineStateStats::default();
     for i in 0..runs {
-        let (events, secs) = run_once(&config, &profile, options);
+        let (events, secs, run_state) = run_once(&config, &profile, options);
+        // Deterministic: identical in every run of this configuration.
+        state = run_state;
         let rate = events as f64 / secs;
         eprintln!(
-            "run {}/{runs}: {events} events in {secs:.3} s = {rate:.0} events/s",
-            i + 1
+            "run {}/{runs}: {events} events in {secs:.3} s = {rate:.0} events/s \
+             (line-state plane: {} peak entries, {} B, retired-plane est {} B)",
+            i + 1,
+            state.total_entries(),
+            state.state_bytes,
+            state.retired_bytes_est
         );
         if rate > best_events_per_sec {
             best_events_per_sec = rate;
@@ -116,6 +132,11 @@ fn main() {
         std::fs::read_to_string(path)
             .ok()
             .and_then(|text| read_number(&text, &check_key))
+    });
+    let state_bytes_reference = check_path.as_ref().and_then(|path| {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| read_number(&text, "\"peak_state_bytes\":"))
     });
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
     let json = {
@@ -138,8 +159,17 @@ fn main() {
              \"num_nodes\": {num_nodes},\n  \"ops_per_node\": {ops_per_node},\n  \
              \"events_delivered\": {},\n  \"wall_seconds\": {:.6},\n  \
              \"events_per_sec\": {:.0},\n  \"baseline_events_per_sec\": {:.0},\n  \
-             \"speedup_vs_baseline\": {:.3},\n",
-            best.0, best.1, best_events_per_sec, baseline, speedup
+             \"speedup_vs_baseline\": {:.3},\n  \
+             \"peak_state_entries\": {},\n  \"peak_state_bytes\": {},\n  \
+             \"peak_state_bytes_retired_plane_est\": {},\n",
+            best.0,
+            best.1,
+            best_events_per_sec,
+            baseline,
+            speedup,
+            state.total_entries(),
+            state.state_bytes,
+            state.retired_bytes_est
         );
         body.push_str(&sweep_tail);
         let body = body.trim_end().trim_end_matches(',');
@@ -176,6 +206,37 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if check_state_bytes {
+            match state_bytes_reference {
+                Some(recorded) if recorded > 0.0 => {
+                    // Deterministic metric: tight 10% ceiling (slack only for
+                    // cross-platform struct-layout differences).
+                    let ceiling = recorded * 1.10;
+                    if state.state_bytes as f64 > ceiling {
+                        eprintln!(
+                            "STATE REGRESSION: peak_state_bytes {} exceeds the recorded \
+                             {recorded:.0} by more than 10% ({check_path})",
+                            state.state_bytes
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "state check ok: peak_state_bytes {} <= {ceiling:.0} \
+                         ({recorded:.0} recorded in {check_path})",
+                        state.state_bytes
+                    );
+                }
+                _ => {
+                    eprintln!(
+                        "STATE REGRESSION CHECK FAILED: no peak_state_bytes found in {check_path}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if check_state_bytes {
+        eprintln!("--check-state-bytes requires --check <path>");
+        std::process::exit(2);
     }
 }
 
@@ -187,8 +248,13 @@ fn parse_or_die<T: std::str::FromStr>(flag: &str, value: &str) -> T {
     })
 }
 
-/// Builds a fresh system and times one run, returning (events, seconds).
-fn run_once(config: &SystemConfig, profile: &WorkloadProfile, options: RunOptions) -> (u64, f64) {
+/// Builds a fresh system and times one run, returning (events, seconds,
+/// line-state plane stats).
+fn run_once(
+    config: &SystemConfig,
+    profile: &WorkloadProfile,
+    options: RunOptions,
+) -> (u64, f64, tc_types::LineStateStats) {
     let mut system = System::build(config, profile);
     let start = Instant::now();
     let report = system.run(options);
@@ -198,7 +264,7 @@ fn run_once(config: &SystemConfig, profile: &WorkloadProfile, options: RunOption
         "benchmark run must verify cleanly: {:?}",
         report.violations
     );
-    (system.events_delivered(), secs)
+    (system.events_delivered(), secs, report.engine.state)
 }
 
 /// Extracts the first number after `key` from our own fixed-shape output.

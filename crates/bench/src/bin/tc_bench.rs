@@ -329,6 +329,13 @@ fn finish_sweep64(
         let host_cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        // The largest single-point line-state working set of the sweep (the
+        // per-point figure is deterministic; the max names the worst point).
+        let peak_state_bytes = parallel
+            .reports()
+            .map(|r| r.engine.state.state_bytes)
+            .max()
+            .unwrap_or(0);
         let mut fields = vec![
             (
                 "sweep64_campaign_points".to_string(),
@@ -344,6 +351,10 @@ fn finish_sweep64(
                 format!("{:.3}", parallel.wall_seconds),
             ),
             ("sweep64_host_cores".to_string(), host_cores.to_string()),
+            (
+                "sweep64_peak_state_bytes".to_string(),
+                peak_state_bytes.to_string(),
+            ),
         ];
         if let Some(serial) = serial_wall {
             fields.push(("sweep64_wall_s_serial".to_string(), format!("{serial:.3}")));

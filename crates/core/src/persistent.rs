@@ -1,7 +1,6 @@
 //! The per-node table of active persistent requests.
 
-use std::collections::BTreeMap;
-
+use tc_memsys::LineTable;
 use tc_types::{BlockAddr, NodeId};
 
 /// One active persistent request, as remembered by every node.
@@ -19,10 +18,13 @@ pub struct PersistentEntry {
 ///
 /// While an entry for a block is present, the node must forward every token
 /// it holds for that block — and every token it receives later — to the
-/// entry's requester, until the arbiter broadcasts a deactivation.
+/// entry's requester, until the arbiter broadcasts a deactivation. Entries
+/// live on the shared [`LineTable`] plane: the table is probed on every
+/// token receipt and every transient-request snoop, and nothing depends on
+/// iteration order.
 #[derive(Debug, Clone, Default)]
 pub struct PersistentTable {
-    entries: BTreeMap<BlockAddr, PersistentEntry>,
+    entries: LineTable<PersistentEntry>,
     activations_seen: u64,
 }
 
@@ -42,18 +44,18 @@ impl PersistentTable {
     /// Removes the entry for `addr` (a deactivation broadcast). Returns the
     /// entry that was active, if any.
     pub fn deactivate(&mut self, addr: BlockAddr) -> Option<PersistentEntry> {
-        self.entries.remove(&addr)
+        self.entries.remove(addr)
     }
 
     /// The active persistent request for `addr`, if any.
     pub fn active(&self, addr: BlockAddr) -> Option<PersistentEntry> {
-        self.entries.get(&addr).copied()
+        self.entries.get(addr).copied()
     }
 
     /// Returns the requester that tokens for `addr` must be forwarded to, if
     /// it is some node other than `me`.
     pub fn forward_target(&self, addr: BlockAddr, me: NodeId) -> Option<NodeId> {
-        match self.entries.get(&addr) {
+        match self.entries.get(addr) {
             Some(entry) if entry.requester != me => Some(entry.requester),
             _ => None,
         }
@@ -72,6 +74,21 @@ impl PersistentTable {
     /// Total number of activations this node has observed.
     pub fn activations_seen(&self) -> u64 {
         self.activations_seen
+    }
+
+    /// Peak number of simultaneously active entries.
+    pub fn high_water(&self) -> usize {
+        self.entries.high_water()
+    }
+
+    /// Bytes allocated by the backing line table.
+    pub fn state_bytes(&self) -> u64 {
+        self.entries.allocated_bytes()
+    }
+
+    /// The retired-`BTreeMap` cost estimate for the same peak population.
+    pub fn retired_bytes_estimate(&self) -> u64 {
+        self.entries.retired_container_bytes_estimate()
     }
 }
 

@@ -3,12 +3,12 @@
 
 use std::collections::BTreeSet;
 
-use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_memsys::{hinted_get, HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_sim::DeterministicRng;
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
-    Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId, Outbox, ReqId,
-    SystemConfig, Timer, TimerKind, Vnet,
+    Destination, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MissKind, MsgKind,
+    NodeId, Outbox, ReqId, SystemConfig, Timer, TimerKind, Vnet,
 };
 
 use crate::arbiter::{ArbiterAction, PersistentArbiter};
@@ -951,20 +951,20 @@ impl CoherenceController for TokenBController {
     fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome {
         let addr = op.addr.block(self.home_map.block_bytes());
         let write = op.kind.is_write();
-        let l1_hit = self.l1.touch(addr);
+        let total = self.total_tokens;
+        let node_bits = (self.node.index() as u64 + 1) << 40;
+        // One L1-hinted L2 access serves the whole hit path: the hint skips
+        // the L2 tag probe on hits, and the version bump for a write hit
+        // touches `store_counter` and `stats` directly (disjoint fields), so
+        // the mutable line borrow never needs re-establishing.
+        let mut had_readable_copy = false;
+        let (l1_hit, line) = hinted_get(&mut self.l1, &mut self.l2, addr);
         let hit_latency = if l1_hit {
             self.l1.latency_ns()
         } else {
             self.l1.latency_ns() + self.l2_latency
         };
-
-        let total = self.total_tokens;
-        let node_bits = (self.node.index() as u64 + 1) << 40;
-        // One L2 lookup serves the whole hit path: the version bump for a
-        // write hit touches `store_counter` and `stats` directly (disjoint
-        // fields), so the mutable line borrow never needs re-establishing.
-        let mut had_readable_copy = false;
-        if let Some(line) = self.l2.get(addr) {
+        if let Some(line) = line {
             if write && line.writable(total) {
                 self.store_counter += 1;
                 let version = node_bits | self.store_counter;
@@ -1159,7 +1159,7 @@ impl CoherenceController for TokenBController {
         let mut blocks: BTreeSet<BlockAddr> = self.l2.blocks().into_iter().collect();
         for (addr, state) in self.memory.touched_blocks() {
             if state.initialized {
-                blocks.insert(*addr);
+                blocks.insert(addr);
             }
         }
         blocks.into_iter().collect()
@@ -1170,7 +1170,23 @@ impl CoherenceController for TokenBController {
     }
 
     fn outstanding_blocks(&self) -> Vec<BlockAddr> {
-        self.mshrs.iter().map(|(addr, _)| *addr).collect()
+        self.mshrs.blocks_sorted()
+    }
+
+    fn line_state_stats(&self) -> LineStateStats {
+        LineStateStats {
+            mshr_peak: self.mshrs.high_water() as u64,
+            wb_buffer_peak: 0,
+            wb_window_peak: 0,
+            home_peak: self.memory.entries_high_water(),
+            persistent_peak: self.persistent_table.high_water() as u64,
+            state_bytes: self.mshrs.state_bytes()
+                + self.memory.state_bytes()
+                + self.persistent_table.state_bytes(),
+            retired_bytes_est: self.mshrs.retired_bytes_estimate()
+                + self.memory.retired_bytes_estimate()
+                + self.persistent_table.retired_bytes_estimate(),
+        }
     }
 }
 

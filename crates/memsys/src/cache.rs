@@ -174,6 +174,60 @@ impl<S> SetAssocCache<S> {
             .map(|i| self.states[i].as_ref().expect("occupied tag has state"))
     }
 
+    /// Looks up a block mutably without affecting LRU state or statistics
+    /// (used to refresh slot hints, never on the simulated access path).
+    pub fn peek_mut(&mut self, addr: BlockAddr) -> Option<&mut S> {
+        let i = self.find(addr)?;
+        Some(self.states[i].as_mut().expect("occupied tag has state"))
+    }
+
+    /// Validates a remembered slot hint: returns the slot if it still holds
+    /// `addr`'s line. A tag can only ever live in its own set, so a tag
+    /// match *is* residency — no set arithmetic needed.
+    #[inline]
+    pub fn hinted_slot(&self, hint: u32, addr: BlockAddr) -> Option<usize> {
+        let i = hint as usize;
+        if i < self.tags.len() && self.tags[i] == addr.value() {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Accesses a resident line directly by slot, updating LRU order and the
+    /// hit statistics exactly as a tag-probe hit in [`SetAssocCache::get`]
+    /// would — the hinted fast path is behaviourally indistinguishable from
+    /// the full probe, it only skips the set scan.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the slot is occupied; callers validate with
+    /// [`SetAssocCache::hinted_slot`] first.
+    #[inline]
+    pub fn get_at(&mut self, slot: usize) -> &mut S {
+        debug_assert!(self.tags[slot] != EMPTY_TAG, "hinted slot is empty");
+        self.lookups += 1;
+        self.hits += 1;
+        self.use_counter += 1;
+        self.last_use[slot] = self.use_counter;
+        self.states[slot].as_mut().expect("occupied tag has state")
+    }
+
+    /// [`SetAssocCache::get`] that also reports which slot the line occupies,
+    /// so the caller can remember it as a hint for the next access.
+    pub fn get_with_slot(&mut self, addr: BlockAddr) -> Option<(usize, &mut S)> {
+        self.lookups += 1;
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        if let Some(i) = self.find(addr) {
+            self.last_use[i] = counter;
+            self.hits += 1;
+            Some((i, self.states[i].as_mut().expect("occupied tag has state")))
+        } else {
+            None
+        }
+    }
+
     /// Looks up a block, updating LRU order and hit statistics, and returns a
     /// mutable reference to its state.
     pub fn get(&mut self, addr: BlockAddr) -> Option<&mut S> {
@@ -240,28 +294,43 @@ impl<S> SetAssocCache<S> {
     where
         S: Default,
     {
+        self.touch_entry(addr).0
+    }
+
+    /// [`SetAssocCache::touch`] that also returns the (possibly
+    /// just-defaulted) per-line state, so presence caches can piggyback a
+    /// payload — the L1 filter's L2 slot hint — on the same single set pass.
+    pub fn touch_entry(&mut self, addr: BlockAddr) -> (bool, &mut S)
+    where
+        S: Default,
+    {
         self.lookups += 1;
         self.use_counter += 1;
         let counter = self.use_counter;
-        let i = match self.probe_for_fill(addr) {
+        let (hit, i) = match self.probe_for_fill(addr) {
             FillSlot::Resident(i) => {
                 self.last_use[i] = counter;
                 self.hits += 1;
-                return true;
+                (true, i)
             }
             FillSlot::Free(i) => {
                 self.len += 1;
-                i
+                (false, i)
             }
             FillSlot::Evict(i) => {
                 self.evictions += 1;
-                i
+                (false, i)
             }
         };
-        self.tags[i] = addr.value();
-        self.states[i] = Some(S::default());
-        self.last_use[i] = counter;
-        false
+        if !hit {
+            self.tags[i] = addr.value();
+            self.states[i] = Some(S::default());
+            self.last_use[i] = counter;
+        }
+        (
+            hit,
+            self.states[i].as_mut().expect("occupied tag has state"),
+        )
     }
 
     /// Removes a block, returning its state if it was resident.
@@ -322,16 +391,36 @@ impl<S> fmt::Display for SetAssocCache<S> {
     }
 }
 
-/// A presence-only filter standing in for the split L1 instruction/data
-/// caches.
+/// An L1 filter entry: the remembered L2 slot of the block, or
+/// [`SlotHint::NONE`] when unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotHint(u32);
+
+impl SlotHint {
+    /// "No hint yet" sentinel — never a valid slot (the L2 would need 2^32
+    /// lines).
+    const NONE: u32 = u32::MAX;
+}
+
+impl Default for SlotHint {
+    fn default() -> Self {
+        SlotHint(SlotHint::NONE)
+    }
+}
+
+/// A presence filter standing in for the split L1 instruction/data caches,
+/// doubling as the front-side fast path of every controller.
 ///
-/// Coherence permissions live in the (inclusive) L2; the L1 filter only
-/// decides whether an access that the L2 can satisfy pays L1 latency or
-/// L1 + L2 latency, and it is kept inclusive by removing blocks whenever the
-/// L2 loses them.
+/// Coherence permissions live in the (inclusive) L2; the L1 filter decides
+/// whether an access that the L2 can satisfy pays L1 latency or L1 + L2
+/// latency, and it is kept inclusive by removing blocks whenever the L2
+/// loses them. Each entry additionally remembers the block's L2 *slot* so
+/// the shared [`hinted_get`] front path can skip the L2 set scan on hits —
+/// the hint is advisory (validated by a single tag compare, repaired by a
+/// full probe on mismatch) and never affects simulated behaviour.
 #[derive(Debug, Clone)]
 pub struct L1Filter {
-    cache: SetAssocCache<()>,
+    cache: SetAssocCache<SlotHint>,
     latency_ns: u64,
 }
 
@@ -353,7 +442,22 @@ impl L1Filter {
     /// (an L1 hit) and ensures it is present afterwards. One set lookup for
     /// both the probe and the fill (this runs on every processor access).
     pub fn touch(&mut self, addr: BlockAddr) -> bool {
-        self.cache.touch(addr)
+        self.touch_hint(addr).0
+    }
+
+    /// [`L1Filter::touch`] that also returns the remembered L2 slot hint
+    /// ([`u32::MAX`] when none has been learned yet) in the same set pass.
+    pub fn touch_hint(&mut self, addr: BlockAddr) -> (bool, u32) {
+        let (hit, hint) = self.cache.touch_entry(addr);
+        (hit, hint.0)
+    }
+
+    /// Remembers `slot` as `addr`'s L2 home for the next access. A pure
+    /// host-side memo: no LRU or statistics change.
+    pub fn remember(&mut self, addr: BlockAddr, slot: u32) {
+        if let Some(hint) = self.cache.peek_mut(addr) {
+            hint.0 = slot;
+        }
     }
 
     /// Removes a block (called when the L2 loses the block, to preserve
@@ -365,6 +469,34 @@ impl L1Filter {
     /// Returns `true` if the block is present.
     pub fn contains(&self, addr: BlockAddr) -> bool {
         self.cache.contains(addr)
+    }
+}
+
+/// The shared front-side fast path of all four coherence controllers: one
+/// L1-filter touch plus a hint-validated L2 access.
+///
+/// Returns the L1 hit flag (latency classification) and the L2 line, if
+/// resident. When the L1 holds a valid slot hint the L2 set scan is skipped
+/// entirely — a single tag compare replaces the dependent-load probe chain —
+/// and a stale or missing hint falls back to the full probe and re-learns
+/// the slot. LRU order and hit statistics are updated identically on both
+/// paths (see [`SetAssocCache::get_at`]), so the fast path is invisible to
+/// the simulation: `events_delivered` is pinned across it.
+pub fn hinted_get<'a, S>(
+    l1: &mut L1Filter,
+    l2: &'a mut SetAssocCache<S>,
+    addr: BlockAddr,
+) -> (bool, Option<&'a mut S>) {
+    let (l1_hit, hint) = l1.touch_hint(addr);
+    if let Some(slot) = l2.hinted_slot(hint, addr) {
+        return (l1_hit, Some(l2.get_at(slot)));
+    }
+    match l2.get_with_slot(addr) {
+        Some((slot, line)) => {
+            l1.remember(addr, slot as u32);
+            (l1_hit, Some(line))
+        }
+        None => (l1_hit, None),
     }
 }
 
@@ -507,5 +639,85 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_way_geometry_panics() {
         let _: SetAssocCache<u8> = SetAssocCache::with_geometry(4, 0);
+    }
+
+    #[test]
+    fn hinted_get_matches_full_probe_behaviour() {
+        let l1_config = CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+            latency_ns: 2,
+        };
+        let mut l1 = L1Filter::new(&l1_config, 64);
+        let mut l2: SetAssocCache<u32> = SetAssocCache::with_geometry(4, 2);
+        // Cold: L1 miss, L2 miss.
+        let (l1_hit, line) = hinted_get(&mut l1, &mut l2, BlockAddr::new(8));
+        assert!(!l1_hit);
+        assert!(line.is_none());
+        l2.insert(BlockAddr::new(8), 80);
+        // Second access: L1 hit (touched above), full probe learns the slot.
+        let (l1_hit, line) = hinted_get(&mut l1, &mut l2, BlockAddr::new(8));
+        assert!(l1_hit);
+        assert_eq!(line.copied(), Some(80));
+        // Third access rides the hint; counters advance exactly like a
+        // tag-probe hit would.
+        let (lookups_before, hits_before, _) = l2.counters();
+        let (l1_hit, line) = hinted_get(&mut l1, &mut l2, BlockAddr::new(8));
+        assert!(l1_hit);
+        assert_eq!(line.copied(), Some(80));
+        let (lookups, hits, _) = l2.counters();
+        assert_eq!(lookups, lookups_before + 1);
+        assert_eq!(hits, hits_before + 1);
+    }
+
+    #[test]
+    fn stale_hints_fall_back_to_the_full_probe() {
+        let l1_config = CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+            latency_ns: 2,
+        };
+        let mut l1 = L1Filter::new(&l1_config, 64);
+        let mut l2: SetAssocCache<u32> = SetAssocCache::with_geometry(2, 1);
+        l2.insert(BlockAddr::new(0), 1);
+        hinted_get(&mut l1, &mut l2, BlockAddr::new(0)); // learn slot
+        hinted_get(&mut l1, &mut l2, BlockAddr::new(0)); // ride hint
+                                                         // Evict block 0 by filling its (single-way) set with block 2; the L2
+                                                         // slot now holds a different tag, so the hint must fail validation.
+        l2.insert(BlockAddr::new(2), 2);
+        let (_, line) = hinted_get(&mut l1, &mut l2, BlockAddr::new(0));
+        assert!(line.is_none(), "stale hint must not resurrect the line");
+        // Re-insert into the same slot: the repaired hint works again.
+        l2.remove(BlockAddr::new(2));
+        l2.insert(BlockAddr::new(0), 10);
+        let (_, line) = hinted_get(&mut l1, &mut l2, BlockAddr::new(0));
+        assert_eq!(line.copied(), Some(10));
+    }
+
+    #[test]
+    fn hinted_lru_order_matches_unhinted_lru_order() {
+        // Two caches, same insert/access sequence — one driven through the
+        // hinted front, one through plain get(). Eviction victims must agree.
+        let l1_config = CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+            latency_ns: 2,
+        };
+        let mut l1 = L1Filter::new(&l1_config, 64);
+        let mut hinted: SetAssocCache<u32> = SetAssocCache::with_geometry(2, 2);
+        let mut plain: SetAssocCache<u32> = SetAssocCache::with_geometry(2, 2);
+        for block in [0u64, 2] {
+            hinted.insert(BlockAddr::new(block), block as u32);
+            plain.insert(BlockAddr::new(block), block as u32);
+        }
+        // Touch block 0 twice through each front so block 2 is LRU.
+        for _ in 0..2 {
+            hinted_get(&mut l1, &mut hinted, BlockAddr::new(0));
+            plain.get(BlockAddr::new(0));
+        }
+        let hv = hinted.insert(BlockAddr::new(4), 4).expect("eviction").addr;
+        let pv = plain.insert(BlockAddr::new(4), 4).expect("eviction").addr;
+        assert_eq!(hv, pv);
+        assert_eq!(hv, BlockAddr::new(2));
     }
 }

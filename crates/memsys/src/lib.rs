@@ -1,14 +1,20 @@
 //! Memory-system building blocks.
 //!
-//! Coherence protocols in this workspace are built from four reusable pieces:
+//! Coherence protocols in this workspace are built from five reusable pieces:
 //!
+//! * [`LineTable`] — the compact, open-addressed per-block-address store
+//!   every sparse per-line structure (MSHRs, writeback buffers, home state,
+//!   persistent-request entries) sits on, with occupancy high-water tracking
+//!   built in for the engine's state accounting.
 //! * [`SetAssocCache`] — a set-associative, LRU-replacement tag array with a
 //!   protocol-defined per-line state type. The unified L2 of every node is
 //!   one of these; it is the coherence point of the node.
-//! * [`L1Filter`] — a small presence-only cache used to decide whether a hit
+//! * [`L1Filter`] — a small presence cache used to decide whether a hit
 //!   costs L1 latency or L1+L2 latency. Coherence state is kept only at the
 //!   (inclusive) L2, which matches how the paper's protocols are described
-//!   and keeps the four protocol implementations focused on coherence.
+//!   and keeps the four protocol implementations focused on coherence. Each
+//!   entry carries an L2 slot hint so the shared [`hinted_get`] front path
+//!   skips the L2 tag probe on hits.
 //! * [`MshrTable`] — bookkeeping for outstanding misses (miss status holding
 //!   registers), with a configurable capacity.
 //! * [`HomeMemory`] — per-home-node storage: the DRAM copy of each block (a
@@ -31,9 +37,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod line_table;
 pub mod memory;
 pub mod mshr;
 
-pub use cache::{CacheLine, L1Filter, SetAssocCache};
+pub use cache::{hinted_get, CacheLine, L1Filter, SetAssocCache};
+pub use line_table::LineTable;
 pub use memory::HomeMemory;
 pub use mshr::MshrTable;

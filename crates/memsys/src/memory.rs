@@ -1,6 +1,8 @@
 //! Home-memory state storage.
 
-use tc_types::{BlockAddr, FastHashMap, HomeMap, NodeId};
+use tc_types::{BlockAddr, HomeMap, NodeId};
+
+use crate::line_table::LineTable;
 
 /// Per-home-node memory state.
 ///
@@ -12,20 +14,21 @@ use tc_types::{BlockAddr, FastHashMap, HomeMap, NodeId};
 /// * protocol-specific home state `S` — the directory entry, the memory's
 ///   token count and owner-token bit, or the snooping "memory owner" bit.
 ///
-/// State is stored sparsely: blocks that have never been touched are in their
-/// protocol-defined default state (`S::default()`), which for Token Coherence
-/// means "memory holds all `T` tokens including the owner token", and for the
-/// other protocols means "memory is the owner, no sharers".
+/// State is stored sparsely in [`LineTable`]s: blocks that have never been
+/// touched are in their protocol-defined default state (`S::default()`),
+/// which for Token Coherence means "memory holds all `T` tokens including
+/// the owner token", and for the other protocols means "memory is the owner,
+/// no sharers". These tables are probed on every home-side access and
+/// nothing depends on their iteration order (`touched_blocks` feeds an
+/// order-insensitive audit set), which is exactly the contract the compact
+/// open-addressed plane provides.
 #[derive(Debug, Clone)]
 pub struct HomeMemory<S> {
     node: NodeId,
     home_map: HomeMap,
     dram_latency_ns: u64,
-    // Hash maps (not BTreeMaps): these are probed on every home-side access,
-    // and nothing depends on their iteration order (`touched_blocks` feeds an
-    // order-insensitive audit set).
-    state: FastHashMap<BlockAddr, S>,
-    data: FastHashMap<BlockAddr, u64>,
+    state: LineTable<S>,
+    data: LineTable<u64>,
     accesses: u64,
 }
 
@@ -36,8 +39,8 @@ impl<S: Default + Clone> HomeMemory<S> {
             node,
             home_map,
             dram_latency_ns,
-            state: FastHashMap::default(),
-            data: FastHashMap::default(),
+            state: LineTable::new(),
+            data: LineTable::new(),
             accesses: 0,
         }
     }
@@ -66,17 +69,17 @@ impl<S: Default + Clone> HomeMemory<S> {
             self.node
         );
         self.accesses += 1;
-        self.state.entry(addr).or_default()
+        self.state.or_default(addr)
     }
 
     /// Reads the protocol state for a homed block without creating an entry.
     pub fn state(&self, addr: BlockAddr) -> Option<&S> {
-        self.state.get(&addr)
+        self.state.get(addr)
     }
 
     /// The DRAM copy's data version for a block (zero if never written back).
     pub fn data_version(&self, addr: BlockAddr) -> u64 {
-        self.data.get(&addr).copied().unwrap_or(0)
+        self.data.get(addr).copied().unwrap_or(0)
     }
 
     /// Updates the DRAM copy's data version (a writeback).
@@ -91,8 +94,28 @@ impl<S: Default + Clone> HomeMemory<S> {
     }
 
     /// Iterates over blocks with explicit (non-default) home state.
-    pub fn touched_blocks(&self) -> impl Iterator<Item = (&BlockAddr, &S)> {
+    /// Deterministic but unspecified order; callers collect into
+    /// order-insensitive sets.
+    pub fn touched_blocks(&self) -> impl Iterator<Item = (BlockAddr, &S)> {
         self.state.iter()
+    }
+
+    /// Peak number of blocks with materialized home state.
+    pub fn entries_high_water(&self) -> u64 {
+        self.state.high_water() as u64
+    }
+
+    /// Bytes allocated by the home-side line tables (protocol state plus the
+    /// DRAM data versions).
+    pub fn state_bytes(&self) -> u64 {
+        self.state.allocated_bytes() + self.data.allocated_bytes()
+    }
+
+    /// The retired-container cost estimate for the same peak populations
+    /// (the home maps were `FastHashMap`s; the B-tree formula is within the
+    /// same ballpark and keeps one documented estimator).
+    pub fn retired_bytes_estimate(&self) -> u64 {
+        self.state.retired_container_bytes_estimate() + self.data.retired_container_bytes_estimate()
     }
 }
 

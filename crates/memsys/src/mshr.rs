@@ -1,20 +1,23 @@
 //! Miss status holding registers (MSHRs): bookkeeping for outstanding misses.
 
-use std::collections::BTreeMap;
-
 use tc_types::BlockAddr;
+
+use crate::line_table::LineTable;
 
 /// A table of outstanding misses, at most one entry per block, with a
 /// configurable capacity.
 ///
 /// The entry type `E` is protocol-defined (requester lists, token
-/// accumulation state, retry counters, ...). The table preserves a
-/// deterministic iteration order (by block address) so that simulations are
-/// reproducible.
+/// accumulation state, retry counters, ...). Entries live in a compact
+/// [`LineTable`], so the allocate/lookup/release cycle on the miss path is a
+/// bare-`u64` probe instead of a `BTreeMap` descent, and the table reports
+/// its own occupancy high-water mark for the engine's state accounting.
+/// Iteration order is deterministic for a given history but unspecified;
+/// audit paths that need address order sort explicitly.
 #[derive(Debug, Clone)]
 pub struct MshrTable<E> {
     capacity: usize,
-    entries: BTreeMap<BlockAddr, E>,
+    entries: LineTable<E>,
     allocations: u64,
     capacity_stalls: u64,
 }
@@ -29,7 +32,7 @@ impl<E> MshrTable<E> {
         assert!(capacity > 0, "MSHR table needs at least one entry");
         MshrTable {
             capacity,
-            entries: BTreeMap::new(),
+            entries: LineTable::new(),
             allocations: 0,
             capacity_stalls: 0,
         }
@@ -58,7 +61,7 @@ impl<E> MshrTable<E> {
     /// Allocates an entry for `addr`. Returns `Err(entry)` (handing the entry
     /// back) if the table is full or the block already has an entry.
     pub fn allocate(&mut self, addr: BlockAddr, entry: E) -> Result<&mut E, E> {
-        if self.entries.contains_key(&addr) {
+        if self.entries.contains(addr) {
             return Err(entry);
         }
         if !self.has_room() {
@@ -66,37 +69,56 @@ impl<E> MshrTable<E> {
             return Err(entry);
         }
         self.allocations += 1;
-        Ok(self.entries.entry(addr).or_insert(entry))
+        Ok(self.entries.or_insert_with(addr, || entry))
     }
 
     /// Looks up the entry for `addr`.
     pub fn get(&self, addr: BlockAddr) -> Option<&E> {
-        self.entries.get(&addr)
+        self.entries.get(addr)
     }
 
     /// Looks up the entry for `addr` mutably.
     pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut E> {
-        self.entries.get_mut(&addr)
+        self.entries.get_mut(addr)
     }
 
     /// Returns `true` if `addr` has an outstanding miss.
     pub fn contains(&self, addr: BlockAddr) -> bool {
-        self.entries.contains_key(&addr)
+        self.entries.contains(addr)
     }
 
     /// Deallocates and returns the entry for `addr`.
     pub fn release(&mut self, addr: BlockAddr) -> Option<E> {
-        self.entries.remove(&addr)
+        self.entries.remove(addr)
     }
 
-    /// Iterates over outstanding entries in block-address order.
-    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &E)> {
+    /// Iterates over outstanding entries (deterministic, unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &E)> {
         self.entries.iter()
     }
 
-    /// Iterates mutably over outstanding entries in block-address order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&BlockAddr, &mut E)> {
-        self.entries.iter_mut()
+    /// The blocks of every outstanding miss, sorted by address — the stable
+    /// order deadlock/starvation reports rely on.
+    pub fn blocks_sorted(&self) -> Vec<BlockAddr> {
+        self.entries.blocks_sorted()
+    }
+
+    /// Peak number of simultaneously outstanding misses over the table's
+    /// lifetime.
+    pub fn high_water(&self) -> usize {
+        self.entries.high_water()
+    }
+
+    /// Bytes allocated by the backing line table (monotone, so this is the
+    /// peak footprint at end of run).
+    pub fn state_bytes(&self) -> u64 {
+        self.entries.allocated_bytes()
+    }
+
+    /// The retired-`BTreeMap` cost estimate for the same peak population
+    /// (see [`LineTable::retired_container_bytes_estimate`]).
+    pub fn retired_bytes_estimate(&self) -> u64 {
+        self.entries.retired_container_bytes_estimate()
     }
 
     /// (total allocations, allocations rejected for capacity) counters.
@@ -148,13 +170,31 @@ mod tests {
     }
 
     #[test]
-    fn iteration_is_in_address_order() {
+    fn iteration_covers_every_entry_and_sorted_blocks_are_ordered() {
         let mut t: MshrTable<u32> = MshrTable::new(4);
         t.allocate(BlockAddr::new(30), 3).unwrap();
         t.allocate(BlockAddr::new(10), 1).unwrap();
         t.allocate(BlockAddr::new(20), 2).unwrap();
-        let order: Vec<u64> = t.iter().map(|(a, _)| a.value()).collect();
+        let mut order: Vec<u64> = t.iter().map(|(a, _)| a.value()).collect();
+        order.sort_unstable();
         assert_eq!(order, vec![10, 20, 30]);
+        assert_eq!(
+            t.blocks_sorted(),
+            vec![BlockAddr::new(10), BlockAddr::new(20), BlockAddr::new(30)]
+        );
+    }
+
+    #[test]
+    fn high_water_survives_releases() {
+        let mut t: MshrTable<u32> = MshrTable::new(8);
+        for i in 0..5 {
+            t.allocate(BlockAddr::new(i), 0).unwrap();
+        }
+        for i in 0..5 {
+            t.release(BlockAddr::new(i));
+        }
+        assert_eq!(t.high_water(), 5);
+        assert!(t.state_bytes() > 0);
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! State shared by the MOSI baseline protocols: the stable MOSI states and
-//! the home-side writeback-handshake window used by the snooping baseline.
+//! State shared by the MOSI baseline protocols: the stable MOSI states, the
+//! home-side writeback-handshake window used by the snooping baseline, the
+//! [`WritebackPlane`] all three baselines keep their in-flight writebacks in,
+//! and the shared L1-hinted hit path / miss accounting helpers.
 
 use std::collections::VecDeque;
 use std::fmt;
 
-use tc_types::{Cycle, NodeId, ReqId};
+use tc_memsys::{hinted_get, L1Filter, LineTable, SetAssocCache};
+use tc_types::{
+    AccessOutcome, BlockAddr, ControllerStats, Cycle, MissKind, MissStats, NodeId, ReqId,
+};
 
 /// Stable MOSI cache states used by the Snooping, Directory, and Hammer
 /// baselines.
@@ -293,6 +298,310 @@ impl WbWindow {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The shared writeback plane.
+// ---------------------------------------------------------------------------
+
+/// The per-node writeback state every MOSI baseline keeps: the buffer of
+/// dirty lines whose writeback is in flight, plus (for the snooping baseline,
+/// at the home side) the ordered-PutM handshake windows.
+///
+/// This used to be hand-rolled `BTreeMap`s triplicated across
+/// `snooping.rs` / `directory.rs` / `hammer.rs`; both maps now sit on the
+/// compact [`LineTable`] plane, which also gives the engine its
+/// per-structure occupancy peaks for free.
+#[derive(Debug, Clone, Default)]
+pub struct WritebackPlane {
+    buffer: LineTable<MosiLine>,
+    windows: LineTable<WbWindow>,
+}
+
+impl WritebackPlane {
+    /// Creates an empty plane.
+    pub fn new() -> Self {
+        WritebackPlane::default()
+    }
+
+    // -- buffer side (all three baselines) ---------------------------------
+
+    /// Parks an evicted owner line while its writeback is in flight.
+    pub fn stash(&mut self, addr: BlockAddr, line: MosiLine) {
+        self.buffer.insert(addr, line);
+    }
+
+    /// Removes and returns the buffered line (writeback acknowledged,
+    /// ownership handed off, or the block pulled back into the cache).
+    pub fn take(&mut self, addr: BlockAddr) -> Option<MosiLine> {
+        self.buffer.remove(addr)
+    }
+
+    /// The buffered line for `addr`, copied.
+    pub fn line(&self, addr: BlockAddr) -> Option<MosiLine> {
+        self.buffer.get(addr).copied()
+    }
+
+    /// The buffered line for `addr`, mutably (the snooping baseline demotes
+    /// a buffered line to Owned when it answers a GetS from the buffer).
+    pub fn line_mut(&mut self, addr: BlockAddr) -> Option<&mut MosiLine> {
+        self.buffer.get_mut(addr)
+    }
+
+    /// Returns `true` if a writeback for `addr` is buffered.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.buffer.contains(addr)
+    }
+
+    /// Returns `true` if no writebacks are buffered.
+    pub fn buffer_is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    // -- window side (snooping home nodes) ---------------------------------
+
+    /// Whether an unresolved PutM marker keeps `addr`'s window open
+    /// (requests must queue at the home).
+    pub fn window_is_open(&self, addr: BlockAddr) -> bool {
+        self.windows
+            .get(addr)
+            .map(WbWindow::is_open)
+            .unwrap_or(false)
+    }
+
+    /// An ordered PutM marker for `addr` opens (or extends) the home-side
+    /// window; returns any resolutions a stashed handshake already unlocks.
+    pub fn window_on_putm(
+        &mut self,
+        addr: BlockAddr,
+        writer: NodeId,
+        version: u64,
+    ) -> Vec<WbResolution> {
+        let resolutions = self.windows.or_default(addr).on_putm(writer, version);
+        self.drop_window_if_empty(addr);
+        resolutions
+    }
+
+    /// Queues a request ordered while `addr`'s window is open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is closed; check [`WritebackPlane::window_is_open`]
+    /// first (a request ordered outside any window is the owner's business).
+    pub fn window_queue_request(&mut self, addr: BlockAddr, request: QueuedRequest) {
+        self.windows
+            .get_mut(addr)
+            .expect("request queued on a closed writeback window")
+            .on_request(request);
+    }
+
+    /// The writer's handshake for `(writer, version)` arrived at the home;
+    /// returns every resolution it unlocks, oldest first. Empty windows are
+    /// dropped so the plane holds state only while a handshake is pending.
+    pub fn window_on_handshake(
+        &mut self,
+        addr: BlockAddr,
+        writer: NodeId,
+        version: u64,
+        outcome: WbHandshake,
+    ) -> Vec<WbResolution> {
+        let resolutions = self
+            .windows
+            .or_default(addr)
+            .on_handshake(writer, version, outcome);
+        self.drop_window_if_empty(addr);
+        resolutions
+    }
+
+    fn drop_window_if_empty(&mut self, addr: BlockAddr) {
+        if self
+            .windows
+            .get(addr)
+            .map(WbWindow::is_empty)
+            .unwrap_or(false)
+        {
+            self.windows.remove(addr);
+        }
+    }
+
+    // -- accounting --------------------------------------------------------
+
+    /// (peak buffered writebacks, peak open windows).
+    pub fn peaks(&self) -> (u64, u64) {
+        (
+            self.buffer.high_water() as u64,
+            self.windows.high_water() as u64,
+        )
+    }
+
+    /// Bytes allocated by the plane's line tables.
+    pub fn state_bytes(&self) -> u64 {
+        self.buffer.allocated_bytes() + self.windows.allocated_bytes()
+    }
+
+    /// The retired-`BTreeMap` cost estimate for the same peak populations.
+    pub fn retired_bytes_estimate(&self) -> u64 {
+        self.buffer.retired_container_bytes_estimate()
+            + self.windows.retired_container_bytes_estimate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared hit path and miss accounting.
+// ---------------------------------------------------------------------------
+
+/// One pending processor operation merged into an outstanding miss — the
+/// same shape in all four protocols.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingOp {
+    /// The processor request to complete.
+    pub req_id: ReqId,
+    /// Whether it is a store.
+    pub write: bool,
+}
+
+/// The version-counter node tag: per-node store versions are
+/// `((node + 1) << 40) | counter`, unique across nodes and monotone per
+/// node.
+#[inline]
+pub fn version_node_bits(node: NodeId) -> u64 {
+    (node.index() as u64 + 1) << 40
+}
+
+/// The shared MOSI hit path: one L1-hinted L2 access serving both the
+/// permission check and (for write hits) the in-place version bump.
+///
+/// Returns `Some(outcome)` when the access hits locally; `None` sends the
+/// caller down its protocol-specific miss path. `read_valid_since_from_line`
+/// selects the read-hit legality bound: the snooping baseline reports the
+/// copy's `valid_since` (unacknowledged ordered broadcasts are coherent but
+/// not wall-clock fresh — see [`MosiLine::valid_since`]), the acknowledged
+/// protocols report `now`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mosi_hit_path(
+    l1: &mut L1Filter,
+    l2: &mut SetAssocCache<MosiLine>,
+    addr: BlockAddr,
+    write: bool,
+    now: Cycle,
+    l2_latency: Cycle,
+    store_counter: &mut u64,
+    node_bits: u64,
+    misses: &mut MissStats,
+    read_valid_since_from_line: bool,
+) -> Option<AccessOutcome> {
+    let (l1_hit, line) = hinted_get(l1, l2, addr);
+    let hit_latency = if l1_hit {
+        l1.latency_ns()
+    } else {
+        l1.latency_ns() + l2_latency
+    };
+    let line = line?;
+    if write && line.state.writable() {
+        *store_counter += 1;
+        let version = node_bits | *store_counter;
+        line.version = version;
+        line.dirty = true;
+        if l1_hit {
+            misses.l1_hits += 1;
+        } else {
+            misses.l2_hits += 1;
+        }
+        return Some(AccessOutcome::Hit {
+            latency: hit_latency,
+            version,
+            valid_since: now,
+        });
+    }
+    if !write && line.state.readable() {
+        let valid_since = if read_valid_since_from_line {
+            line.valid_since
+        } else {
+            now
+        };
+        let version = line.version;
+        if l1_hit {
+            misses.l1_hits += 1;
+        } else {
+            misses.l2_hits += 1;
+        }
+        return Some(AccessOutcome::Hit {
+            latency: hit_latency,
+            version,
+            valid_since,
+        });
+    }
+    None
+}
+
+/// Performs the pending operations of a completing MOSI miss against the
+/// line: stores not granted exclusivity are deferred (returned for re-issue
+/// as an upgrade), everything else yields `(req_id, version)` completions in
+/// order.
+pub(crate) fn apply_pending_ops(
+    line: &mut MosiLine,
+    pending: &[PendingOp],
+    granted_exclusive: bool,
+    store_counter: &mut u64,
+    node_bits: u64,
+) -> (Vec<(ReqId, u64)>, Vec<PendingOp>) {
+    let mut deferred = Vec::new();
+    let mut completions = Vec::with_capacity(pending.len());
+    for op in pending {
+        if op.write && !granted_exclusive {
+            deferred.push(*op);
+            continue;
+        }
+        let version = if op.write {
+            *store_counter += 1;
+            let v = node_bits | *store_counter;
+            line.version = v;
+            line.dirty = true;
+            v
+        } else {
+            line.version
+        };
+        completions.push((op.req_id, version));
+    }
+    (completions, deferred)
+}
+
+/// The miss classification every protocol shares.
+#[inline]
+pub(crate) fn miss_kind(write: bool, upgrade: bool) -> MissKind {
+    if write {
+        if upgrade {
+            MissKind::Upgrade
+        } else {
+            MissKind::Write
+        }
+    } else {
+        MissKind::Read
+    }
+}
+
+/// Records one completed baseline-protocol miss in the controller statistics
+/// (latency, class histogram, data source, and the never-reissued bucket the
+/// non-token protocols always land in).
+pub(crate) fn record_completed_miss(
+    stats: &mut ControllerStats,
+    kind: MissKind,
+    latency: Cycle,
+    from_cache: bool,
+) {
+    stats.misses.completed_misses += 1;
+    stats.misses.total_miss_latency += latency;
+    match kind {
+        MissKind::Read => stats.misses.read_misses += 1,
+        MissKind::Write => stats.misses.write_misses += 1,
+        MissKind::Upgrade => stats.misses.upgrade_misses += 1,
+    }
+    if from_cache {
+        stats.misses.cache_to_cache += 1;
+    } else {
+        stats.misses.from_memory += 1;
+    }
+    stats.reissue.not_reissued += 1;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +758,76 @@ mod tests {
     fn queueing_on_a_closed_window_panics() {
         let mut w = WbWindow::new();
         w.on_request(read(2));
+    }
+
+    // -- WritebackPlane ----------------------------------------------------
+
+    #[test]
+    fn plane_buffer_stash_take_round_trips() {
+        let mut plane = WritebackPlane::new();
+        let addr = BlockAddr::new(5);
+        assert!(plane.buffer_is_empty());
+        plane.stash(addr, MosiLine::modified(7));
+        assert!(plane.contains(addr));
+        assert_eq!(plane.line(addr).unwrap().version, 7);
+        plane.line_mut(addr).unwrap().state = MosiState::Owned;
+        assert_eq!(plane.take(addr).unwrap().state, MosiState::Owned);
+        assert!(plane.take(addr).is_none());
+        assert!(plane.buffer_is_empty());
+    }
+
+    #[test]
+    fn plane_windows_open_queue_resolve_and_self_clean() {
+        let mut plane = WritebackPlane::new();
+        let addr = BlockAddr::new(9);
+        assert!(!plane.window_is_open(addr));
+        assert!(plane.window_on_putm(addr, NodeId::new(1), 7).is_empty());
+        assert!(plane.window_is_open(addr));
+        plane.window_queue_request(addr, read(2));
+        let resolutions = plane.window_on_handshake(addr, NodeId::new(1), 7, WbHandshake::Data);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].serve, vec![read(2)]);
+        // The resolved (empty) window is dropped by the plane itself.
+        assert!(!plane.window_is_open(addr));
+        let (_, window_peak) = plane.peaks();
+        assert_eq!(window_peak, 1, "the open window counted toward the peak");
+    }
+
+    #[test]
+    fn plane_stashed_handshake_keeps_the_window_entry_alive() {
+        let mut plane = WritebackPlane::new();
+        let addr = BlockAddr::new(3);
+        // Handshake overtakes its marker: not open, but not droppable either.
+        assert!(plane
+            .window_on_handshake(addr, NodeId::new(1), 7, WbHandshake::Data)
+            .is_empty());
+        assert!(!plane.window_is_open(addr));
+        let resolutions = plane.window_on_putm(addr, NodeId::new(1), 7);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].outcome, WbHandshake::Data);
+        assert!(!plane.window_is_open(addr));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed writeback window")]
+    fn plane_queueing_without_an_open_window_panics() {
+        let mut plane = WritebackPlane::new();
+        plane.window_queue_request(BlockAddr::new(1), read(2));
+    }
+
+    #[test]
+    fn plane_accounting_tracks_peaks_and_bytes() {
+        let mut plane = WritebackPlane::new();
+        for i in 0..6u64 {
+            plane.stash(BlockAddr::new(i), MosiLine::modified(i));
+        }
+        for i in 0..6u64 {
+            plane.take(BlockAddr::new(i));
+        }
+        let (buffer_peak, window_peak) = plane.peaks();
+        assert_eq!(buffer_peak, 6);
+        assert_eq!(window_peak, 0);
+        assert!(plane.state_bytes() > 0);
+        assert!(plane.retired_bytes_estimate() > 0);
     }
 }

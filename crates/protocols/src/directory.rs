@@ -13,23 +13,19 @@
 //! (requester → home → owner → requester) plus the directory lookup, which
 //! in the base system lives in DRAM.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
-    Destination, DirectoryMode, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId,
-    Outbox, ReqId, SystemConfig, Timer, Vnet,
+    Destination, DirectoryMode, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MsgKind,
+    NodeId, Outbox, ReqId, SystemConfig, Timer, Vnet,
 };
 
-use crate::common::{MosiLine, MosiState};
-
-/// One pending processor operation merged into an outstanding miss.
-#[derive(Debug, Clone, Copy)]
-struct PendingOp {
-    req_id: ReqId,
-    write: bool,
-}
+use crate::common::{
+    apply_pending_ops, miss_kind, mosi_hit_path, record_completed_miss, version_node_bits,
+    MosiLine, MosiState, PendingOp, WritebackPlane,
+};
 
 /// Requester-side bookkeeping for an outstanding directory miss.
 #[derive(Debug, Clone)]
@@ -70,7 +66,8 @@ pub struct DirectoryController {
     directory_latency: Cycle,
     memory: HomeMemory<DirEntry>,
     mshrs: MshrTable<DirMshr>,
-    wb_buffer: BTreeMap<BlockAddr, MosiLine>,
+    /// In-flight writebacks (PutM sent, WbAck pending) on the shared plane.
+    wb: WritebackPlane,
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
@@ -95,16 +92,11 @@ impl DirectoryController {
             directory_latency,
             memory: HomeMemory::new(node, home_map, config.dram_latency_ns),
             mshrs: MshrTable::new(config.processor.max_outstanding_misses.max(1)),
-            wb_buffer: BTreeMap::new(),
+            wb: WritebackPlane::new(),
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
         }
-    }
-
-    fn unique_version(&mut self) -> u64 {
-        self.store_counter += 1;
-        ((self.node.index() as u64 + 1) << 40) | self.store_counter
     }
 
     fn is_home(&self, addr: BlockAddr) -> bool {
@@ -326,10 +318,7 @@ impl DirectoryController {
     // ------------------------------------------------------------------
 
     fn line_or_wb(&self, addr: BlockAddr) -> Option<MosiLine> {
-        self.l2
-            .peek(addr)
-            .copied()
-            .or_else(|| self.wb_buffer.get(&addr).copied())
+        self.l2.peek(addr).copied().or_else(|| self.wb.line(addr))
     }
 
     fn install_line(&mut self, now: Cycle, addr: BlockAddr, line: MosiLine, out: &mut Outbox) {
@@ -342,7 +331,7 @@ impl DirectoryController {
         self.l1.invalidate(addr);
         if line.state.is_owner() {
             self.stats.misses.writebacks += 1;
-            self.wb_buffer.insert(addr, line);
+            self.wb.stash(addr, line);
             let home = self.home_of(addr);
             let putm = Message::new(
                 self.node,
@@ -508,34 +497,16 @@ impl DirectoryController {
         };
         // Stores merged into a read miss cannot be performed with only a
         // shared copy; they are re-issued below as an upgrade transaction.
-        let mut deferred_writes = Vec::new();
-        let mut completions = Vec::with_capacity(mshr.pending.len());
-        for op in &mshr.pending {
-            if op.write && !granted_exclusive {
-                deferred_writes.push(*op);
-                continue;
-            }
-            let version = if op.write {
-                let v = self.unique_version();
-                line.version = v;
-                line.dirty = true;
-                v
-            } else {
-                line.version
-            };
-            completions.push((op.req_id, version));
-        }
+        let (completions, deferred_writes) = apply_pending_ops(
+            &mut line,
+            &mshr.pending,
+            granted_exclusive,
+            &mut self.store_counter,
+            version_node_bits(self.node),
+        );
         self.install_line(now, addr, line, out);
 
-        let kind = if mshr.write {
-            if mshr.upgrade {
-                MissKind::Upgrade
-            } else {
-                MissKind::Write
-            }
-        } else {
-            MissKind::Read
-        };
+        let kind = miss_kind(mshr.write, mshr.upgrade);
         for (req_id, version) in completions {
             out.complete(MissCompletion {
                 req_id,
@@ -549,19 +520,7 @@ impl DirectoryController {
         }
 
         let latency = now.saturating_sub(mshr.issued_at);
-        self.stats.misses.completed_misses += 1;
-        self.stats.misses.total_miss_latency += latency;
-        match kind {
-            MissKind::Read => self.stats.misses.read_misses += 1,
-            MissKind::Write => self.stats.misses.write_misses += 1,
-            MissKind::Upgrade => self.stats.misses.upgrade_misses += 1,
-        }
-        if mshr.from_cache {
-            self.stats.misses.cache_to_cache += 1;
-        } else {
-            self.stats.misses.from_memory += 1;
-        }
-        self.stats.reissue.not_reissued += 1;
+        record_completed_miss(&mut self.stats, kind, latency, mshr.from_cache);
 
         // Tell the home the transaction is over so it can unblock.
         let home = self.home_of(addr);
@@ -623,42 +582,21 @@ impl CoherenceController for DirectoryController {
     fn access(&mut self, now: Cycle, op: &MemOp, out: &mut Outbox) -> AccessOutcome {
         let addr = op.addr.block(self.home_map.block_bytes());
         let write = op.kind.is_write();
-        let l1_hit = self.l1.touch(addr);
-        let hit_latency = if l1_hit {
-            self.l1.latency_ns()
-        } else {
-            self.l1.latency_ns() + self.l2_latency
-        };
-
-        if let Some(line) = self.l2.get(addr).copied() {
-            if write && line.state.writable() {
-                let version = self.unique_version();
-                let line = self.l2.get(addr).expect("line present");
-                line.version = version;
-                line.dirty = true;
-                if l1_hit {
-                    self.stats.misses.l1_hits += 1;
-                } else {
-                    self.stats.misses.l2_hits += 1;
-                }
-                return AccessOutcome::Hit {
-                    latency: hit_latency,
-                    version,
-                    valid_since: now,
-                };
-            }
-            if !write && line.state.readable() {
-                if l1_hit {
-                    self.stats.misses.l1_hits += 1;
-                } else {
-                    self.stats.misses.l2_hits += 1;
-                }
-                return AccessOutcome::Hit {
-                    latency: hit_latency,
-                    version: line.version,
-                    valid_since: now,
-                };
-            }
+        // Directory hits are acknowledgement-protected, so read hits are
+        // wall-clock fresh (`valid_since = now`).
+        if let Some(outcome) = mosi_hit_path(
+            &mut self.l1,
+            &mut self.l2,
+            addr,
+            write,
+            now,
+            self.l2_latency,
+            &mut self.store_counter,
+            version_node_bits(self.node),
+            &mut self.stats.misses,
+            false,
+        ) {
+            return outcome;
         }
 
         let had_copy = self
@@ -746,7 +684,7 @@ impl CoherenceController for DirectoryController {
                 self.home_handle_putm(now, msg.src, addr, version, out);
             }
             MsgKind::WbAck => {
-                self.wb_buffer.remove(&addr);
+                self.wb.take(addr);
             }
             other => {
                 debug_assert!(false, "Directory received unexpected message {other:?}");
@@ -786,14 +724,31 @@ impl CoherenceController for DirectoryController {
     }
 
     fn outstanding_blocks(&self) -> Vec<BlockAddr> {
-        self.mshrs.iter().map(|(addr, _)| *addr).collect()
+        self.mshrs.blocks_sorted()
+    }
+
+    fn line_state_stats(&self) -> LineStateStats {
+        let (wb_buffer_peak, wb_window_peak) = self.wb.peaks();
+        LineStateStats {
+            mshr_peak: self.mshrs.high_water() as u64,
+            wb_buffer_peak,
+            wb_window_peak,
+            home_peak: self.memory.entries_high_water(),
+            persistent_peak: 0,
+            state_bytes: self.mshrs.state_bytes()
+                + self.wb.state_bytes()
+                + self.memory.state_bytes(),
+            retired_bytes_est: self.mshrs.retired_bytes_estimate()
+                + self.wb.retired_bytes_estimate()
+                + self.memory.retired_bytes_estimate(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tc_types::{Address, MemOpKind};
+    use tc_types::{Address, MemOpKind, MissKind};
 
     fn config() -> SystemConfig {
         SystemConfig::isca03_default()

@@ -38,7 +38,7 @@ pub mod hammer;
 pub mod registry;
 pub mod snooping;
 
-pub use common::{MosiLine, MosiState};
+pub use common::{MosiLine, MosiState, WritebackPlane};
 pub use directory::DirectoryController;
 pub use hammer::HammerController;
 pub use registry::{default_registry, ProtocolEntry, ProtocolFactory, ProtocolRegistry};

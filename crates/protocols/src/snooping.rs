@@ -35,22 +35,17 @@
 //! it fundamentally cannot run on the unordered torus, which is exactly the
 //! limitation TokenB removes.
 
-use std::collections::BTreeMap;
-
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
-    Destination, HomeMap, MemOp, Message, MissCompletion, MissKind, MsgKind, NodeId, Outbox, ReqId,
-    SystemConfig, Timer, Vnet,
+    Destination, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MsgKind, NodeId, Outbox,
+    ReqId, SystemConfig, Timer, Vnet,
 };
 
-use crate::common::{MosiLine, MosiState, QueuedRequest, WbHandshake, WbWindow};
-
-#[derive(Debug, Clone, Copy)]
-struct PendingOp {
-    req_id: ReqId,
-    write: bool,
-}
+use crate::common::{
+    apply_pending_ops, miss_kind, mosi_hit_path, record_completed_miss, version_node_bits,
+    MosiLine, MosiState, PendingOp, QueuedRequest, WbHandshake, WritebackPlane,
+};
 
 #[derive(Debug, Clone)]
 struct SnoopMshr {
@@ -80,8 +75,8 @@ struct SnoopMshr {
 }
 
 /// Memory-side state: the "owner bit" — true when memory must respond.
-/// Writebacks in flight are tracked separately by the per-block
-/// [`WbWindow`]s.
+/// Writebacks in flight are tracked separately by the per-block handshake
+/// windows of the [`WritebackPlane`].
 #[derive(Debug, Clone, Copy)]
 struct OwnerBit {
     memory_owner: bool,
@@ -105,10 +100,9 @@ pub struct SnoopingController {
     dram_latency: Cycle,
     memory: HomeMemory<OwnerBit>,
     mshrs: MshrTable<SnoopMshr>,
-    wb_buffer: BTreeMap<BlockAddr, MosiLine>,
-    /// Writeback-handshake windows for the blocks this node homes. An entry
-    /// exists only while a window is open (PutM ordered, handshake pending).
-    wb_windows: BTreeMap<BlockAddr, WbWindow>,
+    /// In-flight writebacks plus (for the blocks this node homes) the
+    /// ordered-PutM handshake windows, on the shared line-state plane.
+    wb: WritebackPlane,
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
@@ -131,18 +125,12 @@ impl SnoopingController {
             dram_latency: config.dram_latency_ns,
             memory: HomeMemory::new(node, home_map, config.dram_latency_ns),
             mshrs: MshrTable::new(config.processor.max_outstanding_misses.max(1)),
-            wb_buffer: BTreeMap::new(),
-            wb_windows: BTreeMap::new(),
+            wb: WritebackPlane::new(),
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
             everyone: Destination::Multicast((0..config.num_nodes).map(NodeId::new).collect()),
         }
-    }
-
-    fn unique_version(&mut self) -> u64 {
-        self.store_counter += 1;
-        ((self.node.index() as u64 + 1) << 40) | self.store_counter
     }
 
     fn is_home(&self, addr: BlockAddr) -> bool {
@@ -170,10 +158,7 @@ impl SnoopingController {
     }
 
     fn line_or_wb(&self, addr: BlockAddr) -> Option<MosiLine> {
-        self.l2
-            .peek(addr)
-            .copied()
-            .or_else(|| self.wb_buffer.get(&addr).copied())
+        self.l2.peek(addr).copied().or_else(|| self.wb.line(addr))
     }
 
     // ------------------------------------------------------------------
@@ -274,10 +259,10 @@ impl SnoopingController {
                     self.l1.invalidate(addr);
                     // Ownership (and the writeback obligation) moves to the
                     // requester; the pending writeback is cancelled.
-                    self.wb_buffer.remove(&addr);
+                    self.wb.take(addr);
                 } else if let Some(l) = self.l2.get(addr) {
                     l.state = MosiState::Owned;
-                } else if let Some(entry) = self.wb_buffer.get_mut(&addr) {
+                } else if let Some(entry) = self.wb.line_mut(addr) {
                     // The shared copy came out of the writeback buffer: the
                     // entry must demote to Owned just like a live line, or a
                     // pullback (re-access before the PutM is ordered) would
@@ -319,22 +304,19 @@ impl SnoopingController {
             }
             let version = self.memory.data_version(addr);
             self.send_memory_response(now, requester, addr, write, version, req_id, out);
-        } else if self
-            .wb_windows
-            .get(&addr)
-            .map(|w| w.is_open())
-            .unwrap_or(false)
-        {
+        } else if self.wb.window_is_open(addr) {
             // No owner anywhere: the previous owner's writeback marker has
             // been ordered but its data (or cancel) is still in flight. Queue
             // the request; the handshake resolution answers it. This is the
             // request that used to be stranded.
-            let window = self.wb_windows.get_mut(&addr).expect("checked above");
-            window.on_request(QueuedRequest {
-                requester,
-                write,
-                req_id,
-            });
+            self.wb.window_queue_request(
+                addr,
+                QueuedRequest {
+                    requester,
+                    write,
+                    req_id,
+                },
+            );
             self.stats.bump("wb_window_queued_requests", 1);
         }
         // Otherwise some cache owns the block and observes this same ordered
@@ -382,11 +364,7 @@ impl SnoopingController {
         out: &mut Outbox,
     ) {
         if self.is_home(addr) {
-            let resolutions = self
-                .wb_windows
-                .entry(addr)
-                .or_default()
-                .on_putm(from, version);
+            let resolutions = self.wb.window_on_putm(addr, from, version);
             // The handshake normally trails its marker, but cascade anyway in
             // case it was stashed.
             self.apply_wb_resolutions(now, addr, resolutions, out);
@@ -400,13 +378,13 @@ impl SnoopingController {
             // re-evicted, in which case this marker is void and a later one
             // carries the data); cancel otherwise.
             let still_held = self
-                .wb_buffer
-                .get(&addr)
+                .wb
+                .line(addr)
                 .map(|line| line.version == version)
                 .unwrap_or(false);
             let home = self.home_map.home_of(addr);
             let handshake = if still_held {
-                let line = self.wb_buffer.remove(&addr).expect("checked above");
+                let line = self.wb.take(addr).expect("checked above");
                 Message::new(
                     self.node,
                     Destination::Node(home),
@@ -448,11 +426,7 @@ impl SnoopingController {
         out: &mut Outbox,
     ) {
         debug_assert!(self.is_home(addr));
-        let resolutions = self
-            .wb_windows
-            .entry(addr)
-            .or_default()
-            .on_handshake(writer, version, outcome);
+        let resolutions = self.wb.window_on_handshake(addr, writer, version, outcome);
         self.apply_wb_resolutions(now, addr, resolutions, out);
     }
 
@@ -487,14 +461,7 @@ impl SnoopingController {
             }
             // A cancelled marker needs no action: ownership never left the
             // cache side, and the owner answers the dropped requests itself.
-        }
-        if self
-            .wb_windows
-            .get(&addr)
-            .map(|w| w.is_empty())
-            .unwrap_or(false)
-        {
-            self.wb_windows.remove(&addr);
+            // (The plane drops the window entry itself once it is empty.)
         }
     }
 
@@ -570,36 +537,18 @@ impl SnoopingController {
             valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss wait for their own upgrade.
-        let mut deferred_writes = Vec::new();
-        let mut completions = Vec::with_capacity(mshr.pending.len());
-        for op in &mshr.pending {
-            if op.write && !granted_exclusive {
-                deferred_writes.push(*op);
-                continue;
-            }
-            let v = if op.write {
-                let v = self.unique_version();
-                line.version = v;
-                line.dirty = true;
-                v
-            } else {
-                line.version
-            };
-            completions.push((op.req_id, v));
-        }
+        let (completions, deferred_writes) = apply_pending_ops(
+            &mut line,
+            &mshr.pending,
+            granted_exclusive,
+            &mut self.store_counter,
+            version_node_bits(self.node),
+        );
         if let Some(victim) = self.l2.insert(addr, line) {
             self.evict(now, victim.addr, victim.state, out);
         }
 
-        let kind = if mshr.write {
-            if mshr.upgrade {
-                MissKind::Upgrade
-            } else {
-                MissKind::Write
-            }
-        } else {
-            MissKind::Read
-        };
+        let kind = miss_kind(mshr.write, mshr.upgrade);
         for (req_id, v) in completions {
             out.complete(MissCompletion {
                 req_id,
@@ -612,19 +561,7 @@ impl SnoopingController {
             });
         }
         let latency = now.saturating_sub(mshr.issued_at);
-        self.stats.misses.completed_misses += 1;
-        self.stats.misses.total_miss_latency += latency;
-        match kind {
-            MissKind::Read => self.stats.misses.read_misses += 1,
-            MissKind::Write => self.stats.misses.write_misses += 1,
-            MissKind::Upgrade => self.stats.misses.upgrade_misses += 1,
-        }
-        if mshr.from_cache {
-            self.stats.misses.cache_to_cache += 1;
-        } else {
-            self.stats.misses.from_memory += 1;
-        }
-        self.stats.reissue.not_reissued += 1;
+        record_completed_miss(&mut self.stats, kind, latency, mshr.from_cache);
 
         // Serve the requests we promised to answer, in order, until one of
         // them takes ownership away from us.
@@ -718,7 +655,7 @@ impl SnoopingController {
         self.l1.invalidate(addr);
         if line.state.is_owner() {
             self.stats.misses.writebacks += 1;
-            self.wb_buffer.insert(addr, line);
+            self.wb.stash(addr, line);
             // Writebacks are broadcast so the total order covers them too.
             let putm = Message::new(
                 self.node,
@@ -752,49 +689,29 @@ impl CoherenceController for SnoopingController {
         // broadcasting a request for it would go unanswered (the old
         // self-deadlock). The in-flight PutM resolves as a WbCancel when this
         // node observes it with the buffer entry gone.
-        if let Some(line) = self.wb_buffer.remove(&addr) {
+        if let Some(line) = self.wb.take(addr) {
             self.stats.bump("writeback_pullbacks", 1);
             if let Some(victim) = self.l2.insert(addr, line) {
                 self.evict(now, victim.addr, victim.state, out);
             }
         }
 
-        let l1_hit = self.l1.touch(addr);
-        let hit_latency = if l1_hit {
-            self.l1.latency_ns()
-        } else {
-            self.l1.latency_ns() + self.l2_latency
-        };
-
-        if let Some(line) = self.l2.get(addr).copied() {
-            if write && line.state.writable() {
-                let version = self.unique_version();
-                let line = self.l2.get(addr).expect("line present");
-                line.version = version;
-                line.dirty = true;
-                if l1_hit {
-                    self.stats.misses.l1_hits += 1;
-                } else {
-                    self.stats.misses.l2_hits += 1;
-                }
-                return AccessOutcome::Hit {
-                    latency: hit_latency,
-                    version,
-                    valid_since: now,
-                };
-            }
-            if !write && line.state.readable() {
-                if l1_hit {
-                    self.stats.misses.l1_hits += 1;
-                } else {
-                    self.stats.misses.l2_hits += 1;
-                }
-                return AccessOutcome::Hit {
-                    latency: hit_latency,
-                    version: line.version,
-                    valid_since: line.valid_since,
-                };
-            }
+        // Read hits report the copy's `valid_since` (not `now`): an
+        // unacknowledged ordered broadcast is coherent but not linearizable,
+        // so the legality window opens at the copy's serialization bound.
+        if let Some(outcome) = mosi_hit_path(
+            &mut self.l1,
+            &mut self.l2,
+            addr,
+            write,
+            now,
+            self.l2_latency,
+            &mut self.store_counter,
+            version_node_bits(self.node),
+            &mut self.stats.misses,
+            true,
+        ) {
+            return outcome;
         }
 
         let had_copy = self
@@ -930,14 +847,31 @@ impl CoherenceController for SnoopingController {
     }
 
     fn outstanding_blocks(&self) -> Vec<BlockAddr> {
-        self.mshrs.iter().map(|(addr, _)| *addr).collect()
+        self.mshrs.blocks_sorted()
+    }
+
+    fn line_state_stats(&self) -> LineStateStats {
+        let (wb_buffer_peak, wb_window_peak) = self.wb.peaks();
+        LineStateStats {
+            mshr_peak: self.mshrs.high_water() as u64,
+            wb_buffer_peak,
+            wb_window_peak,
+            home_peak: self.memory.entries_high_water(),
+            persistent_peak: 0,
+            state_bytes: self.mshrs.state_bytes()
+                + self.wb.state_bytes()
+                + self.memory.state_bytes(),
+            retired_bytes_est: self.mshrs.retired_bytes_estimate()
+                + self.wb.retired_bytes_estimate()
+                + self.memory.retired_bytes_estimate(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tc_types::{Address, MemOpKind, ProtocolKind};
+    use tc_types::{Address, MemOpKind, MissKind, ProtocolKind};
 
     fn config() -> SystemConfig {
         SystemConfig::isca03_default()
@@ -1155,7 +1089,7 @@ mod tests {
         }
         let data = handshake.messages.pop().expect("writeback data shipped");
         assert_eq!(data.vnet, Vnet::Writeback);
-        assert!(nodes[1].wb_buffer.is_empty(), "entry dropped at handshake");
+        assert!(nodes[1].wb.buffer_is_empty(), "entry dropped at handshake");
 
         // A read ordered inside the window: nobody owns the block, so the
         // home queues it rather than leaving it stranded.
@@ -1198,7 +1132,7 @@ mod tests {
         let mut out = Outbox::new();
         nodes[1].evict(2000, BlockAddr::new(0), line, &mut out);
         let putm = out.messages[0].clone();
-        assert!(nodes[1].wb_buffer.contains_key(&BlockAddr::new(0)));
+        assert!(nodes[1].wb.contains(BlockAddr::new(0)));
 
         // Re-access before the PutM is ordered: a hit straight out of the
         // writeback buffer, no broadcast.
@@ -1206,7 +1140,7 @@ mod tests {
         let outcome = nodes[1].access(2050, &load(0, 2), &mut out);
         assert!(matches!(outcome, AccessOutcome::Hit { .. }));
         assert!(out.messages.is_empty());
-        assert!(nodes[1].wb_buffer.is_empty());
+        assert!(nodes[1].wb.buffer_is_empty());
         assert_eq!(
             nodes[1].l2.peek(BlockAddr::new(0)).unwrap().state,
             MosiState::Modified
@@ -1263,7 +1197,7 @@ mod tests {
         assert_eq!(completions.len(), 1);
         assert!(completions[0].cache_to_cache);
         assert_eq!(
-            nodes[1].wb_buffer.get(&BlockAddr::new(0)).unwrap().state,
+            nodes[1].wb.line(BlockAddr::new(0)).unwrap().state,
             MosiState::Owned
         );
 

@@ -196,10 +196,43 @@ impl Campaign {
     pub fn run(self) -> CampaignReport {
         let total = self.points.len();
         let workers = self.threads.min(total.max(1));
-        let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, RunReport)>> = Mutex::new(Vec::with_capacity(total));
         let started = Instant::now();
 
+        self.execute(workers, &|index, report| {
+            results.lock().unwrap().push((index, report));
+        });
+
+        let mut collected = results.into_inner().unwrap();
+        collected.sort_unstable_by_key(|(index, _)| *index);
+        debug_assert_eq!(collected.len(), total);
+        let runs = collected
+            .into_iter()
+            .zip(&self.points)
+            .map(|((_, report), point)| CampaignRun {
+                label: point.label.clone(),
+                report,
+            })
+            .collect();
+
+        CampaignReport {
+            runs,
+            options: self.options,
+            threads: workers,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The one worker pool behind [`Campaign::run`] and
+    /// [`Campaign::run_streaming`]: `workers` scoped threads claim points
+    /// dynamically off a shared counter, emit the progress events, run each
+    /// point hermetically, and hand `(index, report)` to `on_done` (invoked
+    /// concurrently from worker threads; the caller synchronizes). Keeping
+    /// both public paths on this loop is what keeps their scheduling — and
+    /// therefore the bit-identical-aggregates contract — in lockstep.
+    fn execute(&self, workers: usize, on_done: &(impl Fn(usize, RunReport) + Sync)) {
+        let total = self.points.len();
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -226,28 +259,138 @@ impl Campaign {
                             wall_seconds: point_started.elapsed().as_secs_f64(),
                         });
                     }
-                    results.lock().unwrap().push((index, report));
+                    on_done(index, report);
                 });
             }
         });
+    }
 
-        let mut collected = results.into_inner().unwrap();
-        collected.sort_unstable_by_key(|(index, _)| *index);
-        debug_assert_eq!(collected.len(), total);
-        let runs = collected
-            .into_iter()
-            .zip(&self.points)
-            .map(|((_, report), point)| CampaignRun {
-                label: point.label.clone(),
-                report,
-            })
-            .collect();
+    /// Runs every point like [`Campaign::run`], but *streams* each completed
+    /// [`CampaignRun`] to `sink` in submission order and drops it immediately
+    /// after folding it into the aggregates — the campaign never holds more
+    /// than the out-of-order completion window of full `RunReport`s in
+    /// memory, so thousand-point parameter scans stay flat.
+    ///
+    /// The returned [`CampaignSummary`] carries exactly the aggregates
+    /// [`CampaignReport`] computes — built from the same per-run rows, in the
+    /// same submission order — so the streamed aggregates are bit-identical
+    /// to the buffered path's (pinned by tests). `sink` is called under a
+    /// lock, one run at a time, in submission order, from whichever worker
+    /// thread completed the gap-filling point.
+    pub fn run_streaming<F>(self, sink: F) -> CampaignSummary
+    where
+        F: FnMut(usize, &CampaignRun) + Send,
+    {
+        /// Reorders worker completions back into submission order, feeds the
+        /// sink, folds the aggregate rows, and drops each report.
+        struct Emitter<F> {
+            next_emit: usize,
+            /// Completed runs waiting for an earlier point to finish.
+            pending: std::collections::BTreeMap<usize, CampaignRun>,
+            sink: F,
+            /// First run's cycles/transaction (the normalization baseline).
+            baseline: Option<f64>,
+            runtime: Vec<RuntimeRow>,
+            traffic: Vec<TrafficRow>,
+            miss_latency: Vec<MissLatencyRow>,
+            failures: Vec<(String, InvariantViolation)>,
+        }
 
-        CampaignReport {
-            runs,
+        impl<F: FnMut(usize, &CampaignRun)> Emitter<F> {
+            fn submit(&mut self, index: usize, run: CampaignRun) {
+                self.pending.insert(index, run);
+                while let Some(run) = self.pending.remove(&self.next_emit) {
+                    let index = self.next_emit;
+                    self.next_emit += 1;
+                    let baseline = *self
+                        .baseline
+                        .get_or_insert_with(|| run.report.cycles_per_transaction());
+                    self.runtime.push(RuntimeRow::from_run(&run, baseline));
+                    self.traffic.push(TrafficRow::from_run(&run));
+                    self.miss_latency.push(MissLatencyRow::from_run(&run));
+                    if let Err(violation) = run.report.verified() {
+                        self.failures.push((run.label.clone(), violation));
+                    }
+                    (self.sink)(index, &run);
+                    // `run` drops here: the full RunReport is released.
+                }
+            }
+        }
+
+        let total = self.points.len();
+        let workers = self.threads.min(total.max(1));
+        let emitter = Mutex::new(Emitter {
+            next_emit: 0,
+            pending: std::collections::BTreeMap::new(),
+            sink,
+            baseline: None,
+            runtime: Vec::with_capacity(total),
+            traffic: Vec::with_capacity(total),
+            miss_latency: Vec::with_capacity(total),
+            failures: Vec::new(),
+        });
+        let started = Instant::now();
+
+        self.execute(workers, &|index, report| {
+            emitter.lock().unwrap().submit(
+                index,
+                CampaignRun {
+                    label: self.points[index].label.clone(),
+                    report,
+                },
+            );
+        });
+
+        let emitter = emitter.into_inner().unwrap();
+        debug_assert_eq!(emitter.next_emit, total);
+        CampaignSummary {
+            points: total,
             options: self.options,
             threads: workers,
             wall_seconds: started.elapsed().as_secs_f64(),
+            runtime: emitter.runtime,
+            traffic: emitter.traffic,
+            miss_latency: emitter.miss_latency,
+            failures: emitter.failures,
+        }
+    }
+}
+
+/// The aggregate results of a streamed campaign ([`Campaign::run_streaming`]):
+/// the same per-run aggregate rows a buffered [`CampaignReport`] computes,
+/// without retaining any full [`RunReport`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Number of points that ran.
+    pub points: usize,
+    /// The options every point ran under.
+    pub options: RunOptions,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_seconds: f64,
+    /// The normalized-runtime aggregate, in submission order.
+    pub runtime: Vec<RuntimeRow>,
+    /// The traffic-breakdown aggregate, in submission order.
+    pub traffic: Vec<TrafficRow>,
+    /// The miss-latency aggregate, in submission order.
+    pub miss_latency: Vec<MissLatencyRow>,
+    /// Label and first violation of every run that failed verification.
+    pub failures: Vec<(String, InvariantViolation)>,
+}
+
+impl CampaignSummary {
+    /// `Ok` if every run passed verification; otherwise the first failing
+    /// label and violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the label of the first unverified run plus its first
+    /// violation.
+    pub fn verified(&self) -> Result<(), (String, InvariantViolation)> {
+        match self.failures.first() {
+            None => Ok(()),
+            Some((label, violation)) => Err((label.clone(), violation.clone())),
         }
     }
 }
@@ -265,6 +408,20 @@ pub struct RuntimeRow {
     pub cache_to_cache_pct: f64,
 }
 
+impl RuntimeRow {
+    /// Builds the row for one run. `baseline` is the first run's
+    /// cycles-per-transaction — shared by the buffered and streaming paths
+    /// so their aggregates are bit-identical.
+    fn from_run(run: &CampaignRun, baseline: f64) -> RuntimeRow {
+        RuntimeRow {
+            label: run.label.clone(),
+            cycles_per_transaction: run.report.cycles_per_transaction(),
+            normalized: run.report.cycles_per_transaction() / baseline,
+            cache_to_cache_pct: 100.0 * run.report.misses.cache_to_cache_fraction(),
+        }
+    }
+}
+
 /// One row of the traffic-breakdown aggregate (Figures 4b / 5b).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrafficRow {
@@ -275,6 +432,17 @@ pub struct TrafficRow {
     pub per_class: Vec<(TrafficClass, f64)>,
     /// Total link-crossing bytes per miss.
     pub total: f64,
+}
+
+impl TrafficRow {
+    fn from_run(run: &CampaignRun) -> TrafficRow {
+        let breakdown = run.report.traffic_breakdown();
+        TrafficRow {
+            label: run.label.clone(),
+            total: breakdown.total(),
+            per_class: breakdown.per_class,
+        }
+    }
 }
 
 /// One row of the miss-latency aggregate.
@@ -291,6 +459,20 @@ pub struct MissLatencyRow {
     /// Percentage of misses that needed at least one reissue or a persistent
     /// request (zero for the non-token protocols).
     pub reissued_pct: f64,
+}
+
+impl MissLatencyRow {
+    fn from_run(run: &CampaignRun) -> MissLatencyRow {
+        let misses = &run.report.misses;
+        let [_, once, more, persistent] = run.report.reissue.percentages();
+        MissLatencyRow {
+            label: run.label.clone(),
+            misses: misses.total_misses(),
+            avg_latency_ns: misses.average_miss_latency(),
+            cache_to_cache_pct: 100.0 * misses.cache_to_cache_fraction(),
+            reissued_pct: once + more + persistent,
+        }
+    }
 }
 
 /// Everything a finished campaign measured: per-point reports in submission
@@ -354,47 +536,43 @@ impl CampaignReport {
             .unwrap_or(1.0);
         self.runs
             .iter()
-            .map(|run| RuntimeRow {
-                label: run.label.clone(),
-                cycles_per_transaction: run.report.cycles_per_transaction(),
-                normalized: run.report.cycles_per_transaction() / baseline,
-                cache_to_cache_pct: 100.0 * run.report.misses.cache_to_cache_fraction(),
-            })
+            .map(|run| RuntimeRow::from_run(run, baseline))
             .collect()
     }
 
     /// The traffic-breakdown aggregate, in bytes per miss.
     pub fn traffic_rows(&self) -> Vec<TrafficRow> {
-        self.runs
-            .iter()
-            .map(|run| {
-                let breakdown = run.report.traffic_breakdown();
-                TrafficRow {
-                    label: run.label.clone(),
-                    total: breakdown.total(),
-                    per_class: breakdown.per_class.clone(),
-                }
-            })
-            .collect()
+        self.runs.iter().map(TrafficRow::from_run).collect()
     }
 
     /// The miss-latency aggregate.
     pub fn miss_latency_rows(&self) -> Vec<MissLatencyRow> {
-        self.runs
-            .iter()
-            .map(|run| {
-                let misses = &run.report.misses;
-                let reissue = &run.report.reissue;
-                let [_, once, more, persistent] = reissue.percentages();
-                MissLatencyRow {
-                    label: run.label.clone(),
-                    misses: misses.total_misses(),
-                    avg_latency_ns: misses.average_miss_latency(),
-                    cache_to_cache_pct: 100.0 * misses.cache_to_cache_fraction(),
-                    reissued_pct: once + more + persistent,
-                }
-            })
-            .collect()
+        self.runs.iter().map(MissLatencyRow::from_run).collect()
+    }
+
+    /// The aggregate-only view of this report — what
+    /// [`Campaign::run_streaming`] returns. Used by tests to pin the
+    /// streaming path bit-identical to the buffered one.
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary {
+            points: self.runs.len(),
+            options: self.options,
+            threads: self.threads,
+            wall_seconds: self.wall_seconds,
+            runtime: self.runtime_rows(),
+            traffic: self.traffic_rows(),
+            miss_latency: self.miss_latency_rows(),
+            failures: self
+                .runs
+                .iter()
+                .filter_map(|run| {
+                    run.report
+                        .verified()
+                        .err()
+                        .map(|violation| (run.label.clone(), violation))
+                })
+                .collect(),
+        }
     }
 
     /// Renders the normalized-runtime aggregate as an aligned text table,
@@ -481,6 +659,8 @@ impl CampaignReport {
             w.field_f64("avg_miss_latency_ns", r.misses.average_miss_latency(), 2);
             w.field_f64("bytes_per_miss", r.bytes_per_miss(), 2);
             w.field_u64("events_delivered", r.engine.events_delivered);
+            w.field_u64("peak_state_entries", r.engine.state.total_entries());
+            w.field_u64("peak_state_bytes", r.engine.state.state_bytes);
             w.field_u64("violations", r.violations.len() as u64);
             w.close('}');
         }
@@ -741,6 +921,69 @@ mod tests {
         assert!(report.runs.is_empty());
         assert!(report.verified().is_ok());
         assert!(report.to_json().contains("\"points\":0"));
+        let summary = Campaign::new(Vec::new())
+            .threads(8)
+            .run_streaming(|_, _| {});
+        assert_eq!(summary.points, 0);
+        assert!(summary.verified().is_ok());
+    }
+
+    /// The streaming satellite's contract: `run_streaming` must produce
+    /// aggregates bit-identical to the buffered path at any thread count,
+    /// and deliver runs to the sink in submission order exactly once.
+    #[test]
+    fn streaming_aggregates_are_bit_identical_to_buffered() {
+        let buffered = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(1)
+            .run();
+        let reference = buffered.summary();
+        for threads in [1usize, 3] {
+            let seen = Mutex::new(Vec::new());
+            let summary = Campaign::new(small_points())
+                .options(tiny_options())
+                .threads(threads)
+                .run_streaming(|index, run| {
+                    seen.lock().unwrap().push((index, run.label.clone()));
+                });
+            let seen = seen.into_inner().unwrap();
+            // Submission order, each point exactly once.
+            assert_eq!(
+                seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                (0..buffered.runs.len()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            for ((_, label), run) in seen.iter().zip(&buffered.runs) {
+                assert_eq!(label, &run.label, "threads={threads}");
+            }
+            // Bit-identical aggregates (wall-clock and thread count are the
+            // only legitimately differing fields).
+            assert_eq!(summary.runtime, reference.runtime, "threads={threads}");
+            assert_eq!(summary.traffic, reference.traffic, "threads={threads}");
+            assert_eq!(
+                summary.miss_latency, reference.miss_latency,
+                "threads={threads}"
+            );
+            assert_eq!(summary.failures, reference.failures, "threads={threads}");
+            assert_eq!(summary.points, reference.points);
+            assert_eq!(summary.options, reference.options);
+            assert!(summary.verified().is_ok());
+        }
+    }
+
+    #[test]
+    fn json_carries_the_state_plane_fields() {
+        let mut points = small_points();
+        points.truncate(1);
+        let report = Campaign::new(points)
+            .options(tiny_options())
+            .threads(1)
+            .run();
+        let json = report.to_json();
+        assert!(json.contains("\"peak_state_bytes\":"));
+        assert!(json.contains("\"peak_state_entries\":"));
+        assert!(report.runs[0].report.engine.state.state_bytes > 0);
+        assert!(report.runs[0].report.engine.state.mshr_peak > 0);
     }
 
     #[test]

@@ -71,18 +71,6 @@ impl RunOptions {
     }
 }
 
-/// Standard run length used by the experiment campaigns.
-#[deprecated(since = "0.1.0", note = "use `RunOptions::standard()`")]
-pub fn default_options() -> RunOptions {
-    RunOptions::standard()
-}
-
-/// An abbreviated run used by tests and smoke checks.
-#[deprecated(since = "0.1.0", note = "use `RunOptions::smoke()`")]
-pub fn smoke_options() -> RunOptions {
-    RunOptions::smoke()
-}
-
 /// The base 16-processor configuration of Table 1.
 pub fn base_config() -> SystemConfig {
     SystemConfig::isca03_default()
@@ -225,12 +213,6 @@ pub fn figure5b_points(workload: &WorkloadProfile) -> Vec<ExperimentPoint> {
 /// runs one full point as a smoke check.
 pub const SWEEP64_OPS_PER_NODE: u64 = 1_000_000;
 
-/// Run options for the full 64-node, million-ops-per-node sweep.
-#[deprecated(since = "0.1.0", note = "use `RunOptions::sweep64()`")]
-pub fn sweep64_options() -> RunOptions {
-    RunOptions::sweep64()
-}
-
 /// The 64-node scale sweep: every protocol on every topology it supports
 /// (snooping requires the ordered tree), on the contended OLTP calibration.
 /// Seven points: TokenB/Directory/Hammer on both the torus and the tree,
@@ -355,13 +337,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_helpers_forward_to_the_constructors() {
-        assert_eq!(default_options(), RunOptions::standard());
-        assert_eq!(smoke_options(), RunOptions::smoke());
-        assert_eq!(sweep64_options(), RunOptions::sweep64());
-        // `Default` stays the runner-level quick configuration.
+    fn run_option_constructors_are_distinct_and_sane() {
+        // `Default` stays the runner-level quick configuration; the named
+        // constructors cover the campaign regimes (the deprecated
+        // `default_options`/`smoke_options`/`sweep64_options` free functions
+        // were removed once every caller moved to these).
         assert!(RunOptions::default().ops_per_node > 0);
+        assert!(RunOptions::smoke().ops_per_node < RunOptions::standard().ops_per_node);
+        assert_eq!(RunOptions::sweep64().ops_per_node, SWEEP64_OPS_PER_NODE);
     }
 
     #[test]

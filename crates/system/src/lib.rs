@@ -58,7 +58,7 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
-pub use campaign::{Campaign, CampaignEvent, CampaignReport, CampaignRun};
+pub use campaign::{Campaign, CampaignEvent, CampaignReport, CampaignRun, CampaignSummary};
 pub use experiment::ExperimentPoint;
 pub use processor::{CompletionOutcome, Processor};
 pub use report::{RunReport, TrafficBreakdown};

@@ -177,6 +177,18 @@ impl fmt::Display for RunReport {
             self.engine.peak_queue_depth,
             self.engine.peak_arena_occupancy
         )?;
+        writeln!(
+            f,
+            "  line-state plane: {} peak entries (mshr {}, wb {}, windows {}, home {}, \
+             persistent {}), ~{} KiB",
+            self.engine.state.total_entries(),
+            self.engine.state.mshr_peak,
+            self.engine.state.wb_buffer_peak,
+            self.engine.state.wb_window_peak,
+            self.engine.state.home_peak,
+            self.engine.state.persistent_peak,
+            self.engine.state.state_bytes / 1024
+        )?;
         write!(f, "  violations: {}", self.violations.len())
     }
 }

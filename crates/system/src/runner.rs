@@ -5,8 +5,8 @@ use tc_protocols::ProtocolRegistry;
 use tc_sim::{Arena, ArenaRef, EventQueue};
 use tc_types::{
     AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
-    FastHashMap, Message, MissKind, MissStats, NodeId, Outbox, ProtocolKind, ReissueStats,
-    SystemConfig, Timer,
+    FastHashMap, LineStateStats, Message, MissKind, MissStats, NodeId, Outbox, ProtocolKind,
+    ReissueStats, SystemConfig, Timer,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -278,11 +278,13 @@ impl System {
         let mut misses = MissStats::default();
         let mut reissue = ReissueStats::default();
         let mut controllers = ControllerStats::new();
+        let mut line_state = LineStateStats::default();
         for controller in &self.controllers {
             let stats = controller.stats();
             misses.merge(&stats.misses);
             reissue.merge(&stats.reissue);
             controllers.merge(&stats);
+            line_state.merge(&controller.line_state_stats());
         }
 
         RunReport {
@@ -302,6 +304,7 @@ impl System {
                 peak_queue_depth: self.queue.max_depth() as u64,
                 peak_arena_occupancy: self.messages.high_water() as u64,
                 events_delivered: self.queue.total_delivered(),
+                state: line_state,
             },
             violations: self.verifier.violations().to_vec(),
         }

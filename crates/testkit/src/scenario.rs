@@ -59,6 +59,20 @@ impl Scenario {
                 ops_per_node: 400,
                 max_cycles: 80_000_000,
             },
+            // Pure migratory sharing: every block's write ownership
+            // ping-pongs around the ring of nodes (read-then-write pairs,
+            // near-zero think time) while a small L2 keeps dirty evictions
+            // frequent — the heaviest sustained load on the shared
+            // writeback plane (buffer churn, pullbacks, and — for snooping —
+            // handshake windows racing with every ownership transfer).
+            Scenario {
+                name: "migratory_ring",
+                workload: WorkloadProfile::migratory(),
+                num_nodes: 4,
+                l2_bytes: 96 * 1024,
+                ops_per_node: 400,
+                max_cycles: 80_000_000,
+            },
         ]
     }
 

@@ -13,7 +13,7 @@ use crate::addr::BlockAddr;
 use crate::ids::{Cycle, NodeId, ReqId};
 use crate::memop::MemOp;
 use crate::message::Message;
-use crate::stats::ControllerStats;
+use crate::stats::{ControllerStats, LineStateStats};
 
 /// How a processor access was satisfied (or not) by the local cache
 /// hierarchy.
@@ -220,6 +220,15 @@ pub trait CoherenceController: fmt::Debug {
     /// requester is waiting on.
     fn outstanding_blocks(&self) -> Vec<BlockAddr> {
         Vec::new()
+    }
+
+    /// Per-structure occupancy peaks and estimated byte footprint of this
+    /// node's sparse line-state plane (MSHRs, writeback buffer/windows, home
+    /// state, persistent entries). The runner sums these across nodes into
+    /// [`crate::EngineStats`]. The default reports nothing, so experimental
+    /// controllers that do not use the shared plane stay compilable.
+    fn line_state_stats(&self) -> LineStateStats {
+        LineStateStats::default()
     }
 }
 

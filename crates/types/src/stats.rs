@@ -274,13 +274,70 @@ impl ReissueStats {
     }
 }
 
+/// Per-structure occupancy of the sparse line-state plane — the compact
+/// per-block-address tables (MSHRs, writeback buffers and handshake windows,
+/// home-memory state, persistent-request entries) every controller keeps.
+///
+/// Each controller reports its own peaks
+/// ([`crate::CoherenceController::line_state_stats`]); the runner sums them
+/// across nodes, so the figures are the total simulated-state working set.
+/// `state_bytes` prices the backing arrays of those tables at end of run
+/// (they never shrink, so it is the peak footprint) — an *estimate* of the
+/// plane's host-memory cost, deliberately excluding the fixed-capacity
+/// L1/L2 tag arrays, which are dense, preallocated, and configuration-sized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineStateStats {
+    /// Peak simultaneously outstanding MSHR entries.
+    pub mshr_peak: u64,
+    /// Peak writeback-buffer entries (dirty evictions awaiting handshake).
+    pub wb_buffer_peak: u64,
+    /// Peak open writeback-handshake windows (snooping only).
+    pub wb_window_peak: u64,
+    /// Peak home-memory blocks with materialized protocol state.
+    pub home_peak: u64,
+    /// Peak active persistent-request table entries (TokenB only).
+    pub persistent_peak: u64,
+    /// Bytes allocated by the line-state tables backing the above.
+    pub state_bytes: u64,
+    /// What the same peak populations would have cost on the retired
+    /// `BTreeMap`/`HashMap` plane (documented estimate; see
+    /// `tc_memsys::LineTable::retired_container_bytes_estimate`) — the
+    /// before/after comparison `BENCH_engine.json` records.
+    pub retired_bytes_est: u64,
+}
+
+impl LineStateStats {
+    /// Merges another node's (or structure's) peaks into this aggregate by
+    /// summation: the total is an upper bound on the simultaneous
+    /// system-wide working set.
+    pub fn merge(&mut self, other: &LineStateStats) {
+        self.mshr_peak += other.mshr_peak;
+        self.wb_buffer_peak += other.wb_buffer_peak;
+        self.wb_window_peak += other.wb_window_peak;
+        self.home_peak += other.home_peak;
+        self.persistent_peak += other.persistent_peak;
+        self.state_bytes += other.state_bytes;
+        self.retired_bytes_est += other.retired_bytes_est;
+    }
+
+    /// Total peak entries across every structure.
+    pub fn total_entries(&self) -> u64 {
+        self.mshr_peak
+            + self.wb_buffer_peak
+            + self.wb_window_peak
+            + self.home_peak
+            + self.persistent_peak
+    }
+}
+
 /// Engine-level (simulator, not simulated-system) statistics for one run.
 ///
 /// These are the numbers bottleneck hunts start from: how deep the event
-/// queue got tells you whether queue operations dominate, and the message
+/// queue got tells you whether queue operations dominate, the message
 /// arena's peak occupancy tells you how much payload memory the in-flight
-/// message population actually needs. Both are high-water marks over the
-/// whole run.
+/// message population actually needs, and the line-state plane's peaks tell
+/// you how big the simulated-state working set grew. All are high-water
+/// marks over the whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Peak number of events pending in the event queue at any instant.
@@ -291,6 +348,9 @@ pub struct EngineStats {
     /// Total events the engine delivered over the run (the numerator of the
     /// events-per-second throughput metric).
     pub events_delivered: u64,
+    /// Per-structure peaks and estimated byte footprint of the sparse
+    /// line-state plane, summed across nodes.
+    pub state: LineStateStats,
 }
 
 /// Statistics exported by a coherence controller.

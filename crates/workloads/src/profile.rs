@@ -183,6 +183,26 @@ impl WorkloadProfile {
         }
     }
 
+    /// Microbenchmark: migratory sharing dominant. A small set of
+    /// lock-protected blocks that every processor reads then writes with
+    /// almost no think time, so write ownership of each block ping-pongs
+    /// around the ring of nodes continuously — the access pattern the
+    /// migratory optimization (and the writeback plane under it) exists for.
+    pub fn migratory() -> Self {
+        WorkloadProfile {
+            name: "Migratory",
+            private_blocks: 128,
+            shared_read_blocks: 0,
+            migratory_blocks: 12,
+            producer_consumer_blocks: 0,
+            region_weights: [0.15, 0.0, 0.85, 0.0],
+            private_write_fraction: 0.3,
+            shared_write_fraction: 0.0,
+            think_cycles_mean: 3,
+            ifetch_fraction: 0.0,
+        }
+    }
+
     /// Microbenchmark: producer-consumer communication only.
     pub fn producer_consumer() -> Self {
         WorkloadProfile {
@@ -202,13 +222,14 @@ impl WorkloadProfile {
     /// The names of every public profile constructor, i.e. the vocabulary of
     /// [`WorkloadProfile::by_name`] (aliases not included). Order matches
     /// [`WorkloadProfile::all`].
-    pub const ALL_NAMES: [&'static str; 7] = [
+    pub const ALL_NAMES: [&'static str; 8] = [
         "OLTP",
         "Apache",
         "SPECjbb",
         "HotBlock",
         "Private",
         "UniformShared",
+        "Migratory",
         "ProducerConsumer",
     ];
 
@@ -225,6 +246,7 @@ impl WorkloadProfile {
             WorkloadProfile::hot_block(),
             WorkloadProfile::private_only(),
             WorkloadProfile::uniform_shared(),
+            WorkloadProfile::migratory(),
             WorkloadProfile::producer_consumer(),
         ]
     }
@@ -246,6 +268,7 @@ impl WorkloadProfile {
             "hotblock" => Some(WorkloadProfile::hot_block()),
             "private" | "privateonly" => Some(WorkloadProfile::private_only()),
             "uniform" | "uniformshared" => Some(WorkloadProfile::uniform_shared()),
+            "migratory" => Some(WorkloadProfile::migratory()),
             "producerconsumer" | "prodcons" => Some(WorkloadProfile::producer_consumer()),
             _ => None,
         }

@@ -55,7 +55,9 @@ pub mod prelude {
     pub use tc_protocols::{
         DirectoryController, HammerController, ProtocolRegistry, SnoopingController,
     };
-    pub use tc_system::{Campaign, CampaignReport, ExperimentPoint, RunOptions, RunReport, System};
+    pub use tc_system::{
+        Campaign, CampaignReport, CampaignSummary, ExperimentPoint, RunOptions, RunReport, System,
+    };
     pub use tc_types::{
         BandwidthMode, CoherenceController, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind,
     };

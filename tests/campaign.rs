@@ -72,6 +72,40 @@ fn threaded_campaign_reports_are_bit_identical_to_serial() {
     assert!(serial.verified().is_ok());
 }
 
+/// The streaming driver is part of the same determinism contract: the
+/// aggregates it folds while dropping each report must be bit-identical to
+/// the buffered path's, at any thread count, and the sink must see every
+/// point exactly once in submission order.
+#[test]
+fn streaming_campaign_matches_the_buffered_aggregates() {
+    let reference = Campaign::new(points())
+        .options(options())
+        .threads(1)
+        .run()
+        .summary();
+    let delivered = std::sync::Mutex::new(Vec::new());
+    let summary = Campaign::new(points())
+        .options(options())
+        .threads(4)
+        .run_streaming(|index, run| {
+            delivered
+                .lock()
+                .unwrap()
+                .push((index, run.report.engine.events_delivered));
+        });
+    let delivered = delivered.into_inner().unwrap();
+    assert_eq!(
+        delivered.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        (0..reference.points).collect::<Vec<_>>(),
+        "sink must see submission order"
+    );
+    assert_eq!(summary.runtime, reference.runtime);
+    assert_eq!(summary.traffic, reference.traffic);
+    assert_eq!(summary.miss_latency, reference.miss_latency);
+    assert_eq!(summary.failures, reference.failures);
+    assert!(summary.verified().is_ok());
+}
+
 /// More workers than points is legal and still deterministic.
 #[test]
 fn oversubscribed_thread_count_is_harmless() {
