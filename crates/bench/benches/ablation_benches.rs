@@ -15,6 +15,7 @@ fn run_with(config: SystemConfig, workload: &WorkloadProfile) -> u64 {
     let report = system.run(RunOptions {
         ops_per_node: 800,
         max_cycles: 200_000_000,
+        ..RunOptions::default()
     });
     assert!(report.verified().is_ok());
     report.runtime_cycles

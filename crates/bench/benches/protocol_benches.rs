@@ -18,6 +18,7 @@ fn simulate(protocol: ProtocolKind, workload: &WorkloadProfile, ops: u64) -> u64
     let report = system.run(RunOptions {
         ops_per_node: ops,
         max_cycles: 200_000_000,
+        ..RunOptions::default()
     });
     assert!(report.verified().is_ok());
     report.runtime_cycles

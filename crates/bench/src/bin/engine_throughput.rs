@@ -100,6 +100,7 @@ fn main() {
     let options = RunOptions {
         ops_per_node,
         max_cycles: 200_000_000_000,
+        ..RunOptions::default()
     };
 
     // Warmup run: page in the binary, warm the allocator.

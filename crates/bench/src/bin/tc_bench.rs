@@ -17,14 +17,14 @@
 //! still resolve as campaign aliases.
 
 use tc_bench::{
-    campaign_sections, merge_bench_fields, render_reissue_table, render_scalability_table,
-    render_table1, resolve_campaign, traffic_classes_cover_total, Section, TableKind, CAMPAIGNS,
-    SCALABILITY_NODE_COUNTS,
+    campaign_sections, merge_bench_fields, render_fault_table, render_reissue_table,
+    render_scalability_table, render_table1, resolve_campaign, traffic_classes_cover_total,
+    Section, TableKind, CAMPAIGNS, SCALABILITY_NODE_COUNTS,
 };
 use tc_system::campaign::{Campaign, CampaignReport};
 use tc_system::experiment::{ExperimentPoint, SWEEP64_OPS_PER_NODE};
 use tc_system::RunOptions;
-use tc_types::ProtocolKind;
+use tc_types::{FaultSpec, ProtocolKind};
 use tc_workloads::WorkloadProfile;
 
 /// Parsed command-line options (everything after the campaign name).
@@ -33,6 +33,7 @@ struct CliOptions {
     threads: usize,
     workload: Option<WorkloadProfile>,
     protocol: Option<ProtocolKind>,
+    faults: Option<FaultSpec>,
     json_path: Option<String>,
     record_path: Option<String>,
     serial_baseline: bool,
@@ -49,6 +50,7 @@ fn usage() -> String {
          --threads N         campaign worker threads (default: all cores)\n  \
          --workload NAME     restrict figure campaigns to one workload\n  \
          --protocol NAME     keep only points of one protocol\n  \
+         --faults SPEC       inject faults, e.g. drop=0.01,dup=0.005,reorder=4,link=2-5@1000..5000\n                      (points carrying their own spec, e.g. faultsweep's, keep it)\n  \
          --json PATH         write the campaign report as JSON\n  \
          --record PATH       (sweep64) merge wall-clock fields into a BENCH_engine.json-style file\n  \
          --serial-baseline   (sweep64) also run with one thread, verify bit-identical reports,\n                      and record the parallel speedup\n",
@@ -64,6 +66,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             .unwrap_or(1),
         workload: None,
         protocol: None,
+        faults: None,
         json_path: None,
         record_path: None,
         serial_baseline: false,
@@ -101,6 +104,11 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                     ProtocolKind::by_name(&v).ok_or_else(|| format!("unknown protocol: {v}"))?,
                 );
             }
+            "--faults" => {
+                let v = value(&mut i)?;
+                options.faults =
+                    Some(FaultSpec::parse(&v).map_err(|e| format!("bad --faults value: {e}"))?);
+            }
             "--json" => options.json_path = Some(value(&mut i)?),
             "--record" => options.record_path = Some(value(&mut i)?),
             "--serial-baseline" => options.serial_baseline = true,
@@ -129,6 +137,11 @@ fn run_options(campaign: &str, cli: &CliOptions) -> RunOptions {
         RunOptions::standard()
     };
     options.ops_per_node = cli.ops.unwrap_or_else(|| default_ops(campaign));
+    // Campaign-wide fault injection; a point carrying its own spec (the
+    // faultsweep catalog's per-class points) overrides this at run time.
+    if let Some(faults) = cli.faults {
+        options.faults = faults;
+    }
     options
 }
 
@@ -252,6 +265,9 @@ fn main() {
                 }
                 TableKind::Reissue => {
                     println!("\n{}\n{}", section.title, render_reissue_table(slice));
+                }
+                TableKind::Fault => {
+                    println!("\n{}\n{}", section.title, render_fault_table(slice));
                 }
                 TableKind::Scalability | TableKind::Sweep => {}
             }

@@ -16,15 +16,17 @@
 //! | `fig5-traffic` | Figure 5b — traffic, Directory & Hammer vs TokenB |
 //! | `scalability`  | Section 6, Question 5 — traffic scaling to 64 processors |
 //! | `sweep64`      | 64-node scale sweep, with wall-clock recording for `BENCH_engine.json` |
+//! | `faultsweep`   | Robustness: every protocol under its tolerated fault classes |
 //!
 //! Run `tc-bench list` for the catalog. Options are shared across
 //! campaigns: `--ops N` (operations per node), `--threads N` (campaign
 //! worker threads), `--workload NAME` (restrict figure campaigns to one
-//! workload), `--protocol NAME` (filter points), `--json PATH` (dump the
-//! campaign report), and for `sweep64` additionally `--record PATH` (merge
-//! wall-clock fields into a `BENCH_engine.json`-style file) and
-//! `--serial-baseline` (also run single-threaded, check bit-identical
-//! reports, and record the speedup).
+//! workload), `--protocol NAME` (filter points), `--faults SPEC` (inject a
+//! fault spec such as `drop=0.01,dup=0.005,reorder=4` into every point that
+//! does not carry its own), `--json PATH` (dump the campaign report), and
+//! for `sweep64` additionally `--record PATH` (merge wall-clock fields into
+//! a `BENCH_engine.json`-style file) and `--serial-baseline` (also run
+//! single-threaded, check bit-identical reports, and record the speedup).
 
 #![warn(missing_docs)]
 
@@ -49,6 +51,8 @@ pub enum TableKind {
     Scalability,
     /// Runtime plus traffic plus miss latency (the scale sweep).
     Sweep,
+    /// Injected-fault counts and recovery statistics (the fault sweep).
+    Fault,
 }
 
 /// One renderable slice of a campaign: a title plus the points it runs.
@@ -144,6 +148,16 @@ pub const CAMPAIGNS: &[CampaignSpec] = &[
         about: "64-node scale sweep (every protocol on every legal topology, contended OLTP)",
         paper_note: "",
     },
+    CampaignSpec {
+        name: "faultsweep",
+        aliases: &["faults"],
+        about: "Robustness: each protocol under every fault class it contracts to survive",
+        paper_note: "The paper's decoupling argument (Section 3.4): transient requests are \
+                     performance hints, so TokenB tolerates a fabric that drops, duplicates, \
+                     delays, and reorders them — reissue timeouts and persistent requests \
+                     restore liveness while token counting keeps safety. The ordered baselines \
+                     tolerate only the classes their ordering assumptions survive.",
+    },
 ];
 
 /// Resolves a campaign by name or alias, ignoring case and treating `-`/`_`
@@ -225,6 +239,12 @@ pub fn campaign_sections(name: &str, workload: Option<&WorkloadProfile>) -> Opti
             points: tc_system::experiment::sweep64_points(),
             table: TableKind::Sweep,
         }],
+        "faultsweep" => vec![Section {
+            title: "Fault sweep: contract-gated injection, contended hot-block, 4-node torus"
+                .to_string(),
+            points: tc_system::experiment::faultsweep_points(),
+            table: TableKind::Fault,
+        }],
         _ => return None, // table1 has no simulation sections
     };
     Some(sections)
@@ -281,6 +301,48 @@ pub fn render_scalability_table(slices: &[(usize, CampaignReport)]) -> String {
             directory,
             hammer,
             tokenb / directory
+        ));
+    }
+    out
+}
+
+/// Renders the fault sweep: per point, the injected-fault counts and the
+/// recovery-side statistics (reissue timeouts fired, persistent-request
+/// activations, worst-case miss recovery latency), plus the verifier's
+/// verdict — the row-by-row version of "safe and live under fire".
+pub fn render_fault_table(report: &CampaignReport) -> String {
+    let mut out = format!(
+        "{:<22} {:>7} {:>5} {:>7} {:>7} {:>6} {:>8} {:>10} {:>12} {:>9}\n",
+        "point",
+        "dropped",
+        "dup",
+        "delayed",
+        "reorder",
+        "outage",
+        "reissues",
+        "persistent",
+        "recovery ns",
+        "verdict"
+    );
+    for run in &report.runs {
+        let f = run.report.engine.faults;
+        let verdict = if run.report.violations.is_empty() {
+            "ok"
+        } else {
+            "VIOLATED"
+        };
+        out.push_str(&format!(
+            "{:<22} {:>7} {:>5} {:>7} {:>7} {:>6} {:>8} {:>10} {:>12} {:>9}\n",
+            run.label,
+            f.dropped,
+            f.duplicated,
+            f.delayed,
+            f.reordered,
+            f.link_deferred,
+            f.reissue_timeouts,
+            f.persistent_activations,
+            f.max_recovery_ns,
+            verdict
         ));
     }
     out
@@ -441,6 +503,53 @@ mod tests {
     }
 
     #[test]
+    fn faultsweep_resolves_and_gates_points_per_protocol() {
+        assert!(resolve_campaign("faultsweep").is_some());
+        assert!(resolve_campaign("faults").is_some());
+        let sections = campaign_sections("faultsweep", None).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].table, TableKind::Fault);
+        let points = &sections[0].points;
+        // TokenB takes a baseline + all five classes + combined; the
+        // unordered baselines take baseline + three classes + combined.
+        assert_eq!(points.len(), 7 + 5 + 5);
+        // Every non-baseline point carries only classes its protocol
+        // tolerates.
+        for point in points {
+            for kind in tc_types::FaultKind::ALL {
+                if point.faults.enables(kind) {
+                    assert!(
+                        point.config.protocol.tolerates(kind),
+                        "{}: injects untolerated class {kind:?}",
+                        point.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_table_renders_stats_and_verdicts() {
+        let mut points = tc_system::experiment::faultsweep_points();
+        points.retain(|p| p.label.starts_with("TokenB"));
+        points.truncate(2); // baseline + drop
+        let report = Campaign::new(points)
+            .options(RunOptions {
+                ops_per_node: 300,
+                max_cycles: 50_000_000,
+                ..RunOptions::default()
+            })
+            .threads(1)
+            .run();
+        assert!(report.verified().is_ok());
+        let table = render_fault_table(&report);
+        assert!(table.contains("TokenB (reliable)"));
+        assert!(table.contains("persistent"));
+        assert!(table.contains("ok"));
+        assert!(!table.contains("VIOLATED"));
+    }
+
+    #[test]
     fn table1_renders_the_parameter_table() {
         let text = render_table1();
         assert!(text.contains("Table 1"));
@@ -458,6 +567,7 @@ mod tests {
             .options(RunOptions {
                 ops_per_node: 400,
                 max_cycles: 50_000_000,
+                ..RunOptions::default()
             })
             .threads(1)
             .run();

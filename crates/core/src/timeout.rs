@@ -247,6 +247,118 @@ mod tests {
             assert_eq!(total_tokens(&requester, &home), 16);
         }
 
+        /// The duplicate-delivery fault the fault plane injects: transient
+        /// requests are the one message class TokenB lets the fabric
+        /// duplicate, so the home may see the *same* GetM twice. It must
+        /// supply its tokens exactly once — answering the copy with tokens
+        /// would mint them — and the requester still completes exactly once.
+        #[test]
+        fn duplicated_transient_request_supplies_tokens_exactly_once() {
+            let config = config();
+            let mut requester = TokenBController::new(1.into(), &config);
+            let mut home = TokenBController::new(0.into(), &config);
+            let mut out = Outbox::new();
+            requester.access(
+                0,
+                &MemOp::new(ReqId::new(1), Address::new(0), MemOpKind::Store),
+                &mut out,
+            );
+            let getm = out.messages[0].clone();
+
+            // Original delivery: the home gives up all its tokens.
+            let mut first = Outbox::new();
+            home.handle_message(40, &getm, &mut first);
+            let data = first
+                .messages
+                .iter()
+                .find(|m| m.kind.token_count() > 0)
+                .cloned()
+                .expect("home supplies tokens");
+
+            // The fabric's duplicate lands a few cycles later: bit-identical
+            // message, same request id, not even flagged as a reissue. The
+            // home has nothing left and must not conjure tokens.
+            let mut dup = Outbox::new();
+            home.handle_message(43, &getm, &mut dup);
+            let mut follow_up = Outbox::new();
+            for (at, timer) in dup.timers.clone() {
+                home.handle_timer(at, timer, &mut follow_up);
+            }
+            let minted: u32 = dup
+                .messages
+                .iter()
+                .chain(follow_up.messages.iter())
+                .map(|m| m.kind.token_count())
+                .sum();
+            assert_eq!(minted, 0, "duplicate GetM must not mint tokens");
+
+            // The single real response completes the miss exactly once and
+            // conservation holds across both controllers.
+            let mut done = Outbox::new();
+            requester.handle_message(80, &data, &mut done);
+            assert_eq!(done.completions.len(), 1);
+            assert_eq!(requester.tokens_held(BlockAddr::new(0)), 16);
+            assert_eq!(total_tokens(&requester, &home), 16);
+        }
+
+        /// Injected delay pushes the original response past the reissue
+        /// timeout entirely: the timer fires first (reissue goes out), the
+        /// data arrives hundreds of cycles later, and then the reissued
+        /// request's own response path plays out. The miss must complete
+        /// exactly once, no stale timer or stale response may mint tokens,
+        /// and the follow-up timeout armed by the reissue must be inert.
+        #[test]
+        fn delayed_response_arriving_after_the_timeout_completes_exactly_once() {
+            let (mut requester, fire_at, reissue, data, mut home) = setup();
+            // The timer fires with the data still in flight (delay fault).
+            let mut reissued = Outbox::new();
+            requester.handle_timer(fire_at, reissue, &mut reissued);
+            assert!(reissued.messages.iter().any(|m| m.reissue));
+
+            // The delayed original lands long after the timeout: exactly one
+            // completion, full token count.
+            let late = fire_at + 500;
+            let mut out = Outbox::new();
+            requester.handle_message(late, &data, &mut out);
+            assert_eq!(out.completions.len(), 1, "late data still completes");
+            assert_eq!(requester.tokens_held(BlockAddr::new(0)), 16);
+
+            // The reissue (also delayed) reaches the token-less home after
+            // the miss already completed: no tokens may flow back.
+            let mut home_out = Outbox::new();
+            for msg in &reissued.messages {
+                if msg.dest.includes(0.into(), msg.src) {
+                    home.handle_message(late + 40, msg, &mut home_out);
+                }
+            }
+            let mut supplied = Outbox::new();
+            for (at, timer) in home_out.timers.clone() {
+                home.handle_timer(at, timer, &mut supplied);
+            }
+            let stray: u32 = home_out
+                .messages
+                .iter()
+                .chain(supplied.messages.iter())
+                .map(|m| m.kind.token_count())
+                .sum();
+            assert_eq!(stray, 0, "stale reissue answered with tokens");
+            assert_eq!(total_tokens(&requester, &home), 16);
+
+            // The reissue re-armed a timeout; with the miss complete it must
+            // neither reissue again nor re-arm.
+            let (later, follow_up) = reissued
+                .timers
+                .iter()
+                .find(|(_, t)| t.kind == TimerKind::Reissue)
+                .copied()
+                .expect("reissue re-arms its timeout");
+            let mut stale = Outbox::new();
+            requester.handle_timer(later.max(late) + 1, follow_up, &mut stale);
+            assert!(stale.messages.is_empty(), "stale follow-up must be inert");
+            assert!(stale.timers.is_empty());
+            assert!(stale.completions.is_empty());
+        }
+
         #[test]
         fn timeout_firing_before_the_same_cycle_tokens_is_absorbed() {
             let (mut requester, fire_at, reissue, data, mut home) = setup();

@@ -48,11 +48,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fabric;
+pub mod fault;
 pub mod topology;
 pub mod torus;
 pub mod tree;
 
 pub use fabric::{Delivery, Interconnect, LinkUtilization};
+pub use fault::FaultPlane;
 pub use topology::{LinkId, RouterId, Topology};
 pub use torus::TorusTopology;
 pub use tree::TreeTopology;

@@ -640,6 +640,7 @@ impl CampaignReport {
         w.field_u64("threads", self.threads as u64);
         w.field_u64("ops_per_node", self.options.ops_per_node);
         w.field_u64("max_cycles", self.options.max_cycles);
+        w.field_str("faults", &self.options.faults.to_string());
         w.field_f64("wall_seconds", self.wall_seconds, 3);
         w.key("runs");
         w.open('[');
@@ -661,6 +662,18 @@ impl CampaignReport {
             w.field_u64("events_delivered", r.engine.events_delivered);
             w.field_u64("peak_state_entries", r.engine.state.total_entries());
             w.field_u64("peak_state_bytes", r.engine.state.state_bytes);
+            w.field_str("faults", &r.faults.to_string());
+            if !r.faults.is_none() {
+                let fs = &r.engine.faults;
+                w.field_u64("faults_dropped", fs.dropped);
+                w.field_u64("faults_duplicated", fs.duplicated);
+                w.field_u64("faults_delayed", fs.delayed);
+                w.field_u64("faults_reordered", fs.reordered);
+                w.field_u64("faults_link_deferred", fs.link_deferred);
+                w.field_u64("reissue_timeouts", fs.reissue_timeouts);
+                w.field_u64("persistent_activations", fs.persistent_activations);
+                w.field_u64("max_recovery_ns", fs.max_recovery_ns);
+            }
             w.field_u64("violations", r.violations.len() as u64);
             w.close('}');
         }
@@ -835,6 +848,7 @@ mod tests {
         RunOptions {
             ops_per_node: 250,
             max_cycles: 20_000_000,
+            ..RunOptions::default()
         }
     }
 

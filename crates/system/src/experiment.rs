@@ -3,7 +3,7 @@
 //! the integration tests.
 
 use tc_protocols::ProtocolRegistry;
-use tc_types::{BandwidthMode, DirectoryMode, ProtocolKind, SystemConfig, TopologyKind};
+use tc_types::{BandwidthMode, DirectoryMode, FaultSpec, ProtocolKind, SystemConfig, TopologyKind};
 use tc_workloads::WorkloadProfile;
 
 use crate::report::RunReport;
@@ -18,16 +18,27 @@ pub struct ExperimentPoint {
     pub config: SystemConfig,
     /// Workload to run.
     pub workload: WorkloadProfile,
+    /// Per-point fault spec; when non-empty it overrides the campaign-wide
+    /// `RunOptions::faults` (the `faultsweep` campaign varies faults across
+    /// points this way).
+    pub faults: FaultSpec,
 }
 
 impl ExperimentPoint {
-    /// Creates a point.
+    /// Creates a point (with a reliable fabric).
     pub fn new(label: impl Into<String>, config: SystemConfig, workload: WorkloadProfile) -> Self {
         ExperimentPoint {
             label: label.into(),
             config,
             workload,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Returns this point with a per-point fault spec.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Builds and runs the point with the default protocol registry.
@@ -38,6 +49,10 @@ impl ExperimentPoint {
     /// Builds and runs the point, constructing controllers through
     /// `registry` (for experimental protocol variants).
     pub fn run_with(&self, options: RunOptions, registry: &ProtocolRegistry) -> RunReport {
+        let mut options = options;
+        if !self.faults.is_none() {
+            options.faults = self.faults;
+        }
         let mut system = System::build_with(&self.config, &self.workload, registry);
         system.run(options)
     }
@@ -51,6 +66,7 @@ impl RunOptions {
         RunOptions {
             ops_per_node: 12_000,
             max_cycles: 1_000_000_000,
+            ..RunOptions::default()
         }
     }
 
@@ -59,6 +75,7 @@ impl RunOptions {
         RunOptions {
             ops_per_node: 1_500,
             max_cycles: 100_000_000,
+            ..RunOptions::default()
         }
     }
 
@@ -67,6 +84,7 @@ impl RunOptions {
         RunOptions {
             ops_per_node: SWEEP64_OPS_PER_NODE,
             max_cycles: 200_000_000_000,
+            ..RunOptions::default()
         }
     }
 }
@@ -243,6 +261,71 @@ pub fn sweep64_points() -> Vec<ExperimentPoint> {
     points
 }
 
+/// The reference fault mix for the `faultsweep` campaign: the acceptance
+/// mix from the paper-reproduction issue — 1% loss, 0.5% duplication, 2%
+/// jitter up to 150 ns, and a reorder window of 4 link hops.
+pub fn faultsweep_reference_spec() -> FaultSpec {
+    FaultSpec::none()
+        .with_drop(0.01)
+        .with_dup(0.005)
+        .with_delay(0.02, 150)
+        .with_reorder(4)
+}
+
+/// The `faultsweep` campaign: for each protocol that contracts to survive
+/// any fault class, a fault-free baseline, one point per tolerated class,
+/// and a combined point (the reference mix gated to the protocol's
+/// contract). A contended hot-block workload on a small system keeps every
+/// point fast while making the recovery machinery — reissue timeouts and
+/// persistent requests — actually work for its living.
+pub fn faultsweep_points() -> Vec<ExperimentPoint> {
+    use tc_types::FaultKind;
+    let workload = WorkloadProfile::hot_block();
+    let mut points = Vec::new();
+    for protocol in [
+        ProtocolKind::TokenB,
+        ProtocolKind::Hammer,
+        ProtocolKind::Directory,
+    ] {
+        let config = base_config()
+            .with_nodes(4)
+            .with_protocol(protocol)
+            .with_topology(TopologyKind::Torus);
+        points.push(ExperimentPoint::new(
+            format!("{protocol} (reliable)"),
+            config.clone(),
+            workload.clone(),
+        ));
+        for kind in protocol.tolerated_faults() {
+            let spec = match kind {
+                FaultKind::Drop => FaultSpec::none().with_drop(0.01),
+                FaultKind::Duplicate => FaultSpec::none().with_dup(0.005),
+                FaultKind::Delay => FaultSpec::none().with_delay(0.05, 200),
+                FaultKind::Reorder => FaultSpec::none().with_reorder(4),
+                FaultKind::LinkDown => FaultSpec::none().with_outage(1, 2, 10_000, 60_000),
+            };
+            points.push(
+                ExperimentPoint::new(
+                    format!("{protocol}+{kind}"),
+                    config.clone(),
+                    workload.clone(),
+                )
+                .with_faults(spec),
+            );
+        }
+        let (combined, _gaps) = faultsweep_reference_spec().gated_for(protocol);
+        points.push(
+            ExperimentPoint::new(
+                format!("{protocol}+combined"),
+                config.clone(),
+                workload.clone(),
+            )
+            .with_faults(combined),
+        );
+    }
+    points
+}
+
 /// Question 5 (scalability): TokenB vs Directory traffic on the uniform
 /// microbenchmark at increasing node counts.
 pub fn scalability_points(num_nodes: usize) -> Vec<ExperimentPoint> {
@@ -357,6 +440,7 @@ mod tests {
         let report = point.run(RunOptions {
             ops_per_node: 400,
             max_cycles: 20_000_000,
+            ..RunOptions::default()
         });
         assert!(report.total_ops >= 1600);
         assert!(report.violations.is_empty());

@@ -43,7 +43,11 @@
 //!     .with_nodes(4)
 //!     .with_protocol(ProtocolKind::TokenB);
 //! let mut system = System::build(&config, &WorkloadProfile::specjbb());
-//! let report = system.run(RunOptions { ops_per_node: 200, max_cycles: 2_000_000 });
+//! let report = system.run(RunOptions {
+//!     ops_per_node: 200,
+//!     max_cycles: 2_000_000,
+//!     ..RunOptions::default()
+//! });
 //! assert!(report.total_ops >= 4 * 200);
 //! assert!(report.violations.is_empty());
 //! ```

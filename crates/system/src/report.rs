@@ -3,7 +3,7 @@
 use std::fmt;
 
 use tc_types::{
-    BandwidthMode, ControllerStats, Cycle, EngineStats, InvariantViolation, MissStats,
+    BandwidthMode, ControllerStats, Cycle, EngineStats, FaultSpec, InvariantViolation, MissStats,
     ProtocolKind, ReissueStats, TopologyKind, TrafficClass, TrafficStats,
 };
 
@@ -73,6 +73,9 @@ pub struct RunReport {
     pub controllers: ControllerStats,
     /// Interconnect traffic by class.
     pub traffic: TrafficStats,
+    /// Fault spec the run executed under ([`FaultSpec::none`] for a
+    /// reliable fabric); the matching counters live in `engine.faults`.
+    pub faults: FaultSpec,
     /// Engine-level high-water marks (queue depth, arena occupancy), for
     /// data-driven bottleneck hunts.
     pub engine: EngineStats,
@@ -189,6 +192,9 @@ impl fmt::Display for RunReport {
             self.engine.state.persistent_peak,
             self.engine.state.state_bytes / 1024
         )?;
+        if !self.faults.is_none() {
+            writeln!(f, "  faults ({}): {}", self.faults, self.engine.faults)?;
+        }
         write!(f, "  violations: {}", self.violations.len())
     }
 }
@@ -225,6 +231,7 @@ mod tests {
             },
             controllers: ControllerStats::new(),
             traffic,
+            faults: FaultSpec::none(),
             engine: EngineStats::default(),
             violations: Vec::new(),
         }

@@ -1,12 +1,12 @@
 //! The event-driven system runner.
 
-use tc_interconnect::Interconnect;
+use tc_interconnect::{FaultPlane, Interconnect};
 use tc_protocols::ProtocolRegistry;
 use tc_sim::{Arena, ArenaRef, EventQueue};
 use tc_types::{
     AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
-    FastHashMap, LineStateStats, Message, MissKind, MissStats, NodeId, Outbox, ProtocolKind,
-    ReissueStats, SystemConfig, Timer,
+    FastHashMap, FaultSpec, LineStateStats, Message, MissKind, MissStats, NodeId, Outbox,
+    ProtocolKind, ReissueStats, SystemConfig, Timer,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -21,6 +21,24 @@ pub struct RunOptions {
     pub ops_per_node: u64,
     /// Hard ceiling on simulated time, in cycles, to bound runaway runs.
     pub max_cycles: Cycle,
+    /// Fault-injection spec for the fabric. The default,
+    /// [`FaultSpec::none`], instantiates no fault plane at all: faultless
+    /// runs stay bit-identical to runs before fault injection existed.
+    pub faults: FaultSpec,
+    /// Livelock watchdog: if this many events are processed without a
+    /// single operation completing, the run is cut off and reported as a
+    /// structured `InvariantViolation::Livelock` instead of spinning to the
+    /// cycle cap. The default is far above any healthy run's
+    /// between-completions gap.
+    pub livelock_events_budget: u64,
+}
+
+impl RunOptions {
+    /// Returns these options with the given fault spec.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 impl Default for RunOptions {
@@ -28,6 +46,8 @@ impl Default for RunOptions {
         RunOptions {
             ops_per_node: 20_000,
             max_cycles: 500_000_000,
+            faults: FaultSpec::none(),
+            livelock_events_budget: 50_000_000,
         }
     }
 }
@@ -83,6 +103,9 @@ pub struct System {
     scratch_out: Outbox,
     /// Scratch buffer for interconnect arrival times, reused across sends.
     arrival_buf: Vec<(Cycle, NodeId)>,
+    /// Worst end-to-end miss latency observed, reported as the worst-case
+    /// recovery latency when fault injection is active.
+    max_miss_latency: Cycle,
     /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
     /// block is printed to stderr — the deterministic replay makes this a
     /// complete causal trace of one block's protocol activity.
@@ -152,6 +175,7 @@ impl System {
             messages: Arena::new(),
             scratch_out: Outbox::new(),
             arrival_buf: Vec::new(),
+            max_miss_latency: 0,
             trace_block: std::env::var("TC_TRACE_BLOCK")
                 .ok()
                 .and_then(|v| v.parse().ok())
@@ -203,6 +227,25 @@ impl System {
         let mut ops_at_target: u64 = 0;
         let mut transactions_at_target: u64 = 0;
         let drain_limit = options.max_cycles.saturating_mul(2);
+        // The fault plane only exists when the spec injects something, so
+        // the (default) reliable-fabric path takes no extra branches beyond
+        // one `Option` check per send and stays bit-identical.
+        let mut fault_plane = if options.faults.is_none() {
+            None
+        } else {
+            Some(FaultPlane::new(
+                options.faults,
+                self.config.protocol,
+                self.config.seed,
+                self.config.interconnect.link_latency_ns,
+            ))
+        };
+        // Forward-progress watchdog: events processed since an operation
+        // last completed. A fault-wedged run that keeps messages flowing
+        // (so the drain-limit deadlock detector never fires) trips this
+        // budget and is reported as a structured livelock.
+        let mut events_since_progress: u64 = 0;
+        let mut livelock_hit = false;
         // The scratch outbox lives in a local for the whole loop instead of
         // being swapped out of and back into `self` around every controller
         // call.
@@ -219,6 +262,7 @@ impl System {
                 drain_limit_hit = true;
                 break;
             }
+            let ops_before = self.completed_ops;
             match event {
                 SystemEvent::Wakeup(node) => {
                     if !draining {
@@ -232,9 +276,17 @@ impl System {
                     }
                     let mut arrivals = std::mem::take(&mut self.arrival_buf);
                     self.interconnect.send_arrivals(now, &msg, &mut arrivals);
+                    if let Some(plane) = fault_plane.as_mut() {
+                        if msg.reissue {
+                            plane.stats_mut().reissue_timeouts += 1;
+                        }
+                        plane.apply(now, &msg, &mut arrivals);
+                    }
                     // Park the payload once, shared by every delivery of
                     // the fan-out; the last delivery's release frees it.
-                    // Nothing is cloned, broadcast or not.
+                    // Nothing is cloned, broadcast or not. Fault-dropped
+                    // arrivals shrink the share count (a fully-dropped
+                    // message is never parked); duplicates grow it.
                     if !arrivals.is_empty() {
                         let parked = self.messages.insert_shared(msg, arrivals.len() as u32);
                         for &(at, node) in &arrivals {
@@ -259,6 +311,20 @@ impl System {
                     self.process_outbox(now, node, &mut out);
                 }
             }
+            if self.completed_ops != ops_before {
+                events_since_progress = 0;
+            } else {
+                events_since_progress += 1;
+                if events_since_progress >= options.livelock_events_budget {
+                    livelock_hit = true;
+                    eprintln!(
+                        "livelock watchdog: {events_since_progress} events without a completed \
+                         op at cycle {now}; cutting the run off (rerun with TC_TRACE_BLOCK=<blk> \
+                         for a causal trace of the spinning block)"
+                    );
+                    break;
+                }
+            }
         }
         self.scratch_out = out;
 
@@ -273,7 +339,10 @@ impl System {
             }
         };
 
-        self.final_audit(drain_limit_hit);
+        self.final_audit(
+            drain_limit_hit,
+            livelock_hit.then_some(events_since_progress),
+        );
 
         let mut misses = MissStats::default();
         let mut reissue = ReissueStats::default();
@@ -285,6 +354,15 @@ impl System {
             reissue.merge(&stats.reissue);
             controllers.merge(&stats);
             line_state.merge(&controller.line_state_stats());
+        }
+
+        // Recovery-side fault numbers: how hard the correctness substrate
+        // had to work. Left all-zero on faultless runs so the default
+        // report is unchanged.
+        let mut fault_stats = fault_plane.as_ref().map(|p| p.stats()).unwrap_or_default();
+        if fault_plane.is_some() {
+            fault_stats.persistent_activations = controllers.persistent_requests_initiated;
+            fault_stats.max_recovery_ns = self.max_miss_latency;
         }
 
         RunReport {
@@ -300,11 +378,13 @@ impl System {
             reissue,
             controllers,
             traffic: self.interconnect.traffic().clone(),
+            faults: options.faults,
             engine: EngineStats {
                 peak_queue_depth: self.queue.max_depth() as u64,
                 peak_arena_occupancy: self.messages.high_water() as u64,
                 events_delivered: self.queue.total_delivered(),
                 state: line_state,
+                faults: fault_stats,
             },
             violations: self.verifier.violations().to_vec(),
         }
@@ -375,6 +455,9 @@ impl System {
                 .schedule(at.max(now), SystemEvent::Timer { node, timer });
         }
         for completion in out.completions.drain(..) {
+            self.max_miss_latency = self
+                .max_miss_latency
+                .max(completion.completed_at.saturating_sub(completion.issued_at));
             // Classify by the original operation, not the miss: a store that
             // merged into a read miss is still a store.
             let is_write = self
@@ -408,12 +491,14 @@ impl System {
     }
 
     /// Audits the quiesced final state: token conservation, single-writer,
-    /// and starvation/deadlock. `drain_limit_hit` distinguishes a run that
-    /// was cut off with events still flowing (deadlock — something is
-    /// spinning or stranded) from one whose event queue drained with requests
-    /// still outstanding (starvation — nothing left that could complete
-    /// them).
-    fn final_audit(&mut self, drain_limit_hit: bool) {
+    /// and starvation/deadlock/livelock. `drain_limit_hit` distinguishes a
+    /// run that was cut off with events still flowing (deadlock — something
+    /// is spinning or stranded) from one whose event queue drained with
+    /// requests still outstanding (starvation — nothing left that could
+    /// complete them); `livelock` carries the watchdog's
+    /// events-without-progress count when the forward-progress budget
+    /// tripped, which takes precedence over both.
+    fn final_audit(&mut self, drain_limit_hit: bool, livelock: Option<u64>) {
         let now = self.queue.now();
         let expected_tokens = match self.config.protocol {
             ProtocolKind::TokenB => Some(self.config.token.tokens_per_block),
@@ -481,13 +566,41 @@ impl System {
                     .oldest_outstanding()
                     .map(|(_, at)| at)
                     .unwrap_or(now);
-                if drain_limit_hit {
+                if let Some(events_without_progress) = livelock {
+                    self.verifier.record_livelock(
+                        processor.node(),
+                        stuck_block,
+                        issued_at,
+                        now,
+                        events_without_progress,
+                    );
+                } else if drain_limit_hit {
                     self.verifier
                         .record_deadlock(processor.node(), stuck_block, issued_at, now);
                 } else {
                     self.verifier
                         .record_starvation(processor.node(), stuck_block, issued_at, now);
                 }
+            }
+        }
+
+        // A tripped watchdog must surface even when no request happens to
+        // be outstanding at the cut (pure message ping-pong): attribute it
+        // to node 0 rather than dropping the violation.
+        if let Some(events_without_progress) = livelock {
+            let already_recorded = self
+                .verifier
+                .violations()
+                .iter()
+                .any(|v| matches!(v, tc_types::InvariantViolation::Livelock { .. }));
+            if !already_recorded {
+                self.verifier.record_livelock(
+                    NodeId::new(0),
+                    BlockAddr::new(0),
+                    now,
+                    now,
+                    events_without_progress,
+                );
             }
         }
     }
@@ -514,6 +627,7 @@ mod tests {
         system.run(RunOptions {
             ops_per_node: ops,
             max_cycles: 50_000_000,
+            ..RunOptions::default()
         })
     }
 
@@ -609,6 +723,7 @@ mod tests {
         let options = RunOptions {
             ops_per_node: 1200,
             max_cycles: 50_000_000,
+            ..RunOptions::default()
         };
         let limited = limited.run(options);
         let unlimited = unlimited.run(options);
@@ -650,6 +765,7 @@ mod regression_tests {
         let report = system.run(RunOptions {
             ops_per_node: 400,
             max_cycles: 10_000_000,
+            ..RunOptions::default()
         });
         assert!(report.violations.is_empty(), "{:?}", report.violations);
     }

@@ -221,6 +221,25 @@ impl Verifier {
         });
     }
 
+    /// Records a livelock: the forward-progress watchdog exhausted its
+    /// event budget with events still flowing but no operation completing.
+    pub fn record_livelock(
+        &mut self,
+        node: NodeId,
+        addr: BlockAddr,
+        issued_at: Cycle,
+        at: Cycle,
+        events_without_progress: u64,
+    ) {
+        self.violations.push(InvariantViolation::Livelock {
+            node,
+            addr,
+            issued_at,
+            at,
+            events_without_progress,
+        });
+    }
+
     /// All violations detected so far.
     pub fn violations(&self) -> &[InvariantViolation] {
         &self.violations

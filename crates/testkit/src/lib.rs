@@ -17,10 +17,18 @@
 //! * [`stress`] — the protocol × scenario × seed sweep, collecting every
 //!   run whose report contains an invariant violation (safety) or a
 //!   starvation/deadlock (liveness) as a [`Failure`].
-//! * [`Failure`] — a replayable failing cell. Its `Display` prints the exact
-//!   replay recipe; [`shrink`] minimizes the per-node operation count while
-//!   the failure still reproduces, so the reported case is the smallest the
-//!   harness can find.
+//! * [`stress_faulted`] — the same sweep under an adversarial
+//!   [`FaultSpec`]. Each protocol is injected with only the fault classes it
+//!   contracts to survive (`FaultSpec::gated_for`); classes outside the
+//!   contract come back as structured [`CapabilityGap`]s instead of false
+//!   failures. This is the paper's decoupling claim under fire: TokenB must
+//!   stay safe *and live* under loss, duplication, and reordering, while the
+//!   ordered-interconnect baselines declare what they cannot promise.
+//! * [`Failure`] — a replayable failing cell (including the fault spec it
+//!   failed under). Its `Display` prints the exact replay recipe; [`shrink`]
+//!   minimizes the per-node operation count *and* the fault schedule while
+//!   the failure still reproduces, so the reported case is the smallest
+//!   `(ops, faults)` pair the harness can find.
 //! * [`token_pump`] — a controller-level interleaving pump for TokenB that
 //!   randomizes delivery order and timer firing (timeout/retry storms) while
 //!   asserting token conservation after every step, independent of the
@@ -35,9 +43,10 @@ pub use scenario::Scenario;
 use std::fmt;
 
 use tc_system::RunReport;
-use tc_types::{InvariantViolation, ProtocolKind};
+use tc_types::{FaultKind, FaultSpec, InvariantViolation, ProtocolKind};
 
-/// One failing (protocol, scenario, seed) cell of the conformance sweep.
+/// One failing (protocol, scenario, seed, faults) cell of the conformance
+/// sweep. `faults` is `FaultSpec::none()` for the reliable-fabric sweep.
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Protocol under test.
@@ -48,6 +57,8 @@ pub struct Failure {
     pub seed: u64,
     /// Operations per node the failing run used (shrunk runs lower this).
     pub ops_per_node: u64,
+    /// The fault spec injected during the failing run (shrunk runs thin it).
+    pub faults: FaultSpec,
     /// The violations the verifier reported.
     pub violations: Vec<InvariantViolation>,
 }
@@ -56,16 +67,49 @@ impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} on scenario '{}' (seed {}, {} ops/node) violated:",
-            self.protocol, self.scenario, self.seed, self.ops_per_node
+            "{} on scenario '{}' (seed {}, {} ops/node, faults {}) violated:",
+            self.protocol, self.scenario, self.seed, self.ops_per_node, self.faults
         )?;
         for violation in &self.violations {
             writeln!(f, "  - {violation}")?;
         }
+        if self.faults.is_none() {
+            write!(
+                f,
+                "  replay: Scenario::by_name(\"{}\").unwrap().run_with_ops(ProtocolKind::{:?}, {}, {})",
+                self.scenario, self.protocol, self.seed, self.ops_per_node
+            )
+        } else {
+            write!(
+                f,
+                "  replay: Scenario::by_name(\"{}\").unwrap().run_faulted(ProtocolKind::{:?}, {}, {}, \
+                 FaultSpec::parse(\"{}\").unwrap())",
+                self.scenario, self.protocol, self.seed, self.ops_per_node, self.faults
+            )
+        }
+    }
+}
+
+/// A fault class a protocol does not contract to survive, reported by
+/// [`stress_faulted`] when the requested spec enables it. A gap is a
+/// documented capability boundary — snooping's total-order assumption, the
+/// baselines' lack of retry machinery — not a conformance failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapabilityGap {
+    /// The protocol that declines the class.
+    pub protocol: ProtocolKind,
+    /// The fault class outside its contract.
+    pub class: FaultKind,
+}
+
+impl fmt::Display for CapabilityGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "  replay: Scenario::by_name(\"{}\").unwrap().run_with_ops(ProtocolKind::{:?}, {}, {})",
-            self.scenario, self.protocol, self.seed, self.ops_per_node
+            "{} does not contract to survive fault class '{}' (tolerated: {:?})",
+            self.protocol,
+            self.class.name(),
+            self.protocol.tolerated_faults()
         )
     }
 }
@@ -78,6 +122,7 @@ pub fn check(
     scenario: &Scenario,
     seed: u64,
     ops_per_node: u64,
+    faults: FaultSpec,
     report: &RunReport,
 ) -> Option<Failure> {
     if report.violations.is_empty() {
@@ -88,6 +133,7 @@ pub fn check(
             scenario: scenario.name.to_string(),
             seed,
             ops_per_node,
+            faults,
             violations: report.violations.clone(),
         })
     }
@@ -102,9 +148,14 @@ pub fn stress(protocols: &[ProtocolKind], scenarios: &[Scenario], seeds: &[u64])
         for &protocol in protocols {
             for &seed in seeds {
                 let report = scenario.run(protocol, seed);
-                if let Some(failure) =
-                    check(protocol, scenario, seed, scenario.ops_per_node, &report)
-                {
+                if let Some(failure) = check(
+                    protocol,
+                    scenario,
+                    seed,
+                    scenario.ops_per_node,
+                    FaultSpec::none(),
+                    &report,
+                ) {
                     failures.push(failure);
                 }
             }
@@ -113,24 +164,105 @@ pub fn stress(protocols: &[ProtocolKind], scenarios: &[Scenario], seeds: &[u64])
     failures
 }
 
-/// Shrinks a failure's per-node operation count: repeatedly halves it while
-/// the failure still reproduces, then binary-searches the boundary, and
-/// returns the smallest still-failing case. Because runs are deterministic
-/// in `(protocol, scenario, seed, ops)`, the result is a minimal replayable
-/// reproduction, not a flaky sample.
+/// The fault-campaign sweep: every protocol through every scenario for every
+/// seed under `spec`, with per-protocol contract gating. Each protocol is
+/// injected with `spec.gated_for(protocol)` — only the fault classes it
+/// contracts to survive — and every class the spec requested but the
+/// protocol declines is reported as a [`CapabilityGap`] (once per
+/// protocol × class), not a failure. A [`Failure`] here therefore always
+/// means a protocol broke *inside* its declared contract. Deterministic in
+/// all inputs.
+pub fn stress_faulted(
+    protocols: &[ProtocolKind],
+    scenarios: &[Scenario],
+    seeds: &[u64],
+    spec: FaultSpec,
+) -> (Vec<Failure>, Vec<CapabilityGap>) {
+    let mut failures = Vec::new();
+    let mut gaps = Vec::new();
+    for &protocol in protocols {
+        let (gated, declined) = spec.gated_for(protocol);
+        for class in declined {
+            let gap = CapabilityGap { protocol, class };
+            if !gaps.contains(&gap) {
+                gaps.push(gap);
+            }
+        }
+        for scenario in scenarios {
+            for &seed in seeds {
+                let report = scenario.run_faulted(protocol, seed, scenario.ops_per_node, gated);
+                if let Some(failure) = check(
+                    protocol,
+                    scenario,
+                    seed,
+                    scenario.ops_per_node,
+                    gated,
+                    &report,
+                ) {
+                    failures.push(failure);
+                }
+            }
+        }
+    }
+    (failures, gaps)
+}
+
+/// Returns `spec` with one fault class disabled — the shrinker's class
+/// removal step.
+fn without_class(spec: FaultSpec, class: FaultKind) -> FaultSpec {
+    let mut s = spec;
+    match class {
+        FaultKind::Drop => s.drop_ppm = 0,
+        FaultKind::Duplicate => s.dup_ppm = 0,
+        FaultKind::Delay => {
+            s.delay_ppm = 0;
+            s.delay_max_ns = 0;
+        }
+        FaultKind::Reorder => s.reorder_depth = 0,
+        FaultKind::LinkDown => s.outages = [None; tc_types::fault::MAX_OUTAGES],
+    }
+    s
+}
+
+/// Returns `spec` with every intensity knob halved (probabilities, jitter
+/// bound, reorder depth) — the shrinker's magnitude descent step. Fixed
+/// point: the all-zero spec maps to itself.
+fn halved(spec: FaultSpec) -> FaultSpec {
+    let mut s = spec;
+    s.drop_ppm /= 2;
+    s.dup_ppm /= 2;
+    s.delay_ppm /= 2;
+    s.reorder_depth /= 2;
+    s
+}
+
+/// Shrinks a failure to the smallest `(ops, faults)` pair that still
+/// reproduces it. Operation count first (repeated halving, then a binary
+/// search of the boundary), then the fault schedule: greedily drop whole
+/// fault classes the failure does not need, then halve the intensities of
+/// the surviving classes while the failure persists. Because runs are
+/// deterministic in `(protocol, scenario, seed, ops, faults)`, the result
+/// is a minimal replayable reproduction, not a flaky sample.
 pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
     debug_assert_eq!(failure.scenario, scenario.name);
-    let reproduces = |ops: u64| -> Option<Failure> {
-        let report = scenario.run_with_ops(failure.protocol, failure.seed, ops);
-        check(failure.protocol, scenario, failure.seed, ops, &report)
+    let reproduces = |ops: u64, faults: FaultSpec| -> Option<Failure> {
+        let report = scenario.run_faulted(failure.protocol, failure.seed, ops, faults);
+        check(
+            failure.protocol,
+            scenario,
+            failure.seed,
+            ops,
+            faults,
+            &report,
+        )
     };
 
     let mut best = failure.clone();
-    // Phase 1: exponential descent.
+    // Phase 1: exponential descent on the operation count.
     let mut ops = failure.ops_per_node;
     while ops > 1 {
         let half = ops / 2;
-        match reproduces(half) {
+        match reproduces(half, best.faults) {
             Some(smaller) => {
                 best = smaller;
                 ops = half;
@@ -144,12 +276,33 @@ pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
     let mut hi = best.ops_per_node; // fails
     while lo + 1 < hi {
         let mid = lo + (hi - lo) / 2;
-        match reproduces(mid) {
+        match reproduces(mid, best.faults) {
             Some(smaller) => {
                 best = smaller;
                 hi = mid;
             }
             None => lo = mid,
+        }
+    }
+    // Phase 3: greedy fault-class removal — keep a class zeroed whenever the
+    // failure reproduces without it.
+    for class in FaultKind::ALL {
+        if !best.faults.enables(class) {
+            continue;
+        }
+        if let Some(smaller) = reproduces(best.ops_per_node, without_class(best.faults, class)) {
+            best = smaller;
+        }
+    }
+    // Phase 4: halve the surviving intensities while the failure persists.
+    loop {
+        let thinner = halved(best.faults);
+        if thinner == best.faults {
+            break;
+        }
+        match reproduces(best.ops_per_node, thinner) {
+            Some(smaller) => best = smaller,
+            None => break,
         }
     }
     best
@@ -190,7 +343,15 @@ mod tests {
     fn clean_runs_produce_no_failure() {
         let s = scenario();
         let report = s.run(ProtocolKind::TokenB, 42);
-        assert!(check(ProtocolKind::TokenB, &s, 42, s.ops_per_node, &report).is_none());
+        assert!(check(
+            ProtocolKind::TokenB,
+            &s,
+            42,
+            s.ops_per_node,
+            FaultSpec::none(),
+            &report
+        )
+        .is_none());
     }
 
     #[test]
@@ -208,6 +369,7 @@ mod tests {
             scenario: "oltp_calibration".to_string(),
             seed: 7,
             ops_per_node: 300,
+            faults: FaultSpec::none(),
             violations: vec![InvariantViolation::Deadlock {
                 node: NodeId::new(5),
                 addr: BlockAddr::new(46),
@@ -217,9 +379,104 @@ mod tests {
         };
         let text = failure.to_string();
         assert!(text.contains("replay:"));
+        assert!(text.contains("run_with_ops"));
         assert!(text.contains("oltp_calibration"));
         assert!(text.contains("Snooping"));
         assert!(text.contains("seed 7"));
         assert!(text.contains("deadlock"));
+    }
+
+    #[test]
+    fn faulted_failure_display_embeds_a_parseable_fault_recipe() {
+        let faults = FaultSpec::none().with_drop(0.01).with_reorder(4);
+        let failure = Failure {
+            protocol: ProtocolKind::TokenB,
+            scenario: "hot_block_contention".to_string(),
+            seed: 9,
+            ops_per_node: 100,
+            faults,
+            violations: vec![InvariantViolation::Deadlock {
+                node: NodeId::new(1),
+                addr: BlockAddr::new(2),
+                issued_at: 10,
+                at: 90,
+            }],
+        };
+        let text = failure.to_string();
+        assert!(text.contains("run_faulted"));
+        // The recipe round-trips: the printed spec parses back to itself.
+        let printed = text
+            .split("FaultSpec::parse(\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("replay recipe embeds the spec");
+        assert_eq!(FaultSpec::parse(printed).unwrap(), faults);
+    }
+
+    #[test]
+    fn gated_sweep_reports_capability_gaps_not_false_failures() {
+        // Snooping contracts to survive no fault class at all, so a spec
+        // requesting drops and delays must produce only gaps for it: the
+        // gated run is a reliable-fabric run, which passes.
+        let s = vec![scenario()];
+        let spec = FaultSpec::none().with_drop(0.01).with_delay(0.02, 100);
+        let (failures, gaps) = stress_faulted(&[ProtocolKind::Snooping], &s, &[1, 2], spec);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(
+            gaps,
+            vec![
+                CapabilityGap {
+                    protocol: ProtocolKind::Snooping,
+                    class: FaultKind::Drop
+                },
+                CapabilityGap {
+                    protocol: ProtocolKind::Snooping,
+                    class: FaultKind::Delay
+                },
+            ]
+        );
+        assert!(gaps[0].to_string().contains("drop"));
+    }
+
+    #[test]
+    fn shrink_minimizes_the_fault_schedule_alongside_the_op_count() {
+        // Drive snooping *outside* its contract on purpose (run_faulted
+        // injects the spec as given): delay jitter breaks its total-order
+        // assumption. The drop class rides along but never fires for
+        // snooping (loss is gated to TokenB transient requests), so the
+        // shrinker must discard it and keep delay.
+        let s = scenario();
+        let spec = FaultSpec::none().with_drop(0.01).with_delay(0.05, 200);
+        let (failure, seed) = [1u64, 2, 3, 7]
+            .iter()
+            .find_map(|&seed| {
+                let report = s.run_faulted(ProtocolKind::Snooping, seed, s.ops_per_node, spec);
+                check(
+                    ProtocolKind::Snooping,
+                    &s,
+                    seed,
+                    s.ops_per_node,
+                    spec,
+                    &report,
+                )
+                .map(|f| (f, seed))
+            })
+            .expect("snooping under delay jitter must violate on some probe seed");
+        let minimal = shrink(&failure, &s);
+        assert!(minimal.ops_per_node <= failure.ops_per_node);
+        assert_eq!(minimal.faults.drop_ppm, 0, "needless class not discarded");
+        assert!(
+            minimal.faults.enables(FaultKind::Delay),
+            "the class that causes the failure must survive shrinking"
+        );
+        assert!(!minimal.violations.is_empty());
+        // And the shrunk recipe still reproduces bit-for-bit.
+        let replay = s.run_faulted(
+            ProtocolKind::Snooping,
+            seed,
+            minimal.ops_per_node,
+            minimal.faults,
+        );
+        assert_eq!(replay.violations, minimal.violations);
     }
 }

@@ -2,7 +2,7 @@
 
 use tc_system::experiment::ExperimentPoint;
 use tc_system::{RunOptions, RunReport, System};
-use tc_types::{Cycle, ProtocolKind, SystemConfig};
+use tc_types::{Cycle, FaultSpec, ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
 
 /// A named conformance scenario: a workload plus the system shape that makes
@@ -136,6 +136,7 @@ impl Scenario {
         RunOptions {
             ops_per_node: self.ops_per_node,
             max_cycles: self.max_cycles,
+            ..RunOptions::default()
         }
     }
 
@@ -147,11 +148,27 @@ impl Scenario {
     /// [`Scenario::run`] with an overridden per-node operation count — the
     /// shrinking hook.
     pub fn run_with_ops(&self, protocol: ProtocolKind, seed: u64, ops_per_node: u64) -> RunReport {
+        self.run_faulted(protocol, seed, ops_per_node, FaultSpec::none())
+    }
+
+    /// [`Scenario::run_with_ops`] under a fault spec — the fault-campaign
+    /// and fault-shrinking hook. Note this injects the spec *as given*: the
+    /// per-protocol tolerance gating lives in `stress_faulted`, so tests
+    /// can also drive a protocol outside its contract deliberately.
+    pub fn run_faulted(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        ops_per_node: u64,
+        faults: FaultSpec,
+    ) -> RunReport {
         let config = self.config(protocol, seed);
         let mut system = System::build(&config, &self.workload);
         system.run(RunOptions {
             ops_per_node,
             max_cycles: self.max_cycles,
+            faults,
+            ..RunOptions::default()
         })
     }
 }

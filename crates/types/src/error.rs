@@ -116,6 +116,22 @@ pub enum InvariantViolation {
         /// Time of the audit that declared starvation.
         at: Cycle,
     },
+    /// The run made no forward progress for an entire event budget: events
+    /// kept flowing (so the drain-limit deadlock detector never fired) but
+    /// no operation completed — the livelock the paper's persistent
+    /// requests exist to rule out.
+    Livelock {
+        /// Node whose request was outstanding when the watchdog tripped.
+        node: NodeId,
+        /// Block that request is for.
+        addr: BlockAddr,
+        /// Time the stuck request was issued.
+        issued_at: Cycle,
+        /// Time the watchdog tripped.
+        at: Cycle,
+        /// Events processed since the last completed operation.
+        events_without_progress: u64,
+    },
     /// The run hit its drain limit with requests still outstanding: the
     /// protocol wedged (a request was stranded with no message, timer, or
     /// event left that could ever complete it).
@@ -180,6 +196,19 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "{node} starved on {addr}: issued at cycle {issued_at}, still incomplete at cycle {at}"
+            ),
+            InvariantViolation::Livelock {
+                node,
+                addr,
+                issued_at,
+                at,
+                events_without_progress,
+            } => write!(
+                f,
+                "livelock: {events_without_progress} events without progress; {node} stuck on \
+                 {addr} (issued at cycle {issued_at}) when the watchdog tripped at cycle {at} \
+                 (rerun with TC_TRACE_BLOCK={} for the causal trace)",
+                addr.value()
             ),
             InvariantViolation::Deadlock {
                 node,

@@ -40,6 +40,7 @@ pub mod addr;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod memop;
@@ -56,6 +57,7 @@ pub use controller::{
     TimerKind,
 };
 pub use error::{ConfigError, InvariantViolation};
+pub use fault::{FaultKind, FaultSpec, FaultStats, LinkOutage};
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ids::{Cycle, NodeId, ReqId};
 pub use memop::{AccessType, MemOp, MemOpKind};

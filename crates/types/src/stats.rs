@@ -351,6 +351,9 @@ pub struct EngineStats {
     /// Per-structure peaks and estimated byte footprint of the sparse
     /// line-state plane, summed across nodes.
     pub state: LineStateStats,
+    /// Fault-injection counters (all zero when the run used
+    /// [`FaultSpec::none`](crate::fault::FaultSpec::none)).
+    pub faults: crate::fault::FaultStats,
 }
 
 /// Statistics exported by a coherence controller.

@@ -42,6 +42,7 @@ fn main() {
     let report = system.run(RunOptions {
         ops_per_node: ops,
         max_cycles: scenario.max_cycles,
+        ..RunOptions::default()
     });
     println!(
         "{} x {protocol} seed={seed} ops={ops}: cycles={} total_ops={} violations={}",

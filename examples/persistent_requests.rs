@@ -28,6 +28,7 @@ fn main() {
         let report = system.run(RunOptions {
             ops_per_node: 4_000,
             max_cycles: 2_000_000_000,
+            ..RunOptions::default()
         });
         let [none, once, more, persistent] = report.table2_row();
         println!("{label}:");

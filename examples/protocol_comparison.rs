@@ -44,6 +44,7 @@ fn main() {
         .options(RunOptions {
             ops_per_node: ops,
             max_cycles: 2_000_000_000,
+            ..RunOptions::default()
         })
         .on_progress(|event| eprintln!("  {event}"))
         .run();

@@ -27,6 +27,7 @@ fn main() {
     let report = system.run(RunOptions {
         ops_per_node: 5_000,
         max_cycles: 1_000_000_000,
+        ..RunOptions::default()
     });
 
     println!("\n{report}\n");
@@ -58,6 +59,7 @@ fn main() {
         .options(RunOptions {
             ops_per_node: 5_000,
             max_cycles: 1_000_000_000,
+            ..RunOptions::default()
         })
         .on_progress(|event| eprintln!("  {event}"))
         .run();

@@ -34,7 +34,7 @@
 //!     .with_nodes(4)
 //!     .with_protocol(ProtocolKind::TokenB);
 //! let mut system = System::build(&config, &WorkloadProfile::oltp());
-//! let report = system.run(RunOptions { ops_per_node: 500, max_cycles: 50_000_000 });
+//! let report = system.run(RunOptions { ops_per_node: 500, max_cycles: 50_000_000, ..RunOptions::default() });
 //!
 //! assert!(report.verified().is_ok());
 //! println!("{report}");

@@ -2,7 +2,7 @@
 //! contract and the pluggable protocol registry.
 
 use token_coherence::prelude::*;
-use token_coherence::types::NodeId;
+use token_coherence::types::{FaultSpec, NodeId};
 
 /// A small but non-trivial campaign: all four protocols on a contended
 /// workload, plus a 16-node point so the matrix is not uniform in size.
@@ -30,6 +30,7 @@ fn options() -> RunOptions {
     RunOptions {
         ops_per_node: 400,
         max_cycles: 50_000_000,
+        ..RunOptions::default()
     }
 }
 
@@ -104,6 +105,47 @@ fn streaming_campaign_matches_the_buffered_aggregates() {
     assert_eq!(summary.miss_latency, reference.miss_latency);
     assert_eq!(summary.failures, reference.failures);
     assert!(summary.verified().is_ok());
+}
+
+/// The determinism contract extends to faulted campaigns: each point's
+/// fault plane derives its stream from `(config.seed, FaultSpec)` alone, so
+/// `threads(1)` and `threads(4)` stay bit-identical — fault stats included
+/// — even while the fabric drops, duplicates, and reorders messages.
+#[test]
+fn faulted_campaign_reports_are_bit_identical_across_thread_counts() {
+    let spec = FaultSpec::parse("drop=0.01,dup=0.005,reorder=4,seed=5").unwrap();
+    let points: Vec<ExperimentPoint> = [1u64, 7, 42, 0xBEEF]
+        .into_iter()
+        .map(|seed| {
+            let mut config = SystemConfig::isca03_default()
+                .with_nodes(4)
+                .with_protocol(ProtocolKind::TokenB)
+                .with_seed(seed);
+            config.l2.size_bytes = 128 * 1024;
+            ExperimentPoint::new(
+                format!("TokenB-faulted-seed{seed}"),
+                config,
+                WorkloadProfile::hot_block(),
+            )
+            .with_faults(spec)
+        })
+        .collect();
+
+    let serial = Campaign::new(points.clone())
+        .options(options())
+        .threads(1)
+        .run();
+    let parallel = Campaign::new(points).options(options()).threads(4).run();
+    assert_eq!(serial.runs, parallel.runs);
+    assert!(serial.verified().is_ok());
+    for run in &serial.runs {
+        assert_eq!(run.report.faults, spec, "{}: spec not recorded", run.label);
+        assert!(
+            run.report.engine.faults.total_injected() > 0,
+            "{}: determinism check ran without faults",
+            run.label
+        );
+    }
 }
 
 /// More workers than points is legal and still deterministic.

@@ -21,6 +21,7 @@ fn run(
     system.run(RunOptions {
         ops_per_node: ops,
         max_cycles: 200_000_000,
+        ..RunOptions::default()
     })
 }
 
@@ -66,6 +67,7 @@ fn every_protocol_passes_verification_on_every_commercial_workload() {
         .options(RunOptions {
             ops_per_node: 1_200,
             max_cycles: 200_000_000,
+            ..RunOptions::default()
         })
         .threads(2)
         .run();
@@ -99,6 +101,7 @@ fn tokenb_beats_directory_and_hammer_when_bandwidth_is_ample() {
         system.run(RunOptions {
             ops_per_node: 1_500,
             max_cycles: 200_000_000,
+            ..RunOptions::default()
         })
     };
     let tokenb = run_unlimited(ProtocolKind::TokenB);
@@ -191,6 +194,7 @@ fn sweep64_matrix_passes_verification_at_reduced_ops() {
         .options(RunOptions {
             ops_per_node: 120,
             max_cycles: 400_000_000,
+            ..RunOptions::default()
         })
         .threads(2)
         .run();

@@ -116,6 +116,7 @@ fn tokenb_invariants_hold_for_random_seeds() {
         let report = system.run(RunOptions {
             ops_per_node: ops,
             max_cycles: 80_000_000,
+            ..RunOptions::default()
         });
         assert!(
             report.verified().is_ok(),
@@ -144,6 +145,7 @@ fn baseline_protocols_stay_coherent_for_random_seeds() {
             let report = system.run(RunOptions {
                 ops_per_node: 400,
                 max_cycles: 80_000_000,
+                ..RunOptions::default()
             });
             assert!(
                 report.verified().is_ok(),
