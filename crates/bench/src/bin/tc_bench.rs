@@ -21,10 +21,11 @@ use tc_bench::{
     render_scalability_table, render_table1, resolve_campaign, traffic_classes_cover_total,
     Section, TableKind, CAMPAIGNS, SCALABILITY_NODE_COUNTS,
 };
+use tc_sim::{JournalRecord, RunJournal};
 use tc_system::campaign::{Campaign, CampaignReport};
 use tc_system::experiment::{ExperimentPoint, SWEEP64_OPS_PER_NODE};
-use tc_system::RunOptions;
-use tc_types::{FaultSpec, ProtocolKind};
+use tc_system::{RunOptions, System};
+use tc_types::{FaultSpec, ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
 
 /// Parsed command-line options (everything after the campaign name).
@@ -44,6 +45,10 @@ fn usage() -> String {
     for spec in CAMPAIGNS {
         out.push_str(&format!("  {:<14} {}\n", spec.name, spec.about));
     }
+    out.push_str(
+        "  run-one        one point run directly on the engine, with checkpoint/resume \
+         (see `tc-bench run-one --help`... run with no args for its usage)\n",
+    );
     out.push_str(
         "\noptions:\n  \
          --ops N             memory operations per node (campaign-specific default)\n  \
@@ -169,11 +174,222 @@ fn section_slices(report: &CampaignReport, sections: &[Section]) -> Vec<Campaign
     slices
 }
 
+/// Parsed `run-one` options.
+struct RunOneOptions {
+    protocol: ProtocolKind,
+    workload: WorkloadProfile,
+    nodes: usize,
+    seed: u64,
+    ops: u64,
+    max_cycles: u64,
+    faults: Option<FaultSpec>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    crash_after: Option<u64>,
+    report_out: Option<String>,
+}
+
+fn run_one_usage() -> &'static str {
+    "usage: tc-bench run-one [options]\n\n\
+     Runs one experiment point directly (no campaign driver), with optional\n\
+     engine checkpointing, crash simulation, and resume-from-snapshot.\n\n\
+     options:\n  \
+     --protocol NAME       protocol (default: tokenb)\n  \
+     --workload NAME       workload profile (default: oltp)\n  \
+     --nodes N             node count (default: 4)\n  \
+     --seed N              seed (default: 12)\n  \
+     --ops N               memory operations per node (default: 20000)\n  \
+     --max-cycles N        cycle budget (default: 1000000000)\n  \
+     --faults SPEC         inject faults into the fabric\n  \
+     --checkpoint-every N  seal a snapshot every N delivered events\n  \
+     --checkpoint-dir DIR  write snap-<events>.tcsnap + journal.tcj into DIR\n  \
+     --resume FILE         restore FILE and run to completion instead of starting fresh\n  \
+     --crash-after K       exit(42) right after sealing the K-th checkpoint (CI crash gate)\n  \
+     --report-out PATH     write the final report (deterministic debug form) to PATH\n"
+}
+
+fn parse_run_one(args: &[String]) -> Result<RunOneOptions, String> {
+    let mut options = RunOneOptions {
+        protocol: ProtocolKind::TokenB,
+        workload: WorkloadProfile::oltp(),
+        nodes: 4,
+        seed: 12,
+        ops: 20_000,
+        max_cycles: 1_000_000_000,
+        faults: None,
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        resume: None,
+        crash_after: None,
+        report_out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        let parse_u64 = |v: String| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad {arg} value: {v}"))
+        };
+        match arg {
+            "--protocol" => {
+                let v = value(&mut i)?;
+                options.protocol =
+                    ProtocolKind::by_name(&v).ok_or_else(|| format!("unknown protocol: {v}"))?;
+            }
+            "--workload" => {
+                let v = value(&mut i)?;
+                options.workload =
+                    WorkloadProfile::by_name(&v).ok_or_else(|| format!("unknown workload: {v}"))?;
+            }
+            "--nodes" => options.nodes = parse_u64(value(&mut i)?)? as usize,
+            "--seed" => options.seed = parse_u64(value(&mut i)?)?,
+            "--ops" => options.ops = parse_u64(value(&mut i)?)?,
+            "--max-cycles" => options.max_cycles = parse_u64(value(&mut i)?)?,
+            "--faults" => {
+                let v = value(&mut i)?;
+                options.faults =
+                    Some(FaultSpec::parse(&v).map_err(|e| format!("bad --faults value: {e}"))?);
+            }
+            "--checkpoint-every" => options.checkpoint_every = Some(parse_u64(value(&mut i)?)?),
+            "--checkpoint-dir" => options.checkpoint_dir = Some(value(&mut i)?),
+            "--resume" => options.resume = Some(value(&mut i)?),
+            "--crash-after" => options.crash_after = Some(parse_u64(value(&mut i)?)?),
+            "--report-out" => options.report_out = Some(value(&mut i)?),
+            other => return Err(format!("unknown run-one option: {other}")),
+        }
+        i += 1;
+    }
+    if options.checkpoint_every.is_some() && options.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-dir".to_string());
+    }
+    if options.crash_after.is_some() && options.checkpoint_every.is_none() {
+        return Err("--crash-after requires --checkpoint-every".to_string());
+    }
+    Ok(options)
+}
+
+/// `tc-bench run-one`: one point, run directly on the engine so snapshots
+/// can be cut, crashed on, and resumed — the CLI face of the snapshot
+/// plane. Writes `snap-<events>.tcsnap` plus an append-only `journal.tcj`
+/// (both torn-tail tolerant) into the checkpoint directory.
+fn run_one(cli: RunOneOptions) {
+    let config = SystemConfig::isca03_default()
+        .with_nodes(cli.nodes)
+        .with_protocol(cli.protocol)
+        .with_seed(cli.seed);
+    let mut run_options = RunOptions {
+        ops_per_node: cli.ops,
+        max_cycles: cli.max_cycles,
+        ..RunOptions::default()
+    };
+    if let Some(faults) = cli.faults {
+        run_options.faults = faults;
+    }
+    if let Some(every) = cli.checkpoint_every {
+        run_options = run_options.with_checkpoint_every(every);
+    }
+
+    let mut system = System::build(&config, &cli.workload);
+
+    // The checkpoint sink: seal each snapshot to its own file and keep the
+    // journal current, so a crash at any instant leaves a resumable trail.
+    let dir = cli.checkpoint_dir.clone();
+    if let Some(dir) = &dir {
+        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+    }
+    let mut journal = match &dir {
+        Some(dir) => match std::fs::read(format!("{dir}/journal.tcj")) {
+            Ok(bytes) => {
+                let (journal, torn) = RunJournal::load(&bytes);
+                if torn {
+                    eprintln!(
+                        "journal.tcj has a torn tail (crashed run); {} intact records kept",
+                        journal.records().len()
+                    );
+                }
+                journal
+            }
+            Err(_) => RunJournal::new(),
+        },
+        None => RunJournal::new(),
+    };
+    let crash_after = cli.crash_after;
+    let mut checkpoints_sealed: u64 = 0;
+    let mut sink = |events: u64, bytes: &[u8]| {
+        let Some(dir) = &dir else { return };
+        let path = format!("{dir}/snap-{events}.tcsnap");
+        std::fs::write(&path, bytes).expect("write snapshot");
+        journal.append(JournalRecord::Checkpoint {
+            events_delivered: events,
+            // The snapshot is cut between events; the journal's cycle is
+            // informational, so the event count doubles as its stamp.
+            cycle: events,
+        });
+        std::fs::write(format!("{dir}/journal.tcj"), journal.as_bytes()).expect("write journal");
+        eprintln!("checkpoint at event {events}: {path}");
+        checkpoints_sealed += 1;
+        if crash_after == Some(checkpoints_sealed) {
+            eprintln!("simulated crash after {checkpoints_sealed} checkpoint(s)");
+            std::process::exit(42);
+        }
+    };
+
+    let report = if let Some(snap_path) = &cli.resume {
+        let bytes = std::fs::read(snap_path)
+            .unwrap_or_else(|e| panic!("cannot read snapshot {snap_path}: {e}"));
+        let progress = system
+            .restore(&run_options, &bytes)
+            .unwrap_or_else(|e| panic!("cannot restore {snap_path}: {e}"));
+        eprintln!(
+            "restored {snap_path} at event {}",
+            system.events_delivered()
+        );
+        system.resume_with_checkpoints(run_options, progress, &mut sink)
+    } else {
+        system.run_with_checkpoints(run_options, &mut sink)
+    };
+
+    if let Some(dir) = &dir {
+        journal.append(JournalRecord::End {
+            events_delivered: system.events_delivered(),
+            cycle: report.runtime_cycles,
+        });
+        std::fs::write(format!("{dir}/journal.tcj"), journal.as_bytes()).expect("write journal");
+    }
+
+    println!("{report}");
+    println!("events_delivered: {}", system.events_delivered());
+    if let Some(path) = &cli.report_out {
+        std::fs::write(path, format!("{report:#?}\n")).expect("write report");
+        eprintln!("wrote {path}");
+    }
+    if let Err(violation) = report.verified() {
+        eprintln!("VERIFICATION FAILURE: {violation}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let campaign_name = match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => {
             print!("{}", usage());
+            return;
+        }
+        Some("run-one") => {
+            match parse_run_one(&args[1..]) {
+                Ok(options) => run_one(options),
+                Err(message) => {
+                    eprintln!("{message}\n\n{}", run_one_usage());
+                    std::process::exit(2);
+                }
+            }
             return;
         }
         Some("list") => {

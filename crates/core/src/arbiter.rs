@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{BlockAddr, NodeId};
 
 /// A request waiting at (or being served by) the arbiter.
@@ -229,6 +230,74 @@ impl PersistentArbiter {
             return actions;
         }
         vec![ArbiterAction::BroadcastDeactivate { addr }]
+    }
+
+    /// Serializes the arbiter's state machine, queue, and activation counter
+    /// (node and node count are config-derived).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.activations);
+        let request = |w: &mut SnapWriter, r: &QueuedRequest| {
+            w.u64(r.addr.value());
+            w.u32(r.requester.index() as u32);
+            w.bool(r.write);
+        };
+        match &self.state {
+            ArbiterState::Idle => w.u8(0),
+            ArbiterState::Activating {
+                request: req,
+                acks_remaining,
+                complete_received,
+            } => {
+                w.u8(1);
+                request(w, req);
+                w.usize(*acks_remaining);
+                w.bool(*complete_received);
+            }
+            ArbiterState::Active { request: req } => {
+                w.u8(2);
+                request(w, req);
+            }
+            ArbiterState::Deactivating {
+                addr,
+                acks_remaining,
+            } => {
+                w.u8(3);
+                w.u64(addr.value());
+                w.usize(*acks_remaining);
+            }
+        }
+        w.seq(self.queue.iter(), request);
+    }
+
+    /// Restores [`PersistentArbiter::save_state`] bytes onto a same-config
+    /// arbiter.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.activations = r.u64()?;
+        let request = |r: &mut SnapReader<'_>| -> Result<QueuedRequest, SnapshotError> {
+            Ok(QueuedRequest {
+                addr: BlockAddr::new(r.u64()?),
+                requester: NodeId::new(r.u32()? as usize),
+                write: r.bool()?,
+            })
+        };
+        self.state = match r.u8()? {
+            0 => ArbiterState::Idle,
+            1 => ArbiterState::Activating {
+                request: request(r)?,
+                acks_remaining: r.usize()?,
+                complete_received: r.bool()?,
+            },
+            2 => ArbiterState::Active {
+                request: request(r)?,
+            },
+            3 => ArbiterState::Deactivating {
+                addr: BlockAddr::new(r.u64()?),
+                acks_remaining: r.usize()?,
+            },
+            other => return Err(SnapshotError::Corrupt(format!("arbiter state tag {other}"))),
+        };
+        self.queue = r.seq(request)?.into();
+        Ok(())
     }
 
     /// The node whose persistent request is currently being served, if any.

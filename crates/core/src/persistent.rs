@@ -1,6 +1,7 @@
 //! The per-node table of active persistent requests.
 
 use tc_memsys::LineTable;
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{BlockAddr, NodeId};
 
 /// One active persistent request, as remembered by every node.
@@ -89,6 +90,27 @@ impl PersistentTable {
     /// The retired-`BTreeMap` cost estimate for the same peak population.
     pub fn retired_bytes_estimate(&self) -> u64 {
         self.entries.retired_container_bytes_estimate()
+    }
+
+    /// Serializes the table's entries and activation counter.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.activations_seen);
+        self.entries.save_state(w, |w, e| {
+            w.u32(e.requester.index() as u32);
+            w.bool(e.write);
+        });
+    }
+
+    /// Restores [`PersistentTable::save_state`] bytes.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.activations_seen = r.u64()?;
+        self.entries = LineTable::load_state(r, |r| {
+            Ok(PersistentEntry {
+                requester: NodeId::new(r.u32()? as usize),
+                write: r.bool()?,
+            })
+        })?;
+        Ok(())
     }
 }
 

@@ -1,7 +1,7 @@
 //! Reissue-timeout policy: average-miss-latency tracking and randomized
 //! exponential backoff.
 
-use tc_sim::DeterministicRng;
+use tc_sim::{DeterministicRng, SnapReader, SnapWriter, SnapshotError};
 use tc_types::Cycle;
 
 /// Tracks the recent average miss latency with an exponential moving average
@@ -56,6 +56,21 @@ impl MissLatencyTracker {
     /// Number of samples recorded.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Serializes the moving average and sample count (multiplier and
+    /// backoff fraction are config-derived).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.f64(self.average);
+        w.u64(self.samples);
+    }
+
+    /// Restores [`MissLatencyTracker::save_state`] bytes onto a same-config
+    /// tracker.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.average = r.f64()?;
+        self.samples = r.u64()?;
+        Ok(())
     }
 
     /// The timeout to arm for the `issue_count`-th issue of a transient

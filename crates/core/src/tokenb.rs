@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 
 use tc_memsys::{hinted_get, HomeMemory, L1Filter, MshrTable, SetAssocCache};
-use tc_sim::DeterministicRng;
+use tc_sim::{DeterministicRng, SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
     Destination, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MissKind, MsgKind,
@@ -1188,6 +1188,104 @@ impl CoherenceController for TokenBController {
                 + self.persistent_table.retired_bytes_estimate(),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.rng.state());
+        w.u64(self.store_counter);
+        w.u64(self.timer_seq);
+        self.stats.save_state(w);
+        self.latency.save_state(w);
+        self.l1.save_state(w);
+        self.l2.save_state(w, emit_token_line);
+        self.memory.save_state(w, emit_mem_tokens);
+        self.mshrs.save_state(w, emit_token_mshr);
+        self.persistent_table.save_state(w);
+        self.arbiter.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.rng = DeterministicRng::from_state(r.u64()?);
+        self.store_counter = r.u64()?;
+        self.timer_seq = r.u64()?;
+        self.stats = ControllerStats::load_state(r)?;
+        self.latency.load_state(r)?;
+        self.l1.load_state(r)?;
+        self.l2.load_state(r, read_token_line)?;
+        self.memory.load_state(r, read_mem_tokens)?;
+        self.mshrs.load_state(r, read_token_mshr)?;
+        self.persistent_table.load_state(r)?;
+        self.arbiter.load_state(r)?;
+        Ok(())
+    }
+}
+
+fn emit_token_line(w: &mut SnapWriter, line: &TokenLine) {
+    w.u32(line.tokens);
+    w.bool(line.owner);
+    w.bool(line.valid_data);
+    w.bool(line.dirty);
+    w.u64(line.version);
+}
+
+fn read_token_line(r: &mut SnapReader<'_>) -> Result<TokenLine, SnapshotError> {
+    Ok(TokenLine {
+        tokens: r.u32()?,
+        owner: r.bool()?,
+        valid_data: r.bool()?,
+        dirty: r.bool()?,
+        version: r.u64()?,
+    })
+}
+
+fn emit_mem_tokens(w: &mut SnapWriter, mem: &MemTokens) {
+    w.bool(mem.initialized);
+    w.u32(mem.tokens);
+    w.bool(mem.owner);
+}
+
+fn read_mem_tokens(r: &mut SnapReader<'_>) -> Result<MemTokens, SnapshotError> {
+    Ok(MemTokens {
+        initialized: r.bool()?,
+        tokens: r.u32()?,
+        owner: r.bool()?,
+    })
+}
+
+fn emit_token_mshr(w: &mut SnapWriter, mshr: &TokenMshr) {
+    w.seq(mshr.pending.iter(), |w, op| {
+        w.u64(op.req_id.value());
+        w.bool(op.write);
+    });
+    w.bool(mshr.write);
+    w.bool(mshr.upgrade);
+    w.u64(mshr.issued_at);
+    w.u32(mshr.issue_count);
+    w.bool(mshr.persistent);
+    w.u64(mshr.timer_seq);
+    w.bool(mshr.data_from_cache);
+    w.bool(mshr.data_from_memory);
+}
+
+fn read_token_mshr(r: &mut SnapReader<'_>) -> Result<TokenMshr, SnapshotError> {
+    let len = r.bounded_len(9)?;
+    let mut pending = Vec::with_capacity(len);
+    for _ in 0..len {
+        pending.push(PendingOp {
+            req_id: ReqId::new(r.u64()?),
+            write: r.bool()?,
+        });
+    }
+    Ok(TokenMshr {
+        pending,
+        write: r.bool()?,
+        upgrade: r.bool()?,
+        issued_at: r.u64()?,
+        issue_count: r.u32()?,
+        persistent: r.bool()?,
+        timer_seq: r.u64()?,
+        data_from_cache: r.bool()?,
+        data_from_memory: r.bool()?,
+    })
 }
 
 #[cfg(test)]
@@ -1848,5 +1946,63 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), versions.len());
+    }
+
+    #[test]
+    fn snapshot_mid_miss_restores_identical_behavior() {
+        let mut home = controller(0, 2);
+        let mut c = controller(1, 2);
+        // Warm up: one completed store so caches, stats, and the store
+        // counter all carry non-trivial state into the snapshot.
+        let mut out = Outbox::new();
+        c.access(0, &store(0, 1), &mut out);
+        let home_out = deliver(&out, &mut home, 30);
+        deliver(&home_out, &mut c, 130);
+        // Leave a miss outstanding (MSHR allocated, reissue timer armed).
+        let mut out = Outbox::new();
+        c.access(1000, &store(4 * BLOCK, 2), &mut out);
+        assert_eq!(c.outstanding_misses(), 1);
+
+        let mut w = SnapWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = controller(1, 2);
+        let mut r = SnapReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.outstanding_misses(), 1);
+        assert_eq!(restored.outstanding_blocks(), c.outstanding_blocks());
+        // Drive both copies through the identical completion and a follow-up
+        // hit; every observable output must match.
+        let home_out = deliver(&out, &mut home, 1030);
+        let done_orig = deliver(&home_out, &mut c, 1130);
+        let done_rest = deliver(&home_out, &mut restored, 1130);
+        assert_eq!(format!("{done_orig:?}"), format!("{done_rest:?}"));
+        let mut o1 = Outbox::new();
+        let mut o2 = Outbox::new();
+        let hit_orig = c.access(1200, &store(4 * BLOCK, 3), &mut o1);
+        let hit_rest = restored.access(1200, &store(4 * BLOCK, 3), &mut o2);
+        assert_eq!(hit_orig, hit_rest);
+        assert_eq!(
+            format!("{:?}", c.stats()),
+            format!("{:?}", restored.stats())
+        );
+        assert_eq!(
+            format!("{:?}", c.audit_block(BlockAddr::new(4))),
+            format!("{:?}", restored.audit_block(BlockAddr::new(4)))
+        );
+        assert_eq!(c.line_state_stats(), restored.line_state_stats());
+    }
+
+    #[test]
+    fn snapshot_load_rejects_truncated_bytes() {
+        let c = controller(0, 2);
+        let mut w = SnapWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = controller(0, 2);
+        let mut r = SnapReader::new(&bytes[..bytes.len() - 1]);
+        assert!(fresh.load_state(&mut r).is_err());
     }
 }

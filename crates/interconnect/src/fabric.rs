@@ -1,6 +1,7 @@
 //! The interconnect fabric: link contention, multicast routing, and traffic
 //! accounting on top of a [`Topology`].
 
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     BandwidthMode, Cycle, Destination, FastHashMap, InterconnectConfig, Message, NodeId,
     TopologyKind, TrafficClass, TrafficStats,
@@ -405,6 +406,49 @@ impl Interconnect {
             self.total_deliveries += 1;
             out.push((at, dst));
         }
+    }
+
+    /// Serializes the fabric's mutable state: per-link occupancy/utilization,
+    /// traffic accounting, send/delivery counters, and injection-port
+    /// occupancy. Topology, routes, and the multicast tree cache are
+    /// config-derived (trees are deterministic per pattern, so an empty cache
+    /// refills to identical contents) and rebuilt by construction.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.total_deliveries);
+        w.u64(self.total_sends);
+        self.traffic.save_state(w);
+        w.seq(self.links.iter(), |w, l| {
+            w.u64(l.free_at);
+            w.u64(l.bytes);
+            w.u64(l.messages);
+            w.u64(l.busy_ns);
+        });
+        w.seq(self.injection_free_at.iter(), |w, &t| w.u64(t));
+    }
+
+    /// Restores [`Interconnect::save_state`] bytes onto a same-config fabric.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.total_deliveries = r.u64()?;
+        self.total_sends = r.u64()?;
+        self.traffic = TrafficStats::load_state(r)?;
+        let links = r.seq(|r| {
+            Ok(LinkState {
+                free_at: r.u64()?,
+                bytes: r.u64()?,
+                messages: r.u64()?,
+                busy_ns: r.u64()?,
+            })
+        })?;
+        if links.len() != self.links.len() {
+            return Err(SnapshotError::Corrupt("link count mismatch".into()));
+        }
+        self.links = links;
+        let injection = r.seq(|r| r.u64())?;
+        if injection.len() != self.injection_free_at.len() {
+            return Err(SnapshotError::Corrupt("node count mismatch".into()));
+        }
+        self.injection_free_at = injection;
+        Ok(())
     }
 
     /// Computes the multicast tree for one `(source, destination)` pattern:

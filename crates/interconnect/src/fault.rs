@@ -20,7 +20,7 @@
 //! `(seed, FaultSpec)` pair reproduces the exact same fault sequence
 //! bit-for-bit regardless of host, thread count, or wall-clock.
 
-use tc_sim::DeterministicRng;
+use tc_sim::{DeterministicRng, SnapReader, SnapWriter, SnapshotError};
 use tc_types::fault::{FaultSpec, FaultStats};
 use tc_types::{Cycle, Message, NodeId, ProtocolKind};
 
@@ -146,6 +146,20 @@ impl FaultPlane {
             }
         }
         std::mem::swap(arrivals, &mut self.scratch);
+    }
+
+    /// Serializes the plane's mutable state: the RNG stream position and the
+    /// accumulated counters. Spec, protocol, and quantum are config-derived.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.rng.state());
+        self.stats.save_state(w);
+    }
+
+    /// Restores [`FaultPlane::save_state`] bytes onto a same-config plane.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.rng = DeterministicRng::from_state(r.u64()?);
+        self.stats = FaultStats::load_state(r)?;
+        Ok(())
     }
 
     /// If the `src -> dst` arrival at `at` crosses a downed link, returns

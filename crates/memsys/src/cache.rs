@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{BlockAddr, CacheConfig};
 
 /// One cache line: the block it holds and the protocol-defined state.
@@ -376,6 +377,61 @@ impl<S> SetAssocCache<S> {
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.lookups, self.hits, self.evictions)
     }
+
+    /// Serializes resident lines (slot, tag, LRU stamp, state) plus the
+    /// LRU/statistics counters. Geometry is *not* serialized — it is
+    /// config-derived, so restore happens onto a freshly-constructed cache
+    /// of the same configuration (validated by slot bounds).
+    pub fn save_state(&self, w: &mut SnapWriter, mut emit: impl FnMut(&mut SnapWriter, &S)) {
+        w.usize(self.len);
+        w.u64(self.use_counter);
+        w.u64(self.lookups);
+        w.u64(self.hits);
+        w.u64(self.evictions);
+        for (i, &tag) in self.tags.iter().enumerate() {
+            if tag == EMPTY_TAG {
+                continue;
+            }
+            w.usize(i);
+            w.u64(tag);
+            w.u64(self.last_use[i]);
+            emit(w, self.states[i].as_ref().expect("occupied tag has state"));
+        }
+    }
+
+    /// Restores [`SetAssocCache::save_state`] bytes onto this cache, which
+    /// must have the same geometry (same configuration) as the saved one.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut read: impl FnMut(&mut SnapReader<'_>) -> Result<S, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        self.tags.fill(EMPTY_TAG);
+        for state in &mut self.states {
+            *state = None;
+        }
+        self.last_use.fill(0);
+        let len = r.usize()?;
+        if len > self.capacity() {
+            return Err(SnapshotError::Corrupt("cache population".into()));
+        }
+        self.use_counter = r.u64()?;
+        self.lookups = r.u64()?;
+        self.hits = r.u64()?;
+        self.evictions = r.u64()?;
+        for _ in 0..len {
+            let slot = r.usize()?;
+            let tag = r.u64()?;
+            if slot >= self.capacity() || self.tags[slot] != EMPTY_TAG || tag == EMPTY_TAG {
+                return Err(SnapshotError::Corrupt("cache slot".into()));
+            }
+            self.tags[slot] = tag;
+            self.last_use[slot] = r.u64()?;
+            self.states[slot] = Some(read(r)?);
+        }
+        self.len = len;
+        Ok(())
+    }
 }
 
 impl<S> fmt::Display for SetAssocCache<S> {
@@ -469,6 +525,16 @@ impl L1Filter {
     /// Returns `true` if the block is present.
     pub fn contains(&self, addr: BlockAddr) -> bool {
         self.cache.contains(addr)
+    }
+
+    /// Serializes the filter's resident set and slot hints.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w, |w, hint| w.u32(hint.0));
+    }
+
+    /// Restores [`L1Filter::save_state`] bytes onto a same-config filter.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.cache.load_state(r, |r| Ok(SlotHint(r.u32()?)))
     }
 }
 

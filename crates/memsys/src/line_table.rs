@@ -32,6 +32,7 @@
 
 use std::fmt;
 
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::BlockAddr;
 
 /// Key marking an empty slot. A real block with this address would need the
@@ -309,6 +310,64 @@ impl<V> LineTable<V> {
         let mut blocks: Vec<BlockAddr> = self.iter().map(|(a, _)| a).collect();
         blocks.sort_unstable();
         blocks
+    }
+
+    /// Serializes the table's *exact* slot layout: capacity plus every
+    /// occupied slot as `(slot index, key, value)`. Backward-shift deletion
+    /// means the layout is a function of the whole insert/remove history —
+    /// it cannot be reproduced by re-inserting the surviving entries — and
+    /// iteration order (which some audit paths consume) depends on it, so
+    /// snapshots must round-trip positions, not just contents.
+    pub fn save_state(&self, w: &mut SnapWriter, mut emit: impl FnMut(&mut SnapWriter, &V)) {
+        w.usize(self.capacity());
+        w.usize(self.high_water);
+        let occupied = self
+            .keys
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .filter(|(_, (&k, _))| k != EMPTY_KEY);
+        w.usize(self.len);
+        for (slot, (&key, value)) in occupied {
+            w.usize(slot);
+            w.u64(key);
+            emit(w, value.as_ref().expect("occupied slot has a value"));
+        }
+    }
+
+    /// Rebuilds a table from [`LineTable::save_state`] bytes.
+    pub fn load_state(
+        r: &mut SnapReader<'_>,
+        mut read: impl FnMut(&mut SnapReader<'_>) -> Result<V, SnapshotError>,
+    ) -> Result<LineTable<V>, SnapshotError> {
+        let capacity = r.usize()?;
+        if capacity != 0 && !capacity.is_power_of_two() {
+            return Err(SnapshotError::Corrupt(format!(
+                "line table capacity {capacity}"
+            )));
+        }
+        let high_water = r.usize()?;
+        let len = r.usize()?;
+        if len > capacity || high_water < len {
+            return Err(SnapshotError::Corrupt("line table accounting".into()));
+        }
+        let mut keys = vec![EMPTY_KEY; capacity];
+        let mut values: Vec<Option<V>> = (0..capacity).map(|_| None).collect();
+        for _ in 0..len {
+            let slot = r.usize()?;
+            let key = r.u64()?;
+            if slot >= capacity || keys[slot] != EMPTY_KEY || key == EMPTY_KEY {
+                return Err(SnapshotError::Corrupt("line table slot".into()));
+            }
+            keys[slot] = key;
+            values[slot] = Some(read(r)?);
+        }
+        Ok(LineTable {
+            keys,
+            values,
+            len,
+            high_water,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Home-memory state storage.
 
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{BlockAddr, HomeMap, NodeId};
 
 use crate::line_table::LineTable;
@@ -116,6 +117,27 @@ impl<S: Default + Clone> HomeMemory<S> {
     /// same ballpark and keeps one documented estimator).
     pub fn retired_bytes_estimate(&self) -> u64 {
         self.state.retired_container_bytes_estimate() + self.data.retired_container_bytes_estimate()
+    }
+
+    /// Serializes the mutable home-side state (protocol state table, DRAM
+    /// data versions, access counter). Node, home map, and latency are
+    /// config-derived and restored by construction.
+    pub fn save_state(&self, w: &mut SnapWriter, emit: impl FnMut(&mut SnapWriter, &S)) {
+        w.u64(self.accesses);
+        self.state.save_state(w, emit);
+        self.data.save_state(w, |w, &v| w.u64(v));
+    }
+
+    /// Restores [`HomeMemory::save_state`] bytes onto a same-config memory.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        read: impl FnMut(&mut SnapReader<'_>) -> Result<S, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        self.accesses = r.u64()?;
+        self.state = LineTable::load_state(r, read)?;
+        self.data = LineTable::load_state(r, |r| r.u64())?;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Miss status holding registers (MSHRs): bookkeeping for outstanding misses.
 
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::BlockAddr;
 
 use crate::line_table::LineTable;
@@ -124,6 +125,28 @@ impl<E> MshrTable<E> {
     /// (total allocations, allocations rejected for capacity) counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.allocations, self.capacity_stalls)
+    }
+
+    /// Serializes the entry table and counters (capacity is config-derived).
+    pub fn save_state(&self, w: &mut SnapWriter, emit: impl FnMut(&mut SnapWriter, &E)) {
+        w.u64(self.allocations);
+        w.u64(self.capacity_stalls);
+        self.entries.save_state(w, emit);
+    }
+
+    /// Restores [`MshrTable::save_state`] bytes onto a same-capacity table.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        read: impl FnMut(&mut SnapReader<'_>) -> Result<E, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        self.allocations = r.u64()?;
+        self.capacity_stalls = r.u64()?;
+        self.entries = LineTable::load_state(r, read)?;
+        if self.entries.len() > self.capacity {
+            return Err(SnapshotError::Corrupt("MSHR population".into()));
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use tc_memsys::{hinted_get, L1Filter, LineTable, SetAssocCache};
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, ControllerStats, Cycle, MissKind, MissStats, NodeId, ReqId,
 };
@@ -441,6 +442,158 @@ impl WritebackPlane {
     pub fn retired_bytes_estimate(&self) -> u64 {
         self.buffer.retired_container_bytes_estimate()
             + self.windows.retired_container_bytes_estimate()
+    }
+
+    /// Serializes the plane: the buffered lines then the handshake windows.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.buffer.save_state(w, emit_mosi_line);
+        self.windows.save_state(w, |w, window| window.save_state(w));
+    }
+
+    /// Restores [`WritebackPlane::save_state`] bytes.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.buffer = LineTable::load_state(r, read_mosi_line)?;
+        self.windows = LineTable::load_state(r, WbWindow::load_state)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codecs for the shared MOSI state.
+//
+// Tags are part of the snapshot wire format; append new variants, never
+// renumber.
+// ---------------------------------------------------------------------------
+
+impl MosiState {
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            MosiState::Modified => 0,
+            MosiState::Owned => 1,
+            MosiState::Shared => 2,
+            MosiState::Invalid => 3,
+        }
+    }
+
+    fn from_snapshot_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => MosiState::Modified,
+            1 => MosiState::Owned,
+            2 => MosiState::Shared,
+            3 => MosiState::Invalid,
+            other => return Err(SnapshotError::Corrupt(format!("MOSI state tag {other}"))),
+        })
+    }
+}
+
+/// Emits one [`MosiLine`] (state tag, dirty, version, valid_since).
+pub(crate) fn emit_mosi_line(w: &mut SnapWriter, line: &MosiLine) {
+    w.u8(line.state.snapshot_tag());
+    w.bool(line.dirty);
+    w.u64(line.version);
+    w.u64(line.valid_since);
+}
+
+/// Reads one [`MosiLine`].
+pub(crate) fn read_mosi_line(r: &mut SnapReader<'_>) -> Result<MosiLine, SnapshotError> {
+    Ok(MosiLine {
+        state: MosiState::from_snapshot_tag(r.u8()?)?,
+        dirty: r.bool()?,
+        version: r.u64()?,
+        valid_since: r.u64()?,
+    })
+}
+
+/// Emits one [`PendingOp`].
+pub(crate) fn emit_pending_op(w: &mut SnapWriter, op: &PendingOp) {
+    w.u64(op.req_id.value());
+    w.bool(op.write);
+}
+
+/// Reads one [`PendingOp`].
+pub(crate) fn read_pending_op(r: &mut SnapReader<'_>) -> Result<PendingOp, SnapshotError> {
+    Ok(PendingOp {
+        req_id: ReqId::new(r.u64()?),
+        write: r.bool()?,
+    })
+}
+
+fn emit_queued_request(w: &mut SnapWriter, q: &QueuedRequest) {
+    w.u32(q.requester.index() as u32);
+    w.bool(q.write);
+    w.option(q.req_id, |w, id| w.u64(id.value()));
+}
+
+fn read_queued_request(r: &mut SnapReader<'_>) -> Result<QueuedRequest, SnapshotError> {
+    Ok(QueuedRequest {
+        requester: NodeId::new(r.u32()? as usize),
+        write: r.bool()?,
+        req_id: r.option(|r| Ok(ReqId::new(r.u64()?)))?,
+    })
+}
+
+impl WbHandshake {
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            WbHandshake::Data => 0,
+            WbHandshake::Cancel => 1,
+        }
+    }
+
+    fn from_snapshot_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => WbHandshake::Data,
+            1 => WbHandshake::Cancel,
+            other => return Err(SnapshotError::Corrupt(format!("handshake tag {other}"))),
+        })
+    }
+}
+
+impl WbWindow {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(self.queue.iter(), |w, entry| match entry {
+            WbEntry::Marker { writer, version } => {
+                w.u8(0);
+                w.u32(writer.index() as u32);
+                w.u64(*version);
+            }
+            WbEntry::Request(q) => {
+                w.u8(1);
+                emit_queued_request(w, q);
+            }
+        });
+        w.seq(self.stash.iter(), |w, (writer, version, outcome)| {
+            w.u32(writer.index() as u32);
+            w.u64(*version);
+            w.u8(outcome.snapshot_tag());
+        });
+    }
+
+    fn load_state(r: &mut SnapReader<'_>) -> Result<WbWindow, SnapshotError> {
+        let queue_len = r.bounded_len(10)?;
+        let mut queue = VecDeque::with_capacity(queue_len);
+        for _ in 0..queue_len {
+            queue.push_back(match r.u8()? {
+                0 => WbEntry::Marker {
+                    writer: NodeId::new(r.u32()? as usize),
+                    version: r.u64()?,
+                },
+                1 => WbEntry::Request(read_queued_request(r)?),
+                other => {
+                    return Err(SnapshotError::Corrupt(format!("wb entry tag {other}")));
+                }
+            });
+        }
+        let stash_len = r.bounded_len(13)?;
+        let mut stash = VecDeque::with_capacity(stash_len);
+        for _ in 0..stash_len {
+            stash.push_back((
+                NodeId::new(r.u32()? as usize),
+                r.u64()?,
+                WbHandshake::from_snapshot_tag(r.u8()?)?,
+            ));
+        }
+        Ok(WbWindow { queue, stash })
     }
 }
 

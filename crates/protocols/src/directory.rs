@@ -16,6 +16,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
     Destination, DirectoryMode, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MsgKind,
@@ -23,8 +24,9 @@ use tc_types::{
 };
 
 use crate::common::{
-    apply_pending_ops, miss_kind, mosi_hit_path, record_completed_miss, version_node_bits,
-    MosiLine, MosiState, PendingOp, WritebackPlane,
+    apply_pending_ops, emit_mosi_line, emit_pending_op, miss_kind, mosi_hit_path, read_mosi_line,
+    read_pending_op, record_completed_miss, version_node_bits, MosiLine, MosiState, PendingOp,
+    WritebackPlane,
 };
 
 /// Requester-side bookkeeping for an outstanding directory miss.
@@ -743,6 +745,93 @@ impl CoherenceController for DirectoryController {
                 + self.memory.retired_bytes_estimate(),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.store_counter);
+        self.stats.save_state(w);
+        self.l1.save_state(w);
+        self.l2.save_state(w, emit_mosi_line);
+        self.memory.save_state(w, emit_dir_entry);
+        self.mshrs.save_state(w, emit_dir_mshr);
+        self.wb.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.store_counter = r.u64()?;
+        self.stats = ControllerStats::load_state(r)?;
+        self.l1.load_state(r)?;
+        self.l2.load_state(r, read_mosi_line)?;
+        self.memory.load_state(r, read_dir_entry)?;
+        self.mshrs.load_state(r, read_dir_mshr)?;
+        self.wb.load_state(r)?;
+        Ok(())
+    }
+}
+
+fn emit_dir_entry(w: &mut SnapWriter, entry: &DirEntry) {
+    w.option(entry.owner, |w, owner| w.u32(owner.index() as u32));
+    w.seq(entry.sharers.iter(), |w, s| w.u32(s.index() as u32));
+    w.bool(entry.busy);
+    w.seq(entry.queue.iter(), |w, &(node, write)| {
+        w.u32(node.index() as u32);
+        w.bool(write);
+    });
+}
+
+fn read_dir_entry(r: &mut SnapReader<'_>) -> Result<DirEntry, SnapshotError> {
+    let owner = r.option(|r| Ok(NodeId::new(r.u32()? as usize)))?;
+    let sharer_len = r.bounded_len(4)?;
+    let mut sharers = BTreeSet::new();
+    for _ in 0..sharer_len {
+        sharers.insert(NodeId::new(r.u32()? as usize));
+    }
+    let busy = r.bool()?;
+    let queue_len = r.bounded_len(5)?;
+    let mut queue = VecDeque::with_capacity(queue_len);
+    for _ in 0..queue_len {
+        queue.push_back((NodeId::new(r.u32()? as usize), r.bool()?));
+    }
+    Ok(DirEntry {
+        owner,
+        sharers,
+        busy,
+        queue,
+    })
+}
+
+fn emit_dir_mshr(w: &mut SnapWriter, mshr: &DirMshr) {
+    w.seq(mshr.pending.iter(), emit_pending_op);
+    w.bool(mshr.write);
+    w.bool(mshr.upgrade);
+    w.u64(mshr.issued_at);
+    w.bool(mshr.data_received);
+    w.bool(mshr.exclusive);
+    w.option(mshr.acks_expected, |w, acks| w.u32(acks));
+    w.u32(mshr.acks_received);
+    w.u64(mshr.version);
+    w.bool(mshr.dirty);
+    w.bool(mshr.from_cache);
+}
+
+fn read_dir_mshr(r: &mut SnapReader<'_>) -> Result<DirMshr, SnapshotError> {
+    let pending_len = r.bounded_len(9)?;
+    let mut pending = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending.push(read_pending_op(r)?);
+    }
+    Ok(DirMshr {
+        pending,
+        write: r.bool()?,
+        upgrade: r.bool()?,
+        issued_at: r.u64()?,
+        data_received: r.bool()?,
+        exclusive: r.bool()?,
+        acks_expected: r.option(|r| r.u32())?,
+        acks_received: r.u32()?,
+        version: r.u64()?,
+        dirty: r.bool()?,
+        from_cache: r.bool()?,
+    })
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
     Destination, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MsgKind, NodeId, Outbox,
@@ -25,8 +26,9 @@ use tc_types::{
 };
 
 use crate::common::{
-    apply_pending_ops, miss_kind, mosi_hit_path, record_completed_miss, version_node_bits,
-    MosiLine, MosiState, PendingOp, WritebackPlane,
+    apply_pending_ops, emit_mosi_line, emit_pending_op, miss_kind, mosi_hit_path, read_mosi_line,
+    read_pending_op, record_completed_miss, version_node_bits, MosiLine, MosiState, PendingOp,
+    WritebackPlane,
 };
 
 #[derive(Debug, Clone)]
@@ -583,6 +585,84 @@ impl CoherenceController for HammerController {
                 + self.memory.retired_bytes_estimate(),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.store_counter);
+        self.stats.save_state(w);
+        self.l1.save_state(w);
+        self.l2.save_state(w, emit_mosi_line);
+        self.memory.save_state(w, emit_hammer_entry);
+        self.mshrs.save_state(w, emit_hammer_mshr);
+        self.wb.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.store_counter = r.u64()?;
+        self.stats = ControllerStats::load_state(r)?;
+        self.l1.load_state(r)?;
+        self.l2.load_state(r, read_mosi_line)?;
+        self.memory.load_state(r, read_hammer_entry)?;
+        self.mshrs.load_state(r, read_hammer_mshr)?;
+        self.wb.load_state(r)?;
+        Ok(())
+    }
+}
+
+fn emit_hammer_entry(w: &mut SnapWriter, entry: &HammerEntry) {
+    w.bool(entry.busy);
+    w.seq(entry.queue.iter(), |w, &(node, write)| {
+        w.u32(node.index() as u32);
+        w.bool(write);
+    });
+}
+
+fn read_hammer_entry(r: &mut SnapReader<'_>) -> Result<HammerEntry, SnapshotError> {
+    let busy = r.bool()?;
+    let queue_len = r.bounded_len(5)?;
+    let mut queue = VecDeque::with_capacity(queue_len);
+    for _ in 0..queue_len {
+        queue.push_back((NodeId::new(r.u32()? as usize), r.bool()?));
+    }
+    Ok(HammerEntry { busy, queue })
+}
+
+fn emit_hammer_mshr(w: &mut SnapWriter, mshr: &HammerMshr) {
+    w.seq(mshr.pending.iter(), emit_pending_op);
+    w.bool(mshr.write);
+    w.bool(mshr.upgrade);
+    w.u64(mshr.issued_at);
+    w.u32(mshr.responses_expected);
+    w.u32(mshr.responses_received);
+    w.bool(mshr.data_received);
+    w.bool(mshr.exclusive);
+    w.u64(mshr.version);
+    w.bool(mshr.dirty);
+    w.bool(mshr.from_cache);
+    w.u64(mshr.memory_version);
+    w.bool(mshr.memory_data_received);
+}
+
+fn read_hammer_mshr(r: &mut SnapReader<'_>) -> Result<HammerMshr, SnapshotError> {
+    let pending_len = r.bounded_len(9)?;
+    let mut pending = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending.push(read_pending_op(r)?);
+    }
+    Ok(HammerMshr {
+        pending,
+        write: r.bool()?,
+        upgrade: r.bool()?,
+        issued_at: r.u64()?,
+        responses_expected: r.u32()?,
+        responses_received: r.u32()?,
+        data_received: r.bool()?,
+        exclusive: r.bool()?,
+        version: r.u64()?,
+        dirty: r.bool()?,
+        from_cache: r.bool()?,
+        memory_version: r.u64()?,
+        memory_data_received: r.bool()?,
+    })
 }
 
 #[cfg(test)]

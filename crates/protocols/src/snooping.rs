@@ -36,6 +36,7 @@
 //! limitation TokenB removes.
 
 use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
     Destination, HomeMap, LineStateStats, MemOp, Message, MissCompletion, MsgKind, NodeId, Outbox,
@@ -43,8 +44,9 @@ use tc_types::{
 };
 
 use crate::common::{
-    apply_pending_ops, miss_kind, mosi_hit_path, record_completed_miss, version_node_bits,
-    MosiLine, MosiState, PendingOp, QueuedRequest, WbHandshake, WritebackPlane,
+    apply_pending_ops, emit_mosi_line, emit_pending_op, miss_kind, mosi_hit_path, read_mosi_line,
+    read_pending_op, record_completed_miss, version_node_bits, MosiLine, MosiState, PendingOp,
+    QueuedRequest, WbHandshake, WritebackPlane,
 };
 
 #[derive(Debug, Clone)]
@@ -866,6 +868,94 @@ impl CoherenceController for SnoopingController {
                 + self.memory.retired_bytes_estimate(),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.store_counter);
+        self.stats.save_state(w);
+        self.l1.save_state(w);
+        self.l2.save_state(w, emit_mosi_line);
+        self.memory.save_state(w, |w, bit| w.bool(bit.memory_owner));
+        self.mshrs.save_state(w, emit_snoop_mshr);
+        self.wb.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.store_counter = r.u64()?;
+        self.stats = ControllerStats::load_state(r)?;
+        self.l1.load_state(r)?;
+        self.l2.load_state(r, read_mosi_line)?;
+        self.memory.load_state(r, |r| {
+            Ok(OwnerBit {
+                memory_owner: r.bool()?,
+            })
+        })?;
+        self.mshrs.load_state(r, read_snoop_mshr)?;
+        self.wb.load_state(r)?;
+        Ok(())
+    }
+}
+
+fn emit_snoop_mshr(w: &mut SnapWriter, mshr: &SnoopMshr) {
+    w.seq(mshr.pending.iter(), emit_pending_op);
+    w.u64(mshr.req_id.value());
+    w.bool(mshr.write);
+    w.bool(mshr.upgrade);
+    w.u64(mshr.issued_at);
+    w.bool(mshr.ordered);
+    w.bool(mshr.data_received);
+    w.bool(mshr.exclusive);
+    w.u64(mshr.version);
+    w.bool(mshr.dirty);
+    w.bool(mshr.from_cache);
+    w.bool(mshr.still_valid);
+    w.seq(mshr.forward_queue.iter(), |w, q| {
+        w.u32(q.requester.index() as u32);
+        w.bool(q.write);
+        w.option(q.req_id, |w, id| w.u64(id.value()));
+    });
+}
+
+fn read_snoop_mshr(r: &mut SnapReader<'_>) -> Result<SnoopMshr, SnapshotError> {
+    let pending_len = r.bounded_len(9)?;
+    let mut pending = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending.push(read_pending_op(r)?);
+    }
+    let req_id = ReqId::new(r.u64()?);
+    let write = r.bool()?;
+    let upgrade = r.bool()?;
+    let issued_at = r.u64()?;
+    let ordered = r.bool()?;
+    let data_received = r.bool()?;
+    let exclusive = r.bool()?;
+    let version = r.u64()?;
+    let dirty = r.bool()?;
+    let from_cache = r.bool()?;
+    let still_valid = r.bool()?;
+    let forward_len = r.bounded_len(6)?;
+    let mut forward_queue = Vec::with_capacity(forward_len);
+    for _ in 0..forward_len {
+        forward_queue.push(QueuedRequest {
+            requester: NodeId::new(r.u32()? as usize),
+            write: r.bool()?,
+            req_id: r.option(|r| Ok(ReqId::new(r.u64()?)))?,
+        });
+    }
+    Ok(SnoopMshr {
+        pending,
+        req_id,
+        write,
+        upgrade,
+        issued_at,
+        ordered,
+        data_received,
+        exclusive,
+        version,
+        dirty,
+        from_cache,
+        still_valid,
+        forward_queue,
+    })
 }
 
 #[cfg(test)]

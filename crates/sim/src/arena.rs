@@ -23,11 +23,29 @@
 //!
 //! [`Message`]: https://docs.rs/tc-types
 
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+
 /// A copyable handle to a value parked in an [`Arena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArenaRef {
     index: u32,
     generation: u32,
+}
+
+impl ArenaRef {
+    /// Packs the handle into a `u64` (`index << 32 | generation`) for
+    /// snapshot serialization.
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.generation)
+    }
+
+    /// Rebuilds a handle from [`ArenaRef::to_bits`].
+    pub fn from_bits(bits: u64) -> ArenaRef {
+        ArenaRef {
+            index: (bits >> 32) as u32,
+            generation: bits as u32,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -47,6 +65,11 @@ pub struct Arena<T> {
     len: usize,
     /// High-water mark of `len`, for occupancy reports.
     high_water: usize,
+    /// Double-releases caught by the accounting guard in
+    /// [`Arena::release`]. Always zero in a correct engine; surfaced
+    /// through `EngineStats` so release builds report the bug instead of
+    /// silently corrupting slot accounting.
+    accounting_errors: u64,
 }
 
 impl<T> Arena<T> {
@@ -57,6 +80,7 @@ impl<T> Arena<T> {
             free: Vec::new(),
             len: 0,
             high_water: 0,
+            accounting_errors: 0,
         }
     }
 
@@ -68,6 +92,7 @@ impl<T> Arena<T> {
             free: Vec::with_capacity(capacity),
             len: 0,
             high_water: 0,
+            accounting_errors: 0,
         }
     }
 
@@ -163,7 +188,22 @@ impl<T> Arena<T> {
             "stale arena handle: slot {} was recycled",
             handle.index
         );
-        debug_assert!(slot.value.is_some(), "live slot must hold a value");
+        // A matching generation on an already-freed slot means a
+        // double-release slipped past the generation check (possible after
+        // a u32 generation wraparound, or if internal accounting is
+        // corrupted). A bare decrement here would wrap `remaining` in
+        // release builds and resurrect the slot with ~4B phantom uses;
+        // instead, record a structured accounting error (surfaced through
+        // `EngineStats::arena_accounting_errors`) and leave the slot alone.
+        if slot.remaining == 0 || slot.value.is_none() {
+            self.accounting_errors += 1;
+            debug_assert!(
+                false,
+                "arena double-release: slot {} has no live value",
+                handle.index
+            );
+            return false;
+        }
         slot.remaining -= 1;
         if slot.remaining > 0 {
             return false;
@@ -211,6 +251,69 @@ impl<T> Arena<T> {
     /// Number of slots ever created (occupied plus free-listed).
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Double-releases caught by the accounting guard in
+    /// [`Arena::release`]. Non-zero means an engine bug; reports surface
+    /// this as `arena_accounting_errors`.
+    pub fn accounting_errors(&self) -> u64 {
+        self.accounting_errors
+    }
+
+    /// Serializes the arena exactly: every slot (generation, remaining
+    /// uses, value) plus the free list in LIFO order. Slot *positions* and
+    /// free-list order are preserved byte-for-byte, because recycled slot
+    /// indices feed handle allocation and must replay identically.
+    pub fn save_state(&self, w: &mut SnapWriter, mut emit: impl FnMut(&mut SnapWriter, &T)) {
+        w.usize(self.len);
+        w.usize(self.high_water);
+        w.u64(self.accounting_errors);
+        w.seq(self.slots.iter(), |w, slot| {
+            w.u32(slot.generation);
+            w.u32(slot.remaining);
+            w.option(slot.value.as_ref(), |w, v| emit(w, v));
+        });
+        w.seq(self.free.iter(), |w, &i| w.u32(i));
+    }
+
+    /// Rebuilds an arena from [`Arena::save_state`] bytes.
+    pub fn load_state(
+        r: &mut SnapReader<'_>,
+        mut read: impl FnMut(&mut SnapReader<'_>) -> Result<T, SnapshotError>,
+    ) -> Result<Arena<T>, SnapshotError> {
+        let len = r.usize()?;
+        let high_water = r.usize()?;
+        let accounting_errors = r.u64()?;
+        let slots = r.seq(|r| {
+            let generation = r.u32()?;
+            let remaining = r.u32()?;
+            let value = r.option(&mut read)?;
+            Ok(Slot {
+                generation,
+                remaining,
+                value,
+            })
+        })?;
+        let free = r.seq(|r| r.u32())?;
+        let occupied = slots.iter().filter(|s| s.value.is_some()).count();
+        if occupied != len || free.len() != slots.len() - occupied {
+            return Err(SnapshotError::Corrupt("arena slot accounting".into()));
+        }
+        if free.iter().any(|&i| {
+            slots
+                .get(i as usize)
+                .map(|s| s.value.is_some())
+                .unwrap_or(true)
+        }) {
+            return Err(SnapshotError::Corrupt("arena free list".into()));
+        }
+        Ok(Arena {
+            slots,
+            free,
+            len,
+            high_water,
+            accounting_errors,
+        })
     }
 }
 
@@ -313,5 +416,85 @@ mod tests {
         let h = arena.insert(5u32);
         arena.take(h);
         arena.get(h);
+    }
+
+    /// Regression for the double-release accounting hole: when a stale
+    /// handle's generation *collides* with a freed slot (the u32 ABA case
+    /// the generation assert cannot catch), release must record an
+    /// accounting error instead of wrapping `remaining` to ~4 billion.
+    #[test]
+    fn double_release_past_the_generation_check_is_counted_not_wrapped() {
+        let mut arena = Arena::new();
+        let h = arena.insert(7u32);
+        arena.take(h);
+        // Forge the ABA collision: rewind the freed slot's generation so
+        // the stale handle passes the generation check again.
+        arena.slots[0].generation = arena.slots[0].generation.wrapping_sub(1);
+        assert_eq!(arena.slots[0].remaining, 1, "take leaves the count behind");
+        arena.slots[0].remaining = 0;
+
+        // debug_assert fires under `cargo test`; the counted-error path is
+        // what release builds see. Catch the unwind so both build modes
+        // exercise the accounting.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| arena.release(h)));
+        if let Ok(last) = result {
+            assert!(!last, "a rejected release must not free anything");
+        }
+        assert_eq!(arena.accounting_errors(), 1);
+        assert_eq!(arena.slots[0].remaining, 0, "remaining must not wrap");
+        assert!(arena.is_empty(), "len accounting must be untouched");
+    }
+
+    #[test]
+    fn save_load_round_trips_slot_layout_and_free_list_order() {
+        let mut arena = Arena::new();
+        let a = arena.insert(10u64);
+        let b = arena.insert(20u64);
+        let c = arena.insert_shared(30u64, 3);
+        let d = arena.insert(40u64);
+        arena.take(b);
+        arena.take(a);
+        arena.release(c);
+
+        let mut w = SnapWriter::new();
+        arena.save_state(&mut w, |w, v| w.u64(*v));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = Arena::load_state(&mut r, |r| r.u64()).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.len(), arena.len());
+        assert_eq!(restored.high_water(), arena.high_water());
+        assert_eq!(restored.capacity(), arena.capacity());
+        assert_eq!(restored.free, arena.free, "free-list LIFO order matters");
+        // The same post-snapshot operation sequence must produce identical
+        // handles on both arenas — recycling order is part of the state.
+        let drive = |a: &mut Arena<u64>| {
+            assert_eq!(a.get(c), &30);
+            assert!(!a.release(c));
+            assert!(a.release(c));
+            assert_eq!(a.take(d), 40);
+            (a.insert(50), a.insert(60), a.insert(70))
+        };
+        assert_eq!(drive(&mut arena), drive(&mut restored));
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_accounting() {
+        let mut arena = Arena::new();
+        let h = arena.insert(1u64);
+        arena.take(h);
+        arena.insert(2u64);
+        let mut w = SnapWriter::new();
+        arena.save_state(&mut w, |w, v| w.u64(*v));
+        let bytes = w.into_bytes();
+        // Corrupt the stored `len` (first field).
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        let mut r = SnapReader::new(&bad);
+        assert!(matches!(
+            Arena::<u64>::load_state(&mut r, |r| r.u64()),
+            Err(SnapshotError::Corrupt(_)) | Err(SnapshotError::Truncated)
+        ));
     }
 }

@@ -32,10 +32,14 @@
 pub mod arena;
 pub mod queue;
 pub mod rng;
+pub mod snapshot;
 
 pub use arena::{Arena, ArenaRef};
 pub use queue::EventQueue;
 pub use rng::DeterministicRng;
+pub use snapshot::{
+    fnv1a64, open, seal, JournalRecord, RunJournal, SnapReader, SnapWriter, SnapshotError,
+};
 
 /// Simulated time in nanoseconds (equal to processor cycles at 1 GHz).
 pub type Cycle = u64;

@@ -39,6 +39,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use crate::Cycle;
 
 /// Length of the calendar window in cycles (must be a power of two).
@@ -281,6 +282,78 @@ impl<E> EventQueue<E> {
             .iter()
             .flat_map(|bucket| bucket.iter())
             .chain(self.overflow.values().flat_map(|events| events.iter()))
+    }
+
+    /// Serializes the queue exactly: clock, counters, every non-empty
+    /// calendar bucket (slot index + FIFO contents), and the overflow
+    /// level in time order. FIFO order within a bucket is part of the
+    /// determinism contract, so it round-trips byte-for-byte.
+    pub fn save_state(&self, w: &mut SnapWriter, mut emit: impl FnMut(&mut SnapWriter, &E)) {
+        w.u64(self.now);
+        w.u64(self.scheduled);
+        w.u64(self.delivered);
+        w.usize(self.max_depth);
+        let occupied = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty());
+        w.usize(occupied.clone().count());
+        for (slot, bucket) in occupied {
+            w.usize(slot);
+            w.seq(bucket.iter(), &mut emit);
+        }
+        w.seq(self.overflow.iter(), |w, (&time, events)| {
+            w.u64(time);
+            w.seq(events.iter(), &mut emit);
+        });
+    }
+
+    /// Rebuilds a queue from [`EventQueue::save_state`] bytes.
+    pub fn load_state(
+        r: &mut SnapReader<'_>,
+        mut read: impl FnMut(&mut SnapReader<'_>) -> Result<E, SnapshotError>,
+    ) -> Result<EventQueue<E>, SnapshotError> {
+        let mut q = EventQueue::new();
+        q.now = r.u64()?;
+        q.scheduled = r.u64()?;
+        q.delivered = r.u64()?;
+        q.max_depth = r.usize()?;
+        let num_buckets = r.bounded_len(1)?;
+        let mut len = 0usize;
+        for _ in 0..num_buckets {
+            let slot = r.usize()?;
+            if slot >= HORIZON_CYCLES as usize {
+                return Err(SnapshotError::Corrupt(format!("bucket slot {slot}")));
+            }
+            let events = r.seq(&mut read)?;
+            if events.is_empty() || !q.buckets[slot].is_empty() {
+                return Err(SnapshotError::Corrupt("bucket layout".into()));
+            }
+            len += events.len();
+            q.buckets[slot] = events.into();
+            q.occupied[slot / 64] |= 1 << (slot % 64);
+        }
+        let overflow = r.seq(|r| {
+            let time = r.u64()?;
+            let events = r.seq(&mut read)?;
+            Ok((time, events))
+        })?;
+        let mut last_time = None;
+        for (time, events) in overflow {
+            if events.is_empty() || last_time.is_some_and(|t| time <= t) {
+                return Err(SnapshotError::Corrupt("overflow layout".into()));
+            }
+            last_time = Some(time);
+            len += events.len();
+            q.overflow_len += events.len();
+            q.overflow.insert(time, events.into());
+        }
+        q.len = len;
+        if q.max_depth < len {
+            return Err(SnapshotError::Corrupt("queue depth accounting".into()));
+        }
+        Ok(q)
     }
 }
 
@@ -548,6 +621,60 @@ mod tests {
         // Scheduling after the clock saturated still clamps and delivers.
         q.schedule(0, 'w');
         assert_eq!(q.pop(), Some((Cycle::MAX, 'w')));
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot round-trips.
+    // ------------------------------------------------------------------
+
+    /// Snapshot/restore mid-run must be invisible: the restored queue and
+    /// the original must produce identical pop streams, including bucket
+    /// FIFO ties and overflow migration.
+    #[test]
+    fn save_load_round_trips_mid_run() {
+        use crate::snapshot::{SnapReader, SnapWriter};
+        let mut rng = DeterministicRng::new(0x5EED);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..500 {
+            let offset = match rng.next_below(10) {
+                0..=5 => rng.next_below(64),
+                6..=8 => rng.next_below(HORIZON_CYCLES),
+                _ => HORIZON_CYCLES * (1 + rng.next_below(5)),
+            };
+            q.schedule(q.now() + offset, i);
+            if rng.next_below(3) == 0 {
+                q.pop();
+            }
+        }
+
+        let mut w = SnapWriter::new();
+        q.save_state(&mut w, |w, e| w.u64(*e));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = EventQueue::load_state(&mut r, |r| r.u64()).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.now(), q.now());
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.overflow_len(), q.overflow_len());
+        assert_eq!(restored.total_scheduled(), q.total_scheduled());
+        assert_eq!(restored.total_delivered(), q.total_delivered());
+        assert_eq!(restored.max_depth(), q.max_depth());
+        // Interleave fresh schedules with the drain on both queues.
+        let mut i = 1000;
+        loop {
+            let (a, b) = (q.pop(), restored.pop());
+            assert_eq!(a, b, "restored queue diverged");
+            if a.is_none() {
+                break;
+            }
+            if i % 3 == 0 {
+                let t = q.now() + (i % 700);
+                q.schedule(t, i);
+                restored.schedule(t, i);
+            }
+            i += 1;
+        }
     }
 
     // ------------------------------------------------------------------

@@ -97,6 +97,20 @@ impl DeterministicRng {
     pub fn fork(&mut self, stream: u64) -> DeterministicRng {
         DeterministicRng::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
+
+    /// The raw generator state, for snapshotting. Pair with
+    /// [`DeterministicRng::from_state`]; round-tripping through these
+    /// reproduces the stream exactly.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a [`DeterministicRng::state`] value.
+    /// Unlike [`DeterministicRng::new`], no seed mixing is applied — the
+    /// argument *is* the internal state.
+    pub fn from_state(state: u64) -> DeterministicRng {
+        DeterministicRng { state }
+    }
 }
 
 #[cfg(test)]

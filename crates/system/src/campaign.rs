@@ -34,7 +34,8 @@
 //! `tests/campaign.rs` pins this contract in CI.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -200,10 +201,13 @@ impl Campaign {
         let started = Instant::now();
 
         self.execute(workers, &|index, report| {
-            results.lock().unwrap().push((index, report));
+            results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((index, report));
         });
 
-        let mut collected = results.into_inner().unwrap();
+        let mut collected = results.into_inner().unwrap_or_else(|e| e.into_inner());
         collected.sort_unstable_by_key(|(index, _)| *index);
         debug_assert_eq!(collected.len(), total);
         let runs = collected
@@ -233,9 +237,20 @@ impl Campaign {
     fn execute(&self, workers: usize, on_done: &(impl Fn(usize, RunReport) + Sync)) {
         let total = self.points.len();
         let next = AtomicUsize::new(0);
+        // A panic in one point used to strand the campaign: the panicking
+        // worker died, the survivors ground through every remaining point,
+        // and the eventual re-panic from the thread scope had lost which
+        // point failed. Now the first panic is caught, the other workers
+        // abort their next claim, and the panic resurfaces with the failing
+        // point's label attached.
+        let abort = AtomicBool::new(false);
+        let first_panic: Mutex<Option<(String, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= total {
                         break;
@@ -249,7 +264,19 @@ impl Campaign {
                         });
                     }
                     let point_started = Instant::now();
-                    let report = point.run_with(self.options, &self.registry);
+                    let report = match catch_unwind(AssertUnwindSafe(|| {
+                        point.run_with(self.options, &self.registry)
+                    })) {
+                        Ok(report) => report,
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some((point.label.clone(), payload));
+                            }
+                            break;
+                        }
+                    };
                     if let Some(progress) = &self.progress {
                         progress(CampaignEvent::Finished {
                             index,
@@ -263,6 +290,15 @@ impl Campaign {
                 });
             }
         });
+        let first_panic = first_panic.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some((label, payload)) = first_panic {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("campaign point '{label}' panicked: {message}");
+        }
     }
 
     /// Runs every point like [`Campaign::run`], but *streams* each completed
@@ -332,7 +368,7 @@ impl Campaign {
         let started = Instant::now();
 
         self.execute(workers, &|index, report| {
-            emitter.lock().unwrap().submit(
+            emitter.lock().unwrap_or_else(|e| e.into_inner()).submit(
                 index,
                 CampaignRun {
                     label: self.points[index].label.clone(),
@@ -341,7 +377,7 @@ impl Campaign {
             );
         });
 
-        let emitter = emitter.into_inner().unwrap();
+        let emitter = emitter.into_inner().unwrap_or_else(|e| e.into_inner());
         debug_assert_eq!(emitter.next_emit, total);
         CampaignSummary {
             points: total,
@@ -927,6 +963,40 @@ mod tests {
         assert_eq!(tail.runs.len(), 2);
         assert_eq!(head.runs[0], report.runs[0]);
         assert_eq!(tail.runs[1], report.runs[3]);
+    }
+
+    /// The crash-path contract: a panic inside one point must fail the
+    /// campaign promptly and resurface naming the failing point — not
+    /// strand the caller behind every remaining point and a label-less
+    /// thread-scope re-panic.
+    #[test]
+    fn a_panicking_point_fails_fast_and_names_itself() {
+        let mut points = small_points();
+        // `System::build` panics on an invalid configuration; zero nodes is
+        // reliably invalid.
+        points.insert(
+            1,
+            ExperimentPoint::new(
+                "explosive-point".to_string(),
+                SystemConfig::isca03_default().with_nodes(0).with_seed(7),
+                WorkloadProfile::specjbb(),
+            ),
+        );
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            Campaign::new(points)
+                .options(tiny_options())
+                .threads(2)
+                .run()
+        }))
+        .expect_err("campaign must propagate the point's panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("explosive-point"),
+            "panic must name the failing point, got: {message}"
+        );
     }
 
     #[test]

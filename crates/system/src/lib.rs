@@ -66,5 +66,5 @@ pub use campaign::{Campaign, CampaignEvent, CampaignReport, CampaignRun, Campaig
 pub use experiment::ExperimentPoint;
 pub use processor::{CompletionOutcome, Processor};
 pub use report::{RunReport, TrafficBreakdown};
-pub use runner::{RunOptions, System};
+pub use runner::{RunOptions, RunProgress, System};
 pub use verify::Verifier;

@@ -192,6 +192,13 @@ impl fmt::Display for RunReport {
             self.engine.state.persistent_peak,
             self.engine.state.state_bytes / 1024
         )?;
+        if self.engine.arena_accounting_errors > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} arena accounting error(s) — a message slot was over-released",
+                self.engine.arena_accounting_errors
+            )?;
+        }
         if !self.faults.is_none() {
             writeln!(f, "  faults ({}): {}", self.faults, self.engine.faults)?;
         }

@@ -2,11 +2,11 @@
 
 use tc_interconnect::{FaultPlane, Interconnect};
 use tc_protocols::ProtocolRegistry;
-use tc_sim::{Arena, ArenaRef, EventQueue};
+use tc_sim::{Arena, ArenaRef, EventQueue, SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
     FastHashMap, FaultSpec, LineStateStats, Message, MissKind, MissStats, NodeId, Outbox,
-    ProtocolKind, ReissueStats, SystemConfig, Timer,
+    ProtocolKind, ReissueStats, ReqId, SystemConfig, Timer, TimerKind,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -31,12 +31,25 @@ pub struct RunOptions {
     /// cycle cap. The default is far above any healthy run's
     /// between-completions gap.
     pub livelock_events_budget: u64,
+    /// When set, [`System::run_with_checkpoints`] seals a full engine
+    /// snapshot every this-many delivered events and hands it to the
+    /// checkpoint sink. `None` (the default) takes no snapshots and leaves
+    /// the hot loop untouched. Checkpointing is observational: a run with
+    /// checkpoints enabled is bit-identical to the same run without.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl RunOptions {
     /// Returns these options with the given fault spec.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns these options with a checkpoint cadence (in delivered
+    /// events).
+    pub fn with_checkpoint_every(mut self, events: u64) -> Self {
+        self.checkpoint_every = Some(events.max(1));
         self
     }
 }
@@ -48,7 +61,107 @@ impl Default for RunOptions {
             max_cycles: 500_000_000,
             faults: FaultSpec::none(),
             livelock_events_budget: 50_000_000,
+            checkpoint_every: None,
         }
+    }
+}
+
+/// The loop-carried state of a run in flight: everything [`System::run`]
+/// used to keep in locals, lifted out so a run can be cut at any event
+/// boundary, serialized into a snapshot, and resumed bit-identically.
+#[derive(Debug)]
+pub struct RunProgress {
+    draining: bool,
+    drain_limit_hit: bool,
+    /// The cycle at which the completion target (or cycle limit) was
+    /// reached; `None` while the run is still making progress. An `Option`
+    /// rather than a zero sentinel: a run can legitimately reach its target
+    /// at cycle 0, and a run that drains without ever reaching it must fall
+    /// back to the final clock instead of garbage.
+    reached_target_at: Option<Cycle>,
+    ops_at_target: u64,
+    transactions_at_target: u64,
+    /// Forward-progress watchdog: events processed since an operation last
+    /// completed.
+    events_since_progress: u64,
+    livelock_hit: bool,
+    /// The fault plane only exists when the spec injects something, so the
+    /// (default) reliable-fabric path takes no extra branches beyond one
+    /// `Option` check per send and stays bit-identical.
+    fault_plane: Option<FaultPlane>,
+}
+
+impl RunProgress {
+    fn start(options: &RunOptions, config: &SystemConfig) -> Self {
+        RunProgress {
+            draining: false,
+            drain_limit_hit: false,
+            reached_target_at: None,
+            ops_at_target: 0,
+            transactions_at_target: 0,
+            events_since_progress: 0,
+            livelock_hit: false,
+            fault_plane: RunProgress::build_fault_plane(options, config),
+        }
+    }
+
+    fn build_fault_plane(options: &RunOptions, config: &SystemConfig) -> Option<FaultPlane> {
+        if options.faults.is_none() {
+            None
+        } else {
+            Some(FaultPlane::new(
+                options.faults,
+                config.protocol,
+                config.seed,
+                config.interconnect.link_latency_ns,
+            ))
+        }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.bool(self.draining);
+        w.bool(self.drain_limit_hit);
+        w.option(self.reached_target_at, |w, at| w.u64(at));
+        w.u64(self.ops_at_target);
+        w.u64(self.transactions_at_target);
+        w.u64(self.events_since_progress);
+        w.bool(self.livelock_hit);
+        w.option(self.fault_plane.as_ref(), |w, plane| plane.save_state(w));
+    }
+
+    fn load_state(
+        r: &mut SnapReader<'_>,
+        options: &RunOptions,
+        config: &SystemConfig,
+    ) -> Result<Self, SnapshotError> {
+        let draining = r.bool()?;
+        let drain_limit_hit = r.bool()?;
+        let reached_target_at = r.option(|r| r.u64())?;
+        let ops_at_target = r.u64()?;
+        let transactions_at_target = r.u64()?;
+        let events_since_progress = r.u64()?;
+        let livelock_hit = r.bool()?;
+        // The plane skeleton is config-derived; only the RNG position and
+        // fault statistics travel in the snapshot.
+        let fault_plane = r.option(|r| {
+            let mut plane = RunProgress::build_fault_plane(options, config).ok_or_else(|| {
+                SnapshotError::Corrupt(
+                    "snapshot has a fault plane but the options inject no faults".into(),
+                )
+            })?;
+            plane.load_state(r)?;
+            Ok(plane)
+        })?;
+        Ok(RunProgress {
+            draining,
+            drain_limit_hit,
+            reached_target_at,
+            ops_at_target,
+            transactions_at_target,
+            events_since_progress,
+            livelock_hit,
+            fault_plane,
+        })
     }
 }
 
@@ -108,8 +221,14 @@ pub struct System {
     max_miss_latency: Cycle,
     /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
     /// block is printed to stderr — the deterministic replay makes this a
-    /// complete causal trace of one block's protocol activity.
+    /// complete causal trace of one block's protocol activity, and the
+    /// runner keeps a rolling window snapshot so the first violation
+    /// triggers an automatic time-travel replay of the window leading up
+    /// to it (`TC_TRACE_WINDOW` events, default 65536).
     trace_block: Option<BlockAddr>,
+    /// True while this system is re-executing a trace window, so the
+    /// replay neither re-snapshots nor recursively replays.
+    replaying: bool,
 }
 
 impl System {
@@ -180,6 +299,7 @@ impl System {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .map(BlockAddr::new),
+            replaying: false,
         }
     }
 
@@ -215,57 +335,124 @@ impl System {
     /// `options.ops_per_node` operations (or the cycle limit is hit), drains
     /// outstanding transactions, audits the final state, and reports.
     pub fn run(&mut self, options: RunOptions) -> RunReport {
+        self.run_with_checkpoints(options, &mut |_, _| {})
+    }
+
+    /// [`System::run`] with a checkpoint sink: when
+    /// `options.checkpoint_every` is set, `sink(events_delivered, bytes)` is
+    /// called with a sealed snapshot at each cadence boundary. Snapshots are
+    /// cut *between* events, so a system rebuilt from one (via
+    /// [`System::restore`]) and resumed produces a bit-identical
+    /// [`RunReport`].
+    pub fn run_with_checkpoints(
+        &mut self,
+        options: RunOptions,
+        sink: &mut dyn FnMut(u64, &[u8]),
+    ) -> RunReport {
+        let mut progress = RunProgress::start(&options, &self.config);
+        self.drive(&options, &mut progress, sink, None);
+        self.finish(&options, progress)
+    }
+
+    /// Continues a run restored by [`System::restore`] to completion. The
+    /// options must match the original run's (enforced by the snapshot
+    /// fingerprint at restore time).
+    pub fn resume(&mut self, options: RunOptions, progress: RunProgress) -> RunReport {
+        self.resume_with_checkpoints(options, progress, &mut |_, _| {})
+    }
+
+    /// [`System::resume`] with a checkpoint sink, so a resumed run keeps
+    /// checkpointing on the same delivered-events cadence.
+    pub fn resume_with_checkpoints(
+        &mut self,
+        options: RunOptions,
+        mut progress: RunProgress,
+        sink: &mut dyn FnMut(u64, &[u8]),
+    ) -> RunReport {
+        self.drive(&options, &mut progress, sink, None);
+        self.finish(&options, progress)
+    }
+
+    /// The event loop. Pulled out of [`System::run`] so the same loop
+    /// serves fresh runs, resumed runs, and bounded trace replays
+    /// (`stop_after_events`). Checkpoint and trace-window cuts happen
+    /// *before* each pop, at an event boundary where the scratch outbox is
+    /// empty — the snapshot never has to serialize mid-event state.
+    fn drive(
+        &mut self,
+        options: &RunOptions,
+        progress: &mut RunProgress,
+        sink: &mut dyn FnMut(u64, &[u8]),
+        stop_after_events: Option<u64>,
+    ) {
         let target_total = options.ops_per_node * self.config.num_nodes as u64;
-        let mut draining = false;
-        let mut drain_limit_hit = false;
-        // The cycle at which the completion target (or cycle limit) was
-        // reached; None while the run is still making progress. An Option
-        // rather than a zero sentinel: a run can legitimately reach its
-        // target at cycle 0, and a run that drains without ever reaching it
-        // must fall back to the final clock instead of garbage.
-        let mut reached_target_at: Option<Cycle> = None;
-        let mut ops_at_target: u64 = 0;
-        let mut transactions_at_target: u64 = 0;
         let drain_limit = options.max_cycles.saturating_mul(2);
-        // The fault plane only exists when the spec injects something, so
-        // the (default) reliable-fabric path takes no extra branches beyond
-        // one `Option` check per send and stays bit-identical.
-        let mut fault_plane = if options.faults.is_none() {
-            None
+        let mut next_checkpoint = options
+            .checkpoint_every
+            .map(|k| (self.queue.total_delivered() / k + 1) * k);
+        // Rolling window snapshot for time-travel replay: with a trace
+        // block set, keep the snapshot from the last window boundary so a
+        // violation can replay the window leading up to it. Never active
+        // inside a replay (no recursion).
+        let trace_window: Option<u64> = if self.trace_block.is_some() && !self.replaying {
+            Some(
+                std::env::var("TC_TRACE_WINDOW")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(65_536)
+                    .max(1),
+            )
         } else {
-            Some(FaultPlane::new(
-                options.faults,
-                self.config.protocol,
-                self.config.seed,
-                self.config.interconnect.link_latency_ns,
-            ))
+            None
         };
-        // Forward-progress watchdog: events processed since an operation
-        // last completed. A fault-wedged run that keeps messages flowing
-        // (so the drain-limit deadlock detector never fires) trips this
-        // budget and is reported as a structured livelock.
-        let mut events_since_progress: u64 = 0;
-        let mut livelock_hit = false;
+        let mut window_snap: Option<(u64, Vec<u8>)> = None;
+        // First cut fires immediately on loop entry, so a violation in the
+        // very first window still has a snapshot to replay from.
+        let mut next_window_cut = trace_window.map(|w| (self.queue.total_delivered() / w) * w);
+        let mut violations_seen = self.verifier.violations().len();
         // The scratch outbox lives in a local for the whole loop instead of
         // being swapped out of and back into `self` around every controller
         // call.
         let mut out = std::mem::take(&mut self.scratch_out);
 
-        while let Some((now, event)) = self.queue.pop() {
-            if !draining && (self.completed_ops >= target_total || now >= options.max_cycles) {
-                draining = true;
-                reached_target_at = Some(now);
-                ops_at_target = self.completed_ops;
-                transactions_at_target = self.total_transactions();
+        loop {
+            let delivered = self.queue.total_delivered();
+            if let Some(limit) = stop_after_events {
+                if delivered >= limit {
+                    break;
+                }
             }
-            if draining && now >= drain_limit {
-                drain_limit_hit = true;
+            if let (Some(k), Some(at)) = (options.checkpoint_every, next_checkpoint) {
+                if delivered >= at {
+                    sink(delivered, &self.snapshot(options, progress));
+                    next_checkpoint = Some((delivered / k + 1) * k);
+                }
+            }
+            if let (Some(w), Some(at)) = (trace_window, next_window_cut) {
+                if delivered >= at {
+                    window_snap = Some((delivered, self.snapshot(options, progress)));
+                    next_window_cut = Some((delivered / w + 1) * w);
+                }
+            }
+            let Some((now, event)) = self.queue.pop() else {
+                break;
+            };
+            if !progress.draining
+                && (self.completed_ops >= target_total || now >= options.max_cycles)
+            {
+                progress.draining = true;
+                progress.reached_target_at = Some(now);
+                progress.ops_at_target = self.completed_ops;
+                progress.transactions_at_target = self.total_transactions();
+            }
+            if progress.draining && now >= drain_limit {
+                progress.drain_limit_hit = true;
                 break;
             }
             let ops_before = self.completed_ops;
             match event {
                 SystemEvent::Wakeup(node) => {
-                    if !draining {
+                    if !progress.draining {
                         self.processor_step(now, node, &mut out);
                     }
                 }
@@ -276,7 +463,7 @@ impl System {
                     }
                     let mut arrivals = std::mem::take(&mut self.arrival_buf);
                     self.interconnect.send_arrivals(now, &msg, &mut arrivals);
-                    if let Some(plane) = fault_plane.as_mut() {
+                    if let Some(plane) = progress.fault_plane.as_mut() {
                         if msg.reissue {
                             plane.stats_mut().reissue_timeouts += 1;
                         }
@@ -311,37 +498,49 @@ impl System {
                     self.process_outbox(now, node, &mut out);
                 }
             }
+            if trace_window.is_some() && self.verifier.violations().len() > violations_seen {
+                violations_seen = self.verifier.violations().len();
+                if let Some((from, snap)) = window_snap.as_ref() {
+                    self.windowed_replay(options, snap, *from, self.queue.total_delivered());
+                }
+            }
             if self.completed_ops != ops_before {
-                events_since_progress = 0;
+                progress.events_since_progress = 0;
             } else {
-                events_since_progress += 1;
-                if events_since_progress >= options.livelock_events_budget {
-                    livelock_hit = true;
+                progress.events_since_progress += 1;
+                if progress.events_since_progress >= options.livelock_events_budget {
+                    progress.livelock_hit = true;
                     eprintln!(
-                        "livelock watchdog: {events_since_progress} events without a completed \
+                        "livelock watchdog: {} events without a completed \
                          op at cycle {now}; cutting the run off (rerun with TC_TRACE_BLOCK=<blk> \
-                         for a causal trace of the spinning block)"
+                         for a causal trace of the spinning block)",
+                        progress.events_since_progress
                     );
                     break;
                 }
             }
         }
         self.scratch_out = out;
+    }
 
-        let runtime_cycles = match reached_target_at {
+    /// Post-loop wrap-up: final audit, stats merge, report assembly.
+    fn finish(&mut self, options: &RunOptions, mut progress: RunProgress) -> RunReport {
+        let runtime_cycles = match progress.reached_target_at {
             Some(cycles) => cycles,
             None => {
                 // The queue drained (or the drain limit hit) before the
                 // target was reached: report the state at the end of the run.
-                ops_at_target = self.completed_ops;
-                transactions_at_target = self.total_transactions();
+                progress.ops_at_target = self.completed_ops;
+                progress.transactions_at_target = self.total_transactions();
                 self.queue.now()
             }
         };
 
         self.final_audit(
-            drain_limit_hit,
-            livelock_hit.then_some(events_since_progress),
+            progress.drain_limit_hit,
+            progress
+                .livelock_hit
+                .then_some(progress.events_since_progress),
         );
 
         let mut misses = MissStats::default();
@@ -359,8 +558,12 @@ impl System {
         // Recovery-side fault numbers: how hard the correctness substrate
         // had to work. Left all-zero on faultless runs so the default
         // report is unchanged.
-        let mut fault_stats = fault_plane.as_ref().map(|p| p.stats()).unwrap_or_default();
-        if fault_plane.is_some() {
+        let mut fault_stats = progress
+            .fault_plane
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
+        if progress.fault_plane.is_some() {
             fault_stats.persistent_activations = controllers.persistent_requests_initiated;
             fault_stats.max_recovery_ns = self.max_miss_latency;
         }
@@ -372,8 +575,8 @@ impl System {
             workload: self.workload.name.to_string(),
             num_nodes: self.config.num_nodes,
             runtime_cycles,
-            total_ops: ops_at_target,
-            total_transactions: transactions_at_target,
+            total_ops: progress.ops_at_target,
+            total_transactions: progress.transactions_at_target,
             misses,
             reissue,
             controllers,
@@ -383,10 +586,139 @@ impl System {
                 peak_queue_depth: self.queue.max_depth() as u64,
                 peak_arena_occupancy: self.messages.high_water() as u64,
                 events_delivered: self.queue.total_delivered(),
+                arena_accounting_errors: self.messages.accounting_errors(),
                 state: line_state,
                 faults: fault_stats,
             },
             violations: self.verifier.violations().to_vec(),
+        }
+    }
+
+    /// Serializes the full engine state — clock and calendar queue, message
+    /// arena, interconnect, verifier history, per-processor and
+    /// per-controller state, and the loop-carried [`RunProgress`] — into one
+    /// sealed (versioned + checksummed) snapshot. Must be called at an
+    /// event boundary (the runner only calls it between pops).
+    pub fn snapshot(&self, options: &RunOptions, progress: &RunProgress) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.fingerprint(options));
+        w.u64(self.completed_ops);
+        w.u64(self.max_miss_latency);
+        self.queue.save_state(&mut w, emit_system_event);
+        self.messages.save_state(&mut w, |w, msg| msg.save_state(w));
+        self.interconnect.save_state(&mut w);
+        self.verifier.save_state(&mut w);
+        // The hash map iterates in arbitrary order; sort so identical
+        // states produce identical snapshot bytes.
+        let mut writes: Vec<(u64, bool)> = self
+            .outstanding_writes
+            .iter()
+            .map(|(id, &is_write)| (id.value(), is_write))
+            .collect();
+        writes.sort_unstable();
+        w.seq(writes.iter(), |w, &(id, is_write)| {
+            w.u64(id);
+            w.bool(is_write);
+        });
+        w.seq(self.processors.iter(), |w, p| p.save_state(w));
+        w.seq(self.controllers.iter(), |w, c| c.save_state(w));
+        progress.save_state(&mut w);
+        tc_sim::seal(tc_sim::snapshot::SNAPSHOT_VERSION, &w.into_bytes())
+    }
+
+    /// Restores engine state from a [`System::snapshot`] into a freshly
+    /// built system with the same configuration, returning the
+    /// [`RunProgress`] to pass to [`System::resume`]. The embedded
+    /// fingerprint must match this system's config/workload/options — a
+    /// snapshot cannot be restored into a different experiment.
+    pub fn restore(
+        &mut self,
+        options: &RunOptions,
+        bytes: &[u8],
+    ) -> Result<RunProgress, SnapshotError> {
+        let (_version, payload) = tc_sim::open(bytes)?;
+        let mut r = SnapReader::new(payload);
+        let fingerprint = r.u64()?;
+        if fingerprint != self.fingerprint(options) {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot fingerprint {fingerprint:#018x} does not match this \
+                 system's {:#018x}: config, workload, or run options differ",
+                self.fingerprint(options)
+            )));
+        }
+        self.completed_ops = r.u64()?;
+        self.max_miss_latency = r.u64()?;
+        self.queue = EventQueue::load_state(&mut r, read_system_event)?;
+        self.messages = Arena::load_state(&mut r, Message::load_state)?;
+        self.interconnect.load_state(&mut r)?;
+        self.verifier.load_state(&mut r)?;
+        self.outstanding_writes.clear();
+        let num_writes = r.bounded_len(9)?;
+        for _ in 0..num_writes {
+            let id = ReqId::new(r.u64()?);
+            let is_write = r.bool()?;
+            self.outstanding_writes.insert(id, is_write);
+        }
+        let num_processors = r.bounded_len(8)?;
+        if num_processors != self.processors.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {num_processors} processors, system has {}",
+                self.processors.len()
+            )));
+        }
+        for processor in &mut self.processors {
+            processor.load_state(&mut r)?;
+        }
+        let num_controllers = r.bounded_len(1)?;
+        if num_controllers != self.controllers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {num_controllers} controllers, system has {}",
+                self.controllers.len()
+            )));
+        }
+        for controller in &mut self.controllers {
+            controller.load_state(&mut r)?;
+        }
+        let progress = RunProgress::load_state(&mut r, options, &self.config)?;
+        r.finish()?;
+        Ok(progress)
+    }
+
+    /// A 64-bit digest of everything a snapshot depends on but does not
+    /// carry: the system configuration, the workload profile, and the
+    /// behavior-relevant run options. `checkpoint_every` is deliberately
+    /// excluded — checkpointing is observational, so a snapshot taken at
+    /// one cadence restores fine under another (or under none).
+    fn fingerprint(&self, options: &RunOptions) -> u64 {
+        let key = format!(
+            "{:?}|{:?}|{}|{}|{:?}|{}",
+            self.config,
+            self.workload,
+            options.ops_per_node,
+            options.max_cycles,
+            options.faults,
+            options.livelock_events_budget
+        );
+        tc_sim::fnv1a64(key.as_bytes())
+    }
+
+    /// Time-travel replay: rebuild a fresh system, restore the rolling
+    /// window snapshot, and re-drive it up to the violating event so the
+    /// `TC_TRACE_BLOCK` trace covers the whole window leading up to the
+    /// violation. The replay uses the default protocol registry; runs built
+    /// with a custom registry get the trace but not the replay.
+    fn windowed_replay(&self, options: &RunOptions, snap: &[u8], from: u64, upto: u64) {
+        eprintln!(
+            "violation at event {upto}; replaying the trace window from event {from} \
+             (adjust with TC_TRACE_WINDOW)"
+        );
+        let mut replay = System::build(&self.config, &self.workload);
+        replay.replaying = true;
+        match replay.restore(options, snap) {
+            Ok(mut progress) => {
+                replay.drive(options, &mut progress, &mut |_, _| {}, Some(upto));
+            }
+            Err(e) => eprintln!("trace replay could not restore the window snapshot: {e}"),
         }
     }
 
@@ -606,6 +938,77 @@ impl System {
     }
 }
 
+// --- snapshot codecs ------------------------------------------------------
+//
+// Tags are part of the snapshot wire format; append new variants, never
+// renumber.
+
+fn emit_system_event(w: &mut SnapWriter, event: &SystemEvent) {
+    match event {
+        SystemEvent::Wakeup(node) => {
+            w.u8(0);
+            w.u32(node.index() as u32);
+        }
+        SystemEvent::Send(msg) => {
+            w.u8(1);
+            w.u64(msg.to_bits());
+        }
+        SystemEvent::Deliver { node, msg } => {
+            w.u8(2);
+            w.u32(node.index() as u32);
+            w.u64(msg.to_bits());
+        }
+        SystemEvent::Timer { node, timer } => {
+            w.u8(3);
+            w.u32(node.index() as u32);
+            emit_timer(w, timer);
+        }
+    }
+}
+
+fn read_system_event(r: &mut SnapReader<'_>) -> Result<SystemEvent, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => SystemEvent::Wakeup(NodeId::new(r.u32()? as usize)),
+        1 => SystemEvent::Send(ArenaRef::from_bits(r.u64()?)),
+        2 => SystemEvent::Deliver {
+            node: NodeId::new(r.u32()? as usize),
+            msg: ArenaRef::from_bits(r.u64()?),
+        },
+        3 => SystemEvent::Timer {
+            node: NodeId::new(r.u32()? as usize),
+            timer: read_timer(r)?,
+        },
+        tag => return Err(SnapshotError::Corrupt(format!("system event tag {tag}"))),
+    })
+}
+
+fn emit_timer(w: &mut SnapWriter, timer: &Timer) {
+    w.u64(timer.id);
+    w.u64(timer.addr.value());
+    match timer.kind {
+        TimerKind::Reissue => w.u8(0),
+        TimerKind::PersistentEscalation => w.u8(1),
+        TimerKind::MemoryAccess => w.u8(2),
+        TimerKind::Other(code) => {
+            w.u8(3);
+            w.u32(code);
+        }
+    }
+}
+
+fn read_timer(r: &mut SnapReader<'_>) -> Result<Timer, SnapshotError> {
+    let id = r.u64()?;
+    let addr = BlockAddr::new(r.u64()?);
+    let kind = match r.u8()? {
+        0 => TimerKind::Reissue,
+        1 => TimerKind::PersistentEscalation,
+        2 => TimerKind::MemoryAccess,
+        3 => TimerKind::Other(r.u32()?),
+        tag => return Err(SnapshotError::Corrupt(format!("timer kind tag {tag}"))),
+    };
+    Ok(Timer { id, addr, kind })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +1131,78 @@ mod tests {
         let limited = limited.run(options);
         let unlimited = unlimited.run(options);
         assert!(unlimited.runtime_cycles <= limited.runtime_cycles);
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_and_resumes_bit_identically() {
+        let config = small_config(ProtocolKind::TokenB);
+        let profile = WorkloadProfile::oltp();
+        let options = RunOptions {
+            ops_per_node: 600,
+            max_cycles: 50_000_000,
+            ..RunOptions::default()
+        }
+        .with_checkpoint_every(2_000);
+
+        let baseline = System::build(&config, &profile).run(options);
+
+        let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
+        let checkpointed = System::build(&config, &profile)
+            .run_with_checkpoints(options, &mut |at, bytes| snaps.push((at, bytes.to_vec())));
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{checkpointed:?}"),
+            "checkpointing must be observational"
+        );
+        assert!(snaps.len() >= 2, "expected several checkpoints");
+
+        // Resume from an early snapshot and from the last one: both must
+        // reproduce the uninterrupted run's report byte-for-byte.
+        for (at, snap) in [&snaps[0], snaps.last().unwrap()] {
+            let mut resumed = System::build(&config, &profile);
+            let progress = resumed
+                .restore(&options, snap)
+                .unwrap_or_else(|e| panic!("restore at event {at}: {e}"));
+            assert_eq!(resumed.events_delivered(), *at);
+            let report = resumed.resume(options, progress);
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{baseline:?}"),
+                "resume from event {at} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_system() {
+        let config = small_config(ProtocolKind::TokenB);
+        let profile = WorkloadProfile::oltp();
+        let options = RunOptions {
+            ops_per_node: 200,
+            max_cycles: 50_000_000,
+            ..RunOptions::default()
+        }
+        .with_checkpoint_every(5_000);
+        let mut snaps: Vec<Vec<u8>> = Vec::new();
+        System::build(&config, &profile)
+            .run_with_checkpoints(options, &mut |_, bytes| snaps.push(bytes.to_vec()));
+        let snap = snaps.first().expect("at least one checkpoint");
+
+        // Different seed => different fingerprint.
+        let other = config.clone().with_seed(13);
+        let err = System::build(&other, &profile)
+            .restore(&options, snap)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+
+        // A flipped payload byte fails the seal checksum, not UB.
+        let mut corrupt = snap.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        let err = System::build(&config, &profile)
+            .restore(&options, &corrupt)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Checksum), "{err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{BlockAddr, BlockAudit, Cycle, FastHashMap, InvariantViolation, NodeId};
 
 /// Recent write history for one block: which version was current when.
@@ -254,6 +255,205 @@ impl Verifier {
     pub fn into_violations(self) -> Vec<InvariantViolation> {
         self.violations
     }
+
+    /// Serializes the verifier. The write-history map is iterated in block
+    /// order so identical verifier states always produce identical bytes.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.reads_checked);
+        w.u64(self.writes_recorded);
+        let mut blocks: Vec<(&BlockAddr, &BlockHistory)> = self.history.iter().collect();
+        blocks.sort_unstable_by_key(|(addr, _)| **addr);
+        w.seq(blocks.into_iter(), |w, (addr, history)| {
+            w.u64(addr.value());
+            w.seq(history.versions.iter(), |w, &(version, at)| {
+                w.u64(version);
+                w.u64(at);
+            });
+        });
+        w.seq(self.violations.iter(), emit_violation);
+    }
+
+    /// Restores [`Verifier::save_state`] bytes.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.reads_checked = r.u64()?;
+        self.writes_recorded = r.u64()?;
+        let block_count = r.bounded_len(16)?;
+        self.history.clear();
+        for _ in 0..block_count {
+            let addr = BlockAddr::new(r.u64()?);
+            let version_count = r.bounded_len(16)?;
+            let mut versions = VecDeque::with_capacity(version_count);
+            for _ in 0..version_count {
+                versions.push_back((r.u64()?, r.u64()?));
+            }
+            self.history.insert(addr, BlockHistory { versions });
+        }
+        let violation_count = r.bounded_len(9)?;
+        self.violations = Vec::with_capacity(violation_count);
+        for _ in 0..violation_count {
+            self.violations.push(read_violation(r)?);
+        }
+        Ok(())
+    }
+}
+
+// Snapshot codec for violations. Tags are wire format: append, never
+// renumber.
+fn emit_violation(w: &mut SnapWriter, v: &InvariantViolation) {
+    match *v {
+        InvariantViolation::TokenConservation {
+            addr,
+            expected,
+            found,
+            at,
+        } => {
+            w.u8(0);
+            w.u64(addr.value());
+            w.u32(expected);
+            w.u32(found);
+            w.u64(at);
+        }
+        InvariantViolation::DuplicateOwner { addr, at } => {
+            w.u8(1);
+            w.u64(addr.value());
+            w.u64(at);
+        }
+        InvariantViolation::WriteWithoutExclusive {
+            node,
+            addr,
+            held,
+            required,
+            at,
+        } => {
+            w.u8(2);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u32(held);
+            w.u32(required);
+            w.u64(at);
+        }
+        InvariantViolation::ReadWithoutToken { node, addr, at } => {
+            w.u8(3);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(at);
+        }
+        InvariantViolation::OwnerTokenWithoutData { addr, at } => {
+            w.u8(4);
+            w.u64(addr.value());
+            w.u64(at);
+        }
+        InvariantViolation::StaleDataRead {
+            node,
+            addr,
+            observed_version,
+            expected_version,
+            at,
+        } => {
+            w.u8(5);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(observed_version);
+            w.u64(expected_version);
+            w.u64(at);
+        }
+        InvariantViolation::Starvation {
+            node,
+            addr,
+            issued_at,
+            at,
+        } => {
+            w.u8(6);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(issued_at);
+            w.u64(at);
+        }
+        InvariantViolation::Livelock {
+            node,
+            addr,
+            issued_at,
+            at,
+            events_without_progress,
+        } => {
+            w.u8(7);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(issued_at);
+            w.u64(at);
+            w.u64(events_without_progress);
+        }
+        InvariantViolation::Deadlock {
+            node,
+            addr,
+            issued_at,
+            at,
+        } => {
+            w.u8(8);
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(issued_at);
+            w.u64(at);
+        }
+    }
+}
+
+fn read_violation(r: &mut SnapReader<'_>) -> Result<InvariantViolation, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => InvariantViolation::TokenConservation {
+            addr: BlockAddr::new(r.u64()?),
+            expected: r.u32()?,
+            found: r.u32()?,
+            at: r.u64()?,
+        },
+        1 => InvariantViolation::DuplicateOwner {
+            addr: BlockAddr::new(r.u64()?),
+            at: r.u64()?,
+        },
+        2 => InvariantViolation::WriteWithoutExclusive {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            held: r.u32()?,
+            required: r.u32()?,
+            at: r.u64()?,
+        },
+        3 => InvariantViolation::ReadWithoutToken {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            at: r.u64()?,
+        },
+        4 => InvariantViolation::OwnerTokenWithoutData {
+            addr: BlockAddr::new(r.u64()?),
+            at: r.u64()?,
+        },
+        5 => InvariantViolation::StaleDataRead {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            observed_version: r.u64()?,
+            expected_version: r.u64()?,
+            at: r.u64()?,
+        },
+        6 => InvariantViolation::Starvation {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            issued_at: r.u64()?,
+            at: r.u64()?,
+        },
+        7 => InvariantViolation::Livelock {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            issued_at: r.u64()?,
+            at: r.u64()?,
+            events_without_progress: r.u64()?,
+        },
+        8 => InvariantViolation::Deadlock {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            issued_at: r.u64()?,
+            at: r.u64()?,
+        },
+        other => return Err(SnapshotError::Corrupt(format!("violation tag {other}"))),
+    })
 }
 
 #[cfg(test)]

@@ -171,6 +171,60 @@ impl Scenario {
             ..RunOptions::default()
         })
     }
+
+    /// Runs the scenario interrupted-and-resumed: the run is checkpointed
+    /// every `checkpoint_every` delivered events, cut at the *first*
+    /// checkpoint past the cadence, and a **fresh** system restores that
+    /// snapshot and finishes the run. Conformance asserts the returned
+    /// report is bit-identical to [`Scenario::run_faulted`]'s — the
+    /// restore-equivalence oracle of the snapshot plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run delivers too few events to reach even one
+    /// checkpoint, or if the snapshot fails to restore — both are test
+    /// failures, not conditions for a conformance suite to tolerate.
+    pub fn run_resumed(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        ops_per_node: u64,
+        faults: FaultSpec,
+        checkpoint_every: u64,
+    ) -> RunReport {
+        let config = self.config(protocol, seed);
+        let options = RunOptions {
+            ops_per_node,
+            max_cycles: self.max_cycles,
+            faults,
+            ..RunOptions::default()
+        }
+        .with_checkpoint_every(checkpoint_every);
+
+        // First leg: run to completion but keep the first snapshot. (The
+        // engine has no mid-run abort; cutting at the first checkpoint and
+        // discarding the rest of this run models the crash.)
+        let mut first_snapshot: Option<Vec<u8>> = None;
+        let mut interrupted = System::build(&config, &self.workload);
+        interrupted.run_with_checkpoints(options, &mut |_, bytes| {
+            if first_snapshot.is_none() {
+                first_snapshot = Some(bytes.to_vec());
+            }
+        });
+        let snapshot = first_snapshot.unwrap_or_else(|| {
+            panic!(
+                "scenario {} delivered too few events for a checkpoint every {} events",
+                self.name, checkpoint_every
+            )
+        });
+
+        // Second leg: a fresh system restores the snapshot and finishes.
+        let mut resumed = System::build(&config, &self.workload);
+        let progress = resumed
+            .restore(&options, &snapshot)
+            .unwrap_or_else(|e| panic!("scenario {}: snapshot restore failed: {e}", self.name));
+        resumed.resume(options, progress)
+    }
 }
 
 #[cfg(test)]

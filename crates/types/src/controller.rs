@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
+
 use crate::addr::BlockAddr;
 use crate::ids::{Cycle, NodeId, ReqId};
 use crate::memop::MemOp;
@@ -229,6 +231,27 @@ pub trait CoherenceController: fmt::Debug {
     /// controllers that do not use the shared plane stay compilable.
     fn line_state_stats(&self) -> LineStateStats {
         LineStateStats::default()
+    }
+
+    /// Serializes this controller's *mutable* state into an engine snapshot
+    /// (see `tc_sim::snapshot`). Config-derived state (latencies, home
+    /// maps, capacities, geometry) is rebuilt by construction and must not
+    /// be written here.
+    ///
+    /// The default writes nothing, which is only correct for a controller
+    /// with no mutable state beyond construction. Every real protocol must
+    /// override both this and [`CoherenceController::load_state`] — the
+    /// restore-equivalence contract (a resumed run's `RunReport` is
+    /// bit-identical to the uninterrupted run) depends on it.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state produced by [`CoherenceController::save_state`] onto
+    /// a freshly-constructed controller of the same configuration.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
     }
 }
 

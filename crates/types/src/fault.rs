@@ -278,13 +278,27 @@ impl FaultSpec {
     /// `drop=P`, `dup=P`, `delay=P@MAXNS`, `reorder=DEPTH`,
     /// `link=A-B@FROM..UNTIL`, `seed=N`, e.g.
     /// `drop=0.01,dup=0.005,reorder=4,link=2-5@1000..5000`.
+    ///
+    /// Whitespace around clauses, keys, and values is ignored. Each scalar
+    /// key may appear at most once — a repeated `drop=` would silently keep
+    /// only the last value, which is exactly the kind of typo a sweep config
+    /// wants rejected loudly — while `link=` may repeat up to
+    /// [`MAX_OUTAGES`] times because each clause schedules a distinct outage.
     pub fn parse(text: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::none();
-        for part in text.split(',').filter(|p| !p.trim().is_empty()) {
+        let mut seen: Vec<&str> = Vec::new();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
-                .trim()
                 .split_once('=')
                 .ok_or_else(|| format!("fault clause `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            if key != "link" {
+                if seen.contains(&key) {
+                    return Err(format!("duplicate fault clause `{key}`"));
+                }
+                seen.push(key);
+            }
             match key {
                 "drop" => spec.drop_ppm = parse_probability(value)?,
                 "dup" => spec.dup_ppm = parse_probability(value)?,
@@ -453,6 +467,32 @@ impl FaultStats {
     pub fn total_injected(&self) -> u64 {
         self.dropped + self.duplicated + self.delayed + self.reordered + self.link_deferred
     }
+
+    /// Serializes every counter into an engine snapshot.
+    pub fn save_state(&self, w: &mut tc_sim::SnapWriter) {
+        w.u64(self.dropped);
+        w.u64(self.duplicated);
+        w.u64(self.delayed);
+        w.u64(self.reordered);
+        w.u64(self.link_deferred);
+        w.u64(self.reissue_timeouts);
+        w.u64(self.persistent_activations);
+        w.u64(self.max_recovery_ns);
+    }
+
+    /// Restores [`FaultStats::save_state`] bytes.
+    pub fn load_state(r: &mut tc_sim::SnapReader<'_>) -> Result<FaultStats, tc_sim::SnapshotError> {
+        Ok(FaultStats {
+            dropped: r.u64()?,
+            duplicated: r.u64()?,
+            delayed: r.u64()?,
+            reordered: r.u64()?,
+            link_deferred: r.u64()?,
+            reissue_timeouts: r.u64()?,
+            persistent_activations: r.u64()?,
+            max_recovery_ns: r.u64()?,
+        })
+    }
 }
 
 impl fmt::Display for FaultStats {
@@ -521,6 +561,63 @@ mod tests {
         assert!(FaultSpec::parse("link=2-5@50..50").is_err());
         assert!(FaultSpec::parse("sprocket=1").is_err());
         assert!(FaultSpec::parse("").map(|s| s.is_none()).unwrap_or(false));
+        // Duplicate scalar clauses are errors, not silent last-wins.
+        assert!(FaultSpec::parse("drop=0.1,drop=0.2").is_err());
+        assert!(FaultSpec::parse("seed=1,seed=2").is_err());
+        assert!(FaultSpec::parse("delay=0.1@50,delay=0.2@60").is_err());
+        assert!(FaultSpec::parse("reorder=2, reorder=2").is_err());
+        // A fifth link outage still overflows the fixed slots.
+        assert!(FaultSpec::parse(
+            "link=0-1@1..2,link=0-2@1..2,link=0-3@1..2,link=1-2@1..2,link=1-3@1..2"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parse_trims_whitespace_and_allows_repeated_link_clauses() {
+        let spec = FaultSpec::parse(" drop = 0.01 , link=0-1@10..20, link=2-3@30..40 ,, seed = 7 ")
+            .unwrap();
+        assert_eq!(spec.drop_ppm, 10_000);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(
+            spec.outages[0],
+            Some(LinkOutage {
+                a: 0,
+                b: 1,
+                from: 10,
+                until: 20
+            })
+        );
+        assert_eq!(
+            spec.outages[1],
+            Some(LinkOutage {
+                a: 2,
+                b: 3,
+                from: 30,
+                until: 40
+            })
+        );
+    }
+
+    #[test]
+    fn fault_stats_snapshot_round_trips() {
+        let stats = FaultStats {
+            dropped: 1,
+            duplicated: 2,
+            delayed: 3,
+            reordered: 4,
+            link_deferred: 5,
+            reissue_timeouts: 6,
+            persistent_activations: 7,
+            max_recovery_ns: 8,
+        };
+        let mut w = tc_sim::SnapWriter::new();
+        stats.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tc_sim::SnapReader::new(&bytes);
+        let back = FaultStats::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(stats, back);
     }
 
     #[test]

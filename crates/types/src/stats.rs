@@ -3,9 +3,28 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use tc_sim::snapshot::{SnapReader, SnapWriter, SnapshotError};
 
 use crate::ids::Cycle;
 use crate::message::{Message, MsgKind};
+
+/// Interns a counter name so a deserialized [`ControllerStats::extra`] key
+/// can become the `&'static str` the map requires. The vocabulary is the
+/// handful of protocol counter names, so leaking each distinct name once is
+/// bounded and cheap.
+pub fn intern_counter_name(name: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = names.lock().unwrap_or_else(|poison| poison.into_inner());
+    if let Some(&existing) = guard.iter().find(|&&n| n == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    guard.push(leaked);
+    leaked
+}
 
 /// Traffic classification used by the paper's traffic breakdowns
 /// (Figures 4b and 5b).
@@ -159,6 +178,26 @@ impl TrafficStats {
             self.link_bytes[i] += other.link_bytes[i];
         }
     }
+
+    /// Serializes all per-class counters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for arr in [&self.bytes, &self.messages, &self.link_bytes] {
+            for &v in arr {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Rebuilds from [`TrafficStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<TrafficStats, SnapshotError> {
+        let mut out = TrafficStats::new();
+        for arr in [&mut out.bytes, &mut out.messages, &mut out.link_bytes] {
+            for v in arr.iter_mut() {
+                *v = r.u64()?;
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Cache-miss statistics for one node.
@@ -209,6 +248,40 @@ impl MissStats {
         } else {
             self.cache_to_cache as f64 / done as f64
         }
+    }
+
+    /// Serializes every counter.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for v in [
+            self.l1_hits,
+            self.l2_hits,
+            self.read_misses,
+            self.write_misses,
+            self.upgrade_misses,
+            self.cache_to_cache,
+            self.from_memory,
+            self.total_miss_latency,
+            self.completed_misses,
+            self.writebacks,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuilds from [`MissStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<MissStats, SnapshotError> {
+        Ok(MissStats {
+            l1_hits: r.u64()?,
+            l2_hits: r.u64()?,
+            read_misses: r.u64()?,
+            write_misses: r.u64()?,
+            upgrade_misses: r.u64()?,
+            cache_to_cache: r.u64()?,
+            from_memory: r.u64()?,
+            total_miss_latency: r.u64()?,
+            completed_misses: r.u64()?,
+            writebacks: r.u64()?,
+        })
     }
 
     /// Merges another node's statistics into this one.
@@ -271,6 +344,28 @@ impl ReissueStats {
         self.reissued_once += other.reissued_once;
         self.reissued_more += other.reissued_more;
         self.persistent += other.persistent;
+    }
+
+    /// Serializes every counter.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for v in [
+            self.not_reissued,
+            self.reissued_once,
+            self.reissued_more,
+            self.persistent,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuilds from [`ReissueStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<ReissueStats, SnapshotError> {
+        Ok(ReissueStats {
+            not_reissued: r.u64()?,
+            reissued_once: r.u64()?,
+            reissued_more: r.u64()?,
+            persistent: r.u64()?,
+        })
     }
 }
 
@@ -348,6 +443,11 @@ pub struct EngineStats {
     /// Total events the engine delivered over the run (the numerator of the
     /// events-per-second throughput metric).
     pub events_delivered: u64,
+    /// Double-releases caught by the message arena's accounting guard.
+    /// Always zero in a correct engine; a non-zero value means a payload
+    /// handle was released twice past the generation check and the run's
+    /// bookkeeping cannot be trusted.
+    pub arena_accounting_errors: u64,
     /// Per-structure peaks and estimated byte footprint of the sparse
     /// line-state plane, summed across nodes.
     pub state: LineStateStats,
@@ -400,6 +500,43 @@ impl ControllerStats {
         for (k, v) in &other.extra {
             *self.extra.entry(k).or_insert(0) += v;
         }
+    }
+
+    /// Serializes every counter, including the named extras (in the
+    /// `BTreeMap`'s deterministic key order).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.misses.save_state(w);
+        self.reissue.save_state(w);
+        w.u64(self.persistent_requests_initiated);
+        w.u64(self.messages_sent);
+        w.u64(self.messages_received);
+        w.seq(self.extra.iter(), |w, (&k, &v)| {
+            w.str(k);
+            w.u64(v);
+        });
+    }
+
+    /// Rebuilds from [`ControllerStats::save_state`] bytes. Counter names
+    /// round-trip through [`intern_counter_name`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<ControllerStats, SnapshotError> {
+        let misses = MissStats::load_state(r)?;
+        let reissue = ReissueStats::load_state(r)?;
+        let persistent_requests_initiated = r.u64()?;
+        let messages_sent = r.u64()?;
+        let messages_received = r.u64()?;
+        let entries = r.seq(|r| {
+            let name = r.str()?;
+            let value = r.u64()?;
+            Ok((intern_counter_name(&name), value))
+        })?;
+        Ok(ControllerStats {
+            misses,
+            reissue,
+            persistent_requests_initiated,
+            messages_sent,
+            messages_received,
+            extra: entries.into_iter().collect(),
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use tc_sim::DeterministicRng;
+use tc_sim::{DeterministicRng, SnapReader, SnapWriter, SnapshotError};
 use tc_types::{Address, Cycle, MemOp, MemOpKind, NodeId, ReqId};
 
 use crate::profile::{RegionKind, WorkloadProfile};
@@ -195,6 +195,48 @@ impl WorkloadGenerator {
         }
     }
 
+    /// Serializes the generator's cursor: RNG stream position, request
+    /// counter, the queued tail of a partially-consumed multi-op sequence,
+    /// and the ops counter. Profile, node, and node count are config-derived.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.rng.state());
+        w.u64(self.next_req);
+        w.u64(self.ops_generated);
+        w.seq(self.pending.iter(), |w, &(think, block, kind)| {
+            w.u64(think);
+            w.u64(block);
+            w.u8(match kind {
+                MemOpKind::Load => 0,
+                MemOpKind::Store => 1,
+                MemOpKind::Ifetch => 2,
+                MemOpKind::Atomic => 3,
+            });
+        });
+    }
+
+    /// Restores [`WorkloadGenerator::save_state`] bytes onto a same-config
+    /// generator.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.rng = DeterministicRng::from_state(r.u64()?);
+        self.next_req = r.u64()?;
+        self.ops_generated = r.u64()?;
+        self.pending = r
+            .seq(|r| {
+                let think = r.u64()?;
+                let block = r.u64()?;
+                let kind = match r.u8()? {
+                    0 => MemOpKind::Load,
+                    1 => MemOpKind::Store,
+                    2 => MemOpKind::Ifetch,
+                    3 => MemOpKind::Atomic,
+                    other => return Err(SnapshotError::Corrupt(format!("mem op tag {other}"))),
+                };
+                Ok((think, block, kind))
+            })?
+            .into();
+        Ok(())
+    }
+
     fn shared_or_private_code_block(&mut self) -> u64 {
         if self.profile.shared_read_blocks > 0 {
             self.shared_read_block()
@@ -354,6 +396,27 @@ mod tests {
                 in_private || in_shared || in_migratory || in_pc,
                 "block {block:#x} outside every region"
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_sequence_resumes_the_identical_stream() {
+        let mut g = generator(WorkloadProfile::oltp(), 3);
+        // Advance an odd number of ops so a migratory read/write pair is
+        // likely split across the snapshot point (pending non-empty).
+        for _ in 0..1001 {
+            g.next_op();
+        }
+        let mut w = SnapWriter::new();
+        g.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = generator(WorkloadProfile::oltp(), 3);
+        let mut r = SnapReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.ops_generated(), g.ops_generated());
+        for _ in 0..2000 {
+            assert_eq!(g.next_op(), restored.next_op());
         }
     }
 

@@ -1,0 +1,156 @@
+//! Restore-equivalence matrix for the engine snapshot plane.
+//!
+//! The acceptance bar of the snapshot subsystem: a run cut at *any*
+//! checkpoint and resumed on a freshly built system produces a
+//! [`RunReport`] that is equal **field for field** — runtime cycles,
+//! miss/reissue/traffic statistics, engine high-water marks,
+//! `events_delivered`, violations — to the uninterrupted run. The matrix
+//! crosses all four protocols with several seeds and several checkpoint
+//! cadences (so the cut lands at different phases of the run: warm-up,
+//! steady state, drain), plus a faulted row, a corruption row, and the
+//! pinned 317430-event benchmark configuration restored mid-run.
+
+use token_coherence::prelude::*;
+use token_coherence::system::{RunReport, System};
+use token_coherence::types::{FaultSpec, SystemConfig};
+use token_coherence::workloads::WorkloadProfile;
+
+use tc_testkit::Scenario;
+
+/// Asserts two reports are equal field for field, naming the field that
+/// diverged (a bare `assert_eq!` on the whole struct drowns the diff).
+fn assert_reports_identical(context: &str, a: &RunReport, b: &RunReport) {
+    assert_eq!(a.protocol, b.protocol, "{context}: protocol");
+    assert_eq!(a.topology, b.topology, "{context}: topology");
+    assert_eq!(a.bandwidth, b.bandwidth, "{context}: bandwidth");
+    assert_eq!(a.workload, b.workload, "{context}: workload");
+    assert_eq!(a.num_nodes, b.num_nodes, "{context}: num_nodes");
+    assert_eq!(
+        a.runtime_cycles, b.runtime_cycles,
+        "{context}: runtime_cycles"
+    );
+    assert_eq!(a.total_ops, b.total_ops, "{context}: total_ops");
+    assert_eq!(
+        a.total_transactions, b.total_transactions,
+        "{context}: total_transactions"
+    );
+    assert_eq!(a.misses, b.misses, "{context}: misses");
+    assert_eq!(a.reissue, b.reissue, "{context}: reissue");
+    assert_eq!(a.controllers, b.controllers, "{context}: controllers");
+    assert_eq!(a.traffic, b.traffic, "{context}: traffic");
+    assert_eq!(a.faults, b.faults, "{context}: faults");
+    assert_eq!(a.engine, b.engine, "{context}: engine");
+    assert_eq!(a.violations, b.violations, "{context}: violations");
+    // Belt and braces: PartialEq over the whole struct catches any field
+    // added later but forgotten above.
+    assert_eq!(a, b, "{context}: full report");
+}
+
+/// All four protocols x seeds x checkpoint cadences: the interrupted-and-
+/// resumed run must reproduce the uninterrupted report exactly.
+#[test]
+fn resume_matrix_is_bit_identical_across_protocols_seeds_and_cadences() {
+    let scenario = Scenario::by_name("hot_block_contention").expect("standard scenario");
+    let ops = 300;
+    for protocol in ProtocolKind::ALL {
+        for seed in [2, 12] {
+            let baseline = scenario.run_faulted(protocol, seed, ops, FaultSpec::none());
+            // Early cut (warm-up) and late cut (steady state / drain).
+            for cadence in [500u64, 3_000] {
+                let resumed = scenario.run_resumed(protocol, seed, ops, FaultSpec::none(), cadence);
+                assert_reports_identical(
+                    &format!("{protocol} seed {seed} cadence {cadence}"),
+                    &baseline,
+                    &resumed,
+                );
+            }
+        }
+    }
+}
+
+/// Restore-equivalence holds with an active fault plane: the plane's RNG
+/// position and fault statistics travel in the snapshot, so the resumed
+/// run drops/duplicates/reorders exactly the messages the uninterrupted
+/// one does. TokenB is the protocol whose contract tolerates every fault
+/// class.
+#[test]
+fn resume_is_bit_identical_under_fault_injection() {
+    let scenario = Scenario::by_name("hot_block_contention").expect("standard scenario");
+    let faults = FaultSpec::parse("drop=0.002,dup=0.002").expect("valid spec");
+    let baseline = scenario.run_faulted(ProtocolKind::TokenB, 12, 300, faults);
+    let resumed = scenario.run_resumed(ProtocolKind::TokenB, 12, 300, faults, 4_000);
+    assert_reports_identical("tokenb faulted", &baseline, &resumed);
+}
+
+/// The determinism pin, checkable from a snapshot: the benchmark
+/// configuration (TokenB, OLTP, 4 nodes, 20k ops/node, seed 12) restored
+/// at a mid-run checkpoint still lands on exactly 317430 delivered events.
+#[test]
+fn pinned_benchmark_configuration_resumes_to_the_pinned_event_count() {
+    let config = SystemConfig::isca03_default()
+        .with_nodes(4)
+        .with_protocol(ProtocolKind::TokenB)
+        .with_seed(12);
+    let profile = WorkloadProfile::oltp();
+    let options = token_coherence::system::RunOptions {
+        ops_per_node: 20_000,
+        max_cycles: 1_000_000_000,
+        ..Default::default()
+    }
+    .with_checkpoint_every(100_000);
+
+    let mut snapshot: Option<(u64, Vec<u8>)> = None;
+    let mut full = System::build(&config, &profile);
+    let baseline = full.run_with_checkpoints(options, &mut |at, bytes| {
+        // Keep the latest snapshot: the deepest cut is the harshest test.
+        snapshot = Some((at, bytes.to_vec()));
+    });
+    assert_eq!(full.events_delivered(), 317_430, "uninterrupted pin");
+    let (at, bytes) = snapshot.expect("a 317k-event run must cross the 100k cadence");
+    assert!(at >= 100_000);
+
+    let mut resumed = System::build(&config, &profile);
+    let progress = resumed.restore(&options, &bytes).expect("restore");
+    assert_eq!(resumed.events_delivered(), at);
+    let report = resumed.resume(options, progress);
+    assert_eq!(resumed.events_delivered(), 317_430, "resumed pin");
+    assert_reports_identical("pinned benchmark", &baseline, &report);
+}
+
+/// A snapshot with a flipped byte is rejected by the seal checksum — a
+/// structured error, never a garbled restore.
+#[test]
+fn corrupted_snapshot_is_rejected_by_the_checksum() {
+    let scenario = Scenario::by_name("hot_block_contention").expect("standard scenario");
+    let config = scenario.config(ProtocolKind::Directory, 7);
+    let options = scenario.run_options().with_checkpoint_every(2_000);
+
+    let mut snapshot: Option<Vec<u8>> = None;
+    System::build(&config, &scenario.workload).run_with_checkpoints(options, &mut |_, bytes| {
+        if snapshot.is_none() {
+            snapshot = Some(bytes.to_vec());
+        }
+    });
+    let clean = snapshot.expect("at least one checkpoint");
+
+    // Flip one byte in the middle of the payload: every such corruption
+    // must surface as an error from restore, not a panic or a silent
+    // mis-restore.
+    let mut corrupt = clean.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    let err = System::build(&config, &scenario.workload)
+        .restore(&options, &corrupt)
+        .expect_err("corrupt snapshot must not restore");
+    let message = err.to_string();
+    assert!(
+        message.contains("checksum") || message.contains("corrupt"),
+        "unexpected error: {message}"
+    );
+
+    // The clean bytes still restore fine (the corruption test didn't
+    // invalidate the baseline).
+    System::build(&config, &scenario.workload)
+        .restore(&options, &clean)
+        .expect("clean snapshot restores");
+}
