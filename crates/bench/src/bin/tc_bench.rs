@@ -50,6 +50,10 @@ fn usage() -> String {
          (see `tc-bench run-one --help`... run with no args for its usage)\n",
     );
     out.push_str(
+        "  hunt           budgeted adversarial-schedule search for persistent-request \
+         pathologies (see `tc-bench hunt --help`)\n",
+    );
+    out.push_str(
         "\noptions:\n  \
          --ops N             memory operations per node (campaign-specific default)\n  \
          --threads N         campaign worker threads (default: all cores)\n  \
@@ -375,6 +379,98 @@ fn run_one(cli: RunOneOptions) {
     }
 }
 
+fn hunt_usage() -> &'static str {
+    "usage: tc-bench hunt [options]\n\n\
+     Budgeted adversarial-schedule search: random probes over the\n\
+     AdversarySpec knobs, then greedy mutation of the worst schedule found,\n\
+     scored by the pathology objective (worst/p99 miss latency, reissue and\n\
+     persistent-request pressure, completion skew). Deterministic in every\n\
+     option: the same invocation always reports the same outcome. Any\n\
+     verifier violation is shrunk to a minimal replay recipe and fails the\n\
+     command.\n\n\
+     options:\n  \
+     --protocol NAME  protocol to attack (default: tokenb)\n  \
+     --scenario NAME  conformance scenario to perturb (default: hot_block_contention)\n  \
+     --seed N         workload + probe seed (default: 44382)\n  \
+     --budget N       adversarial evaluations to spend (default: 24)\n  \
+     --ops N          memory operations per node per evaluation (default: 200)\n  \
+     --smoke          fixed CI configuration (seed 44382, budget 8, ops 150);\n                   rejects combining with the knobs above\n"
+}
+
+fn parse_hunt(args: &[String]) -> Result<tc_testkit::HuntOptions, String> {
+    let mut options = tc_testkit::HuntOptions::default();
+    let mut smoke = false;
+    let mut tuned = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--protocol" => {
+                let v = value(&mut i)?;
+                options.protocol =
+                    ProtocolKind::by_name(&v).ok_or_else(|| format!("unknown protocol: {v}"))?;
+                tuned = true;
+            }
+            "--scenario" => {
+                options.scenario = value(&mut i)?;
+                tuned = true;
+            }
+            "--seed" => {
+                let v = value(&mut i)?;
+                options.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                tuned = true;
+            }
+            "--budget" => {
+                let v = value(&mut i)?;
+                options.budget = v.parse().map_err(|_| format!("bad --budget value: {v}"))?;
+                if options.budget == 0 {
+                    return Err("--budget must be at least 1".to_string());
+                }
+                tuned = true;
+            }
+            "--ops" => {
+                let v = value(&mut i)?;
+                options.ops_per_node = v.parse().map_err(|_| format!("bad --ops value: {v}"))?;
+                tuned = true;
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown hunt option: {other}")),
+        }
+        i += 1;
+    }
+    if smoke {
+        if tuned {
+            return Err("--smoke fixes every knob; drop the other options".to_string());
+        }
+        // The CI configuration: small, fast, and pinned. CI runs this twice
+        // and diffs the stdout, so everything printed must be deterministic.
+        options.budget = 8;
+        options.ops_per_node = 150;
+    }
+    if tc_testkit::Scenario::by_name(&options.scenario).is_none() {
+        return Err(format!("unknown scenario: {}", options.scenario));
+    }
+    Ok(options)
+}
+
+/// `tc-bench hunt`: the CLI face of the pathology hunter. Prints the
+/// deterministic outcome line (CI diffs two invocations of `--smoke`
+/// against each other) and exits non-zero if the verifier caught a
+/// violation — after printing the shrunk minimal repro.
+fn run_hunt(options: tc_testkit::HuntOptions) {
+    let outcome = tc_testkit::hunt(&options);
+    println!("{outcome}");
+    if outcome.failure.is_some() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let campaign_name = match args.first().map(String::as_str) {
@@ -387,6 +483,20 @@ fn main() {
                 Ok(options) => run_one(options),
                 Err(message) => {
                     eprintln!("{message}\n\n{}", run_one_usage());
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        Some("hunt") => {
+            if args.get(1).map(String::as_str) == Some("--help") {
+                print!("{}", hunt_usage());
+                return;
+            }
+            match parse_hunt(&args[1..]) {
+                Ok(options) => run_hunt(options),
+                Err(message) => {
+                    eprintln!("{message}\n\n{}", hunt_usage());
                     std::process::exit(2);
                 }
             }

@@ -69,6 +69,10 @@ pub struct PersistentArbiter {
     state: ArbiterState,
     queue: VecDeque<QueuedRequest>,
     activations: u64,
+    /// Test-only sabotage: when set, incoming requests are silently
+    /// dropped, manufacturing the starvation the fairness oracle must
+    /// catch. Never set outside the adversarial test harness.
+    sabotaged: bool,
 }
 
 impl PersistentArbiter {
@@ -80,7 +84,13 @@ impl PersistentArbiter {
             state: ArbiterState::Idle,
             queue: VecDeque::new(),
             activations: 0,
+            sabotaged: false,
         }
+    }
+
+    /// Enables or disables test-only sabotage (see the field doc).
+    pub fn set_sabotage(&mut self, on: bool) {
+        self.sabotaged = on;
     }
 
     /// Number of acknowledgements expected for each broadcast: every node
@@ -111,6 +121,11 @@ impl PersistentArbiter {
         requester: NodeId,
         write: bool,
     ) -> Vec<ArbiterAction> {
+        if self.sabotaged {
+            // A broken arbiter that loses requests: the starving node never
+            // hears back, and only the fairness oracle can tell.
+            return Vec::new();
+        }
         let request = QueuedRequest {
             addr,
             requester,
@@ -236,6 +251,7 @@ impl PersistentArbiter {
     /// (node and node count are config-derived).
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.u64(self.activations);
+        w.bool(self.sabotaged);
         let request = |w: &mut SnapWriter, r: &QueuedRequest| {
             w.u64(r.addr.value());
             w.u32(r.requester.index() as u32);
@@ -273,6 +289,7 @@ impl PersistentArbiter {
     /// arbiter.
     pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
         self.activations = r.u64()?;
+        self.sabotaged = r.bool()?;
         let request = |r: &mut SnapReader<'_>| -> Result<QueuedRequest, SnapshotError> {
             Ok(QueuedRequest {
                 addr: BlockAddr::new(r.u64()?),
@@ -432,6 +449,113 @@ mod tests {
         let actions = arb.complete(BlockAddr::new(1), NodeId::new(0));
         assert_eq!(deactivate_addr(&actions), Some(BlockAddr::new(1)));
         assert!(arb.is_idle());
+    }
+
+    /// Satellite fairness property: N nodes competing for ONE block are
+    /// served in exactly the order their persistent requests arrived.
+    #[test]
+    fn competing_requests_on_one_block_are_served_in_arrival_order() {
+        let num_nodes = 6;
+        let block = BlockAddr::new(42);
+        let mut arb = PersistentArbiter::new(NodeId::new(0), num_nodes);
+        // Nodes 5, 3, 1, 4, 2 all starve on the same block, in that order.
+        let arrival_order = [5usize, 3, 1, 4, 2];
+        let mut served = Vec::new();
+        let mut actions = Vec::new();
+        for &n in &arrival_order {
+            actions.extend(arb.request(block, NodeId::new(n), true));
+        }
+        // Drive activation/completion/deactivation cycles until idle.
+        while let Some(ArbiterAction::BroadcastActivate {
+            addr, requester, ..
+        }) = actions.iter().find_map(|a| match a {
+            ArbiterAction::BroadcastActivate { .. } => Some(*a),
+            _ => None,
+        }) {
+            served.push(requester);
+            actions.clear();
+            for n in 1..num_nodes {
+                actions.extend(arb.ack(NodeId::new(n)));
+            }
+            assert!(activate_addr(&actions).is_none(), "no overlapping grants");
+            actions.clear();
+            actions.extend(arb.complete(addr, requester));
+            assert_eq!(deactivate_addr(&actions), Some(addr));
+            actions.clear();
+            for n in 1..num_nodes {
+                actions.extend(arb.ack(NodeId::new(n)));
+            }
+        }
+        assert!(arb.is_idle());
+        let expected: Vec<NodeId> = arrival_order.iter().map(|&n| NodeId::new(n)).collect();
+        assert_eq!(served, expected, "service order must match arrival order");
+    }
+
+    /// Satellite fairness property: with every node re-requesting after
+    /// each grant, no node is served twice before every other waiting node
+    /// has been served once (the round-robin consequence of FIFO).
+    #[test]
+    fn no_node_is_served_twice_before_all_served_once() {
+        let num_nodes = 4;
+        let block = BlockAddr::new(9);
+        let mut arb = PersistentArbiter::new(NodeId::new(0), num_nodes);
+        let mut service_counts = vec![0u32; num_nodes];
+        let mut actions = Vec::new();
+        for n in 0..num_nodes {
+            actions.extend(arb.request(block, NodeId::new(n), true));
+        }
+        for _round in 0..3 {
+            for _grant in 0..num_nodes {
+                let (addr, requester) = arb.active_requester().expect("a grant in flight");
+                service_counts[requester.index()] += 1;
+                let ceiling = *service_counts.iter().max().unwrap();
+                let floor = *service_counts.iter().min().unwrap();
+                assert!(
+                    ceiling - floor <= 1,
+                    "node {requester} served {ceiling} times while another node \
+                     has only {floor}: {service_counts:?}"
+                );
+                actions.clear();
+                for n in 1..num_nodes {
+                    actions.extend(arb.ack(NodeId::new(n)));
+                }
+                actions.extend(arb.complete(addr, requester));
+                // The served node immediately starves again.
+                actions.extend(arb.request(block, requester, true));
+                for n in 1..num_nodes {
+                    actions.extend(arb.ack(NodeId::new(n)));
+                }
+            }
+        }
+        assert!(service_counts.iter().all(|&c| c == 3), "{service_counts:?}");
+    }
+
+    #[test]
+    fn sabotaged_arbiter_drops_requests_silently() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.set_sabotage(true);
+        let actions = arb.request(BlockAddr::new(7), NodeId::new(2), true);
+        assert!(actions.is_empty());
+        assert!(arb.is_idle(), "nothing may be queued or in flight");
+        assert_eq!(arb.activations(), 0);
+        // Disabling sabotage restores normal service.
+        arb.set_sabotage(false);
+        let actions = arb.request(BlockAddr::new(7), NodeId::new(2), true);
+        assert_eq!(activate_addr(&actions), Some(BlockAddr::new(7)));
+    }
+
+    #[test]
+    fn sabotage_flag_survives_a_snapshot_round_trip() {
+        let mut arb = PersistentArbiter::new(NodeId::new(0), 4);
+        arb.set_sabotage(true);
+        let mut w = SnapWriter::new();
+        arb.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = PersistentArbiter::new(NodeId::new(0), 4);
+        restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        assert!(restored
+            .request(BlockAddr::new(1), NodeId::new(1), true)
+            .is_empty());
     }
 
     #[test]

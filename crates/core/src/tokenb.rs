@@ -1173,6 +1173,10 @@ impl CoherenceController for TokenBController {
         self.mshrs.blocks_sorted()
     }
 
+    fn set_arbiter_sabotage(&mut self, on: bool) {
+        self.arbiter.set_sabotage(on);
+    }
+
     fn line_state_stats(&self) -> LineStateStats {
         LineStateStats {
             mshr_peak: self.mshrs.high_water() as u64,

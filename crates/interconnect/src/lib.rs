@@ -47,12 +47,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod fabric;
 pub mod fault;
 pub mod topology;
 pub mod torus;
 pub mod tree;
 
+pub use adversary::Adversary;
 pub use fabric::{Delivery, Interconnect, LinkUtilization};
 pub use fault::FaultPlane;
 pub use topology::{LinkId, RouterId, Topology};

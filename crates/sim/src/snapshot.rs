@@ -21,7 +21,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TCSNAP\x00\x01";
 
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject other versions rather than guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// * v1 — original PR 7 format.
+/// * v2 — verifier payload carries the fairness oracle's outstanding
+///   escalations; runner payload carries miss-latency samples and per-node
+///   completion counts (and the adversary plane, when one is armed).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot or journal could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -361,6 +366,21 @@ pub enum JournalRecord {
         /// Final simulated cycle.
         cycle: u64,
     },
+    /// A starvation violation, with enough detail to reconstruct the
+    /// fairness report without the full snapshot: who starved, on what,
+    /// and for how long.
+    StarvationDetail {
+        /// Engine event count when starvation was declared.
+        events_delivered: u64,
+        /// Simulated cycle when starvation was declared.
+        cycle: u64,
+        /// Index of the starved node.
+        node: u32,
+        /// Block the starved request was for.
+        addr: u64,
+        /// How long the request had waited, in cycles.
+        waited: u64,
+    },
 }
 
 impl JournalRecord {
@@ -369,10 +389,13 @@ impl JournalRecord {
             JournalRecord::Checkpoint { .. } => 0,
             JournalRecord::Violation { .. } => 1,
             JournalRecord::End { .. } => 2,
+            JournalRecord::StarvationDetail { .. } => 3,
         }
     }
 
-    fn fields(&self) -> (u64, u64) {
+    /// Encodes the record body (tag byte included, checksum excluded).
+    fn encode_body(&self, body: &mut Vec<u8>) {
+        body.push(self.tag());
         match *self {
             JournalRecord::Checkpoint {
                 events_delivered,
@@ -385,15 +408,69 @@ impl JournalRecord {
             | JournalRecord::End {
                 events_delivered,
                 cycle,
-            } => (events_delivered, cycle),
+            } => {
+                body.extend_from_slice(&events_delivered.to_le_bytes());
+                body.extend_from_slice(&cycle.to_le_bytes());
+            }
+            JournalRecord::StarvationDetail {
+                events_delivered,
+                cycle,
+                node,
+                addr,
+                waited,
+            } => {
+                body.extend_from_slice(&events_delivered.to_le_bytes());
+                body.extend_from_slice(&cycle.to_le_bytes());
+                body.extend_from_slice(&node.to_le_bytes());
+                body.extend_from_slice(&addr.to_le_bytes());
+                body.extend_from_slice(&waited.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes a checksum-verified body. `None` means the record kind (or
+    /// its layout) is unknown to this build — a *newer* writer appended it
+    /// — and the loader should skip it rather than declare the file torn.
+    fn decode_body(body: &[u8]) -> Option<JournalRecord> {
+        let le_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
+        match body[0] {
+            tag @ 0..=2 if body.len() == 17 => {
+                let events_delivered = le_u64(&body[1..9]);
+                let cycle = le_u64(&body[9..17]);
+                Some(match tag {
+                    0 => JournalRecord::Checkpoint {
+                        events_delivered,
+                        cycle,
+                    },
+                    1 => JournalRecord::Violation {
+                        events_delivered,
+                        cycle,
+                    },
+                    _ => JournalRecord::End {
+                        events_delivered,
+                        cycle,
+                    },
+                })
+            }
+            3 if body.len() == 37 => Some(JournalRecord::StarvationDetail {
+                events_delivered: le_u64(&body[1..9]),
+                cycle: le_u64(&body[9..17]),
+                node: u32::from_le_bytes(body[17..21].try_into().unwrap()),
+                addr: le_u64(&body[21..29]),
+                waited: le_u64(&body[29..37]),
+            }),
+            _ => None,
         }
     }
 }
 
 /// Append-only record of a run's progress between snapshots: checkpoints
 /// taken, violations seen, and the final event count. Each record is
-/// individually checksummed, so a journal truncated by a crash loads
-/// every record up to the tear and reports how many survived.
+/// individually framed (`len u8 | body | fnv1a64(body) u64`, where
+/// `body[0]` is the record tag) and checksummed, so a journal truncated
+/// by a crash loads every record up to the tear, and a record kind this
+/// build does not know — appended by a newer writer — is skipped rather
+/// than mistaken for corruption.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RunJournal {
     records: Vec<JournalRecord>,
@@ -418,56 +495,44 @@ impl RunJournal {
     /// Serializes every record as a framed, per-record-checksummed stream.
     pub fn as_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.records.len() * 26);
+        let mut body = Vec::with_capacity(64);
         for record in &self.records {
-            let (events, cycle) = record.fields();
-            let mut body = [0u8; 17];
-            body[0] = record.tag();
-            body[1..9].copy_from_slice(&events.to_le_bytes());
-            body[9..17].copy_from_slice(&cycle.to_le_bytes());
+            body.clear();
+            record.encode_body(&mut body);
+            debug_assert!(!body.is_empty() && body.len() <= usize::from(u8::MAX));
+            out.push(body.len() as u8);
             out.extend_from_slice(&body);
             out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
         }
         out
     }
 
-    /// Loads a journal, keeping every intact record before the first
-    /// torn or corrupt one. Returns the journal and whether a tear was
-    /// detected (a crashed run legitimately leaves one).
+    /// Loads a journal, keeping every intact record before the first torn
+    /// one. Returns the journal and whether a tear was detected (a crashed
+    /// run legitimately leaves one). A record whose checksum verifies but
+    /// whose kind is unknown was written by a newer build: it is skipped
+    /// and the load continues — framing makes that safe.
     pub fn load(bytes: &[u8]) -> (Self, bool) {
         let mut journal = RunJournal::new();
-        let mut chunks = bytes.chunks_exact(25);
+        let mut pos = 0;
         let mut torn = false;
-        for chunk in &mut chunks {
-            let body = &chunk[..17];
-            let want = u64::from_le_bytes(chunk[17..25].try_into().unwrap());
+        while pos < bytes.len() {
+            let len = usize::from(bytes[pos]);
+            if len == 0 || bytes.len() - pos < 1 + len + 8 {
+                torn = true;
+                break;
+            }
+            let body = &bytes[pos + 1..pos + 1 + len];
+            let want =
+                u64::from_le_bytes(bytes[pos + 1 + len..pos + 1 + len + 8].try_into().unwrap());
             if fnv1a64(body) != want {
                 torn = true;
                 break;
             }
-            let events = u64::from_le_bytes(body[1..9].try_into().unwrap());
-            let cycle = u64::from_le_bytes(body[9..17].try_into().unwrap());
-            let record = match body[0] {
-                0 => JournalRecord::Checkpoint {
-                    events_delivered: events,
-                    cycle,
-                },
-                1 => JournalRecord::Violation {
-                    events_delivered: events,
-                    cycle,
-                },
-                2 => JournalRecord::End {
-                    events_delivered: events,
-                    cycle,
-                },
-                _ => {
-                    torn = true;
-                    break;
-                }
-            };
-            journal.append(record);
-        }
-        if !chunks.remainder().is_empty() {
-            torn = true;
+            pos += 1 + len + 8;
+            if let Some(record) = JournalRecord::decode_body(body) {
+                journal.append(record);
+            }
         }
         (journal, torn)
     }
@@ -583,11 +648,77 @@ mod tests {
         assert!(torn);
         assert_eq!(partial.records(), &journal.records()[..2]);
 
-        // A corrupted record stops the load at the corruption point.
+        // A corrupted record body stops the load at the corruption point
+        // (frames are 26 bytes for the 17-byte-body kinds; byte 27 is
+        // inside the second record's body).
+        let mut bad = bytes.clone();
+        bad[27] ^= 0xFF;
+        let (partial, torn) = RunJournal::load(&bad);
+        assert!(torn);
+        assert_eq!(partial.records(), &journal.records()[..1]);
+
+        // A corrupted length byte desynchronizes the stream: also a tear.
         let mut bad = bytes.clone();
         bad[26] ^= 0xFF;
         let (partial, torn) = RunJournal::load(&bad);
         assert!(torn);
         assert_eq!(partial.records(), &journal.records()[..1]);
+    }
+
+    #[test]
+    fn starvation_detail_round_trips() {
+        let mut journal = RunJournal::new();
+        journal.append(JournalRecord::StarvationDetail {
+            events_delivered: 5_000,
+            cycle: 77_000,
+            node: 3,
+            addr: 42,
+            waited: 60_000,
+        });
+        journal.append(JournalRecord::End {
+            events_delivered: 6_000,
+            cycle: 80_000,
+        });
+        let (loaded, torn) = RunJournal::load(&journal.as_bytes());
+        assert!(!torn);
+        assert_eq!(loaded, journal);
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_skipped_not_torn() {
+        let mut journal = RunJournal::new();
+        journal.append(JournalRecord::Checkpoint {
+            events_delivered: 100,
+            cycle: 10,
+        });
+        journal.append(JournalRecord::End {
+            events_delivered: 200,
+            cycle: 20,
+        });
+        let bytes = journal.as_bytes();
+
+        // Splice a well-formed frame with a future record kind (tag 200)
+        // between the two known records, as a newer writer would.
+        let future_body = [200u8, 1, 2, 3, 4, 5];
+        let mut spliced = bytes[..26].to_vec();
+        spliced.push(future_body.len() as u8);
+        spliced.extend_from_slice(&future_body);
+        spliced.extend_from_slice(&fnv1a64(&future_body).to_le_bytes());
+        spliced.extend_from_slice(&bytes[26..]);
+
+        let (loaded, torn) = RunJournal::load(&spliced);
+        assert!(!torn, "a valid unknown kind must not read as a tear");
+        assert_eq!(loaded.records(), journal.records());
+
+        // A known tag with an impossible body length is likewise a layout
+        // from some other build: skipped, not torn.
+        let short_known = [0u8, 9, 9];
+        let mut spliced = bytes.to_vec();
+        spliced.push(short_known.len() as u8);
+        spliced.extend_from_slice(&short_known);
+        spliced.extend_from_slice(&fnv1a64(&short_known).to_le_bytes());
+        let (loaded, torn) = RunJournal::load(&spliced);
+        assert!(!torn);
+        assert_eq!(loaded.records(), journal.records());
     }
 }

@@ -490,6 +490,15 @@ pub struct MissLatencyRow {
     pub misses: u64,
     /// Average miss latency in nanoseconds.
     pub avg_latency_ns: f64,
+    /// Median end-to-end miss latency in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile end-to-end miss latency in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Worst end-to-end miss latency in nanoseconds.
+    pub max_latency_ns: u64,
+    /// Per-node completion-share skew in parts per million (0 = perfectly
+    /// fair).
+    pub completion_skew_ppm: u64,
     /// Percentage of misses served cache-to-cache.
     pub cache_to_cache_pct: f64,
     /// Percentage of misses that needed at least one reissue or a persistent
@@ -505,6 +514,10 @@ impl MissLatencyRow {
             label: run.label.clone(),
             misses: misses.total_misses(),
             avg_latency_ns: misses.average_miss_latency(),
+            p50_latency_ns: run.report.miss_latency_p50,
+            p99_latency_ns: run.report.miss_latency_p99,
+            max_latency_ns: run.report.miss_latency_max,
+            completion_skew_ppm: run.report.completion_skew_ppm,
             cache_to_cache_pct: 100.0 * misses.cache_to_cache_fraction(),
             reissued_pct: once + more + persistent,
         }
@@ -654,13 +667,29 @@ impl CampaignReport {
     /// Renders the miss-latency aggregate as an aligned text table.
     pub fn render_miss_latency_table(&self, title: &str) -> String {
         let mut out = format!(
-            "{title}\n{:<38} {:>10} {:>14} {:>12} {:>10}\n",
-            "configuration", "misses", "avg lat (ns)", "c2c misses", "reissued"
+            "{title}\n{:<38} {:>10} {:>14} {:>9} {:>9} {:>9} {:>10} {:>12} {:>10}\n",
+            "configuration",
+            "misses",
+            "avg lat (ns)",
+            "p50",
+            "p99",
+            "max",
+            "skew ppm",
+            "c2c misses",
+            "reissued"
         );
         for row in self.miss_latency_rows() {
             out.push_str(&format!(
-                "{:<38} {:>10} {:>14.1} {:>11.1}% {:>9.2}%\n",
-                row.label, row.misses, row.avg_latency_ns, row.cache_to_cache_pct, row.reissued_pct
+                "{:<38} {:>10} {:>14.1} {:>9} {:>9} {:>9} {:>10} {:>11.1}% {:>9.2}%\n",
+                row.label,
+                row.misses,
+                row.avg_latency_ns,
+                row.p50_latency_ns,
+                row.p99_latency_ns,
+                row.max_latency_ns,
+                row.completion_skew_ppm,
+                row.cache_to_cache_pct,
+                row.reissued_pct
             ));
         }
         out
@@ -677,6 +706,7 @@ impl CampaignReport {
         w.field_u64("ops_per_node", self.options.ops_per_node);
         w.field_u64("max_cycles", self.options.max_cycles);
         w.field_str("faults", &self.options.faults.to_string());
+        w.field_str("adversary", &self.options.adversary.to_string());
         w.field_f64("wall_seconds", self.wall_seconds, 3);
         w.key("runs");
         w.open('[');
@@ -694,6 +724,10 @@ impl CampaignReport {
             w.field_f64("cycles_per_transaction", r.cycles_per_transaction(), 2);
             w.field_u64("misses", r.misses.total_misses());
             w.field_f64("avg_miss_latency_ns", r.misses.average_miss_latency(), 2);
+            w.field_u64("miss_latency_p50_ns", r.miss_latency_p50);
+            w.field_u64("miss_latency_p99_ns", r.miss_latency_p99);
+            w.field_u64("miss_latency_max_ns", r.miss_latency_max);
+            w.field_u64("completion_skew_ppm", r.completion_skew_ppm);
             w.field_f64("bytes_per_miss", r.bytes_per_miss(), 2);
             w.field_u64("events_delivered", r.engine.events_delivered);
             w.field_u64("peak_state_entries", r.engine.state.total_entries());
@@ -709,6 +743,14 @@ impl CampaignReport {
                 w.field_u64("reissue_timeouts", fs.reissue_timeouts);
                 w.field_u64("persistent_activations", fs.persistent_activations);
                 w.field_u64("max_recovery_ns", fs.max_recovery_ns);
+            }
+            if !r.adversary.is_none() {
+                w.field_str("adversary", &r.adversary.to_string());
+                let adv = &r.engine.adversary;
+                w.field_u64("adversary_reordered", adv.reordered);
+                w.field_u64("adversary_targeted", adv.targeted);
+                w.field_u64("adversary_stormed", adv.stormed);
+                w.field_u64("adversary_max_skew_ns", adv.max_skew_ns);
             }
             w.field_u64("violations", r.violations.len() as u64);
             w.close('}');
@@ -743,6 +785,10 @@ impl CampaignReport {
             w.field_str("label", &row.label);
             w.field_u64("misses", row.misses);
             w.field_f64("avg_latency_ns", row.avg_latency_ns, 2);
+            w.field_u64("p50_latency_ns", row.p50_latency_ns);
+            w.field_u64("p99_latency_ns", row.p99_latency_ns);
+            w.field_u64("max_latency_ns", row.max_latency_ns);
+            w.field_u64("completion_skew_ppm", row.completion_skew_ppm);
             w.field_f64("cache_to_cache_pct", row.cache_to_cache_pct, 2);
             w.field_f64("reissued_pct", row.reissued_pct, 3);
             w.close('}');

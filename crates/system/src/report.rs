@@ -3,8 +3,9 @@
 use std::fmt;
 
 use tc_types::{
-    BandwidthMode, ControllerStats, Cycle, EngineStats, FaultSpec, InvariantViolation, MissStats,
-    ProtocolKind, ReissueStats, TopologyKind, TrafficClass, TrafficStats,
+    AdversarySpec, BandwidthMode, ControllerStats, Cycle, EngineStats, FaultSpec,
+    InvariantViolation, MissStats, ProtocolKind, ReissueStats, TopologyKind, TrafficClass,
+    TrafficStats,
 };
 
 /// Traffic normalized per miss, broken down by message class, as in
@@ -76,6 +77,20 @@ pub struct RunReport {
     /// Fault spec the run executed under ([`FaultSpec::none`] for a
     /// reliable fabric); the matching counters live in `engine.faults`.
     pub faults: FaultSpec,
+    /// Adversarial-scheduling spec the run executed under
+    /// ([`AdversarySpec::none`] for an unperturbed schedule); the matching
+    /// counters live in `engine.adversary`.
+    pub adversary: AdversarySpec,
+    /// Median end-to-end miss latency, in cycles (0 when no miss completed).
+    pub miss_latency_p50: Cycle,
+    /// 99th-percentile end-to-end miss latency, in cycles.
+    pub miss_latency_p99: Cycle,
+    /// Worst end-to-end miss latency, in cycles.
+    pub miss_latency_max: Cycle,
+    /// Completion-share skew across nodes: `(max - min) / mean` per-node
+    /// completed operations, in parts per million. The first-class fairness
+    /// metric — 0 means every node completed the same share of work.
+    pub completion_skew_ppm: u64,
     /// Engine-level high-water marks (queue depth, arena occupancy), for
     /// data-driven bottleneck hunts.
     pub engine: EngineStats,
@@ -166,6 +181,14 @@ impl fmt::Display for RunReport {
             self.misses.average_miss_latency(),
             self.misses.writebacks
         )?;
+        writeln!(
+            f,
+            "  miss latency percentiles: p50 {} / p99 {} / max {} ns; completion skew {} ppm",
+            self.miss_latency_p50,
+            self.miss_latency_p99,
+            self.miss_latency_max,
+            self.completion_skew_ppm
+        )?;
         let [p0, p1, p2, p3] = self.table2_row();
         writeln!(
             f,
@@ -201,6 +224,13 @@ impl fmt::Display for RunReport {
         }
         if !self.faults.is_none() {
             writeln!(f, "  faults ({}): {}", self.faults, self.engine.faults)?;
+        }
+        if !self.adversary.is_none() {
+            writeln!(
+                f,
+                "  adversary ({}): {}",
+                self.adversary, self.engine.adversary
+            )?;
         }
         write!(f, "  violations: {}", self.violations.len())
     }
@@ -239,6 +269,11 @@ mod tests {
             controllers: ControllerStats::new(),
             traffic,
             faults: FaultSpec::none(),
+            adversary: AdversarySpec::none(),
+            miss_latency_p50: 120,
+            miss_latency_p99: 340,
+            miss_latency_max: 400,
+            completion_skew_ppm: 0,
             engine: EngineStats::default(),
             violations: Vec::new(),
         }

@@ -1,12 +1,12 @@
 //! The event-driven system runner.
 
-use tc_interconnect::{FaultPlane, Interconnect};
+use tc_interconnect::{Adversary, FaultPlane, Interconnect};
 use tc_protocols::ProtocolRegistry;
 use tc_sim::{Arena, ArenaRef, EventQueue, SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
-    AccessOutcome, BlockAddr, CoherenceController, ControllerStats, Cycle, EngineStats,
-    FastHashMap, FaultSpec, LineStateStats, Message, MissKind, MissStats, NodeId, Outbox,
-    ProtocolKind, ReissueStats, ReqId, SystemConfig, Timer, TimerKind,
+    AccessOutcome, AdversarySpec, BlockAddr, CoherenceController, ControllerStats, Cycle,
+    EngineStats, FastHashMap, FaultSpec, LineStateStats, Message, MissKind, MissStats, MsgKind,
+    NodeId, Outbox, ProtocolKind, ReissueStats, ReqId, SystemConfig, Timer, TimerKind,
 };
 use tc_workloads::WorkloadProfile;
 
@@ -37,6 +37,11 @@ pub struct RunOptions {
     /// the hot loop untouched. Checkpointing is observational: a run with
     /// checkpoints enabled is bit-identical to the same run without.
     pub checkpoint_every: Option<u64>,
+    /// Adversarial-scheduling spec for the fabric. Like `faults`, the
+    /// default [`AdversarySpec::none`] instantiates no adversary plane at
+    /// all, so unadversarial runs stay bit-identical to runs before the
+    /// adversary existed.
+    pub adversary: AdversarySpec,
 }
 
 impl RunOptions {
@@ -46,11 +51,56 @@ impl RunOptions {
         self
     }
 
+    /// Returns these options with the given adversarial-scheduling spec.
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Returns these options with the given livelock watchdog budget
+    /// (events processed without a completed operation before the run is
+    /// cut off). Clamped to at least 1.
+    pub fn with_livelock_budget(mut self, events: u64) -> Self {
+        self.livelock_events_budget = events.max(1);
+        self
+    }
+
     /// Returns these options with a checkpoint cadence (in delivered
     /// events).
     pub fn with_checkpoint_every(mut self, events: u64) -> Self {
         self.checkpoint_every = Some(events.max(1));
         self
+    }
+
+    /// The fairness oracle's bounded-wait threshold, in cycles: once a
+    /// persistent request activates, the operation behind it must complete
+    /// within this bound or the run carries a structured
+    /// [`tc_types::InvariantViolation::Starvation`].
+    ///
+    /// Derived, not guessed: a generous multiple of the worst service time
+    /// the *configuration* can explain — every node ahead in the arbiter's
+    /// FIFO costing a full persistent-request round trip (link crossings,
+    /// controller hops, a memory access), plus everything the run's fault
+    /// and adversary specs are allowed to add (injected delays, link-outage
+    /// windows, reorder/targeted-delay/storm latitude). Generosity costs
+    /// nothing in detection power: true starvation is *unbounded*, so it
+    /// clears any finite bound; the margin only keeps legal-but-slow
+    /// schedules from false-positiving.
+    pub fn starvation_bound(&self, config: &SystemConfig) -> Cycle {
+        let link = config.interconnect.link_latency_ns;
+        let per_waiter = 8 * link + 2 * config.controller_latency_ns + config.dram_latency_ns;
+        let base = (config.num_nodes as Cycle) * per_waiter;
+        let fault_extra = self.faults.delay_max_ns
+            + self
+                .faults
+                .outages
+                .iter()
+                .flatten()
+                .map(|o| o.until.saturating_sub(o.from))
+                .max()
+                .unwrap_or(0);
+        let adversary_extra = self.adversary.max_extra_delay_ns(link);
+        (base + fault_extra + adversary_extra).saturating_mul(64)
     }
 }
 
@@ -62,6 +112,7 @@ impl Default for RunOptions {
             faults: FaultSpec::none(),
             livelock_events_budget: 50_000_000,
             checkpoint_every: None,
+            adversary: AdversarySpec::none(),
         }
     }
 }
@@ -89,6 +140,11 @@ pub struct RunProgress {
     /// (default) reliable-fabric path takes no extra branches beyond one
     /// `Option` check per send and stays bit-identical.
     fault_plane: Option<FaultPlane>,
+    /// Same construction discipline as the fault plane: the adversary only
+    /// exists when the spec perturbs something, so
+    /// [`AdversarySpec::none`] runs pay one `Option` check and nothing
+    /// else.
+    adversary_plane: Option<Adversary>,
 }
 
 impl RunProgress {
@@ -102,6 +158,7 @@ impl RunProgress {
             events_since_progress: 0,
             livelock_hit: false,
             fault_plane: RunProgress::build_fault_plane(options, config),
+            adversary_plane: RunProgress::build_adversary_plane(options, config),
         }
     }
 
@@ -118,6 +175,18 @@ impl RunProgress {
         }
     }
 
+    fn build_adversary_plane(options: &RunOptions, config: &SystemConfig) -> Option<Adversary> {
+        if options.adversary.is_none() {
+            None
+        } else {
+            Some(Adversary::new(
+                options.adversary,
+                config.seed,
+                config.interconnect.link_latency_ns,
+            ))
+        }
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         w.bool(self.draining);
         w.bool(self.drain_limit_hit);
@@ -127,6 +196,9 @@ impl RunProgress {
         w.u64(self.events_since_progress);
         w.bool(self.livelock_hit);
         w.option(self.fault_plane.as_ref(), |w, plane| plane.save_state(w));
+        w.option(self.adversary_plane.as_ref(), |w, plane| {
+            plane.save_state(w)
+        });
     }
 
     fn load_state(
@@ -152,6 +224,16 @@ impl RunProgress {
             plane.load_state(r)?;
             Ok(plane)
         })?;
+        let adversary_plane = r.option(|r| {
+            let mut plane =
+                RunProgress::build_adversary_plane(options, config).ok_or_else(|| {
+                    SnapshotError::Corrupt(
+                        "snapshot has an adversary plane but the options perturb nothing".into(),
+                    )
+                })?;
+            plane.load_state(r)?;
+            Ok(plane)
+        })?;
         Ok(RunProgress {
             draining,
             drain_limit_hit,
@@ -161,6 +243,7 @@ impl RunProgress {
             events_since_progress,
             livelock_hit,
             fault_plane,
+            adversary_plane,
         })
     }
 }
@@ -219,6 +302,18 @@ pub struct System {
     /// Worst end-to-end miss latency observed, reported as the worst-case
     /// recovery latency when fault injection is active.
     max_miss_latency: Cycle,
+    /// Every completed miss's end-to-end latency, for the report's
+    /// p50/p99/max percentiles. Bounded by the op count, not the event
+    /// count, so a full OLTP calibration stays in the hundreds of
+    /// kilobytes.
+    miss_latency_samples: Vec<Cycle>,
+    /// Operations completed per node (hits and misses), the input to the
+    /// report's completion-share skew — the fairness metric the adversary
+    /// tries to maximize.
+    completions_per_node: Vec<u64>,
+    /// The fairness oracle's bounded-wait threshold for this run, set from
+    /// [`RunOptions::starvation_bound`] when a run starts.
+    starvation_bound: Cycle,
     /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
     /// block is printed to stderr — the deterministic replay makes this a
     /// complete causal trace of one block's protocol activity, and the
@@ -295,6 +390,9 @@ impl System {
             scratch_out: Outbox::new(),
             arrival_buf: Vec::new(),
             max_miss_latency: 0,
+            miss_latency_samples: Vec::new(),
+            completions_per_node: vec![0; config.num_nodes],
+            starvation_bound: Cycle::MAX,
             trace_block: std::env::var("TC_TRACE_BLOCK")
                 .ok()
                 .and_then(|v| v.parse().ok())
@@ -387,6 +485,15 @@ impl System {
     ) {
         let target_total = options.ops_per_node * self.config.num_nodes as u64;
         let drain_limit = options.max_cycles.saturating_mul(2);
+        self.starvation_bound = options.starvation_bound(&self.config);
+        if options.adversary.sabotage != 0 {
+            // Test-only arbiter sabotage, aimed at the victim node's
+            // controller: the starvation oracle must catch what this
+            // breaks. Applied at loop entry so resumed runs and replays
+            // re-arm it (idempotent).
+            let victim = options.adversary.victim_node as usize % self.config.num_nodes;
+            self.controllers[victim].set_arbiter_sabotage(true);
+        }
         let mut next_checkpoint = options
             .checkpoint_every
             .map(|k| (self.queue.total_delivered() / k + 1) * k);
@@ -461,12 +568,24 @@ impl System {
                     if self.trace_block == Some(msg.addr) {
                         eprintln!("[{now}] SEND {msg} kind={:?}", msg.kind);
                     }
+                    if matches!(msg.kind, MsgKind::PersistentRequest { .. }) {
+                        // Fairness oracle: the bounded-wait clock starts at
+                        // the first persistent request a (node, block) pair
+                        // puts on the wire.
+                        self.verifier
+                            .note_persistent_request(msg.src, msg.addr, now);
+                    }
                     let mut arrivals = std::mem::take(&mut self.arrival_buf);
                     self.interconnect.send_arrivals(now, &msg, &mut arrivals);
                     if let Some(plane) = progress.fault_plane.as_mut() {
                         if msg.reissue {
                             plane.stats_mut().reissue_timeouts += 1;
                         }
+                        plane.apply(now, &msg, &mut arrivals);
+                    }
+                    if let Some(plane) = progress.adversary_plane.as_mut() {
+                        // After the fault plane: the adversary perturbs the
+                        // arrivals that actually survived injection.
                         plane.apply(now, &msg, &mut arrivals);
                     }
                     // Park the payload once, shared by every delivery of
@@ -536,6 +655,10 @@ impl System {
             }
         };
 
+        // Fairness oracle: anything still escalated after the drain is
+        // checked against the bound before the liveness audit runs.
+        self.verifier
+            .sweep_escalations(self.queue.now(), self.starvation_bound);
         self.final_audit(
             progress.drain_limit_hit,
             progress
@@ -568,6 +691,40 @@ impl System {
             fault_stats.max_recovery_ns = self.max_miss_latency;
         }
 
+        // Miss-latency percentiles over every completed miss. Sorted in
+        // place: the run is over and the samples have no other consumer.
+        self.miss_latency_samples.sort_unstable();
+        let percentile = |p: usize| -> Cycle {
+            match self.miss_latency_samples.len() {
+                0 => 0,
+                n => self.miss_latency_samples[(n - 1) * p / 100],
+            }
+        };
+        let (miss_latency_p50, miss_latency_p99) = (percentile(50), percentile(99));
+        let miss_latency_max = self.miss_latency_samples.last().copied().unwrap_or(0);
+
+        // Completion-share skew: (max - min) per-node completions relative
+        // to the mean, in parts per million. Zero on a perfectly fair run;
+        // the adversary's objective is to drive it up.
+        let total_completions: u64 = self.completions_per_node.iter().sum();
+        let completion_skew_ppm = if total_completions == 0 {
+            0
+        } else {
+            let most = *self.completions_per_node.iter().max().unwrap();
+            let least = *self.completions_per_node.iter().min().unwrap();
+            let mean = total_completions / self.completions_per_node.len() as u64;
+            (most - least)
+                .saturating_mul(1_000_000)
+                .checked_div(mean)
+                .unwrap_or(0)
+        };
+
+        let adversary_stats = progress
+            .adversary_plane
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
+
         RunReport {
             protocol: self.config.protocol,
             topology: self.config.interconnect.topology,
@@ -582,6 +739,11 @@ impl System {
             controllers,
             traffic: self.interconnect.traffic().clone(),
             faults: options.faults,
+            adversary: options.adversary,
+            miss_latency_p50,
+            miss_latency_p99,
+            miss_latency_max,
+            completion_skew_ppm,
             engine: EngineStats {
                 peak_queue_depth: self.queue.max_depth() as u64,
                 peak_arena_occupancy: self.messages.high_water() as u64,
@@ -589,6 +751,7 @@ impl System {
                 arena_accounting_errors: self.messages.accounting_errors(),
                 state: line_state,
                 faults: fault_stats,
+                adversary: adversary_stats,
             },
             violations: self.verifier.violations().to_vec(),
         }
@@ -604,6 +767,8 @@ impl System {
         w.u64(self.fingerprint(options));
         w.u64(self.completed_ops);
         w.u64(self.max_miss_latency);
+        w.seq(self.miss_latency_samples.iter(), |w, &s| w.u64(s));
+        w.seq(self.completions_per_node.iter(), |w, &c| w.u64(c));
         self.queue.save_state(&mut w, emit_system_event);
         self.messages.save_state(&mut w, |w, msg| msg.save_state(w));
         self.interconnect.save_state(&mut w);
@@ -648,6 +813,21 @@ impl System {
         }
         self.completed_ops = r.u64()?;
         self.max_miss_latency = r.u64()?;
+        let num_samples = r.bounded_len(8)?;
+        self.miss_latency_samples = Vec::with_capacity(num_samples);
+        for _ in 0..num_samples {
+            self.miss_latency_samples.push(r.u64()?);
+        }
+        let num_counts = r.bounded_len(8)?;
+        if num_counts != self.completions_per_node.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has completion counts for {num_counts} nodes, system has {}",
+                self.completions_per_node.len()
+            )));
+        }
+        for count in &mut self.completions_per_node {
+            *count = r.u64()?;
+        }
         self.queue = EventQueue::load_state(&mut r, read_system_event)?;
         self.messages = Arena::load_state(&mut r, Message::load_state)?;
         self.interconnect.load_state(&mut r)?;
@@ -691,13 +871,14 @@ impl System {
     /// one cadence restores fine under another (or under none).
     fn fingerprint(&self, options: &RunOptions) -> u64 {
         let key = format!(
-            "{:?}|{:?}|{}|{}|{:?}|{}",
+            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}",
             self.config,
             self.workload,
             options.ops_per_node,
             options.max_cycles,
             options.faults,
-            options.livelock_events_budget
+            options.livelock_events_budget,
+            options.adversary
         );
         tc_sim::fnv1a64(key.as_bytes())
     }
@@ -739,6 +920,7 @@ impl System {
                     } => {
                         self.processors[node.index()].note_hit(issue_time);
                         self.completed_ops += 1;
+                        self.completions_per_node[node.index()] += 1;
                         let done_at = issue_time + latency;
                         if is_write {
                             self.verifier.record_write(node, block, version, done_at);
@@ -787,9 +969,17 @@ impl System {
                 .schedule(at.max(now), SystemEvent::Timer { node, timer });
         }
         for completion in out.completions.drain(..) {
-            self.max_miss_latency = self
-                .max_miss_latency
-                .max(completion.completed_at.saturating_sub(completion.issued_at));
+            let latency = completion.completed_at.saturating_sub(completion.issued_at);
+            self.max_miss_latency = self.max_miss_latency.max(latency);
+            self.miss_latency_samples.push(latency);
+            // Fairness oracle: a completion on this (node, block) pair
+            // stops its bounded-wait clock, if one was running.
+            self.verifier.note_completion(
+                node,
+                completion.addr,
+                completion.completed_at,
+                self.starvation_bound,
+            );
             // Classify by the original operation, not the miss: a store that
             // merged into a read miss is still a store.
             let is_write = self
@@ -815,6 +1005,7 @@ impl System {
             let outcome = self.processors[node.index()].note_completion(completion.req_id, now);
             if outcome.completed {
                 self.completed_ops += 1;
+                self.completions_per_node[node.index()] += 1;
             }
             if outcome.was_blocked {
                 self.queue.schedule(now + 1, SystemEvent::Wakeup(node));

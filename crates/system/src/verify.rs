@@ -79,6 +79,11 @@ pub struct Verifier {
     /// deterministic-but-unordered `FastHashMap` is safe and keeps the
     /// per-completed-operation lookup off the BTree pointer chase.
     history: FastHashMap<BlockAddr, BlockHistory>,
+    /// Fairness oracle: persistent-request escalations currently outstanding,
+    /// `(node, block) -> cycle the persistent request was first observed`.
+    /// Keyed access plus sorted iteration at sweep/save time, so the
+    /// unordered map stays deterministic.
+    escalations: FastHashMap<(NodeId, BlockAddr), Cycle>,
     violations: Vec<InvariantViolation>,
     reads_checked: u64,
     writes_recorded: u64,
@@ -208,7 +213,66 @@ impl Verifier {
             addr,
             issued_at,
             at,
+            waited: at.saturating_sub(issued_at),
         });
+    }
+
+    /// Fairness oracle: notes that `node` escalated to a persistent request
+    /// for `addr` at time `at`. Only the *first* observation per `(node,
+    /// block)` pair is kept — reissued persistent requests for the same
+    /// stuck operation must not reset the waiting clock, or a protocol
+    /// could launder starvation through periodic reissue.
+    pub fn note_persistent_request(&mut self, node: NodeId, addr: BlockAddr, at: Cycle) {
+        self.escalations.entry((node, addr)).or_insert(at);
+    }
+
+    /// Fairness oracle: notes that `node`'s operation on `addr` completed at
+    /// `at`. If a persistent request had been observed for the pair and the
+    /// time from escalation to completion exceeds `bound`, a
+    /// [`InvariantViolation::Starvation`] is recorded — the request *did*
+    /// eventually finish, but not within the bounded-wait guarantee the
+    /// persistent-request machinery is supposed to provide.
+    pub fn note_completion(&mut self, node: NodeId, addr: BlockAddr, at: Cycle, bound: Cycle) {
+        if let Some(issued_at) = self.escalations.remove(&(node, addr)) {
+            let waited = at.saturating_sub(issued_at);
+            if waited > bound {
+                self.violations.push(InvariantViolation::Starvation {
+                    node,
+                    addr,
+                    issued_at,
+                    at,
+                    waited,
+                });
+            }
+        }
+    }
+
+    /// Fairness oracle: end-of-run sweep. Every escalation still outstanding
+    /// at `at` that has already waited longer than `bound` is starved —
+    /// whether or not the run's drain loop would eventually have completed
+    /// it. Entries are drained in `(node, block)` order so repeated runs
+    /// report violations in a stable order.
+    pub fn sweep_escalations(&mut self, at: Cycle, bound: Cycle) {
+        let mut outstanding: Vec<((NodeId, BlockAddr), Cycle)> = self.escalations.drain().collect();
+        outstanding.sort_unstable_by_key(|((node, addr), _)| (node.index(), addr.value()));
+        for ((node, addr), issued_at) in outstanding {
+            let waited = at.saturating_sub(issued_at);
+            if waited > bound {
+                self.violations.push(InvariantViolation::Starvation {
+                    node,
+                    addr,
+                    issued_at,
+                    at,
+                    waited,
+                });
+            }
+        }
+    }
+
+    /// Number of persistent-request escalations the fairness oracle is still
+    /// tracking (not yet completed or swept).
+    pub fn escalations_outstanding(&self) -> usize {
+        self.escalations.len()
     }
 
     /// Records a deadlock violation (the drain limit was hit with a request
@@ -271,6 +335,14 @@ impl Verifier {
             });
         });
         w.seq(self.violations.iter(), emit_violation);
+        let mut escalations: Vec<(&(NodeId, BlockAddr), &Cycle)> =
+            self.escalations.iter().collect();
+        escalations.sort_unstable_by_key(|((node, addr), _)| (node.index(), addr.value()));
+        w.seq(escalations.into_iter(), |w, ((node, addr), at)| {
+            w.u32(node.index() as u32);
+            w.u64(addr.value());
+            w.u64(*at);
+        });
     }
 
     /// Restores [`Verifier::save_state`] bytes.
@@ -292,6 +364,14 @@ impl Verifier {
         self.violations = Vec::with_capacity(violation_count);
         for _ in 0..violation_count {
             self.violations.push(read_violation(r)?);
+        }
+        let escalation_count = r.bounded_len(20)?;
+        self.escalations.clear();
+        for _ in 0..escalation_count {
+            let node = NodeId::new(r.u32()? as usize);
+            let addr = BlockAddr::new(r.u64()?);
+            let at = r.u64()?;
+            self.escalations.insert((node, addr), at);
         }
         Ok(())
     }
@@ -357,17 +437,22 @@ fn emit_violation(w: &mut SnapWriter, v: &InvariantViolation) {
             w.u64(expected_version);
             w.u64(at);
         }
+        // Tag 6 was the four-field Starvation without `waited`; tag 9 is the
+        // five-field replacement. Tag 6 is still *read* (below) for
+        // compatibility with pre-existing snapshots, never written.
         InvariantViolation::Starvation {
             node,
             addr,
             issued_at,
             at,
+            waited,
         } => {
-            w.u8(6);
+            w.u8(9);
             w.u32(node.index() as u32);
             w.u64(addr.value());
             w.u64(issued_at);
             w.u64(at);
+            w.u64(waited);
         }
         InvariantViolation::Livelock {
             node,
@@ -433,12 +518,20 @@ fn read_violation(r: &mut SnapReader<'_>) -> Result<InvariantViolation, Snapshot
             expected_version: r.u64()?,
             at: r.u64()?,
         },
-        6 => InvariantViolation::Starvation {
-            node: NodeId::new(r.u32()? as usize),
-            addr: BlockAddr::new(r.u64()?),
-            issued_at: r.u64()?,
-            at: r.u64()?,
-        },
+        6 => {
+            // Legacy four-field Starvation: derive the wait it implied.
+            let node = NodeId::new(r.u32()? as usize);
+            let addr = BlockAddr::new(r.u64()?);
+            let issued_at = r.u64()?;
+            let at = r.u64()?;
+            InvariantViolation::Starvation {
+                node,
+                addr,
+                issued_at,
+                at,
+                waited: at.saturating_sub(issued_at),
+            }
+        }
         7 => InvariantViolation::Livelock {
             node: NodeId::new(r.u32()? as usize),
             addr: BlockAddr::new(r.u64()?),
@@ -451,6 +544,13 @@ fn read_violation(r: &mut SnapReader<'_>) -> Result<InvariantViolation, Snapshot
             addr: BlockAddr::new(r.u64()?),
             issued_at: r.u64()?,
             at: r.u64()?,
+        },
+        9 => InvariantViolation::Starvation {
+            node: NodeId::new(r.u32()? as usize),
+            addr: BlockAddr::new(r.u64()?),
+            issued_at: r.u64()?,
+            at: r.u64()?,
+            waited: r.u64()?,
         },
         other => return Err(SnapshotError::Corrupt(format!("violation tag {other}"))),
     })
@@ -650,7 +750,121 @@ mod tests {
         v.record_starvation(NodeId::new(3), BlockAddr::new(9), 100, 90_000);
         assert!(matches!(
             v.into_violations()[0],
-            InvariantViolation::Starvation { .. }
+            InvariantViolation::Starvation { waited: 89_900, .. }
         ));
+    }
+
+    #[test]
+    fn completion_within_bound_clears_escalation() {
+        let mut v = Verifier::new();
+        v.note_persistent_request(NodeId::new(1), BlockAddr::new(5), 1_000);
+        assert_eq!(v.escalations_outstanding(), 1);
+        v.note_completion(NodeId::new(1), BlockAddr::new(5), 3_000, 10_000);
+        assert_eq!(v.escalations_outstanding(), 0);
+        assert!(v.violations().is_empty());
+    }
+
+    #[test]
+    fn late_completion_is_starvation() {
+        let mut v = Verifier::new();
+        v.note_persistent_request(NodeId::new(1), BlockAddr::new(5), 1_000);
+        v.note_completion(NodeId::new(1), BlockAddr::new(5), 20_001, 10_000);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::Starvation {
+                issued_at: 1_000,
+                at: 20_001,
+                waited: 19_001,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reissue_does_not_reset_the_waiting_clock() {
+        let mut v = Verifier::new();
+        v.note_persistent_request(NodeId::new(2), BlockAddr::new(7), 1_000);
+        // A reissued persistent request for the same stuck op arrives later;
+        // the clock must keep running from the first escalation.
+        v.note_persistent_request(NodeId::new(2), BlockAddr::new(7), 9_000);
+        v.note_completion(NodeId::new(2), BlockAddr::new(7), 12_001, 11_000);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::Starvation {
+                issued_at: 1_000,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sweep_flags_only_overdue_escalations() {
+        let mut v = Verifier::new();
+        v.note_persistent_request(NodeId::new(3), BlockAddr::new(1), 100);
+        v.note_persistent_request(NodeId::new(0), BlockAddr::new(2), 49_000);
+        v.sweep_escalations(50_000, 10_000);
+        assert_eq!(v.escalations_outstanding(), 0);
+        // Only the first (waited 49_900 > 10_000) starved; violations come
+        // out in (node, block) order.
+        assert_eq!(v.violations().len(), 1);
+        assert!(matches!(
+            v.violations()[0],
+            InvariantViolation::Starvation {
+                issued_at: 100,
+                waited: 49_900,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn completions_without_escalation_are_ignored() {
+        let mut v = Verifier::new();
+        v.note_completion(NodeId::new(0), BlockAddr::new(1), 5_000, 10);
+        assert!(v.violations().is_empty());
+    }
+
+    #[test]
+    fn escalations_and_waited_survive_a_snapshot_round_trip() {
+        let mut v = Verifier::new();
+        v.note_persistent_request(NodeId::new(1), BlockAddr::new(5), 1_000);
+        v.note_persistent_request(NodeId::new(2), BlockAddr::new(6), 2_000);
+        v.record_starvation(NodeId::new(3), BlockAddr::new(9), 100, 90_000);
+        let mut w = SnapWriter::new();
+        v.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Verifier::new();
+        restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored.escalations_outstanding(), 2);
+        assert!(matches!(
+            restored.violations()[0],
+            InvariantViolation::Starvation { waited: 89_900, .. }
+        ));
+        // The restored oracle still holds the original escalation times.
+        restored.note_completion(NodeId::new(1), BlockAddr::new(5), 50_000, 10_000);
+        assert_eq!(restored.violations().len(), 2);
+    }
+
+    #[test]
+    fn legacy_tag6_starvation_still_decodes() {
+        // Hand-rolled pre-`waited` wire bytes: tag 6 with four fields.
+        let mut w = SnapWriter::new();
+        w.u8(6);
+        w.u32(4);
+        w.u64(11);
+        w.u64(200);
+        w.u64(90_200);
+        let bytes = w.into_bytes();
+        let v = read_violation(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(
+            v,
+            InvariantViolation::Starvation {
+                node: NodeId::new(4),
+                addr: BlockAddr::new(11),
+                issued_at: 200,
+                at: 90_200,
+                waited: 90_000,
+            }
+        );
     }
 }

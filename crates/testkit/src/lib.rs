@@ -34,19 +34,22 @@
 //!   asserting token conservation after every step, independent of the
 //!   system runner.
 
+mod hunt;
 mod pump;
 mod scenario;
 
+pub use hunt::{hunt, pathology_catalog, HuntOptions, HuntOutcome, Pathology};
 pub use pump::{token_pump, PumpOptions, PumpOutcome};
 pub use scenario::Scenario;
 
 use std::fmt;
 
 use tc_system::RunReport;
-use tc_types::{FaultKind, FaultSpec, InvariantViolation, ProtocolKind};
+use tc_types::{AdversarySpec, FaultKind, FaultSpec, InvariantViolation, ProtocolKind};
 
-/// One failing (protocol, scenario, seed, faults) cell of the conformance
-/// sweep. `faults` is `FaultSpec::none()` for the reliable-fabric sweep.
+/// One failing (protocol, scenario, seed, faults, adversary) cell of the
+/// conformance sweep. `faults` is `FaultSpec::none()` and `adversary` is
+/// `AdversarySpec::none()` for the reliable, unperturbed-fabric sweep.
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Protocol under test.
@@ -59,6 +62,9 @@ pub struct Failure {
     pub ops_per_node: u64,
     /// The fault spec injected during the failing run (shrunk runs thin it).
     pub faults: FaultSpec,
+    /// The adversarial schedule the failing run executed under (shrunk runs
+    /// zero the knobs the failure does not need).
+    pub adversary: AdversarySpec,
     /// The violations the verifier reported.
     pub violations: Vec<InvariantViolation>,
 }
@@ -67,13 +73,25 @@ impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} on scenario '{}' (seed {}, {} ops/node, faults {}) violated:",
-            self.protocol, self.scenario, self.seed, self.ops_per_node, self.faults
+            "{} on scenario '{}' (seed {}, {} ops/node, faults {}, adversary {}) violated:",
+            self.protocol, self.scenario, self.seed, self.ops_per_node, self.faults, self.adversary
         )?;
         for violation in &self.violations {
             writeln!(f, "  - {violation}")?;
         }
-        if self.faults.is_none() {
+        if !self.adversary.is_none() {
+            let faults = if self.faults.is_none() {
+                "FaultSpec::none()".to_string()
+            } else {
+                format!("FaultSpec::parse(\"{}\").unwrap()", self.faults)
+            };
+            write!(
+                f,
+                "  replay: Scenario::by_name(\"{}\").unwrap().run_adversarial(ProtocolKind::{:?}, {}, {}, \
+                 {}, AdversarySpec::parse(\"{}\").unwrap())",
+                self.scenario, self.protocol, self.seed, self.ops_per_node, faults, self.adversary
+            )
+        } else if self.faults.is_none() {
             write!(
                 f,
                 "  replay: Scenario::by_name(\"{}\").unwrap().run_with_ops(ProtocolKind::{:?}, {}, {})",
@@ -125,6 +143,28 @@ pub fn check(
     faults: FaultSpec,
     report: &RunReport,
 ) -> Option<Failure> {
+    check_adversarial(
+        protocol,
+        scenario,
+        seed,
+        ops_per_node,
+        faults,
+        AdversarySpec::none(),
+        report,
+    )
+}
+
+/// [`check`] for runs that also executed under an [`AdversarySpec`] — the
+/// hunter's failure-extraction hook.
+pub fn check_adversarial(
+    protocol: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    ops_per_node: u64,
+    faults: FaultSpec,
+    adversary: AdversarySpec,
+    report: &RunReport,
+) -> Option<Failure> {
     if report.violations.is_empty() {
         None
     } else {
@@ -134,6 +174,7 @@ pub fn check(
             seed,
             ops_per_node,
             faults,
+            adversary,
             violations: report.violations.clone(),
         })
     }
@@ -236,23 +277,52 @@ fn halved(spec: FaultSpec) -> FaultSpec {
     s
 }
 
-/// Shrinks a failure to the smallest `(ops, faults)` pair that still
-/// reproduces it. Operation count first (repeated halving, then a binary
-/// search of the boundary), then the fault schedule: greedily drop whole
-/// fault classes the failure does not need, then halve the intensities of
-/// the surviving classes while the failure persists. Because runs are
-/// deterministic in `(protocol, scenario, seed, ops, faults)`, the result
-/// is a minimal replayable reproduction, not a flaky sample.
+/// Returns `spec` with one adversary knob zeroed — the shrinker's
+/// perturbation-class removal step over the adversarial dimensions.
+fn without_adversary_knob(spec: AdversarySpec, knob: usize) -> AdversarySpec {
+    let mut s = spec;
+    match knob {
+        0 => s.reorder_window = 0,
+        1 => s.target_delay_ns = 0,
+        2 => s.storm_window_ns = 0,
+        _ => s.sabotage = 0,
+    }
+    s
+}
+
+/// Returns `spec` with every adversary intensity knob halved. Fixed point:
+/// the all-zero spec maps to itself. The victim pair and seed are replay
+/// coordinates, not intensities, and stay put.
+fn halved_adversary(spec: AdversarySpec) -> AdversarySpec {
+    let mut s = spec;
+    s.reorder_window /= 2;
+    s.target_delay_ns /= 2;
+    s.storm_window_ns /= 2;
+    s
+}
+
+/// Shrinks a failure to the smallest `(ops, faults, adversary)` triple that
+/// still reproduces it. Operation count first (repeated halving, then a
+/// binary search of the boundary), then the fault schedule: greedily drop
+/// whole fault classes the failure does not need, then halve the intensities
+/// of the surviving classes while the failure persists. The adversarial
+/// schedule shrinks the same way: each perturbation knob is zeroed if the
+/// failure survives without it, then the surviving intensities are halved.
+/// Because runs are deterministic in
+/// `(protocol, scenario, seed, ops, faults, adversary)`, the result is a
+/// minimal replayable reproduction, not a flaky sample.
 pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
     debug_assert_eq!(failure.scenario, scenario.name);
-    let reproduces = |ops: u64, faults: FaultSpec| -> Option<Failure> {
-        let report = scenario.run_faulted(failure.protocol, failure.seed, ops, faults);
-        check(
+    let reproduces = |ops: u64, faults: FaultSpec, adversary: AdversarySpec| -> Option<Failure> {
+        let report =
+            scenario.run_adversarial(failure.protocol, failure.seed, ops, faults, adversary);
+        check_adversarial(
             failure.protocol,
             scenario,
             failure.seed,
             ops,
             faults,
+            adversary,
             &report,
         )
     };
@@ -262,7 +332,7 @@ pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
     let mut ops = failure.ops_per_node;
     while ops > 1 {
         let half = ops / 2;
-        match reproduces(half, best.faults) {
+        match reproduces(half, best.faults, best.adversary) {
             Some(smaller) => {
                 best = smaller;
                 ops = half;
@@ -276,7 +346,7 @@ pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
     let mut hi = best.ops_per_node; // fails
     while lo + 1 < hi {
         let mid = lo + (hi - lo) / 2;
-        match reproduces(mid, best.faults) {
+        match reproduces(mid, best.faults, best.adversary) {
             Some(smaller) => {
                 best = smaller;
                 hi = mid;
@@ -290,17 +360,32 @@ pub fn shrink(failure: &Failure, scenario: &Scenario) -> Failure {
         if !best.faults.enables(class) {
             continue;
         }
-        if let Some(smaller) = reproduces(best.ops_per_node, without_class(best.faults, class)) {
+        if let Some(smaller) = reproduces(
+            best.ops_per_node,
+            without_class(best.faults, class),
+            best.adversary,
+        ) {
             best = smaller;
         }
     }
-    // Phase 4: halve the surviving intensities while the failure persists.
+    // Phase 4: greedy adversary-knob removal, same discipline.
+    for knob in 0..4 {
+        let thinner = without_adversary_knob(best.adversary, knob);
+        if thinner == best.adversary {
+            continue;
+        }
+        if let Some(smaller) = reproduces(best.ops_per_node, best.faults, thinner) {
+            best = smaller;
+        }
+    }
+    // Phase 5: halve the surviving intensities (fault and adversary alike)
+    // while the failure persists.
     loop {
-        let thinner = halved(best.faults);
-        if thinner == best.faults {
+        let thinner = (halved(best.faults), halved_adversary(best.adversary));
+        if thinner == (best.faults, best.adversary) {
             break;
         }
-        match reproduces(best.ops_per_node, thinner) {
+        match reproduces(best.ops_per_node, thinner.0, thinner.1) {
             Some(smaller) => best = smaller,
             None => break,
         }
@@ -370,6 +455,7 @@ mod tests {
             seed: 7,
             ops_per_node: 300,
             faults: FaultSpec::none(),
+            adversary: AdversarySpec::none(),
             violations: vec![InvariantViolation::Deadlock {
                 node: NodeId::new(5),
                 addr: BlockAddr::new(46),
@@ -395,6 +481,7 @@ mod tests {
             seed: 9,
             ops_per_node: 100,
             faults,
+            adversary: AdversarySpec::none(),
             violations: vec![InvariantViolation::Deadlock {
                 node: NodeId::new(1),
                 addr: BlockAddr::new(2),

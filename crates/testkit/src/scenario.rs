@@ -2,7 +2,7 @@
 
 use tc_system::experiment::ExperimentPoint;
 use tc_system::{RunOptions, RunReport, System};
-use tc_types::{Cycle, FaultSpec, ProtocolKind, SystemConfig};
+use tc_types::{AdversarySpec, Cycle, FaultSpec, ProtocolKind, SystemConfig};
 use tc_workloads::WorkloadProfile;
 
 /// A named conformance scenario: a workload plus the system shape that makes
@@ -162,12 +162,28 @@ impl Scenario {
         ops_per_node: u64,
         faults: FaultSpec,
     ) -> RunReport {
+        self.run_adversarial(protocol, seed, ops_per_node, faults, AdversarySpec::none())
+    }
+
+    /// [`Scenario::run_faulted`] under an additional adversarial-scheduling
+    /// spec — the hook the pathology hunter (`crate::hunt`) probes through.
+    /// Deterministic in every argument; `AdversarySpec::none()` makes this
+    /// exactly `run_faulted`.
+    pub fn run_adversarial(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        ops_per_node: u64,
+        faults: FaultSpec,
+        adversary: AdversarySpec,
+    ) -> RunReport {
         let config = self.config(protocol, seed);
         let mut system = System::build(&config, &self.workload);
         system.run(RunOptions {
             ops_per_node,
             max_cycles: self.max_cycles,
             faults,
+            adversary,
             ..RunOptions::default()
         })
     }

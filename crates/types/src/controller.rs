@@ -233,6 +233,16 @@ pub trait CoherenceController: fmt::Debug {
         LineStateStats::default()
     }
 
+    /// Test-only sabotage hook: when enabled, this node's persistent-request
+    /// arbitration silently drops incoming requests, manufacturing exactly
+    /// the starvation the fairness oracle exists to catch. The default does
+    /// nothing — only protocols with persistent-request machinery (TokenB)
+    /// override it, and nothing outside the adversarial test harness should
+    /// ever enable it.
+    fn set_arbiter_sabotage(&mut self, on: bool) {
+        let _ = on;
+    }
+
     /// Serializes this controller's *mutable* state into an engine snapshot
     /// (see `tc_sim::snapshot`). Config-derived state (latencies, home
     /// maps, capacities, geometry) is rebuilt by construction and must not

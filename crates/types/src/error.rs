@@ -115,6 +115,10 @@ pub enum InvariantViolation {
         issued_at: Cycle,
         /// Time of the audit that declared starvation.
         at: Cycle,
+        /// How long the request had been waiting when starvation was
+        /// declared (`at - issued_at`, in cycles). Carried explicitly so
+        /// journal records and fairness reports need no re-derivation.
+        waited: Cycle,
     },
     /// The run made no forward progress for an entire event budget: events
     /// kept flowing (so the drain-limit deadlock detector never fired) but
@@ -193,9 +197,11 @@ impl fmt::Display for InvariantViolation {
                 addr,
                 issued_at,
                 at,
+                waited,
             } => write!(
                 f,
-                "{node} starved on {addr}: issued at cycle {issued_at}, still incomplete at cycle {at}"
+                "{node} starved on {addr}: issued at cycle {issued_at}, still incomplete after \
+                 waiting {waited} cycles at cycle {at}"
             ),
             InvariantViolation::Livelock {
                 node,

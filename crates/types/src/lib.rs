@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod adversary;
 pub mod config;
 pub mod controller;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod message;
 pub mod stats;
 
 pub use addr::{Address, BlockAddr, HomeMap};
+pub use adversary::{AdversaryKind, AdversarySpec, AdversaryStats};
 pub use config::{
     BandwidthMode, CacheConfig, DirectoryMode, InterconnectConfig, ProcessorConfig, ProtocolKind,
     SystemConfig, TokenConfig, TopologyKind,

@@ -454,6 +454,9 @@ pub struct EngineStats {
     /// Fault-injection counters (all zero when the run used
     /// [`FaultSpec::none`](crate::fault::FaultSpec::none)).
     pub faults: crate::fault::FaultStats,
+    /// Adversarial-scheduling counters (all zero when the run used
+    /// [`AdversarySpec::none`](crate::adversary::AdversarySpec::none)).
+    pub adversary: crate::adversary::AdversaryStats,
 }
 
 /// Statistics exported by a coherence controller.

@@ -14,10 +14,11 @@
 //! is hit — fails the sweep.
 
 use token_coherence::prelude::*;
-use token_coherence::types::{FaultKind, FaultSpec, InvariantViolation};
+use token_coherence::types::{AdversarySpec, FaultKind, FaultSpec, InvariantViolation};
 
 use tc_testkit::{
-    failure_report, stress, stress_faulted, token_pump, CapabilityGap, PumpOptions, Scenario,
+    check_adversarial, failure_report, hunt, pathology_catalog, shrink, stress, stress_faulted,
+    token_pump, CapabilityGap, HuntOptions, PumpOptions, Scenario,
 };
 
 /// The fixed seed set for the sweep: 16 seeds, deliberately spanning small
@@ -335,6 +336,158 @@ fn fault_livelock_watchdog_emits_structured_violation() {
         assert!(node.index() < config.num_nodes);
         assert!(*events_without_progress >= 25);
     }
+}
+
+/// The adversary plane's gating contract: a spec that perturbs nothing —
+/// even one carrying a victim pair and a seed — must leave the run
+/// bit-identical to a run with no adversary at all. Everything except the
+/// recorded spec itself has to match structurally; this is the same
+/// discipline that keeps the 317430 events-delivered pin intact.
+#[test]
+fn inert_adversary_spec_runs_bit_identical_to_no_adversary() {
+    let scenario = Scenario::by_name("hot_block_contention").unwrap();
+    let inert = AdversarySpec::none().with_victim(2, 17).with_seed(9);
+    assert!(inert.is_none());
+    let a = scenario.run_adversarial(ProtocolKind::TokenB, 12, 300, FaultSpec::none(), inert);
+    let mut b = scenario.run_with_ops(ProtocolKind::TokenB, 12, 300);
+    assert_eq!(a.adversary, inert, "the report records the spec as given");
+    b.adversary = inert; // the only field allowed to differ
+    assert_eq!(a, b, "an inert spec must not perturb the simulation");
+}
+
+/// The hunter-found pathology scenarios, pinned forever: each known-bad
+/// schedule must keep being survived (zero violations) while demonstrably
+/// firing the adversary machinery — a silent no-op would hollow the pin
+/// out. CI runs every `pathology_` test in release mode as its own step.
+#[test]
+fn pathology_pinned_schedules_run_clean_with_live_adversary_machinery() {
+    let catalog = pathology_catalog();
+    assert!(catalog.len() >= 2, "CI pins at least two pathologies");
+    for pathology in &catalog {
+        let report = pathology.run();
+        assert!(
+            report.verified().is_ok(),
+            "{}: a pinned pathology schedule now violates: {:?}",
+            pathology.name,
+            report.violations
+        );
+        assert_eq!(
+            report.adversary,
+            pathology.adversary(),
+            "{}",
+            pathology.name
+        );
+        assert!(
+            report.engine.adversary.total_perturbed() > 0,
+            "{}: the adversary plane never fired — the pin is inert",
+            pathology.name
+        );
+        assert!(
+            report.engine.adversary.max_skew_ns > 0,
+            "{}: no arrival was actually displaced",
+            pathology.name
+        );
+    }
+}
+
+/// The hunt determinism contract at the conformance level: the exact CI
+/// smoke configuration replays bit-for-bit (outcome line included, which is
+/// what the CI step diffs), and stock TokenB survives the whole search with
+/// zero violations.
+#[test]
+fn pathology_hunt_smoke_configuration_is_bit_for_bit_reproducible() {
+    let options = HuntOptions {
+        budget: 8,
+        ops_per_node: 150,
+        ..HuntOptions::default()
+    };
+    let a = hunt(&options);
+    let b = hunt(&options);
+    assert_eq!(a.to_string(), b.to_string(), "hunt outcome must replay");
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_objective, b.best_objective);
+    assert!(
+        a.failure.is_none(),
+        "stock TokenB must survive the full hunt: {a}"
+    );
+    assert!(a.best_objective >= a.baseline_objective);
+}
+
+/// The oracle's positive control: a deliberately broken arbiter (the
+/// test-only sabotage knob silently drops persistent requests at the victim
+/// node) must be *caught* by the starvation/fairness oracle as a structured
+/// `Starvation` violation, and the shrinker must hand back a minimal
+/// `(ops, adversary)` repro that still carries the sabotage — proof the
+/// fairness machinery detects exactly the failure class it was built for,
+/// not merely that healthy runs pass.
+#[test]
+fn pathology_sabotaged_arbiter_is_caught_and_shrunk_by_the_starvation_oracle() {
+    let scenario = Scenario::by_name("hot_block_contention").unwrap();
+    // Message loss is what drives requesters into the persistent-request
+    // machinery at all (fault-free contention resolves at the transient
+    // level); the sabotage then swallows the escalations at one arbiter.
+    // 3000 ops/node keeps the other nodes busy long past the oracle's
+    // bounded-wait horizon, so the victim's wedge is observable as
+    // starvation rather than only as an end-of-run deadlock.
+    let faults = FaultSpec::none().with_drop(0.02);
+    let ops_per_node = 3_000;
+    let (failure, sabotage) = (0..scenario.num_nodes as u32)
+        .flat_map(|victim| [1u64, 2, 12].map(|seed| (victim, seed)))
+        .find_map(|(victim, seed)| {
+            let spec = AdversarySpec::none().with_victim(victim, 0).with_sabotage();
+            let report =
+                scenario.run_adversarial(ProtocolKind::TokenB, seed, ops_per_node, faults, spec);
+            if !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, InvariantViolation::Starvation { .. }))
+            {
+                return None;
+            }
+            check_adversarial(
+                ProtocolKind::TokenB,
+                &scenario,
+                seed,
+                ops_per_node,
+                faults,
+                spec,
+                &report,
+            )
+            .map(|f| (f, spec))
+        })
+        .expect(
+            "no (victim, seed) probe starved under a sabotaged arbiter — \
+             the fairness oracle's positive control is dead",
+        );
+
+    let minimal = shrink(&failure, &scenario);
+    assert!(minimal.ops_per_node <= failure.ops_per_node);
+    assert_ne!(
+        minimal.adversary.sabotage, 0,
+        "shrinking removed the sabotage the failure needs"
+    );
+    assert!(
+        minimal
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::Starvation { .. })),
+        "the minimal repro lost the starvation: {:?}",
+        minimal.violations
+    );
+    // The recipe replays bit-for-bit, violations included.
+    let replay = scenario.run_adversarial(
+        ProtocolKind::TokenB,
+        minimal.seed,
+        minimal.ops_per_node,
+        minimal.faults,
+        minimal.adversary,
+    );
+    assert_eq!(replay.violations, minimal.violations);
+    // And the printed replay recipe names the adversarial entry point.
+    let text = minimal.to_string();
+    assert!(text.contains("run_adversarial"), "{text}");
+    assert!(text.contains("sabotage=1"), "{text}");
+    let _ = sabotage;
 }
 
 /// Replaying a failing seed must be bit-identical: the failure reporter's
