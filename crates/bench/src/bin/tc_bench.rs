@@ -36,6 +36,7 @@ struct CliOptions {
     protocol: Option<ProtocolKind>,
     faults: Option<FaultSpec>,
     json_path: Option<String>,
+    runs_json_path: Option<String>,
     record_path: Option<String>,
     serial_baseline: bool,
 }
@@ -54,6 +55,12 @@ fn usage() -> String {
          pathologies (see `tc-bench hunt --help`)\n",
     );
     out.push_str(
+        "  serve          host the resident campaign service (see `tc-bench serve --help`)\n  \
+         submit         expand a campaign and submit it to a running service\n  \
+         status         print a running service's status page\n  \
+         shutdown       drain and stop a running service\n",
+    );
+    out.push_str(
         "\noptions:\n  \
          --ops N             memory operations per node (campaign-specific default)\n  \
          --threads N         campaign worker threads (default: all cores)\n  \
@@ -61,6 +68,7 @@ fn usage() -> String {
          --protocol NAME     keep only points of one protocol\n  \
          --faults SPEC       inject faults, e.g. drop=0.01,dup=0.005,reorder=4,link=2-5@1000..5000\n                      (points carrying their own spec, e.g. faultsweep's, keep it)\n  \
          --json PATH         write the campaign report as JSON\n  \
+         --runs-json PATH    write one NDJSON line per run (the campaign service's wire format)\n  \
          --record PATH       (sweep64) merge wall-clock fields into a BENCH_engine.json-style file\n  \
          --serial-baseline   (sweep64) also run with one thread, verify bit-identical reports,\n                      and record the parallel speedup\n",
     );
@@ -77,6 +85,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
         protocol: None,
         faults: None,
         json_path: None,
+        runs_json_path: None,
         record_path: None,
         serial_baseline: false,
     };
@@ -119,6 +128,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                     Some(FaultSpec::parse(&v).map_err(|e| format!("bad --faults value: {e}"))?);
             }
             "--json" => options.json_path = Some(value(&mut i)?),
+            "--runs-json" => options.runs_json_path = Some(value(&mut i)?),
             "--record" => options.record_path = Some(value(&mut i)?),
             "--serial-baseline" => options.serial_baseline = true,
             other => return Err(format!("unknown option: {other}")),
@@ -471,6 +481,259 @@ fn run_hunt(options: tc_testkit::HuntOptions) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Campaign service subcommands
+// ---------------------------------------------------------------------------
+
+/// Address the client subcommands default to, matching `serve`'s default.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7533";
+
+fn serve_usage() -> &'static str {
+    "usage: tc-bench serve [options]\n\n\
+     Hosts the resident campaign service: submissions arrive as JSON over\n\
+     HTTP, wait in a priority job queue, run on a worker pool, and stream\n\
+     back as NDJSON — with a dedup result cache keyed on the full\n\
+     determinism tuple, so repeated sweeps are free. Runs until a client\n\
+     sends `tc-bench shutdown` (queued jobs finish first).\n\n\
+     options:\n  \
+     --addr HOST:PORT  bind address (default: 127.0.0.1:7533; port 0 picks one)\n  \
+     --workers N       jobs simulated concurrently (default: 2)\n  \
+     --cache PATH      persist the result cache here across restarts\n"
+}
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut options = tc_serve::ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--addr" => options.addr = value(&mut i)?,
+            "--workers" => {
+                let v = value(&mut i)?;
+                options.workers = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
+                if options.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--cache" => options.cache_path = Some(std::path::PathBuf::from(value(&mut i)?)),
+            other => return Err(format!("unknown serve option: {other}")),
+        }
+        i += 1;
+    }
+    let workers = options.workers;
+    let server = tc_serve::Server::bind(options).map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(warning) = &server.cache_warning {
+        eprintln!("{warning}");
+    }
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("tc-serve listening on {addr} ({workers} workers)");
+    let stats = server.run().map_err(|e| format!("server error: {e}"))?;
+    eprintln!(
+        "drained: {} jobs completed, {} failed; {} points run, {} served from cache; \
+         {} cache entries",
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.points_run,
+        stats.points_cached,
+        stats.cache_entries
+    );
+    Ok(())
+}
+
+fn submit_usage() -> String {
+    let mut out = String::from(
+        "usage: tc-bench submit <campaign> [options]\n\n\
+         Expands a campaign into explicit experiment points (exactly as the\n\
+         one-shot path would run them) and submits it to a running\n\
+         `tc-bench serve`, streaming each run line to stdout as it lands.\n\ncampaigns:\n",
+    );
+    for spec in CAMPAIGNS {
+        if spec.name != "table1" {
+            out.push_str(&format!("  {:<14} {}\n", spec.name, spec.about));
+        }
+    }
+    out.push_str(
+        "\noptions:\n  \
+         --addr HOST:PORT  service address (default: 127.0.0.1:7533)\n  \
+         --priority LEVEL  queue priority: low, normal, or high (default: normal)\n  \
+         --ops N           memory operations per node (campaign-specific default)\n  \
+         --workload NAME   restrict figure campaigns to one workload\n  \
+         --protocol NAME   keep only points of one protocol\n  \
+         --faults SPEC     campaign-wide fault injection\n  \
+         --runs-json PATH  also write the streamed run lines to PATH\n",
+    );
+    out
+}
+
+/// Expands `campaign` into the exact flattened point list the one-shot path
+/// runs, applying the same filters and rejections.
+fn expand_campaign(
+    campaign: &str,
+    workload: Option<&WorkloadProfile>,
+    protocol: Option<ProtocolKind>,
+) -> Result<Vec<ExperimentPoint>, String> {
+    let Some(spec) = resolve_campaign(campaign) else {
+        return Err(format!("unknown campaign: {campaign}"));
+    };
+    if spec.name == "table1" {
+        return Err("table1 is a static parameter table; nothing to simulate".to_string());
+    }
+    if workload.is_some() && !spec.name.starts_with("fig") {
+        return Err(format!(
+            "--workload applies only to the figure campaigns; {} runs a fixed workload set",
+            spec.name
+        ));
+    }
+    let mut sections =
+        campaign_sections(spec.name, workload).expect("campaign resolved but has no sections");
+    if let Some(protocol) = protocol {
+        if spec.name == "scalability" {
+            return Err(
+                "--protocol does not apply to scalability (its table compares protocols)"
+                    .to_string(),
+            );
+        }
+        for section in &mut sections {
+            section.points.retain(|p| p.config.protocol == protocol);
+        }
+        sections.retain(|s| !s.points.is_empty());
+        if sections.is_empty() {
+            return Err("no points left after --protocol filter".to_string());
+        }
+    }
+    Ok(sections.into_iter().flat_map(|s| s.points).collect())
+}
+
+fn run_submit(args: &[String]) -> Result<(), String> {
+    let Some(campaign) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("submit needs a campaign name".to_string());
+    };
+    let campaign = campaign.clone();
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut priority = tc_types::JobPriority::default();
+    let mut ops: Option<u64> = None;
+    let mut workload: Option<WorkloadProfile> = None;
+    let mut protocol: Option<ProtocolKind> = None;
+    let mut faults: Option<FaultSpec> = None;
+    let mut runs_json: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--addr" => addr = value(&mut i)?,
+            "--priority" => {
+                let v = value(&mut i)?;
+                priority = tc_types::JobPriority::parse(&v)?;
+            }
+            "--ops" => {
+                let v = value(&mut i)?;
+                ops = Some(v.parse().map_err(|_| format!("bad --ops value: {v}"))?);
+            }
+            "--workload" => {
+                let v = value(&mut i)?;
+                workload = Some(
+                    WorkloadProfile::by_name(&v).ok_or_else(|| format!("unknown workload: {v}"))?,
+                );
+            }
+            "--protocol" => {
+                let v = value(&mut i)?;
+                protocol = Some(
+                    ProtocolKind::by_name(&v).ok_or_else(|| format!("unknown protocol: {v}"))?,
+                );
+            }
+            "--faults" => {
+                let v = value(&mut i)?;
+                faults =
+                    Some(FaultSpec::parse(&v).map_err(|e| format!("bad --faults value: {e}"))?);
+            }
+            "--runs-json" => runs_json = Some(value(&mut i)?),
+            other => return Err(format!("unknown submit option: {other}")),
+        }
+        i += 1;
+    }
+
+    let points = expand_campaign(&campaign, workload.as_ref(), protocol)?;
+    // `run_options` keys defaults off the canonical name, not an alias;
+    // expand_campaign already proved the campaign resolves.
+    let spec_name = resolve_campaign(&campaign)
+        .expect("campaign resolved above")
+        .name;
+    let options = run_options(
+        spec_name,
+        &CliOptions {
+            ops,
+            threads: 1,
+            workload,
+            protocol,
+            faults,
+            json_path: None,
+            runs_json_path: None,
+            record_path: None,
+            serial_baseline: false,
+        },
+    );
+    let submission = tc_serve::Submission {
+        priority,
+        options,
+        points,
+    };
+    eprintln!(
+        "submitting {} points to {addr} (priority {})",
+        submission.points.len(),
+        priority.name()
+    );
+    let mut captured = String::new();
+    let outcome = tc_serve::submit(&addr, &submission, |line| {
+        println!("{line}");
+        if runs_json.is_some() {
+            captured.push_str(line);
+            captured.push('\n');
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(path) = &runs_json {
+        std::fs::write(path, captured).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    eprintln!(
+        "{}: {} points — {} run, {} served from cache",
+        outcome.job, outcome.points, outcome.ran, outcome.cache_hits
+    );
+    Ok(())
+}
+
+/// Parses the lone `--addr` option the status/shutdown subcommands take.
+fn parse_addr_only(subcommand: &str, args: &[String]) -> Result<String, String> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--addr requires a value".to_string())?;
+            }
+            other => return Err(format!("unknown {subcommand} option: {other}")),
+        }
+        i += 1;
+    }
+    Ok(addr)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let campaign_name = match args.first().map(String::as_str) {
@@ -498,6 +761,54 @@ fn main() {
                 Err(message) => {
                     eprintln!("{message}\n\n{}", hunt_usage());
                     std::process::exit(2);
+                }
+            }
+            return;
+        }
+        Some("serve") => {
+            if args.get(1).map(String::as_str) == Some("--help") {
+                print!("{}", serve_usage());
+                return;
+            }
+            if let Err(message) = run_serve(&args[1..]) {
+                eprintln!("{message}\n\n{}", serve_usage());
+                std::process::exit(2);
+            }
+            return;
+        }
+        Some("submit") => {
+            if args.get(1).map(String::as_str) == Some("--help") || args.len() == 1 {
+                print!("{}", submit_usage());
+                return;
+            }
+            if let Err(message) = run_submit(&args[1..]) {
+                eprintln!("submit failed: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("status") => {
+            match parse_addr_only("status", &args[1..]).and_then(|addr| {
+                tc_serve::status(&addr).map_err(|e| format!("cannot reach {addr}: {e}"))
+            }) {
+                Ok(page) => print!("{page}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        Some("shutdown") => {
+            match parse_addr_only("shutdown", &args[1..]).and_then(|addr| {
+                tc_serve::shutdown(&addr)
+                    .map(|()| addr.clone())
+                    .map_err(|e| format!("cannot reach {addr}: {e}"))
+            }) {
+                Ok(addr) => eprintln!("service at {addr} is draining"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    std::process::exit(1);
                 }
             }
             return;
@@ -617,6 +928,17 @@ fn main() {
     );
     if let Some(path) = &cli.json_path {
         std::fs::write(path, report.to_json()).expect("write campaign JSON");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &cli.runs_json_path {
+        // One line per run in submission order — byte-identical to what the
+        // campaign service streams for the same points (pinned by CI).
+        let mut out = String::new();
+        for run in &report.runs {
+            out.push_str(&tc_system::run_to_json(&run.label, &run.report));
+            out.push('\n');
+        }
+        std::fs::write(path, out).expect("write runs NDJSON");
         eprintln!("wrote {path}");
     }
     if let Err((label, violation)) = report.verified() {

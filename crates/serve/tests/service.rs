@@ -1,0 +1,289 @@
+//! End-to-end tests for the campaign service: a real server on a real
+//! socket, real HTTP round trips, and the three contracts the subsystem
+//! exists for — served results byte-identical to one-shot output,
+//! identical resubmission served entirely from cache, and a poisoned
+//! submission leaving the queue serving.
+
+use std::thread::JoinHandle;
+
+use tc_serve::{ServeOptions, ServeStats, Server, Submission};
+use tc_system::{run_to_json, Campaign, ExperimentPoint, RunOptions};
+use tc_types::{FaultSpec, JobPriority, ProtocolKind, SystemConfig};
+use tc_workloads::WorkloadProfile;
+
+fn tiny_options() -> RunOptions {
+    RunOptions {
+        ops_per_node: 250,
+        max_cycles: 20_000_000,
+        ..RunOptions::default()
+    }
+}
+
+fn small_points() -> Vec<ExperimentPoint> {
+    [
+        ProtocolKind::TokenB,
+        ProtocolKind::Directory,
+        ProtocolKind::Hammer,
+    ]
+    .iter()
+    .map(|&protocol| {
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(protocol)
+            .with_seed(7);
+        config.l2.size_bytes = 256 * 1024;
+        ExperimentPoint::new(
+            format!("{protocol}-served"),
+            config,
+            WorkloadProfile::specjbb(),
+        )
+    })
+    .collect()
+}
+
+fn submission(points: Vec<ExperimentPoint>) -> Submission {
+    Submission {
+        priority: JobPriority::Normal,
+        options: tiny_options(),
+        points,
+    }
+}
+
+/// One-shot reference lines: what `tc-bench --runs-json` would write.
+fn one_shot_lines(points: Vec<ExperimentPoint>) -> Vec<String> {
+    Campaign::new(points)
+        .options(tiny_options())
+        .threads(2)
+        .run()
+        .runs
+        .iter()
+        .map(|run| format!("{}\n", run_to_json(&run.label, &run.report)))
+        .collect()
+}
+
+fn start_server(options: ServeOptions) -> (String, JoinHandle<ServeStats>) {
+    let server = Server::bind(options).expect("bind on an ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+#[test]
+fn served_results_are_byte_identical_and_resubmission_hits_the_cache() {
+    let cache_dir = std::env::temp_dir().join(format!("tc-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    let cache_path = cache_dir.join("results.snap");
+    let (addr, handle) = start_server(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_path: Some(cache_path.clone()),
+    });
+
+    let expected = one_shot_lines(small_points());
+
+    // First submission: everything simulated, streamed lines byte-identical
+    // to the one-shot renderer's output.
+    let mut lines = Vec::new();
+    let outcome = tc_serve::submit(&addr, &submission(small_points()), |line| {
+        lines.push(format!("{line}\n"));
+    })
+    .expect("first submission");
+    assert_eq!(lines, expected);
+    assert_eq!(outcome.points, 3);
+    assert_eq!(outcome.ran, 3);
+    assert_eq!(outcome.cache_hits, 0);
+
+    // Second, identical submission: served entirely from cache, still
+    // byte-identical.
+    let mut cached_lines = Vec::new();
+    let outcome = tc_serve::submit(&addr, &submission(small_points()), |line| {
+        cached_lines.push(format!("{line}\n"));
+    })
+    .expect("second submission");
+    assert_eq!(cached_lines, expected);
+    assert_eq!(outcome.ran, 0);
+    assert_eq!(outcome.cache_hits, 3);
+
+    // Same physics under different labels: still all cache hits, and the
+    // served lines carry the *new* labels.
+    let relabeled: Vec<ExperimentPoint> = small_points()
+        .into_iter()
+        .map(|mut p| {
+            p.label = format!("renamed-{}", p.label);
+            p
+        })
+        .collect();
+    let mut renamed_lines = Vec::new();
+    let outcome = tc_serve::submit(&addr, &submission(relabeled), |line| {
+        renamed_lines.push(line.to_string());
+    })
+    .expect("relabeled submission");
+    assert_eq!(outcome.ran, 0);
+    assert_eq!(outcome.cache_hits, 3);
+    for (line, expected) in renamed_lines.iter().zip(&expected) {
+        assert!(line.contains("\"label\":\"renamed-"), "{line}");
+        // Identical except for the label field.
+        let strip = |s: &str| {
+            let rest = s.split_once(",\"protocol\"").unwrap().1.to_string();
+            rest
+        };
+        assert_eq!(strip(line), strip(expected.trim_end()));
+    }
+
+    // The status page knows about the jobs and the cache.
+    let status = tc_serve::status(&addr).expect("status");
+    assert!(status.contains("job-1"), "{status}");
+    assert!(status.contains("job-3"), "{status}");
+    assert!(status.contains("cache: 3 entries"), "{status}");
+
+    tc_serve::shutdown(&addr).expect("shutdown");
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.jobs_completed, 3);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.points_run, 3);
+    assert_eq!(stats.points_cached, 6);
+    assert_eq!(stats.cache_entries, 3);
+
+    // A restarted server restores the persisted cache: the same submission
+    // is served without simulating anything.
+    let (addr, handle) = start_server(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_path: Some(cache_path),
+    });
+    let mut restored_lines = Vec::new();
+    let outcome = tc_serve::submit(&addr, &submission(small_points()), |line| {
+        restored_lines.push(format!("{line}\n"));
+    })
+    .expect("post-restart submission");
+    assert_eq!(outcome.ran, 0);
+    assert_eq!(outcome.cache_hits, 3);
+    assert_eq!(restored_lines, expected);
+    tc_serve::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+#[test]
+fn poisoned_submissions_are_rejected_and_the_queue_keeps_serving() {
+    let (addr, handle) = start_server(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_path: None,
+    });
+
+    // A bad workload name is rejected with a structured, field-addressed
+    // error before it reaches the queue.
+    let bad_workload = submission(small_points())
+        .to_json()
+        .replace("\"SPECjbb\"", "\"notaworkload\"");
+    let err = tc_serve::submit_json(&addr, &bad_workload, |_| {}).expect_err("must reject");
+    assert!(err.message.contains("notaworkload"), "{err}");
+    assert!(err.message.contains("workload"), "{err}");
+
+    // So is a bad protocol name.
+    let bad_protocol = submission(small_points())
+        .to_json()
+        .replace("\"Hammer\"", "\"Sledgehammer\"");
+    let err = tc_serve::submit_json(&addr, &bad_protocol, |_| {}).expect_err("must reject");
+    assert!(err.message.contains("Sledgehammer"), "{err}");
+
+    // And plain JSON garbage.
+    let err = tc_serve::submit_json(&addr, "{not json", |_| {}).expect_err("must reject");
+    assert!(err.message.contains("invalid JSON"), "{err}");
+
+    // A configuration that passes validation but panics at build time (a
+    // cache geometry that does not divide into sets) fails its *job* with
+    // a structured error — it must not take the worker down.
+    let mut poisoned = small_points();
+    poisoned[1].config.l1.size_bytes = 192; // 3 lines, 4-way: indivisible
+    let err = tc_serve::submit(&addr, &submission(poisoned), |_| {}).expect_err("job must fail");
+    assert!(err.message.contains("failed"), "{err}");
+
+    // The queue is still serving: a good submission right after runs fine.
+    let mut lines = Vec::new();
+    let outcome = tc_serve::submit(&addr, &submission(small_points()), |line| {
+        lines.push(format!("{line}\n"));
+    })
+    .expect("queue must keep serving after a poisoned job");
+    assert_eq!(outcome.ran + outcome.cache_hits, 3);
+    assert_eq!(lines.len(), 3);
+
+    tc_serve::shutdown(&addr).expect("shutdown");
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.jobs_failed, 1);
+    assert!(stats.jobs_completed >= 1);
+
+    // Draining servers refuse new work with a 503.
+    // (The server has already exited; nothing to assert here beyond join.)
+}
+
+#[test]
+fn priorities_and_streaming_hold_under_concurrent_submissions() {
+    let (addr, handle) = start_server(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_path: None,
+    });
+
+    // Four concurrent submissions, mixed priorities, overlapping points.
+    let mut clients = Vec::new();
+    for (i, priority) in [
+        JobPriority::Low,
+        JobPriority::High,
+        JobPriority::Normal,
+        JobPriority::High,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut sub = submission(small_points());
+            sub.priority = priority;
+            // Give two of the jobs a distinct seed so there is real work
+            // beyond the shared points.
+            if i % 2 == 0 {
+                for p in &mut sub.points {
+                    p.config.seed = 100 + i as u64;
+                }
+            }
+            let mut count = 0usize;
+            let outcome = tc_serve::submit(&addr, &sub, |_| count += 1).expect("submission");
+            assert_eq!(count, 3);
+            assert_eq!(outcome.ran + outcome.cache_hits, 3);
+            outcome
+        }));
+    }
+    let outcomes: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    assert_eq!(outcomes.len(), 4);
+
+    tc_serve::shutdown(&addr).expect("shutdown");
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.jobs_completed, 4);
+    // Every point was accounted for exactly once, run or served. (The two
+    // identical-physics jobs only dedup when one *finishes* before the
+    // other starts — with two workers that is a race, so no stronger claim
+    // here; sequential dedup is pinned by the byte-identity test.)
+    assert_eq!(stats.points_run + stats.points_cached, 12, "{stats:?}");
+
+    // Per-point faults ride along and key the cache correctly.
+    let (addr, handle) = start_server(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_path: None,
+    });
+    let mut faulted = submission(small_points());
+    faulted.points[0] = faulted.points[0]
+        .clone()
+        .with_faults(FaultSpec::parse("drop=0.0001,seed=5").unwrap());
+    let outcome = tc_serve::submit(&addr, &faulted, |_| {}).expect("faulted submission");
+    assert_eq!(outcome.ran, 3);
+    let outcome = tc_serve::submit(&addr, &faulted, |_| {}).expect("faulted resubmission");
+    assert_eq!(outcome.cache_hits, 3);
+    tc_serve::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread");
+}

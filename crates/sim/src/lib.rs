@@ -39,6 +39,7 @@ pub use queue::EventQueue;
 pub use rng::DeterministicRng;
 pub use snapshot::{
     fnv1a64, open, seal, JournalRecord, RunJournal, SnapReader, SnapWriter, SnapshotError,
+    SNAPSHOT_VERSION,
 };
 
 /// Simulated time in nanoseconds (equal to processor cycles at 1 GHz).

@@ -326,6 +326,9 @@ impl Campaign {
             sink: F,
             /// First run's cycles/transaction (the normalization baseline).
             baseline: Option<f64>,
+            /// High-water mark of `pending` — the reorder buffer's worst
+            /// occupancy over the run.
+            peak_pending: usize,
             runtime: Vec<RuntimeRow>,
             traffic: Vec<TrafficRow>,
             miss_latency: Vec<MissLatencyRow>,
@@ -335,6 +338,7 @@ impl Campaign {
         impl<F: FnMut(usize, &CampaignRun)> Emitter<F> {
             fn submit(&mut self, index: usize, run: CampaignRun) {
                 self.pending.insert(index, run);
+                self.peak_pending = self.peak_pending.max(self.pending.len());
                 while let Some(run) = self.pending.remove(&self.next_emit) {
                     let index = self.next_emit;
                     self.next_emit += 1;
@@ -360,6 +364,7 @@ impl Campaign {
             pending: std::collections::BTreeMap::new(),
             sink,
             baseline: None,
+            peak_pending: 0,
             runtime: Vec::with_capacity(total),
             traffic: Vec::with_capacity(total),
             miss_latency: Vec::with_capacity(total),
@@ -384,6 +389,7 @@ impl Campaign {
             options: self.options,
             threads: workers,
             wall_seconds: started.elapsed().as_secs_f64(),
+            peak_reorder_buffer: emitter.peak_pending,
             runtime: emitter.runtime,
             traffic: emitter.traffic,
             miss_latency: emitter.miss_latency,
@@ -405,6 +411,13 @@ pub struct CampaignSummary {
     pub threads: usize,
     /// Wall-clock seconds for the whole campaign.
     pub wall_seconds: f64,
+    /// Peak occupancy of the streaming reorder buffer: the most completed
+    /// runs ever held back waiting for an earlier point. Bounded by the
+    /// worker count when the sink is the bottleneck. Scheduling-dependent —
+    /// like `wall_seconds`, it is *excluded* from the determinism contract
+    /// (and reported as 0 by [`CampaignReport::summary`], which never
+    /// buffers out of order).
+    pub peak_reorder_buffer: usize,
     /// The normalized-runtime aggregate, in submission order.
     pub runtime: Vec<RuntimeRow>,
     /// The traffic-breakdown aggregate, in submission order.
@@ -608,6 +621,7 @@ impl CampaignReport {
             options: self.options,
             threads: self.threads,
             wall_seconds: self.wall_seconds,
+            peak_reorder_buffer: 0,
             runtime: self.runtime_rows(),
             traffic: self.traffic_rows(),
             miss_latency: self.miss_latency_rows(),
@@ -711,49 +725,7 @@ impl CampaignReport {
         w.key("runs");
         w.open('[');
         for run in &self.runs {
-            let r = &run.report;
-            w.open('{');
-            w.field_str("label", &run.label);
-            w.field_str("protocol", r.protocol.name());
-            w.field_str("topology", r.topology.name());
-            w.field_str("workload", &r.workload);
-            w.field_u64("num_nodes", r.num_nodes as u64);
-            w.field_u64("runtime_cycles", r.runtime_cycles);
-            w.field_u64("total_ops", r.total_ops);
-            w.field_u64("total_transactions", r.total_transactions);
-            w.field_f64("cycles_per_transaction", r.cycles_per_transaction(), 2);
-            w.field_u64("misses", r.misses.total_misses());
-            w.field_f64("avg_miss_latency_ns", r.misses.average_miss_latency(), 2);
-            w.field_u64("miss_latency_p50_ns", r.miss_latency_p50);
-            w.field_u64("miss_latency_p99_ns", r.miss_latency_p99);
-            w.field_u64("miss_latency_max_ns", r.miss_latency_max);
-            w.field_u64("completion_skew_ppm", r.completion_skew_ppm);
-            w.field_f64("bytes_per_miss", r.bytes_per_miss(), 2);
-            w.field_u64("events_delivered", r.engine.events_delivered);
-            w.field_u64("peak_state_entries", r.engine.state.total_entries());
-            w.field_u64("peak_state_bytes", r.engine.state.state_bytes);
-            w.field_str("faults", &r.faults.to_string());
-            if !r.faults.is_none() {
-                let fs = &r.engine.faults;
-                w.field_u64("faults_dropped", fs.dropped);
-                w.field_u64("faults_duplicated", fs.duplicated);
-                w.field_u64("faults_delayed", fs.delayed);
-                w.field_u64("faults_reordered", fs.reordered);
-                w.field_u64("faults_link_deferred", fs.link_deferred);
-                w.field_u64("reissue_timeouts", fs.reissue_timeouts);
-                w.field_u64("persistent_activations", fs.persistent_activations);
-                w.field_u64("max_recovery_ns", fs.max_recovery_ns);
-            }
-            if !r.adversary.is_none() {
-                w.field_str("adversary", &r.adversary.to_string());
-                let adv = &r.engine.adversary;
-                w.field_u64("adversary_reordered", adv.reordered);
-                w.field_u64("adversary_targeted", adv.targeted);
-                w.field_u64("adversary_stormed", adv.stormed);
-                w.field_u64("adversary_max_skew_ns", adv.max_skew_ns);
-            }
-            w.field_u64("violations", r.violations.len() as u64);
-            w.close('}');
+            write_run_object(&mut w, &run.label, &run.report);
         }
         w.close(']');
         w.key("normalized_runtime");
@@ -797,6 +769,64 @@ impl CampaignReport {
         w.close('}');
         w.finish()
     }
+}
+
+/// Serializes one run as a compact JSON object — the canonical per-run
+/// wire form. [`CampaignReport::to_json`]'s `runs` array is built from
+/// exactly these objects, and the campaign service streams them verbatim,
+/// which is what makes "served result == one-shot result" a *byte*-level
+/// contract rather than a semantic one. Every field is a deterministic
+/// function of the simulation (no wall-clock, no thread count).
+pub fn run_to_json(label: &str, report: &RunReport) -> String {
+    let mut w = JsonWriter::new();
+    write_run_object(&mut w, label, report);
+    w.finish()
+}
+
+/// The shared body behind [`run_to_json`] and [`CampaignReport::to_json`].
+fn write_run_object(w: &mut JsonWriter, label: &str, r: &RunReport) {
+    w.open('{');
+    w.field_str("label", label);
+    w.field_str("protocol", r.protocol.name());
+    w.field_str("topology", r.topology.name());
+    w.field_str("workload", &r.workload);
+    w.field_u64("num_nodes", r.num_nodes as u64);
+    w.field_u64("runtime_cycles", r.runtime_cycles);
+    w.field_u64("total_ops", r.total_ops);
+    w.field_u64("total_transactions", r.total_transactions);
+    w.field_f64("cycles_per_transaction", r.cycles_per_transaction(), 2);
+    w.field_u64("misses", r.misses.total_misses());
+    w.field_f64("avg_miss_latency_ns", r.misses.average_miss_latency(), 2);
+    w.field_u64("miss_latency_p50_ns", r.miss_latency_p50);
+    w.field_u64("miss_latency_p99_ns", r.miss_latency_p99);
+    w.field_u64("miss_latency_max_ns", r.miss_latency_max);
+    w.field_u64("completion_skew_ppm", r.completion_skew_ppm);
+    w.field_f64("bytes_per_miss", r.bytes_per_miss(), 2);
+    w.field_u64("events_delivered", r.engine.events_delivered);
+    w.field_u64("peak_state_entries", r.engine.state.total_entries());
+    w.field_u64("peak_state_bytes", r.engine.state.state_bytes);
+    w.field_str("faults", &r.faults.to_string());
+    if !r.faults.is_none() {
+        let fs = &r.engine.faults;
+        w.field_u64("faults_dropped", fs.dropped);
+        w.field_u64("faults_duplicated", fs.duplicated);
+        w.field_u64("faults_delayed", fs.delayed);
+        w.field_u64("faults_reordered", fs.reordered);
+        w.field_u64("faults_link_deferred", fs.link_deferred);
+        w.field_u64("reissue_timeouts", fs.reissue_timeouts);
+        w.field_u64("persistent_activations", fs.persistent_activations);
+        w.field_u64("max_recovery_ns", fs.max_recovery_ns);
+    }
+    if !r.adversary.is_none() {
+        w.field_str("adversary", &r.adversary.to_string());
+        let adv = &r.engine.adversary;
+        w.field_u64("adversary_reordered", adv.reordered);
+        w.field_u64("adversary_targeted", adv.targeted);
+        w.field_u64("adversary_stormed", adv.stormed);
+        w.field_u64("adversary_max_skew_ns", adv.max_skew_ns);
+    }
+    w.field_u64("violations", r.violations.len() as u64);
+    w.close('}');
 }
 
 /// Stable JSON key for a traffic class.
@@ -1149,5 +1179,85 @@ mod tests {
         w.field_str("label", "a \"quoted\\label\"\n");
         w.close('}');
         assert_eq!(w.finish(), "{\"label\":\"a \\\"quoted\\\\label\\\"\\n\"}");
+    }
+
+    /// The slow-sink contract: when the consumer lags the workers, the
+    /// reorder buffer must stay bounded by the worker count (workers block
+    /// on the emitter lock rather than piling completed runs up without
+    /// limit), and delivery must still be exactly-once in submission order.
+    #[test]
+    fn streaming_reorder_buffer_stays_bounded_under_a_slow_sink() {
+        let points = small_points();
+        let expected: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+        let threads = 4usize;
+        let seen = Mutex::new(Vec::new());
+        let summary = Campaign::new(points)
+            .options(tiny_options())
+            .threads(threads)
+            .run_streaming(|index, run| {
+                // Lag the consumer: every worker finishes its point before
+                // the first emitted run leaves the sink.
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                seen.lock().unwrap().push((index, run.label.clone()));
+            });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            (0..expected.len()).collect::<Vec<_>>()
+        );
+        for ((_, label), want) in seen.iter().zip(&expected) {
+            assert_eq!(label, want);
+        }
+        assert!(
+            summary.peak_reorder_buffer <= threads,
+            "reorder buffer held {} runs with only {} workers",
+            summary.peak_reorder_buffer,
+            threads
+        );
+        assert!(summary.verified().is_ok());
+    }
+
+    /// The wire-format satellite: the hand-rolled writer's output must be
+    /// accepted by the hand-rolled reader, and re-serialize byte-identically
+    /// (the reader preserves member order and raw number tokens).
+    #[test]
+    fn campaign_json_parses_and_reserializes_byte_identically() {
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(2)
+            .run();
+        let json = report.to_json();
+        let parsed = tc_types::Json::parse(&json).expect("writer output must parse");
+        assert_eq!(parsed.to_string(), json);
+        // Same contract for the per-run wire form the campaign service streams.
+        for run in &report.runs {
+            let line = run_to_json(&run.label, &run.report);
+            let parsed = tc_types::Json::parse(&line).expect("run line must parse");
+            assert_eq!(parsed.to_string(), line);
+            assert_eq!(
+                parsed.get("label").and_then(tc_types::Json::as_str),
+                Some(run.label.as_str())
+            );
+        }
+    }
+
+    /// The snapshot-plane contract for full reports: a `RunReport` must
+    /// survive save_state -> load_state exactly (every field participates
+    /// in `PartialEq`).
+    #[test]
+    fn run_report_round_trips_through_the_snapshot_codec() {
+        let report = Campaign::new(small_points())
+            .options(tiny_options())
+            .threads(1)
+            .run();
+        for run in &report.runs {
+            let mut w = tc_sim::SnapWriter::new();
+            run.report.save_state(&mut w);
+            let payload = w.into_bytes();
+            let mut r = tc_sim::SnapReader::new(&payload);
+            let restored = RunReport::load_state(&mut r).expect("round trip must decode");
+            r.finish().expect("no trailing bytes");
+            assert_eq!(restored, run.report, "label={}", run.label);
+        }
     }
 }

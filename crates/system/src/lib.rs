@@ -62,7 +62,9 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
-pub use campaign::{Campaign, CampaignEvent, CampaignReport, CampaignRun, CampaignSummary};
+pub use campaign::{
+    run_to_json, Campaign, CampaignEvent, CampaignReport, CampaignRun, CampaignSummary,
+};
 pub use experiment::ExperimentPoint;
 pub use processor::{CompletionOutcome, Processor};
 pub use report::{RunReport, TrafficBreakdown};

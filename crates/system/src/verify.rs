@@ -379,7 +379,7 @@ impl Verifier {
 
 // Snapshot codec for violations. Tags are wire format: append, never
 // renumber.
-fn emit_violation(w: &mut SnapWriter, v: &InvariantViolation) {
+pub(crate) fn emit_violation(w: &mut SnapWriter, v: &InvariantViolation) {
     match *v {
         InvariantViolation::TokenConservation {
             addr,
@@ -483,7 +483,7 @@ fn emit_violation(w: &mut SnapWriter, v: &InvariantViolation) {
     }
 }
 
-fn read_violation(r: &mut SnapReader<'_>) -> Result<InvariantViolation, SnapshotError> {
+pub(crate) fn read_violation(r: &mut SnapReader<'_>) -> Result<InvariantViolation, SnapshotError> {
     Ok(match r.u8()? {
         0 => InvariantViolation::TokenConservation {
             addr: BlockAddr::new(r.u64()?),

@@ -182,6 +182,11 @@ impl AdversarySpec {
     /// wants rejected loudly, not silently last-wins).
     pub fn parse(text: &str) -> Result<AdversarySpec, String> {
         let mut spec = AdversarySpec::none();
+        // `Display` prints an inactive spec as `none`; accept it back so
+        // the documented parse(to_string()) round-trip holds for every spec.
+        if text.trim().eq_ignore_ascii_case("none") {
+            return Ok(spec);
+        }
         let mut seen: Vec<&str> = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part

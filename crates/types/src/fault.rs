@@ -286,6 +286,11 @@ impl FaultSpec {
     /// [`MAX_OUTAGES`] times because each clause schedules a distinct outage.
     pub fn parse(text: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::none();
+        // `Display` prints an inactive spec as `none`; accept it back so
+        // the documented parse(to_string()) round-trip holds for every spec.
+        if text.trim().eq_ignore_ascii_case("none") {
+            return Ok(spec);
+        }
         let mut seen: Vec<&str> = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part

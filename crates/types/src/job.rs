@@ -1,0 +1,171 @@
+//! Job vocabulary for the campaign service: identifiers, priorities, and
+//! lifecycle states.
+//!
+//! These types are the wire vocabulary between `tc-serve` and its clients,
+//! so every one of them has a stable `Display` form and a matching `parse`
+//! (round-trips pinned by tests), the same contract the fault and adversary
+//! specs follow.
+
+use std::fmt;
+
+/// A server-assigned job identifier, printed as `job-<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Parses the `job-<n>` form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed input.
+    pub fn parse(text: &str) -> Result<JobId, String> {
+        let digits = text
+            .strip_prefix("job-")
+            .ok_or_else(|| format!("job id `{text}` is not job-<n>"))?;
+        digits
+            .parse()
+            .map(JobId)
+            .map_err(|_| format!("job id `{text}` is not job-<n>"))
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Scheduling priority of a submitted job. Higher priorities are dequeued
+/// first; within a priority, submission order wins (FIFO).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobPriority {
+    /// Background work: sweeps nobody is waiting on.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Interactive work: jump the queue.
+    High,
+}
+
+impl JobPriority {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPriority::Low => "low",
+            JobPriority::Normal => "normal",
+            JobPriority::High => "high",
+        }
+    }
+
+    /// Parses a priority name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(text: &str) -> Result<JobPriority, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "low" => Ok(JobPriority::Low),
+            "normal" => Ok(JobPriority::Normal),
+            "high" => Ok(JobPriority::High),
+            other => Err(format!(
+                "unknown priority `{other}` (expected low, normal, or high)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for JobPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lifecycle state of a job on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Accepted and waiting in the priority queue.
+    Queued,
+    /// Claimed by a worker and executing.
+    Running,
+    /// Every point completed (cached or freshly run).
+    Done,
+    /// Execution failed (a point panicked); the queue keeps serving.
+    Failed,
+}
+
+impl JobState {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a state name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(text: &str) -> Result<JobState, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!(
+                "unknown job state `{other}` (expected queued, running, done, or failed)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_round_trip() {
+        for n in [0u64, 1, 17, u64::MAX] {
+            let id = JobId(n);
+            assert_eq!(JobId::parse(&id.to_string()), Ok(id));
+        }
+        assert!(JobId::parse("job-").is_err());
+        assert!(JobId::parse("7").is_err());
+        assert!(JobId::parse("job-x").is_err());
+    }
+
+    #[test]
+    fn priorities_round_trip_and_order() {
+        for p in [JobPriority::Low, JobPriority::Normal, JobPriority::High] {
+            assert_eq!(JobPriority::parse(&p.to_string()), Ok(p));
+        }
+        assert_eq!(JobPriority::parse("HIGH"), Ok(JobPriority::High));
+        assert!(JobPriority::parse("urgent").is_err());
+        assert!(JobPriority::Low < JobPriority::Normal);
+        assert!(JobPriority::Normal < JobPriority::High);
+        assert_eq!(JobPriority::default(), JobPriority::Normal);
+    }
+
+    #[test]
+    fn states_round_trip() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::parse(&s.to_string()), Ok(s));
+        }
+        assert!(JobState::parse("paused").is_err());
+    }
+}

@@ -44,6 +44,8 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod ids;
+pub mod job;
+pub mod json;
 pub mod memop;
 pub mod message;
 pub mod stats;
@@ -62,6 +64,8 @@ pub use error::{ConfigError, InvariantViolation};
 pub use fault::{FaultKind, FaultSpec, FaultStats, LinkOutage};
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ids::{Cycle, NodeId, ReqId};
+pub use job::{JobId, JobPriority, JobState};
+pub use json::{Json, JsonError};
 pub use memop::{AccessType, MemOp, MemOpKind};
 pub use message::{
     DataPayload, Destination, Message, MsgKind, Vnet, CONTROL_MSG_BYTES, DATA_MSG_BYTES,

@@ -423,6 +423,34 @@ impl LineStateStats {
             + self.home_peak
             + self.persistent_peak
     }
+
+    /// Serializes every peak.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for v in [
+            self.mshr_peak,
+            self.wb_buffer_peak,
+            self.wb_window_peak,
+            self.home_peak,
+            self.persistent_peak,
+            self.state_bytes,
+            self.retired_bytes_est,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuilds from [`LineStateStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<LineStateStats, SnapshotError> {
+        Ok(LineStateStats {
+            mshr_peak: r.u64()?,
+            wb_buffer_peak: r.u64()?,
+            wb_window_peak: r.u64()?,
+            home_peak: r.u64()?,
+            persistent_peak: r.u64()?,
+            state_bytes: r.u64()?,
+            retired_bytes_est: r.u64()?,
+        })
+    }
 }
 
 /// Engine-level (simulator, not simulated-system) statistics for one run.
@@ -457,6 +485,32 @@ pub struct EngineStats {
     /// Adversarial-scheduling counters (all zero when the run used
     /// [`AdversarySpec::none`](crate::adversary::AdversarySpec::none)).
     pub adversary: crate::adversary::AdversaryStats,
+}
+
+impl EngineStats {
+    /// Serializes every counter, including the nested planes.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.peak_queue_depth);
+        w.u64(self.peak_arena_occupancy);
+        w.u64(self.events_delivered);
+        w.u64(self.arena_accounting_errors);
+        self.state.save_state(w);
+        self.faults.save_state(w);
+        self.adversary.save_state(w);
+    }
+
+    /// Rebuilds from [`EngineStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<EngineStats, SnapshotError> {
+        Ok(EngineStats {
+            peak_queue_depth: r.u64()?,
+            peak_arena_occupancy: r.u64()?,
+            events_delivered: r.u64()?,
+            arena_accounting_errors: r.u64()?,
+            state: LineStateStats::load_state(r)?,
+            faults: crate::fault::FaultStats::load_state(r)?,
+            adversary: crate::adversary::AdversaryStats::load_state(r)?,
+        })
+    }
 }
 
 /// Statistics exported by a coherence controller.
