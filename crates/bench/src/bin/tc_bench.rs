@@ -39,6 +39,7 @@ struct CliOptions {
     runs_json_path: Option<String>,
     record_path: Option<String>,
     serial_baseline: bool,
+    shards: Option<u32>,
 }
 
 fn usage() -> String {
@@ -69,6 +70,7 @@ fn usage() -> String {
          --faults SPEC       inject faults, e.g. drop=0.01,dup=0.005,reorder=4,link=2-5@1000..5000\n                      (points carrying their own spec, e.g. faultsweep's, keep it)\n  \
          --json PATH         write the campaign report as JSON\n  \
          --runs-json PATH    write one NDJSON line per run (the campaign service's wire format)\n  \
+         --shards N          run every point on the sharded PDES engine with N shards\n                      (sweep64: the campaign stays serial; instead time shards(1) vs\n                      shards(N) on the reference point, verify shard-count\n                      invariance, and record the speedup)\n  \
          --record PATH       (sweep64) merge wall-clock fields into a BENCH_engine.json-style file\n  \
          --serial-baseline   (sweep64) also run with one thread, verify bit-identical reports,\n                      and record the parallel speedup\n",
     );
@@ -88,6 +90,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
         runs_json_path: None,
         record_path: None,
         serial_baseline: false,
+        shards: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +134,16 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--runs-json" => options.runs_json_path = Some(value(&mut i)?),
             "--record" => options.record_path = Some(value(&mut i)?),
             "--serial-baseline" => options.serial_baseline = true,
+            "--shards" => {
+                let v = value(&mut i)?;
+                let shards: u32 = v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                if shards == 0 {
+                    return Err(
+                        "--shards must be at least 1 (omit it for the serial engine)".to_string(),
+                    );
+                }
+                options.shards = Some(shards);
+            }
             other => return Err(format!("unknown option: {other}")),
         }
         i += 1;
@@ -160,6 +173,14 @@ fn run_options(campaign: &str, cli: &CliOptions) -> RunOptions {
     // faultsweep catalog's per-class points) overrides this at run time.
     if let Some(faults) = cli.faults {
         options.faults = faults;
+    }
+    // sweep64's committed wall-clock fields are serial-engine figures; there
+    // --shards drives only the epilogue's reference-point scaling
+    // measurement, never the campaign itself.
+    if campaign != "sweep64" {
+        if let Some(shards) = cli.shards {
+            options = options.with_shards(shards);
+        }
     }
     options
 }
@@ -202,6 +223,7 @@ struct RunOneOptions {
     resume: Option<String>,
     crash_after: Option<u64>,
     report_out: Option<String>,
+    shards: Option<u32>,
 }
 
 fn run_one_usage() -> &'static str {
@@ -220,7 +242,8 @@ fn run_one_usage() -> &'static str {
      --checkpoint-dir DIR  write snap-<events>.tcsnap + journal.tcj into DIR\n  \
      --resume FILE         restore FILE and run to completion instead of starting fresh\n  \
      --crash-after K       exit(42) right after sealing the K-th checkpoint (CI crash gate)\n  \
-     --report-out PATH     write the final report (deterministic debug form) to PATH\n"
+     --report-out PATH     write the final report (deterministic debug form; sharded runs\n                        write the determinism view) to PATH\n  \
+     --shards N            run on the sharded PDES engine with N shards (clamped to the\n                        node count; incompatible with the checkpoint options)\n"
 }
 
 fn parse_run_one(args: &[String]) -> Result<RunOneOptions, String> {
@@ -237,6 +260,7 @@ fn parse_run_one(args: &[String]) -> Result<RunOneOptions, String> {
         resume: None,
         crash_after: None,
         report_out: None,
+        shards: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -275,6 +299,16 @@ fn parse_run_one(args: &[String]) -> Result<RunOneOptions, String> {
             "--resume" => options.resume = Some(value(&mut i)?),
             "--crash-after" => options.crash_after = Some(parse_u64(value(&mut i)?)?),
             "--report-out" => options.report_out = Some(value(&mut i)?),
+            "--shards" => {
+                let v = value(&mut i)?;
+                let shards: u32 = v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                if shards == 0 {
+                    return Err(
+                        "--shards must be at least 1 (omit it for the serial engine)".to_string(),
+                    );
+                }
+                options.shards = Some(shards);
+            }
             other => return Err(format!("unknown run-one option: {other}")),
         }
         i += 1;
@@ -284,6 +318,12 @@ fn parse_run_one(args: &[String]) -> Result<RunOneOptions, String> {
     }
     if options.crash_after.is_some() && options.checkpoint_every.is_none() {
         return Err("--crash-after requires --checkpoint-every".to_string());
+    }
+    if options.shards.is_some() && (options.checkpoint_every.is_some() || options.resume.is_some())
+    {
+        // The sharded engine has no snapshot plane; a CLI error beats the
+        // engine's own panic.
+        return Err("--shards is incompatible with --checkpoint-every/--resume".to_string());
     }
     Ok(options)
 }
@@ -307,6 +347,9 @@ fn run_one(cli: RunOneOptions) {
     }
     if let Some(every) = cli.checkpoint_every {
         run_options = run_options.with_checkpoint_every(every);
+    }
+    if let Some(shards) = cli.shards {
+        run_options = run_options.with_shards(shards);
     }
 
     let mut system = System::build(&config, &cli.workload);
@@ -378,9 +421,24 @@ fn run_one(cli: RunOneOptions) {
     }
 
     println!("{report}");
-    println!("events_delivered: {}", system.events_delivered());
+    // The sharded engine counts deliveries in the report, not on the
+    // serial engine's counter.
+    let events = if run_options.shards > 0 {
+        report.engine.events_delivered
+    } else {
+        system.events_delivered()
+    };
+    println!("events_delivered: {events}");
     if let Some(path) = &cli.report_out {
-        std::fs::write(path, format!("{report:#?}\n")).expect("write report");
+        // A sharded run's deterministic form is its determinism view: the
+        // per-shard capacity telemetry legitimately varies with shard count,
+        // so writing the view lets CI byte-diff shards(1) against shards(N).
+        let text = if run_options.shards > 0 {
+            format!("{:#?}\n", report.determinism_view())
+        } else {
+            format!("{report:#?}\n")
+        };
+        std::fs::write(path, text).expect("write report");
         eprintln!("wrote {path}");
     }
     if let Err(violation) = report.verified() {
@@ -682,6 +740,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
             runs_json_path: None,
             record_path: None,
             serial_baseline: false,
+            shards: None,
         },
     );
     let submission = tc_serve::Submission {
@@ -967,6 +1026,69 @@ fn finish_sweep64(
         parallel.render_miss_latency_table("Miss latency summary")
     );
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Speedup honesty: on a host with fewer cores than workers the wall-clock
+    // ratios measure oversubscription, not the engine. Warn instead of
+    // letting a sub-1.0 "speedup" read as a regression.
+    if host_cores < parallel.threads {
+        eprintln!(
+            "WARNING: host has {host_cores} core(s) but the campaign ran {} threads; \
+             wall-clock speedup figures measure oversubscription, not the engine",
+            parallel.threads
+        );
+    }
+    if let Some(shards) = cli.shards {
+        if (shards as usize) > host_cores {
+            eprintln!(
+                "WARNING: host has {host_cores} core(s) but --shards {shards} was requested; \
+                 shard speedup figures measure oversubscription, not the engine"
+            );
+        }
+    }
+
+    // Single-run shard scaling: the reference point (the campaign's first)
+    // at shards(1) vs shards(N), timed, with the shard-count-invariance
+    // contract checked on the way.
+    let reference = all_points
+        .first()
+        .cloned()
+        .expect("sweep64 has at least one point");
+    let mut shard_walls: Option<(u32, f64, f64)> = None;
+    if let Some(shards) = cli.shards {
+        eprintln!(
+            "shard scaling: reference point {} at shards(1) vs shards({shards}) ...",
+            reference.label
+        );
+        let time_at = |n: u32| {
+            let mut system = System::build(&reference.config, &reference.workload);
+            let start = std::time::Instant::now();
+            let report = system.run(options.with_shards(n));
+            (report, start.elapsed().as_secs_f64())
+        };
+        let (one, wall_one) = time_at(1);
+        let (many, wall_many) = time_at(shards);
+        assert_eq!(
+            one.determinism_view(),
+            many.determinism_view(),
+            "shards(1) and shards({shards}) must produce bit-identical determinism views"
+        );
+        println!(
+            "\nshard determinism check ok: shards(1) and shards({shards}) reports are \
+             bit-identical (windows {}, lookahead {} ns, sync stalls {})",
+            many.engine.sharding.windows,
+            many.engine.sharding.lookahead_ns,
+            many.engine.sharding.sync_stalls
+        );
+        println!(
+            "shard wall-clock: {wall_one:.1} s at shards(1) vs {wall_many:.1} s at \
+             shards({shards}) ({:.2}x)",
+            wall_one / wall_many
+        );
+        shard_walls = Some((shards, wall_one, wall_many));
+    }
+
     let mut serial_wall: Option<f64> = None;
     if cli.serial_baseline {
         eprintln!("serial baseline: re-running the campaign with 1 thread ...");
@@ -990,9 +1112,6 @@ fn finish_sweep64(
     }
 
     if let Some(path) = &cli.record_path {
-        let host_cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         // The largest single-point line-state working set of the sweep (the
         // per-point figure is deterministic; the max names the worst point).
         let peak_state_bytes = parallel
@@ -1025,6 +1144,21 @@ fn finish_sweep64(
             fields.push((
                 "sweep64_parallel_speedup".to_string(),
                 format!("{:.3}", serial / parallel.wall_seconds),
+            ));
+        }
+        if let Some((shards, wall_one, wall_many)) = shard_walls {
+            fields.push(("sweep64_shards".to_string(), shards.to_string()));
+            fields.push((
+                "sweep64_wall_s_shard1".to_string(),
+                format!("{wall_one:.3}"),
+            ));
+            fields.push((
+                "sweep64_wall_s_sharded".to_string(),
+                format!("{wall_many:.3}"),
+            ));
+            fields.push((
+                "sweep64_shard_speedup".to_string(),
+                format!("{:.3}", wall_one / wall_many),
             ));
         }
         merge_bench_fields(path, &fields).expect("record sweep64 wall-clock");

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use tc_memsys::{hinted_get, HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_memsys::{hinted_get, HomeMemory, L1Filter, MshrTable, OpList, OpSlab, SetAssocCache};
 use tc_sim::{DeterministicRng, SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
@@ -23,10 +23,11 @@ struct PendingOp {
     write: bool,
 }
 
-/// Bookkeeping for one outstanding TokenB miss.
-#[derive(Debug, Clone)]
+/// Bookkeeping for one outstanding TokenB miss. The pending-op list lives
+/// in the controller's [`OpSlab`] pool.
+#[derive(Debug)]
 struct TokenMshr {
-    pending: Vec<PendingOp>,
+    pending: OpList,
     /// Whether the miss needs all tokens (any pending store).
     write: bool,
     /// Whether the processor already held a readable copy (upgrade miss).
@@ -77,6 +78,8 @@ pub struct TokenBController {
     migratory_optimization: bool,
     store_counter: u64,
     timer_seq: u64,
+    /// Pooled storage for every MSHR entry's pending-op list.
+    pending_ops: OpSlab<PendingOp>,
 }
 
 impl TokenBController {
@@ -113,6 +116,7 @@ impl TokenBController {
             migratory_optimization: config.token.migratory_optimization,
             store_counter: 0,
             timer_seq: 0,
+            pending_ops: OpSlab::new(),
         }
     }
 
@@ -647,7 +651,7 @@ impl TokenBController {
         if !satisfied {
             return;
         }
-        let mshr = self
+        let mut mshr = self
             .mshrs
             .release(addr)
             .expect("checked present immediately above");
@@ -668,7 +672,7 @@ impl TokenBController {
         // lookup for the whole batch.
         let node_bits = (self.node.index() as u64 + 1) << 40;
         let line = self.l2.get(addr).expect("line present");
-        for op in &mshr.pending {
+        for op in self.pending_ops.iter(&mshr.pending) {
             let version = if op.write {
                 self.store_counter += 1;
                 let v = node_bits | self.store_counter;
@@ -688,6 +692,7 @@ impl TokenBController {
                 cache_to_cache,
             });
         }
+        self.pending_ops.clear(&mut mshr.pending);
 
         // Statistics: miss class, latency, reissue histogram (Table 2).
         let miss_latency = now.saturating_sub(mshr.issued_at);
@@ -999,10 +1004,13 @@ impl CoherenceController for TokenBController {
 
         // Miss: merge into an existing MSHR or allocate a new one.
         if let Some(mshr) = self.mshrs.get_mut(addr) {
-            mshr.pending.push(PendingOp {
-                req_id: op.id,
-                write,
-            });
+            self.pending_ops.push(
+                &mut mshr.pending,
+                PendingOp {
+                    req_id: op.id,
+                    write,
+                },
+            );
             if write && !mshr.write {
                 // A read miss gains a write requirement: issue a GetM now.
                 mshr.write = true;
@@ -1013,10 +1021,10 @@ impl CoherenceController for TokenBController {
         }
 
         let mshr = TokenMshr {
-            pending: vec![PendingOp {
+            pending: self.pending_ops.singleton(PendingOp {
                 req_id: op.id,
                 write,
-            }],
+            }),
             write,
             upgrade: write && had_readable_copy,
             issued_at: now,
@@ -1202,7 +1210,8 @@ impl CoherenceController for TokenBController {
         self.l1.save_state(w);
         self.l2.save_state(w, emit_token_line);
         self.memory.save_state(w, emit_mem_tokens);
-        self.mshrs.save_state(w, emit_token_mshr);
+        self.mshrs
+            .save_state(w, |w, mshr| emit_token_mshr(w, mshr, &self.pending_ops));
         self.persistent_table.save_state(w);
         self.arbiter.save_state(w);
     }
@@ -1216,7 +1225,11 @@ impl CoherenceController for TokenBController {
         self.l1.load_state(r)?;
         self.l2.load_state(r, read_token_line)?;
         self.memory.load_state(r, read_mem_tokens)?;
-        self.mshrs.load_state(r, read_token_mshr)?;
+        // Rebuild the pending-op pool from scratch; handles saved inside the
+        // reloaded MSHR entries are re-minted as they are read.
+        self.pending_ops.reset();
+        let slab = &mut self.pending_ops;
+        self.mshrs.load_state(r, |r| read_token_mshr(r, slab))?;
         self.persistent_table.load_state(r)?;
         self.arbiter.load_state(r)?;
         Ok(())
@@ -1255,8 +1268,8 @@ fn read_mem_tokens(r: &mut SnapReader<'_>) -> Result<MemTokens, SnapshotError> {
     })
 }
 
-fn emit_token_mshr(w: &mut SnapWriter, mshr: &TokenMshr) {
-    w.seq(mshr.pending.iter(), |w, op| {
+fn emit_token_mshr(w: &mut SnapWriter, mshr: &TokenMshr, slab: &OpSlab<PendingOp>) {
+    w.seq(slab.iter(&mshr.pending), |w, op| {
         w.u64(op.req_id.value());
         w.bool(op.write);
     });
@@ -1270,14 +1283,18 @@ fn emit_token_mshr(w: &mut SnapWriter, mshr: &TokenMshr) {
     w.bool(mshr.data_from_memory);
 }
 
-fn read_token_mshr(r: &mut SnapReader<'_>) -> Result<TokenMshr, SnapshotError> {
+fn read_token_mshr(
+    r: &mut SnapReader<'_>,
+    slab: &mut OpSlab<PendingOp>,
+) -> Result<TokenMshr, SnapshotError> {
     let len = r.bounded_len(9)?;
-    let mut pending = Vec::with_capacity(len);
+    let mut pending = OpList::new();
     for _ in 0..len {
-        pending.push(PendingOp {
+        let op = PendingOp {
             req_id: ReqId::new(r.u64()?),
             write: r.bool()?,
-        });
+        };
+        slab.push(&mut pending, op);
     }
     Ok(TokenMshr {
         pending,
@@ -1326,6 +1343,41 @@ mod tests {
             }
         }
         next
+    }
+
+    #[test]
+    fn steady_state_miss_traffic_recycles_pending_op_storage() {
+        let mut home = controller(0, 4);
+        let mut requester = controller(1, 4);
+
+        // Warm-up: one full read-miss round trip establishes the pool.
+        let mut out = Outbox::new();
+        requester.access(0, &load(0, 1), &mut out);
+        let home_out = deliver(&out, &mut home, 20);
+        deliver(&home_out, &mut requester, 120);
+        assert_eq!(requester.outstanding_misses(), 0);
+        let (fresh_after_warmup, _) = requester.pending_ops.counters();
+        assert_eq!(fresh_after_warmup, 1);
+
+        // Steady state: churn many more misses (distinct home-0 blocks so
+        // each access is a genuine miss) than the warm-up population.
+        for round in 1..200u64 {
+            let addr = round * 4 * BLOCK;
+            let at = 1_000 * round;
+            let mut out = Outbox::new();
+            requester.access(at, &load(addr, round + 1), &mut out);
+            let home_out = deliver(&out, &mut home, at + 20);
+            deliver(&home_out, &mut requester, at + 120);
+            assert_eq!(requester.outstanding_misses(), 0);
+        }
+
+        let (fresh, recycled) = requester.pending_ops.counters();
+        assert_eq!(
+            fresh, fresh_after_warmup,
+            "steady-state misses must recycle pending-op storage, not grow it"
+        );
+        assert_eq!(recycled, 199);
+        assert_eq!(requester.pending_ops.live(), 0);
     }
 
     #[test]

@@ -35,6 +35,10 @@ const ADVERSARY_STREAM: u64 = 0xAD_5E_47_21;
 pub struct Adversary {
     spec: AdversarySpec,
     rng: DeterministicRng,
+    /// Per-source-node streams for the sharded runner (empty in the serial
+    /// engine's single-stream mode); see `FaultPlane::node_rngs` — the same
+    /// scheme, on the adversary's stream tag.
+    node_rngs: Vec<DeterministicRng>,
     stats: AdversaryStats,
     /// Skew quantum for reorder scheduling, set to the link latency so one
     /// reorder step is one link hop of displacement — the same "legal
@@ -53,9 +57,29 @@ impl Adversary {
         Adversary {
             spec,
             rng,
+            node_rngs: Vec::new(),
             stats: AdversaryStats::default(),
             quantum: link_latency_ns.max(1),
         }
+    }
+
+    /// [`Adversary::new`] in per-source-node stream mode, for the sharded
+    /// runner: node `n`'s sends draw from a stream forked off the same
+    /// `(run seed, spec seed)` base on tag `ADVERSARY_STREAM ^ (n + 1)`, so
+    /// the perturbation schedule depends only on each node's own message
+    /// sequence — identical at any shard count.
+    pub fn new_per_node(
+        spec: AdversarySpec,
+        run_seed: u64,
+        link_latency_ns: u64,
+        num_nodes: usize,
+    ) -> Self {
+        let mut plane = Adversary::new(spec, run_seed, link_latency_ns);
+        let mut base = DeterministicRng::new(run_seed ^ spec.seed.rotate_left(17));
+        plane.node_rngs = (0..num_nodes)
+            .map(|n| base.fork(ADVERSARY_STREAM ^ (n as u64 + 1)))
+            .collect();
+        plane
     }
 
     /// The spec this plane executes.
@@ -84,6 +108,12 @@ impl Adversary {
         let competing = on_victim_block
             && msg.src.index() != victim_node
             && matches!(msg.kind, MsgKind::GetM | MsgKind::GetS);
+        // Split borrows: the stream for this message's source (or the
+        // single global stream) alongside the stats field.
+        let rng = match self.node_rngs.is_empty() {
+            true => &mut self.rng,
+            false => &mut self.node_rngs[msg.src.index()],
+        };
 
         for (at, node) in arrivals.iter_mut() {
             let original_at = *at;
@@ -91,7 +121,7 @@ impl Adversary {
             // Reorder: skew every arrival by up to `window` link quanta, so
             // messages on the same path can overtake each other.
             if self.spec.reorder_window > 0 {
-                let skew = self.rng.next_below(u64::from(self.spec.reorder_window) + 1);
+                let skew = rng.next_below(u64::from(self.spec.reorder_window) + 1);
                 if skew > 0 {
                     *at += skew * self.quantum;
                     self.stats.reordered += 1;
@@ -105,7 +135,7 @@ impl Adversary {
                 && on_victim_block
                 && (msg.src.index() == victim_node || node.index() == victim_node)
             {
-                *at += 1 + self.rng.next_below(u64::from(self.spec.target_delay_ns));
+                *at += 1 + rng.next_below(u64::from(self.spec.target_delay_ns));
                 self.stats.targeted += 1;
             }
 
@@ -125,16 +155,18 @@ impl Adversary {
         }
     }
 
-    /// Serializes the plane's mutable state: the RNG stream position and
-    /// the accumulated counters. Spec and quantum are config-derived.
+    /// Serializes the plane's mutable state: the RNG stream position(s)
+    /// and the accumulated counters. Spec and quantum are config-derived.
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.u64(self.rng.state());
+        w.seq(self.node_rngs.iter(), |w, rng| w.u64(rng.state()));
         self.stats.save_state(w);
     }
 
     /// Restores [`Adversary::save_state`] bytes onto a same-config plane.
     pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
         self.rng = DeterministicRng::from_state(r.u64()?);
+        self.node_rngs = r.seq(|r| Ok(DeterministicRng::from_state(r.u64()?)))?;
         self.stats = AdversaryStats::load_state(r)?;
         Ok(())
     }

@@ -212,6 +212,20 @@ impl Interconnect {
         self.topology.provides_total_order()
     }
 
+    /// The conservative-PDES lookahead this fabric supports, in
+    /// nanoseconds: no message between two *distinct* nodes can arrive
+    /// sooner than the shortest inter-node path
+    /// ([`Topology::min_hops`] link crossings at the configured link
+    /// latency). Derived from the topology alone — never from the shard
+    /// partition — so every shard count sees the same window (see
+    /// `Topology::min_hops`). Clamped to at least 1 ns so the sharded
+    /// runner's windows always advance.
+    pub fn lookahead_ns(&self) -> Cycle {
+        (self.topology.min_hops() as Cycle)
+            .saturating_mul(self.config.link_latency_ns)
+            .max(1)
+    }
+
     /// Traffic accumulated so far, by message class.
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic

@@ -37,6 +37,14 @@ pub struct FaultPlane {
     spec: FaultSpec,
     protocol: ProtocolKind,
     rng: DeterministicRng,
+    /// Per-source-node streams for the sharded runner (empty in the serial
+    /// engine's single-stream mode): each node's sends draw faults from the
+    /// node's own stream, forked off the same base as `rng` by node index.
+    /// Every node lives on exactly one shard, so these are the sharded
+    /// runner's per-shard streams — and because a draw depends only on the
+    /// source node's own message sequence, the injected schedule is
+    /// identical at every shard count.
+    node_rngs: Vec<DeterministicRng>,
     stats: FaultStats,
     /// Skew quantum for reorder/duplicate scheduling, set to the link
     /// latency so one reorder step is one link hop of displacement.
@@ -63,10 +71,31 @@ impl FaultPlane {
             spec,
             protocol,
             rng,
+            node_rngs: Vec::new(),
             stats: FaultStats::default(),
             quantum: link_latency_ns.max(1),
             scratch: Vec::new(),
         }
+    }
+
+    /// [`FaultPlane::new`] in per-source-node stream mode, for the sharded
+    /// runner: node `n`'s sends draw from a stream forked off the same
+    /// `(run seed, spec seed)` base on tag `FAULT_STREAM ^ (n + 1)`,
+    /// exactly the stream-id scheme the workload generators use. Same
+    /// `(seed, spec)` ⇒ same per-node fault schedule, at any shard count.
+    pub fn new_per_node(
+        spec: FaultSpec,
+        protocol: ProtocolKind,
+        run_seed: u64,
+        link_latency_ns: u64,
+        num_nodes: usize,
+    ) -> Self {
+        let mut plane = FaultPlane::new(spec, protocol, run_seed, link_latency_ns);
+        let mut base = DeterministicRng::new(run_seed ^ spec.seed.rotate_left(17));
+        plane.node_rngs = (0..num_nodes)
+            .map(|n| base.fork(FAULT_STREAM ^ (n as u64 + 1)))
+            .collect();
+        plane
     }
 
     /// The spec this plane executes.
@@ -87,8 +116,8 @@ impl FaultPlane {
     }
 
     #[inline]
-    fn roll(&mut self, ppm: u32) -> bool {
-        self.rng.next_below(u64::from(tc_types::fault::PPM)) < u64::from(ppm)
+    fn roll(rng: &mut DeterministicRng, ppm: u32) -> bool {
+        rng.next_below(u64::from(tc_types::fault::PPM)) < u64::from(ppm)
     }
 
     /// Rewrites `arrivals` (as produced by `send_arrivals` for `msg` at
@@ -101,6 +130,12 @@ impl FaultPlane {
         let loss_ok = (self.spec.drop_ppm > 0 || self.spec.dup_ppm > 0)
             && FaultSpec::loss_eligible(self.protocol, msg);
         let src = msg.src.index() as u32;
+        // Split borrows: the stream for this message's source (or the
+        // single global stream) alongside the stats and scratch fields.
+        let rng = match self.node_rngs.is_empty() {
+            true => &mut self.rng,
+            false => &mut self.node_rngs[msg.src.index()],
+        };
 
         self.scratch.clear();
         for &(original_at, node) in arrivals.iter() {
@@ -109,27 +144,27 @@ impl FaultPlane {
             // Link outage: defer the arrival past the window, with a small
             // jitter so a burst of deferred messages does not collapse onto
             // one cycle.
-            if let Some(until) = self.outage_until(src, node.index() as u32, at) {
-                at = until + 1 + self.rng.next_below(self.quantum);
+            if let Some(until) = outage_until(&self.spec, src, node.index() as u32, at) {
+                at = until + 1 + rng.next_below(self.quantum);
                 self.stats.link_deferred += 1;
             }
 
             // Drop: the arrival is never parked.
-            if loss_ok && self.spec.drop_ppm > 0 && self.roll(self.spec.drop_ppm) {
+            if loss_ok && self.spec.drop_ppm > 0 && Self::roll(rng, self.spec.drop_ppm) {
                 self.stats.dropped += 1;
                 continue;
             }
 
             // Delay jitter.
-            if self.spec.delay_ppm > 0 && self.roll(self.spec.delay_ppm) {
-                at += 1 + self.rng.next_below(self.spec.delay_max_ns.max(1));
+            if self.spec.delay_ppm > 0 && Self::roll(rng, self.spec.delay_ppm) {
+                at += 1 + rng.next_below(self.spec.delay_max_ns.max(1));
                 self.stats.delayed += 1;
             }
 
             // Reorder: skew every arrival by up to `depth` link quanta, so
             // messages on the same path can overtake each other.
             if self.spec.reorder_depth > 0 {
-                let skew = self.rng.next_below(u64::from(self.spec.reorder_depth) + 1);
+                let skew = rng.next_below(u64::from(self.spec.reorder_depth) + 1);
                 if skew > 0 {
                     at += skew * self.quantum;
                     self.stats.reordered += 1;
@@ -139,8 +174,8 @@ impl FaultPlane {
             self.scratch.push((at, node));
 
             // Duplicate: a second copy of this arrival, skewed later.
-            if loss_ok && self.spec.dup_ppm > 0 && self.roll(self.spec.dup_ppm) {
-                let skew = 1 + self.rng.next_below(2 * self.quantum);
+            if loss_ok && self.spec.dup_ppm > 0 && Self::roll(rng, self.spec.dup_ppm) {
+                let skew = 1 + rng.next_below(2 * self.quantum);
                 self.scratch.push((at + skew, node));
                 self.stats.duplicated += 1;
             }
@@ -148,31 +183,34 @@ impl FaultPlane {
         std::mem::swap(arrivals, &mut self.scratch);
     }
 
-    /// Serializes the plane's mutable state: the RNG stream position and the
-    /// accumulated counters. Spec, protocol, and quantum are config-derived.
+    /// Serializes the plane's mutable state: the RNG stream position(s) and
+    /// the accumulated counters. Spec, protocol, and quantum are
+    /// config-derived.
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.u64(self.rng.state());
+        w.seq(self.node_rngs.iter(), |w, rng| w.u64(rng.state()));
         self.stats.save_state(w);
     }
 
     /// Restores [`FaultPlane::save_state`] bytes onto a same-config plane.
     pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
         self.rng = DeterministicRng::from_state(r.u64()?);
+        self.node_rngs = r.seq(|r| Ok(DeterministicRng::from_state(r.u64()?)))?;
         self.stats = FaultStats::load_state(r)?;
         Ok(())
     }
+}
 
-    /// If the `src -> dst` arrival at `at` crosses a downed link, returns
-    /// the end of the longest covering outage window.
-    fn outage_until(&self, src: u32, dst: u32, at: Cycle) -> Option<Cycle> {
-        let mut until = None;
-        for outage in self.spec.outages.iter().flatten() {
-            if outage.covers(src, dst, at) {
-                until = Some(until.map_or(outage.until, |u: Cycle| u.max(outage.until)));
-            }
+/// If the `src -> dst` arrival at `at` crosses a downed link, returns the
+/// end of the longest covering outage window.
+fn outage_until(spec: &FaultSpec, src: u32, dst: u32, at: Cycle) -> Option<Cycle> {
+    let mut until = None;
+    for outage in spec.outages.iter().flatten() {
+        if outage.covers(src, dst, at) {
+            until = Some(until.map_or(outage.until, |u: Cycle| u.max(outage.until)));
         }
-        until
     }
+    until
 }
 
 #[cfg(test)]

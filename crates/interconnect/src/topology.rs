@@ -96,6 +96,35 @@ pub trait Topology: fmt::Debug {
         }
         total as f64 / pairs as f64
     }
+
+    /// Minimum number of link crossings between distinct node pairs — the
+    /// shortest path any message between two *different* nodes can take.
+    ///
+    /// This is the basis of the sharded runner's conservative-PDES
+    /// lookahead: an event at node A cannot affect node B (A ≠ B) sooner
+    /// than `min_hops() * link_latency` in the future, regardless of how
+    /// nodes are partitioned into shards. Deliberately a function of the
+    /// topology alone (minimum over *all* distinct pairs, not just
+    /// cross-shard pairs) so the derived window is identical at every shard
+    /// count — partition-dependent lookahead would break the
+    /// `shards(1) == shards(N)` bit-identity contract.
+    fn min_hops(&self) -> usize {
+        let n = self.num_nodes();
+        let mut min = usize::MAX;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                min = min.min(self.route(NodeId::new(s), NodeId::new(d)).len());
+            }
+        }
+        if min == usize::MAX {
+            1
+        } else {
+            min.max(1)
+        }
+    }
 }
 
 /// Shared validation helpers for topology implementations, used by tests.

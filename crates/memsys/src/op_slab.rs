@@ -1,0 +1,283 @@
+//! A slab-backed pool of small FIFO lists with an intrusive free list.
+//!
+//! MSHR entries carry a list of pending processor operations merged into
+//! the outstanding miss. Backing each entry with its own `Vec` means one
+//! heap allocation per miss and one free per completion — pure churn, since
+//! the population is bounded by the MSHR capacity times the merge depth.
+//! [`OpSlab`] stores every list's nodes in one growable slab; released
+//! nodes are threaded onto an intrusive free list (the `next` link of a
+//! free node points at the next free node), so steady-state miss traffic
+//! recycles storage instead of reallocating it. The slab only grows when
+//! the *simultaneous* population exceeds everything seen before.
+//!
+//! Handles ([`OpList`]) are deliberately not `Clone`: a list is owned by
+//! exactly one MSHR entry, and aliasing a handle would let two entries
+//! free the same chain.
+
+/// Null link: end of a chain, or an empty list.
+const NIL: u32 = u32::MAX;
+
+/// One pooled node: a value plus the intrusive link (next node in the
+/// owning list while live, next free node while on the free list).
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    next: u32,
+}
+
+/// Handle to one FIFO list of `T`s inside an [`OpSlab`]. Created empty by
+/// [`OpList::new`]; nodes are pushed and cleared through the slab.
+#[derive(Debug)]
+pub struct OpList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl OpList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        OpList {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of values in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when the list holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for OpList {
+    fn default() -> Self {
+        OpList::new()
+    }
+}
+
+/// The pool. One per controller: every MSHR entry's pending-op list lives
+/// here, and the allocation counters make "the steady state allocates
+/// nothing" a testable claim (see [`OpSlab::counters`]).
+#[derive(Debug, Clone)]
+pub struct OpSlab<T> {
+    nodes: Vec<Node<T>>,
+    free_head: u32,
+    live: usize,
+    high_water: usize,
+    /// Nodes created by growing the slab (a real heap event, amortized).
+    fresh: u64,
+    /// Pushes served from the free list (no allocation).
+    recycled: u64,
+}
+
+impl<T> OpSlab<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        OpSlab {
+            nodes: Vec::new(),
+            free_head: NIL,
+            live: 0,
+            high_water: 0,
+            fresh: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Appends `value` to `list` (FIFO order), reusing a free node when one
+    /// exists.
+    pub fn push(&mut self, list: &mut OpList, value: T) {
+        let index = if self.free_head != NIL {
+            let index = self.free_head;
+            self.free_head = self.nodes[index as usize].next;
+            self.nodes[index as usize].value = value;
+            self.nodes[index as usize].next = NIL;
+            self.recycled += 1;
+            index
+        } else {
+            let index = self.nodes.len() as u32;
+            assert!(index != NIL, "op slab exhausted the 32-bit index space");
+            self.nodes.push(Node { value, next: NIL });
+            self.fresh += 1;
+            index
+        };
+        if list.head == NIL {
+            list.head = index;
+        } else {
+            self.nodes[list.tail as usize].next = index;
+        }
+        list.tail = index;
+        list.len += 1;
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+    }
+
+    /// A new single-value list.
+    pub fn singleton(&mut self, value: T) -> OpList {
+        let mut list = OpList::new();
+        self.push(&mut list, value);
+        list
+    }
+
+    /// Iterates `list` front to back. The iterator is exact-sized so it can
+    /// feed length-prefixed snapshot encoders directly.
+    pub fn iter<'a>(&'a self, list: &OpList) -> OpIter<'a, T> {
+        OpIter {
+            slab: self,
+            cursor: list.head,
+            remaining: list.len as usize,
+        }
+    }
+
+    /// Unlinks every node of `list` onto the free list, leaving it empty.
+    /// Values are dropped lazily (when their node is reused or the slab is
+    /// dropped); the op types pooled here are small plain data.
+    pub fn clear(&mut self, list: &mut OpList) {
+        while list.head != NIL {
+            let index = list.head;
+            list.head = self.nodes[index as usize].next;
+            self.nodes[index as usize].next = self.free_head;
+            self.free_head = index;
+            self.live -= 1;
+        }
+        list.tail = NIL;
+        list.len = 0;
+    }
+
+    /// Forgets every list and node. For snapshot restore: handles minted
+    /// before a `reset` are invalid, so callers must rebuild every list.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.free_head = NIL;
+        self.live = 0;
+    }
+
+    /// Number of values across all live lists.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak simultaneous live values — the slab's real footprint.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// `(fresh, recycled)`: nodes created by growing the slab vs pushes
+    /// served allocation-free from the free list. After warm-up, `fresh`
+    /// stops moving and `recycled` carries all traffic.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.fresh, self.recycled)
+    }
+}
+
+impl<T> Default for OpSlab<T> {
+    fn default() -> Self {
+        OpSlab::new()
+    }
+}
+
+/// Front-to-back iterator over one list. See [`OpSlab::iter`].
+#[derive(Debug)]
+pub struct OpIter<'a, T> {
+    slab: &'a OpSlab<T>,
+    cursor: u32,
+    remaining: usize,
+}
+
+impl<'a, T> Iterator for OpIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.slab.nodes[self.cursor as usize];
+        self.cursor = node.next;
+        self.remaining -= 1;
+        Some(&node.value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for OpIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut slab: OpSlab<u32> = OpSlab::new();
+        let mut list = OpList::new();
+        for v in [3, 1, 4, 1, 5] {
+            slab.push(&mut list, v);
+        }
+        let seen: Vec<u32> = slab.iter(&list).copied().collect();
+        assert_eq!(seen, vec![3, 1, 4, 1, 5]);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn cleared_nodes_are_recycled_not_reallocated() {
+        let mut slab: OpSlab<u32> = OpSlab::new();
+        // Warm-up: the deepest simultaneous population this test reaches.
+        let mut a = slab.singleton(1);
+        let mut b = slab.singleton(2);
+        slab.push(&mut a, 3);
+        let (fresh_after_warmup, _) = slab.counters();
+        assert_eq!(fresh_after_warmup, 3);
+
+        // Steady state: churn far more lists than the warm-up population.
+        for round in 0..1000 {
+            slab.clear(&mut a);
+            slab.clear(&mut b);
+            a = slab.singleton(round);
+            b = slab.singleton(round + 1);
+            slab.push(&mut a, round + 2);
+        }
+        let (fresh, recycled) = slab.counters();
+        assert_eq!(
+            fresh, fresh_after_warmup,
+            "steady-state churn must not grow the slab"
+        );
+        assert_eq!(recycled, 3000);
+        assert_eq!(slab.high_water(), 3);
+    }
+
+    #[test]
+    fn interleaved_lists_stay_disjoint() {
+        let mut slab: OpSlab<u32> = OpSlab::new();
+        let mut a = OpList::new();
+        let mut b = OpList::new();
+        for i in 0..10 {
+            slab.push(&mut a, i);
+            slab.push(&mut b, 100 + i);
+        }
+        assert_eq!(slab.iter(&a).copied().sum::<u32>(), 45);
+        assert_eq!(slab.iter(&b).copied().sum::<u32>(), 1045);
+        slab.clear(&mut a);
+        assert!(a.is_empty());
+        assert_eq!(slab.iter(&b).copied().count(), 10);
+        assert_eq!(slab.live(), 10);
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let mut slab: OpSlab<u32> = OpSlab::new();
+        let mut a = slab.singleton(7);
+        slab.clear(&mut a);
+        slab.push(&mut a, 8);
+        slab.reset();
+        assert_eq!(slab.live(), 0);
+        let rebuilt = slab.singleton(9);
+        assert_eq!(slab.iter(&rebuilt).copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

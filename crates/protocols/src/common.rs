@@ -686,18 +686,22 @@ pub(crate) fn mosi_hit_path(
 }
 
 /// Performs the pending operations of a completing MOSI miss against the
-/// line: stores not granted exclusivity are deferred (returned for re-issue
-/// as an upgrade), everything else yields `(req_id, version)` completions in
-/// order.
-pub(crate) fn apply_pending_ops(
+/// line: stores not granted exclusivity are deferred (left in `deferred`
+/// for re-issue as an upgrade), everything else yields `(req_id, version)`
+/// completions in order. The output buffers are controller-owned scratch —
+/// cleared here and reused across misses so the completion path allocates
+/// nothing in the steady state.
+pub(crate) fn apply_pending_ops<'a>(
     line: &mut MosiLine,
-    pending: &[PendingOp],
+    pending: impl Iterator<Item = &'a PendingOp>,
     granted_exclusive: bool,
     store_counter: &mut u64,
     node_bits: u64,
-) -> (Vec<(ReqId, u64)>, Vec<PendingOp>) {
-    let mut deferred = Vec::new();
-    let mut completions = Vec::with_capacity(pending.len());
+    completions: &mut Vec<(ReqId, u64)>,
+    deferred: &mut Vec<PendingOp>,
+) {
+    completions.clear();
+    deferred.clear();
     for op in pending {
         if op.write && !granted_exclusive {
             deferred.push(*op);
@@ -714,7 +718,6 @@ pub(crate) fn apply_pending_ops(
         };
         completions.push((op.req_id, version));
     }
-    (completions, deferred)
 }
 
 /// The miss classification every protocol shares.

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_memsys::{HomeMemory, L1Filter, MshrTable, OpList, OpSlab, SetAssocCache};
 use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
@@ -29,10 +29,11 @@ use crate::common::{
     WritebackPlane,
 };
 
-/// Requester-side bookkeeping for an outstanding directory miss.
-#[derive(Debug, Clone)]
+/// Requester-side bookkeeping for an outstanding directory miss. The
+/// pending-op list lives in the controller's [`OpSlab`] pool.
+#[derive(Debug)]
 struct DirMshr {
-    pending: Vec<PendingOp>,
+    pending: OpList,
     write: bool,
     upgrade: bool,
     issued_at: Cycle,
@@ -73,6 +74,11 @@ pub struct DirectoryController {
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
+    /// Pooled storage for every MSHR entry's pending-op list.
+    pending_ops: OpSlab<PendingOp>,
+    /// Reusable completion/deferral scratch for `apply_pending_ops`.
+    completion_scratch: Vec<(ReqId, u64)>,
+    deferred_scratch: Vec<PendingOp>,
 }
 
 impl DirectoryController {
@@ -98,6 +104,9 @@ impl DirectoryController {
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
+            pending_ops: OpSlab::new(),
+            completion_scratch: Vec::new(),
+            deferred_scratch: Vec::new(),
         }
     }
 
@@ -482,7 +491,7 @@ impl DirectoryController {
                 return;
             }
         }
-        let mshr = self.mshrs.release(addr).expect("checked above");
+        let mut mshr = self.mshrs.release(addr).expect("checked above");
 
         // Install the line.
         let granted_exclusive = mshr.write || mshr.exclusive;
@@ -499,17 +508,20 @@ impl DirectoryController {
         };
         // Stores merged into a read miss cannot be performed with only a
         // shared copy; they are re-issued below as an upgrade transaction.
-        let (completions, deferred_writes) = apply_pending_ops(
+        apply_pending_ops(
             &mut line,
-            &mshr.pending,
+            self.pending_ops.iter(&mshr.pending),
             granted_exclusive,
             &mut self.store_counter,
             version_node_bits(self.node),
+            &mut self.completion_scratch,
+            &mut self.deferred_scratch,
         );
+        self.pending_ops.clear(&mut mshr.pending);
         self.install_line(now, addr, line, out);
 
         let kind = miss_kind(mshr.write, mshr.upgrade);
-        for (req_id, version) in completions {
+        for (req_id, version) in self.completion_scratch.drain(..) {
             out.complete(MissCompletion {
                 req_id,
                 addr,
@@ -542,10 +554,16 @@ impl DirectoryController {
 
         // Re-issue any stores that merged into this read miss as a fresh
         // upgrade transaction.
-        if !deferred_writes.is_empty() {
+        if !self.deferred_scratch.is_empty() {
             self.stats.bump("merged_store_upgrades", 1);
+            let mut deferred = OpList::new();
+            for i in 0..self.deferred_scratch.len() {
+                let op = self.deferred_scratch[i];
+                self.pending_ops.push(&mut deferred, op);
+            }
+            self.deferred_scratch.clear();
             let upgrade = DirMshr {
-                pending: deferred_writes,
+                pending: deferred,
                 write: true,
                 upgrade: true,
                 issued_at: now,
@@ -611,18 +629,21 @@ impl CoherenceController for DirectoryController {
             // miss is satisfied later: if the read returns without write
             // permission, the store is re-issued as an upgrade transaction
             // when the read completes (see `try_complete`).
-            mshr.pending.push(PendingOp {
-                req_id: op.id,
-                write,
-            });
+            self.pending_ops.push(
+                &mut mshr.pending,
+                PendingOp {
+                    req_id: op.id,
+                    write,
+                },
+            );
             return AccessOutcome::Miss;
         }
 
         let mshr = DirMshr {
-            pending: vec![PendingOp {
+            pending: self.pending_ops.singleton(PendingOp {
                 req_id: op.id,
                 write,
-            }],
+            }),
             write,
             upgrade: write && had_copy,
             issued_at: now,
@@ -752,7 +773,8 @@ impl CoherenceController for DirectoryController {
         self.l1.save_state(w);
         self.l2.save_state(w, emit_mosi_line);
         self.memory.save_state(w, emit_dir_entry);
-        self.mshrs.save_state(w, emit_dir_mshr);
+        self.mshrs
+            .save_state(w, |w, mshr| emit_dir_mshr(w, mshr, &self.pending_ops));
         self.wb.save_state(w);
     }
 
@@ -762,7 +784,11 @@ impl CoherenceController for DirectoryController {
         self.l1.load_state(r)?;
         self.l2.load_state(r, read_mosi_line)?;
         self.memory.load_state(r, read_dir_entry)?;
-        self.mshrs.load_state(r, read_dir_mshr)?;
+        // Rebuild the pending-op pool from scratch; handles saved inside the
+        // reloaded MSHR entries are re-minted as they are read.
+        self.pending_ops.reset();
+        let slab = &mut self.pending_ops;
+        self.mshrs.load_state(r, |r| read_dir_mshr(r, slab))?;
         self.wb.load_state(r)?;
         Ok(())
     }
@@ -799,8 +825,8 @@ fn read_dir_entry(r: &mut SnapReader<'_>) -> Result<DirEntry, SnapshotError> {
     })
 }
 
-fn emit_dir_mshr(w: &mut SnapWriter, mshr: &DirMshr) {
-    w.seq(mshr.pending.iter(), emit_pending_op);
+fn emit_dir_mshr(w: &mut SnapWriter, mshr: &DirMshr, slab: &OpSlab<PendingOp>) {
+    w.seq(slab.iter(&mshr.pending), emit_pending_op);
     w.bool(mshr.write);
     w.bool(mshr.upgrade);
     w.u64(mshr.issued_at);
@@ -813,11 +839,14 @@ fn emit_dir_mshr(w: &mut SnapWriter, mshr: &DirMshr) {
     w.bool(mshr.from_cache);
 }
 
-fn read_dir_mshr(r: &mut SnapReader<'_>) -> Result<DirMshr, SnapshotError> {
+fn read_dir_mshr(
+    r: &mut SnapReader<'_>,
+    slab: &mut OpSlab<PendingOp>,
+) -> Result<DirMshr, SnapshotError> {
     let pending_len = r.bounded_len(9)?;
-    let mut pending = Vec::with_capacity(pending_len);
+    let mut pending = OpList::new();
     for _ in 0..pending_len {
-        pending.push(read_pending_op(r)?);
+        slab.push(&mut pending, read_pending_op(r)?);
     }
     Ok(DirMshr {
         pending,
@@ -866,6 +895,50 @@ mod tests {
             }
         }
         next
+    }
+
+    #[test]
+    fn steady_state_miss_traffic_recycles_pending_op_storage() {
+        let mut home = controller(0);
+        let mut requester = controller(1);
+
+        // Warm-up: a read miss with a store merged into it exercises both
+        // the merge path and the deferred-upgrade re-issue path, so the pool
+        // reaches its deepest population immediately.
+        let mut out = Outbox::new();
+        requester.access(0, &load(0, 1), &mut out);
+        requester.access(1, &store(0, 2), &mut out);
+        let home_out = deliver(&out, &mut home, 10);
+        let done = deliver(&home_out, &mut requester, 100);
+        let home_out = deliver(&done, &mut home, 110);
+        let done = deliver(&home_out, &mut requester, 200);
+        deliver(&done, &mut home, 210);
+        assert_eq!(requester.outstanding_misses(), 0);
+        let (fresh_after_warmup, _) = requester.pending_ops.counters();
+        assert!(fresh_after_warmup >= 2);
+
+        // Steady state: churn many more misses (distinct home-0 blocks so
+        // each access is a genuine miss) than the warm-up population.
+        for round in 1..200u64 {
+            let addr = round * 4 * 64;
+            let at = 1_000 * round;
+            let mut out = Outbox::new();
+            requester.access(at, &load(addr, 2 * round + 1), &mut out);
+            let home_out = deliver(&out, &mut home, at + 10);
+            let done = deliver(&home_out, &mut requester, at + 100);
+            deliver(&done, &mut home, at + 110);
+            assert_eq!(requester.outstanding_misses(), 0);
+        }
+
+        let (fresh, recycled) = requester.pending_ops.counters();
+        assert_eq!(
+            fresh, fresh_after_warmup,
+            "steady-state misses must recycle pending-op storage, not grow it"
+        );
+        // 199 steady-state singletons plus the warm-up's deferred-upgrade
+        // list, which was already served from the free list.
+        assert_eq!(recycled, 200);
+        assert_eq!(requester.pending_ops.live(), 0);
     }
 
     #[test]

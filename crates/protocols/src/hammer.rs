@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_memsys::{HomeMemory, L1Filter, MshrTable, OpList, OpSlab, SetAssocCache};
 use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
@@ -31,9 +31,9 @@ use crate::common::{
     WritebackPlane,
 };
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct HammerMshr {
-    pending: Vec<PendingOp>,
+    pending: OpList,
     write: bool,
     upgrade: bool,
     issued_at: Cycle,
@@ -73,6 +73,11 @@ pub struct HammerController {
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
+    /// Pooled storage for every MSHR entry's pending-op list.
+    pending_ops: OpSlab<PendingOp>,
+    /// Reusable completion/deferral scratch for `apply_pending_ops`.
+    completion_scratch: Vec<(ReqId, u64)>,
+    deferred_scratch: Vec<PendingOp>,
 }
 
 impl HammerController {
@@ -94,6 +99,9 @@ impl HammerController {
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
+            pending_ops: OpSlab::new(),
+            completion_scratch: Vec::new(),
+            deferred_scratch: Vec::new(),
         }
     }
 
@@ -314,7 +322,7 @@ impl HammerController {
         if !mshr.data_received && !mshr.memory_data_received {
             return;
         }
-        let mshr = self.mshrs.release(addr).expect("checked above");
+        let mut mshr = self.mshrs.release(addr).expect("checked above");
 
         let (version, dirty, from_cache) = if mshr.data_received {
             (mshr.version, mshr.dirty, true)
@@ -334,19 +342,22 @@ impl HammerController {
             valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss wait for an upgrade transaction.
-        let (completions, deferred_writes) = apply_pending_ops(
+        apply_pending_ops(
             &mut line,
-            &mshr.pending,
+            self.pending_ops.iter(&mshr.pending),
             granted_exclusive,
             &mut self.store_counter,
             version_node_bits(self.node),
+            &mut self.completion_scratch,
+            &mut self.deferred_scratch,
         );
+        self.pending_ops.clear(&mut mshr.pending);
         if let Some(victim) = self.l2.insert(addr, line) {
             self.evict(now, victim.addr, victim.state, out);
         }
 
         let kind = miss_kind(mshr.write, mshr.upgrade);
-        for (req_id, v) in completions {
+        for (req_id, v) in self.completion_scratch.drain(..) {
             out.complete(MissCompletion {
                 req_id,
                 addr,
@@ -372,10 +383,16 @@ impl HammerController {
         self.send(out, unblock);
 
         // Re-issue merged stores as an upgrade transaction.
-        if !deferred_writes.is_empty() {
+        if !self.deferred_scratch.is_empty() {
             self.stats.bump("merged_store_upgrades", 1);
+            let mut deferred = OpList::new();
+            for i in 0..self.deferred_scratch.len() {
+                let op = self.deferred_scratch[i];
+                self.pending_ops.push(&mut deferred, op);
+            }
+            self.deferred_scratch.clear();
             let upgrade = HammerMshr {
-                pending: deferred_writes,
+                pending: deferred,
                 write: true,
                 upgrade: true,
                 issued_at: now,
@@ -458,10 +475,13 @@ impl CoherenceController for HammerController {
             .map(|l| l.state.readable())
             .unwrap_or(false);
         if let Some(mshr) = self.mshrs.get_mut(addr) {
-            mshr.pending.push(PendingOp {
-                req_id: op.id,
-                write,
-            });
+            self.pending_ops.push(
+                &mut mshr.pending,
+                PendingOp {
+                    req_id: op.id,
+                    write,
+                },
+            );
             // A later write merged into a read miss simply waits; the miss
             // will complete with whatever permission was requested first and
             // the store will retry as an upgrade (kept simple: Hammer is a
@@ -470,10 +490,10 @@ impl CoherenceController for HammerController {
         }
 
         let mshr = HammerMshr {
-            pending: vec![PendingOp {
+            pending: self.pending_ops.singleton(PendingOp {
                 req_id: op.id,
                 write,
-            }],
+            }),
             write,
             upgrade: write && had_copy,
             issued_at: now,
@@ -592,7 +612,8 @@ impl CoherenceController for HammerController {
         self.l1.save_state(w);
         self.l2.save_state(w, emit_mosi_line);
         self.memory.save_state(w, emit_hammer_entry);
-        self.mshrs.save_state(w, emit_hammer_mshr);
+        self.mshrs
+            .save_state(w, |w, mshr| emit_hammer_mshr(w, mshr, &self.pending_ops));
         self.wb.save_state(w);
     }
 
@@ -602,7 +623,11 @@ impl CoherenceController for HammerController {
         self.l1.load_state(r)?;
         self.l2.load_state(r, read_mosi_line)?;
         self.memory.load_state(r, read_hammer_entry)?;
-        self.mshrs.load_state(r, read_hammer_mshr)?;
+        // Rebuild the pending-op pool from scratch; handles saved inside the
+        // reloaded MSHR entries are re-minted as they are read.
+        self.pending_ops.reset();
+        let slab = &mut self.pending_ops;
+        self.mshrs.load_state(r, |r| read_hammer_mshr(r, slab))?;
         self.wb.load_state(r)?;
         Ok(())
     }
@@ -626,8 +651,8 @@ fn read_hammer_entry(r: &mut SnapReader<'_>) -> Result<HammerEntry, SnapshotErro
     Ok(HammerEntry { busy, queue })
 }
 
-fn emit_hammer_mshr(w: &mut SnapWriter, mshr: &HammerMshr) {
-    w.seq(mshr.pending.iter(), emit_pending_op);
+fn emit_hammer_mshr(w: &mut SnapWriter, mshr: &HammerMshr, slab: &OpSlab<PendingOp>) {
+    w.seq(slab.iter(&mshr.pending), emit_pending_op);
     w.bool(mshr.write);
     w.bool(mshr.upgrade);
     w.u64(mshr.issued_at);
@@ -642,11 +667,14 @@ fn emit_hammer_mshr(w: &mut SnapWriter, mshr: &HammerMshr) {
     w.bool(mshr.memory_data_received);
 }
 
-fn read_hammer_mshr(r: &mut SnapReader<'_>) -> Result<HammerMshr, SnapshotError> {
+fn read_hammer_mshr(
+    r: &mut SnapReader<'_>,
+    slab: &mut OpSlab<PendingOp>,
+) -> Result<HammerMshr, SnapshotError> {
     let pending_len = r.bounded_len(9)?;
-    let mut pending = Vec::with_capacity(pending_len);
+    let mut pending = OpList::new();
     for _ in 0..pending_len {
-        pending.push(read_pending_op(r)?);
+        slab.push(&mut pending, read_pending_op(r)?);
     }
     Ok(HammerMshr {
         pending,

@@ -35,7 +35,7 @@
 //! it fundamentally cannot run on the unordered torus, which is exactly the
 //! limitation TokenB removes.
 
-use tc_memsys::{HomeMemory, L1Filter, MshrTable, SetAssocCache};
+use tc_memsys::{HomeMemory, L1Filter, MshrTable, OpList, OpSlab, SetAssocCache};
 use tc_sim::{SnapReader, SnapWriter, SnapshotError};
 use tc_types::{
     AccessOutcome, BlockAddr, BlockAudit, CoherenceController, ControllerStats, Cycle, DataPayload,
@@ -49,9 +49,9 @@ use crate::common::{
     QueuedRequest, WbHandshake, WritebackPlane,
 };
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct SnoopMshr {
-    pending: Vec<PendingOp>,
+    pending: OpList,
     /// The request id this transaction was broadcast under. Every data
     /// response echoes it, so a late response to an already-completed
     /// transaction (for example the redundant memory response to an upgrade
@@ -108,6 +108,11 @@ pub struct SnoopingController {
     migratory_optimization: bool,
     stats: ControllerStats,
     store_counter: u64,
+    /// Pooled storage for every MSHR entry's pending-op list.
+    pending_ops: OpSlab<PendingOp>,
+    /// Reusable completion/deferral scratch for `apply_pending_ops`.
+    completion_scratch: Vec<(ReqId, u64)>,
+    deferred_scratch: Vec<PendingOp>,
     /// Cached all-nodes destination: snooping broadcasts every request, so
     /// this Arc-backed set is cloned (refcount bump, no allocation) per send.
     everyone: Destination,
@@ -131,6 +136,9 @@ impl SnoopingController {
             migratory_optimization: config.token.migratory_optimization,
             stats: ControllerStats::new(),
             store_counter: 0,
+            pending_ops: OpSlab::new(),
+            completion_scratch: Vec::new(),
+            deferred_scratch: Vec::new(),
             everyone: Destination::Multicast((0..config.num_nodes).map(NodeId::new).collect()),
         }
     }
@@ -518,7 +526,7 @@ impl SnoopingController {
         if !satisfied {
             return;
         }
-        let mshr = self.mshrs.release(addr).expect("checked above");
+        let mut mshr = self.mshrs.release(addr).expect("checked above");
 
         // Determine the version we start from.
         let base_version = if mshr.data_received {
@@ -539,19 +547,22 @@ impl SnoopingController {
             valid_since: mshr.issued_at,
         };
         // Stores merged into a read miss wait for their own upgrade.
-        let (completions, deferred_writes) = apply_pending_ops(
+        apply_pending_ops(
             &mut line,
-            &mshr.pending,
+            self.pending_ops.iter(&mshr.pending),
             granted_exclusive,
             &mut self.store_counter,
             version_node_bits(self.node),
+            &mut self.completion_scratch,
+            &mut self.deferred_scratch,
         );
+        self.pending_ops.clear(&mut mshr.pending);
         if let Some(victim) = self.l2.insert(addr, line) {
             self.evict(now, victim.addr, victim.state, out);
         }
 
         let kind = miss_kind(mshr.write, mshr.upgrade);
-        for (req_id, v) in completions {
+        for (req_id, v) in self.completion_scratch.drain(..) {
             out.complete(MissCompletion {
                 req_id,
                 addr,
@@ -619,11 +630,17 @@ impl SnoopingController {
         }
 
         // Re-issue merged stores as an upgrade transaction of their own.
-        if !deferred_writes.is_empty() {
+        if !self.deferred_scratch.is_empty() {
             self.stats.bump("merged_store_upgrades", 1);
-            let upgrade_req_id = deferred_writes[0].req_id;
+            let upgrade_req_id = self.deferred_scratch[0].req_id;
+            let mut deferred = OpList::new();
+            for i in 0..self.deferred_scratch.len() {
+                let op = self.deferred_scratch[i];
+                self.pending_ops.push(&mut deferred, op);
+            }
+            self.deferred_scratch.clear();
             let upgrade = SnoopMshr {
-                pending: deferred_writes,
+                pending: deferred,
                 req_id: upgrade_req_id,
                 write: true,
                 upgrade: true,
@@ -725,18 +742,21 @@ impl CoherenceController for SnoopingController {
             // Merge into the outstanding miss; stores that arrive without
             // write permission are re-issued as an upgrade once the current
             // transaction completes.
-            mshr.pending.push(PendingOp {
-                req_id: op.id,
-                write,
-            });
+            self.pending_ops.push(
+                &mut mshr.pending,
+                PendingOp {
+                    req_id: op.id,
+                    write,
+                },
+            );
             return AccessOutcome::Miss;
         }
 
         let mshr = SnoopMshr {
-            pending: vec![PendingOp {
+            pending: self.pending_ops.singleton(PendingOp {
                 req_id: op.id,
                 write,
-            }],
+            }),
             req_id: op.id,
             write,
             upgrade: write && had_copy,
@@ -875,7 +895,8 @@ impl CoherenceController for SnoopingController {
         self.l1.save_state(w);
         self.l2.save_state(w, emit_mosi_line);
         self.memory.save_state(w, |w, bit| w.bool(bit.memory_owner));
-        self.mshrs.save_state(w, emit_snoop_mshr);
+        self.mshrs
+            .save_state(w, |w, mshr| emit_snoop_mshr(w, mshr, &self.pending_ops));
         self.wb.save_state(w);
     }
 
@@ -889,14 +910,18 @@ impl CoherenceController for SnoopingController {
                 memory_owner: r.bool()?,
             })
         })?;
-        self.mshrs.load_state(r, read_snoop_mshr)?;
+        // Rebuild the pending-op pool from scratch; handles saved inside the
+        // reloaded MSHR entries are re-minted as they are read.
+        self.pending_ops.reset();
+        let slab = &mut self.pending_ops;
+        self.mshrs.load_state(r, |r| read_snoop_mshr(r, slab))?;
         self.wb.load_state(r)?;
         Ok(())
     }
 }
 
-fn emit_snoop_mshr(w: &mut SnapWriter, mshr: &SnoopMshr) {
-    w.seq(mshr.pending.iter(), emit_pending_op);
+fn emit_snoop_mshr(w: &mut SnapWriter, mshr: &SnoopMshr, slab: &OpSlab<PendingOp>) {
+    w.seq(slab.iter(&mshr.pending), emit_pending_op);
     w.u64(mshr.req_id.value());
     w.bool(mshr.write);
     w.bool(mshr.upgrade);
@@ -915,11 +940,14 @@ fn emit_snoop_mshr(w: &mut SnapWriter, mshr: &SnoopMshr) {
     });
 }
 
-fn read_snoop_mshr(r: &mut SnapReader<'_>) -> Result<SnoopMshr, SnapshotError> {
+fn read_snoop_mshr(
+    r: &mut SnapReader<'_>,
+    slab: &mut OpSlab<PendingOp>,
+) -> Result<SnoopMshr, SnapshotError> {
     let pending_len = r.bounded_len(9)?;
-    let mut pending = Vec::with_capacity(pending_len);
+    let mut pending = OpList::new();
     for _ in 0..pending_len {
-        pending.push(read_pending_op(r)?);
+        slab.push(&mut pending, read_pending_op(r)?);
     }
     let req_id = ReqId::new(r.u64()?);
     let write = r.bool()?;

@@ -26,7 +26,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TCSNAP\x00\x01";
 /// * v2 — verifier payload carries the fairness oracle's outstanding
 ///   escalations; runner payload carries miss-latency samples and per-node
 ///   completion counts (and the adversary plane, when one is armed).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// * v3 — fault/adversary plane state carries per-source-node RNG streams
+///   (empty in single-stream mode); `EngineStats` carries shard telemetry;
+///   the runner fingerprint folds in `RunOptions::shards`.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot or journal could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -60,6 +60,7 @@ pub mod experiment;
 pub mod processor;
 pub mod report;
 pub mod runner;
+mod sharded;
 pub mod verify;
 
 pub use campaign::{

@@ -102,6 +102,26 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// This report with engine *capacity telemetry* zeroed, leaving only
+    /// behavioral fields — the view the sharded-execution determinism
+    /// contract is stated over.
+    ///
+    /// A sharded run (`RunOptions::shards >= 1`) produces the same events,
+    /// messages, statistics, and violations at every shard count, but each
+    /// shard has its own calendar queue and message arena, so the *peak
+    /// occupancy* of those structures (and the per-shard vectors in
+    /// [`tc_types::ShardStats`]) necessarily depends on how many shards the
+    /// work was split across. Comparing `determinism_view()`s bit-for-bit
+    /// checks everything the simulation computed while ignoring only how
+    /// full the engine's internal containers got.
+    pub fn determinism_view(&self) -> RunReport {
+        let mut view = self.clone();
+        view.engine.peak_queue_depth = 0;
+        view.engine.peak_arena_occupancy = 0;
+        view.engine.sharding = tc_types::ShardStats::default();
+        view
+    }
+
     /// Runtime normalized per transaction: the figure-of-merit the paper
     /// plots ("normalized cycles per transaction", smaller is better).
     pub fn cycles_per_transaction(&self) -> f64 {
@@ -339,6 +359,14 @@ impl fmt::Display for RunReport {
                 f,
                 "  adversary ({}): {}",
                 self.adversary, self.engine.adversary
+            )?;
+        }
+        if self.engine.sharding.shards > 0 {
+            let s = &self.engine.sharding;
+            writeln!(
+                f,
+                "  sharded: {} shard(s), lookahead {} ns, {} windows, {} sync stalls",
+                s.shards, s.lookahead_ns, s.windows, s.sync_stalls
             )?;
         }
         write!(f, "  violations: {}", self.violations.len())

@@ -42,6 +42,15 @@ pub struct RunOptions {
     /// all, so unadversarial runs stay bit-identical to runs before the
     /// adversary existed.
     pub adversary: AdversarySpec,
+    /// Number of spatial shards (worker threads) to split the run across.
+    /// `0` (the default) runs the original serial engine, bit-identical to
+    /// every release before sharding existed. Any value `>= 1` selects the
+    /// conservative-PDES windowed engine, whose reports are bit-identical
+    /// across *all* shard counts (behavioral fields; see
+    /// [`RunReport::determinism_view`]) but follow a different — equally
+    /// legal — message schedule than the serial engine. Clamped to the node
+    /// count at run time. Incompatible with `checkpoint_every`.
+    pub shards: u32,
 }
 
 impl RunOptions {
@@ -69,6 +78,13 @@ impl RunOptions {
     /// events).
     pub fn with_checkpoint_every(mut self, events: u64) -> Self {
         self.checkpoint_every = Some(events.max(1));
+        self
+    }
+
+    /// Returns these options with the given shard count (see
+    /// [`RunOptions::shards`]).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -113,6 +129,7 @@ impl Default for RunOptions {
             livelock_events_budget: 50_000_000,
             checkpoint_every: None,
             adversary: AdversarySpec::none(),
+            shards: 0,
         }
     }
 }
@@ -279,19 +296,19 @@ enum SystemEvent {
 /// deterministic event queue.
 #[derive(Debug)]
 pub struct System {
-    config: SystemConfig,
-    workload: WorkloadProfile,
-    controllers: Vec<Box<dyn CoherenceController>>,
-    processors: Vec<Processor>,
-    interconnect: Interconnect,
+    pub(crate) config: SystemConfig,
+    pub(crate) workload: WorkloadProfile,
+    pub(crate) controllers: Vec<Box<dyn CoherenceController>>,
+    pub(crate) processors: Vec<Processor>,
+    pub(crate) interconnect: Interconnect,
     queue: EventQueue<SystemEvent>,
-    verifier: Verifier,
+    pub(crate) verifier: Verifier,
     /// Whether each outstanding miss (by request id) is a store, so that
     /// completions can be classified per operation rather than per miss.
     outstanding_writes: FastHashMap<tc_types::ReqId, bool>,
     /// Operations completed across all processors, maintained incrementally
     /// at hit/completion sites so the event loop never re-sums per node.
-    completed_ops: u64,
+    pub(crate) completed_ops: u64,
     /// In-flight message payloads; events reference them by [`MsgRef`].
     messages: Arena<Message>,
     /// Scratch outbox handed to controllers; drained (capacity kept) after
@@ -301,19 +318,19 @@ pub struct System {
     arrival_buf: Vec<(Cycle, NodeId)>,
     /// Worst end-to-end miss latency observed, reported as the worst-case
     /// recovery latency when fault injection is active.
-    max_miss_latency: Cycle,
+    pub(crate) max_miss_latency: Cycle,
     /// Every completed miss's end-to-end latency, for the report's
     /// p50/p99/max percentiles. Bounded by the op count, not the event
     /// count, so a full OLTP calibration stays in the hundreds of
     /// kilobytes.
-    miss_latency_samples: Vec<Cycle>,
+    pub(crate) miss_latency_samples: Vec<Cycle>,
     /// Operations completed per node (hits and misses), the input to the
     /// report's completion-share skew — the fairness metric the adversary
     /// tries to maximize.
-    completions_per_node: Vec<u64>,
+    pub(crate) completions_per_node: Vec<u64>,
     /// The fairness oracle's bounded-wait threshold for this run, set from
     /// [`RunOptions::starvation_bound`] when a run starts.
-    starvation_bound: Cycle,
+    pub(crate) starvation_bound: Cycle,
     /// When set (`TC_TRACE_BLOCK` env var), every send/delivery touching this
     /// block is printed to stderr — the deterministic replay makes this a
     /// complete causal trace of one block's protocol activity, and the
@@ -447,6 +464,18 @@ impl System {
         options: RunOptions,
         sink: &mut dyn FnMut(u64, &[u8]),
     ) -> RunReport {
+        if options.shards > 0 {
+            // The snapshot plane serializes the serial engine's single
+            // calendar queue and arena; a sharded run has S of each plus a
+            // coordinator, and is short-lived by design. Reject loudly
+            // rather than silently not checkpointing.
+            assert!(
+                options.checkpoint_every.is_none(),
+                "checkpointing is not supported under sharded execution \
+                 (RunOptions::shards > 0); run serially to checkpoint"
+            );
+            return crate::sharded::run_sharded(self, &options);
+        }
         let mut progress = RunProgress::start(&options, &self.config);
         self.drive(&options, &mut progress, sink, None);
         self.finish(&options, progress)
@@ -666,17 +695,7 @@ impl System {
                 .then_some(progress.events_since_progress),
         );
 
-        let mut misses = MissStats::default();
-        let mut reissue = ReissueStats::default();
-        let mut controllers = ControllerStats::new();
-        let mut line_state = LineStateStats::default();
-        for controller in &self.controllers {
-            let stats = controller.stats();
-            misses.merge(&stats.misses);
-            reissue.merge(&stats.reissue);
-            controllers.merge(&stats);
-            line_state.merge(&controller.line_state_stats());
-        }
+        let (misses, reissue, controllers, line_state) = merge_controller_stats(&self.controllers);
 
         // Recovery-side fault numbers: how hard the correctness substrate
         // had to work. Left all-zero on faultless runs so the default
@@ -691,33 +710,9 @@ impl System {
             fault_stats.max_recovery_ns = self.max_miss_latency;
         }
 
-        // Miss-latency percentiles over every completed miss. Sorted in
-        // place: the run is over and the samples have no other consumer.
-        self.miss_latency_samples.sort_unstable();
-        let percentile = |p: usize| -> Cycle {
-            match self.miss_latency_samples.len() {
-                0 => 0,
-                n => self.miss_latency_samples[(n - 1) * p / 100],
-            }
-        };
-        let (miss_latency_p50, miss_latency_p99) = (percentile(50), percentile(99));
-        let miss_latency_max = self.miss_latency_samples.last().copied().unwrap_or(0);
-
-        // Completion-share skew: (max - min) per-node completions relative
-        // to the mean, in parts per million. Zero on a perfectly fair run;
-        // the adversary's objective is to drive it up.
-        let total_completions: u64 = self.completions_per_node.iter().sum();
-        let completion_skew_ppm = if total_completions == 0 {
-            0
-        } else {
-            let most = *self.completions_per_node.iter().max().unwrap();
-            let least = *self.completions_per_node.iter().min().unwrap();
-            let mean = total_completions / self.completions_per_node.len() as u64;
-            (most - least)
-                .saturating_mul(1_000_000)
-                .checked_div(mean)
-                .unwrap_or(0)
-        };
+        let (miss_latency_p50, miss_latency_p99, miss_latency_max) =
+            latency_percentiles(&mut self.miss_latency_samples);
+        let completion_skew_ppm = completion_skew_ppm(&self.completions_per_node);
 
         let adversary_stats = progress
             .adversary_plane
@@ -752,6 +747,7 @@ impl System {
                 state: line_state,
                 faults: fault_stats,
                 adversary: adversary_stats,
+                sharding: tc_types::ShardStats::default(),
             },
             violations: self.verifier.violations().to_vec(),
         }
@@ -870,15 +866,20 @@ impl System {
     /// excluded — checkpointing is observational, so a snapshot taken at
     /// one cadence restores fine under another (or under none).
     fn fingerprint(&self, options: &RunOptions) -> u64 {
+        // `shards` is folded in even though sharded runs never snapshot:
+        // a snapshot taken serially (shards = 0) then restored under
+        // shards > 0 must fail as a structured `Corrupt`, not resume on the
+        // wrong engine.
         let key = format!(
-            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}",
+            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}|{}",
             self.config,
             self.workload,
             options.ops_per_node,
             options.max_cycles,
             options.faults,
             options.livelock_events_budget,
-            options.adversary
+            options.adversary,
+            options.shards
         );
         tc_sim::fnv1a64(key.as_bytes())
     }
@@ -1023,18 +1024,6 @@ impl System {
     /// tripped, which takes precedence over both.
     fn final_audit(&mut self, drain_limit_hit: bool, livelock: Option<u64>) {
         let now = self.queue.now();
-        let expected_tokens = match self.config.protocol {
-            ProtocolKind::TokenB => Some(self.config.token.tokens_per_block),
-            _ => None,
-        };
-
-        let mut blocks: Vec<BlockAddr> = Vec::new();
-        for controller in &self.controllers {
-            blocks.extend(controller.audited_blocks());
-        }
-        blocks.sort_unstable();
-        blocks.dedup();
-
         // Tokens in flight at quiescence: exactly the token counts of
         // `Deliver` events still pending in the queue (their payloads are
         // still parked in the arena). Derived here once instead of being
@@ -1046,85 +1035,187 @@ impl System {
         for event in self.queue.iter() {
             if let SystemEvent::Deliver { msg, .. } = event {
                 let msg = self.messages.get(*msg);
-                let tokens = msg.kind.token_count() as i64;
-                if tokens > 0 {
-                    let entry = in_flight_tokens.entry(msg.addr).or_insert((0, 0));
-                    entry.0 += tokens;
-                    if msg.kind.carries_owner_token() {
-                        entry.1 += 1;
-                    }
-                }
+                add_in_flight_tokens(&mut in_flight_tokens, msg);
             }
         }
+        final_audit_merged(
+            &mut self.verifier,
+            &self.config,
+            &self.controllers,
+            &self.processors,
+            &in_flight_tokens,
+            now,
+            drain_limit_hit,
+            livelock,
+        );
+    }
+}
 
-        for addr in blocks {
-            let mut audits = Vec::new();
-            for controller in &self.controllers {
-                audits.extend(controller.audit_block(addr));
-            }
-            let (in_flight, in_flight_owner) =
-                in_flight_tokens.get(&addr).copied().unwrap_or((0, 0));
-            self.verifier.audit_block(
-                addr,
-                &audits,
-                in_flight.max(0) as u32,
-                in_flight_owner.max(0) as u32,
-                expected_tokens,
-                now,
-            );
+/// Accumulates one in-flight message's token counts into the final-audit
+/// map (total tokens, owner tokens) for its block.
+pub(crate) fn add_in_flight_tokens(
+    in_flight_tokens: &mut FastHashMap<BlockAddr, (i64, i64)>,
+    msg: &Message,
+) {
+    let tokens = msg.kind.token_count() as i64;
+    if tokens > 0 {
+        let entry = in_flight_tokens.entry(msg.addr).or_insert((0, 0));
+        entry.0 += tokens;
+        if msg.kind.carries_owner_token() {
+            entry.1 += 1;
         }
+    }
+}
 
-        // Liveness: after the drain, nothing may still be outstanding. A
-        // stuck request is a deadlock if the drain limit cut the run off
-        // (events were still flowing) and starvation otherwise; either way
-        // the violation names the block the requester is stuck on.
-        for (processor, controller) in self.processors.iter().zip(&self.controllers) {
-            if controller.outstanding_misses() > 0 || processor.outstanding_misses() > 0 {
-                let stuck_block = controller
-                    .outstanding_blocks()
-                    .first()
-                    .copied()
-                    .unwrap_or(BlockAddr::new(0));
-                let issued_at = processor
-                    .oldest_outstanding()
-                    .map(|(_, at)| at)
-                    .unwrap_or(now);
-                if let Some(events_without_progress) = livelock {
-                    self.verifier.record_livelock(
-                        processor.node(),
-                        stuck_block,
-                        issued_at,
-                        now,
-                        events_without_progress,
-                    );
-                } else if drain_limit_hit {
-                    self.verifier
-                        .record_deadlock(processor.node(), stuck_block, issued_at, now);
-                } else {
-                    self.verifier
-                        .record_starvation(processor.node(), stuck_block, issued_at, now);
-                }
-            }
+/// Merges per-controller statistics into the report's aggregate
+/// (miss, reissue, controller, line-state) tuples.
+pub(crate) fn merge_controller_stats(
+    controllers: &[Box<dyn CoherenceController>],
+) -> (MissStats, ReissueStats, ControllerStats, LineStateStats) {
+    let mut misses = MissStats::default();
+    let mut reissue = ReissueStats::default();
+    let mut merged = ControllerStats::new();
+    let mut line_state = LineStateStats::default();
+    for controller in controllers {
+        let stats = controller.stats();
+        misses.merge(&stats.misses);
+        reissue.merge(&stats.reissue);
+        merged.merge(&stats);
+        line_state.merge(&controller.line_state_stats());
+    }
+    (misses, reissue, merged, line_state)
+}
+
+/// Miss-latency percentiles `(p50, p99, max)` over every completed miss.
+/// Sorts in place: the run is over and the samples have no other consumer.
+pub(crate) fn latency_percentiles(samples: &mut [Cycle]) -> (Cycle, Cycle, Cycle) {
+    samples.sort_unstable();
+    let percentile = |p: usize| -> Cycle {
+        match samples.len() {
+            0 => 0,
+            n => samples[(n - 1) * p / 100],
         }
+    };
+    (
+        percentile(50),
+        percentile(99),
+        samples.last().copied().unwrap_or(0),
+    )
+}
 
-        // A tripped watchdog must surface even when no request happens to
-        // be outstanding at the cut (pure message ping-pong): attribute it
-        // to node 0 rather than dropping the violation.
-        if let Some(events_without_progress) = livelock {
-            let already_recorded = self
-                .verifier
-                .violations()
-                .iter()
-                .any(|v| matches!(v, tc_types::InvariantViolation::Livelock { .. }));
-            if !already_recorded {
-                self.verifier.record_livelock(
-                    NodeId::new(0),
-                    BlockAddr::new(0),
-                    now,
+/// Completion-share skew: (max - min) per-node completions relative to the
+/// mean, in parts per million. Zero on a perfectly fair run; the
+/// adversary's objective is to drive it up.
+pub(crate) fn completion_skew_ppm(completions_per_node: &[u64]) -> u64 {
+    let total_completions: u64 = completions_per_node.iter().sum();
+    if total_completions == 0 {
+        0
+    } else {
+        let most = *completions_per_node.iter().max().unwrap();
+        let least = *completions_per_node.iter().min().unwrap();
+        let mean = total_completions / completions_per_node.len() as u64;
+        (most - least)
+            .saturating_mul(1_000_000)
+            .checked_div(mean)
+            .unwrap_or(0)
+    }
+}
+
+/// Audits the quiesced final state: token conservation, single-writer, and
+/// starvation/deadlock/livelock. Engine-agnostic — the serial engine hands
+/// it its one queue's pending-delivery tokens, the sharded engine the merged
+/// map across all shard queues. `drain_limit_hit` distinguishes a run that
+/// was cut off with events still flowing (deadlock — something is spinning
+/// or stranded) from one whose event queue drained with requests still
+/// outstanding (starvation — nothing left that could complete them);
+/// `livelock` carries the watchdog's events-without-progress count when the
+/// forward-progress budget tripped, which takes precedence over both.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn final_audit_merged(
+    verifier: &mut Verifier,
+    config: &SystemConfig,
+    controllers: &[Box<dyn CoherenceController>],
+    processors: &[Processor],
+    in_flight_tokens: &FastHashMap<BlockAddr, (i64, i64)>,
+    now: Cycle,
+    drain_limit_hit: bool,
+    livelock: Option<u64>,
+) {
+    let expected_tokens = match config.protocol {
+        ProtocolKind::TokenB => Some(config.token.tokens_per_block),
+        _ => None,
+    };
+
+    let mut blocks: Vec<BlockAddr> = Vec::new();
+    for controller in controllers {
+        blocks.extend(controller.audited_blocks());
+    }
+    blocks.sort_unstable();
+    blocks.dedup();
+
+    for addr in blocks {
+        let mut audits = Vec::new();
+        for controller in controllers {
+            audits.extend(controller.audit_block(addr));
+        }
+        let (in_flight, in_flight_owner) = in_flight_tokens.get(&addr).copied().unwrap_or((0, 0));
+        verifier.audit_block(
+            addr,
+            &audits,
+            in_flight.max(0) as u32,
+            in_flight_owner.max(0) as u32,
+            expected_tokens,
+            now,
+        );
+    }
+
+    // Liveness: after the drain, nothing may still be outstanding. A
+    // stuck request is a deadlock if the drain limit cut the run off
+    // (events were still flowing) and starvation otherwise; either way
+    // the violation names the block the requester is stuck on.
+    for (processor, controller) in processors.iter().zip(controllers) {
+        if controller.outstanding_misses() > 0 || processor.outstanding_misses() > 0 {
+            let stuck_block = controller
+                .outstanding_blocks()
+                .first()
+                .copied()
+                .unwrap_or(BlockAddr::new(0));
+            let issued_at = processor
+                .oldest_outstanding()
+                .map(|(_, at)| at)
+                .unwrap_or(now);
+            if let Some(events_without_progress) = livelock {
+                verifier.record_livelock(
+                    processor.node(),
+                    stuck_block,
+                    issued_at,
                     now,
                     events_without_progress,
                 );
+            } else if drain_limit_hit {
+                verifier.record_deadlock(processor.node(), stuck_block, issued_at, now);
+            } else {
+                verifier.record_starvation(processor.node(), stuck_block, issued_at, now);
             }
+        }
+    }
+
+    // A tripped watchdog must surface even when no request happens to
+    // be outstanding at the cut (pure message ping-pong): attribute it
+    // to node 0 rather than dropping the violation.
+    if let Some(events_without_progress) = livelock {
+        let already_recorded = verifier
+            .violations()
+            .iter()
+            .any(|v| matches!(v, tc_types::InvariantViolation::Livelock { .. }));
+        if !already_recorded {
+            verifier.record_livelock(
+                NodeId::new(0),
+                BlockAddr::new(0),
+                now,
+                now,
+                events_without_progress,
+            );
         }
     }
 }

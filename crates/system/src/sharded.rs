@@ -1,0 +1,1099 @@
+//! Sharded execution: one run split spatially across worker threads with
+//! conservative, topology-derived lookahead (classic conservative PDES,
+//! barrier-window flavor).
+//!
+//! # How the run is partitioned
+//!
+//! Each shard owns a *contiguous* range of nodes — their controllers,
+//! processors, line tables, and outstanding-miss bookkeeping — plus its own
+//! event queue and message arena. Everything a node does to itself (wakeups,
+//! timers, cache hits) stays on its shard. The only cross-shard interaction
+//! is a message send, and every send goes through the *one* global
+//! interconnect model at a window boundary: the fabric's per-link bandwidth
+//! state (`free_at` under [`tc_types::BandwidthMode::Limited`]) is
+//! order-sensitive global state, so sends are committed serially, in a
+//! canonical merged order, by the coordinator.
+//!
+//! # Why the windows are safe (lookahead)
+//!
+//! The window width is [`tc_interconnect::Interconnect::lookahead_ns`]: the
+//! minimum hop count between any two *distinct* nodes times the link
+//! latency, i.e. the minimum time any send needs before it can affect
+//! another node. Every window `[start, end)` satisfies
+//! `end - start <= lookahead` (the coordinator aligns boundaries to
+//! lookahead multiples and skips ahead over idle gaps), so a send popped at
+//! cycle `c >= end - lookahead` cannot produce a remote arrival before
+//! `c + lookahead >= end` — committing all of a window's sends at its end
+//! boundary never delivers into the past. The one exception is a node
+//! sending to *itself* (zero links crossed); those arrivals are clamped to
+//! the boundary, a legal extra delay on an unordered fabric that every
+//! protocol already tolerates (it is exactly what the fault and adversary
+//! planes inject on purpose).
+//!
+//! # Why `shards(1) == shards(N)`, bit for bit
+//!
+//! Determinism is by construction, not by luck:
+//!
+//! * Every event has a canonical key. Node-originated events (wakeups,
+//!   timers, send-hand-offs) are keyed `(node, per-node monotone seq)` —
+//!   a node's events are always processed on its home shard in `(cycle,
+//!   key)` order, so the allocation sequence is a function of that node's
+//!   history alone. Committed deliveries are keyed by the coordinator's
+//!   global commit counter plus the arrival's index in the fan-out.
+//! * Shards only exchange *logs* (sends and verifier operations), each
+//!   tagged with the originating event's `(cycle, key)`; the coordinator
+//!   merges them into one canonical order before touching shared state
+//!   (fabric, fault/adversary planes, verifier).
+//! * Fault and adversary RNG streams are forked *per source node* (see
+//!   [`tc_interconnect::FaultPlane::new_per_node`]), so the dice a message
+//!   sees depend on which node sent it, never on which shard or thread.
+//! * All run-control decisions (draining, drain limit, livelock budget,
+//!   termination) are made by the coordinator at window boundaries from
+//!   merged totals — quantities that are themselves shard-invariant.
+//!
+//! The per-shard *capacity* telemetry (queue/arena peaks, per-shard event
+//! counts in [`ShardStats`]) necessarily differs with the shard count;
+//! [`crate::RunReport::determinism_view`] is the report view the
+//! bit-identity contract is stated over.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+
+use tc_interconnect::{Adversary, FaultPlane, Interconnect};
+use tc_sim::{Arena, ArenaRef};
+use tc_types::{
+    AccessOutcome, BlockAddr, CoherenceController, Cycle, EngineStats, FastHashMap, Message,
+    MissKind, MsgKind, NodeId, Outbox, ReqId, ShardStats, Timer,
+};
+
+use crate::processor::{IssueDecision, Processor};
+use crate::report::RunReport;
+use crate::runner::{
+    add_in_flight_tokens, completion_skew_ppm, final_audit_merged, latency_percentiles,
+    merge_controller_stats, RunOptions, System,
+};
+
+/// High bit distinguishes coordinator-committed deliveries from
+/// node-originated events; within a cycle, all node events order before all
+/// deliveries (an arbitrary but fixed — hence deterministic — convention).
+const DELIVERY_KEY_BIT: u64 = 1 << 63;
+
+/// Canonical key for a node-originated event: the allocation sequence is a
+/// function of the owning node's own processing history, so it is identical
+/// at every shard count.
+fn node_key(node: usize, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << 40), "per-node event sequence overflow");
+    ((node as u64 + 1) << 40) | seq
+}
+
+/// Canonical key for a committed delivery: global commit order of the send,
+/// then the arrival's index within the fan-out.
+fn delivery_key(commit_seq: u64, arrival_idx: usize) -> u64 {
+    debug_assert!(arrival_idx < (1 << 12), "fan-out wider than the key space");
+    debug_assert!(commit_seq < (1 << 51), "commit sequence overflow");
+    DELIVERY_KEY_BIT | (commit_seq << 12) | arrival_idx as u64
+}
+
+/// A shard-local event. Mirrors the serial engine's `SystemEvent`.
+#[derive(Debug, Clone, Copy)]
+enum ShardEvent {
+    Wakeup(NodeId),
+    Send(ArenaRef),
+    Deliver { node: NodeId, msg: ArenaRef },
+    Timer { node: NodeId, timer: Timer },
+}
+
+/// One queued event. Ordered by `(at, key)`; keys are unique, so the order
+/// is total and the payload is never compared.
+#[derive(Debug)]
+struct QEntry {
+    at: Cycle,
+    key: u64,
+    event: ShardEvent,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.key).cmp(&(other.at, other.key))
+    }
+}
+
+/// A send logged by a shard, to be committed to the global fabric by the
+/// coordinator in canonical `(at, key)` order.
+#[derive(Debug)]
+struct SendRec {
+    at: Cycle,
+    key: u64,
+    msg: Message,
+}
+
+/// One verifier call logged by a shard. `(at, key, sub)` is the canonical
+/// position of the call — the popped event's cycle and key plus a per-event
+/// counter — while the payload carries the call's actual arguments (which
+/// may reference future cycles, e.g. a hit's `done_at`).
+#[derive(Debug)]
+struct VRec {
+    at: Cycle,
+    key: u64,
+    sub: u32,
+    op: VerifyOp,
+}
+
+#[derive(Debug)]
+enum VerifyOp {
+    Write {
+        node: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        at: Cycle,
+    },
+    Read {
+        node: NodeId,
+        addr: BlockAddr,
+        version: u64,
+        valid_since: Cycle,
+        at: Cycle,
+    },
+    Persistent {
+        node: NodeId,
+        addr: BlockAddr,
+        at: Cycle,
+    },
+    Completion {
+        node: NodeId,
+        addr: BlockAddr,
+        at: Cycle,
+    },
+}
+
+/// A committed message headed for one shard: the payload plus every
+/// delivery (cycle, key, node) it owes that shard. A fan-out spanning
+/// shards is cloned per shard; within a shard the payload is parked once.
+#[derive(Debug)]
+struct Envelope {
+    msg: Message,
+    deliveries: Vec<(Cycle, u64, NodeId)>,
+}
+
+enum Cmd {
+    Window {
+        end: Cycle,
+        draining: bool,
+        envelopes: Vec<Envelope>,
+    },
+    Finish,
+}
+
+/// What a shard reports back at each window boundary.
+struct WindowDone {
+    sends: Vec<SendRec>,
+    vops: Vec<VRec>,
+    popped: u64,
+    /// Cumulative operations completed on this shard.
+    completed: u64,
+    /// Cumulative transactions completed on this shard.
+    transactions: u64,
+    /// Earliest pending event after the window, for global-min derivation.
+    next_pending: Option<Cycle>,
+    /// Latest cycle this shard has processed, for the final clock.
+    max_popped: Cycle,
+}
+
+/// Everything a shard hands back when the run ends.
+struct ShardFinal {
+    controllers: Vec<Box<dyn CoherenceController>>,
+    processors: Vec<Processor>,
+    completions: Vec<u64>,
+    samples: Vec<Cycle>,
+    max_miss_latency: Cycle,
+    delivered: u64,
+    peak_queue: u64,
+    arena_peak: u64,
+    arena_errors: u64,
+    /// Per still-pending delivery: `(block, tokens, owner-token count)`,
+    /// the shard's contribution to the final token-conservation audit.
+    in_flight: Vec<(BlockAddr, i64, i64)>,
+}
+
+/// One shard: a contiguous node range `[lo, hi)` and everything those nodes
+/// own, plus this window's outgoing logs.
+struct Shard {
+    lo: usize,
+    block_bytes: u64,
+    queue: BinaryHeap<Reverse<QEntry>>,
+    arena: Arena<Message>,
+    controllers: Vec<Box<dyn CoherenceController>>,
+    processors: Vec<Processor>,
+    outstanding_writes: FastHashMap<ReqId, bool>,
+    node_seq: Vec<u64>,
+    completions: Vec<u64>,
+    samples: Vec<Cycle>,
+    max_miss_latency: Cycle,
+    completed: u64,
+    delivered: u64,
+    peak_queue: u64,
+    max_popped: Cycle,
+    draining: bool,
+    sends: Vec<SendRec>,
+    vops: Vec<VRec>,
+    /// Canonical position of the event being processed, stamped onto every
+    /// verifier op it emits.
+    cur_at: Cycle,
+    cur_key: u64,
+    cur_sub: u32,
+}
+
+impl Shard {
+    fn new(
+        lo: usize,
+        hi: usize,
+        controllers: Vec<Box<dyn CoherenceController>>,
+        processors: Vec<Processor>,
+        block_bytes: u64,
+    ) -> Self {
+        let mut shard = Shard {
+            lo,
+            block_bytes,
+            queue: BinaryHeap::new(),
+            arena: Arena::new(),
+            controllers,
+            processors,
+            outstanding_writes: FastHashMap::default(),
+            node_seq: vec![0; hi - lo],
+            completions: vec![0; hi - lo],
+            samples: Vec::new(),
+            max_miss_latency: 0,
+            completed: 0,
+            delivered: 0,
+            peak_queue: 0,
+            max_popped: 0,
+            draining: false,
+            sends: Vec::new(),
+            vops: Vec::new(),
+            cur_at: 0,
+            cur_key: 0,
+            cur_sub: 0,
+        };
+        for n in lo..hi {
+            let key = shard.next_key(NodeId::new(n));
+            shard.schedule(0, key, ShardEvent::Wakeup(NodeId::new(n)));
+        }
+        shard
+    }
+
+    fn local(&self, node: NodeId) -> usize {
+        node.index() - self.lo
+    }
+
+    fn next_key(&mut self, node: NodeId) -> u64 {
+        let local = node.index() - self.lo;
+        let seq = self.node_seq[local];
+        self.node_seq[local] += 1;
+        node_key(node.index(), seq)
+    }
+
+    fn schedule(&mut self, at: Cycle, key: u64, event: ShardEvent) {
+        self.queue.push(Reverse(QEntry { at, key, event }));
+        self.peak_queue = self.peak_queue.max(self.queue.len() as u64);
+    }
+
+    fn vop(&mut self, op: VerifyOp) {
+        let sub = self.cur_sub;
+        self.cur_sub += 1;
+        self.vops.push(VRec {
+            at: self.cur_at,
+            key: self.cur_key,
+            sub,
+            op,
+        });
+    }
+
+    fn ingest(&mut self, envelopes: Vec<Envelope>) {
+        for env in envelopes {
+            let parked = self
+                .arena
+                .insert_shared(env.msg, env.deliveries.len() as u32);
+            for (at, key, node) in env.deliveries {
+                self.schedule(at, key, ShardEvent::Deliver { node, msg: parked });
+            }
+        }
+    }
+
+    /// Processes every pending event with `cycle < end` in `(cycle, key)`
+    /// order, logging sends and verifier ops instead of applying them.
+    fn process_window(&mut self, end: Cycle, draining: bool, out: &mut Outbox) -> WindowDone {
+        self.draining = draining;
+        let mut popped = 0u64;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at >= end {
+                break;
+            }
+            let Reverse(QEntry {
+                at: now,
+                key,
+                event,
+            }) = self.queue.pop().unwrap();
+            self.cur_at = now;
+            self.cur_key = key;
+            self.cur_sub = 0;
+            self.max_popped = self.max_popped.max(now);
+            popped += 1;
+            match event {
+                ShardEvent::Wakeup(node) => {
+                    if !self.draining {
+                        self.processor_step(now, node, out);
+                    }
+                }
+                ShardEvent::Send(msg_ref) => {
+                    let msg = self.arena.take(msg_ref);
+                    if matches!(msg.kind, MsgKind::PersistentRequest { .. }) {
+                        // Fairness oracle: the bounded-wait clock starts at
+                        // the first persistent request a (node, block) pair
+                        // puts on the wire.
+                        self.vop(VerifyOp::Persistent {
+                            node: msg.src,
+                            addr: msg.addr,
+                            at: now,
+                        });
+                    }
+                    self.sends.push(SendRec { at: now, key, msg });
+                }
+                ShardEvent::Deliver { node, msg: msg_ref } => {
+                    let msg = self.arena.get(msg_ref);
+                    self.controllers[node.index() - self.lo].handle_message(now, msg, out);
+                    self.arena.release(msg_ref);
+                    self.process_outbox(now, node, out);
+                }
+                ShardEvent::Timer { node, timer } => {
+                    self.controllers[node.index() - self.lo].handle_timer(now, timer, out);
+                    self.process_outbox(now, node, out);
+                }
+            }
+        }
+        self.delivered += popped;
+        WindowDone {
+            sends: std::mem::take(&mut self.sends),
+            vops: std::mem::take(&mut self.vops),
+            popped,
+            completed: self.completed,
+            transactions: self.processors.iter().map(|p| p.transactions()).sum(),
+            next_pending: self.queue.peek().map(|Reverse(e)| e.at),
+            max_popped: self.max_popped,
+        }
+    }
+
+    /// Mirror of the serial engine's `processor_step`, with verifier calls
+    /// replaced by log records.
+    fn processor_step(&mut self, now: Cycle, node: NodeId, out: &mut Outbox) {
+        let local = self.local(node);
+        let (decision, think) = self.processors[local].next_issue(now);
+        match decision {
+            IssueDecision::Finished | IssueDecision::Blocked => {}
+            IssueDecision::Issue(op) => {
+                let issue_time = now + think;
+                let block = op.addr.block(self.block_bytes);
+                let is_write = op.kind.is_write();
+                let outcome = self.controllers[local].access(issue_time, &op, out);
+                match outcome {
+                    AccessOutcome::Hit {
+                        latency,
+                        version,
+                        valid_since,
+                    } => {
+                        self.processors[local].note_hit(issue_time);
+                        self.completed += 1;
+                        self.completions[local] += 1;
+                        let done_at = issue_time + latency;
+                        if is_write {
+                            self.vop(VerifyOp::Write {
+                                node,
+                                addr: block,
+                                version,
+                                at: done_at,
+                            });
+                        } else {
+                            // See the serial engine: the legality window
+                            // opens at the serialization lower bound the
+                            // protocol reports, not at the access.
+                            self.vop(VerifyOp::Read {
+                                node,
+                                addr: block,
+                                version,
+                                valid_since: valid_since.min(issue_time),
+                                at: done_at,
+                            });
+                        }
+                        let key = self.next_key(node);
+                        self.schedule(done_at.max(issue_time + 1), key, ShardEvent::Wakeup(node));
+                    }
+                    AccessOutcome::Miss => {
+                        self.outstanding_writes.insert(op.id, is_write);
+                        self.processors[local].note_miss(op.id, issue_time);
+                        let key = self.next_key(node);
+                        self.schedule(issue_time + 1, key, ShardEvent::Wakeup(node));
+                    }
+                }
+                self.process_outbox(now, node, out);
+            }
+        }
+    }
+
+    /// Mirror of the serial engine's `process_outbox`: sends are parked
+    /// locally and handed to the coordinator when their `Send` event pops;
+    /// completions log their verifier calls.
+    fn process_outbox(&mut self, now: Cycle, node: NodeId, out: &mut Outbox) {
+        for msg in out.messages.drain(..) {
+            let at = msg.sent_at.max(now);
+            let parked = self.arena.insert(msg);
+            let key = self.next_key(node);
+            self.schedule(at, key, ShardEvent::Send(parked));
+        }
+        for (at, timer) in out.timers.drain(..) {
+            let key = self.next_key(node);
+            self.schedule(at.max(now), key, ShardEvent::Timer { node, timer });
+        }
+        for completion in out.completions.drain(..) {
+            let latency = completion.completed_at.saturating_sub(completion.issued_at);
+            self.max_miss_latency = self.max_miss_latency.max(latency);
+            self.samples.push(latency);
+            self.vop(VerifyOp::Completion {
+                node,
+                addr: completion.addr,
+                at: completion.completed_at,
+            });
+            let is_write = self
+                .outstanding_writes
+                .remove(&completion.req_id)
+                .unwrap_or(completion.kind != MissKind::Read);
+            if is_write {
+                self.vop(VerifyOp::Write {
+                    node,
+                    addr: completion.addr,
+                    version: completion.data_version,
+                    at: completion.completed_at,
+                });
+            } else {
+                self.vop(VerifyOp::Read {
+                    node,
+                    addr: completion.addr,
+                    version: completion.data_version,
+                    valid_since: completion.issued_at,
+                    at: completion.completed_at,
+                });
+            }
+            let local = self.local(node);
+            let outcome = self.processors[local].note_completion(completion.req_id, now);
+            if outcome.completed {
+                self.completed += 1;
+                self.completions[local] += 1;
+            }
+            if outcome.was_blocked {
+                let key = self.next_key(node);
+                self.schedule(now + 1, key, ShardEvent::Wakeup(node));
+            }
+        }
+    }
+
+    fn into_final(mut self) -> ShardFinal {
+        // Tokens still in flight to this shard's nodes: pending `Deliver`
+        // events, exactly like the serial engine's final audit. Unprocessed
+        // `Send` events are deliberately not counted — their tokens were
+        // never injected into the fabric.
+        let mut in_flight = Vec::new();
+        for Reverse(entry) in self.queue.iter() {
+            if let ShardEvent::Deliver { msg, .. } = entry.event {
+                let msg = self.arena.get(msg);
+                let tokens = msg.kind.token_count() as i64;
+                if tokens > 0 {
+                    let owner = if msg.kind.carries_owner_token() { 1 } else { 0 };
+                    in_flight.push((msg.addr, tokens, owner));
+                }
+            }
+        }
+        ShardFinal {
+            controllers: std::mem::take(&mut self.controllers),
+            processors: std::mem::take(&mut self.processors),
+            completions: std::mem::take(&mut self.completions),
+            samples: std::mem::take(&mut self.samples),
+            max_miss_latency: self.max_miss_latency,
+            delivered: self.delivered,
+            peak_queue: self.peak_queue,
+            arena_peak: self.arena.high_water() as u64,
+            arena_errors: self.arena.accounting_errors(),
+            in_flight,
+        }
+    }
+}
+
+fn worker(
+    mut shard: Shard,
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::SyncSender<WindowDone>,
+) -> ShardFinal {
+    let mut out = Outbox::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Window {
+                end,
+                draining,
+                envelopes,
+            } => {
+                shard.ingest(envelopes);
+                let done = shard.process_window(end, draining, &mut out);
+                if tx.send(done).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish => break,
+        }
+    }
+    shard.into_final()
+}
+
+/// Runs `system` to completion across `options.shards` worker threads.
+/// Called by [`System::run`] when `options.shards > 0`; restores the merged
+/// controllers, processors, fabric, and verifier into `system` afterwards so
+/// post-run inspection (`controller_debug`, `outstanding_blocks`) works the
+/// same as after a serial run.
+pub(crate) fn run_sharded(system: &mut System, options: &RunOptions) -> RunReport {
+    let num_nodes = system.config.num_nodes;
+    let num_shards = (options.shards.max(1) as usize).min(num_nodes);
+    let target_total = options.ops_per_node * num_nodes as u64;
+    let drain_limit = options.max_cycles.saturating_mul(2);
+    let lookahead = system.interconnect.lookahead_ns();
+    system.starvation_bound = options.starvation_bound(&system.config);
+    let bound = system.starvation_bound;
+    if options.adversary.sabotage != 0 {
+        let victim = options.adversary.victim_node as usize % num_nodes;
+        system.controllers[victim].set_arbiter_sabotage(true);
+    }
+
+    // Move the shared state out of the system: controllers and processors
+    // are dealt to the shards, the fabric and verifier stay with the
+    // coordinator. Everything is put back (merged, in node order) at the
+    // end.
+    let mut fabric = std::mem::replace(
+        &mut system.interconnect,
+        Interconnect::new(num_nodes, system.config.interconnect),
+    );
+    let mut verifier = std::mem::take(&mut system.verifier);
+    let mut citer = std::mem::take(&mut system.controllers).into_iter();
+    let mut piter = std::mem::take(&mut system.processors).into_iter();
+
+    let mut node_shard = vec![0usize; num_nodes];
+    let mut shards: Vec<Shard> = Vec::with_capacity(num_shards);
+    let mut shard_lo = vec![0usize; num_shards];
+    for (s, lo_slot) in shard_lo.iter_mut().enumerate() {
+        let lo = s * num_nodes / num_shards;
+        let hi = (s + 1) * num_nodes / num_shards;
+        *lo_slot = lo;
+        for slot in node_shard.iter_mut().take(hi).skip(lo) {
+            *slot = s;
+        }
+        let controllers: Vec<_> = (lo..hi).map(|_| citer.next().unwrap()).collect();
+        let processors: Vec<_> = (lo..hi).map(|_| piter.next().unwrap()).collect();
+        shards.push(Shard::new(
+            lo,
+            hi,
+            controllers,
+            processors,
+            system.config.block_bytes,
+        ));
+    }
+
+    // Per-source-node RNG streams: the dice a message sees depend on which
+    // node sent it, never on which shard the node landed on, so fault and
+    // adversary decisions reproduce (seed, spec) exactly at any shard count.
+    let mut fault_plane = (!options.faults.is_none()).then(|| {
+        FaultPlane::new_per_node(
+            options.faults,
+            system.config.protocol,
+            system.config.seed,
+            system.config.interconnect.link_latency_ns,
+            num_nodes,
+        )
+    });
+    let mut adversary_plane = (!options.adversary.is_none()).then(|| {
+        Adversary::new_per_node(
+            options.adversary,
+            system.config.seed,
+            system.config.interconnect.link_latency_ns,
+            num_nodes,
+        )
+    });
+
+    let mut stats = ShardStats {
+        shards: num_shards as u32,
+        lookahead_ns: lookahead,
+        windows: 0,
+        sync_stalls: 0,
+        shard_events: vec![0; num_shards],
+        shard_peak_queue: vec![0; num_shards],
+        shard_peak_arena: vec![0; num_shards],
+    };
+
+    // Run-control state, all mutated at window boundaries only.
+    let mut draining = false;
+    let mut drain_limit_hit = false;
+    let mut reached_target_at: Option<Cycle> = None;
+    let mut ops_at_target = 0u64;
+    let mut transactions_at_target = 0u64;
+    let mut events_since_progress = 0u64;
+    let mut livelock_hit = false;
+    let mut completed_total = 0u64;
+    let mut transactions_total = 0u64;
+    let mut final_now: Cycle = 0;
+    let mut boundary: Cycle = 0;
+    let mut commit_seq = 0u64;
+    let mut pending: Vec<Vec<Envelope>> = (0..num_shards).map(|_| Vec::new()).collect();
+    let mut next_pending: Vec<Option<Cycle>> = vec![Some(0); num_shards];
+    let mut finals: Vec<ShardFinal> = Vec::with_capacity(num_shards);
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(num_shards);
+        let mut done_rxs = Vec::with_capacity(num_shards);
+        let mut handles = Vec::with_capacity(num_shards);
+        for shard in shards.drain(..) {
+            let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(1);
+            let (done_tx, done_rx) = mpsc::sync_channel::<WindowDone>(1);
+            cmd_txs.push(cmd_tx);
+            done_rxs.push(done_rx);
+            handles.push(scope.spawn(move || worker(shard, cmd_rx, done_tx)));
+        }
+
+        let mut by_shard: Vec<Vec<(Cycle, u64, NodeId)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        let mut arrivals: Vec<(Cycle, NodeId)> = Vec::new();
+
+        loop {
+            // Global minimum pending cycle across shard queues and
+            // not-yet-dispatched envelopes; `None` means the run drained.
+            let mut global_min: Option<Cycle> = None;
+            let mut fold = |c: Cycle| global_min = Some(global_min.map_or(c, |m: Cycle| m.min(c)));
+            for s in 0..num_shards {
+                if let Some(c) = next_pending[s] {
+                    fold(c);
+                }
+                for env in &pending[s] {
+                    for &(at, _, _) in &env.deliveries {
+                        fold(at);
+                    }
+                }
+            }
+            let Some(global_min) = global_min else { break };
+
+            if !draining && (completed_total >= target_total || global_min >= options.max_cycles) {
+                draining = true;
+                // The serial engine stamps the cycle of the pop that crossed
+                // the target; boundary quantization makes that the end of
+                // the window the target was crossed in (within one lookahead
+                // of any legal schedule's stamp, and shard-count-invariant).
+                reached_target_at = Some(if completed_total >= target_total {
+                    boundary
+                } else {
+                    global_min
+                });
+                ops_at_target = completed_total;
+                transactions_at_target = transactions_total;
+            }
+            if draining && global_min >= drain_limit {
+                drain_limit_hit = true;
+                break;
+            }
+
+            let mut end = (global_min / lookahead + 1) * lookahead;
+            if draining {
+                end = end.min(drain_limit);
+            }
+            stats.windows += 1;
+            for s in 0..num_shards {
+                cmd_txs[s]
+                    .send(Cmd::Window {
+                        end,
+                        draining,
+                        envelopes: std::mem::take(&mut pending[s]),
+                    })
+                    .expect("shard worker hung up mid-run");
+            }
+            let mut dones: Vec<WindowDone> = Vec::with_capacity(num_shards);
+            for done_rx in &done_rxs {
+                dones.push(done_rx.recv().expect("shard worker hung up mid-run"));
+            }
+
+            let mut window_events = 0u64;
+            let prev_completed = completed_total;
+            completed_total = 0;
+            transactions_total = 0;
+            for (s, done) in dones.iter().enumerate() {
+                window_events += done.popped;
+                stats.shard_events[s] += done.popped;
+                if done.popped == 0 {
+                    stats.sync_stalls += 1;
+                }
+                completed_total += done.completed;
+                transactions_total += done.transactions;
+                next_pending[s] = done.next_pending;
+                final_now = final_now.max(done.max_popped);
+            }
+
+            // Verifier merge: every shard's logged calls, replayed into the
+            // one verifier in canonical (cycle, key, sub) order.
+            let mut vops: Vec<VRec> = Vec::new();
+            for done in &mut dones {
+                vops.append(&mut done.vops);
+            }
+            vops.sort_unstable_by_key(|v| (v.at, v.key, v.sub));
+            for vrec in vops {
+                match vrec.op {
+                    VerifyOp::Write {
+                        node,
+                        addr,
+                        version,
+                        at,
+                    } => verifier.record_write(node, addr, version, at),
+                    VerifyOp::Read {
+                        node,
+                        addr,
+                        version,
+                        valid_since,
+                        at,
+                    } => verifier.check_read(node, addr, version, valid_since, at),
+                    VerifyOp::Persistent { node, addr, at } => {
+                        verifier.note_persistent_request(node, addr, at)
+                    }
+                    VerifyOp::Completion { node, addr, at } => {
+                        verifier.note_completion(node, addr, at, bound)
+                    }
+                }
+            }
+
+            // Send commit: every shard's logged sends, applied to the one
+            // global fabric (and fault/adversary planes) in canonical
+            // (cycle, key) order. Arrivals are clamped to the boundary —
+            // a no-op for anything that crossed a link (the lookahead
+            // guarantees it) and a legal delay for self-sends.
+            let mut sends: Vec<SendRec> = Vec::new();
+            for done in &mut dones {
+                sends.append(&mut done.sends);
+            }
+            sends.sort_unstable_by_key(|s| (s.at, s.key));
+            for rec in sends {
+                arrivals.clear();
+                fabric.send_arrivals(rec.at, &rec.msg, &mut arrivals);
+                if let Some(plane) = fault_plane.as_mut() {
+                    if rec.msg.reissue {
+                        plane.stats_mut().reissue_timeouts += 1;
+                    }
+                    plane.apply(rec.at, &rec.msg, &mut arrivals);
+                }
+                if let Some(plane) = adversary_plane.as_mut() {
+                    plane.apply(rec.at, &rec.msg, &mut arrivals);
+                }
+                if arrivals.is_empty() {
+                    continue;
+                }
+                let seq = commit_seq;
+                commit_seq += 1;
+                for (idx, &(at, node)) in arrivals.iter().enumerate() {
+                    by_shard[node_shard[node.index()]].push((
+                        at.max(end),
+                        delivery_key(seq, idx),
+                        node,
+                    ));
+                }
+                for s in 0..num_shards {
+                    if by_shard[s].is_empty() {
+                        continue;
+                    }
+                    pending[s].push(Envelope {
+                        msg: rec.msg.clone(),
+                        deliveries: std::mem::take(&mut by_shard[s]),
+                    });
+                }
+            }
+
+            boundary = end;
+
+            // Livelock watchdog, window-quantized: windows are at most one
+            // lookahead wide, so the budget still bounds the run tightly.
+            if completed_total != prev_completed {
+                events_since_progress = 0;
+            } else {
+                events_since_progress += window_events;
+                if events_since_progress >= options.livelock_events_budget {
+                    livelock_hit = true;
+                    eprintln!(
+                        "livelock watchdog: {events_since_progress} events without a completed \
+                         op at cycle {boundary}; cutting the sharded run off"
+                    );
+                    break;
+                }
+            }
+        }
+
+        for cmd_tx in &cmd_txs {
+            let _ = cmd_tx.send(Cmd::Finish);
+        }
+        for handle in handles {
+            finals.push(handle.join().expect("shard worker panicked"));
+        }
+    });
+
+    // Merge the shards back together, in node order.
+    let mut controllers_back: Vec<Box<dyn CoherenceController>> = Vec::with_capacity(num_nodes);
+    let mut processors_back: Vec<Processor> = Vec::with_capacity(num_nodes);
+    let mut completions_per_node = vec![0u64; num_nodes];
+    let mut samples: Vec<Cycle> = Vec::new();
+    let mut max_miss_latency: Cycle = 0;
+    let mut delivered_total = 0u64;
+    let mut arena_errors = 0u64;
+    let mut peak_queue = 0u64;
+    let mut peak_arena = 0u64;
+    let mut in_flight_tokens: FastHashMap<BlockAddr, (i64, i64)> = FastHashMap::default();
+    for (s, fin) in finals.into_iter().enumerate() {
+        stats.shard_peak_queue[s] = fin.peak_queue;
+        stats.shard_peak_arena[s] = fin.arena_peak;
+        peak_queue = peak_queue.max(fin.peak_queue);
+        peak_arena = peak_arena.max(fin.arena_peak);
+        delivered_total += fin.delivered;
+        arena_errors += fin.arena_errors;
+        for (addr, tokens, owner) in fin.in_flight {
+            let entry = in_flight_tokens.entry(addr).or_insert((0, 0));
+            entry.0 += tokens;
+            entry.1 += owner;
+        }
+        for (i, c) in fin.completions.into_iter().enumerate() {
+            completions_per_node[shard_lo[s] + i] = c;
+        }
+        samples.extend(fin.samples);
+        max_miss_latency = max_miss_latency.max(fin.max_miss_latency);
+        controllers_back.extend(fin.controllers);
+        processors_back.extend(fin.processors);
+    }
+    // Committed-but-undispatched envelopes (a drain-limit or livelock cut
+    // mid-flight): their tokens are in the fabric, so the conservation
+    // audit must see them — one count per delivery, like pending `Deliver`
+    // events.
+    for bucket in &pending {
+        for env in bucket {
+            for _ in &env.deliveries {
+                add_in_flight_tokens(&mut in_flight_tokens, &env.msg);
+            }
+        }
+    }
+
+    let runtime_cycles = match reached_target_at {
+        Some(cycles) => cycles,
+        None => {
+            ops_at_target = completed_total;
+            transactions_at_target = transactions_total;
+            final_now
+        }
+    };
+
+    verifier.sweep_escalations(final_now, bound);
+    final_audit_merged(
+        &mut verifier,
+        &system.config,
+        &controllers_back,
+        &processors_back,
+        &in_flight_tokens,
+        final_now,
+        drain_limit_hit,
+        livelock_hit.then_some(events_since_progress),
+    );
+
+    let (misses, reissue, controller_stats, line_state) = merge_controller_stats(&controllers_back);
+
+    let mut fault_stats = fault_plane.as_ref().map(|p| p.stats()).unwrap_or_default();
+    if fault_plane.is_some() {
+        fault_stats.persistent_activations = controller_stats.persistent_requests_initiated;
+        fault_stats.max_recovery_ns = max_miss_latency;
+    }
+    let adversary_stats = adversary_plane
+        .as_ref()
+        .map(|p| p.stats())
+        .unwrap_or_default();
+
+    let (miss_latency_p50, miss_latency_p99, miss_latency_max) = latency_percentiles(&mut samples);
+    let skew = completion_skew_ppm(&completions_per_node);
+
+    // Put the merged state back so post-run accessors behave as after a
+    // serial run.
+    system.controllers = controllers_back;
+    system.processors = processors_back;
+    system.interconnect = fabric;
+    system.verifier = verifier;
+    system.completed_ops = completed_total;
+    system.max_miss_latency = max_miss_latency;
+    system.miss_latency_samples = samples;
+    system.completions_per_node = completions_per_node;
+
+    RunReport {
+        protocol: system.config.protocol,
+        topology: system.config.interconnect.topology,
+        bandwidth: system.config.interconnect.bandwidth,
+        workload: system.workload.name.to_string(),
+        num_nodes,
+        runtime_cycles,
+        total_ops: ops_at_target,
+        total_transactions: transactions_at_target,
+        misses,
+        reissue,
+        controllers: controller_stats,
+        traffic: system.interconnect.traffic().clone(),
+        faults: options.faults,
+        adversary: options.adversary,
+        miss_latency_p50,
+        miss_latency_p99,
+        miss_latency_max,
+        completion_skew_ppm: skew,
+        engine: EngineStats {
+            peak_queue_depth: peak_queue,
+            peak_arena_occupancy: peak_arena,
+            events_delivered: delivered_total,
+            arena_accounting_errors: arena_errors,
+            state: line_state,
+            faults: fault_stats,
+            adversary: adversary_stats,
+            sharding: stats,
+        },
+        violations: system.verifier.violations().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_types::{AdversarySpec, FaultSpec, ProtocolKind, SystemConfig};
+    use tc_workloads::WorkloadProfile;
+
+    fn small_config(protocol: ProtocolKind, seed: u64) -> SystemConfig {
+        let mut config = SystemConfig::isca03_default()
+            .with_nodes(4)
+            .with_protocol(protocol)
+            .with_seed(seed);
+        config.l2.size_bytes = 256 * 1024;
+        config
+    }
+
+    fn run_at(config: &SystemConfig, options: RunOptions, shards: u32) -> RunReport {
+        let mut system = System::build(config, &WorkloadProfile::oltp());
+        system.run(options.with_shards(shards))
+    }
+
+    fn base_options() -> RunOptions {
+        RunOptions {
+            ops_per_node: 600,
+            max_cycles: 50_000_000,
+            ..RunOptions::default()
+        }
+    }
+
+    /// The acceptance bar: the same run at shard counts 1, 2, and 4 yields
+    /// bit-identical reports (behavioral view) for every protocol and
+    /// several seeds.
+    #[test]
+    fn shard_count_is_invisible_across_protocols_and_seeds() {
+        for protocol in [
+            ProtocolKind::TokenB,
+            ProtocolKind::Directory,
+            ProtocolKind::Hammer,
+            ProtocolKind::Snooping,
+        ] {
+            for seed in [12, 99] {
+                let config = small_config(protocol, seed);
+                let one = run_at(&config, base_options(), 1).determinism_view();
+                assert!(
+                    one.violations.is_empty(),
+                    "{protocol:?}/{seed}: {:?}",
+                    one.violations
+                );
+                assert!(one.total_ops >= 4 * 600, "{protocol:?}/{seed}");
+                for shards in [2u32, 4] {
+                    let many = run_at(&config, base_options(), shards).determinism_view();
+                    assert_eq!(
+                        one, many,
+                        "{protocol:?} seed {seed}: shards(1) != shards({shards})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-source-node RNG streams: a faulted + adversarial run reproduces
+    /// (seed, spec) exactly at every shard count — the fault/adversary dice
+    /// a message sees cannot depend on the partition.
+    #[test]
+    fn faulted_and_adversarial_runs_are_shard_count_invariant() {
+        let faults = FaultSpec::none()
+            .with_drop(0.002)
+            .with_dup(0.001)
+            .with_delay(0.01, 120)
+            .with_seed(7);
+        let adversary = AdversarySpec::none().with_reorder(4).with_seed(9);
+        let options = base_options()
+            .with_faults(faults)
+            .with_adversary(adversary)
+            .with_livelock_budget(2_000_000);
+        let config = small_config(ProtocolKind::TokenB, 12);
+        let one = run_at(&config, options, 1).determinism_view();
+        assert!(one.engine.faults.total_injected() > 0 || one.engine.faults.reissue_timeouts > 0);
+        for shards in [2u32, 4] {
+            let many = run_at(&config, options, shards).determinism_view();
+            assert_eq!(one, many, "faulted run: shards(1) != shards({shards})");
+        }
+    }
+
+    /// Shard counts above the node count clamp instead of panicking or
+    /// changing results.
+    #[test]
+    fn shard_count_clamps_to_node_count() {
+        let config = small_config(ProtocolKind::Directory, 12);
+        let four = run_at(&config, base_options(), 4).determinism_view();
+        let sixteen = run_at(&config, base_options(), 16).determinism_view();
+        assert_eq!(four, sixteen);
+    }
+
+    /// The sharded report carries real sharding telemetry.
+    #[test]
+    fn sharded_report_records_topology_derived_lookahead() {
+        let config = small_config(ProtocolKind::TokenB, 12);
+        let report = run_at(&config, base_options(), 2);
+        let sharding = &report.engine.sharding;
+        assert_eq!(sharding.shards, 2);
+        assert!(sharding.lookahead_ns > 0);
+        assert!(sharding.windows > 0);
+        assert_eq!(sharding.shard_events.len(), 2);
+        assert_eq!(
+            sharding.shard_events.iter().sum::<u64>(),
+            report.engine.events_delivered
+        );
+        // Serial runs stay untouched: no shard stats, and the legacy
+        // engine's schedule.
+        let serial = run_at(&config, base_options(), 0);
+        assert_eq!(serial.engine.sharding, ShardStats::default());
+    }
+
+    /// Checkpointing composes with the serial engine only; the combination
+    /// must refuse loudly, not silently skip snapshots.
+    #[test]
+    #[should_panic(expected = "checkpointing is not supported under sharded execution")]
+    fn sharded_run_with_checkpoints_panics() {
+        let config = small_config(ProtocolKind::TokenB, 12);
+        let mut system = System::build(&config, &WorkloadProfile::oltp());
+        system.run(base_options().with_shards(2).with_checkpoint_every(1000));
+    }
+}

@@ -188,6 +188,31 @@ impl Scenario {
         })
     }
 
+    /// [`Scenario::run_with_ops`] under sharded execution: the same run
+    /// partitioned across `shards` worker threads by the conservative-PDES
+    /// engine. The determinism contract is that
+    /// `run_sharded(.., 1).determinism_view()` equals
+    /// `run_sharded(.., N).determinism_view()` for every `N` — shard count
+    /// may only move per-shard capacity telemetry, never results.
+    pub fn run_sharded(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        ops_per_node: u64,
+        shards: u32,
+    ) -> RunReport {
+        let config = self.config(protocol, seed);
+        let mut system = System::build(&config, &self.workload);
+        system.run(
+            RunOptions {
+                ops_per_node,
+                max_cycles: self.max_cycles,
+                ..RunOptions::default()
+            }
+            .with_shards(shards),
+        )
+    }
+
     /// Runs the scenario interrupted-and-resumed: the run is checkpointed
     /// every `checkpoint_every` delivered events, cut at the *first*
     /// checkpoint past the cadence, and a **fresh** system restores that

@@ -180,7 +180,7 @@ pub struct BlockAudit {
 /// (servicing its processor) and the home/memory-side role (servicing the
 /// slice of physical memory homed at this node), because the target system
 /// integrates both on one chip.
-pub trait CoherenceController: fmt::Debug {
+pub trait CoherenceController: fmt::Debug + Send {
     /// The node this controller belongs to.
     fn node(&self) -> NodeId;
 

@@ -71,6 +71,6 @@ pub use message::{
     DataPayload, Destination, Message, MsgKind, Vnet, CONTROL_MSG_BYTES, DATA_MSG_BYTES,
 };
 pub use stats::{
-    ControllerStats, EngineStats, LineStateStats, MissStats, ReissueStats, TrafficClass,
-    TrafficStats,
+    ControllerStats, EngineStats, LineStateStats, MissStats, ReissueStats, ShardStats,
+    TrafficClass, TrafficStats,
 };

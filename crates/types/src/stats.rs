@@ -461,7 +461,7 @@ impl LineStateStats {
 /// message population actually needs, and the line-state plane's peaks tell
 /// you how big the simulated-state working set grew. All are high-water
 /// marks over the whole run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Peak number of events pending in the event queue at any instant.
     pub peak_queue_depth: u64,
@@ -485,6 +485,9 @@ pub struct EngineStats {
     /// Adversarial-scheduling counters (all zero when the run used
     /// [`AdversarySpec::none`](crate::adversary::AdversarySpec::none)).
     pub adversary: crate::adversary::AdversaryStats,
+    /// Sharded-execution telemetry (all zero/empty when the run used the
+    /// serial engine).
+    pub sharding: ShardStats,
 }
 
 impl EngineStats {
@@ -497,6 +500,7 @@ impl EngineStats {
         self.state.save_state(w);
         self.faults.save_state(w);
         self.adversary.save_state(w);
+        self.sharding.save_state(w);
     }
 
     /// Rebuilds from [`EngineStats::save_state`] bytes.
@@ -509,6 +513,64 @@ impl EngineStats {
             state: LineStateStats::load_state(r)?,
             faults: crate::fault::FaultStats::load_state(r)?,
             adversary: crate::adversary::AdversaryStats::load_state(r)?,
+            sharding: ShardStats::load_state(r)?,
+        })
+    }
+}
+
+/// Telemetry from the sharded (conservative-PDES) runner: how the run was
+/// partitioned, how the windowed synchronization behaved, and the per-shard
+/// engine peaks.
+///
+/// Capacity telemetry, not behavior: per-shard queue/arena peaks and stall
+/// counts legitimately differ between shard counts even though the
+/// simulated run is bit-identical, so the shard-determinism tests compare
+/// reports through a view with this (and the global peaks) normalized out.
+/// All-default on serial (`shards == 0`) runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Worker shards the run was partitioned into (0 = serial engine).
+    pub shards: u32,
+    /// The conservative lookahead window, in ns, derived from the
+    /// topology's minimum inter-node path latency.
+    pub lookahead_ns: u64,
+    /// Barrier windows executed (commit rounds at window boundaries).
+    pub windows: u64,
+    /// Sync stalls: window rounds in which a shard had no local events to
+    /// process and only waited at the barrier, summed across shards. High
+    /// stall counts relative to `windows * shards` mean the partition is
+    /// imbalanced or the lookahead window is small relative to activity.
+    pub sync_stalls: u64,
+    /// Events delivered by each shard's queue, indexed by shard.
+    pub shard_events: Vec<u64>,
+    /// Peak event-queue depth per shard.
+    pub shard_peak_queue: Vec<u64>,
+    /// Peak message-arena occupancy per shard.
+    pub shard_peak_arena: Vec<u64>,
+}
+
+impl ShardStats {
+    /// Serializes every counter.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.shards);
+        w.u64(self.lookahead_ns);
+        w.u64(self.windows);
+        w.u64(self.sync_stalls);
+        w.seq(self.shard_events.iter(), |w, &v| w.u64(v));
+        w.seq(self.shard_peak_queue.iter(), |w, &v| w.u64(v));
+        w.seq(self.shard_peak_arena.iter(), |w, &v| w.u64(v));
+    }
+
+    /// Rebuilds from [`ShardStats::save_state`] bytes.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<ShardStats, SnapshotError> {
+        Ok(ShardStats {
+            shards: r.u32()?,
+            lookahead_ns: r.u64()?,
+            windows: r.u64()?,
+            sync_stalls: r.u64()?,
+            shard_events: r.seq(|r| r.u64())?,
+            shard_peak_queue: r.seq(|r| r.u64())?,
+            shard_peak_arena: r.seq(|r| r.u64())?,
         })
     }
 }

@@ -170,6 +170,34 @@ fn sixty_four_node_scenario_stays_under_the_oracle() {
     }
 }
 
+/// The sharded engine at scale: the 64-node conformance scenario must stay
+/// green under the same invariant oracle when partitioned across four
+/// shards, and the result must be bit-identical (modulo per-shard capacity
+/// telemetry, which `determinism_view` masks) to the single-shard run of
+/// the same windowed engine. This is the acceptance gate for the
+/// conservative-PDES tentpole: spatial decomposition may only change
+/// wall-clock, never results.
+#[test]
+fn sixty_four_node_scenario_is_shard_count_invariant_at_four_shards() {
+    let scenario = Scenario::sweep64();
+    for protocol in [ProtocolKind::TokenB, ProtocolKind::Directory] {
+        let one = scenario.run_sharded(protocol, 12, scenario.ops_per_node, 1);
+        let four = scenario.run_sharded(protocol, 12, scenario.ops_per_node, 4);
+        assert!(
+            four.verified().is_ok(),
+            "{protocol} at shards(4): {:?}",
+            four.violations
+        );
+        assert_eq!(four.engine.sharding.shards, 4);
+        assert!(four.engine.sharding.lookahead_ns > 0);
+        assert_eq!(
+            one.determinism_view(),
+            four.determinism_view(),
+            "{protocol}: shards(1) and shards(4) reports diverged at 64 nodes"
+        );
+    }
+}
+
 /// The adversarial spec the fault-conformance tests inject: 1% message
 /// loss, 0.5% duplication, and reordering windows four link-quanta deep —
 /// the unordered, unreliable fabric the paper's decoupling argument says

@@ -117,6 +117,43 @@ fn pinned_benchmark_configuration_resumes_to_the_pinned_event_count() {
     assert_reports_identical("pinned benchmark", &baseline, &report);
 }
 
+/// The snapshot plane's sharding stance: snapshots are a serial-engine
+/// feature. A snapshot taken by a serial run (`shards = 0`) restored under
+/// `shards > 0` must fail as a structured `Corrupt` — the fingerprint folds
+/// the shard count in precisely so the windowed engine can never silently
+/// resume state the serial engine produced. (Asking a sharded run to
+/// checkpoint panics up front; that contract is pinned in `tc-system`'s
+/// unit tests.)
+#[test]
+fn serial_snapshot_does_not_restore_under_sharded_options() {
+    let scenario = Scenario::by_name("hot_block_contention").expect("standard scenario");
+    let config = scenario.config(ProtocolKind::TokenB, 7);
+    let options = scenario.run_options().with_checkpoint_every(2_000);
+
+    let mut snapshot: Option<Vec<u8>> = None;
+    System::build(&config, &scenario.workload).run_with_checkpoints(options, &mut |_, bytes| {
+        if snapshot.is_none() {
+            snapshot = Some(bytes.to_vec());
+        }
+    });
+    let clean = snapshot.expect("at least one checkpoint");
+
+    let sharded_options = scenario.run_options().with_shards(2);
+    let err = System::build(&config, &scenario.workload)
+        .restore(&sharded_options, &clean)
+        .expect_err("a serial snapshot must not restore into a sharded run");
+    assert!(
+        matches!(err, token_coherence::sim::SnapshotError::Corrupt(_)),
+        "expected structured Corrupt, got {err}"
+    );
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+
+    // The same bytes still restore under the serial options.
+    System::build(&config, &scenario.workload)
+        .restore(&scenario.run_options().with_checkpoint_every(2_000), &clean)
+        .expect("serial restore still works");
+}
+
 /// A snapshot with a flipped byte is rejected by the seal checksum — a
 /// structured error, never a garbled restore.
 #[test]
